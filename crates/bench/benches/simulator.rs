@@ -1,0 +1,63 @@
+//! Simulator benchmarks: the verification cost per synthesized op amp
+//! (DC operating point + offset bisection + AC sweep).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oasys::spec::test_cases;
+use oasys::{synthesize, verify};
+use oasys_process::builtin;
+use std::hint::black_box;
+
+fn bench_verification(c: &mut Criterion) {
+    let process = builtin::cmos_5um();
+    let spec = test_cases::spec_a();
+    let design = synthesize(&spec, &process).unwrap().selected().clone();
+    c.bench_function("verify/case_a_full", |b| {
+        b.iter(|| {
+            verify(
+                black_box(&design),
+                black_box(&process),
+                spec.load().farads(),
+            )
+            .unwrap()
+        });
+    });
+}
+
+fn bench_dc_solve(c: &mut Criterion) {
+    use oasys_netlist::{Circuit, SourceValue};
+    use oasys_process::Polarity;
+
+    let process = builtin::cmos_5um();
+    // A representative nonlinear bench: diode-connected device chain.
+    let mut circuit = Circuit::new("dc bench");
+    let vdd = circuit.node("vdd");
+    let gnd = circuit.ground();
+    circuit
+        .add_vsource("VDD", vdd, gnd, SourceValue::dc(5.0))
+        .unwrap();
+    let mut prev = vdd;
+    for k in 0..8 {
+        let node = circuit.node(format!("n{k}"));
+        circuit
+            .add_mosfet(
+                format!("M{k}"),
+                Polarity::Nmos,
+                oasys_mos::Geometry::new_um(20.0, 5.0).unwrap(),
+                prev,
+                prev,
+                node,
+                gnd,
+            )
+            .unwrap();
+        circuit
+            .add_resistor(format!("R{k}"), node, gnd, 50e3)
+            .unwrap();
+        prev = node;
+    }
+    c.bench_function("sim/dc_newton_chain", |b| {
+        b.iter(|| oasys_sim::dc::solve(black_box(&circuit), black_box(&process)).unwrap());
+    });
+}
+
+criterion_group!(benches, bench_verification, bench_dc_solve);
+criterion_main!(benches);

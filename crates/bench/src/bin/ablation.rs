@@ -1,0 +1,4 @@
+//! Runs the knowledge-base ablation experiments.
+fn main() {
+    print!("{}", oasys_bench::ablation::render());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 1: the successive-approximation A/D hierarchy.
+fn main() {
+    print!("{}", oasys_bench::figures::figure1_text());
+}

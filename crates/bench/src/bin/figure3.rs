@@ -1,0 +1,4 @@
+//! Regenerates Figure 3: the planning mechanism, as a live plan trace.
+fn main() {
+    print!("{}", oasys_bench::figures::figure3_text());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 4: the two-stage op-amp topology template.
+fn main() {
+    print!("{}", oasys_bench::figures::figure4_text());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 5: synthesized schematics for the three test cases.
+fn main() {
+    print!("{}", oasys_bench::figures::figure5_text());
+}

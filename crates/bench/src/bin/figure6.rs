@@ -1,0 +1,4 @@
+//! Regenerates Figure 6: the gain-phase plot for test circuit C.
+fn main() {
+    print!("{}", oasys_bench::figures::figure6_text());
+}

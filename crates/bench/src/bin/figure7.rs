@@ -1,0 +1,4 @@
+//! Regenerates Figure 7: area versus achievable gain for both styles.
+fn main() {
+    print!("{}", oasys_bench::figures::figure7_text());
+}

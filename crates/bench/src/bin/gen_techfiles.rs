@@ -1,0 +1,11 @@
+//! Regenerates the shipped technology files in `data/` from the built-in
+//! process definitions (run from the workspace root).
+fn main() {
+    for p in oasys_process::builtin::all() {
+        std::fs::write(
+            format!("data/{}.tech", p.name()),
+            oasys_process::techfile::write(&p),
+        )
+        .unwrap();
+    }
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 1: the process parameters OASYS consumes.
+fn main() {
+    print!("{}", oasys_bench::table1_text());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 2: specifications and results for test cases A, B, C.
+fn main() {
+    print!("{}", oasys_bench::table2::render());
+}

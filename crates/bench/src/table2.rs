@@ -1,0 +1,143 @@
+//! Table 2 regeneration: synthesize cases A, B and C, verify each with
+//! the simulator, and print the spec / predicted / measured comparison.
+
+use crate::paper_cases;
+use oasys::{synthesize, verify, Datasheet, OpAmpDesign, OpAmpSpec};
+use oasys_process::{builtin, Process};
+
+/// One completed Table 2 column: the case label, the chosen design, and
+/// its datasheet.
+pub struct CaseResult {
+    /// Case label: `"A"`, `"B"`, `"C"`.
+    pub label: &'static str,
+    /// The specification.
+    pub spec: OpAmpSpec,
+    /// The selected design.
+    pub design: OpAmpDesign,
+    /// Spec / predicted / measured rows.
+    pub datasheet: Datasheet,
+    /// Which styles were rejected, with reasons.
+    pub rejections: Vec<String>,
+}
+
+/// Runs the full Table 2 experiment on the substituted 5 µm process.
+///
+/// # Panics
+///
+/// Panics if a paper case fails to synthesize or verify — that would mean
+/// the reproduction regressed, and the binaries should fail loudly.
+#[must_use]
+pub fn run() -> Vec<CaseResult> {
+    let process = builtin::cmos_5um();
+    paper_cases()
+        .into_iter()
+        .map(|(label, spec)| run_case(label, &spec, &process))
+        .collect()
+}
+
+/// Runs one case end to end.
+///
+/// # Panics
+///
+/// Panics if synthesis or verification fails (see [`run`]).
+#[must_use]
+pub fn run_case(label: &'static str, spec: &OpAmpSpec, process: &Process) -> CaseResult {
+    let synthesis = synthesize(spec, process)
+        .unwrap_or_else(|e| panic!("case {label} failed to synthesize: {e}"));
+    let design = synthesis.selected().clone();
+    let rejections = synthesis
+        .outcomes()
+        .iter()
+        .filter_map(|o| {
+            o.rejection()
+                .map(|reason| format!("{}: {reason}", o.style()))
+        })
+        .collect();
+    let verification = verify(&design, process, spec.load().farads())
+        .unwrap_or_else(|e| panic!("case {label} failed to verify: {e}"));
+    let datasheet = Datasheet::new(
+        format!("Test case {label} — {} style selected", design.style()),
+        spec,
+        design.predicted(),
+        Some(&verification.measured),
+    );
+    CaseResult {
+        label,
+        spec: *spec,
+        design,
+        datasheet,
+        rejections,
+    }
+}
+
+/// Renders the whole table as text (what the `table2` binary prints).
+#[must_use]
+pub fn render() -> String {
+    let mut out = String::from(
+        "Table 2: specifications and results for OASYS test cases\n\
+         (process: substituted generic 5 µm CMOS; measured = oasys-sim)\n\n",
+    );
+    for case in run() {
+        out.push_str(&format!("spec {}: {}\n", case.label, case.spec));
+        out.push_str(&case.datasheet.to_string());
+        out.push_str(&format!(
+            "style: {} ({} devices, area {})\n",
+            case.design.style(),
+            case.design.device_count(),
+            case.design.area()
+        ));
+        if !case.design.notes().is_empty() {
+            out.push_str(&format!("notes: {}\n", case.design.notes().join("; ")));
+        }
+        for rejection in &case.rejections {
+            out.push_str(&format!("rejected: {rejection}\n"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oasys::OpAmpStyle;
+
+    #[test]
+    fn table2_reproduces_paper_style_decisions() {
+        let results = run();
+        assert_eq!(results[0].design.style(), OpAmpStyle::OneStageOta, "case A");
+        assert_eq!(results[1].design.style(), OpAmpStyle::TwoStage, "case B");
+        assert_eq!(results[2].design.style(), OpAmpStyle::TwoStage, "case C");
+        // Case C is the complex variant.
+        assert!(results[2].design.device_count() > results[1].design.device_count());
+        assert!(results[2]
+            .design
+            .notes()
+            .iter()
+            .any(|n| n.contains("level shifter")));
+        // Cases B and C must record the one-stage rejection.
+        assert!(!results[1].rejections.is_empty());
+        assert!(!results[2].rejections.is_empty());
+    }
+
+    #[test]
+    fn measured_gain_meets_spec_for_every_case() {
+        for case in run() {
+            assert!(
+                case.datasheet.all_measured_pass(),
+                "case {} failed rows: {:?}\n{}",
+                case.label,
+                case.datasheet.failures(),
+                case.datasheet
+            );
+        }
+    }
+
+    #[test]
+    fn render_contains_all_cases() {
+        let text = render();
+        for label in ["Test case A", "Test case B", "Test case C"] {
+            assert!(text.contains(label), "missing {label}");
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Layout-area estimation.
+//!
+//! OASYS selects among design styles *"biasing the choice in favor of the
+//! design with the smallest estimated area. Area estimates include both
+//! active device area and compensation capacitor area."* This module
+//! provides that estimator: device area is gate area plus the two
+//! diffusion regions; capacitor area comes from the process's plate
+//! capacitance density.
+
+use oasys_mos::Geometry;
+use oasys_process::Process;
+use oasys_units::Area;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::Add;
+
+/// An additive area estimate split into active (device) and capacitor
+/// contributions.
+///
+/// # Examples
+///
+/// ```
+/// use oasys_blocks::AreaEstimate;
+/// use oasys_mos::Geometry;
+/// use oasys_process::builtin;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let p = builtin::cmos_5um();
+/// let device = AreaEstimate::for_device(&Geometry::new_um(50.0, 5.0)?, &p);
+/// let cap = AreaEstimate::for_capacitor(5e-12, &p);
+/// let total = device + cap;
+/// assert!(total.total().square_micrometers() > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct AreaEstimate {
+    active_um2: f64,
+    capacitor_um2: f64,
+}
+
+impl AreaEstimate {
+    /// The zero estimate.
+    pub const ZERO: AreaEstimate = AreaEstimate {
+        active_um2: 0.0,
+        capacitor_um2: 0.0,
+    };
+
+    /// Area of one device: gate area plus two diffusion strips of the
+    /// process minimum drain width on either side of the gate.
+    #[must_use]
+    pub fn for_device(geometry: &Geometry, process: &Process) -> Self {
+        let w = geometry.w_um();
+        let l = geometry.l_um();
+        let dw = process.min_drain_width().micrometers();
+        Self {
+            active_um2: w * (l + 2.0 * dw),
+            capacitor_um2: 0.0,
+        }
+    }
+
+    /// Area of a linear capacitor of `farads` at the process's plate
+    /// capacitance density.
+    #[must_use]
+    pub fn for_capacitor(farads: f64, process: &Process) -> Self {
+        // cap_per_area is F/m²; convert to µm².
+        let area_m2 = farads / process.cap_per_area();
+        Self {
+            active_um2: 0.0,
+            capacitor_um2: area_m2 * 1e12,
+        }
+    }
+
+    /// Creates an estimate from explicit components in µm².
+    #[must_use]
+    pub fn from_um2(active_um2: f64, capacitor_um2: f64) -> Self {
+        Self {
+            active_um2,
+            capacitor_um2,
+        }
+    }
+
+    /// Active (transistor) component.
+    #[must_use]
+    pub fn active(&self) -> Area {
+        Area::from_square_micro(self.active_um2)
+    }
+
+    /// Capacitor component.
+    #[must_use]
+    pub fn capacitor(&self) -> Area {
+        Area::from_square_micro(self.capacitor_um2)
+    }
+
+    /// Total estimated area.
+    #[must_use]
+    pub fn total(&self) -> Area {
+        Area::from_square_micro(self.active_um2 + self.capacitor_um2)
+    }
+
+    /// Total in µm² — the unit Figure 7's vertical axis uses (×1000).
+    #[must_use]
+    pub fn total_um2(&self) -> f64 {
+        self.active_um2 + self.capacitor_um2
+    }
+}
+
+impl std::ops::Mul<f64> for AreaEstimate {
+    type Output = AreaEstimate;
+    fn mul(self, rhs: f64) -> AreaEstimate {
+        AreaEstimate {
+            active_um2: self.active_um2 * rhs,
+            capacitor_um2: self.capacitor_um2 * rhs,
+        }
+    }
+}
+
+impl Add for AreaEstimate {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self {
+            active_um2: self.active_um2 + rhs.active_um2,
+            capacitor_um2: self.capacitor_um2 + rhs.capacitor_um2,
+        }
+    }
+}
+
+impl Sum for AreaEstimate {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for AreaEstimate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.0} µm² (active {:.0}, cap {:.0})",
+            self.total_um2(),
+            self.active_um2,
+            self.capacitor_um2
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oasys_process::builtin;
+
+    #[test]
+    fn device_area_exceeds_gate_area() {
+        let p = builtin::cmos_5um();
+        let g = Geometry::new_um(50.0, 5.0).unwrap();
+        let est = AreaEstimate::for_device(&g, &p);
+        assert!(est.total_um2() > g.gate_area().square_micrometers());
+        assert_eq!(est.capacitor().square_micrometers(), 0.0);
+    }
+
+    #[test]
+    fn capacitor_area_scales_linearly() {
+        let p = builtin::cmos_5um();
+        let a1 = AreaEstimate::for_capacitor(1e-12, &p);
+        let a5 = AreaEstimate::for_capacitor(5e-12, &p);
+        assert!((a5.total_um2() / a1.total_um2() - 5.0).abs() < 1e-9);
+        assert_eq!(a5.active().square_micrometers(), 0.0);
+    }
+
+    #[test]
+    fn five_pf_is_thousands_of_um2() {
+        // Sanity: at ~0.2 fF/µm² a 5 pF capacitor is a big structure.
+        let p = builtin::cmos_5um();
+        let a = AreaEstimate::for_capacitor(5e-12, &p);
+        assert!(a.total_um2() > 10_000.0, "got {}", a.total_um2());
+    }
+
+    #[test]
+    fn addition_and_sum() {
+        let a = AreaEstimate::from_um2(100.0, 0.0);
+        let b = AreaEstimate::from_um2(50.0, 200.0);
+        let c = a + b;
+        assert!((c.total_um2() - 350.0).abs() < 1e-12);
+        let total: AreaEstimate = [a, b, c].into_iter().sum();
+        assert!((total.total_um2() - 700.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_shows_components() {
+        let a = AreaEstimate::from_um2(100.0, 200.0);
+        let s = a.to_string();
+        assert!(s.contains("300"));
+        assert!(s.contains("active 100"));
+    }
+}

@@ -1,0 +1,134 @@
+//! Shared designer plumbing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Default gate overdrive (volts) a designer assumes when the spec leaves
+/// it free. A 0.25 V overdrive is the classical compromise between speed
+/// (higher `V_ov` → smaller devices, less capacitance) and headroom/gain
+/// (lower `V_ov` → more swing, more `gm/I_D`).
+pub const DEFAULT_VOV: f64 = 0.25;
+
+/// Error returned by every block designer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DesignError {
+    /// The specification itself is malformed (non-positive current,
+    /// inverted bounds, …).
+    InvalidSpec {
+        /// Which block rejected it.
+        block: &'static str,
+        /// What was wrong.
+        reason: String,
+    },
+    /// The specification is well-formed but no style of this block can
+    /// meet it in this process.
+    Infeasible {
+        /// Which block gave up.
+        block: &'static str,
+        /// Why every style failed.
+        reason: String,
+    },
+}
+
+impl DesignError {
+    /// Creates an [`DesignError::InvalidSpec`].
+    #[must_use]
+    pub fn invalid(block: &'static str, reason: impl Into<String>) -> Self {
+        DesignError::InvalidSpec {
+            block,
+            reason: reason.into(),
+        }
+    }
+
+    /// Creates an [`DesignError::Infeasible`].
+    #[must_use]
+    pub fn infeasible(block: &'static str, reason: impl Into<String>) -> Self {
+        DesignError::Infeasible {
+            block,
+            reason: reason.into(),
+        }
+    }
+
+    /// `true` for the infeasible variant — style selectors use this to
+    /// distinguish "this style can't" from "the caller misspoke".
+    #[must_use]
+    pub fn is_infeasible(&self) -> bool {
+        matches!(self, DesignError::Infeasible { .. })
+    }
+
+    /// The block that produced the error.
+    #[must_use]
+    pub fn block(&self) -> &'static str {
+        match self {
+            DesignError::InvalidSpec { block, .. } | DesignError::Infeasible { block, .. } => block,
+        }
+    }
+}
+
+impl fmt::Display for DesignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DesignError::InvalidSpec { block, reason } => {
+                write!(f, "{block}: invalid specification: {reason}")
+            }
+            DesignError::Infeasible { block, reason } => {
+                write!(f, "{block}: specification infeasible: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for DesignError {}
+
+/// Validates that a named magnitude is positive and finite.
+pub(crate) fn require_positive(
+    block: &'static str,
+    name: &str,
+    value: f64,
+) -> Result<(), DesignError> {
+    if value > 0.0 && value.is_finite() {
+        Ok(())
+    } else {
+        Err(DesignError::invalid(
+            block,
+            format!("`{name}` must be positive and finite, got {value}"),
+        ))
+    }
+}
+
+/// Rounds a width up to a 0.5 µm drawing grid and the process minimum.
+pub(crate) fn snap_width_um(w_um: f64, min_w_um: f64) -> f64 {
+    let w = w_um.max(min_w_um);
+    (w / 0.5).ceil() * 0.5
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_classification() {
+        let a = DesignError::invalid("mirror", "bad current");
+        let b = DesignError::infeasible("mirror", "needs too much headroom");
+        assert!(!a.is_infeasible());
+        assert!(b.is_infeasible());
+        assert_eq!(a.block(), "mirror");
+        assert!(a.to_string().contains("invalid"));
+        assert!(b.to_string().contains("infeasible"));
+    }
+
+    #[test]
+    fn require_positive_accepts_and_rejects() {
+        assert!(require_positive("b", "x", 1.0).is_ok());
+        assert!(require_positive("b", "x", 0.0).is_err());
+        assert!(require_positive("b", "x", f64::NAN).is_err());
+        assert!(require_positive("b", "x", f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn width_snapping() {
+        assert_eq!(snap_width_um(7.3, 5.0), 7.5);
+        assert_eq!(snap_width_um(2.0, 5.0), 5.0);
+        assert_eq!(snap_width_um(5.0, 5.0), 5.0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based tests on the sub-block designers: achieved-vs-spec
+//! guarantees and monotonicity of the design trade-offs.
+
+use oasys_blocks::compensation::Compensation;
+use oasys_blocks::diffpair::{DiffPair, DiffPairSpec};
+use oasys_blocks::levelshift::{LevelShiftSpec, LevelShifter};
+use oasys_blocks::mirror::{CurrentMirror, MirrorSpec, MirrorStyle};
+use oasys_process::{builtin, Polarity, Process};
+use proptest::prelude::*;
+
+fn process() -> Process {
+    builtin::cmos_5um()
+}
+
+proptest! {
+    /// Whatever the designed mirror style, the predicted r_out meets the
+    /// floor and the compliance fits the headroom budget.
+    #[test]
+    fn mirror_meets_rout_and_compliance(
+        iout_ua in 1.0..500.0f64,
+        rout_exp in 4.0..7.5f64,
+        headroom in 0.6..3.0f64,
+    ) {
+        let spec = MirrorSpec::new(Polarity::Nmos, iout_ua * 1e-6)
+            .with_min_rout(10f64.powf(rout_exp))
+            .with_headroom(headroom);
+        match CurrentMirror::design(&spec, &process()) {
+            Ok(m) => {
+                prop_assert!(m.rout() >= 10f64.powf(rout_exp) * 0.999);
+                prop_assert!(m.compliance() <= headroom + 1e-9);
+                prop_assert!(m.area().total_um2() > 0.0);
+            }
+            Err(e) => prop_assert!(e.is_infeasible(), "unexpected: {e}"),
+        }
+    }
+
+    /// Raising the r_out floor never shrinks the design (area-monotone
+    /// within a style family).
+    #[test]
+    fn mirror_area_monotone_in_rout(
+        iout_ua in 5.0..100.0f64,
+        r_lo_exp in 4.0..5.5f64,
+        extra in 0.2..1.5f64,
+    ) {
+        let lo = MirrorSpec::new(Polarity::Nmos, iout_ua * 1e-6)
+            .with_min_rout(10f64.powf(r_lo_exp))
+            .with_headroom(2.5);
+        let hi = MirrorSpec::new(Polarity::Nmos, iout_ua * 1e-6)
+            .with_min_rout(10f64.powf(r_lo_exp + extra))
+            .with_headroom(2.5);
+        let (Ok(a), Ok(b)) = (
+            CurrentMirror::design(&lo, &process()),
+            CurrentMirror::design(&hi, &process()),
+        ) else {
+            return Ok(()); // either infeasible → nothing to compare
+        };
+        // The selector may hop to the cascode, which is allowed to be
+        // *smaller* than a long-channel simple mirror; only compare
+        // within the same style.
+        if a.style() == b.style() {
+            prop_assert!(b.area().total_um2() >= a.area().total_um2() * 0.999);
+        }
+    }
+
+    /// The diff pair always delivers at least the requested gm (width
+    /// snapping only rounds up).
+    #[test]
+    fn diffpair_gm_is_met(
+        gm_ua in 20.0..2000.0f64,
+        itail_ua in 5.0..500.0f64,
+    ) {
+        let spec = DiffPairSpec::new(Polarity::Nmos, gm_ua * 1e-6, itail_ua * 1e-6);
+        match DiffPair::design(&spec, &process()) {
+            Ok(pair) => {
+                prop_assert!(pair.gm() >= gm_ua * 1e-6 * 0.999);
+                prop_assert!(pair.vov() > 0.0);
+                prop_assert!(pair.gds() > 0.0);
+            }
+            Err(e) => prop_assert!(e.is_infeasible(), "unexpected: {e}"),
+        }
+    }
+
+    /// Level shifter: designed V_GS equals the requested shift by
+    /// construction, and the follower gain is in (0, 1].
+    #[test]
+    fn levelshift_gain_bounded(
+        shift in 1.15..2.4f64,
+        bias_ua in 1.0..100.0f64,
+        vsb in 0.0..1.5f64,
+    ) {
+        let spec = LevelShiftSpec::new(Polarity::Nmos, shift, bias_ua * 1e-6)
+            .with_vsb(vsb);
+        match LevelShifter::design(&spec, &process()) {
+            Ok(ls) => {
+                prop_assert!(ls.gain() > 0.0 && ls.gain() <= 1.0);
+                prop_assert!(ls.rout() > 0.0);
+                prop_assert!(ls.vov() > 0.0);
+            }
+            Err(e) => prop_assert!(e.is_infeasible(), "unexpected: {e}"),
+        }
+    }
+
+    /// Compensation: required_gm2 always closes the design it was asked
+    /// to close, across the whole parameter space.
+    #[test]
+    fn required_gm2_closes(
+        gm1_ua in 5.0..500.0f64,
+        cl_pf in 1.0..50.0f64,
+        fu_mhz in 0.1..5.0f64,
+        pm in 40.0..70.0f64,
+    ) {
+        let gm1 = gm1_ua * 1e-6;
+        let cl = cl_pf * 1e-12;
+        let fu = fu_mhz * 1e6;
+        let Ok(gm2) = Compensation::required_gm2(gm1, cl, fu, pm) else {
+            return Ok(()); // declared infeasible is acceptable
+        };
+        let closed = Compensation::design(&oasys_blocks::compensation::CompensationSpec {
+            gm1,
+            gm2,
+            load_cap: cl,
+            unity_gain_freq: fu,
+            phase_margin_deg: pm,
+        });
+        prop_assert!(closed.is_ok(), "gm2 = {gm2:.3e} failed to close");
+        let c = closed.unwrap();
+        prop_assert!(c.phase_margin_deg() >= pm);
+        prop_assert!(c.unity_gain_freq() <= fu * 1.001);
+    }
+
+    /// Mirror styles keep their compliance ordering everywhere the three
+    /// of them are feasible.
+    #[test]
+    fn mirror_compliance_ordering(iout_ua in 2.0..200.0f64) {
+        let p = process();
+        let base = MirrorSpec::new(Polarity::Nmos, iout_ua * 1e-6).with_headroom(3.0);
+        let simple =
+            CurrentMirror::design_style(&base, &p, MirrorStyle::Simple).unwrap();
+        let cascode =
+            CurrentMirror::design_style(&base, &p, MirrorStyle::Cascode).unwrap();
+        let ws =
+            CurrentMirror::design_style(&base, &p, MirrorStyle::WideSwing).unwrap();
+        prop_assert!(simple.compliance() <= ws.compliance() + 1e-12);
+        prop_assert!(ws.compliance() <= cascode.compliance() + 1e-12);
+        prop_assert!(cascode.rout() > simple.rout());
+    }
+}

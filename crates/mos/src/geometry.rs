@@ -1,0 +1,220 @@
+//! Device geometry: drawn channel width and length.
+
+use oasys_units::{Area, Length};
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when constructing an invalid [`Geometry`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeometryError {
+    message: String,
+}
+
+impl GeometryError {
+    fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid device geometry: {}", self.message)
+    }
+}
+
+impl Error for GeometryError {}
+
+/// Drawn channel geometry of a MOSFET.
+///
+/// # Examples
+///
+/// ```
+/// use oasys_mos::Geometry;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = Geometry::new_um(50.0, 5.0)?;
+/// assert!((g.w_over_l() - 10.0).abs() < 1e-12);
+/// assert!((g.gate_area().square_micrometers() - 250.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, PartialEq, PartialOrd, Debug, Serialize, Deserialize)]
+pub struct Geometry {
+    /// Channel width, m.
+    w: f64,
+    /// Channel length, m.
+    l: f64,
+}
+
+impl Geometry {
+    /// Creates a geometry from width and length in micrometers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError`] if either dimension is non-positive or not
+    /// finite, or if the aspect ratio is outside the manufacturable range
+    /// `[0.02, 50000]` (a guard against runaway sizing loops).
+    pub fn new_um(w_um: f64, l_um: f64) -> Result<Self, GeometryError> {
+        if !(w_um.is_finite() && l_um.is_finite()) {
+            return Err(GeometryError::new(format!(
+                "dimensions must be finite, got W={w_um} µm, L={l_um} µm"
+            )));
+        }
+        if w_um <= 0.0 || l_um <= 0.0 {
+            return Err(GeometryError::new(format!(
+                "dimensions must be positive, got W={w_um} µm, L={l_um} µm"
+            )));
+        }
+        let ratio = w_um / l_um;
+        if !(0.02..=50_000.0).contains(&ratio) {
+            return Err(GeometryError::new(format!(
+                "aspect ratio W/L = {ratio:.3} outside manufacturable range"
+            )));
+        }
+        Ok(Self {
+            w: w_um * 1e-6,
+            l: l_um * 1e-6,
+        })
+    }
+
+    /// Creates a geometry from [`Length`] quantities.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Geometry::new_um`].
+    pub fn new(w: Length, l: Length) -> Result<Self, GeometryError> {
+        Self::new_um(w.micrometers(), l.micrometers())
+    }
+
+    /// Channel width.
+    #[must_use]
+    pub fn w(&self) -> Length {
+        Length::new(self.w)
+    }
+
+    /// Channel length.
+    #[must_use]
+    pub fn l(&self) -> Length {
+        Length::new(self.l)
+    }
+
+    /// Channel width in micrometers.
+    #[must_use]
+    pub fn w_um(&self) -> f64 {
+        self.w * 1e6
+    }
+
+    /// Channel length in micrometers.
+    #[must_use]
+    pub fn l_um(&self) -> f64 {
+        self.l * 1e6
+    }
+
+    /// Aspect ratio `W/L`.
+    #[must_use]
+    pub fn w_over_l(&self) -> f64 {
+        self.w / self.l
+    }
+
+    /// Gate area `W·L`.
+    #[must_use]
+    pub fn gate_area(&self) -> Area {
+        Area::new(self.w * self.l)
+    }
+
+    /// Returns a geometry with the width scaled by `factor` (length
+    /// unchanged), e.g. for splitting a mirror device into ratioed copies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError`] if the scaled width is invalid.
+    pub fn scaled_width(&self, factor: f64) -> Result<Self, GeometryError> {
+        Self::new_um(self.w_um() * factor, self.l_um())
+    }
+
+    /// Snaps both dimensions up to the given manufacturing grid (µm) and
+    /// enforces the process minima, never shrinking a dimension.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError`] if the snapped geometry is invalid.
+    pub fn snapped(
+        &self,
+        grid_um: f64,
+        min_w_um: f64,
+        min_l_um: f64,
+    ) -> Result<Self, GeometryError> {
+        fn up(value: f64, grid: f64) -> f64 {
+            (value / grid).ceil() * grid
+        }
+        let w = up(self.w_um().max(min_w_um), grid_um);
+        let l = up(self.l_um().max(min_l_um), grid_um);
+        Self::new_um(w, l)
+    }
+}
+
+impl fmt::Display for Geometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1}µ/{:.1}µ", self.w_um(), self.l_um())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_geometry_roundtrips() {
+        let g = Geometry::new_um(50.0, 5.0).unwrap();
+        assert!((g.w_um() - 50.0).abs() < 1e-9);
+        assert!((g.l_um() - 5.0).abs() < 1e-9);
+        assert!((g.w().micrometers() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_nonpositive() {
+        assert!(Geometry::new_um(0.0, 5.0).is_err());
+        assert!(Geometry::new_um(5.0, -1.0).is_err());
+        assert!(Geometry::new_um(f64::NAN, 5.0).is_err());
+        assert!(Geometry::new_um(5.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn rejects_extreme_aspect_ratios() {
+        assert!(Geometry::new_um(1e7, 1.0).is_err());
+        assert!(Geometry::new_um(1.0, 1000.0).is_err());
+    }
+
+    #[test]
+    fn scaled_width() {
+        let g = Geometry::new_um(10.0, 5.0).unwrap();
+        let g2 = g.scaled_width(3.0).unwrap();
+        assert!((g2.w_um() - 30.0).abs() < 1e-9);
+        assert!((g2.l_um() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapping_rounds_up_and_enforces_minima() {
+        let g = Geometry::new_um(7.3, 4.1).unwrap();
+        let s = g.snapped(0.5, 5.0, 5.0).unwrap();
+        assert!((s.w_um() - 7.5).abs() < 1e-9);
+        assert!((s.l_um() - 5.0).abs() < 1e-9);
+        // Never shrinks.
+        assert!(s.w_um() >= g.w_um());
+        assert!(s.l_um() >= g.l_um());
+    }
+
+    #[test]
+    fn display_shows_both_dimensions() {
+        let g = Geometry::new_um(50.0, 5.0).unwrap();
+        assert_eq!(g.to_string(), "50.0µ/5.0µ");
+    }
+
+    #[test]
+    fn error_display_mentions_cause() {
+        let err = Geometry::new_um(-1.0, 5.0).unwrap_err();
+        assert!(err.to_string().contains("positive"));
+    }
+}

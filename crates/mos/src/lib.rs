@@ -1,0 +1,46 @@
+//! Level-1 (square-law) MOSFET device model for the OASYS reproduction.
+//!
+//! OASYS sizes devices from the classical square-law equations informed by
+//! the process parameters of Table 1. This crate provides the model in both
+//! directions:
+//!
+//! * **Forward** ([`model`], [`smallsignal`]): given geometry and terminal
+//!   voltages, compute the operating [`Region`], drain current, small-signal
+//!   parameters (`gm`, `gds`, `gmb`) and Meyer-style capacitances — the
+//!   same model the `oasys-sim` simulator stamps into its MNA matrices.
+//! * **Inverse** ([`sizing`]): given electrical targets (`gm`, `I_D`,
+//!   overdrive), compute the `W/L` the synthesis plans need.
+//!
+//! Both directions share one set of equations, so a design sized by the
+//! inverse equations measures back correctly under the forward model — the
+//! property the paper verifies with SPICE and that our integration tests
+//! verify against `oasys-sim`.
+//!
+//! # Examples
+//!
+//! ```
+//! use oasys_mos::{Geometry, Mosfet};
+//! use oasys_process::{builtin, Polarity};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let process = builtin::cmos_5um();
+//! let geometry = Geometry::new_um(50.0, 5.0)?;
+//! let m = Mosfet::new(Polarity::Nmos, geometry, &process);
+//!
+//! // NMOS in saturation: Vgs = 2 V, Vds = 3 V, Vsb = 0.
+//! let op = m.operating_point(2.0, 3.0, 0.0);
+//! assert!(op.region().is_saturation());
+//! assert!(op.id() > 0.0);
+//! assert!(op.gm() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+mod geometry;
+pub mod model;
+pub mod sizing;
+pub mod smallsignal;
+
+pub use geometry::{Geometry, GeometryError};
+pub use model::{Mosfet, OperatingPoint, Region};
+pub use smallsignal::Capacitances;

@@ -1,0 +1,205 @@
+//! Inverse square-law design equations.
+//!
+//! These are the relationships OASYS plan steps manipulate numerically when
+//! translating electrical targets into device sizes. All functions work
+//! with magnitudes in SI units (`gm` in siemens, `id` in amperes, `kprime`
+//! in A/V², voltages in volts) and are polarity-agnostic: callers pass
+//! magnitudes and apply signs themselves.
+//!
+//! The governing saturation relations:
+//!
+//! ```text
+//! I_D  = ½ K' (W/L) V_ov²          gm = K' (W/L) V_ov = 2 I_D / V_ov
+//! gm   = √(2 K' (W/L) I_D)         V_ov = √(2 I_D / (K' (W/L)))
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! use oasys_mos::sizing;
+//!
+//! // A 100 µS transconductance at 20 µA needs Vov = 0.4 V …
+//! let vov = sizing::vov_from_gm_id(100e-6, 20e-6);
+//! assert!((vov - 0.4).abs() < 1e-12);
+//! // … which with K' = 25 µA/V² needs W/L = 10.
+//! let wl = sizing::w_over_l_from_gm_id(100e-6, 20e-6, 25e-6);
+//! assert!((wl - 10.0).abs() < 1e-9);
+//! ```
+
+/// Asserts that a design-equation input is positive and finite.
+///
+/// These equations sit inside synthesis plan steps; a non-positive argument
+/// always indicates an upstream plan bug, so failing fast with a named
+/// argument beats propagating NaN.
+macro_rules! check_positive {
+    ($($name:ident),+) => {
+        $(assert!(
+            $name > 0.0 && $name.is_finite(),
+            concat!("sizing: `", stringify!($name), "` must be positive and finite, got {}"),
+            $name
+        );)+
+    };
+}
+
+/// Required aspect ratio for a target transconductance at a given drain
+/// current: `W/L = gm² / (2 K' I_D)`.
+///
+/// # Panics
+///
+/// Panics if any argument is non-positive or non-finite.
+#[must_use]
+pub fn w_over_l_from_gm_id(gm: f64, id: f64, kprime: f64) -> f64 {
+    check_positive!(gm, id, kprime);
+    gm * gm / (2.0 * kprime * id)
+}
+
+/// Required aspect ratio for a target current at a given overdrive:
+/// `W/L = 2 I_D / (K' V_ov²)`.
+///
+/// # Panics
+///
+/// Panics if any argument is non-positive or non-finite.
+#[must_use]
+pub fn w_over_l_from_id_vov(id: f64, vov: f64, kprime: f64) -> f64 {
+    check_positive!(id, vov, kprime);
+    2.0 * id / (kprime * vov * vov)
+}
+
+/// Gate overdrive implied by a transconductance and current:
+/// `V_ov = 2 I_D / gm`.
+///
+/// # Panics
+///
+/// Panics if any argument is non-positive or non-finite.
+#[must_use]
+pub fn vov_from_gm_id(gm: f64, id: f64) -> f64 {
+    check_positive!(gm, id);
+    2.0 * id / gm
+}
+
+/// Transconductance of a device with aspect ratio `wl` carrying `id`:
+/// `gm = √(2 K' (W/L) I_D)`.
+///
+/// # Panics
+///
+/// Panics if any argument is non-positive or non-finite.
+#[must_use]
+pub fn gm_from_wl_id(wl: f64, id: f64, kprime: f64) -> f64 {
+    check_positive!(wl, id, kprime);
+    (2.0 * kprime * wl * id).sqrt()
+}
+
+/// Saturation drain current of a device with aspect ratio `wl` at
+/// overdrive `vov`: `I_D = ½ K' (W/L) V_ov²` (λ → 0).
+///
+/// # Panics
+///
+/// Panics if any argument is non-positive or non-finite.
+#[must_use]
+pub fn id_from_wl_vov(wl: f64, vov: f64, kprime: f64) -> f64 {
+    check_positive!(wl, vov, kprime);
+    0.5 * kprime * wl * vov * vov
+}
+
+/// Overdrive of a device with aspect ratio `wl` carrying `id`:
+/// `V_ov = √(2 I_D / (K' (W/L)))`.
+///
+/// # Panics
+///
+/// Panics if any argument is non-positive or non-finite.
+#[must_use]
+pub fn vov_from_wl_id(wl: f64, id: f64, kprime: f64) -> f64 {
+    check_positive!(wl, id, kprime);
+    (2.0 * id / (kprime * wl)).sqrt()
+}
+
+/// Small-signal output resistance of a saturated device:
+/// `r_o = 1 / (λ I_D)`.
+///
+/// # Panics
+///
+/// Panics if any argument is non-positive or non-finite.
+#[must_use]
+pub fn rout_from_lambda_id(lambda: f64, id: f64) -> f64 {
+    check_positive!(lambda, id);
+    1.0 / (lambda * id)
+}
+
+/// Intrinsic voltage gain of a single saturated device driving its own
+/// output resistance: `a_v = gm·r_o = gm / (λ I_D) = 2 / (λ V_ov)`.
+///
+/// # Panics
+///
+/// Panics if any argument is non-positive or non-finite.
+#[must_use]
+pub fn intrinsic_gain(lambda: f64, vov: f64) -> f64 {
+    check_positive!(lambda, vov);
+    2.0 / (lambda * vov)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const K: f64 = 25e-6;
+
+    #[test]
+    fn forward_inverse_consistency_gm() {
+        let (id, vov) = (20e-6, 0.5);
+        let wl = w_over_l_from_id_vov(id, vov, K);
+        let gm = gm_from_wl_id(wl, id, K);
+        // gm should equal 2 id / vov.
+        assert!((gm - 2.0 * id / vov).abs() < 1e-12);
+        // And inverting via gm gives the same W/L.
+        let wl2 = w_over_l_from_gm_id(gm, id, K);
+        assert!((wl / wl2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn forward_inverse_consistency_vov() {
+        let (wl, id) = (10.0, 20e-6);
+        let vov = vov_from_wl_id(wl, id, K);
+        let id_back = id_from_wl_vov(wl, vov, K);
+        assert!((id_back / id - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vov_from_gm_id_basic() {
+        assert!((vov_from_gm_id(100e-6, 25e-6) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rout_and_intrinsic_gain() {
+        let lambda = 0.02;
+        let id = 10e-6;
+        let ro = rout_from_lambda_id(lambda, id);
+        assert!((ro - 5e6).abs() < 1.0);
+        // a_v = gm·ro with gm = 2id/vov.
+        let vov = 0.25;
+        let av = intrinsic_gain(lambda, vov);
+        let gm = 2.0 * id / vov;
+        assert!((av / (gm * ro) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "`gm` must be positive")]
+    fn rejects_nonpositive_gm() {
+        let _ = w_over_l_from_gm_id(0.0, 1e-6, K);
+    }
+
+    #[test]
+    #[should_panic(expected = "`vov` must be positive")]
+    fn rejects_nan_vov() {
+        let _ = w_over_l_from_id_vov(1e-6, f64::NAN, K);
+    }
+
+    #[test]
+    fn monotonicity() {
+        // More gm at fixed current needs a bigger device.
+        assert!(w_over_l_from_gm_id(200e-6, 20e-6, K) > w_over_l_from_gm_id(100e-6, 20e-6, K));
+        // More current at fixed overdrive needs a bigger device.
+        assert!(w_over_l_from_id_vov(40e-6, 0.5, K) > w_over_l_from_id_vov(20e-6, 0.5, K));
+        // Lower overdrive at fixed current needs a bigger device.
+        assert!(w_over_l_from_id_vov(20e-6, 0.25, K) > w_over_l_from_id_vov(20e-6, 0.5, K));
+    }
+}

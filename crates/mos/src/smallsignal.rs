@@ -1,0 +1,221 @@
+//! Meyer-style terminal capacitances.
+//!
+//! The synthesis plans and the AC simulator both need the parasitic
+//! capacitances each device adds to its terminals. The classical Meyer
+//! partition of the gate-oxide capacitance is used, plus overlap terms and
+//! zero-bias junction capacitances on drain and source:
+//!
+//! | Region      | Cgs (intrinsic) | Cgd (intrinsic) | Cgb (intrinsic) |
+//! |-------------|-----------------|-----------------|-----------------|
+//! | Cutoff      | 0               | 0               | `W·L·Cox`       |
+//! | Triode      | `½·W·L·Cox`     | `½·W·L·Cox`     | 0               |
+//! | Saturation  | `⅔·W·L·Cox`     | 0               | 0               |
+//!
+//! Junction capacitances use the zero-bias values (a small overestimate for
+//! reverse-biased junctions — conservative for bandwidth predictions).
+
+use crate::model::{Mosfet, OperatingPoint, Region};
+use oasys_units::Capacitance;
+use serde::{Deserialize, Serialize};
+
+/// The five terminal capacitances of a biased MOSFET, farads.
+///
+/// # Examples
+///
+/// ```
+/// use oasys_mos::{Geometry, Mosfet};
+/// use oasys_process::{builtin, Polarity};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let p = builtin::cmos_5um();
+/// let m = Mosfet::new(Polarity::Nmos, Geometry::new_um(50.0, 5.0)?, &p);
+/// let op = m.operating_point(2.0, 4.0, 0.0);
+/// let c = m.capacitances(&op);
+/// // In saturation Cgs dominates Cgd (only overlap remains on the drain).
+/// assert!(c.cgs().farads() > c.cgd().farads());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct Capacitances {
+    cgs: f64,
+    cgd: f64,
+    cgb: f64,
+    cdb: f64,
+    csb: f64,
+}
+
+impl Capacitances {
+    /// Evaluates the capacitances of `mosfet` at bias point `op`.
+    #[must_use]
+    pub fn evaluate(mosfet: &Mosfet, op: &OperatingPoint) -> Self {
+        let g = mosfet.geometry();
+        let w = g.w().meters();
+        let l = g.l().meters();
+        let cox_total = w * l * mosfet.cox();
+        let ov_gs = w * mosfet.cgdo();
+        let ov_gd = w * mosfet.cgdo();
+        let ov_gb = l * mosfet.cgbo();
+
+        let (mut cgs, mut cgd, cgb) = match op.region() {
+            Region::Cutoff => (ov_gs, ov_gd, cox_total + ov_gb),
+            Region::Triode => (0.5 * cox_total + ov_gs, 0.5 * cox_total + ov_gd, ov_gb),
+            Region::Saturation => (2.0 / 3.0 * cox_total + ov_gs, ov_gd, ov_gb),
+        };
+        if op.is_reversed() {
+            std::mem::swap(&mut cgs, &mut cgd);
+        }
+
+        // Drain/source junctions: bottom plate (W × diffusion width) plus
+        // sidewall around the perimeter.
+        let dw = mosfet.diff_width();
+        let bottom = w * dw * mosfet.cj();
+        let sidewall = 2.0 * (w + dw) * mosfet.cjsw();
+        let cj_term = bottom + sidewall;
+
+        Self {
+            cgs,
+            cgd,
+            cgb,
+            cdb: cj_term,
+            csb: cj_term,
+        }
+    }
+
+    /// Gate-source capacitance.
+    #[must_use]
+    pub fn cgs(&self) -> Capacitance {
+        Capacitance::new(self.cgs)
+    }
+
+    /// Gate-drain capacitance.
+    #[must_use]
+    pub fn cgd(&self) -> Capacitance {
+        Capacitance::new(self.cgd)
+    }
+
+    /// Gate-bulk capacitance.
+    #[must_use]
+    pub fn cgb(&self) -> Capacitance {
+        Capacitance::new(self.cgb)
+    }
+
+    /// Drain-bulk junction capacitance.
+    #[must_use]
+    pub fn cdb(&self) -> Capacitance {
+        Capacitance::new(self.cdb)
+    }
+
+    /// Source-bulk junction capacitance.
+    #[must_use]
+    pub fn csb(&self) -> Capacitance {
+        Capacitance::new(self.csb)
+    }
+
+    /// Total capacitance seen looking into the gate with drain, source and
+    /// bulk at AC ground.
+    #[must_use]
+    pub fn gate_total(&self) -> Capacitance {
+        Capacitance::new(self.cgs + self.cgd + self.cgb)
+    }
+
+    /// Total capacitance the device hangs on its drain node (junction plus
+    /// gate-drain), with the gate at AC ground.
+    #[must_use]
+    pub fn drain_total(&self) -> Capacitance {
+        Capacitance::new(self.cdb + self.cgd)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Geometry;
+    use oasys_process::{builtin, Polarity};
+
+    fn device() -> Mosfet {
+        Mosfet::new(
+            Polarity::Nmos,
+            Geometry::new_um(50.0, 5.0).unwrap(),
+            &builtin::cmos_5um(),
+        )
+    }
+
+    #[test]
+    fn saturation_partition() {
+        let m = device();
+        let op = m.operating_point(2.0, 4.0, 0.0);
+        let c = m.capacitances(&op);
+        let cox_total = 50e-6 * 5e-6 * m.cox();
+        // Cgs ≈ 2/3 CoxWL + overlap.
+        assert!(c.cgs().farads() > 2.0 / 3.0 * cox_total);
+        // Overlap adds ~15% of CoxWL on top of the 2/3 partition.
+        assert!(c.cgs().farads() < 0.9 * cox_total);
+        // Cgd is overlap only (~0.15 CoxWL).
+        assert!(c.cgd().farads() < 0.2 * cox_total);
+    }
+
+    #[test]
+    fn triode_splits_gate_cap_evenly() {
+        let m = device();
+        let op = m.operating_point(3.0, 0.1, 0.0);
+        let c = m.capacitances(&op);
+        assert!((c.cgs().farads() / c.cgd().farads() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cutoff_puts_gate_cap_to_bulk() {
+        let m = device();
+        let op = m.operating_point(0.0, 1.0, 0.0);
+        let c = m.capacitances(&op);
+        let cox_total = 50e-6 * 5e-6 * m.cox();
+        assert!(c.cgb().farads() >= cox_total);
+        assert!(c.cgs().farads() < 0.2 * cox_total);
+    }
+
+    #[test]
+    fn junction_caps_scale_with_width() {
+        let p = builtin::cmos_5um();
+        let narrow = Mosfet::new(Polarity::Nmos, Geometry::new_um(10.0, 5.0).unwrap(), &p);
+        let wide = Mosfet::new(Polarity::Nmos, Geometry::new_um(100.0, 5.0).unwrap(), &p);
+        let op_n = narrow.operating_point(2.0, 4.0, 0.0);
+        let op_w = wide.operating_point(2.0, 4.0, 0.0);
+        assert!(
+            wide.capacitances(&op_w).cdb().farads() > narrow.capacitances(&op_n).cdb().farads()
+        );
+    }
+
+    #[test]
+    fn reversal_swaps_cgs_cgd() {
+        let m = device();
+        let fwd = m.operating_point(3.0, 1.0, 0.0);
+        let rev = m.operating_point(2.0, -1.0, 1.0);
+        assert!(rev.is_reversed());
+        let cf = m.capacitances(&fwd);
+        let cr = m.capacitances(&rev);
+        assert!((cf.cgs().farads() - cr.cgd().farads()).abs() < 1e-18);
+        assert!((cf.cgd().farads() - cr.cgs().farads()).abs() < 1e-18);
+    }
+
+    #[test]
+    fn totals_are_sums() {
+        let m = device();
+        let op = m.operating_point(2.0, 4.0, 0.0);
+        let c = m.capacitances(&op);
+        let gt = c.gate_total().farads();
+        assert!((gt - (c.cgs().farads() + c.cgd().farads() + c.cgb().farads())).abs() < 1e-20);
+        let dt = c.drain_total().farads();
+        assert!((dt - (c.cdb().farads() + c.cgd().farads())).abs() < 1e-20);
+    }
+
+    #[test]
+    fn all_capacitances_nonnegative() {
+        let m = device();
+        for (vgs, vds) in [(0.0, 0.0), (2.0, 4.0), (3.0, 0.1), (0.5, 2.0)] {
+            let op = m.operating_point(vgs, vds, 0.0);
+            let c = m.capacitances(&op);
+            for cap in [c.cgs(), c.cgd(), c.cgb(), c.cdb(), c.csb()] {
+                assert!(cap.farads() >= 0.0);
+            }
+        }
+    }
+}

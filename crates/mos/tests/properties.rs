@@ -1,0 +1,147 @@
+//! Property-based tests on the device model: physical invariants of the
+//! square law and consistency between forward evaluation and the inverse
+//! sizing equations.
+
+use oasys_mos::{sizing, Geometry, Mosfet};
+use oasys_process::{builtin, Polarity};
+use proptest::prelude::*;
+
+fn device(w: f64, l: f64, polarity: Polarity) -> Mosfet {
+    Mosfet::new(
+        polarity,
+        Geometry::new_um(w, l).expect("strategy stays in range"),
+        &builtin::cmos_5um(),
+    )
+}
+
+proptest! {
+    /// Current is monotone in V_GS at fixed V_DS (NMOS frame).
+    #[test]
+    fn id_monotone_in_vgs(
+        w in 5.0..500.0f64,
+        l in 5.0..20.0f64,
+        vgs in 0.0..4.0f64,
+        dv in 0.01..1.0f64,
+        vds in 0.05..5.0f64,
+    ) {
+        let m = device(w, l, Polarity::Nmos);
+        let lo = m.operating_point(vgs, vds, 0.0).id();
+        let hi = m.operating_point(vgs + dv, vds, 0.0).id();
+        prop_assert!(hi >= lo);
+    }
+
+    /// Current is monotone in V_DS at fixed V_GS (λ > 0 keeps it strict
+    /// in saturation too).
+    #[test]
+    fn id_monotone_in_vds(
+        w in 5.0..500.0f64,
+        vgs in 1.2..4.0f64,
+        vds in 0.0..4.0f64,
+        dv in 0.01..1.0f64,
+    ) {
+        let m = device(w, 5.0, Polarity::Nmos);
+        let lo = m.operating_point(vgs, vds, 0.0).id();
+        let hi = m.operating_point(vgs, vds + dv, 0.0).id();
+        prop_assert!(hi >= lo);
+    }
+
+    /// Current scales exactly linearly with W at fixed L.
+    #[test]
+    fn id_linear_in_width(
+        w in 5.0..200.0f64,
+        k in 1.5..5.0f64,
+        vgs in 1.2..4.0f64,
+        vds in 0.1..5.0f64,
+    ) {
+        let narrow = device(w, 5.0, Polarity::Nmos);
+        let wide = device(w * k, 5.0, Polarity::Nmos);
+        let a = narrow.operating_point(vgs, vds, 0.0).id();
+        let b = wide.operating_point(vgs, vds, 0.0).id();
+        prop_assert!((b / a / k - 1.0).abs() < 1e-9);
+    }
+
+    /// Body bias never increases the current (it raises the threshold).
+    #[test]
+    fn body_effect_reduces_current(
+        vgs in 1.2..4.0f64,
+        vds in 0.5..4.0f64,
+        vsb in 0.01..4.0f64,
+    ) {
+        let m = device(50.0, 5.0, Polarity::Nmos);
+        let base = m.operating_point(vgs, vds, 0.0).id();
+        let bodied = m.operating_point(vgs, vds, vsb).id();
+        prop_assert!(bodied <= base);
+    }
+
+    /// PMOS mirrors NMOS: evaluating the PMOS at negated voltages gives
+    /// minus the current the equivalent-K' NMOS equations would give, and
+    /// identical conductances.
+    #[test]
+    fn pmos_sign_symmetry(
+        vgs in 0.0..4.0f64,
+        vds in 0.0..4.0f64,
+        vsb in 0.0..2.0f64,
+    ) {
+        let p = device(50.0, 5.0, Polarity::Pmos);
+        let fwd = p.operating_point(-vgs, -vds, -vsb);
+        prop_assert!(fwd.id() <= 0.0);
+        prop_assert!(fwd.gm() >= 0.0);
+        prop_assert!(fwd.gds() >= 0.0);
+    }
+
+    /// Inverse sizing closes the loop: size a device for (gm, id), bias
+    /// it at the implied overdrive, and the forward model returns the
+    /// same current within the λ correction.
+    #[test]
+    fn sizing_forward_consistency(
+        gm_ua in 10.0..1000.0f64,
+        id_ua in 2.0..200.0f64,
+    ) {
+        let gm = gm_ua * 1e-6;
+        let id = id_ua * 1e-6;
+        let vov = sizing::vov_from_gm_id(gm, id);
+        prop_assume!(vov > 0.05 && vov < 2.0);
+        let process = builtin::cmos_5um();
+        let kprime = process.nmos().kprime();
+        let wl = sizing::w_over_l_from_gm_id(gm, id, kprime);
+        prop_assume!((0.05..5000.0).contains(&wl));
+
+        let l_um = 10.0;
+        let w_um = (wl * l_um).clamp(1.0, 40_000.0);
+        prop_assume!((w_um / l_um / wl - 1.0).abs() < 1e-9);
+        let m = Mosfet::new(
+            Polarity::Nmos,
+            Geometry::new_um(w_um, l_um).unwrap(),
+            &process,
+        );
+        let vgs = process.nmos().vth().volts() + vov;
+        // Deep saturation, λ correction bounded by λ·vds.
+        let vds = vov + 1.0;
+        let op = m.operating_point(vgs, vds, 0.0);
+        let lambda = process.nmos().lambda(l_um);
+        let expected = id * (1.0 + lambda * vds);
+        prop_assert!(
+            (op.id() / expected - 1.0).abs() < 1e-6,
+            "sized for {id:.3e} A, measured {:.3e} A", op.id()
+        );
+    }
+
+    /// Capacitances are non-negative and the gate total bounds each part.
+    #[test]
+    fn capacitances_sane(
+        w in 5.0..500.0f64,
+        l in 5.0..20.0f64,
+        vgs in -1.0..4.0f64,
+        vds in 0.0..5.0f64,
+    ) {
+        let m = device(w, l, Polarity::Nmos);
+        let op = m.operating_point(vgs, vds, 0.0);
+        let c = m.capacitances(&op);
+        let total = c.gate_total().farads();
+        for part in [c.cgs(), c.cgd(), c.cgb()] {
+            prop_assert!(part.farads() >= 0.0);
+            prop_assert!(part.farads() <= total + 1e-20);
+        }
+        prop_assert!(c.cdb().farads() > 0.0);
+    }
+}

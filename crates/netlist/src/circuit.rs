@@ -1,0 +1,460 @@
+//! The [`Circuit`] container and its builder API.
+
+use crate::element::{
+    Capacitor, Element, ElementId, Isource, MosInstance, Resistor, SourceValue, Vsource,
+};
+use crate::node::NodeId;
+use crate::validate::{self, ValidateError};
+use oasys_mos::Geometry;
+use oasys_process::Polarity;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A flat transistor-level netlist over interned named nodes.
+///
+/// Nodes are created (or looked up) by name with [`Circuit::node`]; the
+/// names `"0"`, `"gnd"` and `"ground"` alias the ground node. Element
+/// names must be unique within the circuit; the `add_*` methods return
+/// [`ValidateError::DuplicateName`] otherwise.
+///
+/// # Examples
+///
+/// ```
+/// use oasys_netlist::{Circuit, SourceValue};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut c = Circuit::new("divider");
+/// let top = c.node("top");
+/// let mid = c.node("mid");
+/// let gnd = c.ground();
+/// c.add_vsource("V1", top, gnd, SourceValue::dc(10.0))?;
+/// c.add_resistor("R1", top, mid, 1e3)?;
+/// c.add_resistor("R2", mid, gnd, 1e3)?;
+/// c.validate()?;
+/// assert_eq!(c.node_count(), 3); // ground, top, mid
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Circuit {
+    title: String,
+    node_names: Vec<String>,
+    node_lookup: HashMap<String, NodeId>,
+    elements: Vec<Element>,
+    element_lookup: HashMap<String, ElementId>,
+    ports: Vec<(String, NodeId)>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit containing only the ground node.
+    #[must_use]
+    pub fn new(title: impl Into<String>) -> Self {
+        let mut node_lookup = HashMap::new();
+        node_lookup.insert("0".to_owned(), NodeId::GROUND);
+        Self {
+            title: title.into(),
+            node_names: vec!["0".to_owned()],
+            node_lookup,
+            elements: Vec::new(),
+            element_lookup: HashMap::new(),
+            ports: Vec::new(),
+        }
+    }
+
+    /// The circuit title.
+    #[must_use]
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The ground node.
+    #[must_use]
+    pub fn ground(&self) -> NodeId {
+        NodeId::GROUND
+    }
+
+    /// Interns a node name, creating the node on first use. The names
+    /// `"0"`, `"gnd"` and `"ground"` (case-insensitive) return ground.
+    pub fn node(&mut self, name: impl AsRef<str>) -> NodeId {
+        let key = name.as_ref().to_lowercase();
+        if key == "0" || key == "gnd" || key == "ground" {
+            return NodeId::GROUND;
+        }
+        if let Some(&id) = self.node_lookup.get(&key) {
+            return id;
+        }
+        let id = NodeId(self.node_names.len() as u32);
+        self.node_names.push(key.clone());
+        self.node_lookup.insert(key, id);
+        id
+    }
+
+    /// Looks up an existing node by name without creating it.
+    #[must_use]
+    pub fn find_node(&self, name: &str) -> Option<NodeId> {
+        let key = name.to_lowercase();
+        if key == "0" || key == "gnd" || key == "ground" {
+            return Some(NodeId::GROUND);
+        }
+        self.node_lookup.get(&key).copied()
+    }
+
+    /// The name of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` did not come from this circuit.
+    #[must_use]
+    pub fn node_name(&self, node: NodeId) -> &str {
+        &self.node_names[node.index()]
+    }
+
+    /// Number of nodes including ground.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// Declares a node as an externally visible port with a label
+    /// (e.g. `"out"`). Ports are reported in exports and exempt from the
+    /// single-connection validation warning.
+    pub fn mark_port(&mut self, label: impl Into<String>, node: NodeId) {
+        self.ports.push((label.into(), node));
+    }
+
+    /// The declared ports, in declaration order.
+    #[must_use]
+    pub fn ports(&self) -> &[(String, NodeId)] {
+        &self.ports
+    }
+
+    /// Finds a port node by its label.
+    #[must_use]
+    pub fn port(&self, label: &str) -> Option<NodeId> {
+        self.ports.iter().find(|(l, _)| l == label).map(|&(_, n)| n)
+    }
+
+    fn push(&mut self, element: Element) -> Result<ElementId, ValidateError> {
+        let name = element.name().to_owned();
+        if self.element_lookup.contains_key(&name) {
+            return Err(ValidateError::DuplicateName(name));
+        }
+        let id = ElementId(self.elements.len() as u32);
+        self.element_lookup.insert(name, id);
+        self.elements.push(element);
+        Ok(id)
+    }
+
+    /// Adds a MOSFET.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValidateError::DuplicateName`] if `name` is taken.
+    // A MOSFET inherently has four terminals plus identity; a params
+    // struct would only obscure the call sites.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_mosfet(
+        &mut self,
+        name: impl Into<String>,
+        polarity: Polarity,
+        geometry: Geometry,
+        drain: NodeId,
+        gate: NodeId,
+        source: NodeId,
+        bulk: NodeId,
+    ) -> Result<ElementId, ValidateError> {
+        self.push(Element::Mos(MosInstance {
+            name: name.into(),
+            polarity,
+            geometry,
+            drain,
+            gate,
+            source,
+            bulk,
+        }))
+    }
+
+    /// Adds a resistor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValidateError::DuplicateName`] if `name` is taken, or
+    /// [`ValidateError::BadValue`] if `ohms` is not strictly positive.
+    pub fn add_resistor(
+        &mut self,
+        name: impl Into<String>,
+        a: NodeId,
+        b: NodeId,
+        ohms: f64,
+    ) -> Result<ElementId, ValidateError> {
+        let name = name.into();
+        if !(ohms > 0.0 && ohms.is_finite()) {
+            return Err(ValidateError::BadValue {
+                element: name,
+                detail: format!("resistance must be positive and finite, got {ohms}"),
+            });
+        }
+        self.push(Element::Resistor(Resistor { name, a, b, ohms }))
+    }
+
+    /// Adds a capacitor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValidateError::DuplicateName`] if `name` is taken, or
+    /// [`ValidateError::BadValue`] if `farads` is not strictly positive.
+    pub fn add_capacitor(
+        &mut self,
+        name: impl Into<String>,
+        a: NodeId,
+        b: NodeId,
+        farads: f64,
+    ) -> Result<ElementId, ValidateError> {
+        let name = name.into();
+        if !(farads > 0.0 && farads.is_finite()) {
+            return Err(ValidateError::BadValue {
+                element: name,
+                detail: format!("capacitance must be positive and finite, got {farads}"),
+            });
+        }
+        self.push(Element::Capacitor(Capacitor { name, a, b, farads }))
+    }
+
+    /// Adds an independent voltage source from `pos` to `neg`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValidateError::DuplicateName`] if `name` is taken, or
+    /// [`ValidateError::BadValue`] for a source shorted onto one node.
+    pub fn add_vsource(
+        &mut self,
+        name: impl Into<String>,
+        pos: NodeId,
+        neg: NodeId,
+        value: SourceValue,
+    ) -> Result<ElementId, ValidateError> {
+        let name = name.into();
+        if pos == neg {
+            return Err(ValidateError::BadValue {
+                element: name,
+                detail: "voltage source terminals must differ".to_owned(),
+            });
+        }
+        self.push(Element::Vsource(Vsource {
+            name,
+            pos,
+            neg,
+            value,
+        }))
+    }
+
+    /// Adds an independent current source (positive current flows from
+    /// `pos` to `neg` through the source, i.e. it is pulled out of the
+    /// `pos` node).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValidateError::DuplicateName`] if `name` is taken.
+    pub fn add_isource(
+        &mut self,
+        name: impl Into<String>,
+        pos: NodeId,
+        neg: NodeId,
+        value: SourceValue,
+    ) -> Result<ElementId, ValidateError> {
+        self.push(Element::Isource(Isource {
+            name: name.into(),
+            pos,
+            neg,
+            value,
+        }))
+    }
+
+    /// All elements, in insertion order.
+    #[must_use]
+    pub fn elements(&self) -> &[Element] {
+        &self.elements
+    }
+
+    /// Looks up an element by name.
+    #[must_use]
+    pub fn element(&self, name: &str) -> Option<&Element> {
+        self.element_lookup
+            .get(name)
+            .map(|id| &self.elements[id.index()])
+    }
+
+    /// Mutable element lookup by name (e.g. for a DC sweep adjusting a
+    /// source value).
+    pub fn element_mut(&mut self, name: &str) -> Option<&mut Element> {
+        let id = *self.element_lookup.get(name)?;
+        Some(&mut self.elements[id.index()])
+    }
+
+    /// Iterator over all MOSFET instances.
+    pub fn mosfets(&self) -> impl Iterator<Item = &MosInstance> {
+        self.elements.iter().filter_map(|e| match e {
+            Element::Mos(m) => Some(m),
+            _ => None,
+        })
+    }
+
+    /// Iterator over all voltage sources.
+    pub fn vsources(&self) -> impl Iterator<Item = &Vsource> {
+        self.elements.iter().filter_map(|e| match e {
+            Element::Vsource(v) => Some(v),
+            _ => None,
+        })
+    }
+
+    /// Iterator over all current sources.
+    pub fn isources(&self) -> impl Iterator<Item = &Isource> {
+        self.elements.iter().filter_map(|e| match e {
+            Element::Isource(i) => Some(i),
+            _ => None,
+        })
+    }
+
+    /// Sets the DC value of the named source (voltage or current),
+    /// preserving its AC magnitude. Used by DC transfer sweeps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValidateError::UnknownElement`] if no source with that
+    /// name exists or the element is not a source.
+    pub fn set_source_dc(&mut self, name: &str, dc: f64) -> Result<(), ValidateError> {
+        match self.element_mut(name) {
+            Some(Element::Vsource(v)) => {
+                v.value = v.value.with_dc(dc);
+                Ok(())
+            }
+            Some(Element::Isource(i)) => {
+                i.value = i.value.with_dc(dc);
+                Ok(())
+            }
+            _ => Err(ValidateError::UnknownElement(name.to_owned())),
+        }
+    }
+
+    /// Checks structural well-formedness: unique names are enforced at
+    /// insertion; this verifies that every non-port node touches at least
+    /// two element terminals and that something references ground.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ValidateError`] found.
+    pub fn validate(&self) -> Result<(), ValidateError> {
+        validate::validate(self)
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "circuit `{}`: {} nodes, {} elements",
+            self.title,
+            self.node_count(),
+            self.elements.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_interning_and_aliases() {
+        let mut c = Circuit::new("t");
+        let a = c.node("OUT");
+        let b = c.node("out");
+        assert_eq!(a, b);
+        assert_eq!(c.node("gnd"), NodeId::GROUND);
+        assert_eq!(c.node("GROUND"), NodeId::GROUND);
+        assert_eq!(c.node("0"), NodeId::GROUND);
+        assert_eq!(c.node_count(), 2);
+        assert_eq!(c.node_name(a), "out");
+    }
+
+    #[test]
+    fn find_node_does_not_create() {
+        let mut c = Circuit::new("t");
+        assert!(c.find_node("x").is_none());
+        let x = c.node("x");
+        assert_eq!(c.find_node("x"), Some(x));
+        assert_eq!(c.find_node("gnd"), Some(NodeId::GROUND));
+    }
+
+    #[test]
+    fn duplicate_element_names_rejected() {
+        let mut c = Circuit::new("t");
+        let a = c.node("a");
+        c.add_resistor("R1", a, NodeId::GROUND, 1e3).unwrap();
+        let err = c.add_resistor("R1", a, NodeId::GROUND, 2e3).unwrap_err();
+        assert!(matches!(err, ValidateError::DuplicateName(_)));
+    }
+
+    #[test]
+    fn bad_component_values_rejected() {
+        let mut c = Circuit::new("t");
+        let a = c.node("a");
+        assert!(c.add_resistor("R1", a, NodeId::GROUND, 0.0).is_err());
+        assert!(c.add_resistor("R2", a, NodeId::GROUND, -5.0).is_err());
+        assert!(c.add_capacitor("C1", a, NodeId::GROUND, f64::NAN).is_err());
+        assert!(c.add_vsource("V1", a, a, SourceValue::dc(1.0)).is_err());
+    }
+
+    #[test]
+    fn element_lookup_and_iterators() {
+        let mut c = Circuit::new("t");
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_vsource("V1", a, NodeId::GROUND, SourceValue::dc(5.0))
+            .unwrap();
+        c.add_resistor("R1", a, b, 1e3).unwrap();
+        c.add_isource("I1", b, NodeId::GROUND, SourceValue::dc(1e-3))
+            .unwrap();
+        assert!(c.element("R1").is_some());
+        assert!(c.element("R9").is_none());
+        assert_eq!(c.vsources().count(), 1);
+        assert_eq!(c.isources().count(), 1);
+        assert_eq!(c.mosfets().count(), 0);
+        assert_eq!(c.elements().len(), 3);
+    }
+
+    #[test]
+    fn set_source_dc_preserves_ac() {
+        let mut c = Circuit::new("t");
+        let a = c.node("a");
+        c.add_vsource("VIN", a, NodeId::GROUND, SourceValue::new(1.0, 1.0))
+            .unwrap();
+        c.set_source_dc("VIN", 2.0).unwrap();
+        match c.element("VIN").unwrap() {
+            Element::Vsource(v) => {
+                assert_eq!(v.value.dc_value(), 2.0);
+                assert_eq!(v.value.ac(), 1.0);
+            }
+            _ => unreachable!(),
+        }
+        assert!(c.set_source_dc("NOPE", 1.0).is_err());
+    }
+
+    #[test]
+    fn ports() {
+        let mut c = Circuit::new("t");
+        let out = c.node("out");
+        c.mark_port("out", out);
+        assert_eq!(c.port("out"), Some(out));
+        assert_eq!(c.port("in"), None);
+        assert_eq!(c.ports().len(), 1);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let c = Circuit::new("amp");
+        let s = c.to_string();
+        assert!(s.contains("amp"));
+        assert!(s.contains("1 nodes"));
+    }
+}

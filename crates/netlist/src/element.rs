@@ -1,0 +1,220 @@
+//! Circuit elements.
+
+use crate::node::NodeId;
+use oasys_mos::Geometry;
+use oasys_process::Polarity;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Handle to an element within its owning [`crate::Circuit`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct ElementId(pub(crate) u32);
+
+impl ElementId {
+    /// The raw index into the circuit's element list.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ElementId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// DC and AC magnitudes of an independent source.
+///
+/// The AC magnitude is the small-signal stimulus amplitude used by AC
+/// analysis (conventionally 1 for the input under test, 0 elsewhere).
+///
+/// # Examples
+///
+/// ```
+/// use oasys_netlist::SourceValue;
+/// let bias = SourceValue::dc(5.0);
+/// assert_eq!(bias.dc_value(), 5.0);
+/// assert_eq!(bias.ac(), 0.0);
+/// let stim = SourceValue::new(0.0, 1.0);
+/// assert_eq!(stim.ac(), 1.0);
+/// ```
+#[derive(Clone, Copy, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct SourceValue {
+    dc: f64,
+    ac: f64,
+}
+
+impl SourceValue {
+    /// A source with both DC and AC magnitudes.
+    #[must_use]
+    pub fn new(dc: f64, ac: f64) -> Self {
+        Self { dc, ac }
+    }
+
+    /// A pure DC source (AC magnitude zero).
+    #[must_use]
+    pub fn dc(dc: f64) -> Self {
+        Self { dc, ac: 0.0 }
+    }
+
+    /// The DC magnitude. Named `dc` on the type; this getter avoids
+    /// colliding with the constructor by taking `self`.
+    #[must_use]
+    pub fn dc_value(&self) -> f64 {
+        self.dc
+    }
+
+    /// The AC stimulus magnitude.
+    #[must_use]
+    pub fn ac(&self) -> f64 {
+        self.ac
+    }
+
+    /// Returns a copy with a different DC magnitude (used by DC sweeps).
+    #[must_use]
+    pub fn with_dc(self, dc: f64) -> Self {
+        Self { dc, ac: self.ac }
+    }
+}
+
+/// A MOSFET instance: polarity, geometry and the four terminal nodes.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct MosInstance {
+    /// Instance name, e.g. `"M1"`.
+    pub name: String,
+    /// Channel polarity.
+    pub polarity: Polarity,
+    /// Drawn geometry.
+    pub geometry: Geometry,
+    /// Drain node.
+    pub drain: NodeId,
+    /// Gate node.
+    pub gate: NodeId,
+    /// Source node.
+    pub source: NodeId,
+    /// Bulk node.
+    pub bulk: NodeId,
+}
+
+/// A linear resistor.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Resistor {
+    /// Instance name, e.g. `"R1"`.
+    pub name: String,
+    /// First terminal.
+    pub a: NodeId,
+    /// Second terminal.
+    pub b: NodeId,
+    /// Resistance in ohms (strictly positive).
+    pub ohms: f64,
+}
+
+/// A linear capacitor.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Capacitor {
+    /// Instance name, e.g. `"CC"`.
+    pub name: String,
+    /// First terminal.
+    pub a: NodeId,
+    /// Second terminal.
+    pub b: NodeId,
+    /// Capacitance in farads (strictly positive).
+    pub farads: f64,
+}
+
+/// An independent voltage source from `pos` to `neg`.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Vsource {
+    /// Instance name, e.g. `"VDD"`.
+    pub name: String,
+    /// Positive terminal.
+    pub pos: NodeId,
+    /// Negative terminal.
+    pub neg: NodeId,
+    /// DC and AC magnitudes.
+    pub value: SourceValue,
+}
+
+/// An independent current source pushing current from `pos` through the
+/// external circuit into `neg` (SPICE convention: positive current flows
+/// from `pos` to `neg` *through the source*).
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Isource {
+    /// Instance name, e.g. `"IBIAS"`.
+    pub name: String,
+    /// Terminal the positive current enters.
+    pub pos: NodeId,
+    /// Terminal the positive current leaves.
+    pub neg: NodeId,
+    /// DC and AC magnitudes.
+    pub value: SourceValue,
+}
+
+/// Any circuit element.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub enum Element {
+    /// A MOSFET.
+    Mos(MosInstance),
+    /// A resistor.
+    Resistor(Resistor),
+    /// A capacitor.
+    Capacitor(Capacitor),
+    /// An independent voltage source.
+    Vsource(Vsource),
+    /// An independent current source.
+    Isource(Isource),
+}
+
+impl Element {
+    /// The instance name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        match self {
+            Element::Mos(m) => &m.name,
+            Element::Resistor(r) => &r.name,
+            Element::Capacitor(c) => &c.name,
+            Element::Vsource(v) => &v.name,
+            Element::Isource(i) => &i.name,
+        }
+    }
+
+    /// All terminal nodes of this element, in declaration order.
+    #[must_use]
+    pub fn terminals(&self) -> Vec<NodeId> {
+        match self {
+            Element::Mos(m) => vec![m.drain, m.gate, m.source, m.bulk],
+            Element::Resistor(r) => vec![r.a, r.b],
+            Element::Capacitor(c) => vec![c.a, c.b],
+            Element::Vsource(v) => vec![v.pos, v.neg],
+            Element::Isource(i) => vec![i.pos, i.neg],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_value_accessors() {
+        let s = SourceValue::new(2.5, 1.0);
+        assert_eq!(s.dc_value(), 2.5);
+        assert_eq!(s.ac(), 1.0);
+        let swept = s.with_dc(3.0);
+        assert_eq!(swept.dc_value(), 3.0);
+        assert_eq!(swept.ac(), 1.0);
+    }
+
+    #[test]
+    fn element_terminals_order() {
+        let r = Element::Resistor(Resistor {
+            name: "R1".into(),
+            a: NodeId(1),
+            b: NodeId(2),
+            ohms: 1e3,
+        });
+        assert_eq!(r.terminals(), vec![NodeId(1), NodeId(2)]);
+        assert_eq!(r.name(), "R1");
+    }
+}

@@ -1,0 +1,50 @@
+//! Transistor-level circuit representation for the OASYS reproduction.
+//!
+//! OASYS emits *sized transistor schematics*. This crate is the machine
+//! representation of those schematics: a flat netlist of MOSFETs,
+//! resistors, capacitors and sources over interned named nodes, with
+//!
+//! * a builder-style construction API on [`Circuit`],
+//! * connectivity validation ([`Circuit::validate`]),
+//! * SPICE-deck export ([`spice::to_spice`]) — the paper's Figure 5
+//!   schematics in machine-readable form, directly simulable, and
+//! * a human-readable device table ([`report::device_table`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use oasys_netlist::{Circuit, SourceValue};
+//! use oasys_mos::Geometry;
+//! use oasys_process::Polarity;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut c = Circuit::new("common-source");
+//! let vdd = c.node("vdd");
+//! let out = c.node("out");
+//! let inp = c.node("in");
+//! let gnd = c.ground();
+//!
+//! c.add_vsource("VDD", vdd, gnd, SourceValue::dc(5.0))?;
+//! c.add_vsource("VIN", inp, gnd, SourceValue::new(1.5, 1.0))?;
+//! c.add_resistor("RL", vdd, out, 100e3)?;
+//! c.add_mosfet("M1", Polarity::Nmos, Geometry::new_um(50.0, 5.0)?, out, inp, gnd, gnd)?;
+//!
+//! assert_eq!(c.mosfets().count(), 1);
+//! c.validate()?;
+//! # Ok(())
+//! # }
+//! ```
+
+mod circuit;
+mod element;
+mod node;
+pub mod report;
+pub mod spice;
+mod validate;
+
+pub use circuit::Circuit;
+pub use element::{
+    Capacitor, Element, ElementId, Isource, MosInstance, Resistor, SourceValue, Vsource,
+};
+pub use node::NodeId;
+pub use validate::ValidateError;

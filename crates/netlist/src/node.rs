@@ -1,0 +1,61 @@
+//! Node identifiers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An interned circuit node.
+///
+/// Node 0 is always ground. Obtain ids from [`crate::Circuit::node`];
+/// ids are only meaningful within the circuit that created them.
+///
+/// # Examples
+///
+/// ```
+/// use oasys_netlist::{Circuit, NodeId};
+/// let mut c = Circuit::new("t");
+/// assert_eq!(c.ground(), NodeId::GROUND);
+/// let n = c.node("out");
+/// assert!(!n.is_ground());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The ground (reference) node, index 0.
+    pub const GROUND: NodeId = NodeId(0);
+
+    /// Returns `true` if this is the ground node.
+    #[must_use]
+    pub fn is_ground(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The raw index, usable for matrix addressing (ground is 0).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ground_is_index_zero() {
+        assert_eq!(NodeId::GROUND.index(), 0);
+        assert!(NodeId::GROUND.is_ground());
+        assert!(!NodeId(3).is_ground());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(NodeId(4).to_string(), "n4");
+    }
+}

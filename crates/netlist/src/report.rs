@@ -1,0 +1,169 @@
+//! Human-readable circuit reports.
+//!
+//! [`device_table`] renders the sized-schematic view a designer reads:
+//! one row per element with terminals and sizes — the textual equivalent
+//! of the paper's Figure 5 schematics.
+
+use crate::circuit::Circuit;
+use crate::element::Element;
+use oasys_units::eng;
+
+/// Renders an aligned ASCII table of every element in the circuit.
+///
+/// # Examples
+///
+/// ```
+/// use oasys_netlist::{report, Circuit, SourceValue};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut c = Circuit::new("divider");
+/// let a = c.node("a");
+/// let gnd = c.ground();
+/// c.add_vsource("V1", a, gnd, SourceValue::dc(5.0))?;
+/// c.add_resistor("R1", a, gnd, 1e3)?;
+/// let table = report::device_table(&c);
+/// assert!(table.contains("R1"));
+/// assert!(table.contains("1.00 kΩ"));
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn device_table(circuit: &Circuit) -> String {
+    let mut rows: Vec<[String; 4]> = Vec::new();
+    rows.push([
+        "name".to_owned(),
+        "kind".to_owned(),
+        "nodes".to_owned(),
+        "value".to_owned(),
+    ]);
+
+    let name_of = |n: crate::NodeId| circuit.node_name(n).to_owned();
+
+    for element in circuit.elements() {
+        let row = match element {
+            Element::Mos(m) => [
+                m.name.clone(),
+                format!("{}", m.polarity),
+                format!(
+                    "d={} g={} s={} b={}",
+                    name_of(m.drain),
+                    name_of(m.gate),
+                    name_of(m.source),
+                    name_of(m.bulk)
+                ),
+                format!("W/L = {}", m.geometry),
+            ],
+            Element::Resistor(r) => [
+                r.name.clone(),
+                "res".to_owned(),
+                format!("{} {}", name_of(r.a), name_of(r.b)),
+                eng(r.ohms, "Ω"),
+            ],
+            Element::Capacitor(c) => [
+                c.name.clone(),
+                "cap".to_owned(),
+                format!("{} {}", name_of(c.a), name_of(c.b)),
+                eng(c.farads, "F"),
+            ],
+            Element::Vsource(v) => [
+                v.name.clone(),
+                "vsrc".to_owned(),
+                format!("{} {}", name_of(v.pos), name_of(v.neg)),
+                format!(
+                    "{} dc{}",
+                    eng(v.value.dc_value(), "V"),
+                    if v.value.ac() != 0.0 { " +ac" } else { "" }
+                ),
+            ],
+            Element::Isource(i) => [
+                i.name.clone(),
+                "isrc".to_owned(),
+                format!("{} {}", name_of(i.pos), name_of(i.neg)),
+                format!(
+                    "{} dc{}",
+                    eng(i.value.dc_value(), "A"),
+                    if i.value.ac() != 0.0 { " +ac" } else { "" }
+                ),
+            ],
+        };
+        rows.push(row);
+    }
+
+    render_table(circuit.title(), &rows)
+}
+
+fn render_table(title: &str, rows: &[[String; 4]]) -> String {
+    let mut widths = [0usize; 4];
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let mut out = format!("=== {title} ===\n");
+    for (idx, row) in rows.iter().enumerate() {
+        let line: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(i, cell)| format!("{cell:<width$}", width = widths[i]))
+            .collect();
+        out.push_str(&line.join("  "));
+        out.push('\n');
+        if idx == 0 {
+            let total: usize = widths.iter().sum::<usize>() + 6;
+            out.push_str(&"-".repeat(total));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::SourceValue;
+    use oasys_mos::Geometry;
+    use oasys_process::Polarity;
+
+    #[test]
+    fn table_lists_every_element() {
+        let mut c = Circuit::new("amp");
+        let vdd = c.node("vdd");
+        let out = c.node("out");
+        let gnd = c.ground();
+        c.add_vsource("VDD", vdd, gnd, SourceValue::dc(5.0))
+            .unwrap();
+        c.add_resistor("RL", vdd, out, 50e3).unwrap();
+        c.add_capacitor("CL", out, gnd, 5e-12).unwrap();
+        c.add_isource("IB", vdd, gnd, SourceValue::dc(20e-6))
+            .unwrap();
+        c.add_mosfet(
+            "M1",
+            Polarity::Pmos,
+            Geometry::new_um(100.0, 5.0).unwrap(),
+            out,
+            out,
+            vdd,
+            vdd,
+        )
+        .unwrap();
+
+        let table = device_table(&c);
+        for name in ["VDD", "RL", "CL", "IB", "M1"] {
+            assert!(table.contains(name), "missing {name} in:\n{table}");
+        }
+        assert!(table.contains("PMOS"));
+        assert!(table.contains("100.0µ/5.0µ"));
+        assert!(table.contains("50.00 kΩ"));
+        assert!(table.contains("5.00 pF"));
+        assert!(table.contains("20.00 µA"));
+    }
+
+    #[test]
+    fn header_separator_present() {
+        let mut c = Circuit::new("t");
+        let a = c.node("a");
+        c.add_resistor("R1", a, c.ground(), 1e3).unwrap();
+        let table = device_table(&c);
+        assert!(table.contains("---"));
+        assert!(table.starts_with("=== t ==="));
+    }
+}

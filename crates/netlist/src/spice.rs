@@ -1,0 +1,243 @@
+//! SPICE-deck export.
+//!
+//! Produces a classic Berkeley-SPICE deck: element cards in insertion
+//! order, `.MODEL` cards derived from the process parameters, and comment
+//! headers listing the declared ports. The deck is the machine-readable
+//! form of the paper's Figure 5 schematics and can be fed to any
+//! level-1-capable SPICE for cross-checking the bundled simulator.
+
+use crate::circuit::Circuit;
+use crate::element::Element;
+use oasys_process::{Polarity, Process};
+
+fn node_card_name(circuit: &Circuit, node: crate::NodeId) -> String {
+    if node.is_ground() {
+        "0".to_owned()
+    } else {
+        circuit.node_name(node).to_owned()
+    }
+}
+
+/// Renders `circuit` as a SPICE deck against `process`.
+///
+/// # Examples
+///
+/// ```
+/// use oasys_netlist::{spice, Circuit, SourceValue};
+/// use oasys_process::builtin;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut c = Circuit::new("divider");
+/// let a = c.node("a");
+/// let gnd = c.ground();
+/// c.add_vsource("V1", a, gnd, SourceValue::dc(5.0))?;
+/// c.add_resistor("R1", a, gnd, 1e3)?;
+/// let deck = spice::to_spice(&c, &builtin::cmos_5um());
+/// assert!(deck.starts_with("* divider"));
+/// assert!(deck.contains("R1 a 0 1000"));
+/// assert!(deck.ends_with(".END\n"));
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn to_spice(circuit: &Circuit, process: &Process) -> String {
+    let mut deck = String::new();
+    deck.push_str(&format!("* {}\n", circuit.title()));
+    deck.push_str(&format!("* process: {}\n", process.name()));
+    if !circuit.ports().is_empty() {
+        let ports: Vec<String> = circuit
+            .ports()
+            .iter()
+            .map(|(label, node)| format!("{label}={}", node_card_name(circuit, *node)))
+            .collect();
+        deck.push_str(&format!("* ports: {}\n", ports.join(" ")));
+    }
+    deck.push('\n');
+
+    for element in circuit.elements() {
+        match element {
+            Element::Mos(m) => {
+                let model = match m.polarity {
+                    Polarity::Nmos => "MODN",
+                    Polarity::Pmos => "MODP",
+                };
+                deck.push_str(&format!(
+                    "{} {} {} {} {} {} W={:.2}U L={:.2}U\n",
+                    m.name,
+                    node_card_name(circuit, m.drain),
+                    node_card_name(circuit, m.gate),
+                    node_card_name(circuit, m.source),
+                    node_card_name(circuit, m.bulk),
+                    model,
+                    m.geometry.w_um(),
+                    m.geometry.l_um(),
+                ));
+            }
+            Element::Resistor(r) => {
+                deck.push_str(&format!(
+                    "{} {} {} {}\n",
+                    r.name,
+                    node_card_name(circuit, r.a),
+                    node_card_name(circuit, r.b),
+                    format_value(r.ohms),
+                ));
+            }
+            Element::Capacitor(c) => {
+                deck.push_str(&format!(
+                    "{} {} {} {}\n",
+                    c.name,
+                    node_card_name(circuit, c.a),
+                    node_card_name(circuit, c.b),
+                    format_value(c.farads),
+                ));
+            }
+            Element::Vsource(v) => {
+                let mut card = format!(
+                    "{} {} {} DC {}",
+                    v.name,
+                    node_card_name(circuit, v.pos),
+                    node_card_name(circuit, v.neg),
+                    format_value(v.value.dc_value()),
+                );
+                if v.value.ac() != 0.0 {
+                    card.push_str(&format!(" AC {}", format_value(v.value.ac())));
+                }
+                card.push('\n');
+                deck.push_str(&card);
+            }
+            Element::Isource(i) => {
+                let mut card = format!(
+                    "{} {} {} DC {}",
+                    i.name,
+                    node_card_name(circuit, i.pos),
+                    node_card_name(circuit, i.neg),
+                    format_value(i.value.dc_value()),
+                );
+                if i.value.ac() != 0.0 {
+                    card.push_str(&format!(" AC {}", format_value(i.value.ac())));
+                }
+                card.push('\n');
+                deck.push_str(&card);
+            }
+        }
+    }
+
+    deck.push('\n');
+    deck.push_str(&model_card(process, Polarity::Nmos));
+    deck.push_str(&model_card(process, Polarity::Pmos));
+    deck.push_str(".END\n");
+    deck
+}
+
+/// One `.MODEL` card in SPICE level-1 syntax. λ is quoted at the process
+/// minimum length; a per-instance λ would need level-2+ syntax.
+fn model_card(process: &Process, polarity: Polarity) -> String {
+    let mos = process.mos(polarity);
+    let (name, mtype) = match polarity {
+        Polarity::Nmos => ("MODN", "NMOS"),
+        Polarity::Pmos => ("MODP", "PMOS"),
+    };
+    let vto = polarity.sign() * mos.vth().volts();
+    let lambda = mos.lambda(process.min_length().micrometers());
+    format!(
+        ".MODEL {name} {mtype} (LEVEL=1 VTO={vto:.3} KP={kp:.3e} LAMBDA={lambda:.4} \
+         GAMMA={gamma:.3} PHI={phi:.3} TOX={tox:.2e} CGDO={cgdo:.3e} CGBO={cgbo:.3e} \
+         CJ={cj:.3e} CJSW={cjsw:.3e} PB={pb:.2})\n",
+        kp = mos.kprime(),
+        gamma = mos.gamma(),
+        phi = mos.phi(),
+        tox = process.tox().meters(),
+        cgdo = process.cgdo(),
+        cgbo = process.cgbo(),
+        cj = mos.cj(),
+        cjsw = mos.cjsw(),
+        pb = process.built_in().volts(),
+    )
+}
+
+/// Formats a value compactly, using scientific notation when it is far
+/// from unity.
+fn format_value(value: f64) -> String {
+    if value == 0.0 {
+        return "0".to_owned();
+    }
+    let magnitude = value.abs();
+    if (1e-3..1e6).contains(&magnitude) {
+        let s = format!("{value}");
+        s
+    } else {
+        format!("{value:.4e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::SourceValue;
+    use oasys_mos::Geometry;
+    use oasys_process::builtin;
+
+    fn sample_circuit() -> Circuit {
+        let mut c = Circuit::new("test amp");
+        let vdd = c.node("vdd");
+        let out = c.node("out");
+        let inp = c.node("in");
+        let gnd = c.ground();
+        c.mark_port("out", out);
+        c.add_vsource("VDD", vdd, gnd, SourceValue::dc(5.0))
+            .unwrap();
+        c.add_vsource("VIN", inp, gnd, SourceValue::new(1.5, 1.0))
+            .unwrap();
+        c.add_resistor("RL", vdd, out, 100e3).unwrap();
+        c.add_capacitor("CL", out, gnd, 5e-12).unwrap();
+        c.add_mosfet(
+            "M1",
+            Polarity::Nmos,
+            Geometry::new_um(50.0, 5.0).unwrap(),
+            out,
+            inp,
+            gnd,
+            gnd,
+        )
+        .unwrap();
+        c.add_isource("IB", vdd, out, SourceValue::dc(1e-6))
+            .unwrap();
+        c
+    }
+
+    #[test]
+    fn deck_contains_all_cards() {
+        let deck = to_spice(&sample_circuit(), &builtin::cmos_5um());
+        for needle in ["VDD vdd 0 DC 5", "RL vdd out 100000", "M1 out in 0 0 MODN"] {
+            assert!(deck.contains(needle), "missing `{needle}` in deck:\n{deck}");
+        }
+        assert!(deck.contains("W=50.00U L=5.00U"));
+        assert!(deck.contains(".MODEL MODN NMOS"));
+        assert!(deck.contains(".MODEL MODP PMOS"));
+        assert!(deck.contains("VTO=-1.000"), "PMOS VTO sign");
+        assert!(deck.ends_with(".END\n"));
+    }
+
+    #[test]
+    fn ac_magnitudes_exported() {
+        let deck = to_spice(&sample_circuit(), &builtin::cmos_5um());
+        assert!(deck.contains("VIN in 0 DC 1.5 AC 1"));
+    }
+
+    #[test]
+    fn small_values_use_scientific_notation() {
+        let deck = to_spice(&sample_circuit(), &builtin::cmos_5um());
+        assert!(deck.contains("CL out 0 5.0000e-12"));
+    }
+
+    #[test]
+    fn ports_listed_in_header() {
+        let deck = to_spice(&sample_circuit(), &builtin::cmos_5um());
+        assert!(deck.contains("* ports: out=out"));
+    }
+
+    #[test]
+    fn ground_prints_as_zero() {
+        let deck = to_spice(&sample_circuit(), &builtin::cmos_5um());
+        assert!(deck.contains("M1 out in 0 0"));
+    }
+}

@@ -1,0 +1,168 @@
+//! Structural netlist validation.
+
+use crate::circuit::Circuit;
+use crate::node::NodeId;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by [`Circuit`](crate::Circuit) construction or
+/// [`Circuit::validate`](crate::Circuit::validate).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateError {
+    /// An element name was used twice.
+    DuplicateName(String),
+    /// An element value is out of range (non-positive resistance, shorted
+    /// source, …).
+    BadValue {
+        /// The offending element name.
+        element: String,
+        /// What was wrong with it.
+        detail: String,
+    },
+    /// A lookup by name failed.
+    UnknownElement(String),
+    /// A non-port node touches fewer than two element terminals.
+    FloatingNode {
+        /// The node's name.
+        node: String,
+    },
+    /// No element references the ground node.
+    NoGroundReference,
+    /// The circuit contains no elements at all.
+    Empty,
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::DuplicateName(name) => {
+                write!(f, "duplicate element name `{name}`")
+            }
+            ValidateError::BadValue { element, detail } => {
+                write!(f, "bad value on `{element}`: {detail}")
+            }
+            ValidateError::UnknownElement(name) => {
+                write!(f, "no such element `{name}`")
+            }
+            ValidateError::FloatingNode { node } => {
+                write!(f, "node `{node}` is floating (fewer than two connections)")
+            }
+            ValidateError::NoGroundReference => {
+                write!(f, "no element references the ground node")
+            }
+            ValidateError::Empty => write!(f, "circuit has no elements"),
+        }
+    }
+}
+
+impl Error for ValidateError {}
+
+/// Runs the structural checks described on
+/// [`Circuit::validate`](crate::Circuit::validate).
+pub(crate) fn validate(circuit: &Circuit) -> Result<(), ValidateError> {
+    if circuit.elements().is_empty() {
+        return Err(ValidateError::Empty);
+    }
+
+    let mut degree = vec![0usize; circuit.node_count()];
+    for element in circuit.elements() {
+        for node in element.terminals() {
+            degree[node.index()] += 1;
+        }
+    }
+
+    // A self-contained circuit must reference ground somewhere; a
+    // subcircuit with declared ports is excited externally and need not.
+    if circuit.ports().is_empty() && degree[NodeId::GROUND.index()] == 0 {
+        return Err(ValidateError::NoGroundReference);
+    }
+
+    let port_nodes: Vec<NodeId> = circuit.ports().iter().map(|&(_, n)| n).collect();
+    for (idx, &d) in degree.iter().enumerate() {
+        let node = NodeId(idx as u32);
+        if node.is_ground() || port_nodes.contains(&node) {
+            continue;
+        }
+        if d < 2 {
+            return Err(ValidateError::FloatingNode {
+                node: circuit.node_name(node).to_owned(),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::SourceValue;
+
+    #[test]
+    fn empty_circuit_rejected() {
+        let c = Circuit::new("t");
+        assert_eq!(c.validate(), Err(ValidateError::Empty));
+    }
+
+    #[test]
+    fn floating_node_detected() {
+        let mut c = Circuit::new("t");
+        let a = c.node("a");
+        let b = c.node("dangling");
+        c.add_vsource("V1", a, c.ground(), SourceValue::dc(1.0))
+            .unwrap();
+        c.add_resistor("R1", a, b, 1e3).unwrap();
+        match c.validate() {
+            Err(ValidateError::FloatingNode { node }) => assert_eq!(node, "dangling"),
+            other => panic!("expected floating-node error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ports_may_have_single_connection() {
+        let mut c = Circuit::new("t");
+        let a = c.node("a");
+        let out = c.node("out");
+        c.mark_port("out", out);
+        c.add_vsource("V1", a, c.ground(), SourceValue::dc(1.0))
+            .unwrap();
+        c.add_resistor("R1", a, out, 1e3).unwrap();
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn no_ground_reference_detected() {
+        let mut c = Circuit::new("t");
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_resistor("R1", a, b, 1e3).unwrap();
+        c.add_resistor("R2", a, b, 2e3).unwrap();
+        assert_eq!(c.validate(), Err(ValidateError::NoGroundReference));
+    }
+
+    #[test]
+    fn well_formed_circuit_passes() {
+        let mut c = Circuit::new("t");
+        let a = c.node("a");
+        c.add_vsource("V1", a, c.ground(), SourceValue::dc(1.0))
+            .unwrap();
+        c.add_resistor("R1", a, c.ground(), 1e3).unwrap();
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn errors_are_displayable() {
+        for err in [
+            ValidateError::DuplicateName("R1".into()),
+            ValidateError::UnknownElement("X".into()),
+            ValidateError::NoGroundReference,
+            ValidateError::Empty,
+            ValidateError::FloatingNode { node: "n".into() },
+            ValidateError::BadValue {
+                element: "C1".into(),
+                detail: "nope".into(),
+            },
+        ] {
+            assert!(!err.to_string().is_empty());
+        }
+    }
+}

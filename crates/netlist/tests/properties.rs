@@ -1,0 +1,123 @@
+//! Property-based tests on the netlist layer: interning, naming,
+//! validation and SPICE-export invariants for randomized circuits.
+
+use oasys_mos::Geometry;
+use oasys_netlist::{spice, Circuit, SourceValue};
+use oasys_process::{builtin, Polarity};
+use proptest::prelude::*;
+
+/// Node-name strategy: mixed-case alphanumerics (the interner folds case).
+fn node_name() -> impl Strategy<Value = String> {
+    "[a-zA-Z][a-zA-Z0-9_]{0,8}".prop_filter("reserved ground aliases", |s| {
+        let lower = s.to_lowercase();
+        lower != "gnd" && lower != "ground"
+    })
+}
+
+proptest! {
+    /// Interning is idempotent and case-insensitive.
+    #[test]
+    fn node_interning_idempotent(names in prop::collection::vec(node_name(), 1..20)) {
+        let mut c = Circuit::new("t");
+        for name in &names {
+            let a = c.node(name);
+            let b = c.node(name.to_uppercase());
+            let c2 = c.node(name.to_lowercase());
+            prop_assert_eq!(a, b);
+            prop_assert_eq!(a, c2);
+        }
+        // Node count equals distinct lowercase names plus ground.
+        let mut distinct: Vec<String> = names.iter().map(|n| n.to_lowercase()).collect();
+        distinct.sort();
+        distinct.dedup();
+        prop_assert_eq!(c.node_count(), distinct.len() + 1);
+    }
+
+    /// Every element added appears exactly once in the SPICE deck, and
+    /// the deck round-trips the device sizes at two-decimal precision.
+    #[test]
+    fn spice_deck_lists_every_element(
+        widths in prop::collection::vec(5.0..500.0f64, 1..10),
+    ) {
+        let process = builtin::cmos_5um();
+        let mut c = Circuit::new("random");
+        let vdd = c.node("vdd");
+        let gnd = c.ground();
+        c.add_vsource("VDD", vdd, gnd, SourceValue::dc(5.0)).unwrap();
+        for (k, &w) in widths.iter().enumerate() {
+            let n = c.node(format!("n{k}"));
+            c.add_mosfet(
+                format!("M{k}"),
+                if k % 2 == 0 { Polarity::Nmos } else { Polarity::Pmos },
+                Geometry::new_um(w, 5.0).unwrap(),
+                n,
+                n,
+                if k % 2 == 0 { gnd } else { vdd },
+                if k % 2 == 0 { gnd } else { vdd },
+            )
+            .unwrap();
+            c.add_resistor(format!("R{k}"), vdd, n, 1e4 * (k + 1) as f64)
+                .unwrap();
+        }
+        let deck = spice::to_spice(&c, &process);
+        for (k, &w) in widths.iter().enumerate() {
+            let card = format!("M{k} ");
+            prop_assert_eq!(
+                deck.matches(&card).count(),
+                1,
+                "one card for M{}", k
+            );
+            let width_card = format!("W={w:.2}U");
+            prop_assert!(deck.contains(&width_card), "missing {}", width_card);
+        }
+        prop_assert!(deck.ends_with(".END\n"));
+    }
+
+    /// Duplicate names are rejected no matter the element kind.
+    #[test]
+    fn duplicate_names_rejected(name in "[A-Z][A-Z0-9]{0,6}") {
+        let mut c = Circuit::new("t");
+        let a = c.node("a");
+        let gnd = c.ground();
+        c.add_resistor(&name, a, gnd, 1e3).unwrap();
+        prop_assert!(c.add_resistor(&name, a, gnd, 2e3).is_err());
+        prop_assert!(c.add_capacitor(&name, a, gnd, 1e-12).is_err());
+        prop_assert!(c
+            .add_vsource(&name, a, gnd, SourceValue::dc(1.0))
+            .is_err());
+        prop_assert!(c
+            .add_isource(&name, a, gnd, SourceValue::dc(1.0))
+            .is_err());
+    }
+
+    /// A randomly built star of resistors (every node to ground plus a
+    /// source) always validates.
+    #[test]
+    fn star_circuits_validate(r_values in prop::collection::vec(1.0..1e9f64, 1..12)) {
+        let mut c = Circuit::new("star");
+        let hub = c.node("hub");
+        let gnd = c.ground();
+        c.add_vsource("V", hub, gnd, SourceValue::dc(1.0)).unwrap();
+        for (k, &r) in r_values.iter().enumerate() {
+            c.add_resistor(format!("R{k}"), hub, gnd, r).unwrap();
+        }
+        prop_assert!(c.validate().is_ok());
+    }
+
+    /// Any circuit containing a node touched exactly once (and not a
+    /// port) fails validation with a floating-node error.
+    #[test]
+    fn dangling_node_always_caught(n_good in 1usize..6) {
+        let mut c = Circuit::new("dangle");
+        let hub = c.node("hub");
+        let gnd = c.ground();
+        c.add_vsource("V", hub, gnd, SourceValue::dc(1.0)).unwrap();
+        for k in 0..n_good {
+            c.add_resistor(format!("R{k}"), hub, gnd, 1e3).unwrap();
+        }
+        let lonely = c.node("lonely");
+        c.add_resistor("RD", hub, lonely, 1e3).unwrap();
+        let err = c.validate().unwrap_err();
+        prop_assert!(err.to_string().contains("lonely"));
+    }
+}

@@ -1,0 +1,83 @@
+//! The `oasys` command-line tool: synthesize a sized CMOS op-amp
+//! schematic from a specification file and a technology file.
+//!
+//! ```text
+//! oasys <spec-file> <tech-file> [--out <deck.sp>] [--no-verify]
+//! ```
+//!
+//! Prints the style-selection outcome, the sized device table, and the
+//! spec/predicted/measured datasheet; optionally writes a SPICE deck.
+
+use oasys::{specfile, synthesize, verify, Datasheet};
+use oasys_netlist::{report, spice};
+use oasys_process::techfile;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("oasys: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let mut args = std::env::args().skip(1);
+    let usage = "usage: oasys <spec-file> <tech-file> [--out <deck.sp>] [--no-verify]";
+    let spec_path = args.next().ok_or(usage)?;
+    let tech_path = args.next().ok_or(usage)?;
+    let mut out_path: Option<String> = None;
+    let mut run_verify = true;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--out" => {
+                out_path = Some(args.next().ok_or("--out needs a path")?);
+            }
+            "--no-verify" => run_verify = false,
+            other => return Err(format!("unknown flag `{other}`\n{usage}")),
+        }
+    }
+
+    let spec_text = std::fs::read_to_string(&spec_path).map_err(|e| format!("{spec_path}: {e}"))?;
+    let spec = specfile::parse(&spec_text).map_err(|e| e.to_string())?;
+    let tech_text = std::fs::read_to_string(&tech_path).map_err(|e| format!("{tech_path}: {e}"))?;
+    let process = techfile::parse(&tech_text).map_err(|e| e.to_string())?;
+
+    println!("specification: {spec}");
+    println!("process:       {process}\n");
+
+    let result = synthesize(&spec, &process).map_err(|e| e.to_string())?;
+    println!("{result}");
+    let design = result.selected();
+    if !design.notes().is_empty() {
+        println!("design decisions: {}\n", design.notes().join("; "));
+    }
+    println!("{}", report::device_table(design.circuit()));
+
+    let measured = if run_verify {
+        let verification =
+            verify(design, &process, spec.load().farads()).map_err(|e| e.to_string())?;
+        Some(verification.measured)
+    } else {
+        None
+    };
+    let sheet = Datasheet::new(
+        format!("{} op amp", design.style()),
+        &spec,
+        design.predicted(),
+        measured.as_ref(),
+    );
+    println!("{sheet}");
+    if measured.is_some() && !sheet.all_measured_pass() {
+        println!("!! measured shortfalls: {:?}", sheet.failures());
+    }
+
+    if let Some(path) = out_path {
+        let deck = spice::to_spice(design.circuit(), &process);
+        std::fs::write(&path, deck).map_err(|e| format!("{path}: {e}"))?;
+        println!("SPICE deck written to {path}");
+    }
+    Ok(())
+}

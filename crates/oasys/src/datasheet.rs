@@ -1,0 +1,336 @@
+//! Predicted performance and spec/predicted/measured datasheets.
+
+use crate::spec::OpAmpSpec;
+use crate::verify::Measured;
+use oasys_units::eng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The performance a style plan predicts from its circuit equations —
+/// the "design values" half of the paper's Table 2.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Predicted {
+    /// Open-loop DC gain, dB.
+    pub dc_gain_db: f64,
+    /// Unity-gain frequency, Hz.
+    pub unity_gain_hz: f64,
+    /// Phase margin, degrees.
+    pub phase_margin_deg: f64,
+    /// Slew rate, V/s.
+    pub slew_v_per_s: f64,
+    /// Most negative output the amp can drive linearly, V.
+    pub swing_neg_v: f64,
+    /// Most positive output, V.
+    pub swing_pos_v: f64,
+    /// Systematic input offset magnitude, V.
+    pub offset_v: f64,
+    /// Quiescent power, W.
+    pub power_w: f64,
+    /// Common-mode rejection ratio, dB.
+    pub cmrr_db: f64,
+    /// Input-referred thermal noise density, V/√Hz.
+    pub noise_v_rthz: f64,
+}
+
+impl Predicted {
+    /// Symmetric swing magnitude: `min(|neg|, pos)`.
+    #[must_use]
+    pub fn swing_symmetric(&self) -> f64 {
+        self.swing_neg_v.abs().min(self.swing_pos_v)
+    }
+}
+
+impl fmt::Display for Predicted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "  gain          {:.1} dB", self.dc_gain_db)?;
+        writeln!(f, "  unity-gain f  {}", eng(self.unity_gain_hz, "Hz"))?;
+        writeln!(f, "  phase margin  {:.1}°", self.phase_margin_deg)?;
+        writeln!(f, "  slew rate     {:.2} V/µs", self.slew_v_per_s / 1e6)?;
+        writeln!(
+            f,
+            "  output swing  {:+.2} V … {:+.2} V",
+            self.swing_neg_v, self.swing_pos_v
+        )?;
+        writeln!(f, "  offset        {}", eng(self.offset_v, "V"))?;
+        writeln!(f, "  CMRR          {:.0} dB", self.cmrr_db)?;
+        writeln!(f, "  input noise   {:.0} nV/√Hz", self.noise_v_rthz * 1e9)?;
+        write!(f, "  power         {}", eng(self.power_w, "W"))
+    }
+}
+
+/// A spec / predicted / measured comparison table — one Table 2 column
+/// triple for one test case.
+#[derive(Clone, Debug)]
+pub struct Datasheet {
+    title: String,
+    rows: Vec<Row>,
+}
+
+#[derive(Clone, Debug)]
+struct Row {
+    name: &'static str,
+    spec: String,
+    predicted: String,
+    measured: String,
+    pass: Option<bool>,
+}
+
+impl Datasheet {
+    /// Assembles the comparison for one design.
+    #[must_use]
+    pub fn new(
+        title: impl Into<String>,
+        spec: &OpAmpSpec,
+        predicted: &Predicted,
+        measured: Option<&Measured>,
+    ) -> Self {
+        let mut rows = Vec::new();
+        let fmt_db = |v: f64| format!("{v:.1} dB");
+        let na = || "—".to_owned();
+
+        let m_gain = measured.map(|m| m.dc_gain_db);
+        rows.push(Row {
+            name: "DC gain",
+            spec: format!("≥ {}", fmt_db(spec.dc_gain().db())),
+            predicted: fmt_db(predicted.dc_gain_db),
+            measured: m_gain.map_or_else(na, fmt_db),
+            pass: m_gain.map(|g| g >= spec.dc_gain().db() - 0.5),
+        });
+
+        let m_fu = measured.and_then(|m| m.unity_gain_hz);
+        rows.push(Row {
+            name: "unity-gain freq",
+            spec: format!("≥ {}", eng(spec.unity_gain_freq().hertz(), "Hz")),
+            predicted: eng(predicted.unity_gain_hz, "Hz"),
+            measured: m_fu.map_or_else(na, |v| eng(v, "Hz")),
+            pass: m_fu.map(|v| v >= spec.unity_gain_freq().hertz() * 0.9),
+        });
+
+        let m_pm = measured.and_then(|m| m.phase_margin_deg);
+        rows.push(Row {
+            name: "phase margin",
+            spec: format!("≥ {:.0}°", spec.phase_margin().degrees()),
+            predicted: format!("{:.1}°", predicted.phase_margin_deg),
+            measured: m_pm.map_or_else(na, |v| format!("{v:.1}°")),
+            pass: m_pm.map(|v| v >= spec.phase_margin().degrees() * 0.7),
+        });
+
+        if spec.has_slew() {
+            let m_slew = measured.and_then(|m| m.slew_v_per_s);
+            rows.push(Row {
+                name: "slew rate",
+                spec: format!("≥ {:.1} V/µs", spec.slew_rate().volts_per_microsecond()),
+                predicted: format!("{:.1} V/µs", predicted.slew_v_per_s / 1e6),
+                measured: m_slew.map_or_else(na, |v| format!("{:.1} V/µs", v / 1e6)),
+                // First-cut tolerance: flag only gross (>2×) shortfalls.
+                pass: m_slew.map(|v| v >= spec.slew_rate().volts_per_second() * 0.5),
+            });
+        }
+        if spec.has_swing() {
+            let m_swing = measured.and_then(|m| m.swing_symmetric_v);
+            rows.push(Row {
+                name: "output swing",
+                spec: format!("≥ ±{:.1} V", spec.output_swing().volts()),
+                predicted: format!("±{:.2} V", predicted.swing_symmetric()),
+                measured: m_swing.map_or_else(na, |v| format!("±{v:.2} V")),
+                pass: m_swing.map(|v| v >= spec.output_swing().volts() * 0.9),
+            });
+        }
+        if spec.has_offset() {
+            let m_off = measured.and_then(|m| m.offset_v);
+            rows.push(Row {
+                name: "offset",
+                spec: format!("≤ {}", eng(spec.max_offset().volts(), "V")),
+                predicted: eng(predicted.offset_v, "V"),
+                measured: m_off.map_or_else(na, |v| eng(v.abs(), "V")),
+                pass: m_off.map(|v| v.abs() <= spec.max_offset().volts() * 1.5),
+            });
+        }
+        if spec.has_cmrr() {
+            let m_cmrr = measured.and_then(|m| m.cmrr_db);
+            rows.push(Row {
+                name: "CMRR",
+                spec: format!("≥ {:.0} dB", spec.min_cmrr().db()),
+                predicted: format!("{:.0} dB", predicted.cmrr_db),
+                measured: m_cmrr.map_or_else(na, |v| format!("{v:.0} dB")),
+                pass: m_cmrr.map(|v| v >= spec.min_cmrr().db() - 3.0),
+            });
+        }
+        if spec.has_noise() {
+            let m_noise = measured.and_then(|m| m.noise_v_rthz);
+            rows.push(Row {
+                name: "input noise",
+                spec: format!("≤ {:.0} nV/√Hz", spec.max_noise_v_rthz() * 1e9),
+                predicted: format!("{:.0} nV/√Hz", predicted.noise_v_rthz * 1e9),
+                measured: m_noise.map_or_else(na, |v| format!("{:.0} nV/√Hz", v * 1e9)),
+                pass: m_noise.map(|v| v <= spec.max_noise_v_rthz() * 1.3),
+            });
+        }
+        let m_pow = measured.map(|m| m.power_w);
+        rows.push(Row {
+            name: "power",
+            spec: if spec.has_power() {
+                format!("≤ {}", eng(spec.max_power().watts(), "W"))
+            } else {
+                na()
+            },
+            predicted: eng(predicted.power_w, "W"),
+            measured: m_pow.map_or_else(na, |v| eng(v, "W")),
+            pass: None,
+        });
+
+        Self {
+            title: title.into(),
+            rows,
+        }
+    }
+
+    /// `true` when every measured row with a pass criterion passed.
+    #[must_use]
+    pub fn all_measured_pass(&self) -> bool {
+        self.rows.iter().all(|r| r.pass.unwrap_or(true))
+    }
+
+    /// Names of rows whose measured value missed the spec.
+    #[must_use]
+    pub fn failures(&self) -> Vec<&'static str> {
+        self.rows
+            .iter()
+            .filter(|r| r.pass == Some(false))
+            .map(|r| r.name)
+            .collect()
+    }
+}
+
+impl fmt::Display for Datasheet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "── {} ──", self.title)?;
+        writeln!(
+            f,
+            "{:<16} {:>14} {:>14} {:>14}  ",
+            "parameter", "spec", "predicted", "measured"
+        )?;
+        for row in &self.rows {
+            let mark = match row.pass {
+                Some(true) => "✓",
+                Some(false) => "✗",
+                None => " ",
+            };
+            writeln!(
+                f,
+                "{:<16} {:>14} {:>14} {:>14} {mark}",
+                row.name, row.spec, row.predicted, row.measured
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::test_cases;
+
+    fn predicted() -> Predicted {
+        Predicted {
+            dc_gain_db: 66.0,
+            unity_gain_hz: 600e3,
+            phase_margin_deg: 62.0,
+            slew_v_per_s: 2.5e6,
+            swing_neg_v: -3.4,
+            swing_pos_v: 3.6,
+            offset_v: 2e-3,
+            power_w: 0.4e-3,
+            cmrr_db: 80.0,
+            noise_v_rthz: 60e-9,
+        }
+    }
+
+    #[test]
+    fn swing_symmetric_takes_worse_side() {
+        assert!((predicted().swing_symmetric() - 3.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn datasheet_without_measurement_renders() {
+        let sheet = Datasheet::new("case A", &test_cases::spec_a(), &predicted(), None);
+        let text = sheet.to_string();
+        assert!(text.contains("DC gain"));
+        assert!(text.contains("66.0 dB"));
+        assert!(text.contains("—"));
+        assert!(sheet.all_measured_pass(), "no measurements → vacuous pass");
+    }
+
+    #[test]
+    fn datasheet_flags_failures() {
+        let measured = Measured {
+            dc_gain_db: 50.0, // below the 60 dB spec
+            unity_gain_hz: Some(600e3),
+            phase_margin_deg: Some(50.0),
+            slew_v_per_s: None,
+            swing_symmetric_v: Some(3.4),
+            offset_v: Some(1e-3),
+            power_w: 0.5e-3,
+            cmrr_db: None,
+            noise_v_rthz: None,
+            psrr_db: None,
+        };
+        let sheet = Datasheet::new(
+            "case A",
+            &test_cases::spec_a(),
+            &predicted(),
+            Some(&measured),
+        );
+        assert!(!sheet.all_measured_pass());
+        assert_eq!(sheet.failures(), vec!["DC gain"]);
+        assert!(sheet.to_string().contains('✗'));
+    }
+
+    #[test]
+    fn cmrr_and_noise_rows_appear_when_specified() {
+        let spec = crate::OpAmpSpec::builder()
+            .dc_gain_db(60.0)
+            .unity_gain_mhz(0.5)
+            .phase_margin_deg(45.0)
+            .load_pf(5.0)
+            .min_cmrr_db(70.0)
+            .max_noise_nv_rthz(100.0)
+            .build()
+            .unwrap();
+        let measured = Measured {
+            dc_gain_db: 62.0,
+            unity_gain_hz: Some(600e3),
+            phase_margin_deg: Some(50.0),
+            slew_v_per_s: None,
+            swing_symmetric_v: None,
+            offset_v: None,
+            power_w: 1e-3,
+            cmrr_db: Some(85.0),
+            noise_v_rthz: Some(60e-9),
+            psrr_db: Some(70.0),
+        };
+        let sheet = Datasheet::new("t", &spec, &predicted(), Some(&measured));
+        let text = sheet.to_string();
+        assert!(text.contains("CMRR"), "{text}");
+        assert!(text.contains("85 dB"));
+        assert!(text.contains("input noise"));
+        assert!(text.contains("60 nV/√Hz"));
+        assert!(sheet.all_measured_pass(), "{text}");
+
+        // A failing CMRR measurement is flagged.
+        let bad = Measured {
+            cmrr_db: Some(40.0),
+            ..measured
+        };
+        let sheet = Datasheet::new("t", &spec, &predicted(), Some(&bad));
+        assert_eq!(sheet.failures(), vec!["CMRR"]);
+    }
+
+    #[test]
+    fn predicted_display_mentions_all_quantities() {
+        let text = predicted().to_string();
+        for needle in ["gain", "phase margin", "slew", "swing", "offset", "power"] {
+            assert!(text.contains(needle), "missing {needle}");
+        }
+    }
+}

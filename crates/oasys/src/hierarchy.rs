@@ -1,0 +1,174 @@
+//! The analog design hierarchy (the paper's Figure 1).
+//!
+//! A lightweight tree of named functional blocks, used to express how a
+//! system-level design such as a successive-approximation A/D converter
+//! decomposes into functional blocks, sub-blocks and devices. The paper
+//! stresses that this hierarchy is *not strict*: siblings may differ
+//! wildly in complexity (a sample-and-hold may be three devices while the
+//! comparator next to it has twenty).
+
+use std::fmt;
+
+/// A node in an analog design hierarchy.
+///
+/// # Examples
+///
+/// ```
+/// use oasys::hierarchy::Block;
+/// let adc = Block::new("successive-approximation A/D")
+///     .with_child(Block::new("comparator"))
+///     .with_child(Block::new("D/A converter"));
+/// assert_eq!(adc.children().len(), 2);
+/// assert_eq!(adc.depth(), 2);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Block {
+    name: String,
+    children: Vec<Block>,
+}
+
+impl Block {
+    /// Creates a leaf block.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Adds a child (builder style).
+    #[must_use]
+    pub fn with_child(mut self, child: Block) -> Self {
+        self.children.push(child);
+        self
+    }
+
+    /// The block name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Direct children.
+    #[must_use]
+    pub fn children(&self) -> &[Block] {
+        &self.children
+    }
+
+    /// Number of levels, counting this node (a leaf has depth 1).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        1 + self.children.iter().map(Block::depth).max().unwrap_or(0)
+    }
+
+    /// Total number of blocks in the subtree.
+    #[must_use]
+    pub fn block_count(&self) -> usize {
+        1 + self.children.iter().map(Block::block_count).sum::<usize>()
+    }
+
+    /// Depth-first search for a block by name.
+    #[must_use]
+    pub fn find(&self, name: &str) -> Option<&Block> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+
+    fn render(&self, indent: usize, out: &mut String) {
+        out.push_str(&"  ".repeat(indent));
+        out.push_str(&self.name);
+        out.push('\n');
+        for child in &self.children {
+            child.render(indent + 1, out);
+        }
+    }
+}
+
+impl fmt::Display for Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.render(0, &mut out);
+        f.write_str(&out)
+    }
+}
+
+/// The paper's Figure 1: the hierarchy of a successive-approximation A/D
+/// converter, down to the transistor-group level.
+#[must_use]
+pub fn successive_approximation_adc() -> Block {
+    let op_amp = Block::new("op amp")
+        .with_child(Block::new("differential pair"))
+        .with_child(Block::new("current mirror"))
+        .with_child(Block::new("level shifter"))
+        .with_child(Block::new("transconductance amplifier"));
+    Block::new("successive approximation A/D")
+        .with_child(
+            Block::new("sample-and-hold")
+                .with_child(Block::new("switch"))
+                .with_child(Block::new("hold capacitor"))
+                .with_child(op_amp.clone()),
+        )
+        .with_child(
+            Block::new("comparator")
+                .with_child(Block::new("preamplifier"))
+                .with_child(Block::new("latch")),
+        )
+        .with_child(
+            Block::new("D/A converter")
+                .with_child(Block::new("capacitor array"))
+                .with_child(op_amp),
+        )
+        .with_child(Block::new("successive-approximation register"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_hierarchy_shape() {
+        let adc = successive_approximation_adc();
+        assert_eq!(adc.children().len(), 4);
+        // Four levels: ADC → S/H → op amp → diff pair.
+        assert_eq!(adc.depth(), 4);
+        assert!(adc.block_count() > 10);
+    }
+
+    #[test]
+    fn hierarchy_is_not_strict() {
+        // Siblings at the same level differ in complexity: the S/H has a
+        // deep op-amp subtree, the SAR is a leaf.
+        let adc = successive_approximation_adc();
+        let sh = adc.find("sample-and-hold").unwrap();
+        let sar = adc.find("successive-approximation register").unwrap();
+        assert!(sh.depth() > sar.depth());
+    }
+
+    #[test]
+    fn find_locates_nested_blocks() {
+        let adc = successive_approximation_adc();
+        assert!(adc.find("differential pair").is_some());
+        assert!(adc.find("flux capacitor").is_none());
+    }
+
+    #[test]
+    fn op_amp_subblocks_are_reused() {
+        // The same op-amp template appears under both the S/H and the DAC
+        // — the paper's reuse argument.
+        let adc = successive_approximation_adc();
+        let sh_amp = adc.find("sample-and-hold").unwrap().find("op amp");
+        let dac_amp = adc.find("D/A converter").unwrap().find("op amp");
+        assert_eq!(sh_amp, dac_amp);
+    }
+
+    #[test]
+    fn display_is_indented() {
+        let adc = successive_approximation_adc();
+        let text = adc.to_string();
+        assert!(text.contains("\n  sample-and-hold"));
+        assert!(text.contains("\n    switch") || text.contains("\n      switch"));
+    }
+}

@@ -1,0 +1,553 @@
+//! Op-amp performance specifications (the paper's Table 2 inputs).
+
+use oasys_units::{Capacitance, Decibels, Degrees, Frequency, Power, SlewRate, Voltage};
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a specification is internally inconsistent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecError {
+    message: String,
+}
+
+impl SpecError {
+    fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn new_public(message: impl Into<String>) -> Self {
+        Self::new(message)
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid op-amp specification: {}", self.message)
+    }
+}
+
+impl Error for SpecError {}
+
+/// The performance parameters OASYS designs to (Table 2 of the paper).
+///
+/// Required entries: DC gain, unity-gain frequency, phase margin, and load
+/// capacitance. The rest are optional constraints; when present they are
+/// enforced by the style plans and checked again during verification.
+///
+/// Build with [`OpAmpSpec::builder`].
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OpAmpSpec {
+    /// Minimum open-loop DC gain.
+    pub(crate) dc_gain_db: f64,
+    /// Minimum unity-gain frequency, Hz.
+    pub(crate) unity_gain_hz: f64,
+    /// Minimum phase margin, degrees.
+    pub(crate) phase_margin_deg: f64,
+    /// Load capacitance, F.
+    pub(crate) load_f: f64,
+    /// Minimum slew rate, V/s (0 = unconstrained).
+    pub(crate) slew_v_per_s: f64,
+    /// Minimum symmetric output swing, ±V (0 = unconstrained).
+    pub(crate) swing_v: f64,
+    /// Maximum systematic input offset, V (∞ = unconstrained).
+    pub(crate) offset_v: f64,
+    /// Maximum quiescent power, W (∞ = unconstrained).
+    pub(crate) power_w: f64,
+    /// Minimum common-mode rejection ratio, dB (0 = unconstrained).
+    pub(crate) cmrr_db: f64,
+    /// Maximum input-referred noise density, V/√Hz (∞ = unconstrained).
+    pub(crate) noise_v_rthz: f64,
+}
+
+impl OpAmpSpec {
+    /// Starts a builder.
+    #[must_use]
+    pub fn builder() -> OpAmpSpecBuilder {
+        OpAmpSpecBuilder::default()
+    }
+
+    /// Minimum open-loop DC gain.
+    #[must_use]
+    pub fn dc_gain(&self) -> Decibels {
+        Decibels::new(self.dc_gain_db)
+    }
+
+    /// Minimum open-loop DC gain as a linear voltage ratio.
+    #[must_use]
+    pub fn dc_gain_linear(&self) -> f64 {
+        self.dc_gain().to_voltage_ratio()
+    }
+
+    /// Minimum unity-gain frequency.
+    #[must_use]
+    pub fn unity_gain_freq(&self) -> Frequency {
+        Frequency::new(self.unity_gain_hz)
+    }
+
+    /// Minimum phase margin.
+    #[must_use]
+    pub fn phase_margin(&self) -> Degrees {
+        Degrees::new(self.phase_margin_deg)
+    }
+
+    /// Load capacitance.
+    #[must_use]
+    pub fn load(&self) -> Capacitance {
+        Capacitance::new(self.load_f)
+    }
+
+    /// Minimum slew rate (zero when unconstrained).
+    #[must_use]
+    pub fn slew_rate(&self) -> SlewRate {
+        SlewRate::new(self.slew_v_per_s)
+    }
+
+    /// Minimum symmetric output swing magnitude (zero when
+    /// unconstrained).
+    #[must_use]
+    pub fn output_swing(&self) -> Voltage {
+        Voltage::new(self.swing_v)
+    }
+
+    /// Maximum systematic input offset (infinite when unconstrained).
+    #[must_use]
+    pub fn max_offset(&self) -> Voltage {
+        Voltage::new(self.offset_v)
+    }
+
+    /// Maximum quiescent power (infinite when unconstrained).
+    #[must_use]
+    pub fn max_power(&self) -> Power {
+        Power::new(self.power_w)
+    }
+
+    /// `true` if a slew-rate floor was specified.
+    #[must_use]
+    pub fn has_slew(&self) -> bool {
+        self.slew_v_per_s > 0.0
+    }
+
+    /// `true` if an output-swing floor was specified.
+    #[must_use]
+    pub fn has_swing(&self) -> bool {
+        self.swing_v > 0.0
+    }
+
+    /// `true` if an offset ceiling was specified.
+    #[must_use]
+    pub fn has_offset(&self) -> bool {
+        self.offset_v.is_finite()
+    }
+
+    /// `true` if a power ceiling was specified.
+    #[must_use]
+    pub fn has_power(&self) -> bool {
+        self.power_w.is_finite()
+    }
+
+    /// Minimum common-mode rejection ratio (zero when unconstrained).
+    #[must_use]
+    pub fn min_cmrr(&self) -> Decibels {
+        Decibels::new(self.cmrr_db)
+    }
+
+    /// `true` if a CMRR floor was specified.
+    #[must_use]
+    pub fn has_cmrr(&self) -> bool {
+        self.cmrr_db > 0.0
+    }
+
+    /// Maximum input-referred noise density, V/√Hz (infinite when
+    /// unconstrained).
+    #[must_use]
+    pub fn max_noise_v_rthz(&self) -> f64 {
+        self.noise_v_rthz
+    }
+
+    /// `true` if an input-noise ceiling was specified.
+    #[must_use]
+    pub fn has_noise(&self) -> bool {
+        self.noise_v_rthz.is_finite()
+    }
+
+    /// Returns a copy with a different DC-gain floor (used by the
+    /// Figure 7 gain sweep).
+    #[must_use]
+    pub fn with_dc_gain_db(mut self, db: f64) -> Self {
+        self.dc_gain_db = db;
+        self
+    }
+
+    /// Returns a copy with a different load (used by the Figure 7
+    /// load-comparison sweep).
+    #[must_use]
+    pub fn with_load_pf(mut self, pf: f64) -> Self {
+        self.load_f = pf * 1e-12;
+        self
+    }
+}
+
+impl fmt::Display for OpAmpSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "gain ≥ {}, f_u ≥ {}, PM ≥ {}, C_L = {}",
+            self.dc_gain(),
+            self.unity_gain_freq(),
+            self.phase_margin(),
+            self.load()
+        )?;
+        if self.has_slew() {
+            write!(
+                f,
+                ", SR ≥ {:.1} V/µs",
+                self.slew_rate().volts_per_microsecond()
+            )?;
+        }
+        if self.has_swing() {
+            write!(f, ", swing ≥ ±{}", self.output_swing())?;
+        }
+        if self.has_offset() {
+            write!(f, ", offset ≤ {}", self.max_offset())?;
+        }
+        if self.has_power() {
+            write!(f, ", power ≤ {}", self.max_power())?;
+        }
+        if self.has_cmrr() {
+            write!(f, ", CMRR ≥ {:.0} dB", self.cmrr_db)?;
+        }
+        if self.has_noise() {
+            write!(f, ", noise ≤ {:.0} nV/√Hz", self.noise_v_rthz * 1e9)?;
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`OpAmpSpec`]. Setters use the datasheet units of the
+/// paper's Table 2 (dB, MHz, degrees, pF, V/µs, ±V, mV, mW).
+///
+/// # Examples
+///
+/// ```
+/// use oasys::OpAmpSpec;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let spec = OpAmpSpec::builder()
+///     .dc_gain_db(70.0)
+///     .unity_gain_mhz(1.0)
+///     .phase_margin_deg(60.0)
+///     .load_pf(10.0)
+///     .output_swing_v(3.5)
+///     .max_offset_mv(1.0)
+///     .build()?;
+/// assert!(spec.has_swing());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct OpAmpSpecBuilder {
+    dc_gain_db: Option<f64>,
+    unity_gain_hz: Option<f64>,
+    phase_margin_deg: Option<f64>,
+    load_f: Option<f64>,
+    slew_v_per_s: f64,
+    swing_v: f64,
+    offset_v: f64,
+    power_w: f64,
+    cmrr_db: f64,
+    noise_v_rthz: f64,
+}
+
+impl Default for OpAmpSpecBuilder {
+    fn default() -> Self {
+        Self {
+            dc_gain_db: None,
+            unity_gain_hz: None,
+            phase_margin_deg: None,
+            load_f: None,
+            slew_v_per_s: 0.0,
+            swing_v: 0.0,
+            offset_v: f64::INFINITY,
+            power_w: f64::INFINITY,
+            cmrr_db: 0.0,
+            noise_v_rthz: f64::INFINITY,
+        }
+    }
+}
+
+impl OpAmpSpecBuilder {
+    /// Minimum open-loop DC gain, dB. Required.
+    #[must_use]
+    pub fn dc_gain_db(mut self, db: f64) -> Self {
+        self.dc_gain_db = Some(db);
+        self
+    }
+
+    /// Minimum unity-gain frequency, MHz. Required.
+    #[must_use]
+    pub fn unity_gain_mhz(mut self, mhz: f64) -> Self {
+        self.unity_gain_hz = Some(mhz * 1e6);
+        self
+    }
+
+    /// Minimum phase margin, degrees. Required.
+    #[must_use]
+    pub fn phase_margin_deg(mut self, deg: f64) -> Self {
+        self.phase_margin_deg = Some(deg);
+        self
+    }
+
+    /// Load capacitance, pF. Required.
+    #[must_use]
+    pub fn load_pf(mut self, pf: f64) -> Self {
+        self.load_f = Some(pf * 1e-12);
+        self
+    }
+
+    /// Minimum slew rate, V/µs.
+    #[must_use]
+    pub fn slew_rate_v_per_us(mut self, v_per_us: f64) -> Self {
+        self.slew_v_per_s = v_per_us * 1e6;
+        self
+    }
+
+    /// Minimum symmetric output swing, ±V.
+    #[must_use]
+    pub fn output_swing_v(mut self, volts: f64) -> Self {
+        self.swing_v = volts;
+        self
+    }
+
+    /// Maximum systematic input offset, mV.
+    #[must_use]
+    pub fn max_offset_mv(mut self, mv: f64) -> Self {
+        self.offset_v = mv * 1e-3;
+        self
+    }
+
+    /// Maximum quiescent power, mW.
+    #[must_use]
+    pub fn max_power_mw(mut self, mw: f64) -> Self {
+        self.power_w = mw * 1e-3;
+        self
+    }
+
+    /// Minimum common-mode rejection ratio, dB.
+    #[must_use]
+    pub fn min_cmrr_db(mut self, db: f64) -> Self {
+        self.cmrr_db = db;
+        self
+    }
+
+    /// Maximum input-referred noise density, nV/√Hz.
+    #[must_use]
+    pub fn max_noise_nv_rthz(mut self, nv: f64) -> Self {
+        self.noise_v_rthz = nv * 1e-9;
+        self
+    }
+
+    /// Validates and produces the spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] if a required entry is missing or any entry
+    /// is out of its physical range.
+    pub fn build(self) -> Result<OpAmpSpec, SpecError> {
+        let dc_gain_db = self
+            .dc_gain_db
+            .ok_or_else(|| SpecError::new("missing dc gain"))?;
+        let unity_gain_hz = self
+            .unity_gain_hz
+            .ok_or_else(|| SpecError::new("missing unity-gain frequency"))?;
+        let phase_margin_deg = self
+            .phase_margin_deg
+            .ok_or_else(|| SpecError::new("missing phase margin"))?;
+        let load_f = self.load_f.ok_or_else(|| SpecError::new("missing load"))?;
+
+        if !(0.0..=140.0).contains(&dc_gain_db) {
+            return Err(SpecError::new(format!(
+                "dc gain must be in [0, 140] dB, got {dc_gain_db}"
+            )));
+        }
+        if !(unity_gain_hz > 0.0 && unity_gain_hz.is_finite()) {
+            return Err(SpecError::new("unity-gain frequency must be positive"));
+        }
+        if !(0.0..90.0).contains(&phase_margin_deg) {
+            return Err(SpecError::new(format!(
+                "phase margin must be in (0°, 90°), got {phase_margin_deg}"
+            )));
+        }
+        if !(load_f > 0.0 && load_f.is_finite()) {
+            return Err(SpecError::new("load capacitance must be positive"));
+        }
+        if self.slew_v_per_s < 0.0 || !self.slew_v_per_s.is_finite() {
+            return Err(SpecError::new("slew rate must be non-negative"));
+        }
+        if self.swing_v < 0.0 || !self.swing_v.is_finite() {
+            return Err(SpecError::new("output swing must be non-negative"));
+        }
+        if self.offset_v <= 0.0 {
+            return Err(SpecError::new("offset ceiling must be positive"));
+        }
+        if self.power_w <= 0.0 {
+            return Err(SpecError::new("power ceiling must be positive"));
+        }
+        if self.cmrr_db < 0.0 || !self.cmrr_db.is_finite() {
+            return Err(SpecError::new("cmrr floor must be non-negative"));
+        }
+        if self.noise_v_rthz <= 0.0 {
+            return Err(SpecError::new("noise ceiling must be positive"));
+        }
+
+        Ok(OpAmpSpec {
+            dc_gain_db,
+            unity_gain_hz,
+            phase_margin_deg,
+            load_f,
+            slew_v_per_s: self.slew_v_per_s,
+            swing_v: self.swing_v,
+            offset_v: self.offset_v,
+            power_w: self.power_w,
+            cmrr_db: self.cmrr_db,
+            noise_v_rthz: self.noise_v_rthz,
+        })
+    }
+}
+
+/// The paper's three Table 2 test cases (values chosen to exercise the
+/// same synthesis decisions on the substituted 5 µm process: A → ordinary
+/// one-stage; B → gain/offset/swing force the two-stage; C → 100 dB
+/// forces the cascoded two-stage with a level shifter).
+pub mod test_cases {
+    use super::OpAmpSpec;
+
+    /// Specification A: an ordinary op amp making no unusual demands.
+    #[must_use]
+    pub fn spec_a() -> OpAmpSpec {
+        OpAmpSpec::builder()
+            .dc_gain_db(60.0)
+            .unity_gain_mhz(0.5)
+            .phase_margin_deg(45.0)
+            .load_pf(5.0)
+            .slew_rate_v_per_us(2.0)
+            .output_swing_v(1.2)
+            .build()
+            .expect("test case A is self-consistent")
+    }
+
+    /// Specification B: more gain, a lower offset and a larger output
+    /// swing — impossible for the one-stage style.
+    #[must_use]
+    pub fn spec_b() -> OpAmpSpec {
+        OpAmpSpec::builder()
+            .dc_gain_db(75.0)
+            .unity_gain_mhz(0.5)
+            .phase_margin_deg(45.0)
+            .load_pf(5.0)
+            .slew_rate_v_per_us(2.0)
+            .output_swing_v(4.0)
+            .max_offset_mv(1.0)
+            .build()
+            .expect("test case B is self-consistent")
+    }
+
+    /// Specification C: the aggressive case — 100 dB of gain with a low
+    /// output swing of ±2.5 V.
+    #[must_use]
+    pub fn spec_c() -> OpAmpSpec {
+        OpAmpSpec::builder()
+            .dc_gain_db(100.0)
+            .unity_gain_mhz(0.5)
+            .phase_margin_deg(45.0)
+            .load_pf(5.0)
+            .slew_rate_v_per_us(2.0)
+            .output_swing_v(2.5)
+            .max_offset_mv(1.0)
+            .build()
+            .expect("test case C is self-consistent")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_requires_core_entries() {
+        assert!(OpAmpSpec::builder().build().is_err());
+        assert!(OpAmpSpec::builder()
+            .dc_gain_db(60.0)
+            .unity_gain_mhz(1.0)
+            .phase_margin_deg(60.0)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn builder_validates_ranges() {
+        let base = || {
+            OpAmpSpec::builder()
+                .dc_gain_db(60.0)
+                .unity_gain_mhz(1.0)
+                .phase_margin_deg(60.0)
+                .load_pf(5.0)
+        };
+        assert!(base().build().is_ok());
+        assert!(base().dc_gain_db(200.0).build().is_err());
+        assert!(base().phase_margin_deg(95.0).build().is_err());
+        assert!(base().load_pf(-1.0).build().is_err());
+        assert!(base().slew_rate_v_per_us(-1.0).build().is_err());
+        assert!(base().max_offset_mv(-1.0).build().is_err());
+    }
+
+    #[test]
+    fn optional_flags() {
+        let spec = test_cases::spec_a();
+        assert!(spec.has_slew());
+        assert!(spec.has_swing());
+        assert!(!spec.has_offset());
+        assert!(!spec.has_power());
+        let b = test_cases::spec_b();
+        assert!(b.has_offset());
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let spec = test_cases::spec_a();
+        assert!((spec.unity_gain_freq().megahertz() - 0.5).abs() < 1e-12);
+        assert!((spec.load().picofarads() - 5.0).abs() < 1e-12);
+        assert!((spec.slew_rate().volts_per_microsecond() - 2.0).abs() < 1e-9);
+        assert!((spec.dc_gain_linear() - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn with_modifiers() {
+        let spec = test_cases::spec_a()
+            .with_dc_gain_db(80.0)
+            .with_load_pf(20.0);
+        assert!((spec.dc_gain().db() - 80.0).abs() < 1e-12);
+        assert!((spec.load().picofarads() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn test_cases_ordering() {
+        let (a, b, c) = (
+            test_cases::spec_a(),
+            test_cases::spec_b(),
+            test_cases::spec_c(),
+        );
+        assert!(b.dc_gain() > a.dc_gain());
+        assert!(c.dc_gain() > b.dc_gain());
+        assert!(c.output_swing() < b.output_swing());
+    }
+
+    #[test]
+    fn display_lists_constraints() {
+        let s = test_cases::spec_b().to_string();
+        assert!(s.contains("gain"));
+        assert!(s.contains("offset"));
+        assert!(s.contains("swing"));
+    }
+}

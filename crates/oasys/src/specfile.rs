@@ -1,0 +1,161 @@
+//! Specification files: the op-amp requirements as a `key = value` text
+//! file, mirroring the technology-file format so a whole synthesis run is
+//! reproducible from two plain-text inputs.
+//!
+//! ```text
+//! # case-B-like op amp
+//! dc_gain_db        = 75
+//! unity_gain_mhz    = 0.5
+//! phase_margin_deg  = 45
+//! load_pf           = 5
+//! slew_rate_v_per_us = 2       # optional from here down
+//! output_swing_v    = 4.0
+//! max_offset_mv     = 1.0
+//! max_power_mw      = 5.0
+//! min_cmrr_db       = 60
+//! max_noise_nv_rthz = 200
+//! ```
+
+use crate::spec::{OpAmpSpec, SpecError};
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by [`parse`].
+#[derive(Debug)]
+pub enum ParseSpecError {
+    /// A malformed line (1-based line number and detail).
+    Line {
+        /// Line number.
+        line: usize,
+        /// What was wrong.
+        detail: String,
+    },
+    /// The assembled specification failed validation.
+    Invalid(SpecError),
+}
+
+impl fmt::Display for ParseSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseSpecError::Line { line, detail } => {
+                write!(f, "invalid specification file at line {line}: {detail}")
+            }
+            ParseSpecError::Invalid(e) => write!(f, "invalid specification file: {e}"),
+        }
+    }
+}
+
+impl Error for ParseSpecError {}
+
+/// Parses the `key = value` specification format into an [`OpAmpSpec`].
+///
+/// # Errors
+///
+/// Returns [`ParseSpecError`] for unknown keys, non-numeric values, or a
+/// set of values the [`OpAmpSpec`] builder rejects.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let spec = oasys::specfile::parse(
+///     "dc_gain_db = 60\nunity_gain_mhz = 1\nphase_margin_deg = 55\nload_pf = 5\n",
+/// )?;
+/// assert!((spec.dc_gain().db() - 60.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse(text: &str) -> Result<OpAmpSpec, ParseSpecError> {
+    let mut builder = OpAmpSpec::builder();
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (key, value) = line.split_once('=').ok_or_else(|| ParseSpecError::Line {
+            line: lineno,
+            detail: format!("expected `key = value`, got `{line}`"),
+        })?;
+        let key = key.trim().to_lowercase();
+        let value: f64 = value.trim().parse().map_err(|_| ParseSpecError::Line {
+            line: lineno,
+            detail: format!("value for `{key}` is not a number"),
+        })?;
+        builder = match key.as_str() {
+            "dc_gain_db" => builder.dc_gain_db(value),
+            "unity_gain_mhz" => builder.unity_gain_mhz(value),
+            "phase_margin_deg" => builder.phase_margin_deg(value),
+            "load_pf" => builder.load_pf(value),
+            "slew_rate_v_per_us" => builder.slew_rate_v_per_us(value),
+            "output_swing_v" => builder.output_swing_v(value),
+            "max_offset_mv" => builder.max_offset_mv(value),
+            "max_power_mw" => builder.max_power_mw(value),
+            "min_cmrr_db" => builder.min_cmrr_db(value),
+            "max_noise_nv_rthz" => builder.max_noise_nv_rthz(value),
+            other => {
+                return Err(ParseSpecError::Line {
+                    line: lineno,
+                    detail: format!("unknown key `{other}`"),
+                })
+            }
+        };
+    }
+    builder.build().map_err(ParseSpecError::Invalid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_spec_parses() {
+        let text = "\
+# everything specified
+dc_gain_db         = 75
+unity_gain_mhz     = 0.5
+phase_margin_deg   = 45
+load_pf            = 5
+slew_rate_v_per_us = 2
+output_swing_v     = 4.0
+max_offset_mv      = 1.0
+max_power_mw       = 5.0
+min_cmrr_db        = 60
+max_noise_nv_rthz  = 200
+";
+        let spec = parse(text).unwrap();
+        assert!((spec.dc_gain().db() - 75.0).abs() < 1e-12);
+        assert!(spec.has_slew());
+        assert!(spec.has_swing());
+        assert!(spec.has_offset());
+        assert!(spec.has_power());
+        assert!(spec.has_cmrr());
+        assert!(spec.has_noise());
+    }
+
+    #[test]
+    fn minimal_spec_parses() {
+        let spec =
+            parse("dc_gain_db=60\nunity_gain_mhz=1\nphase_margin_deg=55\nload_pf=5").unwrap();
+        assert!(!spec.has_swing());
+    }
+
+    #[test]
+    fn unknown_key_reports_line() {
+        let err = parse("dc_gain_db = 60\nbogus = 1\n").unwrap_err();
+        assert!(err.to_string().contains("line 2"));
+        assert!(err.to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn non_numeric_value_rejected() {
+        let err = parse("dc_gain_db = sixty\n").unwrap_err();
+        assert!(err.to_string().contains("not a number"));
+    }
+
+    #[test]
+    fn missing_required_entries_rejected() {
+        let err = parse("dc_gain_db = 60\n").unwrap_err();
+        assert!(matches!(err, ParseSpecError::Invalid(_)));
+    }
+}

@@ -1,0 +1,187 @@
+//! Fixed op-amp topology templates and their translation plans.
+//!
+//! Each style module owns (a) a hierarchical template — which sub-blocks
+//! connect where — and (b) the stored plan that translates op-amp
+//! specifications into sub-block specifications, with the patch rules the
+//! paper describes (cascode a stage, skew the gain partition, insert a
+//! level shifter, abort when the style provably cannot meet the spec).
+
+mod folded_cascode;
+mod one_stage;
+mod two_stage;
+
+pub use folded_cascode::design_folded_cascode;
+pub use one_stage::design_one_stage;
+pub use two_stage::design_two_stage;
+
+use crate::datasheet::Predicted;
+use oasys_blocks::AreaEstimate;
+use oasys_netlist::Circuit;
+use oasys_plan::{PlanError, Trace};
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// The op-amp design styles OASYS knows.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum OpAmpStyle {
+    /// One-stage operational transconductance amplifier (5T OTA, with an
+    /// optional cascoded load).
+    OneStageOta,
+    /// Two-stage unbuffered, Miller-compensated op amp (with optional
+    /// cascoding and level shifter).
+    TwoStage,
+    /// Folded-cascode OTA (extension — the paper's stated "immediate
+    /// plan").
+    FoldedCascode,
+}
+
+impl OpAmpStyle {
+    /// All styles, in the order the breadth-first selector tries them.
+    pub const ALL: [OpAmpStyle; 3] = [
+        OpAmpStyle::OneStageOta,
+        OpAmpStyle::TwoStage,
+        OpAmpStyle::FoldedCascode,
+    ];
+}
+
+impl fmt::Display for OpAmpStyle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            OpAmpStyle::OneStageOta => "one-stage OTA",
+            OpAmpStyle::TwoStage => "two-stage",
+            OpAmpStyle::FoldedCascode => "folded cascode",
+        })
+    }
+}
+
+/// A completed style design: the sized schematic plus everything the
+/// selector and the verifier need.
+///
+/// The circuit's declared ports are `inp`, `inn`, `out`, `vdd`, `vss`;
+/// supplies and stimuli are *not* included — the verification harness
+/// adds them.
+#[derive(Clone, Debug)]
+pub struct OpAmpDesign {
+    pub(crate) style: OpAmpStyle,
+    pub(crate) circuit: Circuit,
+    pub(crate) area: AreaEstimate,
+    pub(crate) predicted: Predicted,
+    pub(crate) trace: Trace,
+    pub(crate) notes: Vec<String>,
+}
+
+impl OpAmpDesign {
+    /// The style this design instantiates.
+    #[must_use]
+    pub fn style(&self) -> OpAmpStyle {
+        self.style
+    }
+
+    /// The sized schematic. Ports: `inp`, `inn`, `out`, `vdd`, `vss`.
+    #[must_use]
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// Estimated layout area (active + compensation capacitor), the
+    /// selection criterion.
+    #[must_use]
+    pub fn area(&self) -> AreaEstimate {
+        self.area
+    }
+
+    /// The performance the plan predicts from its circuit equations.
+    #[must_use]
+    pub fn predicted(&self) -> &Predicted {
+        &self.predicted
+    }
+
+    /// The plan-execution trace (the paper's Figure 3 in data form).
+    #[must_use]
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Human-readable design decisions taken by patch rules
+    /// (e.g. `"cascoded first-stage load"`).
+    #[must_use]
+    pub fn notes(&self) -> &[String] {
+        &self.notes
+    }
+
+    /// Number of MOSFETs in the schematic.
+    #[must_use]
+    pub fn device_count(&self) -> usize {
+        self.circuit.mosfets().count()
+    }
+}
+
+impl fmt::Display for OpAmpDesign {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} design: {} devices, area {}",
+            self.style,
+            self.device_count(),
+            self.area
+        )
+    }
+}
+
+/// Why a style could not meet a specification.
+#[derive(Debug, Clone)]
+pub enum StyleError {
+    /// The style's plan failed (carries the trace, which explains where).
+    Plan(PlanError),
+    /// The assembled netlist failed validation — a template bug, not a
+    /// spec problem.
+    Netlist(String),
+}
+
+impl StyleError {
+    /// A one-line reason suitable for the candidate table.
+    #[must_use]
+    pub fn reason(&self) -> String {
+        match self {
+            StyleError::Plan(e) => e.to_string(),
+            StyleError::Netlist(e) => format!("netlist assembly failed: {e}"),
+        }
+    }
+
+    /// The plan trace, when the failure came from plan execution.
+    #[must_use]
+    pub fn trace(&self) -> Option<&Trace> {
+        match self {
+            StyleError::Plan(e) => Some(e.trace()),
+            StyleError::Netlist(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for StyleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.reason())
+    }
+}
+
+impl Error for StyleError {}
+
+impl From<PlanError> for StyleError {
+    fn from(e: PlanError) -> Self {
+        StyleError::Plan(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn style_display() {
+        assert_eq!(OpAmpStyle::OneStageOta.to_string(), "one-stage OTA");
+        assert_eq!(OpAmpStyle::TwoStage.to_string(), "two-stage");
+        assert_eq!(OpAmpStyle::FoldedCascode.to_string(), "folded cascode");
+        assert_eq!(OpAmpStyle::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,222 @@
+//! Breadth-first design-style selection.
+//!
+//! The paper (Section 4.2/4.3): *"We currently attempt to design each
+//! style, and if both can meet the specification, select the one with the
+//! best match to the specifications, biasing the choice in favor of the
+//! design with the smallest estimated area. … Style selection at this
+//! level is … based on breadth-first search. All possible styles are
+//! designed and a selection among successful design styles is made based
+//! on comparison of final parameters such as estimated area."*
+
+use crate::spec::OpAmpSpec;
+use crate::styles::{
+    design_folded_cascode, design_one_stage, design_two_stage, OpAmpDesign, OpAmpStyle, StyleError,
+};
+use oasys_process::Process;
+use std::error::Error;
+use std::fmt;
+
+/// The outcome of attempting one design style.
+#[derive(Debug)]
+pub struct StyleOutcome {
+    style: OpAmpStyle,
+    result: Result<OpAmpDesign, StyleError>,
+}
+
+impl StyleOutcome {
+    /// The style attempted.
+    #[must_use]
+    pub fn style(&self) -> OpAmpStyle {
+        self.style
+    }
+
+    /// The design, if the style succeeded.
+    #[must_use]
+    pub fn design(&self) -> Option<&OpAmpDesign> {
+        self.result.as_ref().ok()
+    }
+
+    /// The rejection reason, if the style failed.
+    #[must_use]
+    pub fn rejection(&self) -> Option<String> {
+        self.result.as_ref().err().map(StyleError::reason)
+    }
+}
+
+/// A completed synthesis: every style outcome plus the selected design.
+#[derive(Debug)]
+pub struct Synthesis {
+    outcomes: Vec<StyleOutcome>,
+    selected: usize,
+}
+
+impl Synthesis {
+    /// The selected (smallest-area feasible) design.
+    #[must_use]
+    pub fn selected(&self) -> &OpAmpDesign {
+        self.outcomes[self.selected]
+            .design()
+            .expect("selected index points at a success")
+    }
+
+    /// Every style attempt, in trial order.
+    #[must_use]
+    pub fn outcomes(&self) -> &[StyleOutcome] {
+        &self.outcomes
+    }
+
+    /// The number of styles that could meet the spec.
+    #[must_use]
+    pub fn feasible_count(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.design().is_some())
+            .count()
+    }
+}
+
+impl fmt::Display for Synthesis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "synthesis outcome:")?;
+        for (idx, outcome) in self.outcomes.iter().enumerate() {
+            let marker = if idx == self.selected { "→" } else { " " };
+            match outcome.design() {
+                Some(d) => writeln!(
+                    f,
+                    " {marker} {}: feasible, area {}",
+                    outcome.style(),
+                    d.area()
+                )?,
+                None => writeln!(
+                    f,
+                    " {marker} {}: rejected — {}",
+                    outcome.style(),
+                    outcome.rejection().unwrap_or_default()
+                )?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Error returned when no style can meet the specification.
+#[derive(Debug)]
+pub struct SynthesisError {
+    /// Per-style rejection reasons.
+    rejections: Vec<(OpAmpStyle, String)>,
+}
+
+impl SynthesisError {
+    /// Per-style rejection reasons.
+    #[must_use]
+    pub fn rejections(&self) -> &[(OpAmpStyle, String)] {
+        &self.rejections
+    }
+}
+
+impl fmt::Display for SynthesisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "no design style meets the specification:")?;
+        for (style, reason) in &self.rejections {
+            write!(f, " [{style}: {reason}]")?;
+        }
+        Ok(())
+    }
+}
+
+impl Error for SynthesisError {}
+
+/// Designs every known style for `spec` on `process` and selects the
+/// feasible design with the smallest estimated area.
+///
+/// # Errors
+///
+/// Returns [`SynthesisError`] (with every style's rejection reason) when
+/// no style can meet the spec.
+///
+/// # Examples
+///
+/// See the crate-level example.
+pub fn synthesize(spec: &OpAmpSpec, process: &Process) -> Result<Synthesis, SynthesisError> {
+    let outcomes: Vec<StyleOutcome> = OpAmpStyle::ALL
+        .iter()
+        .map(|&style| {
+            let result = match style {
+                OpAmpStyle::OneStageOta => design_one_stage(spec, process),
+                OpAmpStyle::TwoStage => design_two_stage(spec, process),
+                OpAmpStyle::FoldedCascode => design_folded_cascode(spec, process),
+            };
+            StyleOutcome { style, result }
+        })
+        .collect();
+
+    let selected = outcomes
+        .iter()
+        .enumerate()
+        .filter_map(|(idx, o)| o.design().map(|d| (idx, d.area().total_um2())))
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("areas are finite"))
+        .map(|(idx, _)| idx);
+
+    match selected {
+        Some(selected) => Ok(Synthesis { outcomes, selected }),
+        None => Err(SynthesisError {
+            rejections: outcomes
+                .into_iter()
+                .map(|o| {
+                    let style = o.style();
+                    (style, o.rejection().unwrap_or_default())
+                })
+                .collect(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::test_cases;
+    use oasys_process::builtin;
+
+    #[test]
+    fn case_a_selects_one_stage_on_area() {
+        let result = synthesize(&test_cases::spec_a(), &builtin::cmos_5um()).unwrap();
+        assert_eq!(result.selected().style(), OpAmpStyle::OneStageOta);
+        // The one-stage wins on area among multiple feasible styles.
+        assert!(result.feasible_count() >= 2, "{result}");
+    }
+
+    #[test]
+    fn case_b_selects_two_stage() {
+        let result = synthesize(&test_cases::spec_b(), &builtin::cmos_5um()).unwrap();
+        assert_eq!(result.selected().style(), OpAmpStyle::TwoStage);
+        assert_eq!(result.feasible_count(), 1);
+        // The one-stage rejection is recorded.
+        let rejection = result.outcomes()[0].rejection().unwrap();
+        assert!(!rejection.is_empty());
+    }
+
+    #[test]
+    fn case_c_selects_complex_two_stage() {
+        let result = synthesize(&test_cases::spec_c(), &builtin::cmos_5um()).unwrap();
+        let d = result.selected();
+        assert_eq!(d.style(), OpAmpStyle::TwoStage);
+        assert!(d.notes().iter().any(|n| n.contains("level shifter")));
+    }
+
+    #[test]
+    fn impossible_spec_reports_all_rejections() {
+        let spec = test_cases::spec_a().with_dc_gain_db(139.0);
+        let err = synthesize(&spec, &builtin::cmos_5um()).unwrap_err();
+        assert_eq!(err.rejections().len(), OpAmpStyle::ALL.len());
+        assert!(err.to_string().contains("one-stage"));
+        assert!(err.to_string().contains("two-stage"));
+        assert!(err.to_string().contains("folded"));
+    }
+
+    #[test]
+    fn display_marks_selection() {
+        let result = synthesize(&test_cases::spec_a(), &builtin::cmos_5um()).unwrap();
+        let text = result.to_string();
+        assert!(text.contains('→'));
+    }
+}

@@ -1,0 +1,75 @@
+//! End-to-end tests of the `oasys` command-line binary.
+
+use std::process::Command;
+
+fn repo_root() -> std::path::PathBuf {
+    // crates/oasys → workspace root.
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists")
+}
+
+#[test]
+fn cli_synthesizes_the_example_spec() {
+    let root = repo_root();
+    let deck_path = std::env::temp_dir().join("oasys_cli_test_deck.sp");
+    let output = Command::new(env!("CARGO_BIN_EXE_oasys"))
+        .current_dir(&root)
+        .args([
+            "data/example-spec.txt",
+            "data/generic-5um.tech",
+            "--out",
+            deck_path.to_str().unwrap(),
+            "--no-verify",
+        ])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert!(stdout.contains("two-stage"), "{stdout}");
+    assert!(stdout.contains("DC gain"));
+    let deck = std::fs::read_to_string(&deck_path).unwrap();
+    assert!(deck.contains(".MODEL MODN NMOS"));
+    let _ = std::fs::remove_file(deck_path);
+}
+
+#[test]
+fn cli_reports_missing_files() {
+    let output = Command::new(env!("CARGO_BIN_EXE_oasys"))
+        .args(["/nonexistent/spec.txt", "/nonexistent/tech.tech"])
+        .output()
+        .expect("binary runs");
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("nonexistent"));
+}
+
+#[test]
+fn cli_reports_usage_without_args() {
+    let output = Command::new(env!("CARGO_BIN_EXE_oasys"))
+        .output()
+        .expect("binary runs");
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stderr).contains("usage"));
+}
+
+#[test]
+fn cli_rejects_unknown_flags() {
+    let root = repo_root();
+    let output = Command::new(env!("CARGO_BIN_EXE_oasys"))
+        .current_dir(&root)
+        .args([
+            "data/example-spec.txt",
+            "data/generic-5um.tech",
+            "--frobnicate",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stderr).contains("frobnicate"));
+}

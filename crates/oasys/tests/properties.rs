@@ -1,0 +1,86 @@
+//! Property-based tests on the synthesis tool: whenever synthesis
+//! succeeds, the predicted performance satisfies the specification it was
+//! given, across a randomized slice of the spec space.
+
+use oasys::{synthesize, OpAmpSpec};
+use oasys_process::builtin;
+use proptest::prelude::*;
+
+/// Specs drawn from the region the 5 µm process can plausibly serve.
+fn spec_strategy() -> impl Strategy<Value = OpAmpSpec> {
+    (
+        35.0..95.0f64, // gain, dB
+        0.1..2.0f64,   // unity-gain, MHz
+        40.0..65.0f64, // phase margin, °
+        2.0..20.0f64,  // load, pF
+        0.5..4.0f64,   // slew, V/µs
+    )
+        .prop_map(|(gain, fu, pm, cl, sr)| {
+            OpAmpSpec::builder()
+                .dc_gain_db(gain)
+                .unity_gain_mhz(fu)
+                .phase_margin_deg(pm)
+                .load_pf(cl)
+                .slew_rate_v_per_us(sr)
+                .build()
+                .expect("strategy stays in the valid range")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Predicted performance meets the spec whenever synthesis claims
+    /// success, and the emitted netlist is structurally valid.
+    #[test]
+    fn successful_synthesis_meets_spec(spec in spec_strategy()) {
+        let process = builtin::cmos_5um();
+        let Ok(result) = synthesize(&spec, &process) else {
+            return Ok(()); // infeasible corners are allowed to fail
+        };
+        let design = result.selected();
+        let p = design.predicted();
+        prop_assert!(
+            p.dc_gain_db >= spec.dc_gain().db() - 0.01,
+            "gain {:.1} < spec {:.1}", p.dc_gain_db, spec.dc_gain().db()
+        );
+        prop_assert!(p.unity_gain_hz >= spec.unity_gain_freq().hertz() * 0.999);
+        prop_assert!(p.phase_margin_deg >= spec.phase_margin().degrees() - 0.01);
+        prop_assert!(p.slew_v_per_s >= spec.slew_rate().volts_per_second() * 0.98);
+        prop_assert!(p.power_w > 0.0);
+        design.circuit().validate().unwrap();
+        prop_assert!(design.device_count() >= 6);
+        prop_assert!(design.area().total_um2() > 0.0);
+    }
+
+    /// Synthesis is a pure function of its inputs.
+    #[test]
+    fn synthesis_deterministic(spec in spec_strategy()) {
+        let process = builtin::cmos_5um();
+        let a = synthesize(&spec, &process);
+        let b = synthesize(&spec, &process);
+        match (a, b) {
+            (Ok(x), Ok(y)) => {
+                prop_assert_eq!(x.selected().style(), y.selected().style());
+                prop_assert_eq!(x.selected().circuit(), y.selected().circuit());
+            }
+            (Err(_), Err(_)) => {}
+            _ => prop_assert!(false, "feasibility must be deterministic"),
+        }
+    }
+
+    /// Every trace the synthesizer returns is bounded: the executor's
+    /// budgets guarantee no runaway plans regardless of the spec.
+    #[test]
+    fn traces_are_bounded(spec in spec_strategy()) {
+        let process = builtin::cmos_5um();
+        if let Ok(result) = synthesize(&spec, &process) {
+            for outcome in result.outcomes() {
+                if let Some(d) = outcome.design() {
+                    prop_assert!(d.trace().rule_firings() <= 32);
+                    prop_assert!(d.trace().step_executions() <= 400);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Plan execution errors.
+
+use crate::plan::StepFailure;
+use crate::trace::Trace;
+use std::error::Error;
+use std::fmt;
+
+/// Why a plan execution did not complete.
+///
+/// Every variant carries the [`Trace`] up to the failure, because a failed
+/// synthesis plan is a *result* in OASYS (it proves a design style cannot
+/// meet a spec) and the trace says why.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// A step failed and no rule matched the failure.
+    Unpatched {
+        /// The step that failed.
+        step: String,
+        /// The unmatched failure.
+        failure: StepFailure,
+        /// Execution history up to the failure.
+        trace: Trace,
+    },
+    /// A rule requested an abort (the style cannot meet the spec).
+    Aborted {
+        /// The abort reason.
+        reason: String,
+        /// Execution history up to the abort.
+        trace: Trace,
+    },
+    /// The patch budget was exhausted — the knowledge base is thrashing.
+    PatchBudgetExhausted {
+        /// The configured budget.
+        budget: usize,
+        /// Execution history.
+        trace: Trace,
+    },
+    /// A rule named a restart target that does not exist.
+    UnknownRestartTarget {
+        /// The missing step name.
+        step: String,
+        /// Execution history.
+        trace: Trace,
+    },
+}
+
+impl PlanError {
+    /// The execution trace up to the failure.
+    #[must_use]
+    pub fn trace(&self) -> &Trace {
+        match self {
+            PlanError::Unpatched { trace, .. }
+            | PlanError::Aborted { trace, .. }
+            | PlanError::PatchBudgetExhausted { trace, .. }
+            | PlanError::UnknownRestartTarget { trace, .. } => trace,
+        }
+    }
+
+    /// A short machine-matchable kind string.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            PlanError::Unpatched { .. } => "unpatched",
+            PlanError::Aborted { .. } => "aborted",
+            PlanError::PatchBudgetExhausted { .. } => "patch-budget",
+            PlanError::UnknownRestartTarget { .. } => "unknown-restart",
+        }
+    }
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::Unpatched { step, failure, .. } => {
+                write!(f, "step `{step}` failed with no matching rule: {failure}")
+            }
+            PlanError::Aborted { reason, .. } => write!(f, "plan aborted: {reason}"),
+            PlanError::PatchBudgetExhausted { budget, .. } => {
+                write!(f, "plan exceeded its patch budget of {budget} rule firings")
+            }
+            PlanError::UnknownRestartTarget { step, .. } => {
+                write!(f, "rule requested restart from unknown step `{step}`")
+            }
+        }
+    }
+}
+
+impl Error for PlanError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_and_display() {
+        let t = Trace::default();
+        let errors = [
+            PlanError::Unpatched {
+                step: "s".into(),
+                failure: StepFailure::new("c", "m"),
+                trace: t.clone(),
+            },
+            PlanError::Aborted {
+                reason: "r".into(),
+                trace: t.clone(),
+            },
+            PlanError::PatchBudgetExhausted {
+                budget: 8,
+                trace: t.clone(),
+            },
+            PlanError::UnknownRestartTarget {
+                step: "x".into(),
+                trace: t,
+            },
+        ];
+        let kinds: Vec<&str> = errors.iter().map(PlanError::kind).collect();
+        assert_eq!(
+            kinds,
+            vec!["unpatched", "aborted", "patch-budget", "unknown-restart"]
+        );
+        for e in &errors {
+            assert!(!e.to_string().is_empty());
+            let _ = e.trace();
+        }
+    }
+}

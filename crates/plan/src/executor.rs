@@ -1,0 +1,370 @@
+//! Bounded plan execution.
+
+use crate::error::PlanError;
+use crate::plan::{PatchAction, Plan, StepOutcome};
+use crate::trace::{Trace, TraceEvent};
+
+/// Tuning knobs for the executor.
+///
+/// The defaults encode the paper's observation that plans have
+/// *predictable failure modes*: roughly 10 rules per plan, each of which
+/// should need to fire only a handful of times.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExecutorConfig {
+    /// Total rule firings allowed in one execution.
+    pub patch_budget: usize,
+    /// Firings allowed for any single rule (loop guard).
+    pub per_rule_budget: usize,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        Self {
+            patch_budget: 32,
+            per_rule_budget: 8,
+        }
+    }
+}
+
+/// Executes a [`Plan`] against a mutable state, applying patch rules on
+/// step failures.
+///
+/// See the crate-level example for usage.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PlanExecutor {
+    config: ExecutorConfig,
+}
+
+impl PlanExecutor {
+    /// An executor with the default budgets.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An executor with explicit budgets.
+    #[must_use]
+    pub fn with_config(config: ExecutorConfig) -> Self {
+        Self { config }
+    }
+
+    /// Runs the plan to completion, mutating `state` in place.
+    ///
+    /// Steps execute in order. When a step reports
+    /// [`StepOutcome::Failed`], rules are consulted in declaration order;
+    /// the first rule whose predicate matches (and whose per-rule budget
+    /// is not exhausted) fires, mutates the state, and directs execution
+    /// (retry / restart / abort). The state is left in whatever condition
+    /// the last executed step produced — on success that is the completed
+    /// design.
+    ///
+    /// # Errors
+    ///
+    /// * [`PlanError::Unpatched`] — a failure no rule matched;
+    /// * [`PlanError::Aborted`] — a rule decided the spec is infeasible
+    ///   for this plan;
+    /// * [`PlanError::PatchBudgetExhausted`] — the knowledge base thrashed;
+    /// * [`PlanError::UnknownRestartTarget`] — a rule bug.
+    pub fn run<S>(&self, plan: &Plan<S>, state: &mut S) -> Result<Trace, PlanError> {
+        let mut trace = Trace::new();
+        let mut rule_firings = vec![0usize; plan.rules.len()];
+        let mut total_firings = 0usize;
+        let mut pc = 0usize;
+
+        while pc < plan.steps.len() {
+            let step = &plan.steps[pc];
+            trace.push(TraceEvent::StepStarted {
+                index: pc,
+                name: step.name.clone(),
+            });
+
+            match (step.run)(state) {
+                StepOutcome::Done => {
+                    trace.push(TraceEvent::StepCompleted {
+                        name: step.name.clone(),
+                    });
+                    pc += 1;
+                }
+                StepOutcome::Failed(failure) => {
+                    trace.push(TraceEvent::StepFailed {
+                        name: step.name.clone(),
+                        failure: failure.clone(),
+                    });
+
+                    // Consult the rules in declaration order.
+                    let matched = plan.rules.iter().enumerate().find(|(k, rule)| {
+                        rule_firings[*k] < self.config.per_rule_budget
+                            && (rule.applies)(&*state, &failure)
+                    });
+
+                    let Some((k, rule)) = matched else {
+                        return Err(PlanError::Unpatched {
+                            step: step.name.clone(),
+                            failure,
+                            trace,
+                        });
+                    };
+
+                    if total_firings >= self.config.patch_budget {
+                        return Err(PlanError::PatchBudgetExhausted {
+                            budget: self.config.patch_budget,
+                            trace,
+                        });
+                    }
+                    rule_firings[k] += 1;
+                    total_firings += 1;
+
+                    let action = (rule.patch)(state);
+                    trace.push(TraceEvent::RuleFired {
+                        rule: rule.name.clone(),
+                        action: action.clone(),
+                    });
+
+                    match action {
+                        PatchAction::Retry => { /* pc unchanged */ }
+                        PatchAction::RestartFrom(target) => match plan.step_index(&target) {
+                            Some(idx) => pc = idx,
+                            None => {
+                                return Err(PlanError::UnknownRestartTarget {
+                                    step: target,
+                                    trace,
+                                })
+                            }
+                        },
+                        PatchAction::Abort(reason) => {
+                            trace.push(TraceEvent::PlanAborted {
+                                reason: reason.clone(),
+                            });
+                            return Err(PlanError::Aborted { reason, trace });
+                        }
+                    }
+                }
+            }
+        }
+
+        trace.push(TraceEvent::PlanCompleted);
+        Ok(trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{PatchAction, Plan, StepOutcome};
+
+    #[derive(Default)]
+    struct Counter {
+        attempts: u32,
+        budget: u32,
+        total: u32,
+    }
+
+    #[test]
+    fn straight_line_plan_completes() {
+        let plan = Plan::<Counter>::builder("p")
+            .step("a", |s: &mut Counter| {
+                s.total += 1;
+                StepOutcome::Done
+            })
+            .step("b", |s: &mut Counter| {
+                s.total += 10;
+                StepOutcome::Done
+            })
+            .build();
+        let mut state = Counter::default();
+        let trace = PlanExecutor::new().run(&plan, &mut state).unwrap();
+        assert_eq!(state.total, 11);
+        assert!(trace.completed());
+        assert_eq!(trace.step_executions(), 2);
+        assert_eq!(trace.rule_firings(), 0);
+    }
+
+    #[test]
+    fn retry_patch_reruns_failed_step() {
+        let plan = Plan::<Counter>::builder("p")
+            .step("flaky", |s: &mut Counter| {
+                s.attempts += 1;
+                if s.attempts >= 3 {
+                    StepOutcome::Done
+                } else {
+                    StepOutcome::failed("not-yet", "needs another try")
+                }
+            })
+            .rule(
+                "try-again",
+                |_, f| f.code() == "not-yet",
+                |_| PatchAction::Retry,
+            )
+            .build();
+        let mut state = Counter::default();
+        let trace = PlanExecutor::new().run(&plan, &mut state).unwrap();
+        assert_eq!(state.attempts, 3);
+        assert_eq!(trace.rule_firings(), 2);
+    }
+
+    #[test]
+    fn restart_from_earlier_step() {
+        // Step "check" fails until "setup" has run twice.
+        let plan = Plan::<Counter>::builder("p")
+            .step("setup", |s: &mut Counter| {
+                s.total += 1;
+                StepOutcome::Done
+            })
+            .step("check", |s: &mut Counter| {
+                if s.total >= 2 {
+                    StepOutcome::Done
+                } else {
+                    StepOutcome::failed("under", "setup insufficient")
+                }
+            })
+            .rule(
+                "redo-setup",
+                |_, f| f.code() == "under",
+                |_| PatchAction::RestartFrom("setup".into()),
+            )
+            .build();
+        let mut state = Counter::default();
+        let trace = PlanExecutor::new().run(&plan, &mut state).unwrap();
+        assert_eq!(state.total, 2);
+        assert!(trace.completed());
+    }
+
+    #[test]
+    fn unmatched_failure_is_error_with_trace() {
+        let plan = Plan::<Counter>::builder("p")
+            .step("fail", |_| {
+                StepOutcome::failed("mystery", "nobody handles this")
+            })
+            .rule("other", |_, f| f.code() == "known", |_| PatchAction::Retry)
+            .build();
+        let mut state = Counter::default();
+        let err = PlanExecutor::new().run(&plan, &mut state).unwrap_err();
+        assert_eq!(err.kind(), "unpatched");
+        assert_eq!(err.trace().step_failures(), 1);
+    }
+
+    #[test]
+    fn abort_action_propagates_reason() {
+        let plan = Plan::<Counter>::builder("p")
+            .step("fail", |_| StepOutcome::failed("impossible", ""))
+            .rule(
+                "give-up",
+                |_, f| f.code() == "impossible",
+                |_| PatchAction::Abort("spec infeasible for this style".into()),
+            )
+            .build();
+        let mut state = Counter::default();
+        let err = PlanExecutor::new().run(&plan, &mut state).unwrap_err();
+        match err {
+            PlanError::Aborted { ref reason, .. } => {
+                assert!(reason.contains("infeasible"));
+            }
+            other => panic!("expected abort, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn per_rule_budget_prevents_livelock() {
+        let plan = Plan::<Counter>::builder("p")
+            .step("always-fails", |_| StepOutcome::failed("loop", ""))
+            .rule("futile", |_, _| true, |_| PatchAction::Retry)
+            .build();
+        let mut state = Counter::default();
+        let err = PlanExecutor::with_config(ExecutorConfig {
+            patch_budget: 100,
+            per_rule_budget: 5,
+        })
+        .run(&plan, &mut state)
+        .unwrap_err();
+        // After 5 firings the rule stops matching → unpatched.
+        assert_eq!(err.kind(), "unpatched");
+        assert_eq!(err.trace().rule_firings(), 5);
+    }
+
+    #[test]
+    fn total_budget_prevents_thrash_between_rules() {
+        let plan = Plan::<Counter>::builder("p")
+            .step("always-fails", |_| StepOutcome::failed("loop", ""))
+            .rule("r1", |_, _| true, |_| PatchAction::Retry)
+            .rule("r2", |_, _| true, |_| PatchAction::Retry)
+            .build();
+        let mut state = Counter::default();
+        let err = PlanExecutor::with_config(ExecutorConfig {
+            patch_budget: 3,
+            per_rule_budget: 100,
+        })
+        .run(&plan, &mut state)
+        .unwrap_err();
+        assert_eq!(err.kind(), "patch-budget");
+    }
+
+    #[test]
+    fn unknown_restart_target_is_reported() {
+        let plan = Plan::<Counter>::builder("p")
+            .step("fail", |_| StepOutcome::failed("x", ""))
+            .rule(
+                "bad-rule",
+                |_, _| true,
+                |_| PatchAction::RestartFrom("no-such-step".into()),
+            )
+            .build();
+        let mut state = Counter::default();
+        let err = PlanExecutor::new().run(&plan, &mut state).unwrap_err();
+        assert_eq!(err.kind(), "unknown-restart");
+    }
+
+    #[test]
+    fn rules_consulted_in_declaration_order() {
+        let plan = Plan::<Counter>::builder("p")
+            .step("fail-once", |s: &mut Counter| {
+                s.attempts += 1;
+                if s.attempts > 1 {
+                    StepOutcome::Done
+                } else {
+                    StepOutcome::failed("f", "")
+                }
+            })
+            .rule(
+                "first",
+                |_, _| true,
+                |s: &mut Counter| {
+                    s.budget += 1;
+                    PatchAction::Retry
+                },
+            )
+            .rule(
+                "second",
+                |_, _| true,
+                |s: &mut Counter| {
+                    s.budget += 100;
+                    PatchAction::Retry
+                },
+            )
+            .build();
+        let mut state = Counter::default();
+        PlanExecutor::new().run(&plan, &mut state).unwrap();
+        assert_eq!(state.budget, 1, "only the first matching rule fires");
+    }
+
+    #[test]
+    fn rule_state_predicate_can_inspect_state() {
+        // Rule only fires when attempts are low; after that a second rule
+        // aborts.
+        let plan = Plan::<Counter>::builder("p")
+            .step("fail", |s: &mut Counter| {
+                s.attempts += 1;
+                StepOutcome::failed("f", "")
+            })
+            .rule(
+                "early",
+                |s: &Counter, _| s.attempts < 3,
+                |_| PatchAction::Retry,
+            )
+            .rule("late", |_, _| true, |_| PatchAction::Abort("done".into()))
+            .build();
+        let mut state = Counter::default();
+        let err = PlanExecutor::new().run(&plan, &mut state).unwrap_err();
+        assert_eq!(err.kind(), "aborted");
+        assert_eq!(state.attempts, 3);
+    }
+}

@@ -1,0 +1,62 @@
+//! The OASYS planning engine: plans, steps, goals, and patch rules.
+//!
+//! The paper's central implementation idea (Section 3.3): specification
+//! translation is performed by a **plan** stored with each topology
+//! template — a rough ordering of largely algorithmic steps that
+//! manipulate circuit equations numerically — while **rules** fire when a
+//! step fails to meet its goals, patching the plan by modifying the design
+//! state and re-running part of it:
+//!
+//! > *"Rules fire at the end of each plan step to correct errors, and
+//! > modify the dynamic flow of the plan."*
+//!
+//! This crate is deliberately generic: the state type `S` is whatever a
+//! block designer needs (an op-amp sizing state, a mirror sizing state…).
+//! The executor enforces bounded patching — the paper's conjecture that
+//! *good plans have predictable failure modes* means a small number of
+//! rule firings should suffice, so unbounded rework indicates a broken
+//! knowledge base and is reported as an error rather than looping.
+//!
+//! # Examples
+//!
+//! A two-step plan with a patch rule that retries with a relaxed target:
+//!
+//! ```
+//! use oasys_plan::{PatchAction, Plan, PlanExecutor, StepOutcome};
+//!
+//! struct State { target: f64, achieved: f64 }
+//!
+//! let plan = Plan::<State>::builder("toy")
+//!     .step("attempt", |s: &mut State| {
+//!         s.achieved = 10.0; // the best this topology can do
+//!         if s.achieved >= s.target {
+//!             StepOutcome::Done
+//!         } else {
+//!             StepOutcome::failed("gain-short", "target unreachable")
+//!         }
+//!     })
+//!     .rule(
+//!         "relax-target",
+//!         |_s: &State, failure| failure.code() == "gain-short",
+//!         |s: &mut State| {
+//!             s.target /= 2.0;
+//!             PatchAction::RestartFrom("attempt".into())
+//!         },
+//!     )
+//!     .build();
+//!
+//! let mut state = State { target: 30.0, achieved: 0.0 };
+//! let trace = PlanExecutor::new().run(&plan, &mut state).expect("plan converges");
+//! assert!(state.achieved >= state.target);
+//! assert_eq!(trace.rule_firings(), 2); // 30 → 15 → 7.5 ≤ 10
+//! ```
+
+mod error;
+mod executor;
+mod plan;
+mod trace;
+
+pub use error::PlanError;
+pub use executor::{ExecutorConfig, PlanExecutor};
+pub use plan::{PatchAction, Plan, PlanBuilder, StepFailure, StepOutcome};
+pub use trace::{Trace, TraceEvent};

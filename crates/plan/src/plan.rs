@@ -1,0 +1,270 @@
+//! Plan, step and rule definitions.
+
+use std::fmt;
+
+/// The outcome a plan step reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The step achieved its goals.
+    Done,
+    /// The step could not achieve its goals; rules will be consulted.
+    Failed(StepFailure),
+}
+
+impl StepOutcome {
+    /// Shorthand for a failure with a machine-matchable code and a
+    /// human-readable message.
+    #[must_use]
+    pub fn failed(code: impl Into<String>, message: impl Into<String>) -> Self {
+        StepOutcome::Failed(StepFailure::new(code, message))
+    }
+}
+
+/// Why a step failed. The `code` is what rules match on; the `message` is
+/// for humans reading the trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepFailure {
+    code: String,
+    message: String,
+}
+
+impl StepFailure {
+    /// Creates a failure record.
+    #[must_use]
+    pub fn new(code: impl Into<String>, message: impl Into<String>) -> Self {
+        Self {
+            code: code.into(),
+            message: message.into(),
+        }
+    }
+
+    /// The machine-matchable failure code, e.g. `"gain-short"`.
+    #[must_use]
+    pub fn code(&self) -> &str {
+        &self.code
+    }
+
+    /// The human-readable explanation.
+    #[must_use]
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for StepFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.code, self.message)
+    }
+}
+
+/// What a fired rule tells the executor to do next.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatchAction {
+    /// Re-run the step that failed.
+    Retry,
+    /// Restart execution from the named (earlier or later) step.
+    RestartFrom(String),
+    /// Give up on this plan; the design style cannot meet the spec.
+    Abort(String),
+}
+
+/// Boxed step body.
+type StepFn<S> = Box<dyn Fn(&mut S) -> StepOutcome + Send + Sync>;
+/// Boxed rule predicate.
+type RulePredicate<S> = Box<dyn Fn(&S, &StepFailure) -> bool + Send + Sync>;
+/// Boxed rule patch action.
+type RulePatch<S> = Box<dyn Fn(&mut S) -> PatchAction + Send + Sync>;
+
+pub(crate) struct Step<S> {
+    pub(crate) name: String,
+    pub(crate) run: StepFn<S>,
+}
+
+pub(crate) struct Rule<S> {
+    pub(crate) name: String,
+    pub(crate) applies: RulePredicate<S>,
+    pub(crate) patch: RulePatch<S>,
+}
+
+/// An ordered sequence of named steps plus the patch rules that repair
+/// failures. Build with [`Plan::builder`]; execute with
+/// [`crate::PlanExecutor`].
+pub struct Plan<S> {
+    name: String,
+    pub(crate) steps: Vec<Step<S>>,
+    pub(crate) rules: Vec<Rule<S>>,
+}
+
+impl<S> Plan<S> {
+    /// Starts building a plan with the given name.
+    #[must_use]
+    pub fn builder(name: impl Into<String>) -> PlanBuilder<S> {
+        PlanBuilder {
+            name: name.into(),
+            steps: Vec::new(),
+            rules: Vec::new(),
+        }
+    }
+
+    /// The plan's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of steps.
+    #[must_use]
+    pub fn step_count(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Number of rules.
+    #[must_use]
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// The step names, in execution order.
+    #[must_use]
+    pub fn step_names(&self) -> Vec<&str> {
+        self.steps.iter().map(|s| s.name.as_str()).collect()
+    }
+
+    /// Index of a step by name.
+    #[must_use]
+    pub fn step_index(&self, name: &str) -> Option<usize> {
+        self.steps.iter().position(|s| s.name == name)
+    }
+}
+
+impl<S> fmt::Debug for Plan<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Plan")
+            .field("name", &self.name)
+            .field("steps", &self.step_names())
+            .field(
+                "rules",
+                &self.rules.iter().map(|r| &r.name).collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+/// Builder for [`Plan`]. Steps execute in insertion order; rules are
+/// consulted in insertion order when a step fails.
+pub struct PlanBuilder<S> {
+    name: String,
+    steps: Vec<Step<S>>,
+    rules: Vec<Rule<S>>,
+}
+
+impl<S> PlanBuilder<S> {
+    /// Appends a named step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a step with the same name already exists (step names are
+    /// restart targets and must be unique).
+    #[must_use]
+    pub fn step(
+        mut self,
+        name: impl Into<String>,
+        run: impl Fn(&mut S) -> StepOutcome + Send + Sync + 'static,
+    ) -> Self {
+        let name = name.into();
+        assert!(
+            !self.steps.iter().any(|s| s.name == name),
+            "duplicate step name `{name}` in plan `{}`",
+            self.name
+        );
+        self.steps.push(Step {
+            name,
+            run: Box::new(run),
+        });
+        self
+    }
+
+    /// Appends a patch rule: `applies` decides whether the rule matches a
+    /// failure; `patch` mutates the state and chooses how execution
+    /// resumes.
+    #[must_use]
+    pub fn rule(
+        mut self,
+        name: impl Into<String>,
+        applies: impl Fn(&S, &StepFailure) -> bool + Send + Sync + 'static,
+        patch: impl Fn(&mut S) -> PatchAction + Send + Sync + 'static,
+    ) -> Self {
+        self.rules.push(Rule {
+            name: name.into(),
+            applies: Box::new(applies),
+            patch: Box::new(patch),
+        });
+        self
+    }
+
+    /// Finalizes the plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan has no steps.
+    #[must_use]
+    pub fn build(self) -> Plan<S> {
+        assert!(!self.steps.is_empty(), "plan `{}` has no steps", self.name);
+        Plan {
+            name: self.name,
+            steps: self.steps,
+            rules: self.rules,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_collects_steps_and_rules() {
+        let plan = Plan::<i32>::builder("p")
+            .step("a", |_| StepOutcome::Done)
+            .step("b", |_| StepOutcome::Done)
+            .rule("r", |_, _| true, |_| PatchAction::Retry)
+            .build();
+        assert_eq!(plan.name(), "p");
+        assert_eq!(plan.step_count(), 2);
+        assert_eq!(plan.rule_count(), 1);
+        assert_eq!(plan.step_names(), vec!["a", "b"]);
+        assert_eq!(plan.step_index("b"), Some(1));
+        assert_eq!(plan.step_index("zz"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate step name")]
+    fn duplicate_step_names_rejected() {
+        let _ = Plan::<i32>::builder("p")
+            .step("a", |_| StepOutcome::Done)
+            .step("a", |_| StepOutcome::Done);
+    }
+
+    #[test]
+    #[should_panic(expected = "has no steps")]
+    fn empty_plan_rejected() {
+        let _ = Plan::<i32>::builder("p").build();
+    }
+
+    #[test]
+    fn failure_accessors() {
+        let f = StepFailure::new("code-x", "something broke");
+        assert_eq!(f.code(), "code-x");
+        assert_eq!(f.message(), "something broke");
+        assert_eq!(f.to_string(), "[code-x] something broke");
+    }
+
+    #[test]
+    fn debug_lists_structure() {
+        let plan = Plan::<i32>::builder("p")
+            .step("a", |_| StepOutcome::Done)
+            .build();
+        let dbg = format!("{plan:?}");
+        assert!(dbg.contains("\"a\""));
+    }
+}

@@ -1,0 +1,492 @@
+//! Construction and validation of [`Process`] parameter sets.
+
+use crate::params::{MosParams, Polarity, Process};
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a [`ProcessBuilder`] is given an inconsistent or
+/// incomplete parameter set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BuildProcessError {
+    field: &'static str,
+    reason: String,
+}
+
+impl BuildProcessError {
+    pub(crate) fn new(field: &'static str, reason: impl Into<String>) -> Self {
+        Self {
+            field,
+            reason: reason.into(),
+        }
+    }
+
+    /// The offending parameter name.
+    #[must_use]
+    pub fn field(&self) -> &'static str {
+        self.field
+    }
+}
+
+impl fmt::Display for BuildProcessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid process parameter `{}`: {}",
+            self.field, self.reason
+        )
+    }
+}
+
+impl Error for BuildProcessError {}
+
+/// Per-polarity builder inputs, in datasheet units.
+#[derive(Debug, Clone, Copy)]
+struct MosInputs {
+    vth_v: Option<f64>,
+    kprime_ua: Option<f64>,
+    mobility_cm2: Option<f64>,
+    lambda_l: Option<f64>,
+    cj_ff_um2: Option<f64>,
+    cjsw_ff_um: Option<f64>,
+    gamma: f64,
+    phi: f64,
+}
+
+impl Default for MosInputs {
+    fn default() -> Self {
+        Self {
+            vth_v: None,
+            kprime_ua: None,
+            mobility_cm2: None,
+            lambda_l: None,
+            cj_ff_um2: None,
+            cjsw_ff_um: None,
+            gamma: 0.4,
+            phi: 0.6,
+        }
+    }
+}
+
+/// Builder for [`Process`]. All setters take the customary datasheet units
+/// from OASYS Table 1 (volts, µA/V², µm, Å, cm²/V·s, fF/µm², fF/µm).
+///
+/// # Examples
+///
+/// ```
+/// use oasys_process::{Polarity, ProcessBuilder};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let process = ProcessBuilder::new("toy-5um")
+///     .vth(Polarity::Nmos, 1.0)
+///     .vth(Polarity::Pmos, 1.0)
+///     .kprime(Polarity::Nmos, 25.0)
+///     .kprime(Polarity::Pmos, 10.0)
+///     .lambda_l(Polarity::Nmos, 0.10)
+///     .lambda_l(Polarity::Pmos, 0.12)
+///     .cj(Polarity::Nmos, 0.30)
+///     .cj(Polarity::Pmos, 0.45)
+///     .cjsw(Polarity::Nmos, 0.50)
+///     .cjsw(Polarity::Pmos, 0.60)
+///     .min_width_um(5.0)
+///     .min_length_um(5.0)
+///     .min_drain_width_um(7.0)
+///     .built_in_v(0.7)
+///     .supply_v(5.0, -5.0)
+///     .tox_angstrom(850.0)
+///     .build()?;
+/// assert_eq!(process.name(), "toy-5um");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProcessBuilder {
+    name: String,
+    nmos: MosInputs,
+    pmos: MosInputs,
+    min_width_um: Option<f64>,
+    min_length_um: Option<f64>,
+    min_drain_width_um: Option<f64>,
+    built_in_v: Option<f64>,
+    vdd_v: Option<f64>,
+    vss_v: Option<f64>,
+    tox_angstrom: Option<f64>,
+    cap_ff_um2: Option<f64>,
+}
+
+/// Permittivity of SiO₂, F/m.
+const EPS_OX: f64 = 3.9 * 8.854e-12;
+
+impl ProcessBuilder {
+    /// Starts a builder for a process with the given name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            nmos: MosInputs::default(),
+            pmos: MosInputs::default(),
+            min_width_um: None,
+            min_length_um: None,
+            min_drain_width_um: None,
+            built_in_v: None,
+            vdd_v: None,
+            vss_v: None,
+            tox_angstrom: None,
+            cap_ff_um2: None,
+        }
+    }
+
+    fn mos_mut(&mut self, polarity: Polarity) -> &mut MosInputs {
+        match polarity {
+            Polarity::Nmos => &mut self.nmos,
+            Polarity::Pmos => &mut self.pmos,
+        }
+    }
+
+    /// Threshold-voltage magnitude, volts (Table 1 row 1).
+    #[must_use]
+    pub fn vth(mut self, polarity: Polarity, volts: f64) -> Self {
+        self.mos_mut(polarity).vth_v = Some(volts);
+        self
+    }
+
+    /// Transconductance parameter `K'`, µA/V² (Table 1 row 2).
+    #[must_use]
+    pub fn kprime(mut self, polarity: Polarity, ua_per_v2: f64) -> Self {
+        self.mos_mut(polarity).kprime_ua = Some(ua_per_v2);
+        self
+    }
+
+    /// Carrier mobility, cm²/(V·s) (Table 1 row 8). Optional: derived from
+    /// `K'` and `Cox` when omitted.
+    #[must_use]
+    pub fn mobility(mut self, polarity: Polarity, cm2_per_vs: f64) -> Self {
+        self.mos_mut(polarity).mobility_cm2 = Some(cm2_per_vs);
+        self
+    }
+
+    /// Channel-length-modulation coefficient: `λ(L[µm]) = value / L`,
+    /// so `value` has units V⁻¹·µm (Table 1 row 14, the `λ = f(L)` model).
+    #[must_use]
+    pub fn lambda_l(mut self, polarity: Polarity, v_inv_um: f64) -> Self {
+        self.mos_mut(polarity).lambda_l = Some(v_inv_um);
+        self
+    }
+
+    /// Zero-bias junction bottom capacitance, fF/µm² (Table 1 row 13).
+    #[must_use]
+    pub fn cj(mut self, polarity: Polarity, ff_per_um2: f64) -> Self {
+        self.mos_mut(polarity).cj_ff_um2 = Some(ff_per_um2);
+        self
+    }
+
+    /// Zero-bias junction sidewall capacitance, fF/µm (Table 1 row 12).
+    #[must_use]
+    pub fn cjsw(mut self, polarity: Polarity, ff_per_um: f64) -> Self {
+        self.mos_mut(polarity).cjsw_ff_um = Some(ff_per_um);
+        self
+    }
+
+    /// Body-effect coefficient γ, V^½ (extension beyond Table 1; defaults
+    /// to 0.4).
+    #[must_use]
+    pub fn gamma(mut self, polarity: Polarity, gamma: f64) -> Self {
+        self.mos_mut(polarity).gamma = gamma;
+        self
+    }
+
+    /// Surface potential 2φF, volts (extension; defaults to 0.6).
+    #[must_use]
+    pub fn phi(mut self, polarity: Polarity, phi: f64) -> Self {
+        self.mos_mut(polarity).phi = phi;
+        self
+    }
+
+    /// Minimum drawn channel width, µm (Table 1 row 3).
+    #[must_use]
+    pub fn min_width_um(mut self, um: f64) -> Self {
+        self.min_width_um = Some(um);
+        self
+    }
+
+    /// Minimum drawn channel length, µm.
+    #[must_use]
+    pub fn min_length_um(mut self, um: f64) -> Self {
+        self.min_length_um = Some(um);
+        self
+    }
+
+    /// Minimum drain/source diffusion width, µm (Table 1 row 5).
+    #[must_use]
+    pub fn min_drain_width_um(mut self, um: f64) -> Self {
+        self.min_drain_width_um = Some(um);
+        self
+    }
+
+    /// Junction built-in voltage, volts (Table 1 row 4).
+    #[must_use]
+    pub fn built_in_v(mut self, volts: f64) -> Self {
+        self.built_in_v = Some(volts);
+        self
+    }
+
+    /// Supply rails, volts (Table 1 row 6). `vdd` must exceed `vss`.
+    #[must_use]
+    pub fn supply_v(self, vdd: f64, vss: f64) -> Self {
+        self.vdd_v(vdd).vss_v(vss)
+    }
+
+    /// Positive supply rail alone, volts.
+    #[must_use]
+    pub fn vdd_v(mut self, volts: f64) -> Self {
+        self.vdd_v = Some(volts);
+        self
+    }
+
+    /// Negative supply rail alone, volts.
+    #[must_use]
+    pub fn vss_v(mut self, volts: f64) -> Self {
+        self.vss_v = Some(volts);
+        self
+    }
+
+    /// Gate-oxide thickness, ångström (Table 1 row 7). `Cox` is derived as
+    /// `ε_ox / t_ox`.
+    #[must_use]
+    pub fn tox_angstrom(mut self, angstrom: f64) -> Self {
+        self.tox_angstrom = Some(angstrom);
+        self
+    }
+
+    /// Compensation-capacitor plate capacitance, fF/µm². Optional: defaults
+    /// to `Cox/2` (a MOS or poly-poly capacitor is roughly half the gate
+    /// capacitance density in these processes).
+    #[must_use]
+    pub fn cap_ff_um2(mut self, ff_per_um2: f64) -> Self {
+        self.cap_ff_um2 = Some(ff_per_um2);
+        self
+    }
+
+    /// Validates the parameter set and produces an immutable [`Process`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildProcessError`] if a required parameter is missing, a
+    /// magnitude is non-positive where positivity is required, or the
+    /// supply rails are inverted.
+    pub fn build(self) -> Result<Process, BuildProcessError> {
+        fn require(field: &'static str, value: Option<f64>) -> Result<f64, BuildProcessError> {
+            value.ok_or_else(|| BuildProcessError::new(field, "missing"))
+        }
+
+        fn positive(field: &'static str, value: f64) -> Result<f64, BuildProcessError> {
+            if value > 0.0 && value.is_finite() {
+                Ok(value)
+            } else {
+                Err(BuildProcessError::new(
+                    field,
+                    format!("must be positive and finite, got {value}"),
+                ))
+            }
+        }
+
+        let tox_angstrom = positive("tox", require("tox", self.tox_angstrom)?)?;
+        let tox = tox_angstrom * 1e-10;
+        let cox = EPS_OX / tox;
+
+        let build_mos = |polarity: Polarity,
+                         inputs: &MosInputs|
+         -> Result<MosParams, BuildProcessError> {
+            let vth = positive("vth", require("vth", inputs.vth_v)?)?;
+            let kprime_ua = positive("kprime", require("kprime", inputs.kprime_ua)?)?;
+            let kprime = kprime_ua * 1e-6;
+            // Mobility is redundant given K' and Cox; derive when omitted,
+            // cross-check tolerance when supplied.
+            let mobility = match inputs.mobility_cm2 {
+                Some(cm2) => {
+                    let si = positive("mobility", cm2)? * 1e-4;
+                    let derived = kprime / cox;
+                    if (si / derived - 1.0).abs() > 0.5 {
+                        return Err(BuildProcessError::new(
+                            "mobility",
+                            format!(
+                                "inconsistent with K'/Cox: given {:.1} cm²/Vs, derived {:.1} cm²/Vs",
+                                cm2,
+                                derived * 1e4
+                            ),
+                        ));
+                    }
+                    si
+                }
+                None => kprime / cox,
+            };
+            Ok(MosParams {
+                polarity,
+                vth,
+                kprime,
+                mobility,
+                lambda_l: positive("lambda_l", require("lambda_l", inputs.lambda_l)?)?,
+                cj: positive("cj", require("cj", inputs.cj_ff_um2)?)? * 1e-3,
+                cjsw: positive("cjsw", require("cjsw", inputs.cjsw_ff_um)?)? * 1e-9,
+                gamma: positive("gamma", inputs.gamma)?,
+                phi: positive("phi", inputs.phi)?,
+            })
+        };
+
+        let nmos = build_mos(Polarity::Nmos, &self.nmos)?;
+        let pmos = build_mos(Polarity::Pmos, &self.pmos)?;
+
+        let vdd = require("vdd", self.vdd_v)?;
+        let vss = require("vss", self.vss_v)?;
+        if vdd <= vss {
+            return Err(BuildProcessError::new(
+                "vdd",
+                format!("VDD ({vdd} V) must exceed VSS ({vss} V)"),
+            ));
+        }
+        let span = vdd - vss;
+        if span <= nmos.vth + pmos.vth {
+            return Err(BuildProcessError::new(
+                "vdd",
+                "supply span must exceed the sum of threshold voltages",
+            ));
+        }
+
+        let min_width = positive("min_width", require("min_width", self.min_width_um)?)? * 1e-6;
+        let min_length = positive("min_length", require("min_length", self.min_length_um)?)? * 1e-6;
+        let min_drain_width = positive(
+            "min_drain_width",
+            require("min_drain_width", self.min_drain_width_um)?,
+        )? * 1e-6;
+
+        // Gate overlap capacitances derived from a lateral diffusion of
+        // roughly 15% of the minimum length under the gate.
+        let ld = 0.15 * min_length;
+        let cgdo = cox * ld;
+        let cgbo = cox * ld * 0.5;
+
+        let cap_per_area = match self.cap_ff_um2 {
+            Some(ff) => positive("cap_ff_um2", ff)? * 1e-3,
+            None => cox / 2.0,
+        };
+
+        Ok(Process {
+            name: self.name,
+            nmos,
+            pmos,
+            min_width,
+            min_length,
+            min_drain_width,
+            built_in: positive("built_in", require("built_in", self.built_in_v)?)?,
+            vdd,
+            vss,
+            tox,
+            cox,
+            cgdo,
+            cgbo,
+            cap_per_area,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complete_builder() -> ProcessBuilder {
+        ProcessBuilder::new("test")
+            .vth(Polarity::Nmos, 1.0)
+            .vth(Polarity::Pmos, 1.0)
+            .kprime(Polarity::Nmos, 25.0)
+            .kprime(Polarity::Pmos, 10.0)
+            .lambda_l(Polarity::Nmos, 0.1)
+            .lambda_l(Polarity::Pmos, 0.12)
+            .cj(Polarity::Nmos, 0.3)
+            .cj(Polarity::Pmos, 0.45)
+            .cjsw(Polarity::Nmos, 0.5)
+            .cjsw(Polarity::Pmos, 0.6)
+            .min_width_um(5.0)
+            .min_length_um(5.0)
+            .min_drain_width_um(7.0)
+            .built_in_v(0.7)
+            .supply_v(5.0, -5.0)
+            .tox_angstrom(850.0)
+    }
+
+    #[test]
+    fn complete_set_builds() {
+        let p = complete_builder().build().unwrap();
+        assert_eq!(p.name(), "test");
+        // Cox = eps/tox ≈ 0.406 fF/µm² for 850 Å.
+        assert!((p.cox_ff_per_um2() - 0.406).abs() < 0.01);
+    }
+
+    #[test]
+    fn mobility_is_derived_from_kprime() {
+        let p = complete_builder().build().unwrap();
+        let derived = p.nmos().kprime() / p.cox();
+        assert!((p.nmos().mobility() / derived - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inconsistent_mobility_rejected() {
+        let err = complete_builder()
+            .mobility(Polarity::Nmos, 10_000.0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err.field(), "mobility");
+        assert!(err.to_string().contains("inconsistent"));
+    }
+
+    #[test]
+    fn consistent_mobility_accepted() {
+        // ~615 cm²/Vs matches K'n=25 µA/V² at 850 Å.
+        let p = complete_builder()
+            .mobility(Polarity::Nmos, 615.0)
+            .build()
+            .unwrap();
+        assert!((p.nmos().mobility_cm2() - 615.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_parameter_is_reported_by_name() {
+        let err = ProcessBuilder::new("x").build().unwrap_err();
+        assert_eq!(err.field(), "tox");
+    }
+
+    #[test]
+    fn inverted_rails_rejected() {
+        let err = complete_builder().supply_v(-5.0, 5.0).build().unwrap_err();
+        assert_eq!(err.field(), "vdd");
+    }
+
+    #[test]
+    fn tiny_supply_span_rejected() {
+        let err = complete_builder().supply_v(1.0, 0.0).build().unwrap_err();
+        assert!(err.to_string().contains("threshold"));
+    }
+
+    #[test]
+    fn negative_magnitudes_rejected() {
+        let err = complete_builder()
+            .kprime(Polarity::Nmos, -5.0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err.field(), "kprime");
+    }
+
+    #[test]
+    fn default_cap_density_is_half_cox() {
+        let p = complete_builder().build().unwrap();
+        assert!((p.cap_per_area() / p.cox() - 0.5).abs() < 1e-12);
+        let p2 = complete_builder().cap_ff_um2(0.35).build().unwrap();
+        assert!((p2.cap_per_area() - 0.35e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_caps_are_positive_and_small() {
+        let p = complete_builder().build().unwrap();
+        assert!(p.cgdo() > 0.0);
+        assert!(p.cgbo() > 0.0);
+        assert!(p.cgbo() < p.cgdo());
+    }
+}

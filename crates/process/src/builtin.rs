@@ -1,0 +1,166 @@
+//! Ready-made CMOS process parameter sets.
+//!
+//! The OASYS paper evaluates against *"a proprietary industrial 5 µm CMOS
+//! process"* whose parameters were never published. [`cmos_5um`] is a
+//! self-consistent, textbook-era substitute: any such parameter set
+//! exercises the same synthesis equations and selection/patching paths (see
+//! DESIGN.md §2). [`cmos_3um`] and [`cmos_1p2um`] provide scaled sets for
+//! process-migration experiments.
+
+use crate::{Polarity, Process, ProcessBuilder};
+
+/// A representative 5 µm dual-well CMOS process with ±5 V supplies,
+/// standing in for the paper's proprietary industrial process.
+///
+/// Headline values: `VT = ±1.0 V`, `K'n = 25 µA/V²`, `K'p = 10 µA/V²`,
+/// `t_ox = 850 Å` (so `Cox ≈ 0.41 fF/µm²`), `λ·L = 0.15 V⁻¹µm` (NMOS).
+///
+/// # Examples
+///
+/// ```
+/// let p = oasys_process::builtin::cmos_5um();
+/// assert!((p.nmos().vth().volts() - 1.0).abs() < 1e-12);
+/// assert!((p.vdd().volts() - 5.0).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn cmos_5um() -> Process {
+    ProcessBuilder::new("generic-5um")
+        .vth(Polarity::Nmos, 1.0)
+        .vth(Polarity::Pmos, 1.0)
+        .kprime(Polarity::Nmos, 25.0)
+        .kprime(Polarity::Pmos, 10.0)
+        .lambda_l(Polarity::Nmos, 0.15)
+        .lambda_l(Polarity::Pmos, 0.18)
+        .cj(Polarity::Nmos, 0.30)
+        .cj(Polarity::Pmos, 0.45)
+        .cjsw(Polarity::Nmos, 0.50)
+        .cjsw(Polarity::Pmos, 0.60)
+        .gamma(Polarity::Nmos, 0.40)
+        .gamma(Polarity::Pmos, 0.57)
+        .min_width_um(5.0)
+        .min_length_um(5.0)
+        .min_drain_width_um(7.0)
+        .built_in_v(0.70)
+        .supply_v(5.0, -5.0)
+        .tox_angstrom(850.0)
+        .build()
+        .expect("built-in 5um process parameters are self-consistent")
+}
+
+/// A representative 3 µm CMOS process with ±5 V supplies.
+///
+/// # Examples
+///
+/// ```
+/// let p = oasys_process::builtin::cmos_3um();
+/// assert!(p.min_length().micrometers() < 5.0);
+/// ```
+#[must_use]
+pub fn cmos_3um() -> Process {
+    ProcessBuilder::new("generic-3um")
+        .vth(Polarity::Nmos, 0.85)
+        .vth(Polarity::Pmos, 0.85)
+        .kprime(Polarity::Nmos, 40.0)
+        .kprime(Polarity::Pmos, 15.0)
+        .lambda_l(Polarity::Nmos, 0.09)
+        .lambda_l(Polarity::Pmos, 0.11)
+        .cj(Polarity::Nmos, 0.35)
+        .cj(Polarity::Pmos, 0.50)
+        .cjsw(Polarity::Nmos, 0.45)
+        .cjsw(Polarity::Pmos, 0.55)
+        .gamma(Polarity::Nmos, 0.45)
+        .gamma(Polarity::Pmos, 0.60)
+        .min_width_um(3.0)
+        .min_length_um(3.0)
+        .min_drain_width_um(4.5)
+        .built_in_v(0.70)
+        .supply_v(5.0, -5.0)
+        .tox_angstrom(500.0)
+        .build()
+        .expect("built-in 3um process parameters are self-consistent")
+}
+
+/// A representative 1.2 µm CMOS process with ±2.5 V supplies.
+///
+/// # Examples
+///
+/// ```
+/// let p = oasys_process::builtin::cmos_1p2um();
+/// assert!((p.vdd().volts() - 2.5).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn cmos_1p2um() -> Process {
+    ProcessBuilder::new("generic-1.2um")
+        .vth(Polarity::Nmos, 0.75)
+        .vth(Polarity::Pmos, 0.75)
+        .kprime(Polarity::Nmos, 90.0)
+        .kprime(Polarity::Pmos, 30.0)
+        .lambda_l(Polarity::Nmos, 0.08)
+        .lambda_l(Polarity::Pmos, 0.10)
+        .cj(Polarity::Nmos, 0.40)
+        .cj(Polarity::Pmos, 0.55)
+        .cjsw(Polarity::Nmos, 0.35)
+        .cjsw(Polarity::Pmos, 0.45)
+        .gamma(Polarity::Nmos, 0.50)
+        .gamma(Polarity::Pmos, 0.65)
+        .min_width_um(1.2)
+        .min_length_um(1.2)
+        .min_drain_width_um(1.8)
+        .built_in_v(0.80)
+        .supply_v(2.5, -2.5)
+        .tox_angstrom(220.0)
+        .build()
+        .expect("built-in 1.2um process parameters are self-consistent")
+}
+
+/// All built-in processes, largest feature size first.
+#[must_use]
+pub fn all() -> Vec<Process> {
+    vec![cmos_5um(), cmos_3um(), cmos_1p2um()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_builtins_construct() {
+        let procs = all();
+        assert_eq!(procs.len(), 3);
+        for p in &procs {
+            assert!(p.cox() > 0.0);
+            assert!(p.min_length().meters() > 0.0);
+        }
+    }
+
+    #[test]
+    fn scaling_trends_hold() {
+        let p5 = cmos_5um();
+        let p3 = cmos_3um();
+        let p1 = cmos_1p2um();
+        // Thinner oxide → larger Cox and K' as the process shrinks.
+        assert!(p3.cox() > p5.cox());
+        assert!(p1.cox() > p3.cox());
+        assert!(p3.nmos().kprime() > p5.nmos().kprime());
+        assert!(p1.nmos().kprime() > p3.nmos().kprime());
+        // Feature size shrinks.
+        assert!(p3.min_length() < p5.min_length());
+        assert!(p1.min_length() < p3.min_length());
+    }
+
+    #[test]
+    fn nmos_beats_pmos_in_every_builtin() {
+        for p in all() {
+            assert!(p.nmos().kprime() > p.pmos().kprime());
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let procs = all();
+        let mut names: Vec<&str> = procs.iter().map(|p| p.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), procs.len());
+    }
+}

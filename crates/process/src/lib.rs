@@ -1,0 +1,39 @@
+//! CMOS fabrication-process descriptions for the OASYS reproduction.
+//!
+//! The OASYS paper (Table 1) defines the process parameters the synthesis
+//! tool consumes: threshold voltages, transconductance parameters `K'`,
+//! geometric minima, supply voltage, oxide thickness, mobility, and the
+//! gate/junction capacitance coefficients, plus a channel-length-modulation
+//! model `λ = f(L)`. This crate provides:
+//!
+//! * [`Process`] — a validated, immutable parameter set with per-polarity
+//!   [`MosParams`] and derived quantities,
+//! * [`ProcessBuilder`] — construction with validation,
+//! * [`techfile`] — a small `key = value` technology-file format with a
+//!   parser and a writer (the paper: *"OASYS simply reads process
+//!   parameters from a technology file"*),
+//! * [`builtin`] — three ready-made parameter sets: a representative 5 µm
+//!   CMOS process standing in for the paper's proprietary industrial
+//!   process, plus 3 µm and 1.2 µm sets for scaling experiments.
+//!
+//! # Examples
+//!
+//! ```
+//! use oasys_process::{builtin, Polarity};
+//!
+//! let process = builtin::cmos_5um();
+//! assert_eq!(process.name(), "generic-5um");
+//! let nmos = process.mos(Polarity::Nmos);
+//! assert!(nmos.kprime_ua_per_v2() > 0.0);
+//! // λ shrinks with longer channels.
+//! assert!(nmos.lambda(10.0) < nmos.lambda(5.0));
+//! ```
+
+mod builder;
+pub mod builtin;
+mod params;
+pub mod techfile;
+
+pub use builder::{BuildProcessError, ProcessBuilder};
+pub use params::{MosParams, Polarity, Process};
+pub use techfile::ParseTechfileError;

@@ -1,0 +1,138 @@
+//! Property-based tests on process parameters: builder validation and
+//! technology-file round-trips over randomized parameter sets.
+
+use oasys_process::{techfile, Polarity, ProcessBuilder};
+use proptest::prelude::*;
+
+/// A randomized but self-consistent parameter set.
+#[derive(Clone, Debug)]
+struct Params {
+    vtn: f64,
+    vtp: f64,
+    kn: f64,
+    kp: f64,
+    lam_n: f64,
+    lam_p: f64,
+    min_l: f64,
+    tox: f64,
+    vdd: f64,
+}
+
+fn params() -> impl Strategy<Value = Params> {
+    (
+        0.4..1.5f64,      // vtn
+        0.4..1.5f64,      // vtp
+        15.0..120.0f64,   // K'n µA/V²
+        5.0..50.0f64,     // K'p
+        0.02..0.4f64,     // λ·L n
+        0.02..0.4f64,     // λ·L p
+        0.8..6.0f64,      // Lmin µm
+        150.0..1000.0f64, // tox Å
+        3.0..6.0f64,      // vdd (±)
+    )
+        .prop_map(|(vtn, vtp, kn, kp, lam_n, lam_p, min_l, tox, vdd)| Params {
+            vtn,
+            vtp,
+            kn,
+            kp,
+            lam_n,
+            lam_p,
+            min_l,
+            tox,
+            vdd,
+        })
+}
+
+fn build(p: &Params) -> Result<oasys_process::Process, oasys_process::BuildProcessError> {
+    ProcessBuilder::new("random")
+        .vth(Polarity::Nmos, p.vtn)
+        .vth(Polarity::Pmos, p.vtp)
+        .kprime(Polarity::Nmos, p.kn)
+        .kprime(Polarity::Pmos, p.kp)
+        .lambda_l(Polarity::Nmos, p.lam_n)
+        .lambda_l(Polarity::Pmos, p.lam_p)
+        .cj(Polarity::Nmos, 0.3)
+        .cj(Polarity::Pmos, 0.45)
+        .cjsw(Polarity::Nmos, 0.5)
+        .cjsw(Polarity::Pmos, 0.6)
+        .min_width_um(p.min_l)
+        .min_length_um(p.min_l)
+        .min_drain_width_um(p.min_l * 1.4)
+        .built_in_v(0.7)
+        .supply_v(p.vdd, -p.vdd)
+        .tox_angstrom(p.tox)
+        .build()
+}
+
+proptest! {
+    /// Every parameter set in the strategy's range builds, and the
+    /// derived Cox matches ε_ox/t_ox.
+    #[test]
+    fn valid_ranges_build(p in params()) {
+        let process = build(&p).unwrap();
+        let eps_ox = 3.9 * 8.854e-12;
+        let expected_cox = eps_ox / (p.tox * 1e-10);
+        prop_assert!((process.cox() / expected_cox - 1.0).abs() < 1e-9);
+        // Mobility is derived consistently: µ = K'/Cox.
+        let mu = process.nmos().mobility();
+        prop_assert!((mu * process.cox() / process.nmos().kprime() - 1.0).abs() < 1e-9);
+    }
+
+    /// Technology files round-trip every randomized parameter set.
+    #[test]
+    fn techfile_roundtrip(p in params()) {
+        let original = build(&p).unwrap();
+        let text = techfile::write(&original);
+        let reparsed = techfile::parse(&text).unwrap();
+        for pol in Polarity::ALL {
+            let a = original.mos(pol);
+            let b = reparsed.mos(pol);
+            prop_assert!((a.vth().volts() / b.vth().volts() - 1.0).abs() < 1e-9);
+            prop_assert!((a.kprime() / b.kprime() - 1.0).abs() < 1e-9);
+            prop_assert!((a.lambda_l() / b.lambda_l() - 1.0).abs() < 1e-9);
+            prop_assert!((a.gamma() / b.gamma() - 1.0).abs() < 1e-9);
+        }
+        prop_assert!((original.vdd().volts() - reparsed.vdd().volts()).abs() < 1e-9);
+        prop_assert!((original.cox() / reparsed.cox() - 1.0).abs() < 1e-9);
+        prop_assert!(
+            (original.min_length().meters() / reparsed.min_length().meters() - 1.0).abs()
+                < 1e-9
+        );
+    }
+
+    /// λ(L) is always positive and decreasing in L.
+    #[test]
+    fn lambda_monotone(p in params(), l1 in 1.0..50.0f64, factor in 1.1..5.0f64) {
+        let process = build(&p).unwrap();
+        let lam1 = process.nmos().lambda(l1);
+        let lam2 = process.nmos().lambda(l1 * factor);
+        prop_assert!(lam1 > 0.0);
+        prop_assert!(lam2 < lam1);
+        prop_assert!((lam1 / lam2 / factor - 1.0).abs() < 1e-9);
+    }
+
+    /// Negative or zero magnitudes are always rejected, never panicking.
+    #[test]
+    fn invalid_magnitudes_rejected(p in params(), sign in prop::bool::ANY) {
+        let bad = if sign { 0.0 } else { -1.0 };
+        let result = ProcessBuilder::new("bad")
+            .vth(Polarity::Nmos, bad)
+            .vth(Polarity::Pmos, p.vtp)
+            .kprime(Polarity::Nmos, p.kn)
+            .kprime(Polarity::Pmos, p.kp)
+            .lambda_l(Polarity::Nmos, p.lam_n)
+            .lambda_l(Polarity::Pmos, p.lam_p)
+            .cj(Polarity::Nmos, 0.3)
+            .cj(Polarity::Pmos, 0.45)
+            .cjsw(Polarity::Nmos, 0.5)
+            .cjsw(Polarity::Pmos, 0.6)
+            .min_width_um(p.min_l)
+            .min_length_um(p.min_l)
+            .min_drain_width_um(p.min_l)
+            .built_in_v(0.7)
+            .supply_v(p.vdd, -p.vdd)
+            .tox_angstrom(p.tox)
+            .build();
+        prop_assert!(result.is_err());
+    }
+}

@@ -1,0 +1,239 @@
+//! Minimal complex arithmetic for AC analysis.
+//!
+//! Implemented in-repo rather than pulling `num-complex`: AC analysis needs
+//! only the field operations, magnitude and argument.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A double-precision complex number.
+///
+/// # Examples
+///
+/// ```
+/// use oasys_sim::Complex;
+/// let a = Complex::new(3.0, 4.0);
+/// assert!((a.abs() - 5.0).abs() < 1e-12);
+/// let b = a * Complex::I;
+/// assert!((b.re + 4.0).abs() < 1e-12);
+/// assert!((b.im - 3.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The additive identity.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// The multiplicative identity.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from real and imaginary parts.
+    #[must_use]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[must_use]
+    pub const fn from_real(re: f64) -> Self {
+        Self { re, im: 0.0 }
+    }
+
+    /// Magnitude `|z|`, computed with `hypot` for stability.
+    #[must_use]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude `|z|²`.
+    #[must_use]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Argument (phase) in radians, in `(-π, π]`.
+    #[must_use]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex conjugate.
+    #[must_use]
+    pub fn conj(self) -> Self {
+        Self::new(self.re, -self.im)
+    }
+
+    /// Multiplicative inverse `1/z`.
+    ///
+    /// Division by the zero complex number yields infinities/NaN, as with
+    /// `f64` division.
+    #[must_use]
+    pub fn recip(self) -> Self {
+        let d = self.norm_sqr();
+        Self::new(self.re / d, -self.im / d)
+    }
+
+    /// Returns `true` if both parts are finite.
+    #[must_use]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// Scales by a real factor.
+    #[must_use]
+    pub fn scale(self, k: f64) -> Self {
+        Self::new(self.re * k, self.im * k)
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(re: f64) -> Self {
+        Self::from_real(re)
+    }
+}
+
+impl Add for Complex {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex {
+    fn add_assign(&mut self, rhs: Self) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        Self::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for Complex {
+    fn sub_assign(&mut self, rhs: Self) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for Complex {
+    type Output = Self;
+    fn mul(self, rhs: Self) -> Self {
+        Self::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for Complex {
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl Div for Complex {
+    type Output = Self;
+    // Division by reciprocal multiplication is the standard complex
+    // formula, not an operator mix-up.
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    fn div(self, rhs: Self) -> Self {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for Complex {
+    type Output = Self;
+    fn neg(self) -> Self {
+        Self::new(-self.re, -self.im)
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}j", self.re, self.im)
+        } else {
+            write!(f, "{}{}j", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex, b: Complex) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn field_operations() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        assert!(close(a + b, Complex::new(4.0, 1.0)));
+        assert!(close(a - b, Complex::new(-2.0, 3.0)));
+        assert!(close(a * b, Complex::new(5.0, 5.0)));
+        assert!(close((a / b) * b, a));
+        assert!(close(-a, Complex::new(-1.0, -2.0)));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert!(close(Complex::I * Complex::I, -Complex::ONE));
+    }
+
+    #[test]
+    fn abs_arg_conj() {
+        let z = Complex::new(0.0, 2.0);
+        assert!((z.abs() - 2.0).abs() < 1e-12);
+        assert!((z.arg() - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        assert!(close(z.conj(), Complex::new(0.0, -2.0)));
+    }
+
+    #[test]
+    fn recip_inverts() {
+        let z = Complex::new(3.0, 4.0);
+        assert!(close(z * z.recip(), Complex::ONE));
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut z = Complex::ONE;
+        z += Complex::I;
+        z -= Complex::ONE;
+        z *= Complex::new(0.0, -1.0);
+        assert!(close(z, Complex::ONE));
+    }
+
+    #[test]
+    fn display_signs() {
+        assert_eq!(Complex::new(1.0, 2.0).to_string(), "1+2j");
+        assert_eq!(Complex::new(1.0, -2.0).to_string(), "1-2j");
+    }
+
+    #[test]
+    fn from_real_and_finite() {
+        let z: Complex = 2.5.into();
+        assert_eq!(z, Complex::from_real(2.5));
+        assert!(z.is_finite());
+        assert!(!Complex::new(f64::NAN, 0.0).is_finite());
+    }
+
+    #[test]
+    fn scale() {
+        let z = Complex::new(1.0, -2.0).scale(3.0);
+        assert!(close(z, Complex::new(3.0, -6.0)));
+    }
+}

@@ -1,0 +1,172 @@
+//! SPICE-style SI-suffix parsing for engineering quantities.
+//!
+//! Accepts the customary SPICE magnitude suffixes (`f p n u m k meg g t`,
+//! case-insensitive, with `µ` accepted for `u`) optionally followed by the
+//! unit symbol, e.g. `"5p"`, `"5pF"`, `"2.2meg"`, `"100 n"`.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a quantity string cannot be parsed.
+///
+/// # Examples
+///
+/// ```
+/// use oasys_units::Capacitance;
+/// let err = "abc".parse::<Capacitance>().unwrap_err();
+/// assert!(err.to_string().contains("invalid quantity"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseQuantityError {
+    input: String,
+    reason: &'static str,
+}
+
+impl ParseQuantityError {
+    fn new(input: &str, reason: &'static str) -> Self {
+        Self {
+            input: input.to_owned(),
+            reason,
+        }
+    }
+}
+
+impl fmt::Display for ParseQuantityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid quantity `{}`: {}", self.input, self.reason)
+    }
+}
+
+impl Error for ParseQuantityError {}
+
+/// Parses `input` as a magnitude with an optional SI suffix and optional
+/// trailing `unit` symbol, returning the value in SI base units.
+pub(crate) fn parse_si(input: &str, unit: &str) -> Result<f64, ParseQuantityError> {
+    let trimmed = input.trim();
+    if trimmed.is_empty() {
+        return Err(ParseQuantityError::new(input, "empty string"));
+    }
+
+    // Split the leading numeric part from the suffix.
+    let numeric_end = trimmed
+        .char_indices()
+        .take_while(|&(i, c)| {
+            c.is_ascii_digit()
+                || c == '.'
+                || c == '-'
+                || c == '+'
+                // Exponent marker only counts as numeric when followed by a
+                // digit or sign; otherwise it's an SI/unit suffix like "E".
+                || (matches!(c, 'e' | 'E')
+                    && trimmed[i + c.len_utf8()..]
+                        .chars()
+                        .next()
+                        .is_some_and(|n| n.is_ascii_digit() || n == '-' || n == '+'))
+        })
+        .last()
+        .map_or(0, |(i, c)| i + c.len_utf8());
+
+    let (num_str, rest) = trimmed.split_at(numeric_end);
+    let value: f64 = num_str
+        .parse()
+        .map_err(|_| ParseQuantityError::new(input, "no numeric magnitude"))?;
+
+    let suffix = rest.trim();
+    let multiplier = match_suffix(suffix, unit)
+        .ok_or_else(|| ParseQuantityError::new(input, "unrecognized suffix"))?;
+    Ok(value * multiplier)
+}
+
+/// Maps an SI suffix (with optional trailing unit symbol) to a multiplier.
+///
+/// Follows the SPICE convention: the magnitude prefix, when present, is
+/// matched first (`meg` before `m`), and whatever follows it must be the
+/// unit symbol (or nothing). `"1f"` with unit `F` is therefore one
+/// femtofarad, not one farad; a bare `"1F"` without a prefix is one farad
+/// because the suffix then matches the unit symbol exactly.
+fn match_suffix(suffix: &str, unit: &str) -> Option<f64> {
+    let lower = suffix.to_lowercase().replace('µ', "u");
+    let unit_lower = unit.to_lowercase();
+    if lower.is_empty() {
+        return Some(1.0);
+    }
+
+    // Longest prefixes first so `meg` is not read as milli.
+    const PREFIXES: [(&str, f64); 9] = [
+        ("meg", 1e6),
+        ("f", 1e-15),
+        ("p", 1e-12),
+        ("n", 1e-9),
+        ("u", 1e-6),
+        ("m", 1e-3),
+        ("k", 1e3),
+        ("g", 1e9),
+        ("t", 1e12),
+    ];
+    for (prefix, factor) in PREFIXES {
+        if let Some(rest) = lower.strip_prefix(prefix) {
+            let rest = rest.trim();
+            if rest.is_empty() || rest == unit_lower {
+                return Some(factor);
+            }
+        }
+    }
+    // No magnitude prefix: the suffix must be exactly the unit symbol.
+    (lower == unit_lower).then_some(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_numbers() {
+        assert_eq!(parse_si("5", "F").unwrap(), 5.0);
+        assert_eq!(parse_si("-2.5", "V").unwrap(), -2.5);
+        assert_eq!(parse_si("1e3", "Hz").unwrap(), 1000.0);
+        assert_eq!(parse_si("1.5e-6", "A").unwrap(), 1.5e-6);
+    }
+
+    #[test]
+    fn si_suffixes() {
+        assert_eq!(parse_si("5p", "F").unwrap(), 5e-12);
+        assert_eq!(parse_si("5pF", "F").unwrap(), 5e-12);
+        assert!((parse_si("100n", "A").unwrap() / 100e-9 - 1.0).abs() < 1e-12);
+        assert_eq!(parse_si("2.2meg", "Hz").unwrap(), 2.2e6);
+        assert_eq!(parse_si("1k", "Ω").unwrap(), 1e3);
+        assert_eq!(parse_si("3u", "m").unwrap(), 3e-6);
+        assert_eq!(parse_si("3µ", "m").unwrap(), 3e-6);
+        assert_eq!(parse_si("1f", "F").unwrap(), 1e-15);
+        assert_eq!(parse_si("4g", "Hz").unwrap(), 4e9);
+        assert_eq!(parse_si("1t", "Hz").unwrap(), 1e12);
+    }
+
+    #[test]
+    fn whitespace_and_case() {
+        assert_eq!(parse_si("  5 P ", "F").unwrap(), 5e-12);
+        assert_eq!(parse_si("2.2MEG", "Hz").unwrap(), 2.2e6);
+        assert_eq!(parse_si("10 pf", "F").unwrap(), 10e-12);
+    }
+
+    #[test]
+    fn unit_symbol_alone_is_unity() {
+        assert_eq!(parse_si("5V", "V").unwrap(), 5.0);
+        assert_eq!(parse_si("60Hz", "Hz").unwrap(), 60.0);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_si("", "V").is_err());
+        assert!(parse_si("abc", "V").is_err());
+        assert!(parse_si("5x", "V").is_err());
+        assert!(parse_si("--5", "V").is_err());
+    }
+
+    #[test]
+    fn error_is_displayable() {
+        let err = parse_si("zzz", "V").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("zzz"));
+        assert!(!msg.is_empty());
+    }
+}

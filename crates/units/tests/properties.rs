@@ -1,0 +1,103 @@
+//! Property-based tests for the unit types: round-trips, algebraic laws,
+//! and formatting/parsing consistency.
+
+use oasys_units::{Capacitance, Current, Decibels, Degrees, Frequency, Resistance, Voltage};
+use proptest::prelude::*;
+
+/// Magnitudes that stay well inside f64's exact territory for the
+/// relative-error bounds used below.
+fn magnitude() -> impl Strategy<Value = f64> {
+    prop_oneof![(1e-15..1e15f64), (1e-15..1e15f64).prop_map(|v| -v),]
+}
+
+proptest! {
+    #[test]
+    fn voltage_addition_commutes(a in magnitude(), b in magnitude()) {
+        let (x, y) = (Voltage::new(a), Voltage::new(b));
+        prop_assert_eq!((x + y).volts(), (y + x).volts());
+    }
+
+    #[test]
+    fn voltage_sub_is_add_neg(a in magnitude(), b in magnitude()) {
+        let (x, y) = (Voltage::new(a), Voltage::new(b));
+        prop_assert_eq!((x - y).volts(), (x + (-y)).volts());
+    }
+
+    #[test]
+    fn scalar_distributes(a in -1e12..1e12f64, k in -1e3..1e3f64) {
+        let x = Current::new(a);
+        let lhs = (x * k).amps();
+        let rhs = k * a;
+        prop_assert!((lhs - rhs).abs() <= 1e-12 * rhs.abs().max(1.0));
+    }
+
+    #[test]
+    fn ohms_law_roundtrip(v in 1e-6..1e3f64, r in 1e-3..1e9f64) {
+        let voltage = Voltage::new(v);
+        let resistance = Resistance::new(r);
+        let current = voltage / resistance;
+        let back = current * resistance;
+        prop_assert!((back.volts() / v - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conductance_reciprocal_involution(r in 1e-6..1e12f64) {
+        let resistance = Resistance::new(r);
+        let twice = resistance.to_conductance().to_resistance();
+        prop_assert!((twice.ohms() / r - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decibel_ratio_roundtrip(ratio in 1e-6..1e7f64) {
+        let db = Decibels::from_voltage_ratio(ratio);
+        prop_assert!((db.to_voltage_ratio() / ratio - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decibel_product_is_sum(a in 1e-3..1e3f64, b in 1e-3..1e3f64) {
+        let da = Decibels::from_voltage_ratio(a);
+        let db = Decibels::from_voltage_ratio(b);
+        let combined = Decibels::from_voltage_ratio(a * b);
+        prop_assert!(((da + db).db() - combined.db()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degrees_radians_roundtrip(deg in -1e4..1e4f64) {
+        let d = Degrees::new(deg);
+        prop_assert!((Degrees::from_radians(d.radians()).degrees() - deg).abs() < 1e-9);
+    }
+
+    #[test]
+    fn angular_frequency_roundtrip(hz in 1e-3..1e12f64) {
+        let f = Frequency::new(hz);
+        let back = Frequency::from_radians_per_second(f.radians_per_second());
+        prop_assert!((back.hertz() / hz - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_then_parse_is_close(pf in 0.001..1e6f64) {
+        // Engineering display keeps 3-4 significant figures; parsing the
+        // rendered text must land within that precision.
+        let c = Capacitance::from_pico(pf);
+        let text = c.to_string();
+        let parsed: Capacitance = text.parse().unwrap();
+        prop_assert!(
+            (parsed.farads() / c.farads() - 1.0).abs() < 5e-3,
+            "{} reparsed as {}", text, parsed
+        );
+    }
+
+    #[test]
+    fn parse_si_suffix_scales(mantissa in 0.1..999.0f64) {
+        let micro: Current = format!("{mantissa}u").parse().unwrap();
+        let milli: Current = format!("{mantissa}m").parse().unwrap();
+        prop_assert!((milli.amps() / micro.amps() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_max_ordering(a in magnitude(), b in magnitude()) {
+        let (x, y) = (Voltage::new(a), Voltage::new(b));
+        prop_assert!(x.min(y).volts() <= x.max(y).volts());
+        prop_assert_eq!(x.min(y).volts() + x.max(y).volts(), a + b);
+    }
+}

@@ -1,0 +1,125 @@
+//! Designing the analog front end of a successive-approximation A/D
+//! converter — the system-level scenario the paper's Figure 1 motivates.
+//!
+//! A SAR converter needs (at least) two different amplifiers:
+//!
+//! * a **sample-and-hold buffer** — modest gain, fast settling into the
+//!   hold capacitor, low power;
+//! * a **comparator preamplifier** — as much gain as possible so the
+//!   latch sees a large overdrive, driving only gate capacitance.
+//!
+//! Both come from the *same* op-amp templates with different
+//! specifications, demonstrating the paper's reuse argument: "an op amp
+//! is a sub-block in many A/D converter topologies, but there need be
+//! only one set of selectors/translators for op amps."
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example adc_frontend
+//! ```
+
+use oasys::comparator::{design_comparator, ComparatorSpec};
+use oasys::fully_differential::{design_fully_differential, FdSpec};
+use oasys::hierarchy;
+use oasys::{synthesize, verify, Datasheet, OpAmpSpec};
+use oasys_process::builtin;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("{}", hierarchy::successive_approximation_adc());
+
+    let process = builtin::cmos_5um();
+
+    // The hold capacitor of a 10-bit, 100 kS/s SAR: settle 10 pF within
+    // half an LSB in half a conversion cycle → slew and bandwidth floors.
+    let sample_hold = OpAmpSpec::builder()
+        .dc_gain_db(55.0)
+        .unity_gain_mhz(2.0)
+        .phase_margin_deg(60.0)
+        .load_pf(10.0)
+        .slew_rate_v_per_us(5.0)
+        .max_power_mw(2.0)
+        .build()?;
+
+    // The comparator preamp: gain is everything; the load is the latch's
+    // gate capacitance.
+    let comparator_preamp = OpAmpSpec::builder()
+        .dc_gain_db(90.0)
+        .unity_gain_mhz(1.0)
+        .phase_margin_deg(50.0)
+        .load_pf(2.0)
+        .build()?;
+
+    for (name, spec) in [
+        ("sample-and-hold buffer", sample_hold),
+        ("comparator preamplifier", comparator_preamp),
+    ] {
+        println!("──────────────────────────────────────────────");
+        println!("designing the {name}\n  spec: {spec}\n");
+        let result = synthesize(&spec, &process)?;
+        println!("{result}");
+        let design = result.selected();
+        let verification = verify(design, &process, spec.load().farads())?;
+        let sheet = Datasheet::new(
+            name,
+            &spec,
+            design.predicted(),
+            Some(&verification.measured),
+        );
+        println!("{sheet}");
+        if !sheet.all_measured_pass() {
+            println!("!! measured shortfalls: {:?}", sheet.failures());
+        }
+    }
+
+    // The comparator itself is a different functional block, synthesized
+    // from the same sub-block designers (the paper's named extension).
+    // A 10-bit SAR at ±2 V full scale needs to resolve ~4 mV per decision.
+    println!("──────────────────────────────────────────────");
+    let comp_spec = ComparatorSpec::builder()
+        .resolution_mv(4.0)
+        .decision_time_us(1.0)
+        .load_pf(0.5)
+        .build()?;
+    println!(
+        "designing the comparator
+  spec: {comp_spec}
+"
+    );
+    let comp = design_comparator(&comp_spec, &process)?;
+    println!(
+        "comparator: {} gain stages + replica, {} devices, gain {:.0}, \
+         predicted decision {:.2} µs, area {}",
+        comp.stages(),
+        comp.device_count(),
+        comp.predicted_gain(),
+        comp.predicted_decision_s() * 1e6,
+        comp.area()
+    );
+
+    // The capacitor-array driver benefits from a fully-differential
+    // signal path (charge-injection and supply-noise rejection) — the
+    // paper's other named topology extension, with its common-mode
+    // feedback loop closed in simulation.
+    println!("──────────────────────────────────────────────");
+    let fd_spec = FdSpec::builder()
+        .diff_gain_db(45.0)
+        .unity_gain_mhz(2.0)
+        .load_pf_per_side(3.0)
+        .build()?;
+    println!(
+        "designing the differential DAC driver
+  spec: {fd_spec}
+"
+    );
+    let fd = design_fully_differential(&fd_spec, &process)?;
+    println!(
+        "fully-differential amp: {} devices (incl. the CMFB error amp), \
+         diff gain {:.0} dB, f_u {:.2} MHz, area {}",
+        fd.device_count(),
+        20.0 * fd.predicted_gain().log10(),
+        fd.predicted_unity_hz() / 1e6,
+        fd.area()
+    );
+    Ok(())
+}

@@ -1,0 +1,75 @@
+//! Exploring the continuous design space — the paper's Figure 7 argument
+//! that a synthesis tool beats any cell library.
+//!
+//! *"An important advantage of a tool such as OASYS is its ability to
+//! design with respect to a continuous range of performance parameters.
+//! This is in sharp contrast to design styles based on a library of fixed
+//! cells."* This example sweeps the gain requirement continuously, prints
+//! the area/style frontier, and marks the automatic topology changes.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example design_space
+//! ```
+
+use oasys::spec::test_cases;
+use oasys::styles::{design_folded_cascode, design_one_stage, design_two_stage};
+use oasys_process::builtin;
+
+fn main() {
+    let process = builtin::cmos_5um();
+    let base = test_cases::spec_a();
+
+    println!("gain sweep on spec-A constraints (5 pF load), 1 dB steps:\n");
+    println!(
+        "{:>8}  {:>24}  {:>24}  {:>24}",
+        "gain dB", "one-stage", "two-stage", "folded cascode"
+    );
+
+    let mut last_signature = (String::new(), String::new(), String::new());
+    for tenth in (30 * 10..=115 * 10).step_by(10) {
+        let gain_db = f64::from(tenth) / 10.0;
+        let spec = base.with_dc_gain_db(gain_db);
+        let one = design_one_stage(&spec, &process).ok();
+        let two = design_two_stage(&spec, &process).ok();
+        let folded = design_folded_cascode(&spec, &process).ok();
+
+        let describe = |d: &Option<oasys::OpAmpDesign>| match d {
+            Some(d) => format!(
+                "{:>7.0} µm² / {} dev{}",
+                d.area().total_um2(),
+                d.device_count(),
+                if d.notes().is_empty() { "" } else { "*" }
+            ),
+            None => "infeasible".to_owned(),
+        };
+        let sig = |d: &Option<oasys::OpAmpDesign>| {
+            d.as_ref()
+                .map(|d| format!("{}{}", d.device_count(), d.notes().join("")))
+                .unwrap_or_default()
+        };
+        let signature = (sig(&one), sig(&two), sig(&folded));
+        // Print only rows where a topology changes, plus decade markers,
+        // to keep the output readable.
+        let topology_change = signature != last_signature;
+        if topology_change || tenth % 100 == 0 {
+            println!(
+                "{:>8.1}  {:>24}  {:>24}  {:>24}{}",
+                gain_db,
+                describe(&one),
+                describe(&two),
+                describe(&folded),
+                if topology_change && tenth != 300 {
+                    "   ← topology change"
+                } else {
+                    ""
+                }
+            );
+        }
+        last_signature = signature;
+    }
+    println!(
+        "\n(* = a patch rule modified the template: cascoding, partition skew, level shifter)"
+    );
+}

@@ -1,0 +1,59 @@
+//! Quickstart: synthesize a sized CMOS op-amp schematic from a
+//! performance specification, exactly as OASYS does in the paper.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use oasys::{synthesize, verify, Datasheet, OpAmpSpec};
+use oasys_netlist::{report, spice};
+use oasys_process::builtin;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. State the performance requirements (the paper's Table 2 inputs).
+    let spec = OpAmpSpec::builder()
+        .dc_gain_db(65.0)
+        .unity_gain_mhz(1.0)
+        .phase_margin_deg(55.0)
+        .load_pf(10.0)
+        .slew_rate_v_per_us(3.0)
+        .build()?;
+    println!("specification: {spec}\n");
+
+    // 2. Pick a fabrication process (or parse one from a technology file).
+    let process = builtin::cmos_5um();
+    println!("process: {process}\n");
+
+    // 3. Synthesize: every design style is attempted breadth-first and the
+    //    smallest feasible design wins.
+    let result = synthesize(&spec, &process)?;
+    println!("{result}");
+    let design = result.selected();
+    println!("selected {design}");
+    if !design.notes().is_empty() {
+        println!("design decisions: {}", design.notes().join("; "));
+    }
+
+    // 4. Inspect the sized transistor schematic.
+    println!("\n{}", report::device_table(design.circuit()));
+
+    // 5. Verify end to end with the bundled analog simulator.
+    let verification = verify(design, &process, spec.load().farads())?;
+    let datasheet = Datasheet::new(
+        "quickstart op amp",
+        &spec,
+        design.predicted(),
+        Some(&verification.measured),
+    );
+    println!("{datasheet}");
+
+    // 6. Export a SPICE deck for cross-checking elsewhere.
+    let deck = spice::to_spice(design.circuit(), &process);
+    println!(
+        "SPICE deck ({} lines) ready for export",
+        deck.lines().count()
+    );
+    Ok(())
+}

@@ -1,0 +1,17 @@
+//! Workspace umbrella crate for the OASYS reproduction.
+//!
+//! This crate carries no code of its own: it exists so the workspace root
+//! can host the runnable [examples](https://github.com/) (`examples/`)
+//! and the cross-crate integration tests (`tests/`) that exercise the
+//! full behaviour-to-structure pipeline. The implementation lives in the
+//! member crates; start at [`oasys`] for synthesis or [`oasys_sim`] for
+//! the analog simulator.
+
+pub use oasys;
+pub use oasys_blocks;
+pub use oasys_mos;
+pub use oasys_netlist;
+pub use oasys_plan;
+pub use oasys_process;
+pub use oasys_sim;
+pub use oasys_units;

@@ -1,0 +1,171 @@
+//! Cross-crate integration tests: the full behaviour-to-structure
+//! pipeline from specification to simulator-verified schematic.
+
+use oasys::spec::test_cases;
+use oasys::{synthesize, verify, Datasheet, OpAmpSpec, OpAmpStyle};
+use oasys_netlist::spice;
+use oasys_process::{builtin, techfile};
+
+/// The headline reproduction: all three paper cases synthesize, select
+/// the paper's styles, and their simulated performance meets the specs.
+#[test]
+fn paper_cases_end_to_end() {
+    let process = builtin::cmos_5um();
+    let cases = [
+        ("A", test_cases::spec_a(), OpAmpStyle::OneStageOta),
+        ("B", test_cases::spec_b(), OpAmpStyle::TwoStage),
+        ("C", test_cases::spec_c(), OpAmpStyle::TwoStage),
+    ];
+    for (label, spec, expected_style) in cases {
+        let result = synthesize(&spec, &process).unwrap_or_else(|e| panic!("case {label}: {e}"));
+        let design = result.selected();
+        assert_eq!(design.style(), expected_style, "case {label} style");
+
+        let verification = verify(design, &process, spec.load().farads())
+            .unwrap_or_else(|e| panic!("case {label} verification: {e}"));
+        let sheet = Datasheet::new(
+            format!("case {label}"),
+            &spec,
+            design.predicted(),
+            Some(&verification.measured),
+        );
+        assert!(
+            sheet.all_measured_pass(),
+            "case {label} failed: {:?}\n{sheet}",
+            sheet.failures()
+        );
+    }
+}
+
+/// Every synthesized circuit passes netlist validation and exports a
+/// SPICE deck with one card per device.
+#[test]
+fn synthesized_netlists_are_well_formed() {
+    let process = builtin::cmos_5um();
+    for (label, spec) in [
+        ("A", test_cases::spec_a()),
+        ("B", test_cases::spec_b()),
+        ("C", test_cases::spec_c()),
+    ] {
+        let result = synthesize(&spec, &process).unwrap_or_else(|e| panic!("case {label}: {e}"));
+        let circuit = result.selected().circuit();
+        circuit.validate().unwrap();
+        let deck = spice::to_spice(circuit, &process);
+        let mos_cards = deck
+            .lines()
+            .filter(|l| {
+                l.starts_with('M')
+                    || l.starts_with("DP_")
+                    || l.starts_with("LD_")
+                    || l.starts_with("TL_")
+                    || l.starts_with("ST2_")
+                    || l.starts_with("SK_")
+                    || l.starts_with("LS_")
+                    || l.starts_with("LB_")
+            })
+            .count();
+        assert!(
+            mos_cards >= result.selected().device_count(),
+            "case {label}: {mos_cards} cards for {} devices",
+            result.selected().device_count()
+        );
+        assert!(deck.contains(".MODEL MODN NMOS"));
+        assert!(deck.ends_with(".END\n"));
+    }
+}
+
+/// Synthesis works against a process loaded from a technology file, not
+/// just the built-in objects (the paper's process-independence claim).
+#[test]
+fn synthesis_from_technology_file() {
+    let text = techfile::write(&builtin::cmos_5um());
+    let process = techfile::parse(&text).unwrap();
+    let result = synthesize(&test_cases::spec_a(), &process).unwrap();
+    assert_eq!(result.selected().style(), OpAmpStyle::OneStageOta);
+}
+
+/// The same specification ports across all three bundled processes, and
+/// scaling shrinks the design.
+#[test]
+fn process_migration_shrinks_designs() {
+    let spec = OpAmpSpec::builder()
+        .dc_gain_db(65.0)
+        .unity_gain_mhz(0.5)
+        .phase_margin_deg(50.0)
+        .load_pf(5.0)
+        .build()
+        .unwrap();
+    let areas: Vec<f64> = [
+        builtin::cmos_5um(),
+        builtin::cmos_3um(),
+        builtin::cmos_1p2um(),
+    ]
+    .iter()
+    .map(|p| {
+        synthesize(&spec, p)
+            .unwrap_or_else(|e| panic!("{}: {e}", p.name()))
+            .selected()
+            .area()
+            .total_um2()
+    })
+    .collect();
+    assert!(
+        areas[1] < areas[0],
+        "3 µm should shrink from 5 µm: {areas:?}"
+    );
+    assert!(
+        areas[2] < areas[1],
+        "1.2 µm should shrink from 3 µm: {areas:?}"
+    );
+}
+
+/// Deterministic synthesis: identical inputs give identical designs.
+#[test]
+fn synthesis_is_deterministic() {
+    let process = builtin::cmos_5um();
+    let spec = test_cases::spec_c();
+    let a = synthesize(&spec, &process).unwrap();
+    let b = synthesize(&spec, &process).unwrap();
+    assert_eq!(a.selected().circuit(), b.selected().circuit());
+    assert_eq!(
+        a.selected().area().total_um2(),
+        b.selected().area().total_um2()
+    );
+}
+
+/// Tightening a specification never makes the selected design smaller
+/// (sanity of the area model along the paper's Figure 7 axis).
+#[test]
+fn harder_specs_cost_area_monotonically_enough() {
+    let process = builtin::cmos_5um();
+    let base = test_cases::spec_a();
+    let mut prev_area = 0.0;
+    for gain_db in [40.0, 50.0, 70.0, 90.0] {
+        let spec = base.with_dc_gain_db(gain_db);
+        let area = synthesize(&spec, &process)
+            .unwrap_or_else(|e| panic!("{gain_db} dB: {e}"))
+            .selected()
+            .area()
+            .total_um2();
+        // Selection may hop styles, so allow small non-monotonic dips but
+        // not large ones.
+        assert!(
+            area > prev_area * 0.7,
+            "area collapsed from {prev_area} to {area} at {gain_db} dB"
+        );
+        prev_area = prev_area.max(area);
+    }
+}
+
+/// An impossible spec fails with per-style diagnostics rather than a
+/// panic or a bogus design.
+#[test]
+fn infeasible_specs_fail_cleanly() {
+    let process = builtin::cmos_5um();
+    let spec = test_cases::spec_a().with_dc_gain_db(139.0);
+    let err = synthesize(&spec, &process).unwrap_err();
+    assert_eq!(err.rejections().len(), 3);
+    for (_, reason) in err.rejections() {
+        assert!(!reason.is_empty());
+    }
+}

@@ -1,0 +1,48 @@
+//! The shipped `data/*.tech` files stay in sync with the built-in process
+//! definitions and parse into identical parameter sets.
+
+use oasys_process::{builtin, techfile, Polarity};
+
+#[test]
+fn shipped_techfiles_match_builtins() {
+    for process in builtin::all() {
+        let path = format!("data/{}.tech", process.name());
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!("{path}: {e} (run `cargo run -p oasys-bench --bin gen_techfiles`)")
+        });
+        let parsed = techfile::parse(&text).unwrap_or_else(|e| panic!("{path}: {e}"));
+        assert_eq!(parsed.name(), process.name());
+        for pol in Polarity::ALL {
+            let a = process.mos(pol);
+            let b = parsed.mos(pol);
+            assert!(
+                (a.kprime() / b.kprime() - 1.0).abs() < 1e-9,
+                "{path} {pol} kprime"
+            );
+            assert!(
+                (a.vth().volts() - b.vth().volts()).abs() < 1e-9,
+                "{path} {pol} vth"
+            );
+            assert!(
+                (a.lambda_l() / b.lambda_l() - 1.0).abs() < 1e-9,
+                "{path} {pol} lambda"
+            );
+        }
+        assert!(
+            (process.cox() / parsed.cox() - 1.0).abs() < 1e-9,
+            "{path} cox"
+        );
+        assert!(
+            (process.vdd().volts() - parsed.vdd().volts()).abs() < 1e-12,
+            "{path} vdd"
+        );
+    }
+}
+
+#[test]
+fn shipped_techfile_drives_synthesis() {
+    let text = std::fs::read_to_string("data/generic-5um.tech").unwrap();
+    let process = techfile::parse(&text).unwrap();
+    let result = oasys::synthesize(&oasys::spec::test_cases::spec_a(), &process).unwrap();
+    assert_eq!(result.selected().style(), oasys::OpAmpStyle::OneStageOta);
+}
