@@ -1,21 +1,20 @@
 //! Ablation benchmarks: the cost of breadth-first selection (design every
 //! style) versus designing a single style.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use oasys::spec::test_cases;
+use oasys_bench::harness::Bencher;
 use oasys_process::builtin;
 use std::hint::black_box;
 
-fn bench_selection_cost(c: &mut Criterion) {
+fn main() {
     let process = builtin::cmos_5um();
     let spec = test_cases::spec_a();
-    c.bench_function("selection/breadth_first", |b| {
-        b.iter(|| oasys::synthesize(black_box(&spec), black_box(&process)).unwrap());
+    let mut b = Bencher::new();
+    b.bench("selection/breadth_first", || {
+        oasys::synthesize(black_box(&spec), black_box(&process)).unwrap()
     });
-    c.bench_function("selection/single_style", |b| {
-        b.iter(|| oasys::styles::design_one_stage(black_box(&spec), black_box(&process)).unwrap());
+    b.bench("selection/single_style", || {
+        oasys::styles::design_one_stage(black_box(&spec), black_box(&process)).unwrap()
     });
+    b.finish();
 }
-
-criterion_group!(benches, bench_selection_cost);
-criterion_main!(benches);

@@ -1,34 +1,39 @@
 //! Simulator benchmarks: the verification cost per synthesized op amp
 //! (DC operating point + offset bisection + AC sweep).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use oasys::spec::test_cases;
 use oasys::{synthesize, verify};
+use oasys_bench::harness::Bencher;
 use oasys_process::builtin;
 use std::hint::black_box;
 
-fn bench_verification(c: &mut Criterion) {
+fn main() {
     let process = builtin::cmos_5um();
+    let mut b = Bencher::new();
+
     let spec = test_cases::spec_a();
     let design = synthesize(&spec, &process).unwrap().selected().clone();
-    c.bench_function("verify/case_a_full", |b| {
-        b.iter(|| {
-            verify(
-                black_box(&design),
-                black_box(&process),
-                spec.load().farads(),
-            )
-            .unwrap()
-        });
+    b.bench("verify/case_a_full", || {
+        verify(
+            black_box(&design),
+            black_box(&process),
+            spec.load().farads(),
+        )
+        .unwrap()
     });
+
+    let circuit = dc_chain();
+    b.bench("sim/dc_newton_chain", || {
+        oasys_sim::dc::solve(black_box(&circuit), black_box(&process)).unwrap()
+    });
+    b.finish();
 }
 
-fn bench_dc_solve(c: &mut Criterion) {
+/// A representative nonlinear bench: diode-connected device chain.
+fn dc_chain() -> oasys_netlist::Circuit {
     use oasys_netlist::{Circuit, SourceValue};
     use oasys_process::Polarity;
 
-    let process = builtin::cmos_5um();
-    // A representative nonlinear bench: diode-connected device chain.
     let mut circuit = Circuit::new("dc bench");
     let vdd = circuit.node("vdd");
     let gnd = circuit.ground();
@@ -54,10 +59,5 @@ fn bench_dc_solve(c: &mut Criterion) {
             .unwrap();
         prev = node;
     }
-    c.bench_function("sim/dc_newton_chain", |b| {
-        b.iter(|| oasys_sim::dc::solve(black_box(&circuit), black_box(&process)).unwrap());
-    });
+    circuit
 }
-
-criterion_group!(benches, bench_verification, bench_dc_solve);
-criterion_main!(benches);

@@ -2,48 +2,38 @@
 //! CPU time per op amp" claim (on a VAX 11/785 running Franz LISP).
 //! The reproduction synthesizes each case in well under a millisecond.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use oasys::spec::test_cases;
 use oasys::synthesize;
+use oasys_bench::harness::Bencher;
 use oasys_process::builtin;
 use std::hint::black_box;
 
-fn bench_synthesis(c: &mut Criterion) {
+fn main() {
     let process = builtin::cmos_5um();
-    let mut group = c.benchmark_group("synthesize");
+    let mut b = Bencher::new();
     for (label, spec) in [
-        ("case_a", test_cases::spec_a()),
-        ("case_b", test_cases::spec_b()),
-        ("case_c", test_cases::spec_c()),
+        ("synthesize/case_a", test_cases::spec_a()),
+        ("synthesize/case_b", test_cases::spec_b()),
+        ("synthesize/case_c", test_cases::spec_c()),
     ] {
-        group.bench_function(label, |b| {
-            b.iter(|| synthesize(black_box(&spec), black_box(&process)).unwrap());
+        b.bench(label, || {
+            synthesize(black_box(&spec), black_box(&process)).unwrap()
         });
     }
-    group.finish();
-}
 
-fn bench_figure7_point(c: &mut Criterion) {
-    let process = builtin::cmos_5um();
     let spec = test_cases::spec_a().with_dc_gain_db(80.0);
-    c.bench_function("figure7/two_stage_80db", |b| {
-        b.iter(|| oasys::styles::design_two_stage(black_box(&spec), black_box(&process)).unwrap());
+    b.bench("figure7/two_stage_80db", || {
+        oasys::styles::design_two_stage(black_box(&spec), black_box(&process)).unwrap()
     });
-}
 
-fn bench_extensions(c: &mut Criterion) {
-    let process = builtin::cmos_5um();
     let comp_spec = oasys::comparator::ComparatorSpec::builder()
         .resolution_mv(5.0)
         .decision_time_us(2.0)
         .load_pf(1.0)
         .build()
         .unwrap();
-    c.bench_function("extensions/comparator", |b| {
-        b.iter(|| {
-            oasys::comparator::design_comparator(black_box(&comp_spec), black_box(&process))
-                .unwrap()
-        });
+    b.bench("extensions/comparator", || {
+        oasys::comparator::design_comparator(black_box(&comp_spec), black_box(&process)).unwrap()
     });
     let fd_spec = oasys::fully_differential::FdSpec::builder()
         .diff_gain_db(45.0)
@@ -51,16 +41,12 @@ fn bench_extensions(c: &mut Criterion) {
         .load_pf_per_side(2.0)
         .build()
         .unwrap();
-    c.bench_function("extensions/fully_differential", |b| {
-        b.iter(|| {
-            oasys::fully_differential::design_fully_differential(
-                black_box(&fd_spec),
-                black_box(&process),
-            )
-            .unwrap()
-        });
+    b.bench("extensions/fully_differential", || {
+        oasys::fully_differential::design_fully_differential(
+            black_box(&fd_spec),
+            black_box(&process),
+        )
+        .unwrap()
     });
+    b.finish();
 }
-
-criterion_group!(benches, bench_synthesis, bench_figure7_point, bench_extensions);
-criterion_main!(benches);

@@ -19,6 +19,7 @@
 
 pub mod ablation;
 pub mod figures;
+pub mod harness;
 pub mod table2;
 
 use oasys::spec::test_cases;

@@ -10,7 +10,6 @@
 use oasys_mos::Geometry;
 use oasys_process::Process;
 use oasys_units::Area;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::Add;
@@ -34,7 +33,7 @@ use std::ops::Add;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, Copy, Debug, Default, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, PartialOrd)]
 pub struct AreaEstimate {
     active_um2: f64,
     capacitor_um2: f64,

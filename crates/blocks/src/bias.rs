@@ -10,7 +10,6 @@ use crate::common::{require_positive, snap_width_um, DesignError, DEFAULT_VOV};
 use oasys_mos::{sizing, Geometry};
 use oasys_netlist::{Circuit, NodeId, ValidateError};
 use oasys_process::{Polarity, Process};
-use serde::{Deserialize, Serialize};
 
 /// Specification for a bias generator.
 ///
@@ -22,7 +21,7 @@ use serde::{Deserialize, Serialize};
 /// let spec = BiasSpec::new(Polarity::Nmos, 20e-6);
 /// assert_eq!(spec.reference_current(), 20e-6);
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct BiasSpec {
     /// Polarity of the diode device the reference current flows through
     /// (an NMOS diode makes an NMOS-mirror gate bias).
@@ -66,7 +65,7 @@ impl BiasSpec {
 
 /// A designed bias generator: a rail-to-rail resistor string through a
 /// diode-connected device.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct BiasGenerator {
     spec: BiasSpec,
     diode: Geometry,

@@ -18,7 +18,6 @@
 //! ```
 
 use crate::common::{require_positive, DesignError};
-use serde::{Deserialize, Serialize};
 
 /// Smallest compensation capacitor worth drawing, F.
 const MIN_CC: f64 = 0.2e-12;
@@ -38,7 +37,7 @@ const MIN_CC: f64 = 0.2e-12;
 /// };
 /// assert!(spec.gm2 > spec.gm1);
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct CompensationSpec {
     /// First-stage transconductance, S.
     pub gm1: f64,
@@ -53,7 +52,7 @@ pub struct CompensationSpec {
 }
 
 /// A designed compensation network with its predicted stability numbers.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Compensation {
     /// Miller capacitor, F.
     cc: f64,

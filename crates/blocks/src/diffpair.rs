@@ -11,7 +11,6 @@ use crate::common::{require_positive, snap_width_um, DesignError};
 use oasys_mos::{sizing, Geometry};
 use oasys_netlist::{Circuit, NodeId, ValidateError};
 use oasys_process::{Polarity, Process};
-use serde::{Deserialize, Serialize};
 
 /// Highest W/L the pair designer will use; beyond this the input
 /// capacitance and offset sensitivity are unreasonable.
@@ -29,7 +28,7 @@ const MIN_VOV: f64 = 0.05;
 /// let spec = DiffPairSpec::new(Polarity::Nmos, 100e-6, 20e-6);
 /// assert_eq!(spec.side_current(), 10e-6);
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct DiffPairSpec {
     polarity: Polarity,
     /// Target per-side transconductance, S.
@@ -85,7 +84,7 @@ impl DiffPairSpec {
 }
 
 /// A designed differential pair.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct DiffPair {
     spec: DiffPairSpec,
     geometry: Geometry,

@@ -12,14 +12,13 @@ use crate::common::{require_positive, snap_width_um, DesignError, DEFAULT_VOV};
 use oasys_mos::{sizing, Geometry};
 use oasys_netlist::{Circuit, NodeId, ValidateError};
 use oasys_process::{Polarity, Process};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Overdrive floor for the driver device.
 const MIN_VOV: f64 = 0.10;
 
 /// Gain-stage topology.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum GainStageStyle {
     /// Plain common-source driver.
     Simple,
@@ -47,7 +46,7 @@ impl fmt::Display for GainStageStyle {
 ///     .with_min_gain(100.0);
 /// assert_eq!(spec.bias_current(), 100e-6);
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct GainStageSpec {
     polarity: Polarity,
     /// Target driver transconductance, S.
@@ -128,7 +127,7 @@ impl GainStageSpec {
 }
 
 /// A designed gain stage.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct GainStage {
     style: GainStageStyle,
     spec: GainStageSpec,

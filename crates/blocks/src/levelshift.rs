@@ -11,7 +11,6 @@ use crate::common::{require_positive, snap_width_um, DesignError};
 use oasys_mos::{sizing, Geometry};
 use oasys_netlist::{Circuit, NodeId, ValidateError};
 use oasys_process::{Polarity, Process};
-use serde::{Deserialize, Serialize};
 
 /// Overdrive bounds for a useful follower.
 const MIN_VOV: f64 = 0.08;
@@ -28,7 +27,7 @@ const MAX_VOV: f64 = 1.5;
 /// let spec = LevelShiftSpec::new(Polarity::Nmos, 1.4, 10e-6);
 /// assert_eq!(spec.shift(), 1.4);
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct LevelShiftSpec {
     polarity: Polarity,
     /// Desired DC shift magnitude (the follower's `V_GS`), V.
@@ -79,7 +78,7 @@ impl LevelShiftSpec {
 }
 
 /// A designed level shifter.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct LevelShifter {
     spec: LevelShiftSpec,
     geometry: Geometry,

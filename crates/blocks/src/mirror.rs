@@ -16,7 +16,6 @@ use crate::common::{require_positive, snap_width_um, DesignError, DEFAULT_VOV};
 use oasys_mos::{sizing, Geometry};
 use oasys_netlist::{Circuit, NodeId, ValidateError};
 use oasys_process::{Polarity, Process};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Minimum usable gate overdrive; below this, matching and modeling
@@ -30,7 +29,7 @@ const MAX_VOV: f64 = 0.60;
 const MAX_LENGTH_FACTOR: f64 = 4.0;
 
 /// Which fixed mirror topology was selected.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum MirrorStyle {
     /// Two-transistor mirror.
     Simple,
@@ -72,7 +71,7 @@ impl fmt::Display for MirrorStyle {
 ///     .with_headroom(0.8);
 /// assert_eq!(spec.output_current(), 50e-6);
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct MirrorSpec {
     polarity: Polarity,
     /// Output branch current, A.
@@ -172,7 +171,7 @@ impl MirrorSpec {
 }
 
 /// A designed, sized current mirror.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CurrentMirror {
     style: MirrorStyle,
     spec: MirrorSpec,

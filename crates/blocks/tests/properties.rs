@@ -6,7 +6,7 @@ use oasys_blocks::diffpair::{DiffPair, DiffPairSpec};
 use oasys_blocks::levelshift::{LevelShiftSpec, LevelShifter};
 use oasys_blocks::mirror::{CurrentMirror, MirrorSpec, MirrorStyle};
 use oasys_process::{builtin, Polarity, Process};
-use proptest::prelude::*;
+use oasys_testutil::prelude::*;
 
 fn process() -> Process {
     builtin::cmos_5um()

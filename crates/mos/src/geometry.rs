@@ -1,7 +1,6 @@
 //! Device geometry: drawn channel width and length.
 
 use oasys_units::{Area, Length};
-use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
 
@@ -40,7 +39,7 @@ impl Error for GeometryError {}
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, Copy, PartialEq, PartialOrd, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, PartialOrd, Debug)]
 pub struct Geometry {
     /// Channel width, m.
     w: f64,

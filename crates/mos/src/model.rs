@@ -14,7 +14,6 @@
 use crate::geometry::Geometry;
 use crate::smallsignal::Capacitances;
 use oasys_process::{Polarity, Process};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// MOSFET operating region.
@@ -27,7 +26,7 @@ use std::fmt;
 /// assert!(!Region::Triode.is_saturation());
 /// assert_eq!(Region::Cutoff.to_string(), "cutoff");
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Region {
     /// `V_GS ≤ V_T`: the channel is off.
     Cutoff,
@@ -67,7 +66,7 @@ impl fmt::Display for Region {
 /// electrical convention (current *into* the drain terminal), so a PMOS in
 /// normal operation reports a negative `id`. The conductances `gm`, `gds`,
 /// `gmb` are non-negative for both polarities.
-#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub struct OperatingPoint {
     region: Region,
     id: f64,
@@ -149,7 +148,7 @@ impl OperatingPoint {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub struct Mosfet {
     polarity: Polarity,
     geometry: Geometry,

@@ -16,7 +16,6 @@
 
 use crate::model::{Mosfet, OperatingPoint, Region};
 use oasys_units::Capacitance;
-use serde::{Deserialize, Serialize};
 
 /// The five terminal capacitances of a biased MOSFET, farads.
 ///
@@ -35,7 +34,7 @@ use serde::{Deserialize, Serialize};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, Copy, PartialEq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
 pub struct Capacitances {
     cgs: f64,
     cgd: f64,

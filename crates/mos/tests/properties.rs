@@ -4,7 +4,7 @@
 
 use oasys_mos::{sizing, Geometry, Mosfet};
 use oasys_process::{builtin, Polarity};
-use proptest::prelude::*;
+use oasys_testutil::prelude::*;
 
 fn device(w: f64, l: f64, polarity: Polarity) -> Mosfet {
     Mosfet::new(

@@ -7,7 +7,6 @@ use crate::node::NodeId;
 use crate::validate::{self, ValidateError};
 use oasys_mos::Geometry;
 use oasys_process::Polarity;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -35,7 +34,7 @@ use std::fmt;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct Circuit {
     title: String,
     node_names: Vec<String>,

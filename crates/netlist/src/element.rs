@@ -3,11 +3,10 @@
 use crate::node::NodeId;
 use oasys_mos::Geometry;
 use oasys_process::Polarity;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Handle to an element within its owning [`crate::Circuit`].
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct ElementId(pub(crate) u32);
 
 impl ElementId {
@@ -39,7 +38,7 @@ impl fmt::Display for ElementId {
 /// let stim = SourceValue::new(0.0, 1.0);
 /// assert_eq!(stim.ac(), 1.0);
 /// ```
-#[derive(Clone, Copy, PartialEq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
 pub struct SourceValue {
     dc: f64,
     ac: f64,
@@ -79,7 +78,7 @@ impl SourceValue {
 }
 
 /// A MOSFET instance: polarity, geometry and the four terminal nodes.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct MosInstance {
     /// Instance name, e.g. `"M1"`.
     pub name: String,
@@ -98,7 +97,7 @@ pub struct MosInstance {
 }
 
 /// A linear resistor.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct Resistor {
     /// Instance name, e.g. `"R1"`.
     pub name: String,
@@ -111,7 +110,7 @@ pub struct Resistor {
 }
 
 /// A linear capacitor.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct Capacitor {
     /// Instance name, e.g. `"CC"`.
     pub name: String,
@@ -124,7 +123,7 @@ pub struct Capacitor {
 }
 
 /// An independent voltage source from `pos` to `neg`.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct Vsource {
     /// Instance name, e.g. `"VDD"`.
     pub name: String,
@@ -139,7 +138,7 @@ pub struct Vsource {
 /// An independent current source pushing current from `pos` through the
 /// external circuit into `neg` (SPICE convention: positive current flows
 /// from `pos` to `neg` *through the source*).
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct Isource {
     /// Instance name, e.g. `"IBIAS"`.
     pub name: String,
@@ -152,7 +151,7 @@ pub struct Isource {
 }
 
 /// Any circuit element.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub enum Element {
     /// A MOSFET.
     Mos(MosInstance),

@@ -6,6 +6,7 @@
 //!
 //! * a builder-style construction API on [`Circuit`],
 //! * connectivity validation ([`Circuit::validate`]),
+//! * warning-tier electrical-rule checks ([`lint::lint`]),
 //! * SPICE-deck export ([`spice::to_spice`]) — the paper's Figure 5
 //!   schematics in machine-readable form, directly simulable, and
 //! * a human-readable device table ([`report::device_table`]).
@@ -37,6 +38,7 @@
 
 mod circuit;
 mod element;
+pub mod lint;
 mod node;
 pub mod report;
 pub mod spice;

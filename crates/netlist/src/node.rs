@@ -1,6 +1,5 @@
 //! Node identifiers.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An interned circuit node.
@@ -17,7 +16,7 @@ use std::fmt;
 /// let n = c.node("out");
 /// assert!(!n.is_ground());
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct NodeId(pub(crate) u32);
 
 impl NodeId {

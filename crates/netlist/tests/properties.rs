@@ -4,7 +4,7 @@
 use oasys_mos::Geometry;
 use oasys_netlist::{spice, Circuit, SourceValue};
 use oasys_process::{builtin, Polarity};
-use proptest::prelude::*;
+use oasys_testutil::prelude::*;
 
 /// Node-name strategy: mixed-case alphanumerics (the interner folds case).
 fn node_name() -> impl Strategy<Value = String> {

@@ -3,19 +3,37 @@
 //!
 //! ```text
 //! oasys <spec-file> <tech-file> [--out <deck.sp>] [--no-verify]
+//! oasys lint [<spec-file> <tech-file>] [--deny-warnings] [--format human|json]
 //! ```
 //!
-//! Prints the style-selection outcome, the sized device table, and the
-//! spec/predicted/measured datasheet; optionally writes a SPICE deck.
+//! The first form prints the style-selection outcome, the sized device
+//! table, and the spec/predicted/measured datasheet; optionally writes a
+//! SPICE deck.
+//!
+//! The `lint` form runs the static analyzers: the plan dataflow checks
+//! over every built-in style plan, and — when a spec and tech file are
+//! given — the netlist electrical-rule checks over each successfully
+//! synthesized design. Diagnostics go to stdout (human-readable or as a
+//! JSON array); the exit code is nonzero when any error fires, or, under
+//! `--deny-warnings`, when any diagnostic fires at all.
 
-use oasys::{specfile, synthesize, verify, Datasheet};
-use oasys_netlist::{report, spice};
+use oasys::{specfile, styles, synthesize, verify, Datasheet};
+use oasys_netlist::{lint, report, spice};
 use oasys_process::techfile;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    match run() {
-        Ok(()) => ExitCode::SUCCESS,
+    let result = {
+        let mut args = std::env::args().skip(1).peekable();
+        if args.peek().map(String::as_str) == Some("lint") {
+            args.next();
+            run_lint(args)
+        } else {
+            run_synth(args).map(|()| ExitCode::SUCCESS)
+        }
+    };
+    match result {
+        Ok(code) => code,
         Err(message) => {
             eprintln!("oasys: {message}");
             ExitCode::FAILURE
@@ -23,9 +41,8 @@ fn main() -> ExitCode {
     }
 }
 
-fn run() -> Result<(), String> {
-    let mut args = std::env::args().skip(1);
-    let usage = "usage: oasys <spec-file> <tech-file> [--out <deck.sp>] [--no-verify]";
+fn run_synth(mut args: impl Iterator<Item = String>) -> Result<(), String> {
+    let usage = "usage: oasys <spec-file> <tech-file> [--out <deck.sp>] [--no-verify]\n       oasys lint [<spec-file> <tech-file>] [--deny-warnings] [--format human|json]";
     let spec_path = args.next().ok_or(usage)?;
     let tech_path = args.next().ok_or(usage)?;
     let mut out_path: Option<String> = None;
@@ -40,10 +57,7 @@ fn run() -> Result<(), String> {
         }
     }
 
-    let spec_text = std::fs::read_to_string(&spec_path).map_err(|e| format!("{spec_path}: {e}"))?;
-    let spec = specfile::parse(&spec_text).map_err(|e| e.to_string())?;
-    let tech_text = std::fs::read_to_string(&tech_path).map_err(|e| format!("{tech_path}: {e}"))?;
-    let process = techfile::parse(&tech_text).map_err(|e| e.to_string())?;
+    let (spec, process) = load_inputs(&spec_path, &tech_path)?;
 
     println!("specification: {spec}");
     println!("process:       {process}\n");
@@ -59,6 +73,10 @@ fn run() -> Result<(), String> {
     let measured = if run_verify {
         let verification =
             verify(design, &process, spec.load().farads()).map_err(|e| e.to_string())?;
+        if !verification.erc.is_empty() {
+            println!("electrical-rule findings:");
+            print!("{}", verification.erc.render_human());
+        }
         Some(verification.measured)
     } else {
         None
@@ -80,4 +98,74 @@ fn run() -> Result<(), String> {
         println!("SPICE deck written to {path}");
     }
     Ok(())
+}
+
+/// `oasys lint`: static analysis only, no simulation.
+fn run_lint(mut args: impl Iterator<Item = String>) -> Result<ExitCode, String> {
+    let usage =
+        "usage: oasys lint [<spec-file> <tech-file>] [--deny-warnings] [--format human|json]";
+    let mut paths: Vec<String> = Vec::new();
+    let mut deny_warnings = false;
+    let mut json = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny-warnings" => deny_warnings = true,
+            "--format" => match args.next().as_deref() {
+                Some("human") => json = false,
+                Some("json") => json = true,
+                Some(other) => return Err(format!("unknown format `{other}`\n{usage}")),
+                None => return Err(format!("--format needs `human` or `json`\n{usage}")),
+            },
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag `{flag}`\n{usage}"));
+            }
+            path => paths.push(path.to_string()),
+        }
+    }
+
+    // Prong 1: the plan dataflow analyzer over every built-in style.
+    let mut merged = styles::analyze_all_plans();
+
+    // Prong 2: electrical-rule checks over each design the spec
+    // synthesizes (all successful styles, not just the selected one).
+    match paths.as_slice() {
+        [] => {}
+        [spec_path, tech_path] => {
+            let (spec, process) = load_inputs(spec_path, tech_path)?;
+            let synthesis = synthesize(&spec, &process).map_err(|e| e.to_string())?;
+            for outcome in synthesis.outcomes() {
+                if let Some(design) = outcome.design() {
+                    merged.merge(lint::lint(design.circuit(), Some(&process)));
+                }
+            }
+        }
+        _ => {
+            return Err(format!(
+                "expected no positional arguments or a spec file and a tech file\n{usage}"
+            ));
+        }
+    }
+
+    if json {
+        print!("{}", merged.render_json());
+    } else {
+        print!("{}", merged.render_human());
+    }
+    Ok(if merged.passes(deny_warnings) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+/// Parses the specification and technology files shared by both modes.
+fn load_inputs(
+    spec_path: &str,
+    tech_path: &str,
+) -> Result<(oasys::OpAmpSpec, oasys_process::Process), String> {
+    let spec_text = std::fs::read_to_string(spec_path).map_err(|e| format!("{spec_path}: {e}"))?;
+    let spec = specfile::parse(&spec_text).map_err(|e| e.to_string())?;
+    let tech_text = std::fs::read_to_string(tech_path).map_err(|e| format!("{tech_path}: {e}"))?;
+    let process = techfile::parse(&tech_text).map_err(|e| e.to_string())?;
+    Ok((spec, process))
 }

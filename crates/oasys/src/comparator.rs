@@ -25,7 +25,6 @@ use oasys_blocks::mirror::{CurrentMirror, MirrorSpec, MirrorStyle};
 use oasys_netlist::Circuit;
 use oasys_plan::{PatchAction, Plan, PlanExecutor, StepOutcome, Trace};
 use oasys_process::{Polarity, Process};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Most cascaded stages the designer will use (regeneration and offset
@@ -52,7 +51,7 @@ const VOV1: f64 = 0.20;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ComparatorSpec {
     /// Smallest input overdrive that must produce a full decision, V.
     resolution_v: f64,

@@ -3,12 +3,11 @@
 use crate::spec::OpAmpSpec;
 use crate::verify::Measured;
 use oasys_units::eng;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The performance a style plan predicts from its circuit equations —
 /// the "design values" half of the paper's Table 2.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Predicted {
     /// Open-loop DC gain, dB.
     pub dc_gain_db: f64,

@@ -24,7 +24,6 @@ use oasys_mos::{sizing, Geometry};
 use oasys_netlist::Circuit;
 use oasys_plan::{PatchAction, Plan, PlanExecutor, StepOutcome, Trace};
 use oasys_process::{Polarity, Process};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Load-device overdrive, V.
@@ -54,7 +53,7 @@ const C_CMFB: f64 = 2e-12;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct FdSpec {
     gain_db: f64,
     unity_gain_hz: f64,

@@ -61,6 +61,6 @@ pub mod verify;
 
 pub use datasheet::{Datasheet, Predicted};
 pub use spec::{OpAmpSpec, OpAmpSpecBuilder, SpecError};
-pub use styles::{OpAmpDesign, OpAmpStyle, StyleError};
+pub use styles::{analyze_all_plans, analyze_plan, OpAmpDesign, OpAmpStyle, StyleError};
 pub use synth::{synthesize, StyleOutcome, Synthesis, SynthesisError};
 pub use verify::{verify, Measured, VerifyError};

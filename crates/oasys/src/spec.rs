@@ -1,7 +1,6 @@
 //! Op-amp performance specifications (the paper's Table 2 inputs).
 
 use oasys_units::{Capacitance, Decibels, Degrees, Frequency, Power, SlewRate, Voltage};
-use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
 
@@ -38,7 +37,7 @@ impl Error for SpecError {}
 /// enforced by the style plans and checked again during verification.
 ///
 /// Build with [`OpAmpSpec::builder`].
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct OpAmpSpec {
     /// Minimum open-loop DC gain.
     pub(crate) dc_gain_db: f64,

@@ -33,11 +33,13 @@ const VOV_C: f64 = 0.25;
 /// Sheet resistance assumed for bias resistors, Ω/square.
 const BIAS_SHEET_OHMS: f64 = 10_000.0;
 
+/// Empty annotation list (the builder cannot infer element types from `[]`).
+const NONE: [&str; 0] = [];
+
 struct State {
     spec: OpAmpSpec,
     process: Process,
     vov1: f64,
-    slew_boost: f64,
     gm1: f64,
     i_tail: f64,
     pair_l_um: f64,
@@ -70,7 +72,6 @@ impl State {
             spec: *spec,
             process: process.clone(),
             vov1: VOV1_INIT,
-            slew_boost: 1.0,
             gm1: 0.0,
             i_tail: 0.0,
             pair_l_um: 0.0,
@@ -106,8 +107,14 @@ impl State {
     }
 }
 
+/// Statically analyzes the stored plan (see [`oasys_plan::analyze`]).
+pub(super) fn analyze_plan() -> oasys_lint::Report {
+    oasys_plan::analyze(&build_plan())
+}
+
 fn build_plan() -> Plan<State> {
     Plan::<State>::builder("folded cascode")
+        .inputs(["spec", "process", "vov1", "notes"])
         .step("check-spec", |s: &mut State| {
             // Two stacked overdrives on each side of the output.
             let span = s.process.supply_span().volts();
@@ -120,17 +127,22 @@ fn build_plan() -> Plan<State> {
             }
             StepOutcome::Done
         })
+        .reads(["spec", "process"])
+        .writes(NONE)
+        .emits(["spec-unsupported"])
         .step("size-input", |s: &mut State| {
             let gm_min = 2.0
                 * std::f64::consts::PI
                 * s.spec.unity_gain_freq().hertz()
                 * s.spec.load().farads();
-            let i_slew =
-                s.spec.slew_rate().volts_per_second() * s.spec.load().farads() * s.slew_boost;
+            let i_slew = s.spec.slew_rate().volts_per_second() * s.spec.load().farads();
             s.i_tail = i_slew.max(gm_min * s.vov1).max(1e-6);
             s.gm1 = s.i_tail / s.vov1;
             StepOutcome::Done
         })
+        .reads(["spec", "vov1"])
+        .writes(["gm1", "i_tail"])
+        .emits(NONE)
         .step("design-pair", |s: &mut State| {
             // The pair's r_o barely matters (the fold node is low
             // impedance), so minimum length serves.
@@ -145,6 +157,9 @@ fn build_plan() -> Plan<State> {
                 Err(e) => StepOutcome::failed("pair-design", e.to_string()),
             }
         })
+        .reads(["process", "gm1", "i_tail"])
+        .writes(["pair_l_um", "pair"])
+        .emits(["pair-design"])
         .step("design-branches", |s: &mut State| {
             // PMOS current sources (carry i_fold) and cascodes (carry the
             // branch current), both at the cascode overdrive.
@@ -165,6 +180,9 @@ fn build_plan() -> Plan<State> {
                 (Err(e), _) | (_, Err(e)) => StepOutcome::failed("branch-design", e),
             }
         })
+        .reads(["process", "i_tail"])
+        .writes(["p_source", "p_cascode"])
+        .emits(["branch-design"])
         .step("design-output-mirror", |s: &mut State| {
             // Wide-swing NMOS cascode mirror at the bottom: its r_out and
             // the PMOS cascode's r_out form the output resistance the
@@ -187,6 +205,9 @@ fn build_plan() -> Plan<State> {
                 Err(e) => StepOutcome::failed("gain-short", e.to_string()),
             }
         })
+        .reads(["spec", "process", "gm1", "i_tail"])
+        .writes(["out_mirror"])
+        .emits(["gain-short"])
         .step("check-gain", |s: &mut State| {
             // Rout = (gm·ro·ro_eff of the PMOS side) ∥ (mirror r_out).
             let p = s.process.pmos();
@@ -217,6 +238,16 @@ fn build_plan() -> Plan<State> {
             }
             StepOutcome::Done
         })
+        .reads([
+            "spec",
+            "process",
+            "gm1",
+            "i_tail",
+            "pair_l_um",
+            "out_mirror",
+        ])
+        .writes(["rout"])
+        .emits(["gain-short"])
         .step("design-bias", |s: &mut State| {
             // Four bias branches: tail mirror reference, PMOS source
             // reference, PMOS cascode-gate chain, NMOS cascode-gate chain.
@@ -255,6 +286,11 @@ fn build_plan() -> Plan<State> {
             s.tail = Some(tail);
             StepOutcome::Done
         })
+        .reads(["process", "i_tail"])
+        .writes([
+            "tail", "p_diode", "n_diode", "r_tail", "r_psrc", "r_pcasc", "r_ncasc",
+        ])
+        .emits(["bias-design"])
         .step("check-swing", |s: &mut State| {
             let vdd = s.process.vdd().volts();
             let vss = s.process.vss().volts();
@@ -277,6 +313,9 @@ fn build_plan() -> Plan<State> {
             }
             StepOutcome::Done
         })
+        .reads(["spec", "process", "out_mirror"])
+        .writes(["swing"])
+        .emits(["swing-short"])
         .step("check-offset", |s: &mut State| {
             // Fully cascoded: the residual is ΔV·g_out/gm1 like the
             // cascode OTA.
@@ -290,6 +329,9 @@ fn build_plan() -> Plan<State> {
             }
             StepOutcome::Done
         })
+        .reads(["spec", "gm1", "rout"])
+        .writes(["offset_v"])
+        .emits(["offset-high"])
         .step("check-phase", |s: &mut State| {
             // Non-dominant pole at the folding node: the cascode's gm
             // over the junk parked there (pair drain, source drain,
@@ -322,6 +364,17 @@ fn build_plan() -> Plan<State> {
             }
             StepOutcome::Done
         })
+        .reads([
+            "spec",
+            "process",
+            "gm1",
+            "i_tail",
+            "pair",
+            "p_source",
+            "p_cascode",
+        ])
+        .writes(["pm_deg"])
+        .emits(["pm-short"])
         .step("check-noise", |s: &mut State| {
             if !s.spec.has_noise() {
                 return StepOutcome::Done;
@@ -341,6 +394,9 @@ fn build_plan() -> Plan<State> {
             }
             StepOutcome::Done
         })
+        .reads(["spec", "gm1", "i_tail"])
+        .writes(NONE)
+        .emits(["noise-high"])
         .step("check-power", |s: &mut State| {
             let span = s.process.supply_span().volts();
             let power = span * s.total_current();
@@ -352,6 +408,9 @@ fn build_plan() -> Plan<State> {
             }
             StepOutcome::Done
         })
+        .reads(["spec", "process", "i_tail"])
+        .writes(NONE)
+        .emits(["power-high"])
         .step("predict", |s: &mut State| {
             let span = s.process.supply_span().volts();
             let gain = s.gm1 * s.rout;
@@ -378,15 +437,12 @@ fn build_plan() -> Plan<State> {
             });
             StepOutcome::Done
         })
+        .reads([
+            "spec", "process", "gm1", "i_tail", "rout", "tail", "pm_deg", "swing", "offset_v",
+        ])
+        .writes(["predicted"])
+        .emits(NONE)
         // ---- patch rules ----
-        .rule(
-            "boost-tail-for-slew",
-            |s: &State, f| f.code() == "slew-short" && s.slew_boost < 2.5,
-            |s: &mut State| {
-                s.slew_boost *= 1.25;
-                PatchAction::RestartFrom("size-input".into())
-            },
-        )
         .rule(
             "lower-pair-overdrive",
             |s: &State, f| matches!(f.code(), "gain-short" | "noise-high") && s.vov1 > 0.06,
@@ -397,6 +453,11 @@ fn build_plan() -> Plan<State> {
                 PatchAction::RestartFrom("size-input".into())
             },
         )
+        .on_codes(["gain-short", "noise-high"])
+        .guarded()
+        .reads(["vov1"])
+        .writes(["vov1", "notes"])
+        .restarts_from("size-input")
         .rule(
             "give-up",
             |_, f| {
@@ -411,12 +472,25 @@ fn build_plan() -> Plan<State> {
                         | "offset-high"
                         | "pm-short"
                         | "power-high"
-                        | "slew-short"
                         | "noise-high"
                 )
             },
             |_s: &mut State| PatchAction::Abort("folded-cascode style infeasible".into()),
         )
+        .on_codes([
+            "spec-unsupported",
+            "pair-design",
+            "branch-design",
+            "gain-short",
+            "bias-design",
+            "swing-short",
+            "offset-high",
+            "pm-short",
+            "power-high",
+            "noise-high",
+        ])
+        .writes(NONE)
+        .aborts()
         .build()
 }
 
@@ -566,6 +640,12 @@ mod tests {
     use super::*;
     use crate::spec::test_cases;
     use oasys_process::builtin;
+
+    #[test]
+    fn plan_analyzes_clean() {
+        let report = analyze_plan();
+        assert!(report.is_empty(), "{}", report.render_human());
+    }
 
     #[test]
     fn designs_a_mid_gain_spec() {

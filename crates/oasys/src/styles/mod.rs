@@ -18,12 +18,11 @@ use crate::datasheet::Predicted;
 use oasys_blocks::AreaEstimate;
 use oasys_netlist::Circuit;
 use oasys_plan::{PlanError, Trace};
-use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
 
 /// The op-amp design styles OASYS knows.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum OpAmpStyle {
     /// One-stage operational transconductance amplifier (5T OTA, with an
     /// optional cascoded load).
@@ -43,6 +42,32 @@ impl OpAmpStyle {
         OpAmpStyle::TwoStage,
         OpAmpStyle::FoldedCascode,
     ];
+}
+
+/// Runs the static plan analyzer over a style's stored synthesis plan.
+///
+/// The built-in plans declare their dataflow (reads/writes/emitted failure
+/// codes), so [`oasys_plan::analyze`] can check them for use-before-def,
+/// unreachable steps, dangling restart targets, shadowed rules and
+/// never-firing rules. The built-ins are expected to analyze clean; a
+/// non-empty report indicates a knowledge-base bug.
+#[must_use]
+pub fn analyze_plan(style: OpAmpStyle) -> oasys_lint::Report {
+    match style {
+        OpAmpStyle::OneStageOta => one_stage::analyze_plan(),
+        OpAmpStyle::TwoStage => two_stage::analyze_plan(),
+        OpAmpStyle::FoldedCascode => folded_cascode::analyze_plan(),
+    }
+}
+
+/// Runs [`analyze_plan`] over every built-in style and merges the reports.
+#[must_use]
+pub fn analyze_all_plans() -> oasys_lint::Report {
+    let mut report = oasys_lint::Report::default();
+    for style in OpAmpStyle::ALL {
+        report.merge(analyze_plan(style));
+    }
+    report
 }
 
 impl fmt::Display for OpAmpStyle {

@@ -38,6 +38,9 @@ const ALPHA_CASCODE: f64 = 0.85;
 /// resistor), Ω/square.
 const BIAS_SHEET_OHMS: f64 = 10_000.0;
 
+/// Empty annotation list (the builder cannot infer element types from `[]`).
+const NONE: [&str; 0] = [];
+
 /// Mutable design state threaded through the plan.
 struct State {
     spec: OpAmpSpec,
@@ -118,9 +121,23 @@ impl State {
     }
 }
 
+/// Statically analyzes the stored plan (see [`oasys_plan::analyze`]).
+pub(super) fn analyze_plan() -> oasys_lint::Report {
+    oasys_plan::analyze(&build_plan())
+}
+
 /// Builds the one-stage translation plan (steps and patch rules).
 fn build_plan() -> Plan<State> {
     Plan::<State>::builder("one-stage OTA")
+        .inputs([
+            "spec",
+            "process",
+            "vov1",
+            "alpha",
+            "load_cascoded",
+            "slew_boost",
+            "notes",
+        ])
         .step("check-spec", |s: &mut State| {
             let vdd = s.process.vdd().volts();
             if s.spec.has_swing() && s.spec.output_swing().volts() > vdd - 0.4 {
@@ -134,6 +151,9 @@ fn build_plan() -> Plan<State> {
             }
             StepOutcome::Done
         })
+        .reads(["spec", "process"])
+        .writes(NONE)
+        .emits(["spec-unsupported"])
         .step("size-input-gm", |s: &mut State| {
             // gm floor from the unity-gain spec (the OTA's f_u = gm1/2πC_L),
             // current floor from the slew spec; keep the pair at its target
@@ -148,6 +168,9 @@ fn build_plan() -> Plan<State> {
             s.gm1 = s.i_tail / s.vov1;
             StepOutcome::Done
         })
+        .reads(["spec", "vov1", "slew_boost"])
+        .writes(["gm1", "i_tail"])
+        .emits(NONE)
         .step("gain-budget", |s: &mut State| {
             // Split the allowed output conductance between pair and load,
             // then pick the pair channel length that fits its share.
@@ -169,6 +192,9 @@ fn build_plan() -> Plan<State> {
             }
             StepOutcome::Done
         })
+        .reads(["spec", "process", "alpha", "gm1", "i_tail"])
+        .writes(["pair_l_um"])
+        .emits(["pair-gain-short"])
         .step("design-pair", |s: &mut State| {
             let spec =
                 DiffPairSpec::new(Polarity::Nmos, s.gm1, s.i_tail).with_length_um(s.pair_l_um);
@@ -180,6 +206,9 @@ fn build_plan() -> Plan<State> {
                 Err(e) => StepOutcome::failed("pair-design", e.to_string()),
             }
         })
+        .reads(["process", "gm1", "i_tail", "pair_l_um"])
+        .writes(["pair"])
+        .emits(["pair-design"])
         .step("design-load", |s: &mut State| {
             let load_budget = (1.0 - s.alpha) * s.gout_total();
             let vdd = s.process.vdd().volts();
@@ -207,6 +236,9 @@ fn build_plan() -> Plan<State> {
                 Err(e) => StepOutcome::failed("load-design", e.to_string()),
             }
         })
+        .reads(["spec", "process", "alpha", "gm1", "i_tail", "load_cascoded"])
+        .writes(["load"])
+        .emits(["load-design"])
         .step("design-tail", |s: &mut State| {
             let spec = MirrorSpec::new(Polarity::Nmos, s.i_tail)
                 .with_headroom(1.5)
@@ -219,6 +251,9 @@ fn build_plan() -> Plan<State> {
                 Err(e) => StepOutcome::failed("tail-design", e.to_string()),
             }
         })
+        .reads(["process", "i_tail"])
+        .writes(["tail"])
+        .emits(["tail-design"])
         .step("bias-resistor", |s: &mut State| {
             let tail = s.tail.as_ref().expect("design-tail ran");
             let span = s.process.supply_span().volts();
@@ -232,6 +267,9 @@ fn build_plan() -> Plan<State> {
             s.r_bias = drop / tail.spec().input_current();
             StepOutcome::Done
         })
+        .reads(["process", "tail"])
+        .writes(["r_bias"])
+        .emits(["bias-headroom"])
         .step("check-swing", |s: &mut State| {
             let load = s.load.as_ref().expect("design-load ran");
             let tail = s.tail.as_ref().expect("design-tail ran");
@@ -266,6 +304,9 @@ fn build_plan() -> Plan<State> {
             }
             StepOutcome::Done
         })
+        .reads(["spec", "process", "pair", "load", "tail"])
+        .writes(["swing"])
+        .emits(["swing-short"])
         .step("check-offset", |s: &mut State| {
             // The 5T OTA's inherent systematic offset: the two load-mirror
             // devices see different V_DS (diode voltage vs. the output at
@@ -294,6 +335,9 @@ fn build_plan() -> Plan<State> {
             }
             StepOutcome::Done
         })
+        .reads(["spec", "process", "gm1", "i_tail", "load", "load_cascoded"])
+        .writes(["offset_v"])
+        .emits(["offset-high"])
         .step("check-phase", |s: &mut State| {
             // Non-dominant pole at the mirror node: gm3 over the
             // capacitance hanging there (both mirror gates plus the pair
@@ -325,6 +369,9 @@ fn build_plan() -> Plan<State> {
             }
             StepOutcome::Done
         })
+        .reads(["spec", "process", "gm1", "i_tail", "pair", "load"])
+        .writes(["pm_deg"])
+        .emits(["pm-short"])
         .step("check-power", |s: &mut State| {
             let span = s.process.supply_span().volts();
             let power = span * 2.0 * s.i_tail; // tail branch + reference branch
@@ -340,6 +387,9 @@ fn build_plan() -> Plan<State> {
             }
             StepOutcome::Done
         })
+        .reads(["spec", "process", "i_tail"])
+        .writes(NONE)
+        .emits(["power-high"])
         .step("check-noise", |s: &mut State| {
             if !s.spec.has_noise() {
                 return StepOutcome::Done;
@@ -360,6 +410,9 @@ fn build_plan() -> Plan<State> {
             }
             StepOutcome::Done
         })
+        .reads(["spec", "gm1", "i_tail", "load"])
+        .writes(NONE)
+        .emits(["noise-high"])
         .step("check-slew", |s: &mut State| {
             if !s.spec.has_slew() {
                 return StepOutcome::Done;
@@ -376,6 +429,9 @@ fn build_plan() -> Plan<State> {
             }
             StepOutcome::Done
         })
+        .reads(["spec", "process", "i_tail", "pair", "load"])
+        .writes(NONE)
+        .emits(["slew-short"])
         .step("predict", |s: &mut State| {
             let pair = s.pair.as_ref().expect("design-pair ran");
             let load = s.load.as_ref().expect("design-load ran");
@@ -405,6 +461,12 @@ fn build_plan() -> Plan<State> {
             });
             StepOutcome::Done
         })
+        .reads([
+            "spec", "process", "gm1", "i_tail", "pair", "load", "tail", "pm_deg", "swing",
+            "offset_v",
+        ])
+        .writes(["predicted"])
+        .emits(NONE)
         // ---- patch rules (consulted in order) ----
         .rule(
             "cascode-load",
@@ -423,6 +485,11 @@ fn build_plan() -> Plan<State> {
                 PatchAction::RestartFrom("gain-budget".into())
             },
         )
+        .on_codes(["pair-gain-short", "load-design", "offset-high", "pm-short"])
+        .guarded()
+        .reads(["load_cascoded"])
+        .writes(["load_cascoded", "alpha", "notes"])
+        .restarts_from("gain-budget")
         .rule(
             "boost-tail-for-slew",
             |s: &State, f| f.code() == "slew-short" && s.slew_boost < 2.5,
@@ -431,6 +498,11 @@ fn build_plan() -> Plan<State> {
                 PatchAction::RestartFrom("size-input-gm".into())
             },
         )
+        .on_codes(["slew-short"])
+        .guarded()
+        .reads(["slew_boost"])
+        .writes(["slew_boost"])
+        .restarts_from("size-input-gm")
         .rule(
             "relax-input-overdrive",
             |s: &State, f| {
@@ -459,6 +531,11 @@ fn build_plan() -> Plan<State> {
                 PatchAction::RestartFrom("size-input-gm".into())
             },
         )
+        .on_codes(["pm-short"])
+        .guarded()
+        .reads(["spec", "process", "gm1", "vov1", "alpha"])
+        .writes(["vov1", "notes"])
+        .restarts_from("size-input-gm")
         .rule(
             "lower-pair-overdrive",
             |s: &State, f| matches!(f.code(), "pair-gain-short" | "noise-high") && s.vov1 > 0.11,
@@ -471,6 +548,11 @@ fn build_plan() -> Plan<State> {
                 PatchAction::RestartFrom("size-input-gm".into())
             },
         )
+        .on_codes(["pair-gain-short", "noise-high"])
+        .guarded()
+        .reads(["vov1"])
+        .writes(["vov1", "notes"])
+        .restarts_from("size-input-gm")
         .rule(
             "swing-gain-conflict",
             |s: &State, f| f.code() == "swing-short" && s.load_cascoded,
@@ -483,6 +565,11 @@ fn build_plan() -> Plan<State> {
                 )
             },
         )
+        .on_codes(["swing-short"])
+        .guarded()
+        .reads(["load_cascoded"])
+        .writes(NONE)
+        .aborts()
         .rule(
             "inherent-offset",
             |s: &State, f| f.code() == "offset-high" && s.load_cascoded,
@@ -494,6 +581,11 @@ fn build_plan() -> Plan<State> {
                 )
             },
         )
+        .on_codes(["offset-high"])
+        .guarded()
+        .reads(["load_cascoded"])
+        .writes(NONE)
+        .aborts()
         .rule(
             "give-up-gain",
             |_, f| matches!(f.code(), "pair-gain-short" | "load-design"),
@@ -505,6 +597,9 @@ fn build_plan() -> Plan<State> {
                 )
             },
         )
+        .on_codes(["pair-gain-short", "load-design"])
+        .writes(NONE)
+        .aborts()
         .rule(
             "give-up",
             |_, f| {
@@ -523,6 +618,19 @@ fn build_plan() -> Plan<State> {
             },
             |_s: &mut State| PatchAction::Abort("one-stage style infeasible".into()),
         )
+        .on_codes([
+            "spec-unsupported",
+            "pair-design",
+            "tail-design",
+            "bias-headroom",
+            "swing-short",
+            "pm-short",
+            "power-high",
+            "slew-short",
+            "noise-high",
+        ])
+        .writes(NONE)
+        .aborts()
         .build()
 }
 
@@ -599,6 +707,12 @@ mod tests {
     use super::*;
     use crate::spec::test_cases;
     use oasys_process::builtin;
+
+    #[test]
+    fn plan_analyzes_clean() {
+        let report = analyze_plan();
+        assert!(report.is_empty(), "{}", report.render_human());
+    }
 
     #[test]
     fn case_a_designs_successfully() {

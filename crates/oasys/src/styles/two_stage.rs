@@ -49,6 +49,9 @@ const DC_MATCH_TOL: f64 = 0.3;
 /// resistor), Ω/square.
 const BIAS_SHEET_OHMS: f64 = 10_000.0;
 
+/// Empty annotation list (the builder cannot infer element types from `[]`).
+const NONE: [&str; 0] = [];
+
 struct State {
     spec: OpAmpSpec,
     process: Process,
@@ -192,8 +195,28 @@ impl State {
     }
 }
 
+/// Statically analyzes the stored plan (see [`oasys_plan::analyze`]).
+pub(super) fn analyze_plan() -> oasys_lint::Report {
+    oasys_plan::analyze(&build_plan())
+}
+
 fn build_plan() -> Plan<State> {
     Plan::<State>::builder("two-stage")
+        .inputs([
+            "spec",
+            "process",
+            "vov1",
+            "alpha1",
+            "alpha2",
+            "s1_cascoded",
+            "skew",
+            "i2_boost",
+            "slew_boost",
+            "shifter",
+            "shifter_bias",
+            "i_ls",
+            "notes",
+        ])
         .step("check-spec", |s: &mut State| {
             let vdd = s.process.vdd().volts();
             if s.spec.has_swing() && s.spec.output_swing().volts() > vdd - 0.3 {
@@ -207,10 +230,16 @@ fn build_plan() -> Plan<State> {
             }
             StepOutcome::Done
         })
+        .reads(["spec", "process"])
+        .writes(NONE)
+        .emits(["spec-unsupported"])
         .step("choose-cc", |s: &mut State| {
             s.cc = (CC_FACTOR * s.spec.load().farads()).max(0.5e-12);
             StepOutcome::Done
         })
+        .reads(["spec"])
+        .writes(["cc"])
+        .emits(NONE)
         .step("partition-gain", |s: &mut State| {
             // The paper's heuristic: √gain to each stage, skewed toward
             // the cascoded stage when a rule demands it.
@@ -219,6 +248,9 @@ fn build_plan() -> Plan<State> {
             s.a2_target = total / s.a1_target;
             StepOutcome::Done
         })
+        .reads(["spec", "skew"])
+        .writes(["a1_target", "a2_target"])
+        .emits(NONE)
         .step("size-input", |s: &mut State| {
             let gm_floor = 2.0 * std::f64::consts::PI * s.spec.unity_gain_freq().hertz() * s.cc;
             let i_slew = s.spec.slew_rate().volts_per_second() * s.cc * s.slew_boost;
@@ -226,6 +258,9 @@ fn build_plan() -> Plan<State> {
             s.gm1 = s.i_tail / s.vov1;
             StepOutcome::Done
         })
+        .reads(["spec", "cc", "vov1", "slew_boost"])
+        .writes(["gm1", "i_tail"])
+        .emits(NONE)
         .step("stage1-budget", |s: &mut State| {
             let pair_budget = s.alpha1 * s.gm1 / s.a1_target;
             let mos = s.process.nmos();
@@ -242,6 +277,9 @@ fn build_plan() -> Plan<State> {
             }
             StepOutcome::Done
         })
+        .reads(["process", "alpha1", "gm1", "i_tail", "a1_target"])
+        .writes(["l1_um"])
+        .emits(["stage1-gain-short"])
         .step("design-pair", |s: &mut State| {
             let spec = DiffPairSpec::new(Polarity::Nmos, s.gm1, s.i_tail).with_length_um(s.l1_um);
             match DiffPair::design(&spec, &s.process) {
@@ -252,6 +290,9 @@ fn build_plan() -> Plan<State> {
                 Err(e) => StepOutcome::failed("pair-design", e.to_string()),
             }
         })
+        .reads(["process", "gm1", "i_tail", "l1_um"])
+        .writes(["pair"])
+        .emits(["pair-design"])
         .step("design-stage1-load", |s: &mut State| {
             let load_budget = (1.0 - s.alpha1) * s.gm1 / s.a1_target;
             let style = if s.s1_cascoded {
@@ -271,6 +312,16 @@ fn build_plan() -> Plan<State> {
                 Err(e) => StepOutcome::failed("stage1-gain-short", e.to_string()),
             }
         })
+        .reads([
+            "process",
+            "alpha1",
+            "gm1",
+            "i_tail",
+            "a1_target",
+            "s1_cascoded",
+        ])
+        .writes(["load1"])
+        .emits(["stage1-gain-short"])
         .step("design-tail", |s: &mut State| {
             // The paper's case C cascodes the input current bias together
             // with the first-stage load.
@@ -290,6 +341,9 @@ fn build_plan() -> Plan<State> {
                 Err(e) => StepOutcome::failed("tail-design", e.to_string()),
             }
         })
+        .reads(["process", "i_tail", "s1_cascoded"])
+        .writes(["tail"])
+        .emits(["tail-design"])
         .step("stage2-requirements", |s: &mut State| {
             // gm2 from the phase-margin equation (with 5° of headroom),
             // current from gm2 at the stage-2 overdrive, floored by the
@@ -327,6 +381,18 @@ fn build_plan() -> Plan<State> {
             }
             StepOutcome::Done
         })
+        .reads([
+            "spec",
+            "process",
+            "gm1",
+            "cc",
+            "i2_boost",
+            "slew_boost",
+            "alpha2",
+            "a2_target",
+        ])
+        .writes(["gm2", "i2", "l6_um"])
+        .emits(["compensation", "stage2-gain-short"])
         .step("design-stage2-sink", |s: &mut State| {
             let sink_budget = (1.0 - s.alpha2) * s.gm2 / s.a2_target;
             let vss = s.process.vss().volts();
@@ -351,6 +417,17 @@ fn build_plan() -> Plan<State> {
                 Err(e) => StepOutcome::failed("stage2-gain-short", e.to_string()),
             }
         })
+        .reads([
+            "spec",
+            "process",
+            "alpha2",
+            "gm2",
+            "a2_target",
+            "i2",
+            "i_tail",
+        ])
+        .writes(["sink"])
+        .emits(["stage2-gain-short"])
         .step("design-stage2-driver", |s: &mut State| {
             let sink = s.sink.as_ref().expect("sink designed");
             let spec = GainStageSpec::new(Polarity::Pmos, s.gm2, s.i2)
@@ -364,6 +441,9 @@ fn build_plan() -> Plan<State> {
                 Err(e) => StepOutcome::failed("stage2-design", e.to_string()),
             }
         })
+        .reads(["process", "gm2", "i2", "l6_um", "sink"])
+        .writes(["driver"])
+        .emits(["stage2-design"])
         .step("dc-match", |s: &mut State| {
             // Compare the first-stage output DC with what the PMOS driver
             // gate wants; a level shifter (already inserted by the patch
@@ -384,6 +464,9 @@ fn build_plan() -> Plan<State> {
             }
             StepOutcome::Done
         })
+        .reads(["process", "shifter", "load1"])
+        .writes(["dc_mismatch"])
+        .emits(["dc-mismatch"])
         .step("compensate", |s: &mut State| {
             // The output node carries the drain junctions of the driver
             // and sink on top of the specified load; the compensation
@@ -424,6 +507,12 @@ fn build_plan() -> Plan<State> {
             s.compensation = Some(comp);
             StepOutcome::Done
         })
+        .reads([
+            "spec", "process", "gm1", "gm2", "cc", "i_tail", "pair", "load1", "driver", "sink",
+            "shifter",
+        ])
+        .writes(["cc", "pm_net", "compensation"])
+        .emits(["pm-short"])
         .step("bias-resistors", |s: &mut State| {
             let span = s.process.supply_span().volts();
             let tail = s.tail.as_ref().expect("tail designed");
@@ -450,6 +539,9 @@ fn build_plan() -> Plan<State> {
             }
             StepOutcome::Done
         })
+        .reads(["process", "tail", "sink", "shifter_bias"])
+        .writes(["r_bias1", "r_bias2", "r_bias3"])
+        .emits(["bias-headroom"])
         .step("check-noise", |s: &mut State| {
             if !s.spec.has_noise() {
                 return StepOutcome::Done;
@@ -470,6 +562,9 @@ fn build_plan() -> Plan<State> {
             }
             StepOutcome::Done
         })
+        .reads(["spec", "gm1", "i_tail", "load1"])
+        .writes(NONE)
+        .emits(["noise-high"])
         .step("check-slew", |s: &mut State| {
             if !s.spec.has_slew() {
                 return StepOutcome::Done;
@@ -487,6 +582,9 @@ fn build_plan() -> Plan<State> {
             }
             StepOutcome::Done
         })
+        .reads(["spec", "process", "i_tail", "cc", "i2", "driver", "sink"])
+        .writes(NONE)
+        .emits(["slew-short"])
         .step("check-swing", |s: &mut State| {
             let sink = s.sink.as_ref().expect("sink designed");
             let vdd = s.process.vdd().volts();
@@ -505,6 +603,9 @@ fn build_plan() -> Plan<State> {
             }
             StepOutcome::Done
         })
+        .reads(["spec", "process", "sink"])
+        .writes(["swing"])
+        .emits(["swing-short"])
         .step("check-offset", |s: &mut State| {
             // Residual inter-stage DC error, referred to the input through
             // the first-stage gain.
@@ -524,6 +625,9 @@ fn build_plan() -> Plan<State> {
             }
             StepOutcome::Done
         })
+        .reads(["spec", "gm1", "pair", "load1", "dc_mismatch"])
+        .writes(["offset_v"])
+        .emits(["offset-high"])
         .step("check-power", |s: &mut State| {
             let span = s.process.supply_span().volts();
             let mut current = 2.0 * s.i_tail + s.i_tail + s.i2; // bias1+tail, bias2, stage2
@@ -543,6 +647,9 @@ fn build_plan() -> Plan<State> {
             }
             StepOutcome::Done
         })
+        .reads(["spec", "process", "i_tail", "i2", "shifter", "i_ls"])
+        .writes(NONE)
+        .emits(["power-high"])
         .step("predict", |s: &mut State| {
             let pair = s.pair.as_ref().expect("pair designed");
             let load = s.load1.as_ref().expect("load designed");
@@ -584,6 +691,27 @@ fn build_plan() -> Plan<State> {
             });
             StepOutcome::Done
         })
+        .reads([
+            "spec",
+            "process",
+            "gm1",
+            "i_tail",
+            "i2",
+            "cc",
+            "pair",
+            "load1",
+            "tail",
+            "driver",
+            "sink",
+            "compensation",
+            "shifter",
+            "i_ls",
+            "pm_net",
+            "swing",
+            "offset_v",
+        ])
+        .writes(["predicted"])
+        .emits(NONE)
         // ---- patch rules ----
         .rule(
             "cascode-first-stage",
@@ -603,6 +731,11 @@ fn build_plan() -> Plan<State> {
                 PatchAction::RestartFrom("partition-gain".into())
             },
         )
+        .on_codes(["stage1-gain-short", "stage2-gain-short"])
+        .guarded()
+        .reads(["s1_cascoded"])
+        .writes(["s1_cascoded", "alpha1", "skew", "i2_boost", "notes"])
+        .restarts_from("partition-gain")
         .rule(
             "lower-pair-overdrive",
             |s: &State, f| matches!(f.code(), "stage1-gain-short" | "noise-high") && s.vov1 > 0.11,
@@ -613,6 +746,11 @@ fn build_plan() -> Plan<State> {
                 PatchAction::RestartFrom("size-input".into())
             },
         )
+        .on_codes(["stage1-gain-short", "noise-high"])
+        .guarded()
+        .reads(["vov1"])
+        .writes(["vov1", "notes"])
+        .restarts_from("size-input")
         .rule(
             "insert-level-shifter",
             |s: &State, f| f.code() == "dc-mismatch" && s.shifter.is_none(),
@@ -662,6 +800,12 @@ fn build_plan() -> Plan<State> {
                 }
             },
         )
+        .on_codes(["dc-mismatch"])
+        .guarded()
+        .reads(["spec", "process", "load1", "gm1", "cc", "i_tail", "shifter"])
+        .writes(["shifter", "shifter_bias", "i_ls", "notes"])
+        .retries()
+        .aborts()
         .rule(
             "boost-for-slew",
             |s: &State, f| f.code() == "slew-short" && s.slew_boost < 2.5,
@@ -670,6 +814,11 @@ fn build_plan() -> Plan<State> {
                 PatchAction::RestartFrom("size-input".into())
             },
         )
+        .on_codes(["slew-short"])
+        .guarded()
+        .reads(["slew_boost"])
+        .writes(["slew_boost"])
+        .restarts_from("size-input")
         .rule(
             "relax-input-overdrive",
             |s: &State, f| {
@@ -693,6 +842,19 @@ fn build_plan() -> Plan<State> {
                 PatchAction::RestartFrom("size-input".into())
             },
         )
+        .on_codes(["pm-short"])
+        .guarded()
+        .reads([
+            "spec",
+            "process",
+            "vov1",
+            "a1_target",
+            "alpha1",
+            "gm1",
+            "cc",
+        ])
+        .writes(["vov1", "notes"])
+        .restarts_from("size-input")
         .rule(
             "cascode-for-phase-margin",
             |s: &State, f| {
@@ -715,6 +877,11 @@ fn build_plan() -> Plan<State> {
                 PatchAction::RestartFrom("partition-gain".into())
             },
         )
+        .on_codes(["pm-short"])
+        .guarded()
+        .reads(["s1_cascoded", "i2_boost"])
+        .writes(["s1_cascoded", "alpha1", "skew", "i2_boost", "notes"])
+        .restarts_from("partition-gain")
         .rule(
             "boost-second-stage",
             |s: &State, f| f.code() == "pm-short" && s.i2_boost < 8.0,
@@ -727,6 +894,11 @@ fn build_plan() -> Plan<State> {
                 PatchAction::RestartFrom("stage2-requirements".into())
             },
         )
+        .on_codes(["pm-short"])
+        .guarded()
+        .reads(["i2_boost"])
+        .writes(["i2_boost", "notes"])
+        .restarts_from("stage2-requirements")
         .rule(
             "give-up-gain",
             |_, f| matches!(f.code(), "stage1-gain-short" | "stage2-gain-short"),
@@ -736,6 +908,9 @@ fn build_plan() -> Plan<State> {
                 )
             },
         )
+        .on_codes(["stage1-gain-short", "stage2-gain-short"])
+        .writes(NONE)
+        .aborts()
         .rule(
             "give-up",
             |_, f| {
@@ -758,6 +933,23 @@ fn build_plan() -> Plan<State> {
             },
             |_s: &mut State| PatchAction::Abort("two-stage style infeasible".into()),
         )
+        .on_codes([
+            "spec-unsupported",
+            "pair-design",
+            "tail-design",
+            "stage2-design",
+            "compensation",
+            "dc-mismatch",
+            "bias-headroom",
+            "swing-short",
+            "offset-high",
+            "pm-short",
+            "power-high",
+            "slew-short",
+            "noise-high",
+        ])
+        .writes(NONE)
+        .aborts()
         .build()
 }
 
@@ -877,6 +1069,12 @@ mod tests {
     use super::*;
     use crate::spec::test_cases;
     use oasys_process::builtin;
+
+    #[test]
+    fn plan_analyzes_clean() {
+        let report = analyze_plan();
+        assert!(report.is_empty(), "{}", report.render_human());
+    }
 
     #[test]
     fn case_a_designs_simply() {

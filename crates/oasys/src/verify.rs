@@ -6,6 +6,11 @@
 //! open-loop test bench around the design's ports, nulls the systematic
 //! input offset by bisection, sweeps the small-signal frequency response,
 //! and extracts the Table 2 measured columns.
+//!
+//! Before any simulation runs, the design's netlist goes through the
+//! electrical-rule checker ([`oasys_netlist::lint`]); the resulting
+//! [`oasys_lint::Report`] rides along in [`Verification::erc`] so callers
+//! can gate on it (the CLI's `--deny-warnings`).
 
 use crate::styles::OpAmpDesign;
 use oasys_netlist::{Circuit, NodeId, SourceValue};
@@ -93,6 +98,9 @@ pub struct Verification {
     pub measured: Measured,
     /// The open-loop gain/phase response at the nulled offset.
     pub bode: Bode,
+    /// Electrical-rule-check findings on the design netlist (the bench
+    /// elements are not linted). Empty for a healthy design.
+    pub erc: oasys_lint::Report,
 }
 
 /// Builds the open-loop bench around a design: supplies, a differential
@@ -149,6 +157,10 @@ pub fn verify(
     process: &Process,
     load_f: f64,
 ) -> Result<Verification, VerifyError> {
+    // Static electrical-rule check of the raw design (before the bench
+    // adds supplies — the checker treats declared ports as driven).
+    let erc = oasys_netlist::lint::lint(design.circuit(), Some(process));
+
     let (mut bench, out) = build_bench(design, process, load_f)?;
 
     // Null the systematic offset. The open-loop gain makes the transfer
@@ -202,7 +214,11 @@ pub fn verify(
         noise_v_rthz: noise,
         psrr_db: psrr,
     };
-    Ok(Verification { measured, bode })
+    Ok(Verification {
+        measured,
+        bode,
+        erc,
+    })
 }
 
 /// Measures the common-mode rejection ratio: the open-loop bench is
@@ -385,6 +401,31 @@ mod tests {
         let pm = m.phase_margin_deg.expect("phase margin measurable");
         assert!(pm >= 40.0, "measured PM {pm:.1}°");
         assert!(m.power_w > 0.0);
+    }
+
+    #[test]
+    fn synthesized_designs_pass_erc_clean() {
+        // Every style's schematic should come out of synthesis with no
+        // electrical-rule findings — floating gates or sub-minimum
+        // geometry here would mean a template bug.
+        let process = builtin::cmos_5um();
+        for spec in [test_cases::spec_a(), test_cases::spec_b()] {
+            let result = synthesize(&spec, &process).unwrap();
+            for outcome in result.outcomes() {
+                let Some(design) = outcome.design() else {
+                    continue;
+                };
+                let erc = oasys_netlist::lint::lint(design.circuit(), Some(&process));
+                assert!(
+                    erc.is_empty(),
+                    "{} ERC findings:\n{}",
+                    design.style(),
+                    erc.render_human()
+                );
+            }
+            let v = verify(result.selected(), &process, spec.load().farads()).unwrap();
+            assert!(v.erc.is_empty(), "{}", v.erc.render_human());
+        }
     }
 
     #[test]

@@ -73,3 +73,49 @@ fn cli_rejects_unknown_flags() {
     assert!(!output.status.success());
     assert!(String::from_utf8_lossy(&output.stderr).contains("frobnicate"));
 }
+
+#[test]
+fn cli_lint_plans_only_is_clean_json() {
+    let output = Command::new(env!("CARGO_BIN_EXE_oasys"))
+        .args(["lint", "--format", "json", "--deny-warnings"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert_eq!(String::from_utf8_lossy(&output.stdout), "[]\n");
+}
+
+#[test]
+fn cli_lint_example_spec_passes_deny_warnings() {
+    let root = repo_root();
+    let output = Command::new(env!("CARGO_BIN_EXE_oasys"))
+        .current_dir(&root)
+        .args([
+            "lint",
+            "data/example-spec.txt",
+            "data/generic-5um.tech",
+            "--deny-warnings",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        output.status.success(),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert!(String::from_utf8_lossy(&output.stdout).contains("no diagnostics"));
+}
+
+#[test]
+fn cli_lint_rejects_bad_format() {
+    let output = Command::new(env!("CARGO_BIN_EXE_oasys"))
+        .args(["lint", "--format", "yaml"])
+        .output()
+        .expect("binary runs");
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stderr).contains("yaml"));
+}

@@ -1,0 +1,213 @@
+//! Seeded-defect fixtures for the static analyzers.
+//!
+//! Each fixture plants exactly one class of defect in an otherwise
+//! healthy plan or netlist and asserts the analyzer reports the exact
+//! `OLnnn` code — and nothing louder. The complementary direction, that
+//! every built-in style plan and every synthesized netlist comes back
+//! clean, is asserted at the bottom.
+
+use oasys_lint::Code;
+use oasys_mos::Geometry;
+use oasys_netlist::{lint, Circuit, SourceValue};
+use oasys_plan::{analyze, PatchAction, Plan, StepOutcome};
+use oasys_process::{builtin, Polarity};
+
+#[derive(Default)]
+struct State {
+    x: f64,
+}
+
+const NONE: [&str; 0] = [];
+
+// ---------------------------------------------------------------- plans
+
+#[test]
+fn seeded_use_before_def_yields_ol001() {
+    // `consume` reads `x`, but the only writer runs after it.
+    let plan = Plan::<State>::builder("seeded-use-before-def")
+        .inputs(NONE)
+        .step("consume", |s: &mut State| {
+            s.x += 1.0;
+            StepOutcome::Done
+        })
+        .reads(["x"])
+        .writes(NONE)
+        .emits(NONE)
+        .step("produce", |s: &mut State| {
+            s.x = 1.0;
+            StepOutcome::Done
+        })
+        .reads(NONE)
+        .writes(["x"])
+        .emits(NONE)
+        .build();
+    let report = analyze(&plan);
+    let hits = report.with_code(Code::UseBeforeDef);
+    assert_eq!(hits.len(), 1, "{}", report.render_human());
+    assert_eq!(hits[0].subject, "step consume");
+    assert!(hits[0].message.contains("x"), "{}", hits[0].message);
+    assert!(!report.passes(false), "OL001 is an error");
+}
+
+#[test]
+fn seeded_dangling_restart_yields_ol003() {
+    let plan = Plan::<State>::builder("seeded-dangling-restart")
+        .step("only", |_s: &mut State| {
+            StepOutcome::failed("too-big", "fixture failure")
+        })
+        .emits(["too-big"])
+        .rule(
+            "patch",
+            |_s: &State, f| f.code() == "too-big",
+            |_s: &mut State| PatchAction::RestartFrom("no-such-step".into()),
+        )
+        .on_codes(["too-big"])
+        .restarts_from("no-such-step")
+        .build();
+    let report = analyze(&plan);
+    let hits = report.with_code(Code::DanglingRestartTarget);
+    assert_eq!(hits.len(), 1, "{}", report.render_human());
+    assert!(
+        hits[0].message.contains("no-such-step"),
+        "{}",
+        hits[0].message
+    );
+    assert!(!report.passes(false), "OL003 is an error");
+}
+
+#[test]
+fn seeded_shadowed_rule_yields_ol004() {
+    // The unguarded first rule claims `too-big` unconditionally, so the
+    // second can never fire on it.
+    let plan = Plan::<State>::builder("seeded-shadowed-rule")
+        .step("only", |_s: &mut State| {
+            StepOutcome::failed("too-big", "fixture failure")
+        })
+        .emits(["too-big"])
+        .rule(
+            "greedy",
+            |_s: &State, _f| true,
+            |_s: &mut State| PatchAction::Abort("fixture give-up".into()),
+        )
+        .on_codes(["too-big"])
+        .aborts()
+        .rule(
+            "shadowed",
+            |_s: &State, f| f.code() == "too-big",
+            |_s: &mut State| PatchAction::Retry,
+        )
+        .on_codes(["too-big"])
+        .retries()
+        .build();
+    let report = analyze(&plan);
+    let hits = report.with_code(Code::ShadowedRule);
+    assert_eq!(hits.len(), 1, "{}", report.render_human());
+    assert_eq!(hits[0].subject, "rule shadowed");
+    assert!(hits[0].message.contains("too-big"), "{}", hits[0].message);
+    assert!(report.passes(false), "OL004 is warning-tier");
+    assert!(!report.passes(true));
+}
+
+// -------------------------------------------------------------- netlists
+
+/// A healthy common-source stage the defects are planted into.
+fn seeded_circuit(float_gate: bool, undersize: bool) -> Circuit {
+    let mut c = Circuit::new("seeded-netlist");
+    let vdd = c.node("vdd");
+    let out = c.node("out");
+    let inp = c.node("in");
+    let gnd = c.ground();
+    c.add_vsource("VDD", vdd, gnd, SourceValue::dc(5.0))
+        .unwrap();
+    if !float_gate {
+        c.add_vsource("VIN", inp, gnd, SourceValue::new(1.5, 1.0))
+            .unwrap();
+    }
+    c.add_resistor("RL", vdd, out, 100e3).unwrap();
+    let (w, l) = if undersize { (2.0, 5.0) } else { (50.0, 5.0) };
+    c.add_mosfet(
+        "M1",
+        Polarity::Nmos,
+        Geometry::new_um(w, l).unwrap(),
+        out,
+        inp,
+        gnd,
+        gnd,
+    )
+    .unwrap();
+    c
+}
+
+#[test]
+fn seeded_floating_gate_yields_ol101() {
+    let process = builtin::cmos_5um();
+    let report = lint::lint(&seeded_circuit(true, false), Some(&process));
+    let hits = report.with_code(Code::FloatingGate);
+    assert_eq!(hits.len(), 1, "{}", report.render_human());
+    assert!(hits[0].message.contains("M1"), "{}", hits[0].message);
+    // The floating gate must not double-report as a missing DC path.
+    assert!(!report.contains(Code::NoDcPathToRail));
+}
+
+#[test]
+fn seeded_undersized_device_yields_ol103() {
+    // 2 µm wide on a 5 µm process: below minimum width.
+    let process = builtin::cmos_5um();
+    let report = lint::lint(&seeded_circuit(false, true), Some(&process));
+    let hits = report.with_code(Code::SubMinimumGeometry);
+    assert_eq!(hits.len(), 1, "{}", report.render_human());
+    assert_eq!(hits[0].subject, "device M1");
+    assert!(report.passes(false), "OL103 is warning-tier");
+    assert!(!report.passes(true));
+}
+
+#[test]
+fn seeded_defects_compose() {
+    let process = builtin::cmos_5um();
+    let report = lint::lint(&seeded_circuit(true, true), Some(&process));
+    assert!(report.contains(Code::FloatingGate));
+    assert!(report.contains(Code::SubMinimumGeometry));
+    let healthy = lint::lint(&seeded_circuit(false, false), Some(&process));
+    assert!(healthy.is_empty(), "{}", healthy.render_human());
+}
+
+// -------------------------------------------------- built-ins stay clean
+
+#[test]
+fn all_builtin_style_plans_analyze_clean() {
+    for style in oasys::OpAmpStyle::ALL {
+        let report = oasys::analyze_plan(style);
+        assert!(
+            report.is_empty(),
+            "{style} plan:\n{}",
+            report.render_human()
+        );
+    }
+    assert!(oasys::analyze_all_plans().is_empty());
+}
+
+#[test]
+fn paper_test_cases_synthesize_erc_clean() {
+    // Table 2's specs, on the paper's process: every successful style's
+    // schematic must come through the electrical-rule checker clean.
+    let process = builtin::cmos_5um();
+    for spec in [
+        oasys::spec::test_cases::spec_a(),
+        oasys::spec::test_cases::spec_b(),
+        oasys::spec::test_cases::spec_c(),
+    ] {
+        let synthesis = oasys::synthesize(&spec, &process).unwrap();
+        for outcome in synthesis.outcomes() {
+            let Some(design) = outcome.design() else {
+                continue;
+            };
+            let report = lint::lint(design.circuit(), Some(&process));
+            assert!(
+                report.is_empty(),
+                "{} on {spec}:\n{}",
+                design.style(),
+                report.render_human()
+            );
+        }
+    }
+}

@@ -4,7 +4,7 @@
 
 use oasys::{synthesize, OpAmpSpec};
 use oasys_process::builtin;
-use proptest::prelude::*;
+use oasys_testutil::prelude::*;
 
 /// Specs drawn from the region the 5 µm process can plausibly serve.
 fn spec_strategy() -> impl Strategy<Value = OpAmpSpec> {

@@ -51,12 +51,16 @@
 //! assert_eq!(trace.rule_firings(), 2); // 30 → 15 → 7.5 ≤ 10
 //! ```
 
+pub mod analyze;
 mod error;
 mod executor;
 mod plan;
 mod trace;
 
+pub use analyze::analyze;
 pub use error::PlanError;
 pub use executor::{ExecutorConfig, PlanExecutor};
-pub use plan::{PatchAction, Plan, PlanBuilder, StepFailure, StepOutcome};
+pub use plan::{
+    DeclaredAction, PatchAction, Plan, PlanBuilder, RuleMeta, StepFailure, StepMeta, StepOutcome,
+};
 pub use trace::{Trace, TraceEvent};

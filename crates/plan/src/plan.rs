@@ -75,15 +75,68 @@ type RulePredicate<S> = Box<dyn Fn(&S, &StepFailure) -> bool + Send + Sync>;
 /// Boxed rule patch action.
 type RulePatch<S> = Box<dyn Fn(&mut S) -> PatchAction + Send + Sync>;
 
+/// Declared dataflow facts about a step, set with the
+/// [`PlanBuilder::reads`]/[`PlanBuilder::writes`]/[`PlanBuilder::emits`]/
+/// [`PlanBuilder::diverges`] chained modifiers. `None` means
+/// "undeclared": the static analyzer skips the checks that need the
+/// missing fact instead of guessing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StepMeta {
+    /// State variables the step body reads.
+    pub reads: Option<Vec<String>>,
+    /// State variables the step body writes when it completes.
+    pub writes: Option<Vec<String>>,
+    /// Failure codes the step can emit.
+    pub emits: Option<Vec<String>>,
+    /// True when the step never completes normally (it always fails or
+    /// aborts), so sequential flow never continues past it.
+    pub diverges: bool,
+}
+
+/// What a rule's patch closure may tell the executor to do, declared
+/// statically for the analyzer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeclaredAction {
+    /// The patch may return [`PatchAction::Retry`].
+    Retry,
+    /// The patch may return [`PatchAction::RestartFrom`] this target.
+    RestartFrom(String),
+    /// The patch may return [`PatchAction::Abort`].
+    Abort,
+}
+
+/// Declared facts about a patch rule, set with the
+/// [`PlanBuilder::on_codes`]/[`PlanBuilder::guarded`]/
+/// [`PlanBuilder::retries`]/[`PlanBuilder::restarts_from`]/
+/// [`PlanBuilder::aborts`] chained modifiers (plus
+/// [`PlanBuilder::reads`]/[`PlanBuilder::writes`], which apply to the
+/// last-added rule as well as the last-added step).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RuleMeta {
+    /// Failure codes the predicate matches.
+    pub on_codes: Option<Vec<String>>,
+    /// True when the predicate also tests state, so a matching code does
+    /// not guarantee the rule fires.
+    pub guarded: bool,
+    /// State variables the predicate or patch reads.
+    pub reads: Option<Vec<String>>,
+    /// State variables the patch writes.
+    pub writes: Option<Vec<String>>,
+    /// Every action the patch can return.
+    pub actions: Vec<DeclaredAction>,
+}
+
 pub(crate) struct Step<S> {
     pub(crate) name: String,
     pub(crate) run: StepFn<S>,
+    pub(crate) meta: StepMeta,
 }
 
 pub(crate) struct Rule<S> {
     pub(crate) name: String,
     pub(crate) applies: RulePredicate<S>,
     pub(crate) patch: RulePatch<S>,
+    pub(crate) meta: RuleMeta,
 }
 
 /// An ordered sequence of named steps plus the patch rules that repair
@@ -93,6 +146,7 @@ pub struct Plan<S> {
     name: String,
     pub(crate) steps: Vec<Step<S>>,
     pub(crate) rules: Vec<Rule<S>>,
+    pub(crate) inputs: Vec<String>,
 }
 
 impl<S> Plan<S> {
@@ -103,6 +157,8 @@ impl<S> Plan<S> {
             name: name.into(),
             steps: Vec::new(),
             rules: Vec::new(),
+            inputs: Vec::new(),
+            last: LastAdded::None,
         }
     }
 
@@ -135,6 +191,32 @@ impl<S> Plan<S> {
     pub fn step_index(&self, name: &str) -> Option<usize> {
         self.steps.iter().position(|s| s.name == name)
     }
+
+    /// Declared plan inputs: state variables whose initial value is
+    /// meaningful before any step runs (the spec, the process, and
+    /// tuning knobs with meaningful defaults).
+    #[must_use]
+    pub fn inputs(&self) -> &[String] {
+        &self.inputs
+    }
+
+    /// Declared metadata of the step at `index`.
+    #[must_use]
+    pub fn step_meta(&self, index: usize) -> &StepMeta {
+        &self.steps[index].meta
+    }
+
+    /// Declared metadata of the rule at `index`.
+    #[must_use]
+    pub fn rule_meta(&self, index: usize) -> &RuleMeta {
+        &self.rules[index].meta
+    }
+
+    /// The rule names, in consultation order.
+    #[must_use]
+    pub fn rule_names(&self) -> Vec<&str> {
+        self.rules.iter().map(|r| r.name.as_str()).collect()
+    }
 }
 
 impl<S> fmt::Debug for Plan<S> {
@@ -150,12 +232,30 @@ impl<S> fmt::Debug for Plan<S> {
     }
 }
 
+/// What the builder appended most recently, for the chained metadata
+/// modifiers.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum LastAdded {
+    None,
+    Step,
+    Rule,
+}
+
 /// Builder for [`Plan`]. Steps execute in insertion order; rules are
 /// consulted in insertion order when a step fails.
+///
+/// Chained metadata modifiers ([`Self::reads`], [`Self::writes`],
+/// [`Self::emits`], [`Self::diverges`], [`Self::on_codes`],
+/// [`Self::guarded`], [`Self::retries`], [`Self::restarts_from`],
+/// [`Self::aborts`]) annotate the most recently added step or rule for
+/// the static dataflow analyzer (`crate::analyze`). Annotations are
+/// optional; undeclared facts disable the checks that need them.
 pub struct PlanBuilder<S> {
     name: String,
     steps: Vec<Step<S>>,
     rules: Vec<Rule<S>>,
+    inputs: Vec<String>,
+    last: LastAdded,
 }
 
 impl<S> PlanBuilder<S> {
@@ -180,8 +280,199 @@ impl<S> PlanBuilder<S> {
         self.steps.push(Step {
             name,
             run: Box::new(run),
+            meta: StepMeta::default(),
         });
+        self.last = LastAdded::Step;
         self
+    }
+
+    /// Declares the state variables the plan consumes as inputs: fields
+    /// whose initial value is meaningful before the first step runs.
+    /// Appends to any previously declared inputs.
+    #[must_use]
+    pub fn inputs<I, T>(mut self, vars: I) -> Self
+    where
+        I: IntoIterator<Item = T>,
+        T: Into<String>,
+    {
+        self.inputs.extend(vars.into_iter().map(Into::into));
+        self
+    }
+
+    /// Declares the variables the last-added step or rule reads.
+    ///
+    /// # Panics
+    ///
+    /// Panics when nothing has been added yet.
+    #[must_use]
+    pub fn reads<I, T>(mut self, vars: I) -> Self
+    where
+        I: IntoIterator<Item = T>,
+        T: Into<String>,
+    {
+        let vars: Vec<String> = vars.into_iter().map(Into::into).collect();
+        match self.last {
+            LastAdded::Step => {
+                let meta = &mut self.steps.last_mut().expect("last is a step").meta;
+                meta.reads.get_or_insert_with(Vec::new).extend(vars);
+            }
+            LastAdded::Rule => {
+                let meta = &mut self.rules.last_mut().expect("last is a rule").meta;
+                meta.reads.get_or_insert_with(Vec::new).extend(vars);
+            }
+            LastAdded::None => panic!("plan `{}`: .reads() before any step or rule", self.name),
+        }
+        self
+    }
+
+    /// Declares the variables the last-added step or rule writes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when nothing has been added yet.
+    #[must_use]
+    pub fn writes<I, T>(mut self, vars: I) -> Self
+    where
+        I: IntoIterator<Item = T>,
+        T: Into<String>,
+    {
+        let vars: Vec<String> = vars.into_iter().map(Into::into).collect();
+        match self.last {
+            LastAdded::Step => {
+                let meta = &mut self.steps.last_mut().expect("last is a step").meta;
+                meta.writes.get_or_insert_with(Vec::new).extend(vars);
+            }
+            LastAdded::Rule => {
+                let meta = &mut self.rules.last_mut().expect("last is a rule").meta;
+                meta.writes.get_or_insert_with(Vec::new).extend(vars);
+            }
+            LastAdded::None => panic!("plan `{}`: .writes() before any step or rule", self.name),
+        }
+        self
+    }
+
+    /// Declares the failure codes the last-added step can emit. Call
+    /// with an empty list for a step that never fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the last-added item is not a step.
+    #[must_use]
+    pub fn emits<I, T>(mut self, codes: I) -> Self
+    where
+        I: IntoIterator<Item = T>,
+        T: Into<String>,
+    {
+        assert!(
+            self.last == LastAdded::Step,
+            "plan `{}`: .emits() must follow a step",
+            self.name
+        );
+        let meta = &mut self.steps.last_mut().expect("last is a step").meta;
+        meta.emits
+            .get_or_insert_with(Vec::new)
+            .extend(codes.into_iter().map(Into::into));
+        self
+    }
+
+    /// Declares that the last-added step never completes normally, so
+    /// sequential flow stops there.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the last-added item is not a step.
+    #[must_use]
+    pub fn diverges(mut self) -> Self {
+        assert!(
+            self.last == LastAdded::Step,
+            "plan `{}`: .diverges() must follow a step",
+            self.name
+        );
+        self.steps.last_mut().expect("last is a step").meta.diverges = true;
+        self
+    }
+
+    /// Declares the failure codes the last-added rule's predicate
+    /// matches.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the last-added item is not a rule.
+    #[must_use]
+    pub fn on_codes<I, T>(mut self, codes: I) -> Self
+    where
+        I: IntoIterator<Item = T>,
+        T: Into<String>,
+    {
+        let meta = self.last_rule_meta("on_codes");
+        meta.on_codes
+            .get_or_insert_with(Vec::new)
+            .extend(codes.into_iter().map(Into::into));
+        self
+    }
+
+    /// Declares that the last-added rule's predicate also tests state,
+    /// so a matching failure code does not guarantee it fires.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the last-added item is not a rule.
+    #[must_use]
+    pub fn guarded(mut self) -> Self {
+        self.last_rule_meta("guarded").guarded = true;
+        self
+    }
+
+    /// Declares that the last-added rule's patch may return
+    /// [`PatchAction::Retry`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the last-added item is not a rule.
+    #[must_use]
+    pub fn retries(mut self) -> Self {
+        self.last_rule_meta("retries")
+            .actions
+            .push(DeclaredAction::Retry);
+        self
+    }
+
+    /// Declares that the last-added rule's patch may return
+    /// [`PatchAction::RestartFrom`] the named step.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the last-added item is not a rule.
+    #[must_use]
+    pub fn restarts_from(mut self, target: impl Into<String>) -> Self {
+        let target = target.into();
+        self.last_rule_meta("restarts_from")
+            .actions
+            .push(DeclaredAction::RestartFrom(target));
+        self
+    }
+
+    /// Declares that the last-added rule's patch may return
+    /// [`PatchAction::Abort`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the last-added item is not a rule.
+    #[must_use]
+    pub fn aborts(mut self) -> Self {
+        self.last_rule_meta("aborts")
+            .actions
+            .push(DeclaredAction::Abort);
+        self
+    }
+
+    fn last_rule_meta(&mut self, modifier: &str) -> &mut RuleMeta {
+        assert!(
+            self.last == LastAdded::Rule,
+            "plan `{}`: .{modifier}() must follow a rule",
+            self.name
+        );
+        &mut self.rules.last_mut().expect("last is a rule").meta
     }
 
     /// Appends a patch rule: `applies` decides whether the rule matches a
@@ -198,7 +489,9 @@ impl<S> PlanBuilder<S> {
             name: name.into(),
             applies: Box::new(applies),
             patch: Box::new(patch),
+            meta: RuleMeta::default(),
         });
+        self.last = LastAdded::Rule;
         self
     }
 
@@ -214,6 +507,7 @@ impl<S> PlanBuilder<S> {
             name: self.name,
             steps: self.steps,
             rules: self.rules,
+            inputs: self.inputs,
         }
     }
 }
@@ -249,6 +543,85 @@ mod tests {
     #[should_panic(expected = "has no steps")]
     fn empty_plan_rejected() {
         let _ = Plan::<i32>::builder("p").build();
+    }
+
+    #[test]
+    fn metadata_modifiers_annotate_last_item() {
+        let plan = Plan::<i32>::builder("p")
+            .inputs(["spec"])
+            .step("a", |_| StepOutcome::Done)
+            .reads(["spec"])
+            .writes(["x", "y"])
+            .emits(["a-failed"])
+            .step("b", |_| StepOutcome::Done)
+            .reads(["x"])
+            .writes(["z"])
+            .emits(Vec::<String>::new())
+            .diverges()
+            .rule("r", |_, _| true, |_| PatchAction::Retry)
+            .on_codes(["a-failed"])
+            .guarded()
+            .reads(["x"])
+            .writes(["y"])
+            .retries()
+            .restarts_from("a")
+            .aborts()
+            .build();
+        assert_eq!(plan.inputs(), ["spec".to_string()]);
+        let a = plan.step_meta(0);
+        assert_eq!(a.reads.as_deref(), Some(&["spec".to_string()][..]));
+        assert_eq!(
+            a.writes.as_deref(),
+            Some(&["x".to_string(), "y".to_string()][..])
+        );
+        assert_eq!(a.emits.as_deref(), Some(&["a-failed".to_string()][..]));
+        assert!(!a.diverges);
+        let b = plan.step_meta(1);
+        assert_eq!(b.emits.as_deref(), Some(&[][..]));
+        assert!(b.diverges);
+        let r = plan.rule_meta(0);
+        assert_eq!(r.on_codes.as_deref(), Some(&["a-failed".to_string()][..]));
+        assert!(r.guarded);
+        assert_eq!(r.reads.as_deref(), Some(&["x".to_string()][..]));
+        assert_eq!(r.writes.as_deref(), Some(&["y".to_string()][..]));
+        assert_eq!(
+            r.actions,
+            vec![
+                DeclaredAction::Retry,
+                DeclaredAction::RestartFrom("a".to_string()),
+                DeclaredAction::Abort
+            ]
+        );
+        assert_eq!(plan.rule_names(), vec!["r"]);
+    }
+
+    #[test]
+    fn unannotated_metadata_stays_undeclared() {
+        let plan = Plan::<i32>::builder("p")
+            .step("a", |_| StepOutcome::Done)
+            .build();
+        let meta = plan.step_meta(0);
+        assert_eq!(meta.reads, None);
+        assert_eq!(meta.writes, None);
+        assert_eq!(meta.emits, None);
+        assert!(plan.inputs().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = ".emits() must follow a step")]
+    fn emits_after_rule_panics() {
+        let _ = Plan::<i32>::builder("p")
+            .step("a", |_| StepOutcome::Done)
+            .rule("r", |_, _| true, |_| PatchAction::Retry)
+            .emits(["x"]);
+    }
+
+    #[test]
+    #[should_panic(expected = ".on_codes() must follow a rule")]
+    fn on_codes_after_step_panics() {
+        let _ = Plan::<i32>::builder("p")
+            .step("a", |_| StepOutcome::Done)
+            .on_codes(["x"]);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! enforcement, and trace consistency for randomized plans.
 
 use oasys_plan::{ExecutorConfig, PatchAction, Plan, PlanExecutor, StepOutcome, TraceEvent};
-use proptest::prelude::*;
+use oasys_testutil::prelude::*;
 
 /// State: a counter per step that decides how many failures each step
 /// reports before succeeding.

@@ -1,7 +1,6 @@
 //! Validated process-parameter containers.
 
 use oasys_units::{Length, Voltage};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// MOSFET channel polarity.
@@ -15,7 +14,7 @@ use std::fmt;
 /// assert_eq!(Polarity::Nmos.sign(), 1.0);
 /// assert_eq!(Polarity::Pmos.sign(), -1.0);
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Polarity {
     /// N-channel device.
     Nmos,
@@ -62,7 +61,7 @@ impl fmt::Display for Polarity {
 ///
 /// All magnitudes are stored in SI base units; accessors expose the
 /// customary engineering units.
-#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub struct MosParams {
     pub(crate) polarity: Polarity,
     /// Threshold voltage magnitude, volts (always positive; the device model
@@ -191,7 +190,7 @@ impl MosParams {
 /// assert!(p.cox() > 0.0);
 /// assert!(p.min_length().micrometers() > 0.0);
 /// ```
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct Process {
     pub(crate) name: String,
     pub(crate) nmos: MosParams,

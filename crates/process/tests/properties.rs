@@ -2,7 +2,7 @@
 //! technology-file round-trips over randomized parameter sets.
 
 use oasys_process::{techfile, Polarity, ProcessBuilder};
-use proptest::prelude::*;
+use oasys_testutil::prelude::*;
 
 /// A randomized but self-consistent parameter set.
 #[derive(Clone, Debug)]

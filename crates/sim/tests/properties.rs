@@ -8,7 +8,7 @@ use oasys_sim::complex::Complex;
 use oasys_sim::linalg::Matrix;
 use oasys_sim::mna::mos_stamp;
 use oasys_sim::{dc, sweep};
-use proptest::prelude::*;
+use oasys_testutil::prelude::*;
 
 /// Deterministic diagonally dominant matrix from a seed.
 fn dominant_matrix(n: usize, seed: u64) -> Matrix<f64> {

@@ -1,0 +1,340 @@
+//! Value-generation strategies: a proptest-compatible subset built on
+//! the deterministic [`Rng`].
+
+use crate::Rng;
+use std::ops::Range;
+
+/// Generates values of one type from a random source. The subset of
+/// `proptest::strategy::Strategy` the workspace suites rely on:
+/// `prop_map`, `prop_filter`, `boxed`, and the blanket implementations
+/// for ranges, tuples, string patterns, and collections.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut Rng) -> Self::Value;
+
+    /// Applies `f` to every generated value.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Regenerates until `keep` accepts a value. `reason` names the
+    /// filter in the panic raised if the filter rejects every attempt.
+    fn prop_filter<F>(self, reason: &'static str, keep: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason,
+            keep,
+        }
+    }
+
+    /// Erases the strategy type, for heterogeneous composition
+    /// (`prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Object-safe generation, used behind [`BoxedStrategy`].
+trait DynStrategy {
+    type Value;
+    fn dyn_generate(&self, rng: &mut Rng) -> Self::Value;
+}
+
+impl<S: Strategy> DynStrategy for S {
+    type Value = S::Value;
+    fn dyn_generate(&self, rng: &mut Rng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn DynStrategy<Value = T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut Rng) -> T {
+        self.0.dyn_generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut Rng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    reason: &'static str,
+    keep: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut Rng) -> S::Value {
+        for _ in 0..1000 {
+            let candidate = self.inner.generate(rng);
+            if (self.keep)(&candidate) {
+                return candidate;
+            }
+        }
+        panic!(
+            "prop_filter `{}` rejected 1000 consecutive values",
+            self.reason
+        );
+    }
+}
+
+/// Uniform choice between boxed strategies; built by `prop_oneof!`.
+pub struct OneOf<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> OneOf<T> {
+    /// # Panics
+    ///
+    /// Panics when `options` is empty.
+    #[must_use]
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Self { options }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut Rng) -> T {
+        let idx = rng.range_u64(0, self.options.len() as u64) as usize;
+        self.options[idx].generate(rng)
+    }
+}
+
+/// See [`crate::prop::collection::vec`].
+pub struct VecStrategy<S> {
+    pub(crate) element: S,
+    pub(crate) size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut Rng) -> Vec<S::Value> {
+        let len = rng.range_u64(self.size.start as u64, self.size.end as u64) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut Rng) -> f64 {
+        rng.range_f64(self.start, self.end)
+    }
+}
+
+macro_rules! impl_unsigned_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            #[allow(clippy::cast_possible_truncation)]
+            fn generate(&self, rng: &mut Rng) -> $ty {
+                rng.range_u64(self.start as u64, self.end as u64) as $ty
+            }
+        }
+    )*};
+}
+
+impl_unsigned_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            #[allow(clippy::cast_possible_truncation)]
+            fn generate(&self, rng: &mut Rng) -> $ty {
+                rng.range_i64(i64::from(self.start), i64::from(self.end)) as $ty
+            }
+        }
+    )*};
+}
+
+impl_signed_range_strategy!(i8, i16, i32, i64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut Rng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I);
+
+/// One `[class]{min,max}` atom of a string pattern.
+struct PatternAtom {
+    choices: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// `&str` as a simplified-regex string strategy: a sequence of
+/// character classes, each optionally followed by a `{min,max}`
+/// repetition (a bare class generates exactly one char). This covers
+/// the identifier-shaped patterns the suites use.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut Rng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let count = if atom.min == atom.max {
+                atom.min
+            } else {
+                rng.range_u64(atom.min as u64, atom.max as u64 + 1) as usize
+            };
+            for _ in 0..count {
+                let idx = rng.range_u64(0, atom.choices.len() as u64) as usize;
+                out.push(atom.choices[idx]);
+            }
+        }
+        out
+    }
+}
+
+fn parse_pattern(pattern: &str) -> Vec<PatternAtom> {
+    let mut atoms = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let choices = match c {
+            '[' => {
+                let mut set = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    match chars.next() {
+                        None => panic!("unterminated character class in pattern `{pattern}`"),
+                        Some(']') => break,
+                        Some('-') if prev.is_some() && chars.peek() != Some(&']') => {
+                            let lo = prev.take().expect("checked above");
+                            let hi = chars.next().expect("peeked above");
+                            // `lo` is already in the set; add the rest.
+                            for code in (lo as u32 + 1)..=(hi as u32) {
+                                set.push(char::from_u32(code).expect("ascii range"));
+                            }
+                        }
+                        Some(ch) => {
+                            set.push(ch);
+                            prev = Some(ch);
+                        }
+                    }
+                }
+                set
+            }
+            literal => vec![literal],
+        };
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let spec: String = chars.by_ref().take_while(|&ch| ch != '}').collect();
+            let (lo, hi) = spec.split_once(',').unwrap_or_else(|| {
+                panic!("pattern `{pattern}`: `{{n}}` repetition needs `{{min,max}}`")
+            });
+            (
+                lo.trim().parse().expect("repetition min"),
+                hi.trim().parse().expect("repetition max"),
+            )
+        } else {
+            (1, 1)
+        };
+        assert!(
+            !choices.is_empty(),
+            "empty character class in pattern `{pattern}`"
+        );
+        atoms.push(PatternAtom { choices, min, max });
+    }
+    atoms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_parser_expands_ranges_and_repetitions() {
+        let atoms = parse_pattern("[a-c][A-B0-1_]{0,8}");
+        assert_eq!(atoms.len(), 2);
+        assert_eq!(atoms[0].choices, vec!['a', 'b', 'c']);
+        assert_eq!((atoms[0].min, atoms[0].max), (1, 1));
+        assert_eq!(atoms[1].choices, vec!['A', 'B', '0', '1', '_']);
+        assert_eq!((atoms[1].min, atoms[1].max), (0, 8));
+    }
+
+    #[test]
+    fn literal_atoms_pass_through() {
+        let mut rng = Rng::seeded(1);
+        let s = "x[0-9]y".generate(&mut rng);
+        assert_eq!(s.len(), 3);
+        assert!(s.starts_with('x') && s.ends_with('y'));
+    }
+
+    #[test]
+    fn signed_ranges_generate_negatives() {
+        let mut rng = Rng::seeded(5);
+        let mut saw_negative = false;
+        for _ in 0..200 {
+            let v = (-5..5i32).generate(&mut rng);
+            assert!((-5..5).contains(&v));
+            saw_negative |= v < 0;
+        }
+        assert!(saw_negative);
+    }
+
+    #[test]
+    fn filter_retries_until_accepted() {
+        let mut rng = Rng::seeded(9);
+        for _ in 0..100 {
+            let v = (0..100u32)
+                .prop_filter("even", |v| v % 2 == 0)
+                .generate(&mut rng);
+            assert_eq!(v % 2, 0);
+        }
+    }
+}

@@ -39,7 +39,6 @@ mod parse;
 
 pub use parse::ParseQuantityError;
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
@@ -96,8 +95,7 @@ macro_rules! quantity {
         $(, alt: [$(($alt_ctor:ident, $alt_get:ident, $scale:expr)),* $(,)?])?
     ) => {
         $(#[$meta])*
-        #[derive(Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
-        #[serde(transparent)]
+        #[derive(Clone, Copy, PartialEq, PartialOrd, Default)]
         pub struct $name(f64);
 
         impl $name {
@@ -428,8 +426,7 @@ impl Frequency {
 /// assert!((g.db() - 60.0).abs() < 1e-9);
 /// assert!((g.to_voltage_ratio() - 1000.0).abs() < 1e-6);
 /// ```
-#[derive(Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Decibels(f64);
 
 impl Decibels {
@@ -505,8 +502,7 @@ impl Neg for Decibels {
 /// let pm = Degrees::new(60.0);
 /// assert!((pm.radians() - std::f64::consts::FRAC_PI_3).abs() < 1e-12);
 /// ```
-#[derive(Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Degrees(f64);
 
 impl Degrees {

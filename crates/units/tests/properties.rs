@@ -1,8 +1,8 @@
 //! Property-based tests for the unit types: round-trips, algebraic laws,
 //! and formatting/parsing consistency.
 
+use oasys_testutil::prelude::*;
 use oasys_units::{Capacitance, Current, Decibels, Degrees, Frequency, Resistance, Voltage};
-use proptest::prelude::*;
 
 /// Magnitudes that stay well inside f64's exact territory for the
 /// relative-error bounds used below.

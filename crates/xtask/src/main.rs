@@ -1,0 +1,104 @@
+//! Workspace automation, following the cargo-xtask pattern: plain
+//! `cargo` subcommands composed into repeatable gauntlets, no external
+//! tooling required. Invoked as `cargo xtask <command>` via the alias
+//! in `.cargo/config.toml`.
+
+use std::env;
+use std::process::{Command, ExitCode};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => check(),
+        Some("lint-examples") => lint_examples(),
+        _ => {
+            eprintln!(
+                "usage: cargo xtask <command>\n\n\
+                 commands:\n  \
+                 check          fmt --check, clippy -D warnings, tier-1 build+test,\n                 \
+                 and `oasys lint --deny-warnings` over the example specs\n  \
+                 lint-examples  only the example-spec lint gate"
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// The full verification gauntlet. Runs every gate even after a
+/// failure so one invocation reports everything that is wrong.
+fn check() -> ExitCode {
+    let mut failed = Vec::new();
+    let gates: &[(&str, &[&str])] = &[
+        ("fmt", &["fmt", "--all", "--check"]),
+        (
+            "clippy",
+            &["clippy", "--all-targets", "--", "-D", "warnings"],
+        ),
+        ("build", &["build", "--release"]),
+        ("test", &["test", "-q"]),
+    ];
+    for (name, cargo_args) in gates {
+        if !run("cargo", cargo_args) {
+            failed.push((*name).to_string());
+        }
+    }
+    if lint_examples() != ExitCode::SUCCESS {
+        failed.push("lint-examples".to_string());
+    }
+    if failed.is_empty() {
+        println!("xtask check: all gates passed");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("xtask check: FAILED gates: {}", failed.join(", "));
+        ExitCode::FAILURE
+    }
+}
+
+/// The `oasys lint --deny-warnings` gate: first the plan analyzers
+/// alone, then the example spec synthesized and electrical-rule-checked
+/// on each process it is feasible on (the 1.2 µm kit cannot meet it, so
+/// that pairing is not part of the gate).
+fn lint_examples() -> ExitCode {
+    let spec = "data/example-spec.txt";
+    if !std::path::Path::new(spec).is_file() {
+        eprintln!("xtask: {spec} not found (run from the workspace root)");
+        return ExitCode::FAILURE;
+    }
+    let mut ok = run_oasys_lint(&["--deny-warnings"]);
+    for tech in ["data/generic-5um.tech", "data/generic-3um.tech"] {
+        println!("lint {spec} against {tech}");
+        ok &= run_oasys_lint(&[spec, tech, "--deny-warnings"]);
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn run_oasys_lint(lint_args: &[&str]) -> bool {
+    let mut args = vec![
+        "run",
+        "--release",
+        "-q",
+        "-p",
+        "oasys",
+        "--bin",
+        "oasys",
+        "--",
+        "lint",
+    ];
+    args.extend_from_slice(lint_args);
+    run("cargo", &args)
+}
+
+fn run(program: &str, args: &[&str]) -> bool {
+    println!("$ {program} {}", args.join(" "));
+    match Command::new(program).args(args).status() {
+        Ok(status) => status.success(),
+        Err(e) => {
+            eprintln!("xtask: failed to spawn {program}: {e}");
+            false
+        }
+    }
+}
