@@ -3,9 +3,11 @@
 //! The reproduction synthesizes each case in well under a millisecond.
 
 use oasys::spec::test_cases;
-use oasys::synthesize;
+use oasys::{synthesize, synthesize_with};
 use oasys_bench::harness::Bencher;
+use oasys_bench::summary;
 use oasys_process::builtin;
+use oasys_telemetry::Telemetry;
 use std::hint::black_box;
 
 fn main() {
@@ -18,6 +20,17 @@ fn main() {
     ] {
         b.bench(label, || {
             synthesize(black_box(&spec), black_box(&process)).unwrap()
+        });
+    }
+
+    // Telemetry overhead check: the same case with a live recorder (the
+    // disabled path is the `synthesize/case_a` row above, since plain
+    // `synthesize` runs with telemetry off).
+    {
+        let spec = test_cases::spec_a();
+        b.bench("synthesize/case_a_telemetry", || {
+            let tel = Telemetry::new();
+            synthesize_with(black_box(&spec), black_box(&process), &tel).unwrap()
         });
     }
 
@@ -48,5 +61,23 @@ fn main() {
         )
         .unwrap()
     });
+
+    // One instrumented run per paper case for the machine-readable
+    // report: span rollup and counters ride along with the timing rows.
+    let tel = Telemetry::new();
+    for case_spec in [
+        test_cases::spec_a(),
+        test_cases::spec_b(),
+        test_cases::spec_c(),
+    ] {
+        synthesize_with(&case_spec, &process, &tel).unwrap();
+    }
+    let report_json = summary::render(&b.rows(), &tel.report());
+    let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_synthesis.json");
+    match std::fs::write(out_path, report_json) {
+        Ok(()) => println!("report written to {out_path}"),
+        Err(e) => eprintln!("could not write {out_path}: {e}"),
+    }
+
     b.finish();
 }

@@ -23,6 +23,21 @@ struct Stats {
     median: Duration,
 }
 
+/// One benchmark's results, exposed for machine-readable reports.
+#[derive(Clone, Debug)]
+pub struct BenchRow {
+    /// Benchmark label.
+    pub name: String,
+    /// Total timed iterations.
+    pub iterations: u64,
+    /// Fastest per-iteration sample, nanoseconds.
+    pub min_ns: u128,
+    /// Mean per-iteration time, nanoseconds.
+    pub mean_ns: u128,
+    /// Median per-iteration time, nanoseconds.
+    pub median_ns: u128,
+}
+
 impl Default for Bencher {
     fn default() -> Self {
         Self::new()
@@ -76,6 +91,21 @@ impl Bencher {
                 median,
             },
         ));
+    }
+
+    /// The collected results so far, in registration order.
+    #[must_use]
+    pub fn rows(&self) -> Vec<BenchRow> {
+        self.rows
+            .iter()
+            .map(|(name, s)| BenchRow {
+                name: name.clone(),
+                iterations: s.iterations,
+                min_ns: s.min.as_nanos(),
+                mean_ns: s.mean.as_nanos(),
+                median_ns: s.median.as_nanos(),
+            })
+            .collect()
     }
 
     /// Prints the collected table and consumes the bencher.

@@ -20,6 +20,7 @@
 pub mod ablation;
 pub mod figures;
 pub mod harness;
+pub mod summary;
 pub mod table2;
 
 use oasys::spec::test_cases;

@@ -1,0 +1,110 @@
+//! Machine-readable benchmark reports.
+//!
+//! Renders the harness rows plus an instrumented run's telemetry
+//! (span rollup and counters) as one JSON document — the
+//! `BENCH_synthesis.json` artifact the synthesis bench writes at the
+//! workspace root so CI runs can be diffed over time.
+
+use crate::harness::BenchRow;
+use oasys_telemetry::{json, RunReport};
+
+/// Schema identifier of the emitted document.
+pub const SCHEMA_NAME: &str = "oasys-bench";
+/// Schema version of the emitted document.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Renders the benchmark report: harness rows plus the span rollup and
+/// counters of one instrumented synthesis run.
+#[must_use]
+pub fn render(rows: &[BenchRow], telemetry: &RunReport) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"schema\": {},\n  \"version\": {},\n",
+        json::string(SCHEMA_NAME),
+        SCHEMA_VERSION
+    ));
+
+    out.push_str("  \"benches\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"name\": {}, \"iterations\": {}, \"min_ns\": {}, \"mean_ns\": {}, \"median_ns\": {}}}{sep}\n",
+            json::string(&row.name),
+            row.iterations,
+            row.min_ns,
+            row.mean_ns,
+            row.median_ns
+        ));
+    }
+    out.push_str("  ],\n");
+
+    let rollup = telemetry.span_rollup();
+    out.push_str("  \"span_rollup\": [\n");
+    for (i, (name, count, total_ns)) in rollup.iter().enumerate() {
+        let sep = if i + 1 == rollup.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"name\": {}, \"count\": {count}, \"total_ns\": {total_ns}}}{sep}\n",
+            json::string(name)
+        ));
+    }
+    out.push_str("  ],\n");
+
+    out.push_str("  \"counters\": {");
+    let counters: Vec<String> = telemetry
+        .metrics()
+        .counters()
+        .map(|(name, value)| format!("{}: {value}", json::string(name)))
+        .collect();
+    out.push_str(&counters.join(", "));
+    out.push_str("}\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oasys_telemetry::Telemetry;
+
+    #[test]
+    fn render_is_valid_json_with_all_sections() {
+        let tel = Telemetry::new();
+        {
+            let span = tel.span(|| "synthesize".to_owned());
+            span.annotate("selected", || "two-stage".to_owned());
+            tel.incr("plan.step_executions");
+        }
+        let rows = vec![BenchRow {
+            name: "synthesize/case_a".to_owned(),
+            iterations: 100,
+            min_ns: 10,
+            mean_ns: 12,
+            median_ns: 11,
+        }];
+        let text = render(&rows, &tel.report());
+        let doc = json::parse(&text).expect("report parses as JSON");
+        assert_eq!(
+            doc.get("schema").and_then(json::Json::as_str),
+            Some(SCHEMA_NAME)
+        );
+        assert_eq!(
+            doc.get("benches")
+                .and_then(json::Json::as_arr)
+                .map(<[json::Json]>::len),
+            Some(1)
+        );
+        let rollup = doc.get("span_rollup").and_then(json::Json::as_arr).unwrap();
+        assert_eq!(rollup.len(), 1);
+        assert_eq!(
+            doc.get("counters")
+                .and_then(|c| c.get("plan.step_executions"))
+                .and_then(json::Json::as_num),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn render_handles_empty_inputs() {
+        let text = render(&[], &Telemetry::new().report());
+        assert!(json::parse(&text).is_ok());
+    }
+}

@@ -3,12 +3,18 @@
 //!
 //! ```text
 //! oasys <spec-file> <tech-file> [--out <deck.sp>] [--no-verify]
+//!       [--explain] [--trace-out <file.json>] [--trace-format json|chrome]
 //! oasys lint [<spec-file> <tech-file>] [--deny-warnings] [--format human|json]
 //! ```
 //!
 //! The first form prints the style-selection outcome, the sized device
 //! table, and the spec/predicted/measured datasheet; optionally writes a
-//! SPICE deck.
+//! SPICE deck. `--explain` prints the annotated span tree of the run
+//! (style attempts, plan steps, rule firings, simulator phases);
+//! `--trace-out` writes the machine-readable run report — JSON-lines
+//! events plus a metrics snapshot by default, or the Chrome trace-event
+//! format (loadable in Perfetto / `chrome://tracing`) under
+//! `--trace-format chrome`.
 //!
 //! The `lint` form runs the static analyzers: the plan dataflow checks
 //! over every built-in style plan, and — when a spec and tech file are
@@ -17,10 +23,15 @@
 //! JSON array); the exit code is nonzero when any error fires, or, under
 //! `--deny-warnings`, when any diagnostic fires at all.
 
-use oasys::{specfile, styles, synthesize, verify, Datasheet};
+use oasys::{specfile, styles, synthesize_with, verify_with, Datasheet, Synthesis};
 use oasys_netlist::{lint, report, spice};
 use oasys_process::techfile;
+use oasys_telemetry::Telemetry;
 use std::process::ExitCode;
+
+const SYNTH_USAGE: &str = "usage: oasys <spec-file> <tech-file> [--out <deck.sp>] [--no-verify] [--explain] [--trace-out <file.json>] [--trace-format json|chrome]\n       oasys lint [<spec-file> <tech-file>] [--deny-warnings] [--format human|json]";
+const LINT_USAGE: &str =
+    "usage: oasys lint [<spec-file> <tech-file>] [--deny-warnings] [--format human|json]";
 
 fn main() -> ExitCode {
     let result = {
@@ -41,28 +52,131 @@ fn main() -> ExitCode {
     }
 }
 
-fn run_synth(mut args: impl Iterator<Item = String>) -> Result<(), String> {
-    let usage = "usage: oasys <spec-file> <tech-file> [--out <deck.sp>] [--no-verify]\n       oasys lint [<spec-file> <tech-file>] [--deny-warnings] [--format human|json]";
-    let spec_path = args.next().ok_or(usage)?;
-    let tech_path = args.next().ok_or(usage)?;
-    let mut out_path: Option<String> = None;
-    let mut run_verify = true;
-    while let Some(flag) = args.next() {
-        match flag.as_str() {
-            "--out" => {
-                out_path = Some(args.next().ok_or("--out needs a path")?);
+/// On-disk format for `--trace-out`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TraceFormat {
+    /// JSON-lines events plus a metrics snapshot (the default).
+    Json,
+    /// Chrome trace-event array for Perfetto / `chrome://tracing`.
+    Chrome,
+}
+
+/// Parsed arguments of the synthesis mode.
+#[derive(Debug, PartialEq, Eq)]
+struct SynthOptions {
+    spec_path: String,
+    tech_path: String,
+    out_path: Option<String>,
+    run_verify: bool,
+    explain: bool,
+    trace_out: Option<String>,
+    trace_format: TraceFormat,
+}
+
+impl SynthOptions {
+    fn parse(mut args: impl Iterator<Item = String>) -> Result<Self, String> {
+        let spec_path = args.next().ok_or(SYNTH_USAGE)?;
+        let tech_path = args.next().ok_or(SYNTH_USAGE)?;
+        let mut opts = SynthOptions {
+            spec_path,
+            tech_path,
+            out_path: None,
+            run_verify: true,
+            explain: false,
+            trace_out: None,
+            trace_format: TraceFormat::Json,
+        };
+        while let Some(flag) = args.next() {
+            match flag.as_str() {
+                "--out" => {
+                    opts.out_path = Some(args.next().ok_or("--out needs a path")?);
+                }
+                "--no-verify" => opts.run_verify = false,
+                "--explain" => opts.explain = true,
+                "--trace-out" => {
+                    opts.trace_out = Some(args.next().ok_or("--trace-out needs a path")?);
+                }
+                "--trace-format" => match args.next().as_deref() {
+                    Some("json") => opts.trace_format = TraceFormat::Json,
+                    Some("chrome") => opts.trace_format = TraceFormat::Chrome,
+                    Some(other) => {
+                        return Err(format!("unknown trace format `{other}`\n{SYNTH_USAGE}"));
+                    }
+                    None => {
+                        return Err(format!(
+                            "--trace-format needs `json` or `chrome`\n{SYNTH_USAGE}"
+                        ));
+                    }
+                },
+                other => return Err(format!("unknown flag `{other}`\n{SYNTH_USAGE}")),
             }
-            "--no-verify" => run_verify = false,
-            other => return Err(format!("unknown flag `{other}`\n{usage}")),
         }
+        Ok(opts)
     }
 
-    let (spec, process) = load_inputs(&spec_path, &tech_path)?;
+    /// `true` when any flag asks for the run report, so the recorder
+    /// should actually collect spans.
+    fn telemetry_requested(&self) -> bool {
+        self.explain || self.trace_out.is_some()
+    }
+}
+
+/// Parsed arguments of the lint mode.
+#[derive(Debug, PartialEq, Eq)]
+struct LintOptions {
+    paths: Vec<String>,
+    deny_warnings: bool,
+    json: bool,
+}
+
+impl LintOptions {
+    fn parse(mut args: impl Iterator<Item = String>) -> Result<Self, String> {
+        let mut opts = LintOptions {
+            paths: Vec::new(),
+            deny_warnings: false,
+            json: false,
+        };
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--deny-warnings" => opts.deny_warnings = true,
+                "--format" => match args.next().as_deref() {
+                    Some("human") => opts.json = false,
+                    Some("json") => opts.json = true,
+                    Some(other) => return Err(format!("unknown format `{other}`\n{LINT_USAGE}")),
+                    None => return Err(format!("--format needs `human` or `json`\n{LINT_USAGE}")),
+                },
+                flag if flag.starts_with("--") => {
+                    return Err(format!("unknown flag `{flag}`\n{LINT_USAGE}"));
+                }
+                path => opts.paths.push(path.to_string()),
+            }
+        }
+        Ok(opts)
+    }
+}
+
+fn run_synth(args: impl Iterator<Item = String>) -> Result<(), String> {
+    let opts = SynthOptions::parse(args)?;
+    let (spec, process) = load_inputs(&opts.spec_path, &opts.tech_path)?;
 
     println!("specification: {spec}");
     println!("process:       {process}\n");
 
-    let result = synthesize(&spec, &process).map_err(|e| e.to_string())?;
+    let tel = if opts.telemetry_requested() {
+        Telemetry::new()
+    } else {
+        Telemetry::disabled()
+    };
+
+    let result = match synthesize_with(&spec, &process, &tel) {
+        Ok(result) => result,
+        Err(e) => {
+            // The trace is most valuable exactly when synthesis fails:
+            // emit the report before propagating the error.
+            emit_telemetry(&opts, &tel, None)?;
+            return Err(e.to_string());
+        }
+    };
     println!("{result}");
     let design = result.selected();
     if !design.notes().is_empty() {
@@ -70,9 +184,9 @@ fn run_synth(mut args: impl Iterator<Item = String>) -> Result<(), String> {
     }
     println!("{}", report::device_table(design.circuit()));
 
-    let measured = if run_verify {
+    let measured = if opts.run_verify {
         let verification =
-            verify(design, &process, spec.load().farads()).map_err(|e| e.to_string())?;
+            verify_with(design, &process, spec.load().farads(), &tel).map_err(|e| e.to_string())?;
         if !verification.erc.is_empty() {
             println!("electrical-rule findings:");
             print!("{}", verification.erc.render_human());
@@ -92,47 +206,71 @@ fn run_synth(mut args: impl Iterator<Item = String>) -> Result<(), String> {
         println!("!! measured shortfalls: {:?}", sheet.failures());
     }
 
-    if let Some(path) = out_path {
+    if let Some(path) = &opts.out_path {
         let deck = spice::to_spice(design.circuit(), &process);
-        std::fs::write(&path, deck).map_err(|e| format!("{path}: {e}"))?;
+        std::fs::write(path, deck).map_err(|e| format!("{path}: {e}"))?;
         println!("SPICE deck written to {path}");
+    }
+
+    emit_telemetry(&opts, &tel, Some(&result))
+}
+
+/// Prints the `--explain` tree and/or writes the `--trace-out` file.
+///
+/// `synthesis` is `None` when synthesis itself failed — the report still
+/// goes out (that run's trace is the diagnosis), but the summary line's
+/// restart count then comes from the metrics registry instead of the
+/// per-style traces.
+fn emit_telemetry(
+    opts: &SynthOptions,
+    tel: &Telemetry,
+    synthesis: Option<&Synthesis>,
+) -> Result<(), String> {
+    if !tel.is_enabled() {
+        return Ok(());
+    }
+    let run_report = tel.report();
+    if opts.explain {
+        println!("run trace:");
+        print!("{}", run_report.render_explain());
+        let restarts = synthesis.map_or_else(
+            || usize::try_from(tel.counter("plan.restarts")).unwrap_or(usize::MAX),
+            Synthesis::restarts,
+        );
+        println!(
+            "summary: {} styles attempted, {} feasible, {} plan restarts, {} step executions",
+            tel.counter("synth.styles_attempted"),
+            tel.counter("synth.styles_feasible"),
+            restarts,
+            tel.counter("plan.step_executions"),
+        );
+    }
+    if let Some(path) = &opts.trace_out {
+        let text = match opts.trace_format {
+            TraceFormat::Json => run_report.render_jsonl(),
+            TraceFormat::Chrome => run_report.render_chrome(),
+        };
+        std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
+        println!("run trace written to {path}");
     }
     Ok(())
 }
 
 /// `oasys lint`: static analysis only, no simulation.
-fn run_lint(mut args: impl Iterator<Item = String>) -> Result<ExitCode, String> {
-    let usage =
-        "usage: oasys lint [<spec-file> <tech-file>] [--deny-warnings] [--format human|json]";
-    let mut paths: Vec<String> = Vec::new();
-    let mut deny_warnings = false;
-    let mut json = false;
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--deny-warnings" => deny_warnings = true,
-            "--format" => match args.next().as_deref() {
-                Some("human") => json = false,
-                Some("json") => json = true,
-                Some(other) => return Err(format!("unknown format `{other}`\n{usage}")),
-                None => return Err(format!("--format needs `human` or `json`\n{usage}")),
-            },
-            flag if flag.starts_with("--") => {
-                return Err(format!("unknown flag `{flag}`\n{usage}"));
-            }
-            path => paths.push(path.to_string()),
-        }
-    }
+fn run_lint(args: impl Iterator<Item = String>) -> Result<ExitCode, String> {
+    let opts = LintOptions::parse(args)?;
 
     // Prong 1: the plan dataflow analyzer over every built-in style.
     let mut merged = styles::analyze_all_plans();
 
     // Prong 2: electrical-rule checks over each design the spec
     // synthesizes (all successful styles, not just the selected one).
-    match paths.as_slice() {
+    match opts.paths.as_slice() {
         [] => {}
         [spec_path, tech_path] => {
             let (spec, process) = load_inputs(spec_path, tech_path)?;
-            let synthesis = synthesize(&spec, &process).map_err(|e| e.to_string())?;
+            let synthesis = synthesize_with(&spec, &process, &Telemetry::disabled())
+                .map_err(|e| e.to_string())?;
             for outcome in synthesis.outcomes() {
                 if let Some(design) = outcome.design() {
                     merged.merge(lint::lint(design.circuit(), Some(&process)));
@@ -141,17 +279,17 @@ fn run_lint(mut args: impl Iterator<Item = String>) -> Result<ExitCode, String> 
         }
         _ => {
             return Err(format!(
-                "expected no positional arguments or a spec file and a tech file\n{usage}"
+                "expected no positional arguments or a spec file and a tech file\n{LINT_USAGE}"
             ));
         }
     }
 
-    if json {
+    if opts.json {
         print!("{}", merged.render_json());
     } else {
         print!("{}", merged.render_human());
     }
-    Ok(if merged.passes(deny_warnings) {
+    Ok(if merged.passes(opts.deny_warnings) {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
@@ -168,4 +306,116 @@ fn load_inputs(
     let tech_text = std::fs::read_to_string(tech_path).map_err(|e| format!("{tech_path}: {e}"))?;
     let process = techfile::parse(&tech_text).map_err(|e| e.to_string())?;
     Ok((spec, process))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> impl Iterator<Item = String> {
+        args.iter()
+            .map(|s| (*s).to_string())
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
+    #[test]
+    fn synth_defaults() {
+        let opts = SynthOptions::parse(argv(&["spec.txt", "tech.txt"])).unwrap();
+        assert_eq!(opts.spec_path, "spec.txt");
+        assert_eq!(opts.tech_path, "tech.txt");
+        assert_eq!(opts.out_path, None);
+        assert!(opts.run_verify);
+        assert!(!opts.explain);
+        assert_eq!(opts.trace_out, None);
+        assert_eq!(opts.trace_format, TraceFormat::Json);
+        assert!(!opts.telemetry_requested());
+    }
+
+    #[test]
+    fn synth_missing_positional_args_shows_usage() {
+        let err = SynthOptions::parse(argv(&["spec.txt"])).unwrap_err();
+        assert!(err.contains("usage:"), "{err}");
+    }
+
+    #[test]
+    fn synth_unknown_flag_rejected() {
+        let err = SynthOptions::parse(argv(&["s", "t", "--bogus"])).unwrap_err();
+        assert!(err.contains("unknown flag `--bogus`"), "{err}");
+        assert!(err.contains("usage:"), "{err}");
+    }
+
+    #[test]
+    fn synth_out_requires_path() {
+        let err = SynthOptions::parse(argv(&["s", "t", "--out"])).unwrap_err();
+        assert!(err.contains("--out needs a path"), "{err}");
+    }
+
+    #[test]
+    fn synth_trace_out_requires_path() {
+        let err = SynthOptions::parse(argv(&["s", "t", "--trace-out"])).unwrap_err();
+        assert!(err.contains("--trace-out needs a path"), "{err}");
+    }
+
+    #[test]
+    fn synth_explain_and_trace_out_parse() {
+        let opts = SynthOptions::parse(argv(&[
+            "s",
+            "t",
+            "--explain",
+            "--trace-out",
+            "run.json",
+            "--no-verify",
+        ]))
+        .unwrap();
+        assert!(opts.explain);
+        assert_eq!(opts.trace_out.as_deref(), Some("run.json"));
+        assert!(!opts.run_verify);
+        assert!(opts.telemetry_requested());
+    }
+
+    #[test]
+    fn synth_trace_format_values() {
+        let opts = SynthOptions::parse(argv(&["s", "t", "--trace-format", "chrome"])).unwrap();
+        assert_eq!(opts.trace_format, TraceFormat::Chrome);
+        let opts = SynthOptions::parse(argv(&["s", "t", "--trace-format", "json"])).unwrap();
+        assert_eq!(opts.trace_format, TraceFormat::Json);
+    }
+
+    #[test]
+    fn synth_bad_trace_format_rejected() {
+        let err = SynthOptions::parse(argv(&["s", "t", "--trace-format", "xml"])).unwrap_err();
+        assert!(err.contains("unknown trace format `xml`"), "{err}");
+        let err = SynthOptions::parse(argv(&["s", "t", "--trace-format"])).unwrap_err();
+        assert!(err.contains("--trace-format needs"), "{err}");
+    }
+
+    #[test]
+    fn lint_defaults_and_paths() {
+        let opts = LintOptions::parse(argv(&["spec.txt", "tech.txt"])).unwrap();
+        assert_eq!(opts.paths, vec!["spec.txt", "tech.txt"]);
+        assert!(!opts.deny_warnings);
+        assert!(!opts.json);
+    }
+
+    #[test]
+    fn lint_flags_parse() {
+        let opts = LintOptions::parse(argv(&["--deny-warnings", "--format", "json"])).unwrap();
+        assert!(opts.deny_warnings);
+        assert!(opts.json);
+    }
+
+    #[test]
+    fn lint_bad_format_rejected() {
+        let err = LintOptions::parse(argv(&["--format", "yaml"])).unwrap_err();
+        assert!(err.contains("unknown format `yaml`"), "{err}");
+        let err = LintOptions::parse(argv(&["--format"])).unwrap_err();
+        assert!(err.contains("--format needs"), "{err}");
+    }
+
+    #[test]
+    fn lint_unknown_flag_rejected() {
+        let err = LintOptions::parse(argv(&["--nope"])).unwrap_err();
+        assert!(err.contains("unknown flag `--nope`"), "{err}");
+    }
 }

@@ -62,5 +62,5 @@ pub mod verify;
 pub use datasheet::{Datasheet, Predicted};
 pub use spec::{OpAmpSpec, OpAmpSpecBuilder, SpecError};
 pub use styles::{analyze_all_plans, analyze_plan, OpAmpDesign, OpAmpStyle, StyleError};
-pub use synth::{synthesize, StyleOutcome, Synthesis, SynthesisError};
-pub use verify::{verify, Measured, VerifyError};
+pub use synth::{synthesize, synthesize_with, StyleOutcome, Synthesis, SynthesisError};
+pub use verify::{verify, verify_with, Measured, VerifyError};

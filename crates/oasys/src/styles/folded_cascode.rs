@@ -25,6 +25,7 @@ use oasys_mos::{sizing, Geometry, Mosfet};
 use oasys_netlist::Circuit;
 use oasys_plan::{PatchAction, Plan, PlanExecutor, StepOutcome};
 use oasys_process::{Polarity, Process};
+use oasys_telemetry::Telemetry;
 
 /// Initial pair overdrive target, V.
 const VOV1_INIT: f64 = 0.20;
@@ -513,13 +514,28 @@ pub fn design_folded_cascode(
     spec: &OpAmpSpec,
     process: &Process,
 ) -> Result<OpAmpDesign, StyleError> {
+    design_folded_cascode_with(spec, process, &Telemetry::disabled())
+}
+
+/// [`design_folded_cascode`] with run telemetry recorded into `tel`.
+///
+/// # Errors
+///
+/// Same failure modes as [`design_folded_cascode`].
+pub fn design_folded_cascode_with(
+    spec: &OpAmpSpec,
+    process: &Process,
+    tel: &Telemetry,
+) -> Result<OpAmpDesign, StyleError> {
     let plan = build_plan();
     let mut state = State::new(spec, process);
-    let trace = PlanExecutor::new().run(&plan, &mut state)?;
+    let trace = PlanExecutor::new().run_with(&plan, &mut state, tel)?;
+    let assembly = tel.span(|| "assemble-netlist".to_owned());
     let circuit = emit(&state).map_err(|e| StyleError::Netlist(e.to_string()))?;
     circuit
         .validate()
         .map_err(|e| StyleError::Netlist(e.to_string()))?;
+    drop(assembly);
 
     let w_min = process.min_width().micrometers();
     let r_total = state.r_tail + state.r_psrc + state.r_pcasc + state.r_ncasc;

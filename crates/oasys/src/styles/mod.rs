@@ -10,14 +10,15 @@ mod folded_cascode;
 mod one_stage;
 mod two_stage;
 
-pub use folded_cascode::design_folded_cascode;
-pub use one_stage::design_one_stage;
-pub use two_stage::design_two_stage;
+pub use folded_cascode::{design_folded_cascode, design_folded_cascode_with};
+pub use one_stage::{design_one_stage, design_one_stage_with};
+pub use two_stage::{design_two_stage, design_two_stage_with};
 
 use crate::datasheet::Predicted;
 use oasys_blocks::AreaEstimate;
 use oasys_netlist::Circuit;
 use oasys_plan::{PlanError, Trace};
+use oasys_telemetry::Telemetry;
 use std::error::Error;
 use std::fmt;
 
@@ -42,6 +43,29 @@ impl OpAmpStyle {
         OpAmpStyle::TwoStage,
         OpAmpStyle::FoldedCascode,
     ];
+}
+
+/// Runs one style's translation plan against a specification, recording
+/// spans, events and counters into `tel`.
+///
+/// This is the instrumented dispatch the selector uses; plain callers can
+/// reach the same designs through the per-style `design_*` functions.
+///
+/// # Errors
+///
+/// [`StyleError::Plan`] when the style cannot meet the specification;
+/// [`StyleError::Netlist`] for template assembly bugs.
+pub fn design_style_with(
+    style: OpAmpStyle,
+    spec: &crate::spec::OpAmpSpec,
+    process: &oasys_process::Process,
+    tel: &Telemetry,
+) -> Result<OpAmpDesign, StyleError> {
+    match style {
+        OpAmpStyle::OneStageOta => one_stage::design_one_stage_with(spec, process, tel),
+        OpAmpStyle::TwoStage => two_stage::design_two_stage_with(spec, process, tel),
+        OpAmpStyle::FoldedCascode => folded_cascode::design_folded_cascode_with(spec, process, tel),
+    }
 }
 
 /// Runs the static plan analyzer over a style's stored synthesis plan.

@@ -24,6 +24,7 @@ use oasys_mos::Mosfet;
 use oasys_netlist::Circuit;
 use oasys_plan::{PatchAction, Plan, PlanExecutor, StepOutcome};
 use oasys_process::{Polarity, Process};
+use oasys_telemetry::Telemetry;
 
 /// Longest pair channel, in multiples of the process minimum.
 const MAX_L_FACTOR: f64 = 4.0;
@@ -641,13 +642,29 @@ fn build_plan() -> Plan<State> {
 /// [`StyleError::Plan`] when the plan (after patching) cannot meet the
 /// specification; [`StyleError::Netlist`] for template assembly bugs.
 pub fn design_one_stage(spec: &OpAmpSpec, process: &Process) -> Result<OpAmpDesign, StyleError> {
+    design_one_stage_with(spec, process, &Telemetry::disabled())
+}
+
+/// [`design_one_stage`] with telemetry: plan execution and netlist
+/// assembly are recorded as spans/events on `tel`.
+///
+/// # Errors
+///
+/// Same contract as [`design_one_stage`].
+pub fn design_one_stage_with(
+    spec: &OpAmpSpec,
+    process: &Process,
+    tel: &Telemetry,
+) -> Result<OpAmpDesign, StyleError> {
     let plan = build_plan();
     let mut state = State::new(spec, process);
-    let trace = PlanExecutor::new().run(&plan, &mut state)?;
+    let trace = PlanExecutor::new().run_with(&plan, &mut state, tel)?;
+    let assembly = tel.span(|| "assemble-netlist".to_owned());
     let circuit = emit(&state).map_err(|e| StyleError::Netlist(e.to_string()))?;
     circuit
         .validate()
         .map_err(|e| StyleError::Netlist(e.to_string()))?;
+    drop(assembly);
 
     let pair = state.pair.as_ref().expect("plan completed");
     let load = state.load.as_ref().expect("plan completed");

@@ -28,6 +28,7 @@ use oasys_blocks::mirror::{CurrentMirror, MirrorSpec, MirrorStyle};
 use oasys_netlist::Circuit;
 use oasys_plan::{PatchAction, Plan, PlanExecutor, StepOutcome};
 use oasys_process::{Polarity, Process};
+use oasys_telemetry::Telemetry;
 
 /// Longest channel, in multiples of the process minimum.
 const MAX_L_FACTOR: f64 = 4.0;
@@ -960,13 +961,28 @@ fn build_plan() -> Plan<State> {
 /// [`StyleError::Plan`] when the plan (after patching) cannot meet the
 /// specification; [`StyleError::Netlist`] for template assembly bugs.
 pub fn design_two_stage(spec: &OpAmpSpec, process: &Process) -> Result<OpAmpDesign, StyleError> {
+    design_two_stage_with(spec, process, &Telemetry::disabled())
+}
+
+/// [`design_two_stage`] with run telemetry recorded into `tel`.
+///
+/// # Errors
+///
+/// Same failure modes as [`design_two_stage`].
+pub fn design_two_stage_with(
+    spec: &OpAmpSpec,
+    process: &Process,
+    tel: &Telemetry,
+) -> Result<OpAmpDesign, StyleError> {
     let plan = build_plan();
     let mut state = State::new(spec, process);
-    let trace = PlanExecutor::new().run(&plan, &mut state)?;
+    let trace = PlanExecutor::new().run_with(&plan, &mut state, tel)?;
+    let assembly = tel.span(|| "assemble-netlist".to_owned());
     let circuit = emit(&state).map_err(|e| StyleError::Netlist(e.to_string()))?;
     circuit
         .validate()
         .map_err(|e| StyleError::Netlist(e.to_string()))?;
+    drop(assembly);
 
     let w_min = process.min_width().micrometers();
     let r_total = state.r_bias1 + state.r_bias2 + state.r_bias3;

@@ -9,10 +9,10 @@
 //! on comparison of final parameters such as estimated area."*
 
 use crate::spec::OpAmpSpec;
-use crate::styles::{
-    design_folded_cascode, design_one_stage, design_two_stage, OpAmpDesign, OpAmpStyle, StyleError,
-};
+use crate::styles::{design_style_with, OpAmpDesign, OpAmpStyle, StyleError};
+use oasys_plan::Trace;
 use oasys_process::Process;
+use oasys_telemetry::Telemetry;
 use std::error::Error;
 use std::fmt;
 
@@ -37,9 +37,32 @@ impl StyleOutcome {
     }
 
     /// The rejection reason, if the style failed.
+    ///
+    /// Guaranteed non-empty for failures: when the underlying error
+    /// carries no text (a knowledge-base bug), a placeholder naming the
+    /// style is substituted so rejection tables never show blank rows.
     #[must_use]
     pub fn rejection(&self) -> Option<String> {
-        self.result.as_ref().err().map(StyleError::reason)
+        self.result.as_ref().err().map(|e| {
+            let reason = e.reason();
+            if reason.trim().is_empty() {
+                format!("{} rejected for an unrecorded reason", self.style)
+            } else {
+                reason
+            }
+        })
+    }
+
+    /// The plan-execution trace for this attempt, successful or not.
+    ///
+    /// `None` only for netlist-assembly failures, which happen after plan
+    /// execution and carry no trace.
+    #[must_use]
+    pub fn trace(&self) -> Option<&Trace> {
+        match &self.result {
+            Ok(design) => Some(design.trace()),
+            Err(e) => e.trace(),
+        }
     }
 }
 
@@ -73,6 +96,17 @@ impl Synthesis {
             .filter(|o| o.design().is_some())
             .count()
     }
+
+    /// Total plan restarts across every style attempt
+    /// (see [`Trace::restarts`]).
+    #[must_use]
+    pub fn restarts(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter_map(StyleOutcome::trace)
+            .map(Trace::restarts)
+            .sum()
+    }
 }
 
 impl fmt::Display for Synthesis {
@@ -91,7 +125,7 @@ impl fmt::Display for Synthesis {
                     f,
                     " {marker} {}: rejected — {}",
                     outcome.style(),
-                    outcome.rejection().unwrap_or_default()
+                    outcome.rejection().expect("failed outcome has a reason")
                 )?,
             }
         }
@@ -138,14 +172,41 @@ impl Error for SynthesisError {}
 ///
 /// See the crate-level example.
 pub fn synthesize(spec: &OpAmpSpec, process: &Process) -> Result<Synthesis, SynthesisError> {
+    synthesize_with(spec, process, &Telemetry::disabled())
+}
+
+/// [`synthesize`] with run telemetry recorded into `tel`.
+///
+/// Opens a root `synthesize` span with one `style:<name>` child span per
+/// attempted style (annotated with the outcome), and maintains the
+/// `synth.styles_attempted` / `synth.styles_feasible` counters.
+///
+/// # Errors
+///
+/// Same failure modes as [`synthesize`].
+pub fn synthesize_with(
+    spec: &OpAmpSpec,
+    process: &Process,
+    tel: &Telemetry,
+) -> Result<Synthesis, SynthesisError> {
+    let root = tel.span(|| "synthesize".to_owned());
     let outcomes: Vec<StyleOutcome> = OpAmpStyle::ALL
         .iter()
         .map(|&style| {
-            let result = match style {
-                OpAmpStyle::OneStageOta => design_one_stage(spec, process),
-                OpAmpStyle::TwoStage => design_two_stage(spec, process),
-                OpAmpStyle::FoldedCascode => design_folded_cascode(spec, process),
-            };
+            let span = tel.span(|| format!("style:{style}"));
+            tel.incr("synth.styles_attempted");
+            let result = design_style_with(style, spec, process, tel);
+            match &result {
+                Ok(design) => {
+                    tel.incr("synth.styles_feasible");
+                    span.annotate("outcome", || "feasible".to_owned());
+                    span.annotate("area_um2", || format!("{:.1}", design.area().total_um2()));
+                }
+                Err(e) => {
+                    span.annotate("outcome", || "rejected".to_owned());
+                    span.annotate("reason", || e.reason());
+                }
+            }
             StyleOutcome { style, result }
         })
         .collect();
@@ -158,16 +219,23 @@ pub fn synthesize(spec: &OpAmpSpec, process: &Process) -> Result<Synthesis, Synt
         .map(|(idx, _)| idx);
 
     match selected {
-        Some(selected) => Ok(Synthesis { outcomes, selected }),
-        None => Err(SynthesisError {
-            rejections: outcomes
-                .into_iter()
-                .map(|o| {
-                    let style = o.style();
-                    (style, o.rejection().unwrap_or_default())
-                })
-                .collect(),
-        }),
+        Some(selected) => {
+            root.annotate("selected", || outcomes[selected].style().to_string());
+            Ok(Synthesis { outcomes, selected })
+        }
+        None => {
+            root.annotate("selected", || "none".to_owned());
+            Err(SynthesisError {
+                rejections: outcomes
+                    .into_iter()
+                    .map(|o| {
+                        let style = o.style();
+                        let reason = o.rejection().expect("failed outcome has a reason");
+                        (style, reason)
+                    })
+                    .collect(),
+            })
+        }
     }
 }
 
@@ -208,9 +276,44 @@ mod tests {
         let spec = test_cases::spec_a().with_dc_gain_db(139.0);
         let err = synthesize(&spec, &builtin::cmos_5um()).unwrap_err();
         assert_eq!(err.rejections().len(), OpAmpStyle::ALL.len());
+        for (style, reason) in err.rejections() {
+            assert!(
+                !reason.trim().is_empty(),
+                "{style} rejection must carry a non-empty reason"
+            );
+        }
         assert!(err.to_string().contains("one-stage"));
         assert!(err.to_string().contains("two-stage"));
         assert!(err.to_string().contains("folded"));
+    }
+
+    #[test]
+    fn telemetry_spans_cover_every_style() {
+        let tel = Telemetry::new();
+        let result = synthesize_with(&test_cases::spec_a(), &builtin::cmos_5um(), &tel).unwrap();
+        let report = tel.report();
+        let names: Vec<&str> = report.spans().iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names[0], "synthesize");
+        for style in OpAmpStyle::ALL {
+            let name = format!("style:{style}");
+            assert!(names.contains(&name.as_str()), "missing span {name}");
+        }
+        assert_eq!(
+            tel.counter("synth.styles_attempted"),
+            OpAmpStyle::ALL.len() as u64
+        );
+        assert_eq!(
+            tel.counter("synth.styles_feasible"),
+            result.feasible_count() as u64
+        );
+        // Counters mirror the traces exactly.
+        let steps: usize = result
+            .outcomes()
+            .iter()
+            .filter_map(StyleOutcome::trace)
+            .map(Trace::step_executions)
+            .sum();
+        assert_eq!(tel.counter("plan.step_executions"), steps as u64);
     }
 
     #[test]

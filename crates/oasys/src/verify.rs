@@ -20,6 +20,7 @@ use oasys_sim::dc::{self, SolveDcError};
 use oasys_sim::metrics::{output_swing, AcMetrics, Bode};
 use oasys_sim::sweep;
 use oasys_sim::tran;
+use oasys_telemetry::Telemetry;
 use std::error::Error;
 use std::fmt;
 
@@ -157,15 +158,43 @@ pub fn verify(
     process: &Process,
     load_f: f64,
 ) -> Result<Verification, VerifyError> {
+    verify_with(design, process, load_f, &Telemetry::disabled())
+}
+
+/// [`verify`] with run telemetry recorded into `tel`.
+///
+/// Opens a root `verify` span with one `verify:<phase>` child per
+/// measurement phase; the simulator's own spans and counters
+/// (`sim.dc.newton_iterations`, `sim.ac.points`, `sim.tran.steps`) nest
+/// underneath.
+///
+/// # Errors
+///
+/// Same failure modes as [`verify`].
+pub fn verify_with(
+    design: &OpAmpDesign,
+    process: &Process,
+    load_f: f64,
+    tel: &Telemetry,
+) -> Result<Verification, VerifyError> {
+    let root = tel.span(|| "verify".to_owned());
+    root.annotate("style", || design.style().to_string());
+
     // Static electrical-rule check of the raw design (before the bench
     // adds supplies — the checker treats declared ports as driven).
-    let erc = oasys_netlist::lint::lint(design.circuit(), Some(process));
+    let erc = {
+        let _s = tel.span(|| "verify:erc".to_owned());
+        oasys_netlist::lint::lint(design.circuit(), Some(process))
+    };
 
     let (mut bench, out) = build_bench(design, process, load_f)?;
 
     // Null the systematic offset. The open-loop gain makes the transfer
     // essentially a step; ±0.5 V of differential input always brackets it.
-    let offset = sweep::bisect_input(&bench, process, "VIP", out, 0.0, -0.5, 0.5).ok();
+    let offset = {
+        let _s = tel.span(|| "verify:offset-null".to_owned());
+        sweep::bisect_input(&bench, process, "VIP", out, 0.0, -0.5, 0.5).ok()
+    };
     if let Some(v) = offset {
         bench
             .set_source_dc("VIP", v)
@@ -173,34 +202,55 @@ pub fn verify(
     }
 
     // DC point for power.
-    let dc_solution = dc::solve(&bench, process)?;
+    let dc_solution = {
+        let _s = tel.span(|| "verify:dc".to_owned());
+        dc::solve_with(&bench, process, tel)?
+    };
     let power = dc_solution.supply_power(&bench).abs();
 
     // AC response at the nulled bias.
     let spec = AcSweepSpec::standard();
-    let ac_solution = ac::solve_at(&bench, process, &dc_solution, &spec)?;
+    let ac_solution = {
+        let _s = tel.span(|| "verify:ac".to_owned());
+        ac::solve_at_with(&bench, process, &dc_solution, &spec, tel)?
+    };
     let bode = Bode::from_ac(&ac_solution, out);
     let metrics = AcMetrics::extract(&bode);
 
     // Output swing from a DC transfer sweep in an inverting
     // configuration (fixed input common mode, the datasheet method).
-    let swing = measure_swing(design, process);
+    let swing = {
+        let _s = tel.span(|| "verify:swing".to_owned());
+        measure_swing(design, process)
+    };
 
     // Slew rate from a large-signal step in an inverting unity-gain
     // bench (transient analysis).
-    let slew = measure_slew(design, process, load_f);
+    let slew = {
+        let _s = tel.span(|| "verify:slew".to_owned());
+        measure_slew(design, process, load_f, tel)
+    };
 
     // Common-mode gain: re-run the low-frequency point with the AC
     // stimulus on both inputs; CMRR = A_dm / A_cm.
-    let cmrr = measure_cmrr(&bench, process, out, metrics.dc_gain.db());
+    let cmrr = {
+        let _s = tel.span(|| "verify:cmrr".to_owned());
+        measure_cmrr(&bench, process, out, metrics.dc_gain.db())
+    };
 
     // Input-referred noise at 1 kHz (well inside the open-loop passband).
-    let noise = oasys_sim::noise::analyze(&bench, process, &dc_solution, out, 1e3)
-        .ok()
-        .map(|r| r.input_density);
+    let noise = {
+        let _s = tel.span(|| "verify:noise".to_owned());
+        oasys_sim::noise::analyze(&bench, process, &dc_solution, out, 1e3)
+            .ok()
+            .map(|r| r.input_density)
+    };
 
     // Positive-supply rejection: re-excite with the AC stimulus on VDD.
-    let psrr = measure_rejection(&bench, process, out, metrics.dc_gain.db(), "VDD");
+    let psrr = {
+        let _s = tel.span(|| "verify:psrr".to_owned());
+        measure_rejection(&bench, process, out, metrics.dc_gain.db(), "VDD")
+    };
 
     let measured = Measured {
         dc_gain_db: metrics.dc_gain.db(),
@@ -318,7 +368,12 @@ const SLEW_STEP_V: f64 = 2.0;
 /// input pair's capacitance off the output node; unity (rather than
 /// higher) closed-loop gain keeps the summing-node error large enough to
 /// fully steer the input stage throughout the measured window.
-fn measure_slew(design: &OpAmpDesign, process: &Process, load_f: f64) -> Option<f64> {
+fn measure_slew(
+    design: &OpAmpDesign,
+    process: &Process,
+    load_f: f64,
+    tel: &Telemetry,
+) -> Option<f64> {
     let mut bench = design.circuit().clone();
     let inp = bench.port("inp")?;
     let inn = bench.port("inn")?;
@@ -355,7 +410,7 @@ fn measure_slew(design: &OpAmpDesign, process: &Process, load_f: f64) -> Option<
     let run = |v0: f64, v1: f64| -> Option<f64> {
         let mut stimuli = tran::Stimuli::new();
         stimuli.step("VSW", v0, v1, 2.0 * dt);
-        let solution = tran::solve(&bench, process, &spec, &stimuli).ok()?;
+        let solution = tran::solve_with(&bench, process, &spec, &stimuli, tel).ok()?;
         // Inverting unity gain: the output mirrors the input step.
         solution.slew_between(out, -v0, -v1, 0.15, 0.65)
     };

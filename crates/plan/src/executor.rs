@@ -3,6 +3,7 @@
 use crate::error::PlanError;
 use crate::plan::{PatchAction, Plan, StepOutcome};
 use crate::trace::{Trace, TraceEvent};
+use oasys_telemetry::Telemetry;
 
 /// Tuning knobs for the executor.
 ///
@@ -66,6 +67,26 @@ impl PlanExecutor {
     /// * [`PlanError::PatchBudgetExhausted`] — the knowledge base thrashed;
     /// * [`PlanError::UnknownRestartTarget`] — a rule bug.
     pub fn run<S>(&self, plan: &Plan<S>, state: &mut S) -> Result<Trace, PlanError> {
+        self.run_with(plan, state, &Telemetry::disabled())
+    }
+
+    /// [`PlanExecutor::run`] with telemetry: every step execution is
+    /// wrapped in a `step:<name>` span, every trace event is mirrored as
+    /// a structured telemetry event (the single [`record`] choke point
+    /// feeds both sinks, so the counters in the metrics registry —
+    /// `plan.step_executions`, `plan.rule_firings`, `plan.restarts` —
+    /// exactly match the [`Trace`] counts by construction).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`PlanExecutor::run`].
+    pub fn run_with<S>(
+        &self,
+        plan: &Plan<S>,
+        state: &mut S,
+        tel: &Telemetry,
+    ) -> Result<Trace, PlanError> {
+        let plan_span = tel.span(|| format!("plan:{}", plan.name()));
         let mut trace = Trace::new();
         let mut rule_firings = vec![0usize; plan.rules.len()];
         let mut total_firings = 0usize;
@@ -73,23 +94,38 @@ impl PlanExecutor {
 
         while pc < plan.steps.len() {
             let step = &plan.steps[pc];
-            trace.push(TraceEvent::StepStarted {
-                index: pc,
-                name: step.name.clone(),
-            });
+            let step_span = tel.span(|| format!("step:{}", step.name));
+            record(
+                &mut trace,
+                tel,
+                TraceEvent::StepStarted {
+                    index: pc,
+                    name: step.name.clone(),
+                },
+            );
 
             match (step.run)(state) {
                 StepOutcome::Done => {
-                    trace.push(TraceEvent::StepCompleted {
-                        name: step.name.clone(),
-                    });
+                    step_span.annotate("outcome", || "done".to_owned());
+                    record(
+                        &mut trace,
+                        tel,
+                        TraceEvent::StepCompleted {
+                            name: step.name.clone(),
+                        },
+                    );
                     pc += 1;
                 }
                 StepOutcome::Failed(failure) => {
-                    trace.push(TraceEvent::StepFailed {
-                        name: step.name.clone(),
-                        failure: failure.clone(),
-                    });
+                    step_span.annotate("outcome", || format!("failed: {failure}"));
+                    record(
+                        &mut trace,
+                        tel,
+                        TraceEvent::StepFailed {
+                            name: step.name.clone(),
+                            failure: failure.clone(),
+                        },
+                    );
 
                     // Consult the rules in declaration order.
                     let matched = plan.rules.iter().enumerate().find(|(k, rule)| {
@@ -98,6 +134,7 @@ impl PlanExecutor {
                     });
 
                     let Some((k, rule)) = matched else {
+                        plan_span.annotate("result", || "unpatched".to_owned());
                         return Err(PlanError::Unpatched {
                             step: step.name.clone(),
                             failure,
@@ -106,6 +143,7 @@ impl PlanExecutor {
                     };
 
                     if total_firings >= self.config.patch_budget {
+                        plan_span.annotate("result", || "patch-budget".to_owned());
                         return Err(PlanError::PatchBudgetExhausted {
                             budget: self.config.patch_budget,
                             trace,
@@ -115,26 +153,36 @@ impl PlanExecutor {
                     total_firings += 1;
 
                     let action = (rule.patch)(state);
-                    trace.push(TraceEvent::RuleFired {
-                        rule: rule.name.clone(),
-                        action: action.clone(),
-                    });
+                    record(
+                        &mut trace,
+                        tel,
+                        TraceEvent::RuleFired {
+                            rule: rule.name.clone(),
+                            action: action.clone(),
+                        },
+                    );
 
                     match action {
                         PatchAction::Retry => { /* pc unchanged */ }
                         PatchAction::RestartFrom(target) => match plan.step_index(&target) {
                             Some(idx) => pc = idx,
                             None => {
+                                plan_span.annotate("result", || "unknown-restart".to_owned());
                                 return Err(PlanError::UnknownRestartTarget {
                                     step: target,
                                     trace,
-                                })
+                                });
                             }
                         },
                         PatchAction::Abort(reason) => {
-                            trace.push(TraceEvent::PlanAborted {
-                                reason: reason.clone(),
-                            });
+                            record(
+                                &mut trace,
+                                tel,
+                                TraceEvent::PlanAborted {
+                                    reason: reason.clone(),
+                                },
+                            );
+                            plan_span.annotate("result", || "aborted".to_owned());
                             return Err(PlanError::Aborted { reason, trace });
                         }
                     }
@@ -142,9 +190,62 @@ impl PlanExecutor {
             }
         }
 
-        trace.push(TraceEvent::PlanCompleted);
+        record(&mut trace, tel, TraceEvent::PlanCompleted);
+        plan_span.annotate("result", || "completed".to_owned());
         Ok(trace)
     }
+}
+
+/// The single choke point where execution history is recorded: the event
+/// goes to the telemetry sink (structured event + counters) and then
+/// into the [`Trace`], so both views are backed by the same stream.
+fn record(trace: &mut Trace, tel: &Telemetry, event: TraceEvent) {
+    if tel.is_enabled() {
+        match &event {
+            TraceEvent::StepStarted { index, name } => {
+                tel.incr("plan.step_executions");
+                tel.event("step_started", || {
+                    vec![("index", index.to_string()), ("step", name.clone())]
+                });
+            }
+            TraceEvent::StepCompleted { name } => {
+                tel.event("step_completed", || vec![("step", name.clone())]);
+            }
+            TraceEvent::StepFailed { name, failure } => {
+                tel.incr("plan.step_failures");
+                tel.event("step_failed", || {
+                    vec![
+                        ("step", name.clone()),
+                        ("code", failure.code().to_owned()),
+                        ("message", failure.message().to_owned()),
+                    ]
+                });
+            }
+            TraceEvent::RuleFired { rule, action } => {
+                tel.incr("plan.rule_firings");
+                if matches!(action, PatchAction::RestartFrom(_)) {
+                    tel.incr("plan.restarts");
+                }
+                tel.event("rule_fired", || {
+                    let action_text = match action {
+                        PatchAction::Retry => "retry".to_owned(),
+                        PatchAction::RestartFrom(step) => format!("restart-from:{step}"),
+                        PatchAction::Abort(reason) => format!("abort:{reason}"),
+                    };
+                    vec![("rule", rule.clone()), ("action", action_text)]
+                });
+            }
+            TraceEvent::PlanCompleted => {
+                tel.incr("plan.completions");
+                tel.event("plan_completed", Vec::new);
+            }
+            TraceEvent::PlanAborted { reason } => {
+                tel.incr("plan.aborts");
+                tel.event("plan_aborted", || vec![("reason", reason.clone())]);
+            }
+        }
+    }
+    trace.push(event);
 }
 
 #[cfg(test)]
@@ -344,6 +445,93 @@ mod tests {
         let mut state = Counter::default();
         PlanExecutor::new().run(&plan, &mut state).unwrap();
         assert_eq!(state.budget, 1, "only the first matching rule fires");
+    }
+
+    #[test]
+    fn telemetry_counters_mirror_trace_counts() {
+        // A plan that retries once and restarts once before completing.
+        let plan = Plan::<Counter>::builder("telemetered")
+            .step("setup", |s: &mut Counter| {
+                s.total += 1;
+                StepOutcome::Done
+            })
+            .step("work", |s: &mut Counter| {
+                s.attempts += 1;
+                match (s.attempts, s.total) {
+                    (1, _) => StepOutcome::failed("transient", "retry me"),
+                    (_, t) if t < 2 => StepOutcome::failed("under", "redo setup"),
+                    _ => StepOutcome::Done,
+                }
+            })
+            .rule(
+                "try-again",
+                |_, f| f.code() == "transient",
+                |_| PatchAction::Retry,
+            )
+            .rule(
+                "redo-setup",
+                |_, f| f.code() == "under",
+                |_| PatchAction::RestartFrom("setup".into()),
+            )
+            .build();
+        let tel = Telemetry::new();
+        let mut state = Counter::default();
+        let trace = PlanExecutor::new()
+            .run_with(&plan, &mut state, &tel)
+            .unwrap();
+
+        assert_eq!(trace.restarts(), 1);
+        assert_eq!(trace.rule_firings(), 2);
+        let counters = [
+            ("plan.step_executions", trace.step_executions()),
+            ("plan.rule_firings", trace.rule_firings()),
+            ("plan.restarts", trace.restarts()),
+            ("plan.step_failures", trace.step_failures()),
+            ("plan.completions", 1),
+        ];
+        for (name, expected) in counters {
+            assert_eq!(tel.counter(name), expected as u64, "{name}");
+        }
+
+        // Spans: one per plan, one per step execution; events mirror the
+        // trace one-for-one.
+        let report = tel.report();
+        let step_spans = report
+            .spans()
+            .iter()
+            .filter(|s| s.name.starts_with("step:"))
+            .count();
+        assert_eq!(step_spans, trace.step_executions());
+        assert_eq!(report.spans()[0].name, "plan:telemetered");
+        assert_eq!(report.events().len(), trace.events().len());
+    }
+
+    #[test]
+    fn disabled_telemetry_matches_plain_run() {
+        let build = || {
+            Plan::<Counter>::builder("p")
+                .step("flaky", |s: &mut Counter| {
+                    s.attempts += 1;
+                    if s.attempts >= 2 {
+                        StepOutcome::Done
+                    } else {
+                        StepOutcome::failed("not-yet", "")
+                    }
+                })
+                .rule(
+                    "again",
+                    |_, f| f.code() == "not-yet",
+                    |_| PatchAction::Retry,
+                )
+                .build()
+        };
+        let mut a = Counter::default();
+        let trace_plain = PlanExecutor::new().run(&build(), &mut a).unwrap();
+        let mut b = Counter::default();
+        let trace_tel = PlanExecutor::new()
+            .run_with(&build(), &mut b, &Telemetry::disabled())
+            .unwrap();
+        assert_eq!(trace_plain, trace_tel);
     }
 
     #[test]

@@ -118,6 +118,24 @@ impl Trace {
             .count()
     }
 
+    /// Number of restarts — rule firings whose action rewound the plan
+    /// to an earlier step ([`PatchAction::RestartFrom`]).
+    #[must_use]
+    pub fn restarts(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    TraceEvent::RuleFired {
+                        action: PatchAction::RestartFrom(_),
+                        ..
+                    }
+                )
+            })
+            .count()
+    }
+
     /// `true` if the plan finished successfully.
     #[must_use]
     pub fn completed(&self) -> bool {
@@ -162,7 +180,31 @@ mod tests {
         assert_eq!(t.rule_firings(), 1);
         assert_eq!(t.step_executions(), 2);
         assert_eq!(t.step_failures(), 1);
+        assert_eq!(t.restarts(), 0, "a Retry is not a restart");
         assert!(t.completed());
+    }
+
+    #[test]
+    fn restarts_count_only_restart_from_actions() {
+        let mut t = Trace::new();
+        t.push(TraceEvent::RuleFired {
+            rule: "r1".into(),
+            action: PatchAction::Retry,
+        });
+        t.push(TraceEvent::RuleFired {
+            rule: "r2".into(),
+            action: PatchAction::RestartFrom("setup".into()),
+        });
+        t.push(TraceEvent::RuleFired {
+            rule: "r2".into(),
+            action: PatchAction::RestartFrom("setup".into()),
+        });
+        t.push(TraceEvent::RuleFired {
+            rule: "r3".into(),
+            action: PatchAction::Abort("no".into()),
+        });
+        assert_eq!(t.rule_firings(), 4);
+        assert_eq!(t.restarts(), 2);
     }
 
     #[test]

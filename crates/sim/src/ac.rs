@@ -13,6 +13,7 @@ use crate::linalg::Matrix;
 use crate::mna::{bound_mosfets, mos_stamp, MnaIndex};
 use oasys_netlist::{Circuit, Element, NodeId};
 use oasys_process::Process;
+use oasys_telemetry::Telemetry;
 use std::error::Error;
 use std::fmt;
 
@@ -199,6 +200,45 @@ pub fn solve(
 ///
 /// Reports singular admittance matrices.
 pub fn solve_at(
+    circuit: &Circuit,
+    process: &Process,
+    dc: &DcSolution,
+    spec: &AcSweepSpec,
+) -> Result<AcSolution, SolveAcError> {
+    solve_at_with(circuit, process, dc, spec, &Telemetry::disabled())
+}
+
+/// [`solve_at`] with run telemetry recorded into `tel`: a `sim:ac` span
+/// plus the `sim.ac.sweeps` / `sim.ac.points` / `sim.ac.failures`
+/// counters.
+///
+/// # Errors
+///
+/// Same failure modes as [`solve_at`].
+pub fn solve_at_with(
+    circuit: &Circuit,
+    process: &Process,
+    dc: &DcSolution,
+    spec: &AcSweepSpec,
+    tel: &Telemetry,
+) -> Result<AcSolution, SolveAcError> {
+    let span = tel.span(|| "sim:ac".to_owned());
+    tel.incr("sim.ac.sweeps");
+    let result = solve_at_inner(circuit, process, dc, spec);
+    match &result {
+        Ok(solution) => {
+            tel.add("sim.ac.points", solution.frequencies().len() as u64);
+            span.annotate("points", || solution.frequencies().len().to_string());
+        }
+        Err(e) => {
+            tel.incr("sim.ac.failures");
+            span.annotate("error", || e.to_string());
+        }
+    }
+    result
+}
+
+fn solve_at_inner(
     circuit: &Circuit,
     process: &Process,
     dc: &DcSolution,

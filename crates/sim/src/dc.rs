@@ -11,6 +11,7 @@ use crate::mna::{bound_mosfets, mos_stamp, MnaIndex};
 use oasys_mos::OperatingPoint;
 use oasys_netlist::{Circuit, Element, NodeId};
 use oasys_process::Process;
+use oasys_telemetry::Telemetry;
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
@@ -144,6 +145,38 @@ const ITOL: f64 = 1e-10;
 /// [`SolveDcError::NotConverged`]/[`SolveDcError::Singular`] if every
 /// continuation strategy fails.
 pub fn solve(circuit: &Circuit, process: &Process) -> Result<DcSolution, SolveDcError> {
+    solve_inner(circuit, process)
+}
+
+/// [`solve`] with run telemetry recorded into `tel`: a `sim:dc` span plus
+/// the `sim.dc.solves` / `sim.dc.newton_iterations` / `sim.dc.failures`
+/// counters.
+///
+/// # Errors
+///
+/// Same failure modes as [`solve`].
+pub fn solve_with(
+    circuit: &Circuit,
+    process: &Process,
+    tel: &Telemetry,
+) -> Result<DcSolution, SolveDcError> {
+    let span = tel.span(|| "sim:dc".to_owned());
+    tel.incr("sim.dc.solves");
+    let result = solve_inner(circuit, process);
+    match &result {
+        Ok(solution) => {
+            tel.add("sim.dc.newton_iterations", solution.iterations() as u64);
+            span.annotate("iterations", || solution.iterations().to_string());
+        }
+        Err(e) => {
+            tel.incr("sim.dc.failures");
+            span.annotate("error", || e.to_string());
+        }
+    }
+    result
+}
+
+fn solve_inner(circuit: &Circuit, process: &Process) -> Result<DcSolution, SolveDcError> {
     circuit
         .validate()
         .map_err(|e| SolveDcError::Invalid(e.to_string()))?;

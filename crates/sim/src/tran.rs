@@ -16,6 +16,7 @@ use crate::linalg::Matrix;
 use crate::mna::{bound_mosfets, mos_stamp, MnaIndex};
 use oasys_netlist::{Circuit, Element, NodeId};
 use oasys_process::Process;
+use oasys_telemetry::Telemetry;
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
@@ -263,6 +264,45 @@ const MAX_STEP_V: f64 = 1.0;
 /// Returns [`SolveTranError`] if the initial DC point fails or any step's
 /// Newton iteration does not converge.
 pub fn solve(
+    circuit: &Circuit,
+    process: &Process,
+    spec: &TranSpec,
+    stimuli: &Stimuli,
+) -> Result<TranSolution, SolveTranError> {
+    solve_with(circuit, process, spec, stimuli, &Telemetry::disabled())
+}
+
+/// [`solve`] with run telemetry recorded into `tel`: a `sim:tran` span
+/// plus the `sim.tran.runs` / `sim.tran.steps` / `sim.tran.failures`
+/// counters.
+///
+/// # Errors
+///
+/// Same failure modes as [`solve`].
+pub fn solve_with(
+    circuit: &Circuit,
+    process: &Process,
+    spec: &TranSpec,
+    stimuli: &Stimuli,
+    tel: &Telemetry,
+) -> Result<TranSolution, SolveTranError> {
+    let span = tel.span(|| "sim:tran".to_owned());
+    tel.incr("sim.tran.runs");
+    let result = solve_inner(circuit, process, spec, stimuli);
+    match &result {
+        Ok(solution) => {
+            tel.add("sim.tran.steps", solution.times().len() as u64);
+            span.annotate("steps", || solution.times().len().to_string());
+        }
+        Err(e) => {
+            tel.incr("sim.tran.failures");
+            span.annotate("error", || e.to_string());
+        }
+    }
+    result
+}
+
+fn solve_inner(
     circuit: &Circuit,
     process: &Process,
     spec: &TranSpec,

@@ -1,0 +1,97 @@
+//! Time sources for the recorder.
+//!
+//! Spans are stamped from an injectable [`Clock`] so production code gets
+//! monotonic wall time while tests get deterministic, hand-advanced
+//! timestamps (and therefore exact durations in exporter assertions).
+
+use std::cell::Cell;
+use std::time::Instant;
+
+/// A monotone source of nanoseconds since an arbitrary per-run epoch.
+pub trait Clock {
+    /// Nanoseconds elapsed since the clock's epoch. Must never decrease.
+    fn now_ns(&self) -> u64;
+}
+
+/// The production clock: [`Instant`]-based, epoch = construction time.
+#[derive(Debug)]
+pub struct MonotonicClock {
+    epoch: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose epoch is "now".
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_ns(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// A test clock advanced explicitly. Share it with the recorder through
+/// an `Rc` and call [`ManualClock::advance_ns`] between operations.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    now: Cell<u64>,
+}
+
+impl ManualClock {
+    /// A clock reading zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Moves the clock forward by `ns` nanoseconds.
+    pub fn advance_ns(&self, ns: u64) {
+        self.now.set(self.now.get().saturating_add(ns));
+    }
+
+    /// Current reading, ns.
+    #[must_use]
+    pub fn now_ns(&self) -> u64 {
+        self.now.get()
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ns(&self) -> u64 {
+        self.now.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_clock_is_monotone() {
+        let c = MonotonicClock::new();
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_advances_only_on_request() {
+        let c = ManualClock::new();
+        assert_eq!(c.now_ns(), 0);
+        c.advance_ns(500);
+        assert_eq!(c.now_ns(), 500);
+        c.advance_ns(u64::MAX);
+        assert_eq!(c.now_ns(), u64::MAX, "advance saturates");
+    }
+}

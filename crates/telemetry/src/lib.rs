@@ -1,0 +1,55 @@
+//! Telemetry for the OASYS synthesis pipeline: hierarchical spans, a
+//! typed counter/gauge metrics registry, a structured event sink, and
+//! exportable run reports.
+//!
+//! OASYS's contribution is a *process* — breadth-first style selection,
+//! plan execution, rule-based patching with restarts (the paper's
+//! Figure 3) — so the pipeline records what it did, where the time went,
+//! and how often each mechanism fired:
+//!
+//! * [`Telemetry`] is the recording handle threaded through
+//!   `synthesize()`, the plan executor, `verify()`, and the simulator.
+//!   A [`Telemetry::disabled`] handle costs one branch per call site and
+//!   never runs a name/field closure, so uninstrumented runs stay fast.
+//! * Spans are monotonic-[`std::time::Instant`]-backed by default; tests
+//!   inject a [`ManualClock`] for deterministic durations.
+//! * [`RunReport`] snapshots a recording and exports it three ways: an
+//!   annotated span tree ([`RunReport::render_explain`], the CLI's
+//!   `--explain`), JSON-lines events + metrics
+//!   ([`RunReport::render_jsonl`], `--trace-out`), and Chrome
+//!   trace-event JSON ([`RunReport::render_chrome`],
+//!   `--trace-format chrome`) loadable in Perfetto.
+//! * [`schema`] validates the exports — the CI smoke gate runs the real
+//!   CLI and checks the emitted file line by line.
+//!
+//! # Examples
+//!
+//! ```
+//! use oasys_telemetry::{ManualClock, Telemetry};
+//! use std::rc::Rc;
+//!
+//! let clock = Rc::new(ManualClock::new());
+//! let tel = Telemetry::with_clock(clock.clone());
+//! {
+//!     let span = tel.span(|| "style:two-stage".into());
+//!     clock.advance_ns(1_500);
+//!     tel.incr("plan.rule_firings");
+//!     span.annotate("outcome", || "feasible".into());
+//! }
+//! let report = tel.report();
+//! assert_eq!(report.spans()[0].duration_ns(), 1_500);
+//! assert_eq!(report.metrics().counter("plan.rule_firings"), 1);
+//! oasys_telemetry::schema::validate_jsonl(&report.render_jsonl()).unwrap();
+//! ```
+
+mod clock;
+pub mod json;
+mod metrics;
+mod recorder;
+mod report;
+pub mod schema;
+
+pub use clock::{Clock, ManualClock, MonotonicClock};
+pub use metrics::MetricsRegistry;
+pub use recorder::{SpanGuard, SpanId, Telemetry};
+pub use report::{EventData, RunReport, SpanData, SCHEMA_NAME, SCHEMA_VERSION};

@@ -1,0 +1,105 @@
+//! Typed counter/gauge registry.
+//!
+//! Counters are monotone `u64` totals (step executions, rule firings);
+//! gauges are last-write-wins `f64` readings (feasible-style count,
+//! Newton iterations of the final solve). Keys are dotted paths, e.g.
+//! `plan.rule_firings`. `BTreeMap` keeps every export deterministic.
+
+use std::collections::BTreeMap;
+
+/// A registry of named counters and gauges.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to the named counter, creating it at zero first.
+    pub fn add(&mut self, name: &str, n: u64) {
+        if let Some(v) = self.counters.get_mut(name) {
+            *v = v.saturating_add(n);
+        } else {
+            self.counters.insert(name.to_owned(), n);
+        }
+    }
+
+    /// Increments the named counter by one.
+    pub fn incr(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Sets the named gauge.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_owned(), value);
+    }
+
+    /// Reads a counter (0 if never touched).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Reads a gauge.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// All counters in key order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// All gauges in key order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// `true` when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = MetricsRegistry::new();
+        assert_eq!(m.counter("x"), 0);
+        m.incr("x");
+        m.add("x", 4);
+        assert_eq!(m.counter("x"), 5);
+        m.add("x", u64::MAX);
+        assert_eq!(m.counter("x"), u64::MAX, "add saturates");
+    }
+
+    #[test]
+    fn gauges_are_last_write_wins() {
+        let mut m = MetricsRegistry::new();
+        assert_eq!(m.gauge("g"), None);
+        m.set_gauge("g", 1.5);
+        m.set_gauge("g", 2.5);
+        assert_eq!(m.gauge("g"), Some(2.5));
+    }
+
+    #[test]
+    fn iteration_is_sorted_by_key() {
+        let mut m = MetricsRegistry::new();
+        m.incr("b");
+        m.incr("a");
+        let keys: Vec<&str> = m.counters().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["a", "b"]);
+        assert!(!m.is_empty());
+    }
+}

@@ -1,0 +1,366 @@
+//! The telemetry recorder: hierarchical spans, structured events, and
+//! the metrics registry behind one cheap handle.
+//!
+//! A [`Telemetry`] handle is either *enabled* (owns a recording buffer
+//! and a [`Clock`]) or *disabled* (a `None` inside — every operation is
+//! a single branch and no closure is ever invoked, so the instrumented
+//! pipeline pays effectively nothing when nobody asked for a trace).
+//!
+//! The pipeline is single-threaded, so the recorder uses `RefCell`
+//! interior mutability and is shared as `&Telemetry`.
+
+use crate::clock::{Clock, MonotonicClock};
+use crate::metrics::MetricsRegistry;
+use crate::report::{EventData, RunReport, SpanData};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Index of a span within one recording.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SpanId(pub(crate) usize);
+
+impl SpanId {
+    /// The raw index (stable within one report).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct SpanRecord {
+    pub(crate) name: String,
+    pub(crate) parent: Option<SpanId>,
+    pub(crate) start_ns: u64,
+    pub(crate) end_ns: Option<u64>,
+    pub(crate) attrs: Vec<(String, String)>,
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct EventRecord {
+    pub(crate) t_ns: u64,
+    pub(crate) span: Option<SpanId>,
+    pub(crate) kind: String,
+    pub(crate) fields: Vec<(String, String)>,
+}
+
+struct Inner {
+    clock: Rc<dyn Clock>,
+    spans: Vec<SpanRecord>,
+    stack: Vec<SpanId>,
+    events: Vec<EventRecord>,
+    metrics: MetricsRegistry,
+}
+
+/// The recording handle threaded through the synthesis pipeline.
+pub struct Telemetry {
+    inner: Option<RefCell<Inner>>,
+}
+
+impl Telemetry {
+    /// A recording handle on the production monotonic clock.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_clock(Rc::new(MonotonicClock::new()))
+    }
+
+    /// A recording handle on an injected clock (tests use
+    /// [`crate::ManualClock`] for deterministic durations).
+    #[must_use]
+    pub fn with_clock(clock: Rc<dyn Clock>) -> Self {
+        Self {
+            inner: Some(RefCell::new(Inner {
+                clock,
+                spans: Vec::new(),
+                stack: Vec::new(),
+                events: Vec::new(),
+                metrics: MetricsRegistry::new(),
+            })),
+        }
+    }
+
+    /// A no-op handle: every call is a single branch, name/field
+    /// closures are never invoked, nothing allocates.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// `true` when this handle records.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Opens a span as a child of the innermost open span. The name
+    /// closure runs only when recording. The span closes when the
+    /// returned guard drops.
+    pub fn span(&self, name: impl FnOnce() -> String) -> SpanGuard<'_> {
+        let id = self.inner.as_ref().map(|cell| {
+            let mut inner = cell.borrow_mut();
+            let id = SpanId(inner.spans.len());
+            let parent = inner.stack.last().copied();
+            let start_ns = inner.clock.now_ns();
+            inner.spans.push(SpanRecord {
+                name: name(),
+                parent,
+                start_ns,
+                end_ns: None,
+                attrs: Vec::new(),
+            });
+            inner.stack.push(id);
+            id
+        });
+        SpanGuard { tel: self, id }
+    }
+
+    /// Records a timestamped event under the innermost open span. The
+    /// field closure runs only when recording.
+    pub fn event(&self, kind: &str, fields: impl FnOnce() -> Vec<(&'static str, String)>) {
+        if let Some(cell) = &self.inner {
+            let mut inner = cell.borrow_mut();
+            let t_ns = inner.clock.now_ns();
+            let span = inner.stack.last().copied();
+            let fields = fields()
+                .into_iter()
+                .map(|(k, v)| (k.to_owned(), v))
+                .collect();
+            inner.events.push(EventRecord {
+                t_ns,
+                span,
+                kind: kind.to_owned(),
+                fields,
+            });
+        }
+    }
+
+    /// Adds `n` to a counter.
+    pub fn add(&self, name: &str, n: u64) {
+        if let Some(cell) = &self.inner {
+            cell.borrow_mut().metrics.add(name, n);
+        }
+    }
+
+    /// Increments a counter by one.
+    pub fn incr(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Sets a gauge.
+    pub fn gauge(&self, name: &str, value: f64) {
+        if let Some(cell) = &self.inner {
+            cell.borrow_mut().metrics.set_gauge(name, value);
+        }
+    }
+
+    /// Reads a counter back (0 when disabled or never touched).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |cell| cell.borrow().metrics.counter(name))
+    }
+
+    /// Snapshots everything recorded so far into an exportable report.
+    /// Open spans appear with no end time.
+    #[must_use]
+    pub fn report(&self) -> RunReport {
+        match &self.inner {
+            None => RunReport::empty(),
+            Some(cell) => {
+                let inner = cell.borrow();
+                RunReport::new(
+                    inner
+                        .spans
+                        .iter()
+                        .map(|s| SpanData {
+                            name: s.name.clone(),
+                            parent: s.parent.map(SpanId::index),
+                            start_ns: s.start_ns,
+                            end_ns: s.end_ns,
+                            attrs: s.attrs.clone(),
+                        })
+                        .collect(),
+                    inner
+                        .events
+                        .iter()
+                        .map(|e| EventData {
+                            t_ns: e.t_ns,
+                            span: e.span.map(SpanId::index),
+                            kind: e.kind.clone(),
+                            fields: e.fields.clone(),
+                        })
+                        .collect(),
+                    inner.metrics.clone(),
+                )
+            }
+        }
+    }
+
+    fn annotate(&self, id: SpanId, key: &str, value: String) {
+        if let Some(cell) = &self.inner {
+            let mut inner = cell.borrow_mut();
+            if let Some(span) = inner.spans.get_mut(id.0) {
+                span.attrs.push((key.to_owned(), value));
+            }
+        }
+    }
+
+    fn end_span(&self, id: SpanId) {
+        if let Some(cell) = &self.inner {
+            let mut inner = cell.borrow_mut();
+            let now = inner.clock.now_ns();
+            if let Some(span) = inner.spans.get_mut(id.0) {
+                span.end_ns = Some(now);
+            }
+            // Usually the top of the stack; tolerate out-of-order drops.
+            if let Some(pos) = inner.stack.iter().rposition(|s| *s == id) {
+                inner.stack.remove(pos);
+            }
+        }
+    }
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+/// RAII handle for an open span; closes the span on drop.
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    tel: &'a Telemetry,
+    id: Option<SpanId>,
+}
+
+impl SpanGuard<'_> {
+    /// The span's id, when recording.
+    #[must_use]
+    pub fn id(&self) -> Option<SpanId> {
+        self.id
+    }
+
+    /// Attaches a key/value attribute to the span. The value closure
+    /// runs only when recording.
+    pub fn annotate(&self, key: &str, value: impl FnOnce() -> String) {
+        if let Some(id) = self.id {
+            self.tel.annotate(id, key, value());
+        }
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(id) = self.id {
+            self.tel.end_span(id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+
+    fn manual() -> (Rc<ManualClock>, Telemetry) {
+        let clock = Rc::new(ManualClock::new());
+        let tel = Telemetry::with_clock(clock.clone());
+        (clock, tel)
+    }
+
+    #[test]
+    fn disabled_handle_records_nothing_and_skips_closures() {
+        let tel = Telemetry::disabled();
+        assert!(!tel.is_enabled());
+        {
+            let span = tel.span(|| panic!("name closure must not run"));
+            span.annotate("k", || panic!("annotate closure must not run"));
+            tel.event("e", || panic!("field closure must not run"));
+        }
+        tel.incr("c");
+        tel.gauge("g", 1.0);
+        let report = tel.report();
+        assert!(report.spans().is_empty());
+        assert!(report.events().is_empty());
+        assert!(report.metrics().is_empty());
+        assert_eq!(tel.counter("c"), 0);
+    }
+
+    #[test]
+    fn spans_nest_and_time_with_the_injected_clock() {
+        let (clock, tel) = manual();
+        {
+            let root = tel.span(|| "root".into());
+            clock.advance_ns(100);
+            {
+                let child = tel.span(|| "child".into());
+                child.annotate("note", || "inner".into());
+                clock.advance_ns(50);
+            }
+            clock.advance_ns(25);
+            root.annotate("outcome", || "ok".into());
+        }
+        let report = tel.report();
+        let spans = report.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "root");
+        assert_eq!(spans[0].parent, None);
+        assert_eq!(spans[0].start_ns, 0);
+        assert_eq!(spans[0].end_ns, Some(175));
+        assert_eq!(spans[1].name, "child");
+        assert_eq!(spans[1].parent, Some(0));
+        assert_eq!(spans[1].start_ns, 100);
+        assert_eq!(spans[1].end_ns, Some(150));
+        assert_eq!(
+            spans[1].attrs,
+            vec![("note".to_owned(), "inner".to_owned())]
+        );
+    }
+
+    #[test]
+    fn events_attach_to_the_innermost_open_span() {
+        let (clock, tel) = manual();
+        tel.event("orphan", Vec::new);
+        {
+            let _root = tel.span(|| "root".into());
+            clock.advance_ns(10);
+            tel.event("fired", || vec![("rule", "cascode".to_owned())]);
+        }
+        let report = tel.report();
+        assert_eq!(report.events().len(), 2);
+        assert_eq!(report.events()[0].span, None);
+        assert_eq!(report.events()[1].span, Some(0));
+        assert_eq!(report.events()[1].t_ns, 10);
+        assert_eq!(report.events()[1].fields[0].1, "cascode");
+    }
+
+    #[test]
+    fn counters_and_gauges_round_trip() {
+        let (_clock, tel) = manual();
+        tel.incr("plan.rule_firings");
+        tel.add("plan.rule_firings", 2);
+        tel.gauge("synth.feasible", 2.0);
+        assert_eq!(tel.counter("plan.rule_firings"), 3);
+        let report = tel.report();
+        assert_eq!(report.metrics().counter("plan.rule_firings"), 3);
+        assert_eq!(report.metrics().gauge("synth.feasible"), Some(2.0));
+    }
+
+    #[test]
+    fn report_snapshot_includes_open_spans() {
+        let (clock, tel) = manual();
+        let _open = tel.span(|| "still-running".into());
+        clock.advance_ns(5);
+        let report = tel.report();
+        assert_eq!(report.spans()[0].end_ns, None);
+    }
+}

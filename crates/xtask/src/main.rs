@@ -3,6 +3,7 @@
 //! tooling required. Invoked as `cargo xtask <command>` via the alias
 //! in `.cargo/config.toml`.
 
+use oasys_telemetry::schema;
 use std::env;
 use std::process::{Command, ExitCode};
 
@@ -11,13 +12,17 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("check") => check(),
         Some("lint-examples") => lint_examples(),
+        Some("smoke") => smoke(),
         _ => {
             eprintln!(
                 "usage: cargo xtask <command>\n\n\
                  commands:\n  \
                  check          fmt --check, clippy -D warnings, tier-1 build+test,\n                 \
-                 and `oasys lint --deny-warnings` over the example specs\n  \
-                 lint-examples  only the example-spec lint gate"
+                 `oasys lint --deny-warnings` over the example specs,\n                 \
+                 and the end-to-end trace smoke run\n  \
+                 lint-examples  only the example-spec lint gate\n  \
+                 smoke          only the end-to-end run: synthesize the example spec\n                 \
+                 with --trace-out and validate the emitted trace files"
             );
             ExitCode::from(2)
         }
@@ -44,6 +49,9 @@ fn check() -> ExitCode {
     }
     if lint_examples() != ExitCode::SUCCESS {
         failed.push("lint-examples".to_string());
+    }
+    if smoke() != ExitCode::SUCCESS {
+        failed.push("smoke".to_string());
     }
     if failed.is_empty() {
         println!("xtask check: all gates passed");
@@ -73,6 +81,110 @@ fn lint_examples() -> ExitCode {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    }
+}
+
+/// End-to-end smoke gate: run `oasys` on the bundled example spec/tech
+/// pair with `--trace-out` in both formats and validate the emitted
+/// files against the telemetry schema. Fails on any run error, file
+/// error, JSON parse error, or schema violation.
+fn smoke() -> ExitCode {
+    let spec = "data/example-spec.txt";
+    let tech = "data/generic-5um.tech";
+    if !std::path::Path::new(spec).is_file() {
+        eprintln!("xtask: {spec} not found (run from the workspace root)");
+        return ExitCode::FAILURE;
+    }
+    let out_dir = std::path::Path::new("target/smoke");
+    if let Err(e) = std::fs::create_dir_all(out_dir) {
+        eprintln!("xtask: cannot create {}: {e}", out_dir.display());
+        return ExitCode::FAILURE;
+    }
+
+    let jsonl_path = "target/smoke/run.jsonl.json";
+    let chrome_path = "target/smoke/run.chrome.json";
+    let runs: &[(&str, &[&str])] = &[
+        (
+            jsonl_path,
+            &[spec, tech, "--no-verify", "--trace-out", jsonl_path],
+        ),
+        (
+            chrome_path,
+            &[
+                spec,
+                tech,
+                "--no-verify",
+                "--trace-out",
+                chrome_path,
+                "--trace-format",
+                "chrome",
+            ],
+        ),
+    ];
+    for (path, oasys_args) in runs {
+        let mut args = vec![
+            "run",
+            "--release",
+            "-q",
+            "-p",
+            "oasys",
+            "--bin",
+            "oasys",
+            "--",
+        ];
+        args.extend_from_slice(oasys_args);
+        if !run("cargo", &args) {
+            eprintln!("xtask smoke: oasys run for {path} failed");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let mut ok = true;
+    ok &= validate_trace(jsonl_path, |text| {
+        schema::validate_jsonl(text).map(|s| {
+            format!(
+                "{} spans, {} events, {} counters",
+                s.spans, s.events, s.counters
+            )
+        })
+    });
+    ok &= validate_trace(chrome_path, |text| {
+        schema::validate_chrome(text).map(|s| {
+            format!(
+                "{} spans, {} instants, {} counters",
+                s.spans, s.instants, s.counters
+            )
+        })
+    });
+    if ok {
+        println!("xtask smoke: trace files validate");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Reads `path` and runs `validate` over it, reporting the outcome.
+fn validate_trace(
+    path: &str,
+    validate: impl Fn(&str) -> Result<String, schema::SchemaError>,
+) -> bool {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("xtask smoke: {path}: {e}");
+            return false;
+        }
+    };
+    match validate(&text) {
+        Ok(summary) => {
+            println!("xtask smoke: {path} ok ({summary})");
+            true
+        }
+        Err(e) => {
+            eprintln!("xtask smoke: {path}: schema violation: {e}");
+            false
+        }
     }
 }
 
