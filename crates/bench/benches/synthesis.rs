@@ -3,7 +3,7 @@
 //! The reproduction synthesizes each case in well under a millisecond.
 
 use oasys::spec::test_cases;
-use oasys::{synthesize, synthesize_with};
+use oasys::{synthesize, synthesize_with, synthesize_with_options, OpAmpStyle, SearchOptions};
 use oasys_bench::harness::Bencher;
 use oasys_bench::summary;
 use oasys_process::builtin;
@@ -20,6 +20,23 @@ fn main() {
     ] {
         b.bench(label, || {
             synthesize(black_box(&spec), black_box(&process)).unwrap()
+        });
+    }
+
+    // Sequential vs. parallel style search on the same case — the
+    // comparison pair the report schema requires (summary::REQUIRED_ROWS),
+    // so the concurrency win stays visible run over run.
+    {
+        let spec = test_cases::spec_a();
+        let tel = Telemetry::disabled();
+        let sequential = SearchOptions::new().with_threads(1);
+        let parallel = SearchOptions::new().with_threads(OpAmpStyle::ALL.len());
+        b.bench("style_search/case_a_threads_1", || {
+            synthesize_with_options(black_box(&spec), black_box(&process), &sequential, &tel)
+                .unwrap()
+        });
+        b.bench("style_search/case_a_threads_max", || {
+            synthesize_with_options(black_box(&spec), black_box(&process), &parallel, &tel).unwrap()
         });
     }
 
@@ -73,6 +90,7 @@ fn main() {
         synthesize_with(&case_spec, &process, &tel).unwrap();
     }
     let report_json = summary::render(&b.rows(), &tel.report());
+    summary::validate(&report_json).expect("emitted report satisfies the bench schema");
     let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_synthesis.json");
     match std::fs::write(out_path, report_json) {
         Ok(()) => println!("report written to {out_path}"),

@@ -13,6 +13,117 @@ pub const SCHEMA_NAME: &str = "oasys-bench";
 /// Schema version of the emitted document.
 pub const SCHEMA_VERSION: u32 = 1;
 
+/// Benchmark rows the report must always carry: the sequential (one
+/// worker) vs. parallel (one worker per style) style-search comparison
+/// on the same case, so the concurrency win stays visible run over run.
+pub const REQUIRED_ROWS: [&str; 2] = [
+    "style_search/case_a_threads_1",
+    "style_search/case_a_threads_max",
+];
+
+/// Counters the report's instrumented run must expose. `engine.cache_hits`
+/// proves the sub-block memo cache is live; the rest tie the report to
+/// the synthesis pipeline it claims to measure.
+pub const REQUIRED_COUNTERS: [&str; 4] = [
+    "synth.styles_attempted",
+    "synth.styles_feasible",
+    "plan.step_executions",
+    "engine.cache_hits",
+];
+
+/// Validates a benchmark report against the `oasys-bench` schema:
+/// identifier and version, well-formed timing rows including the
+/// [`REQUIRED_ROWS`] pair, a well-formed span rollup, and the
+/// [`REQUIRED_COUNTERS`]. Returns a one-line summary on success.
+///
+/// # Errors
+///
+/// A description of the first schema violation found.
+pub fn validate(text: &str) -> Result<String, String> {
+    let doc = json::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let schema = doc
+        .get("schema")
+        .and_then(json::Json::as_str)
+        .ok_or("missing `schema` string")?;
+    if schema != SCHEMA_NAME {
+        return Err(format!("schema is {schema:?}, expected {SCHEMA_NAME:?}"));
+    }
+    let version = doc
+        .get("version")
+        .and_then(json::Json::as_num)
+        .ok_or("missing `version` number")?;
+    if version != f64::from(SCHEMA_VERSION) {
+        return Err(format!("version is {version}, expected {SCHEMA_VERSION}"));
+    }
+
+    if doc
+        .get("host_parallelism")
+        .and_then(json::Json::as_num)
+        .is_none()
+    {
+        return Err("missing `host_parallelism` number".to_string());
+    }
+
+    let benches = doc
+        .get("benches")
+        .and_then(json::Json::as_arr)
+        .ok_or("missing `benches` array")?;
+    if benches.is_empty() {
+        return Err("`benches` is empty".to_string());
+    }
+    let mut names = Vec::new();
+    for row in benches {
+        let name = row
+            .get("name")
+            .and_then(json::Json::as_str)
+            .ok_or("bench row missing `name`")?;
+        for field in ["iterations", "min_ns", "mean_ns", "median_ns"] {
+            if row.get(field).and_then(json::Json::as_num).is_none() {
+                return Err(format!("bench row {name:?} missing numeric `{field}`"));
+            }
+        }
+        names.push(name.to_string());
+    }
+    for required in REQUIRED_ROWS {
+        if !names.iter().any(|n| n == required) {
+            return Err(format!("missing required bench row {required:?}"));
+        }
+    }
+
+    let rollup = doc
+        .get("span_rollup")
+        .and_then(json::Json::as_arr)
+        .ok_or("missing `span_rollup` array")?;
+    for entry in rollup {
+        let name = entry
+            .get("name")
+            .and_then(json::Json::as_str)
+            .ok_or("span_rollup entry missing `name`")?;
+        for field in ["count", "total_ns"] {
+            if entry.get(field).and_then(json::Json::as_num).is_none() {
+                return Err(format!("span_rollup {name:?} missing numeric `{field}`"));
+            }
+        }
+    }
+
+    let counters = doc.get("counters").ok_or("missing `counters` object")?;
+    for required in REQUIRED_COUNTERS {
+        if counters
+            .get(required)
+            .and_then(json::Json::as_num)
+            .is_none()
+        {
+            return Err(format!("missing required counter {required:?}"));
+        }
+    }
+
+    Ok(format!(
+        "{} bench rows, {} rollup spans, counters ok",
+        benches.len(),
+        rollup.len()
+    ))
+}
+
 /// Renders the benchmark report: harness rows plus the span rollup and
 /// counters of one instrumented synthesis run.
 #[must_use]
@@ -23,6 +134,11 @@ pub fn render(rows: &[BenchRow], telemetry: &RunReport) -> String {
         json::string(SCHEMA_NAME),
         SCHEMA_VERSION
     ));
+    // The sequential-vs-parallel comparison rows are only interpretable
+    // relative to the machine that produced them: on a single-core host
+    // the parallel sweep cannot win and only measures spawn overhead.
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    out.push_str(&format!("  \"host_parallelism\": {cores},\n"));
 
     out.push_str("  \"benches\": [\n");
     for (i, row) in rows.iter().enumerate() {
@@ -106,5 +222,56 @@ mod tests {
     fn render_handles_empty_inputs() {
         let text = render(&[], &Telemetry::new().report());
         assert!(json::parse(&text).is_ok());
+    }
+
+    fn compliant_report() -> String {
+        let tel = Telemetry::new();
+        {
+            let _span = tel.span(|| "synthesize".to_owned());
+            for counter in REQUIRED_COUNTERS {
+                tel.incr(counter);
+            }
+        }
+        let rows: Vec<BenchRow> = REQUIRED_ROWS
+            .iter()
+            .map(|name| BenchRow {
+                name: (*name).to_owned(),
+                iterations: 100,
+                min_ns: 10,
+                mean_ns: 12,
+                median_ns: 11,
+            })
+            .collect();
+        render(&rows, &tel.report())
+    }
+
+    #[test]
+    fn validate_accepts_a_compliant_report() {
+        let text = compliant_report();
+        let summary = validate(&text).expect("compliant report validates");
+        assert!(summary.contains("2 bench rows"), "{summary}");
+    }
+
+    #[test]
+    fn validate_rejects_missing_comparison_row() {
+        let text = compliant_report().replace("style_search/case_a_threads_max", "renamed/row");
+        let err = validate(&text).unwrap_err();
+        assert!(err.contains("style_search/case_a_threads_max"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_missing_cache_counter() {
+        let text = compliant_report().replace("engine.cache_hits", "engine.cache_wins");
+        let err = validate(&text).unwrap_err();
+        assert!(err.contains("engine.cache_hits"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_schema_drift() {
+        let text = compliant_report().replace("\"version\": 1", "\"version\": 2");
+        let err = validate(&text).unwrap_err();
+        assert!(err.contains("version"), "{err}");
+        assert!(validate("{}").is_err());
+        assert!(validate("not json").is_err());
     }
 }

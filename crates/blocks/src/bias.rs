@@ -9,6 +9,7 @@ use crate::area::AreaEstimate;
 use crate::common::{require_positive, snap_width_um, DesignError, DEFAULT_VOV};
 use oasys_mos::{sizing, Geometry};
 use oasys_netlist::{Circuit, NodeId, ValidateError};
+use oasys_plan::{BlockDesigner, CacheKey, DesignContext};
 use oasys_process::{Polarity, Process};
 
 /// Specification for a bias generator.
@@ -128,6 +129,26 @@ impl BiasGenerator {
         })
     }
 
+    /// As [`BiasGenerator::design`], but recording through `ctx`: the
+    /// invocation appears as a `block:bias` telemetry span, and a
+    /// context-carried [`oasys_plan::MemoCache`] memoizes the result under
+    /// the spec's bit-exact fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// As for [`BiasGenerator::design`].
+    pub fn design_with(
+        spec: &BiasSpec,
+        process: &Process,
+        ctx: &DesignContext<'_>,
+    ) -> Result<Self, DesignError> {
+        let key = CacheKey::new()
+            .tag("pol", format!("{:?}", spec.polarity))
+            .num("iref", spec.iref)
+            .num("vov", spec.vov);
+        ctx.design_child("bias", Some(key), || Self::design(spec, process))
+    }
+
     /// The specification.
     #[must_use]
     pub fn spec(&self) -> &BiasSpec {
@@ -210,6 +231,49 @@ impl BiasGenerator {
             }
         }
         Ok(bias_node)
+    }
+}
+
+/// The bias generator's single-style [`BlockDesigner`] implementation
+/// (a resistor-defined reference; the paper's templates use no
+/// alternative).
+#[derive(Clone, Copy, Debug)]
+pub struct BiasDesigner<'a> {
+    process: &'a Process,
+}
+
+impl<'a> BiasDesigner<'a> {
+    /// A designer sizing against `process`.
+    #[must_use]
+    pub fn new(process: &'a Process) -> Self {
+        Self { process }
+    }
+}
+
+impl BlockDesigner for BiasDesigner<'_> {
+    type Spec = BiasSpec;
+    type Output = BiasGenerator;
+    type Error = DesignError;
+
+    fn level(&self) -> &'static str {
+        "bias"
+    }
+
+    fn styles(&self) -> Vec<String> {
+        vec!["resistor reference".to_owned()]
+    }
+
+    fn design_style(
+        &self,
+        spec: &BiasSpec,
+        _style: &str,
+        _ctx: &DesignContext<'_>,
+    ) -> Result<BiasGenerator, DesignError> {
+        BiasGenerator::design(spec, self.process)
+    }
+
+    fn area_um2(&self, output: &BiasGenerator) -> f64 {
+        output.area.total_um2()
     }
 }
 

@@ -18,6 +18,7 @@
 //! ```
 
 use crate::common::{require_positive, DesignError};
+use oasys_plan::{BlockDesigner, CacheKey, DesignContext};
 
 /// Smallest compensation capacitor worth drawing, F.
 const MIN_CC: f64 = 0.2e-12;
@@ -119,6 +120,28 @@ impl Compensation {
         })
     }
 
+    /// As [`Compensation::design`], but recording through `ctx`: the
+    /// invocation appears as a `block:compensation` telemetry span, and a
+    /// context-carried [`oasys_plan::MemoCache`] memoizes the result under
+    /// the spec's bit-exact fingerprint. Compensation is process-free —
+    /// it works on stage-level quantities only.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Compensation::design`].
+    pub fn design_with(
+        spec: &CompensationSpec,
+        ctx: &DesignContext<'_>,
+    ) -> Result<Self, DesignError> {
+        let key = CacheKey::new()
+            .num("gm1", spec.gm1)
+            .num("gm2", spec.gm2)
+            .num("cl", spec.load_cap)
+            .num("fu", spec.unity_gain_freq)
+            .num("pm", spec.phase_margin_deg);
+        ctx.design_child("compensation", Some(key), || Self::design(spec))
+    }
+
     /// Required second-stage transconductance for a compensation spec to
     /// close with margin to spare: solves the phase-margin equation for
     /// `gm2` given everything else (used by the op-amp plan to set the
@@ -202,6 +225,43 @@ impl Compensation {
     #[must_use]
     pub fn zero(&self) -> f64 {
         self.zero
+    }
+}
+
+/// The compensation scheme's single-style [`BlockDesigner`]
+/// implementation. The paper places compensation *"conceptually one level
+/// higher in the hierarchy than the other sub-blocks"*; registering it
+/// alongside them lets the hierarchy link every block to a designer while
+/// the two-stage plan keeps invoking it directly.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CompensationDesigner;
+
+impl BlockDesigner for CompensationDesigner {
+    type Spec = CompensationSpec;
+    type Output = Compensation;
+    type Error = DesignError;
+
+    fn level(&self) -> &'static str {
+        "compensation"
+    }
+
+    fn styles(&self) -> Vec<String> {
+        vec!["miller".to_owned()]
+    }
+
+    fn design_style(
+        &self,
+        spec: &CompensationSpec,
+        _style: &str,
+        _ctx: &DesignContext<'_>,
+    ) -> Result<Compensation, DesignError> {
+        Compensation::design(spec)
+    }
+
+    fn area_um2(&self, _output: &Compensation) -> f64 {
+        // The Miller capacitor's area belongs to the op-amp level (it is
+        // process-dependent); the network itself adds no device area.
+        0.0
     }
 }
 

@@ -10,6 +10,7 @@ use crate::area::AreaEstimate;
 use crate::common::{require_positive, snap_width_um, DesignError};
 use oasys_mos::{sizing, Geometry};
 use oasys_netlist::{Circuit, NodeId, ValidateError};
+use oasys_plan::{BlockDesigner, CacheKey, DesignContext};
 use oasys_process::{Polarity, Process};
 
 /// Highest W/L the pair designer will use; beyond this the input
@@ -154,6 +155,27 @@ impl DiffPair {
         })
     }
 
+    /// As [`DiffPair::design`], but recording through `ctx`: the
+    /// invocation appears as a `block:diff pair` telemetry span, and a
+    /// context-carried [`oasys_plan::MemoCache`] memoizes the result under
+    /// the spec's bit-exact fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// As for [`DiffPair::design`].
+    pub fn design_with(
+        spec: &DiffPairSpec,
+        process: &Process,
+        ctx: &DesignContext<'_>,
+    ) -> Result<Self, DesignError> {
+        let key = CacheKey::new()
+            .tag("pol", format!("{:?}", spec.polarity))
+            .num("gm", spec.gm)
+            .num("itail", spec.tail_current)
+            .num("l_um", spec.length_um.unwrap_or(f64::NEG_INFINITY));
+        ctx.design_child("diff pair", Some(key), || Self::design(spec, process))
+    }
+
     /// The specification this pair was designed to.
     #[must_use]
     pub fn spec(&self) -> &DiffPairSpec {
@@ -250,6 +272,49 @@ impl DiffPair {
             bulk,
         )?;
         Ok(())
+    }
+}
+
+/// The differential pair's single-style [`BlockDesigner`] implementation
+/// (the paper's op-amp templates fix the pair topology; only its sizing
+/// varies).
+#[derive(Clone, Copy, Debug)]
+pub struct DiffPairDesigner<'a> {
+    process: &'a Process,
+}
+
+impl<'a> DiffPairDesigner<'a> {
+    /// A designer sizing against `process`.
+    #[must_use]
+    pub fn new(process: &'a Process) -> Self {
+        Self { process }
+    }
+}
+
+impl BlockDesigner for DiffPairDesigner<'_> {
+    type Spec = DiffPairSpec;
+    type Output = DiffPair;
+    type Error = DesignError;
+
+    fn level(&self) -> &'static str {
+        "diff pair"
+    }
+
+    fn styles(&self) -> Vec<String> {
+        vec!["matched pair".to_owned()]
+    }
+
+    fn design_style(
+        &self,
+        spec: &DiffPairSpec,
+        _style: &str,
+        _ctx: &DesignContext<'_>,
+    ) -> Result<DiffPair, DesignError> {
+        DiffPair::design(spec, self.process)
+    }
+
+    fn area_um2(&self, output: &DiffPair) -> f64 {
+        output.area.total_um2()
     }
 }
 

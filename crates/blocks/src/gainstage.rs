@@ -11,7 +11,9 @@ use crate::area::AreaEstimate;
 use crate::common::{require_positive, snap_width_um, DesignError, DEFAULT_VOV};
 use oasys_mos::{sizing, Geometry};
 use oasys_netlist::{Circuit, NodeId, ValidateError};
+use oasys_plan::{BlockDesigner, CacheKey, DesignContext, Selected, StyleRejection};
 use oasys_process::{Polarity, Process};
+use oasys_telemetry::Telemetry;
 use std::fmt;
 
 /// Overdrive floor for the driver device.
@@ -24,6 +26,17 @@ pub enum GainStageStyle {
     Simple,
     /// Common-source driver with a cascode device stacked on its drain.
     Cascode,
+}
+
+impl GainStageStyle {
+    /// Both styles in escalation order (cheapest first).
+    pub const ALL: [GainStageStyle; 2] = [GainStageStyle::Simple, GainStageStyle::Cascode];
+
+    /// Parses a style from its display name (`"simple"`, `"cascode"`).
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|s| s.to_string() == name)
+    }
 }
 
 impl fmt::Display for GainStageStyle {
@@ -124,6 +137,18 @@ impl GainStageSpec {
     pub fn min_gain(&self) -> f64 {
         self.min_gain
     }
+
+    fn validate(&self) -> Result<(), DesignError> {
+        require_positive("gainstage", "gm", self.gm)?;
+        require_positive("gainstage", "bias_current", self.bias_current)?;
+        if self.min_gain < 0.0 || !self.min_gain.is_finite() {
+            return Err(DesignError::invalid(
+                "gainstage",
+                format!("min_gain must be non-negative, got {}", self.min_gain),
+            ));
+        }
+        Ok(())
+    }
 }
 
 /// A designed gain stage.
@@ -142,8 +167,11 @@ pub struct GainStage {
 }
 
 impl GainStage {
-    /// Designs the stage: tries the simple style first and cascodes only
-    /// if the gain floor demands it (the paper's escalation rule).
+    /// Designs the stage on the shared [`BlockDesigner`] engine: both
+    /// styles are evaluated breadth-first and the smallest-area feasible
+    /// one wins. The simple driver is always smaller than the cascoded
+    /// one, so the stage cascodes only when the gain floor demands it —
+    /// the paper's escalation rule, expressed as area selection.
     ///
     /// # Errors
     ///
@@ -151,23 +179,58 @@ impl GainStage {
     /// [`DesignError::Infeasible`] when even the cascoded style cannot
     /// reach `min_gain`.
     pub fn design(spec: &GainStageSpec, process: &Process) -> Result<Self, DesignError> {
-        match Self::design_style(spec, process, GainStageStyle::Simple) {
-            Ok(stage) if spec.min_gain == 0.0 || stage.gain >= spec.min_gain => Ok(stage),
-            Ok(_) | Err(DesignError::Infeasible { .. }) => {
-                let stage = Self::design_style(spec, process, GainStageStyle::Cascode)?;
-                if spec.min_gain > 0.0 && stage.gain < spec.min_gain {
-                    return Err(DesignError::infeasible(
-                        "gainstage",
-                        format!(
-                            "even cascoded gain {:.0} < required {:.0}",
-                            stage.gain, spec.min_gain
-                        ),
-                    ));
-                }
-                Ok(stage)
-            }
-            Err(e) => Err(e),
-        }
+        let tel = Telemetry::disabled();
+        Self::select(spec, process, &DesignContext::new(&tel))
+    }
+
+    /// As [`GainStage::design`], but recording through `ctx`: the
+    /// invocation appears as a `block:gain stage` telemetry span, and a
+    /// context-carried [`oasys_plan::MemoCache`] memoizes the result under
+    /// the spec's bit-exact fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// As for [`GainStage::design`].
+    pub fn design_with(
+        spec: &GainStageSpec,
+        process: &Process,
+        ctx: &DesignContext<'_>,
+    ) -> Result<Self, DesignError> {
+        ctx.design_child("gain stage", Some(Self::cache_key(spec)), || {
+            Self::select(spec, process, ctx)
+        })
+    }
+
+    fn select(
+        spec: &GainStageSpec,
+        process: &Process,
+        ctx: &DesignContext<'_>,
+    ) -> Result<Self, DesignError> {
+        spec.validate()?;
+        GainStageDesigner::new(process)
+            .design(spec, ctx)
+            .map(Selected::into_output)
+            .map_err(|failure| {
+                // Surface the last rejection (the cascode, the final
+                // escalation step) on its own — it carries the "even
+                // cascoded gain…" diagnosis callers match on.
+                failure.into_rejections().pop().map_or_else(
+                    || DesignError::infeasible("gainstage", "no style fits"),
+                    StyleRejection::into_error,
+                )
+            })
+    }
+
+    /// Bit-exact fingerprint of everything the designer reads from the
+    /// spec (the process is fixed per synthesis run).
+    fn cache_key(spec: &GainStageSpec) -> CacheKey {
+        CacheKey::new()
+            .tag("pol", format!("{:?}", spec.polarity))
+            .num("gm", spec.gm)
+            .num("ibias", spec.bias_current)
+            .num("min_gain", spec.min_gain)
+            .num("load_gds", spec.load_gds.unwrap_or(f64::NEG_INFINITY))
+            .num("l_um", spec.length_um.unwrap_or(f64::NEG_INFINITY))
     }
 
     /// Designs one specific style.
@@ -180,14 +243,7 @@ impl GainStage {
         process: &Process,
         style: GainStageStyle,
     ) -> Result<Self, DesignError> {
-        require_positive("gainstage", "gm", spec.gm)?;
-        require_positive("gainstage", "bias_current", spec.bias_current)?;
-        if spec.min_gain < 0.0 || !spec.min_gain.is_finite() {
-            return Err(DesignError::invalid(
-                "gainstage",
-                format!("min_gain must be non-negative, got {}", spec.min_gain),
-            ));
-        }
+        spec.validate()?;
 
         let mos = process.mos(spec.polarity);
         let id = spec.bias_current;
@@ -377,6 +433,70 @@ impl GainStage {
     }
 }
 
+/// The gain stage's [`BlockDesigner`] implementation. A style is rejected
+/// when it cannot reach the spec's `min_gain`, so the engine's
+/// smallest-area selection reproduces the paper's escalation rule: the
+/// (always smaller) simple driver wins unless only the cascode reaches
+/// the gain floor.
+#[derive(Clone, Copy, Debug)]
+pub struct GainStageDesigner<'a> {
+    process: &'a Process,
+}
+
+impl<'a> GainStageDesigner<'a> {
+    /// A designer sizing against `process`.
+    #[must_use]
+    pub fn new(process: &'a Process) -> Self {
+        Self { process }
+    }
+}
+
+impl BlockDesigner for GainStageDesigner<'_> {
+    type Spec = GainStageSpec;
+    type Output = GainStage;
+    type Error = DesignError;
+
+    fn level(&self) -> &'static str {
+        "gain stage"
+    }
+
+    fn styles(&self) -> Vec<String> {
+        GainStageStyle::ALL
+            .iter()
+            .map(ToString::to_string)
+            .collect()
+    }
+
+    fn design_style(
+        &self,
+        spec: &GainStageSpec,
+        style: &str,
+        _ctx: &DesignContext<'_>,
+    ) -> Result<GainStage, DesignError> {
+        let style = GainStageStyle::from_name(style)
+            .unwrap_or_else(|| panic!("unknown gain-stage style {style:?}"));
+        let stage = GainStage::design_style(spec, self.process, style)?;
+        if spec.min_gain > 0.0 && stage.gain < spec.min_gain {
+            let detail = match style {
+                GainStageStyle::Simple => format!(
+                    "simple-stage gain {:.0} < required {:.0}",
+                    stage.gain, spec.min_gain
+                ),
+                GainStageStyle::Cascode => format!(
+                    "even cascoded gain {:.0} < required {:.0}",
+                    stage.gain, spec.min_gain
+                ),
+            };
+            return Err(DesignError::infeasible("gainstage", detail));
+        }
+        Ok(stage)
+    }
+
+    fn area_um2(&self, output: &GainStage) -> f64 {
+        output.area.total_um2()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -463,6 +583,39 @@ mod tests {
             .emit(&mut c, "X_", input, out2, gnd, gnd, None)
             .unwrap_err();
         assert!(err.to_string().contains("bias"));
+    }
+
+    #[test]
+    fn impossible_gain_keeps_the_cascode_diagnosis() {
+        let spec = GainStageSpec::new(Polarity::Nmos, 400e-6, 100e-6).with_min_gain(1e9);
+        let err = GainStage::design(&spec, &process()).unwrap_err();
+        assert!(
+            err.to_string().contains("even cascoded gain"),
+            "escalation diagnosis preserved: {err}"
+        );
+    }
+
+    #[test]
+    fn design_with_memoizes_identical_specs() {
+        use oasys_plan::MemoCache;
+        let p = process();
+        let tel = Telemetry::new();
+        let cache = MemoCache::new();
+        let ctx = DesignContext::new(&tel)
+            .with_cache(&cache)
+            .with_scope("two-stage");
+        let spec = GainStageSpec::new(Polarity::Nmos, 400e-6, 100e-6).with_min_gain(50.0);
+        let a = GainStage::design_with(&spec, &p, &ctx).unwrap();
+        let b = GainStage::design_with(&spec, &p, &ctx).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(cache.hits(), 1);
+        let spans: Vec<_> = tel
+            .report()
+            .spans()
+            .iter()
+            .map(|s| s.name.clone())
+            .collect();
+        assert_eq!(spans, ["block:gain stage", "block:gain stage"]);
     }
 
     #[test]

@@ -10,6 +10,7 @@ use crate::area::AreaEstimate;
 use crate::common::{require_positive, snap_width_um, DesignError};
 use oasys_mos::{sizing, Geometry};
 use oasys_netlist::{Circuit, NodeId, ValidateError};
+use oasys_plan::{BlockDesigner, CacheKey, DesignContext};
 use oasys_process::{Polarity, Process};
 
 /// Overdrive bounds for a useful follower.
@@ -152,6 +153,27 @@ impl LevelShifter {
         })
     }
 
+    /// As [`LevelShifter::design`], but recording through `ctx`: the
+    /// invocation appears as a `block:level shifter` telemetry span, and a
+    /// context-carried [`oasys_plan::MemoCache`] memoizes the result under
+    /// the spec's bit-exact fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// As for [`LevelShifter::design`].
+    pub fn design_with(
+        spec: &LevelShiftSpec,
+        process: &Process,
+        ctx: &DesignContext<'_>,
+    ) -> Result<Self, DesignError> {
+        let key = CacheKey::new()
+            .tag("pol", format!("{:?}", spec.polarity))
+            .num("shift", spec.shift)
+            .num("ibias", spec.bias_current)
+            .num("vsb", spec.vsb_estimate);
+        ctx.design_child("level shifter", Some(key), || Self::design(spec, process))
+    }
+
     /// The specification.
     #[must_use]
     pub fn spec(&self) -> &LevelShiftSpec {
@@ -222,6 +244,48 @@ impl LevelShifter {
             bulk,
         )?;
         Ok(())
+    }
+}
+
+/// The level shifter's single-style [`BlockDesigner`] implementation (the
+/// paper's case C inserts it as a source follower; no alternatives).
+#[derive(Clone, Copy, Debug)]
+pub struct LevelShiftDesigner<'a> {
+    process: &'a Process,
+}
+
+impl<'a> LevelShiftDesigner<'a> {
+    /// A designer sizing against `process`.
+    #[must_use]
+    pub fn new(process: &'a Process) -> Self {
+        Self { process }
+    }
+}
+
+impl BlockDesigner for LevelShiftDesigner<'_> {
+    type Spec = LevelShiftSpec;
+    type Output = LevelShifter;
+    type Error = DesignError;
+
+    fn level(&self) -> &'static str {
+        "level shifter"
+    }
+
+    fn styles(&self) -> Vec<String> {
+        vec!["source follower".to_owned()]
+    }
+
+    fn design_style(
+        &self,
+        spec: &LevelShiftSpec,
+        _style: &str,
+        _ctx: &DesignContext<'_>,
+    ) -> Result<LevelShifter, DesignError> {
+        LevelShifter::design(spec, self.process)
+    }
+
+    fn area_um2(&self, output: &LevelShifter) -> f64 {
+        output.area.total_um2()
     }
 }
 

@@ -15,7 +15,9 @@ use crate::area::AreaEstimate;
 use crate::common::{require_positive, snap_width_um, DesignError, DEFAULT_VOV};
 use oasys_mos::{sizing, Geometry};
 use oasys_netlist::{Circuit, NodeId, ValidateError};
+use oasys_plan::{BlockDesigner, CacheKey, DesignContext, Selected};
 use oasys_process::{Polarity, Process};
+use oasys_telemetry::Telemetry;
 use std::fmt;
 
 /// Minimum usable gate overdrive; below this, matching and modeling
@@ -46,6 +48,13 @@ impl MirrorStyle {
         MirrorStyle::Cascode,
         MirrorStyle::WideSwing,
     ];
+
+    /// Parses a style from its display name (`"simple"`, `"cascode"`,
+    /// `"wide-swing"`).
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|s| s.to_string() == name)
+    }
 }
 
 impl fmt::Display for MirrorStyle {
@@ -156,6 +165,12 @@ impl MirrorSpec {
         self.iout / self.ratio
     }
 
+    /// Whether the caller permits this style.
+    #[must_use]
+    pub fn allows(&self, style: MirrorStyle) -> bool {
+        self.allowed[style as usize]
+    }
+
     fn validate(&self) -> Result<(), DesignError> {
         require_positive("mirror", "iout", self.iout)?;
         require_positive("mirror", "ratio", self.ratio)?;
@@ -190,6 +205,8 @@ pub struct CurrentMirror {
 impl CurrentMirror {
     /// Designs a mirror: tries every allowed style, keeps the feasible one
     /// with the smallest estimated area (the paper's selection policy).
+    /// Selection runs on the shared [`BlockDesigner`] engine via
+    /// [`MirrorDesigner`].
     ///
     /// # Errors
     ///
@@ -197,28 +214,62 @@ impl CurrentMirror {
     /// [`DesignError::Infeasible`] when no allowed style meets the
     /// headroom/`r_out` constraints.
     pub fn design(spec: &MirrorSpec, process: &Process) -> Result<Self, DesignError> {
-        spec.validate()?;
-        let mut best: Option<CurrentMirror> = None;
-        let mut reasons: Vec<String> = Vec::new();
-        for style in MirrorStyle::ALL {
-            if !spec.allowed[style as usize] {
-                continue;
-            }
-            match Self::design_style(spec, process, style) {
-                Ok(candidate) => {
-                    let better = best
-                        .as_ref()
-                        .is_none_or(|b| candidate.area.total_um2() < b.area.total_um2());
-                    if better {
-                        best = Some(candidate);
-                    }
-                }
-                Err(e) => reasons.push(format!("{style}: {e}")),
-            }
-        }
-        best.ok_or_else(|| {
-            DesignError::infeasible("mirror", format!("no style fits: {}", reasons.join("; ")))
+        let tel = Telemetry::disabled();
+        Self::select(spec, process, &DesignContext::new(&tel))
+    }
+
+    /// As [`CurrentMirror::design`], but recording through `ctx`: the
+    /// invocation appears as a `block:mirror` telemetry span, and when the
+    /// context carries a [`oasys_plan::MemoCache`] the result is memoized
+    /// under the spec's bit-exact fingerprint (scoped to the invoking
+    /// style), so plan restarts that re-derive an unchanged mirror reuse
+    /// the earlier design.
+    ///
+    /// # Errors
+    ///
+    /// As for [`CurrentMirror::design`].
+    pub fn design_with(
+        spec: &MirrorSpec,
+        process: &Process,
+        ctx: &DesignContext<'_>,
+    ) -> Result<Self, DesignError> {
+        ctx.design_child("mirror", Some(Self::cache_key(spec)), || {
+            Self::select(spec, process, ctx)
         })
+    }
+
+    /// Runs the engine's breadth-first selection and maps its structured
+    /// failure onto this block's legacy error message.
+    fn select(
+        spec: &MirrorSpec,
+        process: &Process,
+        ctx: &DesignContext<'_>,
+    ) -> Result<Self, DesignError> {
+        spec.validate()?;
+        MirrorDesigner::new(process)
+            .design(spec, ctx)
+            .map(Selected::into_output)
+            .map_err(|failure| {
+                DesignError::infeasible("mirror", format!("no style fits: {}", failure.reasons()))
+            })
+    }
+
+    /// Bit-exact fingerprint of everything [`CurrentMirror::design`] reads
+    /// from the spec (the process is fixed per synthesis run).
+    fn cache_key(spec: &MirrorSpec) -> CacheKey {
+        CacheKey::new()
+            .tag("pol", format!("{:?}", spec.polarity))
+            .num("iout", spec.iout)
+            .num("ratio", spec.ratio)
+            .num("min_rout", spec.min_rout)
+            .num("headroom", spec.headroom)
+            .tag(
+                "allowed",
+                spec.allowed
+                    .iter()
+                    .map(|&b| if b { '1' } else { '0' })
+                    .collect::<String>(),
+            )
     }
 
     /// Designs one specific style (used by the selector and by ablation
@@ -562,6 +613,55 @@ impl CurrentMirror {
     }
 }
 
+/// The mirror's [`BlockDesigner`] implementation: the engine runs the
+/// paper's smallest-area selection over [`MirrorStyle::ALL`], honoring the
+/// spec's style restrictions and aggregating per-style rejections.
+#[derive(Clone, Copy, Debug)]
+pub struct MirrorDesigner<'a> {
+    process: &'a Process,
+}
+
+impl<'a> MirrorDesigner<'a> {
+    /// A designer sizing against `process`.
+    #[must_use]
+    pub fn new(process: &'a Process) -> Self {
+        Self { process }
+    }
+}
+
+impl BlockDesigner for MirrorDesigner<'_> {
+    type Spec = MirrorSpec;
+    type Output = CurrentMirror;
+    type Error = DesignError;
+
+    fn level(&self) -> &'static str {
+        "mirror"
+    }
+
+    fn styles(&self) -> Vec<String> {
+        MirrorStyle::ALL.iter().map(ToString::to_string).collect()
+    }
+
+    fn allowed(&self, spec: &MirrorSpec, style: &str) -> bool {
+        MirrorStyle::from_name(style).is_some_and(|s| spec.allows(s))
+    }
+
+    fn design_style(
+        &self,
+        spec: &MirrorSpec,
+        style: &str,
+        _ctx: &DesignContext<'_>,
+    ) -> Result<CurrentMirror, DesignError> {
+        let style = MirrorStyle::from_name(style)
+            .unwrap_or_else(|| panic!("unknown mirror style {style:?}"));
+        CurrentMirror::design_style(spec, self.process, style)
+    }
+
+    fn area_um2(&self, output: &CurrentMirror) -> f64 {
+        output.area.total_um2()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -733,6 +833,70 @@ mod tests {
         let gnd = c.ground();
         let err = m.emit(&mut c, "M_", input, output, gnd, None).unwrap_err();
         assert!(err.to_string().contains("bias"));
+    }
+
+    #[test]
+    fn design_with_memoizes_identical_specs() {
+        use oasys_plan::MemoCache;
+        let p = process();
+        let tel = Telemetry::new();
+        let cache = MemoCache::new();
+        let ctx = DesignContext::new(&tel)
+            .with_cache(&cache)
+            .with_scope("two-stage");
+        let spec = MirrorSpec::new(Polarity::Nmos, 20e-6);
+        let a = CurrentMirror::design_with(&spec, &p, &ctx).unwrap();
+        let b = CurrentMirror::design_with(&spec, &p, &ctx).unwrap();
+        assert_eq!(a, b, "cache replays the identical design");
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(tel.counter("engine.cache_hits"), 1);
+        // A one-ulp spec change must miss.
+        let other = MirrorSpec::new(Polarity::Nmos, 20e-6 + f64::EPSILON * 20e-6);
+        CurrentMirror::design_with(&other, &p, &ctx).unwrap();
+        assert_eq!(cache.hits(), 1);
+        // Every invocation records a block:mirror span.
+        let spans = tel.report().spans().len();
+        assert_eq!(spans, 3);
+    }
+
+    #[test]
+    fn selection_failure_reports_every_allowed_style() {
+        let spec = MirrorSpec::new(Polarity::Nmos, 20e-6)
+            .with_min_rout(1e12)
+            .with_headroom(0.3);
+        let err = CurrentMirror::design(&spec, &process()).unwrap_err();
+        assert!(err.is_infeasible());
+        let msg = err.to_string();
+        assert!(msg.contains("no style fits"), "{msg}");
+        assert!(msg.contains("simple:"), "{msg}");
+        assert!(msg.contains("cascode:"), "{msg}");
+        assert!(msg.contains("wide-swing:"), "{msg}");
+    }
+
+    #[test]
+    fn designer_trait_exposes_styles_and_selection() {
+        let p = process();
+        let d = MirrorDesigner::new(&p);
+        assert_eq!(d.level(), "mirror");
+        assert_eq!(d.styles(), ["simple", "cascode", "wide-swing"]);
+        let spec = MirrorSpec::new(Polarity::Nmos, 20e-6)
+            .with_headroom(1.5)
+            .with_only_style(MirrorStyle::Cascode);
+        assert!(!d.allowed(&spec, "simple"));
+        assert!(d.allowed(&spec, "cascode"));
+        let tel = Telemetry::disabled();
+        let sel = d.design(&spec, &DesignContext::new(&tel)).unwrap();
+        assert_eq!(sel.style(), "cascode");
+        assert_eq!(sel.output().style(), MirrorStyle::Cascode);
+        assert_eq!(sel.area_um2(), sel.output().area().total_um2());
+    }
+
+    #[test]
+    fn style_names_round_trip() {
+        for style in MirrorStyle::ALL {
+            assert_eq!(MirrorStyle::from_name(&style.to_string()), Some(style));
+        }
+        assert_eq!(MirrorStyle::from_name("bogus"), None);
     }
 
     #[test]

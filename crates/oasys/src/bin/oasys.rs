@@ -3,13 +3,17 @@
 //!
 //! ```text
 //! oasys <spec-file> <tech-file> [--out <deck.sp>] [--no-verify]
-//!       [--explain] [--trace-out <file.json>] [--trace-format json|chrome]
+//!       [--styles <list>] [--explain] [--trace-out <file.json>]
+//!       [--trace-format json|chrome]
 //! oasys lint [<spec-file> <tech-file>] [--deny-warnings] [--format human|json]
 //! ```
 //!
 //! The first form prints the style-selection outcome, the sized device
 //! table, and the spec/predicted/measured datasheet; optionally writes a
-//! SPICE deck. `--explain` prints the annotated span tree of the run
+//! SPICE deck. `--styles` restricts the breadth-first search to a
+//! comma-separated subset of the style catalog (`one-stage-ota`,
+//! `two-stage`, `folded-cascode`); unknown names are rejected up front.
+//! `--explain` prints the annotated span tree of the run
 //! (style attempts, plan steps, rule firings, simulator phases);
 //! `--trace-out` writes the machine-readable run report — JSON-lines
 //! events plus a metrics snapshot by default, or the Chrome trace-event
@@ -23,13 +27,16 @@
 //! JSON array); the exit code is nonzero when any error fires, or, under
 //! `--deny-warnings`, when any diagnostic fires at all.
 
-use oasys::{specfile, styles, synthesize_with, verify_with, Datasheet, Synthesis};
+use oasys::{
+    specfile, styles, synthesize_with, synthesize_with_options, verify_with, Datasheet, OpAmpStyle,
+    SearchOptions, Synthesis,
+};
 use oasys_netlist::{lint, report, spice};
 use oasys_process::techfile;
 use oasys_telemetry::Telemetry;
 use std::process::ExitCode;
 
-const SYNTH_USAGE: &str = "usage: oasys <spec-file> <tech-file> [--out <deck.sp>] [--no-verify] [--explain] [--trace-out <file.json>] [--trace-format json|chrome]\n       oasys lint [<spec-file> <tech-file>] [--deny-warnings] [--format human|json]";
+const SYNTH_USAGE: &str = "usage: oasys <spec-file> <tech-file> [--out <deck.sp>] [--no-verify] [--styles <list>] [--explain] [--trace-out <file.json>] [--trace-format json|chrome]\n       oasys lint [<spec-file> <tech-file>] [--deny-warnings] [--format human|json]";
 const LINT_USAGE: &str =
     "usage: oasys lint [<spec-file> <tech-file>] [--deny-warnings] [--format human|json]";
 
@@ -61,6 +68,44 @@ enum TraceFormat {
     Chrome,
 }
 
+/// Resolves one `--styles` entry. Accepts the display name exactly
+/// (`"one-stage OTA"`) or the shell-friendly form with hyphens for
+/// spaces, case-insensitively (`one-stage-ota`, `folded-cascode`).
+fn parse_style(name: &str) -> Option<OpAmpStyle> {
+    let normalized = name.trim().to_lowercase().replace(' ', "-");
+    OpAmpStyle::ALL
+        .into_iter()
+        .find(|s| s.to_string().to_lowercase().replace(' ', "-") == normalized)
+}
+
+/// Parses the comma-separated `--styles` list into validated display
+/// names (the form [`SearchOptions::with_styles`] matches against).
+fn parse_styles_list(list: &str) -> Result<Vec<String>, String> {
+    let names: Vec<&str> = list
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
+    if names.is_empty() {
+        return Err(format!("--styles needs at least one style\n{SYNTH_USAGE}"));
+    }
+    names
+        .into_iter()
+        .map(|name| {
+            parse_style(name).map(|s| s.to_string()).ok_or_else(|| {
+                let known: Vec<String> = OpAmpStyle::ALL
+                    .iter()
+                    .map(|s| s.to_string().to_lowercase().replace(' ', "-"))
+                    .collect();
+                format!(
+                    "unknown style `{name}` (known styles: {})\n{SYNTH_USAGE}",
+                    known.join(", ")
+                )
+            })
+        })
+        .collect()
+}
+
 /// Parsed arguments of the synthesis mode.
 #[derive(Debug, PartialEq, Eq)]
 struct SynthOptions {
@@ -68,6 +113,7 @@ struct SynthOptions {
     tech_path: String,
     out_path: Option<String>,
     run_verify: bool,
+    styles: Option<Vec<String>>,
     explain: bool,
     trace_out: Option<String>,
     trace_format: TraceFormat,
@@ -82,6 +128,7 @@ impl SynthOptions {
             tech_path,
             out_path: None,
             run_verify: true,
+            styles: None,
             explain: false,
             trace_out: None,
             trace_format: TraceFormat::Json,
@@ -92,6 +139,10 @@ impl SynthOptions {
                     opts.out_path = Some(args.next().ok_or("--out needs a path")?);
                 }
                 "--no-verify" => opts.run_verify = false,
+                "--styles" => {
+                    let list = args.next().ok_or("--styles needs a comma-separated list")?;
+                    opts.styles = Some(parse_styles_list(&list)?);
+                }
                 "--explain" => opts.explain = true,
                 "--trace-out" => {
                     opts.trace_out = Some(args.next().ok_or("--trace-out needs a path")?);
@@ -118,6 +169,14 @@ impl SynthOptions {
     /// should actually collect spans.
     fn telemetry_requested(&self) -> bool {
         self.explain || self.trace_out.is_some()
+    }
+
+    /// The engine search options this invocation asks for.
+    fn search_options(&self) -> SearchOptions {
+        match &self.styles {
+            Some(styles) => SearchOptions::new().with_styles(styles.clone()),
+            None => SearchOptions::new(),
+        }
     }
 }
 
@@ -168,7 +227,7 @@ fn run_synth(args: impl Iterator<Item = String>) -> Result<(), String> {
         Telemetry::disabled()
     };
 
-    let result = match synthesize_with(&spec, &process, &tel) {
+    let result = match synthesize_with_options(&spec, &process, &opts.search_options(), &tel) {
         Ok(result) => result,
         Err(e) => {
             // The trace is most valuable exactly when synthesis fails:
@@ -388,6 +447,62 @@ mod tests {
         assert!(err.contains("unknown trace format `xml`"), "{err}");
         let err = SynthOptions::parse(argv(&["s", "t", "--trace-format"])).unwrap_err();
         assert!(err.contains("--trace-format needs"), "{err}");
+    }
+
+    #[test]
+    fn synth_styles_parses_shell_friendly_names() {
+        let opts =
+            SynthOptions::parse(argv(&["s", "t", "--styles", "one-stage-ota,two-stage"])).unwrap();
+        assert_eq!(
+            opts.styles,
+            Some(vec!["one-stage OTA".to_string(), "two-stage".to_string()])
+        );
+        let search = opts.search_options();
+        assert_eq!(
+            search.styles(),
+            Some(&["one-stage OTA".to_string(), "two-stage".to_string()][..])
+        );
+    }
+
+    #[test]
+    fn synth_styles_accepts_display_names_and_spaces() {
+        let opts = SynthOptions::parse(argv(&[
+            "s",
+            "t",
+            "--styles",
+            "one-stage OTA, Folded-Cascode",
+        ]))
+        .unwrap();
+        assert_eq!(
+            opts.styles,
+            Some(vec![
+                "one-stage OTA".to_string(),
+                "folded cascode".to_string()
+            ])
+        );
+    }
+
+    #[test]
+    fn synth_styles_rejects_unknown_name() {
+        let err = SynthOptions::parse(argv(&["s", "t", "--styles", "three-stage"])).unwrap_err();
+        assert!(err.contains("unknown style `three-stage`"), "{err}");
+        assert!(err.contains("one-stage-ota"), "{err}");
+        assert!(err.contains("folded-cascode"), "{err}");
+    }
+
+    #[test]
+    fn synth_styles_requires_value() {
+        let err = SynthOptions::parse(argv(&["s", "t", "--styles"])).unwrap_err();
+        assert!(err.contains("--styles needs"), "{err}");
+        let err = SynthOptions::parse(argv(&["s", "t", "--styles", ","])).unwrap_err();
+        assert!(err.contains("--styles needs at least one style"), "{err}");
+    }
+
+    #[test]
+    fn synth_default_has_no_style_filter() {
+        let opts = SynthOptions::parse(argv(&["s", "t"])).unwrap();
+        assert_eq!(opts.styles, None);
+        assert_eq!(opts.search_options().styles(), None);
     }
 
     #[test]

@@ -60,7 +60,11 @@ pub mod synth;
 pub mod verify;
 
 pub use datasheet::{Datasheet, Predicted};
+pub use oasys_plan::SearchOptions;
 pub use spec::{OpAmpSpec, OpAmpSpecBuilder, SpecError};
 pub use styles::{analyze_all_plans, analyze_plan, OpAmpDesign, OpAmpStyle, StyleError};
-pub use synth::{synthesize, synthesize_with, StyleOutcome, Synthesis, SynthesisError};
+pub use synth::{
+    synthesize, synthesize_with, synthesize_with_options, OpAmpDesigner, StyleOutcome, Synthesis,
+    SynthesisError, STYLE_THREADS_ENV,
+};
 pub use verify::{verify, verify_with, Measured, VerifyError};

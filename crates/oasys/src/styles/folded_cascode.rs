@@ -15,7 +15,7 @@
 //! gain, leaving the folded cascode a middle band — a genuinely
 //! three-way Figure 7.
 
-use super::{OpAmpDesign, OpAmpStyle, StyleError};
+use super::{run_style, OpAmpDesign, OpAmpStyle, StyleDef, StyleError, StyleState};
 use crate::datasheet::Predicted;
 use crate::spec::OpAmpSpec;
 use oasys_blocks::area::AreaEstimate;
@@ -23,7 +23,7 @@ use oasys_blocks::diffpair::{DiffPair, DiffPairSpec};
 use oasys_blocks::mirror::{CurrentMirror, MirrorSpec, MirrorStyle};
 use oasys_mos::{sizing, Geometry, Mosfet};
 use oasys_netlist::Circuit;
-use oasys_plan::{PatchAction, Plan, PlanExecutor, StepOutcome};
+use oasys_plan::{DesignContext, PatchAction, Plan, StepOutcome};
 use oasys_process::{Polarity, Process};
 use oasys_telemetry::Telemetry;
 
@@ -37,9 +37,12 @@ const BIAS_SHEET_OHMS: f64 = 10_000.0;
 /// Empty annotation list (the builder cannot infer element types from `[]`).
 const NONE: [&str; 0] = [];
 
-struct State {
+pub(super) struct State<'a> {
     spec: OpAmpSpec,
     process: Process,
+    /// The invoking design context: sub-block design steps record
+    /// `block:<level>` spans and memoize through it.
+    ctx: DesignContext<'a>,
     vov1: f64,
     gm1: f64,
     i_tail: f64,
@@ -67,11 +70,12 @@ struct State {
     notes: Vec<String>,
 }
 
-impl State {
-    fn new(spec: &OpAmpSpec, process: &Process) -> Self {
+impl<'a> State<'a> {
+    fn new(spec: &OpAmpSpec, process: &Process, ctx: DesignContext<'a>) -> Self {
         Self {
             spec: *spec,
             process: process.clone(),
+            ctx,
             vov1: VOV1_INIT,
             gm1: 0.0,
             i_tail: 0.0,
@@ -113,9 +117,9 @@ pub(super) fn analyze_plan() -> oasys_lint::Report {
     oasys_plan::analyze(&build_plan())
 }
 
-fn build_plan() -> Plan<State> {
+fn build_plan<'a>() -> Plan<State<'a>> {
     Plan::<State>::builder("folded cascode")
-        .inputs(["spec", "process", "vov1", "notes"])
+        .inputs(["spec", "process", "ctx", "vov1", "notes"])
         .step("check-spec", |s: &mut State| {
             // Two stacked overdrives on each side of the output.
             let span = s.process.supply_span().volts();
@@ -150,7 +154,7 @@ fn build_plan() -> Plan<State> {
             s.pair_l_um = s.process.min_length().micrometers();
             let spec =
                 DiffPairSpec::new(Polarity::Nmos, s.gm1, s.i_tail).with_length_um(s.pair_l_um);
-            match DiffPair::design(&spec, &s.process) {
+            match DiffPair::design_with(&spec, &s.process, &s.ctx) {
                 Ok(p) => {
                     s.pair = Some(p);
                     StepOutcome::Done
@@ -158,7 +162,7 @@ fn build_plan() -> Plan<State> {
                 Err(e) => StepOutcome::failed("pair-design", e.to_string()),
             }
         })
-        .reads(["process", "gm1", "i_tail"])
+        .reads(["process", "ctx", "gm1", "i_tail"])
         .writes(["pair_l_um", "pair"])
         .emits(["pair-design"])
         .step("design-branches", |s: &mut State| {
@@ -198,7 +202,7 @@ fn build_plan() -> Plan<State> {
                 .with_min_rout(need_rout)
                 .with_headroom(vss_budget.max(0.5))
                 .with_only_style(MirrorStyle::WideSwing);
-            match CurrentMirror::design(&spec, &s.process) {
+            match CurrentMirror::design_with(&spec, &s.process, &s.ctx) {
                 Ok(m) => {
                     s.out_mirror = Some(m);
                     StepOutcome::Done
@@ -206,7 +210,7 @@ fn build_plan() -> Plan<State> {
                 Err(e) => StepOutcome::failed("gain-short", e.to_string()),
             }
         })
-        .reads(["spec", "process", "gm1", "i_tail"])
+        .reads(["spec", "process", "ctx", "gm1", "i_tail"])
         .writes(["out_mirror"])
         .emits(["gain-short"])
         .step("check-gain", |s: &mut State| {
@@ -256,7 +260,7 @@ fn build_plan() -> Plan<State> {
             let tail_spec = MirrorSpec::new(Polarity::Nmos, s.i_tail)
                 .with_headroom(1.5)
                 .with_only_style(MirrorStyle::Simple);
-            let tail = match CurrentMirror::design(&tail_spec, &s.process) {
+            let tail = match CurrentMirror::design_with(&tail_spec, &s.process, &s.ctx) {
                 Ok(t) => t,
                 Err(e) => return StepOutcome::failed("bias-design", e.to_string()),
             };
@@ -287,7 +291,7 @@ fn build_plan() -> Plan<State> {
             s.tail = Some(tail);
             StepOutcome::Done
         })
-        .reads(["process", "i_tail"])
+        .reads(["process", "ctx", "i_tail"])
         .writes([
             "tail", "p_diode", "n_diode", "r_tail", "r_psrc", "r_pcasc", "r_ncasc",
         ])
@@ -495,7 +499,7 @@ fn build_plan() -> Plan<State> {
         .build()
 }
 
-impl State {
+impl State<'_> {
     /// All quiescent branches: tail + two fold branches + four bias
     /// references.
     fn total_current(&self) -> f64 {
@@ -514,7 +518,8 @@ pub fn design_folded_cascode(
     spec: &OpAmpSpec,
     process: &Process,
 ) -> Result<OpAmpDesign, StyleError> {
-    design_folded_cascode_with(spec, process, &Telemetry::disabled())
+    let tel = Telemetry::disabled();
+    design_folded_cascode_with(spec, process, &tel)
 }
 
 /// [`design_folded_cascode`] with run telemetry recorded into `tel`.
@@ -527,36 +532,52 @@ pub fn design_folded_cascode_with(
     process: &Process,
     tel: &Telemetry,
 ) -> Result<OpAmpDesign, StyleError> {
-    let plan = build_plan();
-    let mut state = State::new(spec, process);
-    let trace = PlanExecutor::new().run_with(&plan, &mut state, tel)?;
-    let assembly = tel.span(|| "assemble-netlist".to_owned());
-    let circuit = emit(&state).map_err(|e| StyleError::Netlist(e.to_string()))?;
-    circuit
-        .validate()
-        .map_err(|e| StyleError::Netlist(e.to_string()))?;
-    drop(assembly);
+    run_style::<FoldedCascodeDef>(spec, process, &DesignContext::new(tel))
+}
 
-    let w_min = process.min_width().micrometers();
-    let r_total = state.r_tail + state.r_psrc + state.r_pcasc + state.r_ncasc;
-    let device = |g: &Geometry| AreaEstimate::for_device(g, process);
-    let area = state.pair.as_ref().expect("plan done").area()
-        + state.tail.as_ref().expect("plan done").area()
-        + state.out_mirror.as_ref().expect("plan done").area()
-        + device(&state.p_source.expect("plan done")) * 2.0
-        + device(&state.p_cascode.expect("plan done")) * 2.0
-        + device(&state.p_diode.expect("plan done")) * 3.0
-        + device(&state.n_diode.expect("plan done")) * 2.0
-        + AreaEstimate::from_um2(r_total / BIAS_SHEET_OHMS * w_min * w_min, 0.0);
+/// The folded cascode's [`StyleDef`]: the plan above plus state
+/// construction. Everything else is the shared [`run_style`] engine.
+pub(super) struct FoldedCascodeDef;
 
-    Ok(OpAmpDesign {
-        style: OpAmpStyle::FoldedCascode,
-        circuit,
-        area,
-        predicted: state.predicted.expect("predict ran"),
-        trace,
-        notes: state.notes,
-    })
+impl StyleDef for FoldedCascodeDef {
+    const STYLE: OpAmpStyle = OpAmpStyle::FoldedCascode;
+    type State<'a> = State<'a>;
+
+    fn build_plan<'a>() -> Plan<State<'a>> {
+        build_plan()
+    }
+
+    fn init<'a>(spec: &OpAmpSpec, process: &Process, ctx: DesignContext<'a>) -> State<'a> {
+        State::new(spec, process, ctx)
+    }
+}
+
+impl StyleState for State<'_> {
+    fn emit(&self) -> Result<Circuit, oasys_netlist::ValidateError> {
+        emit(self)
+    }
+
+    fn area(&self) -> AreaEstimate {
+        let w_min = self.process.min_width().micrometers();
+        let r_total = self.r_tail + self.r_psrc + self.r_pcasc + self.r_ncasc;
+        let device = |g: &Geometry| AreaEstimate::for_device(g, &self.process);
+        self.pair.as_ref().expect("plan done").area()
+            + self.tail.as_ref().expect("plan done").area()
+            + self.out_mirror.as_ref().expect("plan done").area()
+            + device(&self.p_source.expect("plan done")) * 2.0
+            + device(&self.p_cascode.expect("plan done")) * 2.0
+            + device(&self.p_diode.expect("plan done")) * 3.0
+            + device(&self.n_diode.expect("plan done")) * 2.0
+            + AreaEstimate::from_um2(r_total / BIAS_SHEET_OHMS * w_min * w_min, 0.0)
+    }
+
+    fn predicted(&self) -> Predicted {
+        self.predicted.expect("predict ran")
+    }
+
+    fn take_notes(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.notes)
+    }
 }
 
 /// Assembles the folded-cascode netlist.

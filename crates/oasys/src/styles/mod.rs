@@ -15,9 +15,11 @@ pub use one_stage::{design_one_stage, design_one_stage_with};
 pub use two_stage::{design_two_stage, design_two_stage_with};
 
 use crate::datasheet::Predicted;
+use crate::spec::OpAmpSpec;
 use oasys_blocks::AreaEstimate;
 use oasys_netlist::Circuit;
-use oasys_plan::{PlanError, Trace};
+use oasys_plan::{DesignContext, PlanError, PlanExecutor, Trace};
+use oasys_process::Process;
 use oasys_telemetry::Telemetry;
 use std::error::Error;
 use std::fmt;
@@ -43,6 +45,96 @@ impl OpAmpStyle {
         OpAmpStyle::TwoStage,
         OpAmpStyle::FoldedCascode,
     ];
+
+    /// Resolves a style from its display name (`"one-stage OTA"`,
+    /// `"two-stage"`, `"folded cascode"`), as used by the `--styles`
+    /// filter and the [`oasys_plan::BlockDesigner`] string interface.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|s| s.to_string() == name)
+    }
+}
+
+/// A style's declarative knowledge: its translation plan and the hooks
+/// [`run_style`] needs around plan execution. Each style module supplies
+/// exactly this — the shared engine owns the run loop, telemetry, and
+/// netlist-assembly error handling.
+pub(crate) trait StyleDef {
+    /// The style this definition realizes.
+    const STYLE: OpAmpStyle;
+    /// The mutable design state the plan threads; borrows the invoking
+    /// [`DesignContext`] so steps can reach sub-block designers with
+    /// spans and memoization.
+    type State<'a>: StyleState;
+    /// Builds the stored translation plan (steps and patch rules).
+    fn build_plan<'a>() -> oasys_plan::Plan<Self::State<'a>>;
+    /// Initial state for one run against `spec` on `process`.
+    fn init<'a>(spec: &OpAmpSpec, process: &Process, ctx: DesignContext<'a>) -> Self::State<'a>;
+}
+
+/// What a completed style run must yield: the assembled netlist, the
+/// area estimate the selector ranks on, the predicted datasheet, and the
+/// patch-rule notes.
+pub(crate) trait StyleState {
+    /// Assembles the sized schematic from the designed sub-blocks.
+    fn emit(&self) -> Result<Circuit, oasys_netlist::ValidateError>;
+    /// Estimated layout area of the design.
+    fn area(&self) -> AreaEstimate;
+    /// The performance predicted by the plan's circuit equations.
+    fn predicted(&self) -> Predicted;
+    /// Takes the accumulated patch-rule notes out of the state.
+    fn take_notes(&mut self) -> Vec<String>;
+}
+
+/// Runs one style definition end to end: executes its plan on the
+/// context's telemetry, assembles and validates the netlist under an
+/// `assemble-netlist` span, and packages the [`OpAmpDesign`].
+///
+/// This is the single engine behind all three `design_*` entry points;
+/// the per-style modules contribute only their [`StyleDef`].
+pub(crate) fn run_style<D: StyleDef>(
+    spec: &OpAmpSpec,
+    process: &Process,
+    ctx: &DesignContext<'_>,
+) -> Result<OpAmpDesign, StyleError> {
+    let tel = ctx.telemetry();
+    let plan = D::build_plan();
+    let mut state = D::init(spec, process, ctx.clone());
+    let trace = PlanExecutor::new().run_with(&plan, &mut state, tel)?;
+    let assembly = tel.span(|| "assemble-netlist".to_owned());
+    let circuit = state
+        .emit()
+        .map_err(|e| StyleError::Netlist(e.to_string()))?;
+    circuit
+        .validate()
+        .map_err(|e| StyleError::Netlist(e.to_string()))?;
+    drop(assembly);
+    Ok(OpAmpDesign {
+        style: D::STYLE,
+        circuit,
+        area: state.area(),
+        predicted: state.predicted(),
+        trace,
+        notes: state.take_notes(),
+    })
+}
+
+/// As [`design_style_with`], but inside an existing [`DesignContext`]:
+/// sub-block invocations inherit the context's memo cache and telemetry
+/// scope. This is the dispatch the breadth-first selector uses.
+pub(crate) fn design_style_in(
+    style: OpAmpStyle,
+    spec: &OpAmpSpec,
+    process: &Process,
+    ctx: &DesignContext<'_>,
+) -> Result<OpAmpDesign, StyleError> {
+    match style {
+        OpAmpStyle::OneStageOta => run_style::<one_stage::OneStageDef>(spec, process, ctx),
+        OpAmpStyle::TwoStage => run_style::<two_stage::TwoStageDef>(spec, process, ctx),
+        OpAmpStyle::FoldedCascode => {
+            run_style::<folded_cascode::FoldedCascodeDef>(spec, process, ctx)
+        }
+    }
 }
 
 /// Runs one style's translation plan against a specification, recording
@@ -61,11 +153,7 @@ pub fn design_style_with(
     process: &oasys_process::Process,
     tel: &Telemetry,
 ) -> Result<OpAmpDesign, StyleError> {
-    match style {
-        OpAmpStyle::OneStageOta => one_stage::design_one_stage_with(spec, process, tel),
-        OpAmpStyle::TwoStage => two_stage::design_two_stage_with(spec, process, tel),
-        OpAmpStyle::FoldedCascode => folded_cascode::design_folded_cascode_with(spec, process, tel),
-    }
+    design_style_in(style, spec, process, &DesignContext::new(tel))
 }
 
 /// Runs the static plan analyzer over a style's stored synthesis plan.

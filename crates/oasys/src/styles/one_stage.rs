@@ -14,7 +14,7 @@
 //! case-B narrative (the style's inherent systematic offset and the
 //! gain/swing conflict cannot be patched away).
 
-use super::{OpAmpDesign, OpAmpStyle, StyleError};
+use super::{run_style, OpAmpDesign, OpAmpStyle, StyleDef, StyleError, StyleState};
 use crate::datasheet::Predicted;
 use crate::spec::OpAmpSpec;
 use oasys_blocks::area::AreaEstimate;
@@ -22,7 +22,7 @@ use oasys_blocks::diffpair::{DiffPair, DiffPairSpec};
 use oasys_blocks::mirror::{CurrentMirror, MirrorSpec, MirrorStyle};
 use oasys_mos::Mosfet;
 use oasys_netlist::Circuit;
-use oasys_plan::{PatchAction, Plan, PlanExecutor, StepOutcome};
+use oasys_plan::{DesignContext, PatchAction, Plan, StepOutcome};
 use oasys_process::{Polarity, Process};
 use oasys_telemetry::Telemetry;
 
@@ -43,9 +43,12 @@ const BIAS_SHEET_OHMS: f64 = 10_000.0;
 const NONE: [&str; 0] = [];
 
 /// Mutable design state threaded through the plan.
-struct State {
+pub(super) struct State<'a> {
     spec: OpAmpSpec,
     process: Process,
+    /// The invoking design context: sub-block design steps record
+    /// `block:<level>` spans and memoize through it.
+    ctx: DesignContext<'a>,
     // Heuristic knobs the patch rules adjust.
     vov1: f64,
     alpha: f64,
@@ -70,11 +73,12 @@ struct State {
     notes: Vec<String>,
 }
 
-impl State {
-    fn new(spec: &OpAmpSpec, process: &Process) -> Self {
+impl<'a> State<'a> {
+    fn new(spec: &OpAmpSpec, process: &Process, ctx: DesignContext<'a>) -> Self {
         Self {
             spec: *spec,
             process: process.clone(),
+            ctx,
             vov1: VOV1_INIT,
             alpha: ALPHA_INIT,
             load_cascoded: false,
@@ -128,11 +132,12 @@ pub(super) fn analyze_plan() -> oasys_lint::Report {
 }
 
 /// Builds the one-stage translation plan (steps and patch rules).
-fn build_plan() -> Plan<State> {
+fn build_plan<'a>() -> Plan<State<'a>> {
     Plan::<State>::builder("one-stage OTA")
         .inputs([
             "spec",
             "process",
+            "ctx",
             "vov1",
             "alpha",
             "load_cascoded",
@@ -199,7 +204,7 @@ fn build_plan() -> Plan<State> {
         .step("design-pair", |s: &mut State| {
             let spec =
                 DiffPairSpec::new(Polarity::Nmos, s.gm1, s.i_tail).with_length_um(s.pair_l_um);
-            match DiffPair::design(&spec, &s.process) {
+            match DiffPair::design_with(&spec, &s.process, &s.ctx) {
                 Ok(pair) => {
                     s.pair = Some(pair);
                     StepOutcome::Done
@@ -207,7 +212,7 @@ fn build_plan() -> Plan<State> {
                 Err(e) => StepOutcome::failed("pair-design", e.to_string()),
             }
         })
-        .reads(["process", "gm1", "i_tail", "pair_l_um"])
+        .reads(["process", "ctx", "gm1", "i_tail", "pair_l_um"])
         .writes(["pair"])
         .emits(["pair-design"])
         .step("design-load", |s: &mut State| {
@@ -229,7 +234,7 @@ fn build_plan() -> Plan<State> {
                 .with_min_rout(1.0 / load_budget)
                 .with_headroom(headroom)
                 .with_only_style(style);
-            match CurrentMirror::design(&spec, &s.process) {
+            match CurrentMirror::design_with(&spec, &s.process, &s.ctx) {
                 Ok(m) => {
                     s.load = Some(m);
                     StepOutcome::Done
@@ -237,14 +242,22 @@ fn build_plan() -> Plan<State> {
                 Err(e) => StepOutcome::failed("load-design", e.to_string()),
             }
         })
-        .reads(["spec", "process", "alpha", "gm1", "i_tail", "load_cascoded"])
+        .reads([
+            "spec",
+            "process",
+            "ctx",
+            "alpha",
+            "gm1",
+            "i_tail",
+            "load_cascoded",
+        ])
         .writes(["load"])
         .emits(["load-design"])
         .step("design-tail", |s: &mut State| {
             let spec = MirrorSpec::new(Polarity::Nmos, s.i_tail)
                 .with_headroom(1.5)
                 .with_only_style(MirrorStyle::Simple);
-            match CurrentMirror::design(&spec, &s.process) {
+            match CurrentMirror::design_with(&spec, &s.process, &s.ctx) {
                 Ok(m) => {
                     s.tail = Some(m);
                     StepOutcome::Done
@@ -252,7 +265,7 @@ fn build_plan() -> Plan<State> {
                 Err(e) => StepOutcome::failed("tail-design", e.to_string()),
             }
         })
-        .reads(["process", "i_tail"])
+        .reads(["process", "ctx", "i_tail"])
         .writes(["tail"])
         .emits(["tail-design"])
         .step("bias-resistor", |s: &mut State| {
@@ -642,7 +655,8 @@ fn build_plan() -> Plan<State> {
 /// [`StyleError::Plan`] when the plan (after patching) cannot meet the
 /// specification; [`StyleError::Netlist`] for template assembly bugs.
 pub fn design_one_stage(spec: &OpAmpSpec, process: &Process) -> Result<OpAmpDesign, StyleError> {
-    design_one_stage_with(spec, process, &Telemetry::disabled())
+    let tel = Telemetry::disabled();
+    design_one_stage_with(spec, process, &tel)
 }
 
 /// [`design_one_stage`] with telemetry: plan execution and netlist
@@ -656,31 +670,47 @@ pub fn design_one_stage_with(
     process: &Process,
     tel: &Telemetry,
 ) -> Result<OpAmpDesign, StyleError> {
-    let plan = build_plan();
-    let mut state = State::new(spec, process);
-    let trace = PlanExecutor::new().run_with(&plan, &mut state, tel)?;
-    let assembly = tel.span(|| "assemble-netlist".to_owned());
-    let circuit = emit(&state).map_err(|e| StyleError::Netlist(e.to_string()))?;
-    circuit
-        .validate()
-        .map_err(|e| StyleError::Netlist(e.to_string()))?;
-    drop(assembly);
+    run_style::<OneStageDef>(spec, process, &DesignContext::new(tel))
+}
 
-    let pair = state.pair.as_ref().expect("plan completed");
-    let load = state.load.as_ref().expect("plan completed");
-    let tail = state.tail.as_ref().expect("plan completed");
-    let w_min = process.min_width().micrometers();
-    let r_area = state.r_bias / BIAS_SHEET_OHMS * w_min * w_min;
-    let area = pair.area() + load.area() + tail.area() + AreaEstimate::from_um2(r_area, 0.0);
+/// The one-stage OTA's [`StyleDef`]: the plan above plus state
+/// construction. Everything else is the shared [`run_style`] engine.
+pub(super) struct OneStageDef;
 
-    Ok(OpAmpDesign {
-        style: OpAmpStyle::OneStageOta,
-        circuit,
-        area,
-        predicted: state.predicted.expect("predict step ran"),
-        trace,
-        notes: state.notes,
-    })
+impl StyleDef for OneStageDef {
+    const STYLE: OpAmpStyle = OpAmpStyle::OneStageOta;
+    type State<'a> = State<'a>;
+
+    fn build_plan<'a>() -> Plan<State<'a>> {
+        build_plan()
+    }
+
+    fn init<'a>(spec: &OpAmpSpec, process: &Process, ctx: DesignContext<'a>) -> State<'a> {
+        State::new(spec, process, ctx)
+    }
+}
+
+impl StyleState for State<'_> {
+    fn emit(&self) -> Result<Circuit, oasys_netlist::ValidateError> {
+        emit(self)
+    }
+
+    fn area(&self) -> AreaEstimate {
+        let pair = self.pair.as_ref().expect("plan completed");
+        let load = self.load.as_ref().expect("plan completed");
+        let tail = self.tail.as_ref().expect("plan completed");
+        let w_min = self.process.min_width().micrometers();
+        let r_area = self.r_bias / BIAS_SHEET_OHMS * w_min * w_min;
+        pair.area() + load.area() + tail.area() + AreaEstimate::from_um2(r_area, 0.0)
+    }
+
+    fn predicted(&self) -> Predicted {
+        self.predicted.expect("predict step ran")
+    }
+
+    fn take_notes(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.notes)
+    }
 }
 
 /// Assembles the OTA netlist from the designed sub-blocks.

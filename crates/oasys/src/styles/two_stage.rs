@@ -16,7 +16,7 @@
 //! heuristic is simply to assign the square root of the gain to each
 //! stage."*
 
-use super::{OpAmpDesign, OpAmpStyle, StyleError};
+use super::{run_style, OpAmpDesign, OpAmpStyle, StyleDef, StyleError, StyleState};
 use crate::datasheet::Predicted;
 use crate::spec::OpAmpSpec;
 use oasys_blocks::area::AreaEstimate;
@@ -26,7 +26,7 @@ use oasys_blocks::gainstage::{GainStage, GainStageSpec, GainStageStyle};
 use oasys_blocks::levelshift::{LevelShiftSpec, LevelShifter};
 use oasys_blocks::mirror::{CurrentMirror, MirrorSpec, MirrorStyle};
 use oasys_netlist::Circuit;
-use oasys_plan::{PatchAction, Plan, PlanExecutor, StepOutcome};
+use oasys_plan::{CacheKey, DesignContext, PatchAction, Plan, StepOutcome};
 use oasys_process::{Polarity, Process};
 use oasys_telemetry::Telemetry;
 
@@ -53,9 +53,12 @@ const BIAS_SHEET_OHMS: f64 = 10_000.0;
 /// Empty annotation list (the builder cannot infer element types from `[]`).
 const NONE: [&str; 0] = [];
 
-struct State {
+pub(super) struct State<'a> {
     spec: OpAmpSpec,
     process: Process,
+    /// The invoking design context: sub-block design steps record
+    /// `block:<level>` spans and memoize through it.
+    ctx: DesignContext<'a>,
     // Patch-rule knobs.
     vov1: f64,
     alpha1: f64,
@@ -100,11 +103,12 @@ struct State {
     notes: Vec<String>,
 }
 
-impl State {
-    fn new(spec: &OpAmpSpec, process: &Process) -> Self {
+impl<'a> State<'a> {
+    fn new(spec: &OpAmpSpec, process: &Process, ctx: DesignContext<'a>) -> Self {
         Self {
             spec: *spec,
             process: process.clone(),
+            ctx,
             vov1: VOV1_INIT,
             alpha1: 0.5,
             alpha2: 0.5,
@@ -201,11 +205,12 @@ pub(super) fn analyze_plan() -> oasys_lint::Report {
     oasys_plan::analyze(&build_plan())
 }
 
-fn build_plan() -> Plan<State> {
+fn build_plan<'a>() -> Plan<State<'a>> {
     Plan::<State>::builder("two-stage")
         .inputs([
             "spec",
             "process",
+            "ctx",
             "vov1",
             "alpha1",
             "alpha2",
@@ -283,7 +288,7 @@ fn build_plan() -> Plan<State> {
         .emits(["stage1-gain-short"])
         .step("design-pair", |s: &mut State| {
             let spec = DiffPairSpec::new(Polarity::Nmos, s.gm1, s.i_tail).with_length_um(s.l1_um);
-            match DiffPair::design(&spec, &s.process) {
+            match DiffPair::design_with(&spec, &s.process, &s.ctx) {
                 Ok(p) => {
                     s.pair = Some(p);
                     StepOutcome::Done
@@ -291,7 +296,7 @@ fn build_plan() -> Plan<State> {
                 Err(e) => StepOutcome::failed("pair-design", e.to_string()),
             }
         })
-        .reads(["process", "gm1", "i_tail", "l1_um"])
+        .reads(["process", "ctx", "gm1", "i_tail", "l1_um"])
         .writes(["pair"])
         .emits(["pair-design"])
         .step("design-stage1-load", |s: &mut State| {
@@ -305,7 +310,7 @@ fn build_plan() -> Plan<State> {
                 .with_min_rout(1.0 / load_budget)
                 .with_headroom(2.6)
                 .with_only_style(style);
-            match CurrentMirror::design(&spec, &s.process) {
+            match CurrentMirror::design_with(&spec, &s.process, &s.ctx) {
                 Ok(m) => {
                     s.load1 = Some(m);
                     StepOutcome::Done
@@ -315,6 +320,7 @@ fn build_plan() -> Plan<State> {
         })
         .reads([
             "process",
+            "ctx",
             "alpha1",
             "gm1",
             "i_tail",
@@ -334,7 +340,7 @@ fn build_plan() -> Plan<State> {
             let spec = MirrorSpec::new(Polarity::Nmos, s.i_tail)
                 .with_headroom(2.0)
                 .with_only_style(style);
-            match CurrentMirror::design(&spec, &s.process) {
+            match CurrentMirror::design_with(&spec, &s.process, &s.ctx) {
                 Ok(m) => {
                     s.tail = Some(m);
                     StepOutcome::Done
@@ -342,7 +348,7 @@ fn build_plan() -> Plan<State> {
                 Err(e) => StepOutcome::failed("tail-design", e.to_string()),
             }
         })
-        .reads(["process", "i_tail", "s1_cascoded"])
+        .reads(["process", "ctx", "i_tail", "s1_cascoded"])
         .writes(["tail"])
         .emits(["tail-design"])
         .step("stage2-requirements", |s: &mut State| {
@@ -410,7 +416,7 @@ fn build_plan() -> Plan<State> {
                 .with_min_rout(1.0 / sink_budget)
                 .with_headroom(headroom.max(0.4))
                 .without_style(MirrorStyle::WideSwing);
-            match CurrentMirror::design(&spec, &s.process) {
+            match CurrentMirror::design_with(&spec, &s.process, &s.ctx) {
                 Ok(m) => {
                     s.sink = Some(m);
                     StepOutcome::Done
@@ -421,6 +427,7 @@ fn build_plan() -> Plan<State> {
         .reads([
             "spec",
             "process",
+            "ctx",
             "alpha2",
             "gm2",
             "a2_target",
@@ -434,7 +441,20 @@ fn build_plan() -> Plan<State> {
             let spec = GainStageSpec::new(Polarity::Pmos, s.gm2, s.i2)
                 .with_length_um(s.l6_um)
                 .with_load_gds(1.0 / sink.rout());
-            match GainStage::design_style(&spec, &s.process, GainStageStyle::Simple) {
+            // The template pins the driver to the simple common-source
+            // style (the sink mirror carries the r_out budget), so this
+            // bypasses style selection but still records/memoizes through
+            // the context.
+            let key = CacheKey::new()
+                .tag("style", "simple")
+                .num("gm", s.gm2)
+                .num("ibias", s.i2)
+                .num("l_um", s.l6_um)
+                .num("load_gds", 1.0 / sink.rout());
+            let result = s.ctx.design_child("gain stage", Some(key), || {
+                GainStage::design_style(&spec, &s.process, GainStageStyle::Simple)
+            });
+            match result {
                 Ok(st) => {
                     s.driver = Some(st);
                     StepOutcome::Done
@@ -442,7 +462,7 @@ fn build_plan() -> Plan<State> {
                 Err(e) => StepOutcome::failed("stage2-design", e.to_string()),
             }
         })
-        .reads(["process", "gm2", "i2", "l6_um", "sink"])
+        .reads(["process", "ctx", "gm2", "i2", "l6_um", "sink"])
         .writes(["driver"])
         .emits(["stage2-design"])
         .step("dc-match", |s: &mut State| {
@@ -482,7 +502,7 @@ fn build_plan() -> Plan<State> {
                 unity_gain_freq: s.fu_achieved(),
                 phase_margin_deg: s.spec.phase_margin().degrees(),
             };
-            let comp = match Compensation::design(&comp_spec) {
+            let comp = match Compensation::design_with(&comp_spec, &s.ctx) {
                 Ok(c) => c,
                 Err(e) => return StepOutcome::failed("pm-short", e.to_string()),
             };
@@ -509,8 +529,8 @@ fn build_plan() -> Plan<State> {
             StepOutcome::Done
         })
         .reads([
-            "spec", "process", "gm1", "gm2", "cc", "i_tail", "pair", "load1", "driver", "sink",
-            "shifter",
+            "spec", "process", "ctx", "gm1", "gm2", "cc", "i_tail", "pair", "load1", "driver",
+            "sink", "shifter",
         ])
         .writes(["cc", "pm_net", "compensation"])
         .emits(["pm-short"])
@@ -771,20 +791,20 @@ fn build_plan() -> Plan<State> {
                 // output pole gm_ls/(Cc + C_gate2) must clear the
                 // crossover by ~10×, which sets the bias current.
                 let probe = LevelShiftSpec::new(Polarity::Pmos, needed, 1e-6);
-                let vov_ls = match LevelShifter::design(&probe, &s.process) {
+                let vov_ls = match LevelShifter::design_with(&probe, &s.process, &s.ctx) {
                     Ok(ls) => ls.vov(),
                     Err(e) => return PatchAction::Abort(format!("level shifter infeasible: {e}")),
                 };
                 let gm_req = 2.0 * std::f64::consts::PI * (10.0 * s.fu_achieved()) * (2.0 * s.cc);
                 s.i_ls = (gm_req * vov_ls / 2.0).max(s.i_tail / 2.0);
                 let ls_spec = LevelShiftSpec::new(Polarity::Pmos, needed, s.i_ls);
-                match LevelShifter::design(&ls_spec, &s.process) {
+                match LevelShifter::design_with(&ls_spec, &s.process, &s.ctx) {
                     Ok(ls) => {
                         s.shifter = Some(ls);
                         let bias_spec = MirrorSpec::new(Polarity::Pmos, s.i_ls)
                             .with_headroom(1.0)
                             .with_only_style(MirrorStyle::Simple);
-                        match CurrentMirror::design(&bias_spec, &s.process) {
+                        match CurrentMirror::design_with(&bias_spec, &s.process, &s.ctx) {
                             Ok(m) => s.shifter_bias = Some(m),
                             Err(e) => {
                                 return PatchAction::Abort(format!(
@@ -803,7 +823,9 @@ fn build_plan() -> Plan<State> {
         )
         .on_codes(["dc-mismatch"])
         .guarded()
-        .reads(["spec", "process", "load1", "gm1", "cc", "i_tail", "shifter"])
+        .reads([
+            "spec", "process", "ctx", "load1", "gm1", "cc", "i_tail", "shifter",
+        ])
         .writes(["shifter", "shifter_bias", "i_ls", "notes"])
         .retries()
         .aborts()
@@ -961,7 +983,8 @@ fn build_plan() -> Plan<State> {
 /// [`StyleError::Plan`] when the plan (after patching) cannot meet the
 /// specification; [`StyleError::Netlist`] for template assembly bugs.
 pub fn design_two_stage(spec: &OpAmpSpec, process: &Process) -> Result<OpAmpDesign, StyleError> {
-    design_two_stage_with(spec, process, &Telemetry::disabled())
+    let tel = Telemetry::disabled();
+    design_two_stage_with(spec, process, &tel)
 }
 
 /// [`design_two_stage`] with run telemetry recorded into `tel`.
@@ -974,41 +997,58 @@ pub fn design_two_stage_with(
     process: &Process,
     tel: &Telemetry,
 ) -> Result<OpAmpDesign, StyleError> {
-    let plan = build_plan();
-    let mut state = State::new(spec, process);
-    let trace = PlanExecutor::new().run_with(&plan, &mut state, tel)?;
-    let assembly = tel.span(|| "assemble-netlist".to_owned());
-    let circuit = emit(&state).map_err(|e| StyleError::Netlist(e.to_string()))?;
-    circuit
-        .validate()
-        .map_err(|e| StyleError::Netlist(e.to_string()))?;
-    drop(assembly);
+    run_style::<TwoStageDef>(spec, process, &DesignContext::new(tel))
+}
 
-    let w_min = process.min_width().micrometers();
-    let r_total = state.r_bias1 + state.r_bias2 + state.r_bias3;
-    let r_area = r_total / BIAS_SHEET_OHMS * w_min * w_min;
-    let mut area = state.pair.as_ref().expect("plan done").area()
-        + state.load1.as_ref().expect("plan done").area()
-        + state.tail.as_ref().expect("plan done").area()
-        + state.driver.as_ref().expect("plan done").area()
-        + state.sink.as_ref().expect("plan done").area()
-        + AreaEstimate::for_capacitor(state.cc, process)
-        + AreaEstimate::from_um2(r_area, 0.0);
-    if let Some(ls) = &state.shifter {
-        area = area + ls.area();
-    }
-    if let Some(lsb) = &state.shifter_bias {
-        area = area + lsb.area();
+/// The two-stage op amp's [`StyleDef`]: the plan above plus state
+/// construction. Everything else is the shared [`run_style`] engine.
+pub(super) struct TwoStageDef;
+
+impl StyleDef for TwoStageDef {
+    const STYLE: OpAmpStyle = OpAmpStyle::TwoStage;
+    type State<'a> = State<'a>;
+
+    fn build_plan<'a>() -> Plan<State<'a>> {
+        build_plan()
     }
 
-    Ok(OpAmpDesign {
-        style: OpAmpStyle::TwoStage,
-        circuit,
-        area,
-        predicted: state.predicted.expect("predict ran"),
-        trace,
-        notes: state.notes,
-    })
+    fn init<'a>(spec: &OpAmpSpec, process: &Process, ctx: DesignContext<'a>) -> State<'a> {
+        State::new(spec, process, ctx)
+    }
+}
+
+impl StyleState for State<'_> {
+    fn emit(&self) -> Result<Circuit, oasys_netlist::ValidateError> {
+        emit(self)
+    }
+
+    fn area(&self) -> AreaEstimate {
+        let w_min = self.process.min_width().micrometers();
+        let r_total = self.r_bias1 + self.r_bias2 + self.r_bias3;
+        let r_area = r_total / BIAS_SHEET_OHMS * w_min * w_min;
+        let mut area = self.pair.as_ref().expect("plan done").area()
+            + self.load1.as_ref().expect("plan done").area()
+            + self.tail.as_ref().expect("plan done").area()
+            + self.driver.as_ref().expect("plan done").area()
+            + self.sink.as_ref().expect("plan done").area()
+            + AreaEstimate::for_capacitor(self.cc, &self.process)
+            + AreaEstimate::from_um2(r_area, 0.0);
+        if let Some(ls) = &self.shifter {
+            area = area + ls.area();
+        }
+        if let Some(lsb) = &self.shifter_bias {
+            area = area + lsb.area();
+        }
+        area
+    }
+
+    fn predicted(&self) -> Predicted {
+        self.predicted.expect("predict ran")
+    }
+
+    fn take_notes(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.notes)
+    }
 }
 
 /// Assembles the two-stage netlist from the designed sub-blocks.

@@ -7,14 +7,76 @@
 //! level is … based on breadth-first search. All possible styles are
 //! designed and a selection among successful design styles is made based
 //! on comparison of final parameters such as estimated area."*
+//!
+//! The sweep itself lives in the generic engine
+//! ([`oasys_plan::design_candidates`]): the op-amp level is exposed as an
+//! [`OpAmpDesigner`] implementing [`oasys_plan::BlockDesigner`], the
+//! candidates run concurrently (one scoped thread per style by default),
+//! and repeated sub-block designs within a run are memoized through a
+//! shared [`MemoCache`]. Selection is deterministic regardless of the
+//! worker count: smallest estimated area wins, exact ties break by style
+//! name.
 
 use crate::spec::OpAmpSpec;
-use crate::styles::{design_style_with, OpAmpDesign, OpAmpStyle, StyleError};
-use oasys_plan::Trace;
+use crate::styles::{design_style_in, OpAmpDesign, OpAmpStyle, StyleError};
+use oasys_plan::{
+    design_candidates, BlockDesigner, DesignContext, MemoCache, SearchOptions, Trace,
+};
 use oasys_process::Process;
 use oasys_telemetry::Telemetry;
 use std::error::Error;
 use std::fmt;
+
+/// Environment variable consulted when [`SearchOptions::threads`] is
+/// unset: overrides the style-search worker count (`1` forces a fully
+/// sequential sweep). Non-numeric or zero values are ignored.
+pub const STYLE_THREADS_ENV: &str = "OASYS_STYLE_THREADS";
+
+/// The op-amp level as a reusable [`BlockDesigner`] — the root block of
+/// the paper's Figure 1 hierarchy. Its styles are the [`OpAmpStyle`]
+/// display names, its failures are [`StyleError`]s, and its area metric
+/// is the total estimated layout area the selector ranks on. Both the
+/// breadth-first selector here and the hierarchy layer drive op-amp
+/// synthesis through this designer.
+pub struct OpAmpDesigner<'a> {
+    process: &'a Process,
+}
+
+impl<'a> OpAmpDesigner<'a> {
+    /// A designer producing op amps on `process`.
+    #[must_use]
+    pub fn new(process: &'a Process) -> Self {
+        Self { process }
+    }
+}
+
+impl BlockDesigner for OpAmpDesigner<'_> {
+    type Spec = OpAmpSpec;
+    type Output = OpAmpDesign;
+    type Error = StyleError;
+
+    fn level(&self) -> &'static str {
+        "op amp"
+    }
+
+    fn styles(&self) -> Vec<String> {
+        OpAmpStyle::ALL.iter().map(ToString::to_string).collect()
+    }
+
+    fn design_style(
+        &self,
+        spec: &OpAmpSpec,
+        style: &str,
+        ctx: &DesignContext<'_>,
+    ) -> Result<OpAmpDesign, StyleError> {
+        let style = OpAmpStyle::from_name(style).expect("style names come from styles()");
+        design_style_in(style, spec, self.process, ctx)
+    }
+
+    fn area_um2(&self, output: &OpAmpDesign) -> f64 {
+        output.area().total_um2()
+    }
+}
 
 /// The outcome of attempting one design style.
 #[derive(Debug)]
@@ -177,9 +239,9 @@ pub fn synthesize(spec: &OpAmpSpec, process: &Process) -> Result<Synthesis, Synt
 
 /// [`synthesize`] with run telemetry recorded into `tel`.
 ///
-/// Opens a root `synthesize` span with one `style:<name>` child span per
-/// attempted style (annotated with the outcome), and maintains the
-/// `synth.styles_attempted` / `synth.styles_feasible` counters.
+/// Equivalent to [`synthesize_with_options`] with default
+/// [`SearchOptions`]: every style attempted, one worker thread per style
+/// (unless [`STYLE_THREADS_ENV`] overrides the count).
 ///
 /// # Errors
 ///
@@ -189,23 +251,61 @@ pub fn synthesize_with(
     process: &Process,
     tel: &Telemetry,
 ) -> Result<Synthesis, SynthesisError> {
+    synthesize_with_options(spec, process, &SearchOptions::new(), tel)
+}
+
+fn env_threads() -> Option<usize> {
+    std::env::var(STYLE_THREADS_ENV)
+        .ok()?
+        .trim()
+        .parse()
+        .ok()
+        .filter(|&n| n > 0)
+}
+
+/// The full-control entry point: breadth-first style search with an
+/// optional style filter and worker-thread cap ([`SearchOptions`]), with
+/// run telemetry recorded into `tel`.
+///
+/// Opens a root `synthesize` span; the engine adds one `style:<name>`
+/// child span per attempted style (annotated with the outcome) and
+/// `block:<level>` spans for every recursive sub-block invocation. The
+/// `synth.styles_attempted` / `synth.styles_feasible` counters are
+/// maintained here; `engine.cache_hits` counts sub-block designs served
+/// from the shared per-run [`MemoCache`].
+///
+/// The report — winner, areas, rejection reasons, telemetry — is
+/// identical whatever the thread count; exact area ties break by style
+/// name.
+///
+/// # Errors
+///
+/// Returns [`SynthesisError`] when no attempted style can meet the spec.
+/// When the style filter in `options` matches no known style, the error
+/// carries zero rejections — callers validating user input should check
+/// names against [`OpAmpStyle::from_name`] first.
+pub fn synthesize_with_options(
+    spec: &OpAmpSpec,
+    process: &Process,
+    options: &SearchOptions,
+    tel: &Telemetry,
+) -> Result<Synthesis, SynthesisError> {
     let root = tel.span(|| "synthesize".to_owned());
-    let outcomes: Vec<StyleOutcome> = OpAmpStyle::ALL
-        .iter()
-        .map(|&style| {
-            let span = tel.span(|| format!("style:{style}"));
+    let mut opts = options.clone();
+    if opts.threads().is_none() {
+        if let Some(threads) = env_threads() {
+            opts = opts.with_threads(threads);
+        }
+    }
+    let designer = OpAmpDesigner::new(process);
+    let cache = MemoCache::new();
+    let outcomes: Vec<StyleOutcome> = design_candidates(&designer, spec, &opts, tel, &cache)
+        .into_iter()
+        .map(|(name, result)| {
+            let style = OpAmpStyle::from_name(&name).expect("engine preserves style names");
             tel.incr("synth.styles_attempted");
-            let result = design_style_with(style, spec, process, tel);
-            match &result {
-                Ok(design) => {
-                    tel.incr("synth.styles_feasible");
-                    span.annotate("outcome", || "feasible".to_owned());
-                    span.annotate("area_um2", || format!("{:.1}", design.area().total_um2()));
-                }
-                Err(e) => {
-                    span.annotate("outcome", || "rejected".to_owned());
-                    span.annotate("reason", || e.reason());
-                }
+            if result.is_ok() {
+                tel.incr("synth.styles_feasible");
             }
             StyleOutcome { style, result }
         })
@@ -214,9 +314,16 @@ pub fn synthesize_with(
     let selected = outcomes
         .iter()
         .enumerate()
-        .filter_map(|(idx, o)| o.design().map(|d| (idx, d.area().total_um2())))
-        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("areas are finite"))
-        .map(|(idx, _)| idx);
+        .filter_map(|(idx, o)| {
+            o.design()
+                .map(|d| (idx, d.area().total_um2(), o.style().to_string()))
+        })
+        .min_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .expect("areas are finite")
+                .then_with(|| a.2.cmp(&b.2))
+        })
+        .map(|(idx, _, _)| idx);
 
     match selected {
         Some(selected) => {
@@ -321,5 +428,72 @@ mod tests {
         let result = synthesize(&test_cases::spec_a(), &builtin::cmos_5um()).unwrap();
         let text = result.to_string();
         assert!(text.contains('→'));
+    }
+
+    #[test]
+    fn style_filter_restricts_the_sweep() {
+        let tel = Telemetry::new();
+        let options = SearchOptions::new().with_styles(["two-stage"]);
+        let result =
+            synthesize_with_options(&test_cases::spec_a(), &builtin::cmos_5um(), &options, &tel)
+                .unwrap();
+        assert_eq!(result.outcomes().len(), 1);
+        assert_eq!(result.selected().style(), OpAmpStyle::TwoStage);
+        assert_eq!(tel.counter("synth.styles_attempted"), 1);
+    }
+
+    #[test]
+    fn unknown_style_filter_yields_empty_rejections() {
+        let options = SearchOptions::new().with_styles(["no-such-style"]);
+        let err = synthesize_with_options(
+            &test_cases::spec_a(),
+            &builtin::cmos_5um(),
+            &options,
+            &Telemetry::disabled(),
+        )
+        .unwrap_err();
+        assert!(err.rejections().is_empty());
+    }
+
+    /// The search must be deterministic in the strongest sense: not just
+    /// the same winner, but a byte-identical telemetry report whether the
+    /// sweep runs sequentially or with one worker per style.
+    #[test]
+    fn winner_and_report_identical_across_thread_counts() {
+        use oasys_telemetry::ManualClock;
+        use std::rc::Rc;
+        let run = |threads: usize| {
+            let tel = Telemetry::with_clock(Rc::new(ManualClock::new()));
+            let options = SearchOptions::new().with_threads(threads);
+            let result = synthesize_with_options(
+                &test_cases::spec_a(),
+                &builtin::cmos_5um(),
+                &options,
+                &tel,
+            )
+            .unwrap();
+            assert_eq!(result.selected().style(), OpAmpStyle::OneStageOta);
+            tel.report().render_jsonl()
+        };
+        assert_eq!(run(1), run(OpAmpStyle::ALL.len()));
+    }
+
+    #[test]
+    fn repeated_subblock_designs_hit_the_memo_cache() {
+        let tel = Telemetry::new();
+        // Case A's plans re-run sub-block steps after patch-rule restarts
+        // whose knob changes leave some block inputs untouched; those
+        // repeat designs must come from the shared cache.
+        synthesize_with_options(
+            &test_cases::spec_a(),
+            &builtin::cmos_5um(),
+            &SearchOptions::new(),
+            &tel,
+        )
+        .unwrap();
+        assert!(
+            tel.counter("engine.cache_hits") > 0,
+            "restarted plans should reuse memoized sub-block designs"
+        );
     }
 }

@@ -1,0 +1,1045 @@
+//! The generic block-designer engine.
+//!
+//! The paper's synthesis process is the same at every level of the
+//! hierarchy: a block declares its *style* alternatives, designs each
+//! candidate breadth-first, selects the feasible one with the smallest
+//! estimated area, and — when every style fails — propagates a
+//! structured, per-style failure report up to its parent so the parent's
+//! patch rules can fire on the child's failure (Section 4.2's mirror is
+//! the worked example: *"simple vs cascode, smaller area wins"*).
+//!
+//! [`BlockDesigner`] captures that contract once. Leaf blocks (mirror,
+//! gain stage…) implement it over closed-form sizing; the op-amp level
+//! implements it over stored translation plans. [`DesignContext`] threads
+//! the cross-cutting machinery through recursive invocations: telemetry
+//! spans (`block:<level>` children under the invoking `style:<name>`
+//! span), and a per-(process, sub-spec) [`MemoCache`] so plan restarts
+//! that re-derive an unchanged sub-block reuse the earlier design.
+//!
+//! [`design_candidates`] is the breadth-first search itself, optionally
+//! fanned out across `std::thread::scope` workers. Determinism contract:
+//! results are produced (and worker telemetry absorbed) in style
+//! declaration order, ties in the area comparison break by style name,
+//! and cache keys are scoped per candidate style — so the winner, the
+//! rejection table, and a manually-clocked telemetry report are all
+//! byte-identical regardless of thread count.
+
+use oasys_telemetry::{RunReport, Telemetry, TelemetrySeed};
+use std::any::Any;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A block level that can design itself in one or more styles.
+///
+/// Implementations provide per-style design (`design_style`) and an area
+/// estimate; the engine provides breadth-first selection ([`design`])
+/// and the parallel candidate sweep ([`design_candidates`]).
+pub trait BlockDesigner {
+    /// The incoming specification this level translates.
+    type Spec;
+    /// A completed, sized design.
+    type Output;
+    /// Why one style could not meet the spec.
+    type Error: fmt::Display;
+
+    /// The level name, e.g. `"mirror"` or `"op amp"` — used in failure
+    /// reports, telemetry span names, and cache keys.
+    fn level(&self) -> &'static str;
+
+    /// Style alternatives in declaration (trial) order.
+    fn styles(&self) -> Vec<String>;
+
+    /// Whether a style may be attempted for this spec (e.g. the caller
+    /// restricted the mirror to one style). Defaults to `true`.
+    fn allowed(&self, _spec: &Self::Spec, _style: &str) -> bool {
+        true
+    }
+
+    /// Designs one style. Only called with names from [`styles`]
+    /// (filtered through [`allowed`]).
+    ///
+    /// # Errors
+    ///
+    /// The style's rejection reason; the engine aggregates these into a
+    /// [`SelectionFailure`] when no style succeeds.
+    ///
+    /// [`styles`]: BlockDesigner::styles
+    /// [`allowed`]: BlockDesigner::allowed
+    fn design_style(
+        &self,
+        spec: &Self::Spec,
+        style: &str,
+        ctx: &DesignContext<'_>,
+    ) -> Result<Self::Output, Self::Error>;
+
+    /// Estimated layout area of a completed design, µm² — the paper's
+    /// selection criterion.
+    fn area_um2(&self, output: &Self::Output) -> f64;
+
+    /// Breadth-first selection: designs every allowed style and keeps
+    /// the smallest-area success, breaking exact area ties by style name
+    /// so selection is deterministic under any execution order.
+    ///
+    /// # Errors
+    ///
+    /// [`SelectionFailure`] carrying every attempted style's rejection,
+    /// in trial order, when no style succeeds.
+    fn design(
+        &self,
+        spec: &Self::Spec,
+        ctx: &DesignContext<'_>,
+    ) -> Result<Selected<Self::Output>, SelectionFailure<Self::Error>> {
+        let mut best: Option<Selected<Self::Output>> = None;
+        let mut rejections = Vec::new();
+        for style in self.styles() {
+            if !self.allowed(spec, &style) {
+                continue;
+            }
+            match self.design_style(spec, &style, ctx) {
+                Ok(output) => {
+                    let area_um2 = self.area_um2(&output);
+                    let wins = best.as_ref().is_none_or(|b| {
+                        area_um2 < b.area_um2
+                            || (area_um2 == b.area_um2 && style.as_str() < b.style.as_str())
+                    });
+                    if wins {
+                        best = Some(Selected {
+                            style,
+                            area_um2,
+                            output,
+                        });
+                    }
+                }
+                Err(error) => rejections.push(StyleRejection { style, error }),
+            }
+        }
+        best.ok_or(SelectionFailure {
+            level: self.level(),
+            rejections,
+        })
+    }
+}
+
+/// A winning design plus how it won.
+#[derive(Clone, Debug)]
+pub struct Selected<T> {
+    style: String,
+    area_um2: f64,
+    output: T,
+}
+
+impl<T> Selected<T> {
+    /// The winning style's name.
+    #[must_use]
+    pub fn style(&self) -> &str {
+        &self.style
+    }
+
+    /// The winning design's estimated area, µm².
+    #[must_use]
+    pub fn area_um2(&self) -> f64 {
+        self.area_um2
+    }
+
+    /// The winning design.
+    #[must_use]
+    pub fn output(&self) -> &T {
+        &self.output
+    }
+
+    /// Consumes the selection, returning the design.
+    #[must_use]
+    pub fn into_output(self) -> T {
+        self.output
+    }
+}
+
+/// One style's rejection inside a [`SelectionFailure`].
+#[derive(Clone, Debug)]
+pub struct StyleRejection<E> {
+    style: String,
+    error: E,
+}
+
+impl<E> StyleRejection<E> {
+    /// The rejected style's name.
+    #[must_use]
+    pub fn style(&self) -> &str {
+        &self.style
+    }
+
+    /// The style's own error.
+    #[must_use]
+    pub fn error(&self) -> &E {
+        &self.error
+    }
+
+    /// Consumes the rejection, returning the style's own error.
+    #[must_use]
+    pub fn into_error(self) -> E {
+        self.error
+    }
+}
+
+/// The structured failure a block propagates to its parent when no style
+/// fits: every attempted style's rejection, in trial order, so the
+/// parent's patch rules (and the user's rejection table) see *why* each
+/// alternative was ruled out rather than a flattened string.
+#[derive(Clone, Debug)]
+pub struct SelectionFailure<E> {
+    level: &'static str,
+    rejections: Vec<StyleRejection<E>>,
+}
+
+impl<E> SelectionFailure<E> {
+    /// The failing block level.
+    #[must_use]
+    pub fn level(&self) -> &'static str {
+        self.level
+    }
+
+    /// Per-style rejections in trial order (empty when every style was
+    /// filtered out before being attempted).
+    #[must_use]
+    pub fn rejections(&self) -> &[StyleRejection<E>] {
+        &self.rejections
+    }
+
+    /// Consumes the failure, returning the rejections.
+    #[must_use]
+    pub fn into_rejections(self) -> Vec<StyleRejection<E>> {
+        self.rejections
+    }
+
+    /// The rejections as a `"style: reason; style: reason"` summary line.
+    #[must_use]
+    pub fn reasons(&self) -> String
+    where
+        E: fmt::Display,
+    {
+        self.rejections
+            .iter()
+            .map(|r| format!("{}: {}", r.style, r.error))
+            .collect::<Vec<_>>()
+            .join("; ")
+    }
+}
+
+impl<E: fmt::Display> fmt::Display for SelectionFailure<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: no style fits: {}", self.level, self.reasons())
+    }
+}
+
+impl<E: fmt::Display + fmt::Debug> Error for SelectionFailure<E> {}
+
+/// Cross-cutting context threaded through recursive designer
+/// invocations: the telemetry handle, the memo cache, and the scope
+/// (owning style) that namespaces cache keys.
+#[derive(Clone)]
+pub struct DesignContext<'a> {
+    tel: &'a Telemetry,
+    cache: Option<&'a MemoCache>,
+    scope: String,
+}
+
+impl fmt::Debug for DesignContext<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DesignContext")
+            .field("scope", &self.scope)
+            .field("cached", &self.cache.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> DesignContext<'a> {
+    /// A context recording into `tel`, with no cache and no scope.
+    #[must_use]
+    pub fn new(tel: &'a Telemetry) -> Self {
+        Self {
+            tel,
+            cache: None,
+            scope: String::new(),
+        }
+    }
+
+    /// Attaches a memo cache for [`DesignContext::design_child`].
+    #[must_use]
+    pub fn with_cache(mut self, cache: &'a MemoCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Sets the scope (normally the invoking style's name). Cache keys
+    /// are prefixed with it, so concurrent styles never share entries —
+    /// hits only come from deterministic within-style rework (plan
+    /// restarts re-deriving an unchanged sub-block).
+    #[must_use]
+    pub fn with_scope(mut self, scope: impl Into<String>) -> Self {
+        self.scope = scope.into();
+        self
+    }
+
+    /// The telemetry handle (for plan executors and ad-hoc spans).
+    #[must_use]
+    pub fn telemetry(&self) -> &'a Telemetry {
+        self.tel
+    }
+
+    /// The cache-key scope.
+    #[must_use]
+    pub fn scope(&self) -> &str {
+        &self.scope
+    }
+
+    /// Invokes a child designer: opens a `block:<level>` span under the
+    /// current one, consults the memo cache when `key` is given (serving
+    /// a clone and counting `engine.cache_hits` on a hit), and caches
+    /// successful results. Failures are never cached — a parent patch
+    /// rule may change the sub-spec and retry.
+    ///
+    /// # Errors
+    ///
+    /// Whatever `f` returns; the error passes through untouched.
+    pub fn design_child<T, E, F>(&self, level: &str, key: Option<CacheKey>, f: F) -> Result<T, E>
+    where
+        T: Clone + Send + Sync + 'static,
+        F: FnOnce() -> Result<T, E>,
+    {
+        let span = self.tel.span(|| format!("block:{level}"));
+        let full_key = key.map(|k| {
+            if self.scope.is_empty() {
+                format!("{level}:{}", k.finish())
+            } else {
+                format!("{}/{level}:{}", self.scope, k.finish())
+            }
+        });
+        if let (Some(cache), Some(full)) = (self.cache, full_key.as_deref()) {
+            if let Some(hit) = cache.get::<T>(full) {
+                self.tel.incr("engine.cache_hits");
+                span.annotate("cache", || "hit".to_owned());
+                return Ok(hit);
+            }
+        }
+        let result = f();
+        match &result {
+            Ok(value) => {
+                if let (Some(cache), Some(full)) = (self.cache, full_key) {
+                    cache.put(full, value.clone());
+                }
+                span.annotate("outcome", || "designed".to_owned());
+            }
+            Err(_) => span.annotate("outcome", || "failed".to_owned()),
+        }
+        result
+    }
+}
+
+/// A memoization cache for sub-block designs, shared across the style
+/// workers of one synthesis run (the process is fixed per run, so keys
+/// only need to cover the sub-spec).
+///
+/// Entries are type-erased; [`MemoCache::get`] returns a clone only when
+/// both the key and the concrete type match.
+#[derive(Default)]
+pub struct MemoCache {
+    entries: Mutex<HashMap<String, Arc<dyn Any + Send + Sync>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl fmt::Debug for MemoCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MemoCache")
+            .field("entries", &self.len())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
+
+impl MemoCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up a cached design, cloning it out on a hit.
+    #[must_use]
+    pub fn get<T: Clone + Send + Sync + 'static>(&self, key: &str) -> Option<T> {
+        let entries = self.entries.lock().expect("cache lock poisoned");
+        match entries.get(key).and_then(|e| e.downcast_ref::<T>()) {
+            Some(value) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(value.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores a design under `key`, replacing any earlier entry.
+    pub fn put<T: Send + Sync + 'static>(&self, key: String, value: T) {
+        self.entries
+            .lock()
+            .expect("cache lock poisoned")
+            .insert(key, Arc::new(value));
+    }
+
+    /// Lookups that found a matching entry.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that found nothing (or a type mismatch).
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of cached designs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("cache lock poisoned").len()
+    }
+
+    /// `true` when nothing is cached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Builds a cache key from a sub-specification, field by field.
+///
+/// Floats are fingerprinted via [`f64::to_bits`], so two specs collide
+/// only when every field is bit-identical — the cache can never serve a
+/// design for a merely *similar* spec.
+#[derive(Clone, Debug, Default)]
+pub struct CacheKey {
+    parts: String,
+}
+
+impl CacheKey {
+    /// An empty key.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a named `f64` field, fingerprinted bit-exactly.
+    #[must_use]
+    pub fn num(mut self, name: &str, value: f64) -> Self {
+        let _ = write!(self.parts, "{name}={:016x};", value.to_bits());
+        self
+    }
+
+    /// Appends a named discrete field (polarity, style, flag…).
+    #[must_use]
+    pub fn tag(mut self, name: &str, value: impl fmt::Display) -> Self {
+        let _ = write!(self.parts, "{name}={value};");
+        self
+    }
+
+    /// The finished key text.
+    #[must_use]
+    pub fn finish(self) -> String {
+        self.parts
+    }
+}
+
+/// How [`design_candidates`] runs the candidate sweep.
+#[derive(Clone, Debug, Default)]
+pub struct SearchOptions {
+    styles: Option<Vec<String>>,
+    threads: Option<usize>,
+}
+
+impl SearchOptions {
+    /// Defaults: every declared style, with one worker per style up to
+    /// the host's available parallelism.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Restricts the sweep to the named styles (names not declared by
+    /// the designer are ignored; declaration order is preserved).
+    #[must_use]
+    pub fn with_styles<I, S>(mut self, styles: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.styles = Some(styles.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Caps the worker-thread count (`1` forces a fully sequential
+    /// in-thread sweep; values above the candidate count are clamped).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// The style filter, if any.
+    #[must_use]
+    pub fn styles(&self) -> Option<&[String]> {
+        self.styles.as_deref()
+    }
+
+    /// The thread cap, if any.
+    #[must_use]
+    pub fn threads(&self) -> Option<usize> {
+        self.threads
+    }
+}
+
+/// The host's available parallelism, probed once — `available_parallelism`
+/// re-reads cgroup limits on every call, which costs tens of microseconds
+/// in containers, comparable to a whole block design.
+fn host_parallelism() -> usize {
+    static HOST: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *HOST
+        .get_or_init(|| std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get))
+}
+
+/// Designs one candidate style under its own `style:<name>` span,
+/// annotated with the outcome the way the selector reports it.
+fn attempt<D: BlockDesigner>(
+    designer: &D,
+    spec: &D::Spec,
+    style: &str,
+    tel: &Telemetry,
+    cache: &MemoCache,
+) -> Result<D::Output, D::Error> {
+    let span = tel.span(|| format!("style:{style}"));
+    let ctx = DesignContext::new(tel).with_cache(cache).with_scope(style);
+    let result = designer.design_style(spec, style, &ctx);
+    match &result {
+        Ok(output) => {
+            span.annotate("outcome", || "feasible".to_owned());
+            span.annotate("area_um2", || format!("{:.1}", designer.area_um2(output)));
+        }
+        Err(e) => {
+            span.annotate("outcome", || "rejected".to_owned());
+            span.annotate("reason", || e.to_string());
+        }
+    }
+    result
+}
+
+/// Every attempted style's result, in declaration order — the return
+/// shape of [`design_candidates`].
+pub type CandidateResults<O, E> = Vec<(String, Result<O, E>)>;
+
+/// Runs the breadth-first candidate sweep for one block level,
+/// returning every attempted style's result in declaration order.
+///
+/// With more than one worker thread the candidates run concurrently
+/// under [`std::thread::scope`]; each worker records into a
+/// [`Telemetry`] forked from `tel` (same epoch, or frozen under a
+/// manual clock), and the recordings are absorbed back in declaration
+/// order — so the report is identical to a sequential sweep's up to
+/// wall-clock timestamps, and *byte-identical* under a manual clock.
+///
+/// The caller picks the winner (smallest area, ties by style name) from
+/// the returned results; see [`BlockDesigner::design`] for the
+/// single-threaded convenience that does both at once.
+pub fn design_candidates<D>(
+    designer: &D,
+    spec: &D::Spec,
+    opts: &SearchOptions,
+    tel: &Telemetry,
+    cache: &MemoCache,
+) -> CandidateResults<D::Output, D::Error>
+where
+    D: BlockDesigner + Sync,
+    D::Spec: Sync,
+    D::Output: Send,
+    D::Error: Send,
+{
+    let styles: Vec<String> = designer
+        .styles()
+        .into_iter()
+        .filter(|s| {
+            opts.styles()
+                .is_none_or(|wanted| wanted.iter().any(|w| w == s))
+        })
+        .filter(|s| designer.allowed(spec, s))
+        .collect();
+    if styles.is_empty() {
+        return Vec::new();
+    }
+    // Default worker count: one per candidate, but never more than the
+    // host offers — on a single-core machine the sweep degenerates to
+    // the sequential path instead of paying spawn overhead for nothing.
+    let threads = opts
+        .threads
+        .unwrap_or_else(host_parallelism)
+        .clamp(1, styles.len());
+
+    if threads == 1 {
+        return styles
+            .into_iter()
+            .map(|style| {
+                let result = attempt(designer, spec, &style, tel, cache);
+                (style, result)
+            })
+            .collect();
+    }
+
+    // One queued candidate: declaration index, style name, and the
+    // forked telemetry seed its worker will record into.
+    type Queued = (usize, String, Option<TelemetrySeed>);
+    // One finished candidate: the style result plus the worker's
+    // telemetry recording, awaiting in-order absorption.
+    type Finished<O, E> = (Result<O, E>, RunReport);
+
+    // Round-robin the candidates over the workers; each worker records
+    // into its own forked Telemetry so the parent handle (which is not
+    // Sync) never crosses a thread boundary. The calling thread runs
+    // the first chunk itself, so a sweep with N workers pays for only
+    // N-1 thread spawns.
+    let mut chunks: Vec<Vec<Queued>> = (0..threads).map(|_| Vec::new()).collect();
+    for (idx, style) in styles.iter().enumerate() {
+        chunks[idx % threads].push((idx, style.clone(), tel.fork_seed()));
+    }
+    let local_chunk = chunks.remove(0);
+    let run_chunk = |chunk: Vec<Queued>| {
+        chunk
+            .into_iter()
+            .map(|(idx, style, seed)| {
+                let wtel = TelemetrySeed::build_optional(seed);
+                let result = attempt(designer, spec, &style, &wtel, cache);
+                (idx, result, wtel.report())
+            })
+            .collect::<Vec<_>>()
+    };
+
+    let mut slots: Vec<Option<Finished<D::Output, D::Error>>> = Vec::new();
+    slots.resize_with(styles.len(), || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(|| run_chunk(chunk)))
+            .collect();
+        for (idx, result, report) in run_chunk(local_chunk) {
+            slots[idx] = Some((result, report));
+        }
+        for handle in handles {
+            for (idx, result, report) in handle.join().expect("style worker panicked") {
+                slots[idx] = Some((result, report));
+            }
+        }
+    });
+
+    // Absorb worker recordings in declaration order: span/event layout
+    // (and therefore every export) matches the sequential sweep.
+    styles
+        .into_iter()
+        .zip(slots)
+        .map(|(style, slot)| {
+            let (result, report) = slot.expect("every candidate ran");
+            tel.absorb_report(&report);
+            (style, result)
+        })
+        .collect()
+}
+
+/// What one registered designer offers: its level name and its style
+/// alternatives. The registry is the link between the paper's Figure 1
+/// hierarchy blocks and the designers that can realize them.
+#[derive(Clone, Debug)]
+pub struct DesignerDescriptor {
+    level: &'static str,
+    styles: Vec<&'static str>,
+}
+
+impl DesignerDescriptor {
+    /// A descriptor for `level` with its style alternatives.
+    #[must_use]
+    pub fn new(level: &'static str, styles: impl IntoIterator<Item = &'static str>) -> Self {
+        Self {
+            level,
+            styles: styles.into_iter().collect(),
+        }
+    }
+
+    /// The block-level name.
+    #[must_use]
+    pub fn level(&self) -> &'static str {
+        self.level
+    }
+
+    /// The style alternatives, in trial order.
+    #[must_use]
+    pub fn styles(&self) -> &[&'static str] {
+        &self.styles
+    }
+}
+
+/// The catalog of registered block designers, keyed by level name.
+#[derive(Clone, Debug, Default)]
+pub struct DesignerRegistry {
+    descriptors: Vec<DesignerDescriptor>,
+}
+
+impl DesignerRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a descriptor (last registration wins on lookup only if
+    /// levels are unique; duplicates are a caller bug and panic).
+    ///
+    /// # Panics
+    ///
+    /// When `descriptor.level()` is already registered.
+    pub fn register(&mut self, descriptor: DesignerDescriptor) {
+        assert!(
+            self.get(descriptor.level()).is_none(),
+            "designer level {:?} registered twice",
+            descriptor.level()
+        );
+        self.descriptors.push(descriptor);
+    }
+
+    /// Looks a designer up by level name.
+    #[must_use]
+    pub fn get(&self, level: &str) -> Option<&DesignerDescriptor> {
+        self.descriptors.iter().find(|d| d.level == level)
+    }
+
+    /// Every registered descriptor, in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &DesignerDescriptor> {
+        self.descriptors.iter()
+    }
+
+    /// Registered level names, in registration order.
+    pub fn levels(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.descriptors.iter().map(|d| d.level)
+    }
+
+    /// Number of registered designers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.descriptors.len()
+    }
+
+    /// `true` when nothing is registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.descriptors.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    /// A toy two-style designer: "big" always fits at 100 µm²; "small"
+    /// fits only when the spec allows it, at the spec's area.
+    struct Toy {
+        runs: AtomicUsize,
+    }
+
+    #[derive(Clone, Copy)]
+    struct ToySpec {
+        small_feasible: bool,
+        small_area: f64,
+    }
+
+    impl Toy {
+        fn new() -> Self {
+            Self {
+                runs: AtomicUsize::new(0),
+            }
+        }
+    }
+
+    impl BlockDesigner for Toy {
+        type Spec = ToySpec;
+        type Output = f64;
+        type Error = String;
+
+        fn level(&self) -> &'static str {
+            "toy"
+        }
+
+        fn styles(&self) -> Vec<String> {
+            vec!["big".into(), "small".into()]
+        }
+
+        fn design_style(
+            &self,
+            spec: &ToySpec,
+            style: &str,
+            _ctx: &DesignContext<'_>,
+        ) -> Result<f64, String> {
+            self.runs.fetch_add(1, Ordering::SeqCst);
+            match style {
+                "big" => Ok(100.0),
+                "small" if spec.small_feasible => Ok(spec.small_area),
+                "small" => Err("toy: specification infeasible: too small".to_owned()),
+                other => panic!("unknown style {other}"),
+            }
+        }
+
+        fn area_um2(&self, output: &f64) -> f64 {
+            *output
+        }
+    }
+
+    fn ctx(tel: &Telemetry) -> DesignContext<'_> {
+        DesignContext::new(tel)
+    }
+
+    #[test]
+    fn selects_smallest_area() {
+        let tel = Telemetry::disabled();
+        let spec = ToySpec {
+            small_feasible: true,
+            small_area: 10.0,
+        };
+        let sel = Toy::new().design(&spec, &ctx(&tel)).unwrap();
+        assert_eq!(sel.style(), "small");
+        assert_eq!(sel.area_um2(), 10.0);
+        assert_eq!(*sel.output(), 10.0);
+    }
+
+    #[test]
+    fn area_ties_break_by_style_name() {
+        let tel = Telemetry::disabled();
+        let spec = ToySpec {
+            small_feasible: true,
+            small_area: 100.0, // exact tie with "big"
+        };
+        let sel = Toy::new().design(&spec, &ctx(&tel)).unwrap();
+        assert_eq!(sel.style(), "big", "tie must break lexicographically");
+    }
+
+    #[test]
+    fn failure_aggregates_per_style_reasons() {
+        struct Hopeless;
+        impl BlockDesigner for Hopeless {
+            type Spec = ();
+            type Output = f64;
+            type Error = String;
+            fn level(&self) -> &'static str {
+                "mirror"
+            }
+            fn styles(&self) -> Vec<String> {
+                vec!["simple".into(), "cascode".into()]
+            }
+            fn design_style(
+                &self,
+                _spec: &(),
+                style: &str,
+                _ctx: &DesignContext<'_>,
+            ) -> Result<f64, String> {
+                Err(format!("{style} broke"))
+            }
+            fn area_um2(&self, output: &f64) -> f64 {
+                *output
+            }
+        }
+        let tel = Telemetry::disabled();
+        let err = Hopeless.design(&(), &ctx(&tel)).unwrap_err();
+        assert_eq!(err.level(), "mirror");
+        assert_eq!(err.rejections().len(), 2);
+        assert_eq!(err.rejections()[0].style(), "simple");
+        assert_eq!(
+            err.reasons(),
+            "simple: simple broke; cascode: cascode broke"
+        );
+        assert_eq!(
+            err.to_string(),
+            "mirror: no style fits: simple: simple broke; cascode: cascode broke"
+        );
+    }
+
+    #[test]
+    fn disallowed_styles_are_skipped_silently() {
+        struct Picky;
+        impl BlockDesigner for Picky {
+            type Spec = ();
+            type Output = f64;
+            type Error = String;
+            fn level(&self) -> &'static str {
+                "picky"
+            }
+            fn styles(&self) -> Vec<String> {
+                vec!["a".into(), "b".into()]
+            }
+            fn allowed(&self, _spec: &(), style: &str) -> bool {
+                style == "b"
+            }
+            fn design_style(
+                &self,
+                _spec: &(),
+                style: &str,
+                _ctx: &DesignContext<'_>,
+            ) -> Result<f64, String> {
+                assert_eq!(style, "b", "style a was filtered out");
+                Ok(1.0)
+            }
+            fn area_um2(&self, output: &f64) -> f64 {
+                *output
+            }
+        }
+        let tel = Telemetry::disabled();
+        let sel = Picky.design(&(), &ctx(&tel)).unwrap();
+        assert_eq!(sel.style(), "b");
+    }
+
+    #[test]
+    fn design_child_caches_successes_per_scope() {
+        let tel = Telemetry::new();
+        let cache = MemoCache::new();
+        let calls = AtomicUsize::new(0);
+        let key = || Some(CacheKey::new().num("i", 1e-6).tag("pol", "nmos"));
+        let run = |ctx: &DesignContext<'_>| {
+            ctx.design_child("mirror", key(), || {
+                calls.fetch_add(1, Ordering::SeqCst);
+                Ok::<f64, String>(42.0)
+            })
+        };
+
+        let a = DesignContext::new(&tel)
+            .with_cache(&cache)
+            .with_scope("one-stage");
+        assert_eq!(run(&a).unwrap(), 42.0);
+        assert_eq!(run(&a).unwrap(), 42.0, "second call served from cache");
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(tel.counter("engine.cache_hits"), 1);
+
+        // A different scope must not share the entry.
+        let b = DesignContext::new(&tel)
+            .with_cache(&cache)
+            .with_scope("two-stage");
+        assert_eq!(run(&b).unwrap(), 42.0);
+        assert_eq!(calls.load(Ordering::SeqCst), 2, "scopes are isolated");
+        assert_eq!(cache.len(), 2);
+
+        // Spans: one block:mirror per invocation.
+        let report = tel.report();
+        let blocks = report
+            .spans()
+            .iter()
+            .filter(|s| s.name == "block:mirror")
+            .count();
+        assert_eq!(blocks, 3);
+    }
+
+    #[test]
+    fn design_child_never_caches_failures() {
+        let tel = Telemetry::disabled();
+        let cache = MemoCache::new();
+        let calls = AtomicUsize::new(0);
+        let ctx = DesignContext::new(&tel).with_cache(&cache).with_scope("s");
+        for _ in 0..2 {
+            let r: Result<f64, String> =
+                ctx.design_child("bias", Some(CacheKey::new().num("i", 1.0)), || {
+                    calls.fetch_add(1, Ordering::SeqCst);
+                    Err("infeasible".to_owned())
+                });
+            assert!(r.is_err());
+        }
+        assert_eq!(calls.load(Ordering::SeqCst), 2, "failures re-run");
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn cache_keys_fingerprint_floats_bit_exactly() {
+        let a = CacheKey::new().num("i", 1.0).finish();
+        let b = CacheKey::new().num("i", 1.0 + f64::EPSILON).finish();
+        assert_ne!(a, b, "one-ulp changes must miss");
+        assert_eq!(a, CacheKey::new().num("i", 1.0).finish());
+    }
+
+    #[test]
+    fn candidates_identical_across_thread_counts() {
+        let spec = ToySpec {
+            small_feasible: false,
+            small_area: 0.0,
+        };
+        let run = |threads: usize| {
+            let tel = Telemetry::new();
+            let cache = MemoCache::new();
+            let toy = Toy::new();
+            let opts = SearchOptions::new().with_threads(threads);
+            let results = design_candidates(&toy, &spec, &opts, &tel, &cache);
+            let names: Vec<String> = results.iter().map(|(s, _)| s.clone()).collect();
+            let outcomes: Vec<Result<f64, String>> = results.into_iter().map(|(_, r)| r).collect();
+            let spans: Vec<String> = tel
+                .report()
+                .spans()
+                .iter()
+                .map(|s| s.name.clone())
+                .collect();
+            (names, outcomes, spans)
+        };
+        let sequential = run(1);
+        let parallel = run(2);
+        assert_eq!(sequential, parallel);
+        assert_eq!(sequential.0, vec!["big", "small"]);
+        assert!(sequential.1[0].is_ok());
+        assert!(sequential.1[1].is_err());
+        assert_eq!(sequential.2, vec!["style:big", "style:small"]);
+    }
+
+    #[test]
+    fn candidates_respect_the_style_filter() {
+        let tel = Telemetry::disabled();
+        let cache = MemoCache::new();
+        let toy = Toy::new();
+        let spec = ToySpec {
+            small_feasible: true,
+            small_area: 1.0,
+        };
+        let opts = SearchOptions::new().with_styles(["small", "nonexistent"]);
+        let results = design_candidates(&toy, &spec, &opts, &tel, &cache);
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].0, "small");
+        assert_eq!(toy.runs.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn registry_links_levels_to_styles() {
+        let mut reg = DesignerRegistry::new();
+        reg.register(DesignerDescriptor::new(
+            "mirror",
+            ["simple", "cascode", "wide-swing"],
+        ));
+        reg.register(DesignerDescriptor::new("diff pair", ["nmos pair"]));
+        assert_eq!(reg.len(), 2);
+        assert!(!reg.is_empty());
+        let mirror = reg.get("mirror").unwrap();
+        assert_eq!(mirror.styles(), ["simple", "cascode", "wide-swing"]);
+        assert!(reg.get("op amp").is_none());
+        let levels: Vec<_> = reg.levels().collect();
+        assert_eq!(levels, ["mirror", "diff pair"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn registry_rejects_duplicate_levels() {
+        let mut reg = DesignerRegistry::new();
+        reg.register(DesignerDescriptor::new("mirror", ["simple"]));
+        reg.register(DesignerDescriptor::new("mirror", ["cascode"]));
+    }
+}

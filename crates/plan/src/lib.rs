@@ -52,12 +52,18 @@
 //! ```
 
 pub mod analyze;
+pub mod engine;
 mod error;
 mod executor;
 mod plan;
 mod trace;
 
 pub use analyze::analyze;
+pub use engine::{
+    design_candidates, BlockDesigner, CacheKey, CandidateResults, DesignContext,
+    DesignerDescriptor, DesignerRegistry, MemoCache, SearchOptions, Selected, SelectionFailure,
+    StyleRejection,
+};
 pub use error::PlanError;
 pub use executor::{ExecutorConfig, PlanExecutor};
 pub use plan::{

@@ -11,6 +11,37 @@ use std::time::Instant;
 pub trait Clock {
     /// Nanoseconds elapsed since the clock's epoch. Must never decrease.
     fn now_ns(&self) -> u64;
+
+    /// A `Send` copy of this clock for a worker thread, reading on the
+    /// *same epoch* so spans recorded off-thread line up with the parent
+    /// recording when merged back.
+    ///
+    /// The default freezes the clock at its current reading — exactly
+    /// right for [`ManualClock`], whose whole purpose is deterministic
+    /// timestamps (a worker cannot observe hand-advances made on the
+    /// parent thread, so it must not observe the passage of time at
+    /// all). [`MonotonicClock`] overrides this to share its epoch.
+    fn fork(&self) -> Box<dyn Clock + Send> {
+        Box::new(FrozenClock {
+            now_ns: self.now_ns(),
+        })
+    }
+}
+
+/// A clock stuck at one instant: the default [`Clock::fork`] snapshot.
+#[derive(Debug, Clone, Copy)]
+pub struct FrozenClock {
+    now_ns: u64,
+}
+
+impl Clock for FrozenClock {
+    fn now_ns(&self) -> u64 {
+        self.now_ns
+    }
+
+    fn fork(&self) -> Box<dyn Clock + Send> {
+        Box::new(*self)
+    }
 }
 
 /// The production clock: [`Instant`]-based, epoch = construction time.
@@ -38,6 +69,12 @@ impl Default for MonotonicClock {
 impl Clock for MonotonicClock {
     fn now_ns(&self) -> u64 {
         u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    fn fork(&self) -> Box<dyn Clock + Send> {
+        // Same epoch: worker timestamps interleave correctly with the
+        // parent's when the recordings are merged.
+        Box::new(MonotonicClock { epoch: self.epoch })
     }
 }
 
@@ -83,6 +120,28 @@ mod tests {
         let a = c.now_ns();
         let b = c.now_ns();
         assert!(b >= a);
+    }
+
+    #[test]
+    fn monotonic_fork_shares_the_epoch() {
+        let c = MonotonicClock::new();
+        let f = c.fork();
+        let a = c.now_ns();
+        let b = f.now_ns();
+        // Both read from the same epoch, so the forked reading can be at
+        // most a few milliseconds past the original.
+        assert!(b >= a);
+        assert!(b - a < 1_000_000_000, "fork must not reset the epoch");
+    }
+
+    #[test]
+    fn manual_fork_freezes_the_reading() {
+        let c = ManualClock::new();
+        c.advance_ns(42);
+        let f = c.fork();
+        c.advance_ns(1_000);
+        assert_eq!(f.now_ns(), 42, "a forked manual clock must not tick");
+        assert_eq!(f.fork().now_ns(), 42, "re-forking stays frozen");
     }
 
     #[test]

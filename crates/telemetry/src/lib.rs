@@ -49,7 +49,7 @@ mod recorder;
 mod report;
 pub mod schema;
 
-pub use clock::{Clock, ManualClock, MonotonicClock};
+pub use clock::{Clock, FrozenClock, ManualClock, MonotonicClock};
 pub use metrics::MetricsRegistry;
-pub use recorder::{SpanGuard, SpanId, Telemetry};
+pub use recorder::{SpanGuard, SpanId, Telemetry, TelemetrySeed};
 pub use report::{EventData, RunReport, SpanData, SCHEMA_NAME, SCHEMA_VERSION};

@@ -67,6 +67,18 @@ impl MetricsRegistry {
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty() && self.gauges.is_empty()
     }
+
+    /// Folds another registry into this one: counters add, gauges are
+    /// last-write-wins (the absorbed reading replaces ours). Used when a
+    /// worker thread's recording is merged back into its parent.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, n) in other.counters() {
+            self.add(name, n);
+        }
+        for (name, value) in other.gauges() {
+            self.set_gauge(name, value);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -91,6 +103,21 @@ mod tests {
         m.set_gauge("g", 1.5);
         m.set_gauge("g", 2.5);
         assert_eq!(m.gauge("g"), Some(2.5));
+    }
+
+    #[test]
+    fn merge_adds_counters_and_overwrites_gauges() {
+        let mut a = MetricsRegistry::new();
+        a.add("steps", 3);
+        a.set_gauge("g", 1.0);
+        let mut b = MetricsRegistry::new();
+        b.add("steps", 2);
+        b.add("rules", 1);
+        b.set_gauge("g", 2.0);
+        a.merge(&b);
+        assert_eq!(a.counter("steps"), 5);
+        assert_eq!(a.counter("rules"), 1);
+        assert_eq!(a.gauge("g"), Some(2.0));
     }
 
     #[test]

@@ -197,6 +197,67 @@ impl Telemetry {
         }
     }
 
+    /// A [`Send`] seed from which a worker thread can build its own
+    /// recording handle on the same clock epoch ([`Clock::fork`]).
+    /// Returns `None` when this handle is disabled — workers should then
+    /// use [`Telemetry::disabled`] (see [`TelemetrySeed::build`]'s
+    /// `Option` convenience on the caller side).
+    ///
+    /// Together with [`Telemetry::absorb_report`] this is the
+    /// fork/absorb protocol for parallel pipeline stages: the recorder
+    /// itself is deliberately single-threaded (`Rc`/`RefCell`), so each
+    /// worker records locally and the parent splices the recordings back
+    /// in a deterministic order after joining.
+    #[must_use]
+    pub fn fork_seed(&self) -> Option<TelemetrySeed> {
+        self.inner.as_ref().map(|cell| TelemetrySeed {
+            clock: cell.borrow().clock.fork(),
+        })
+    }
+
+    /// Splices a worker recording into this one: spans are appended with
+    /// re-based indices, the worker's root spans (and span-less events)
+    /// are re-parented under this handle's innermost open span, and the
+    /// metrics registries merge (counters add, gauges last-write-wins).
+    ///
+    /// Absorbing the same set of reports in the same order always yields
+    /// the same recording, regardless of how the workers were scheduled —
+    /// which is what makes a parallel search's trace reproducible.
+    pub fn absorb_report(&self, report: &RunReport) {
+        let Some(cell) = &self.inner else {
+            return;
+        };
+        let mut inner = cell.borrow_mut();
+        let offset = inner.spans.len();
+        let anchor = inner.stack.last().copied();
+        for span in report.spans() {
+            let parent = match span.parent {
+                Some(p) => Some(SpanId(p + offset)),
+                None => anchor,
+            };
+            inner.spans.push(SpanRecord {
+                name: span.name.clone(),
+                parent,
+                start_ns: span.start_ns,
+                end_ns: span.end_ns,
+                attrs: span.attrs.clone(),
+            });
+        }
+        for event in report.events() {
+            let span = match event.span {
+                Some(s) => Some(SpanId(s + offset)),
+                None => anchor,
+            };
+            inner.events.push(EventRecord {
+                t_ns: event.t_ns,
+                span,
+                kind: event.kind.clone(),
+                fields: event.fields.clone(),
+            });
+        }
+        inner.metrics.merge(report.metrics());
+    }
+
     fn annotate(&self, id: SpanId, key: &str, value: String) {
         if let Some(cell) = &self.inner {
             let mut inner = cell.borrow_mut();
@@ -232,6 +293,42 @@ impl std::fmt::Debug for Telemetry {
         f.debug_struct("Telemetry")
             .field("enabled", &self.is_enabled())
             .finish()
+    }
+}
+
+/// A `Send` bundle from [`Telemetry::fork_seed`]: everything a worker
+/// thread needs to open its own recording on the parent's clock epoch.
+pub struct TelemetrySeed {
+    clock: Box<dyn Clock + Send>,
+}
+
+impl std::fmt::Debug for TelemetrySeed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TelemetrySeed").finish_non_exhaustive()
+    }
+}
+
+impl TelemetrySeed {
+    /// Builds the worker-local recording handle.
+    #[must_use]
+    pub fn build(self) -> Telemetry {
+        struct BoxedClock(Box<dyn Clock + Send>);
+        impl Clock for BoxedClock {
+            fn now_ns(&self) -> u64 {
+                self.0.now_ns()
+            }
+            fn fork(&self) -> Box<dyn Clock + Send> {
+                self.0.fork()
+            }
+        }
+        Telemetry::with_clock(Rc::new(BoxedClock(self.clock)))
+    }
+
+    /// Convenience for the worker side: a handle from an optional seed
+    /// ([`Telemetry::disabled`] when the parent was disabled).
+    #[must_use]
+    pub fn build_optional(seed: Option<Self>) -> Telemetry {
+        seed.map_or_else(Telemetry::disabled, Self::build)
     }
 }
 
@@ -353,6 +450,66 @@ mod tests {
         let report = tel.report();
         assert_eq!(report.metrics().counter("plan.rule_firings"), 3);
         assert_eq!(report.metrics().gauge("synth.feasible"), Some(2.0));
+    }
+
+    #[test]
+    fn fork_and_absorb_splice_worker_recordings() {
+        let (clock, tel) = manual();
+        clock.advance_ns(7);
+        let root = tel.span(|| "synthesize".into());
+        let seed = tel.fork_seed().expect("enabled handle forks");
+
+        // Worker thread: records on its own handle, ships the report.
+        let report = std::thread::spawn(move || {
+            let worker = TelemetrySeed::build_optional(Some(seed));
+            {
+                let style = worker.span(|| "style:x".into());
+                let _step = worker.span(|| "step:y".into());
+                style.annotate("outcome", || "feasible".into());
+            }
+            worker.incr("plan.step_executions");
+            worker.event("note", || vec![("k", "v".into())]);
+            worker.report()
+        })
+        .join()
+        .unwrap();
+
+        tel.absorb_report(&report);
+        drop(root);
+
+        let merged = tel.report();
+        let spans = merged.spans();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].name, "synthesize");
+        assert_eq!(spans[1].name, "style:x");
+        assert_eq!(
+            spans[1].parent,
+            Some(0),
+            "worker root re-parents under the open span"
+        );
+        assert_eq!(spans[2].parent, Some(1), "nested parents re-base");
+        // Forked manual clock is frozen at the fork instant.
+        assert_eq!(spans[1].start_ns, 7);
+        assert_eq!(spans[1].end_ns, Some(7));
+        assert_eq!(spans[1].attrs[0].1, "feasible");
+        assert_eq!(merged.events().len(), 1);
+        // The worker event fired outside any worker span, so it anchors
+        // to the parent's innermost open span.
+        assert_eq!(merged.events()[0].span, Some(0));
+        assert_eq!(tel.counter("plan.step_executions"), 1);
+    }
+
+    #[test]
+    fn disabled_handles_skip_the_fork_protocol() {
+        let tel = Telemetry::disabled();
+        assert!(tel.fork_seed().is_none());
+        let worker = TelemetrySeed::build_optional(None);
+        assert!(!worker.is_enabled());
+        // Absorbing into a disabled handle is a no-op.
+        let (_, enabled) = manual();
+        enabled.span(|| "s".into());
+        tel.absorb_report(&enabled.report());
+        assert!(tel.report().spans().is_empty());
     }
 
     #[test]

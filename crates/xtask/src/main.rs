@@ -13,16 +13,19 @@ fn main() -> ExitCode {
         Some("check") => check(),
         Some("lint-examples") => lint_examples(),
         Some("smoke") => smoke(),
+        Some("bench-schema") => bench_schema(),
         _ => {
             eprintln!(
                 "usage: cargo xtask <command>\n\n\
                  commands:\n  \
                  check          fmt --check, clippy -D warnings, tier-1 build+test,\n                 \
                  `oasys lint --deny-warnings` over the example specs,\n                 \
-                 and the end-to-end trace smoke run\n  \
+                 the end-to-end trace smoke run, and the bench-report\n                 \
+                 schema gate\n  \
                  lint-examples  only the example-spec lint gate\n  \
                  smoke          only the end-to-end run: synthesize the example spec\n                 \
-                 with --trace-out and validate the emitted trace files"
+                 with --trace-out and validate the emitted trace files\n  \
+                 bench-schema   only the committed BENCH_synthesis.json schema gate"
             );
             ExitCode::from(2)
         }
@@ -52,6 +55,9 @@ fn check() -> ExitCode {
     }
     if smoke() != ExitCode::SUCCESS {
         failed.push("smoke".to_string());
+    }
+    if bench_schema() != ExitCode::SUCCESS {
+        failed.push("bench-schema".to_string());
     }
     if failed.is_empty() {
         println!("xtask check: all gates passed");
@@ -161,6 +167,31 @@ fn smoke() -> ExitCode {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    }
+}
+
+/// The committed benchmark report must keep satisfying the
+/// `oasys-bench` schema — including the sequential-vs-parallel
+/// style-search comparison rows and the engine cache-hit counter — so
+/// regenerating it with a drifted bench binary fails the gauntlet.
+fn bench_schema() -> ExitCode {
+    let path = "BENCH_synthesis.json";
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("xtask bench-schema: {path}: {e} (run from the workspace root)");
+            return ExitCode::FAILURE;
+        }
+    };
+    match oasys_bench::summary::validate(&text) {
+        Ok(summary) => {
+            println!("xtask bench-schema: {path} ok ({summary})");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("xtask bench-schema: {path}: {e}");
+            ExitCode::FAILURE
+        }
     }
 }
 

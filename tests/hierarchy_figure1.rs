@@ -1,0 +1,118 @@
+//! End-to-end test of the paper's Figure 1 decomposition: the
+//! successive-approximation A/D converter hierarchy, linked block by
+//! block to registered designers, with the op-amp subtree actually
+//! synthesized through the shared `BlockDesigner` engine.
+
+use oasys::hierarchy::{design_registry, successive_approximation_adc, Block};
+use oasys::{spec::test_cases, synthesize_with_options, OpAmpStyle, SearchOptions};
+use oasys_blocks::mirror::{MirrorDesigner, MirrorSpec};
+use oasys_plan::{BlockDesigner, DesignContext};
+use oasys_process::{builtin, Polarity};
+use oasys_telemetry::Telemetry;
+
+/// Figure 1's tree is deep (≥ 3 levels) and *not strict*: siblings at
+/// the same level differ wildly in complexity.
+#[test]
+fn figure1_decomposition_shape() {
+    let adc = successive_approximation_adc();
+    assert!(adc.depth() >= 3, "depth {}", adc.depth());
+    let siblings = adc.children();
+    let depths: Vec<usize> = siblings.iter().map(Block::depth).collect();
+    assert!(
+        depths.iter().max() > depths.iter().min(),
+        "siblings should be uneven: {depths:?}"
+    );
+    // The deepest branch runs ADC → sample-and-hold → op amp → sub-block.
+    let sh = adc.find("sample-and-hold").unwrap();
+    assert!(sh.depth() >= 3);
+}
+
+/// Every designer-linked block in the tree resolves against the full
+/// registry — no dangling levels, and the sub-block levels under the op
+/// amp are exactly the reusable designers the blocks crate exports.
+#[test]
+fn figure1_blocks_link_to_registered_designers() {
+    let registry = design_registry();
+    let adc = successive_approximation_adc();
+    assert_eq!(
+        adc.unresolved(&registry),
+        Vec::new(),
+        "every designer link must resolve"
+    );
+
+    let amp = adc.find("op amp").unwrap();
+    for child in amp.children() {
+        let descriptor = child
+            .resolve(&registry)
+            .unwrap_or_else(|| panic!("{} should link to a designer", child.name()));
+        assert!(
+            !descriptor.styles().is_empty(),
+            "{} offers no styles",
+            descriptor.level()
+        );
+    }
+}
+
+/// Designing the hierarchy's op-amp block end to end: the engine sweeps
+/// the styles the registry advertises, and the telemetry shows the
+/// recursion — `style:<name>` spans at the op-amp level with
+/// `block:<level>` child spans for every sub-block invocation.
+#[test]
+fn figure1_op_amp_block_designs_end_to_end() {
+    let registry = design_registry();
+    let adc = successive_approximation_adc();
+    let amp = adc.find("op amp").unwrap();
+    let descriptor = amp.resolve(&registry).unwrap();
+
+    let tel = Telemetry::new();
+    let process = builtin::cmos_5um();
+    let result =
+        synthesize_with_options(&test_cases::spec_a(), &process, &SearchOptions::new(), &tel)
+            .unwrap();
+
+    // The winner is one of the styles the registry advertised.
+    let winner = result.selected().style().to_string();
+    assert!(
+        descriptor.styles().iter().any(|s| *s == winner),
+        "winner {winner:?} not in registry styles {:?}",
+        descriptor.styles()
+    );
+
+    // Telemetry covers the whole recursion: one style span per
+    // advertised style, and block spans for the sub-block designers the
+    // hierarchy links under the op amp.
+    let report = tel.report();
+    let names: Vec<&str> = report.spans().iter().map(|s| s.name.as_str()).collect();
+    for style in OpAmpStyle::ALL {
+        let span = format!("style:{style}");
+        assert!(names.contains(&span.as_str()), "missing {span}");
+    }
+    for level in ["diff pair", "mirror"] {
+        let span = format!("block:{level}");
+        assert!(names.contains(&span.as_str()), "missing {span}");
+    }
+}
+
+/// A leaf-level designer from the registry works through the same
+/// engine trait the op amp uses — the paper's reuse claim, mechanized.
+#[test]
+fn figure1_leaf_block_designs_through_the_same_trait() {
+    let registry = design_registry();
+    let adc = successive_approximation_adc();
+    let mirror_block = adc.find("current mirror").unwrap();
+    let descriptor = mirror_block.resolve(&registry).unwrap();
+    assert_eq!(descriptor.level(), "mirror");
+
+    let process = builtin::cmos_5um();
+    let designer = MirrorDesigner::new(&process);
+    let tel = Telemetry::disabled();
+    let ctx = DesignContext::new(&tel);
+    let spec = MirrorSpec::new(Polarity::Nmos, 20e-6).with_headroom(1.5);
+    let selected = designer.design(&spec, &ctx).expect("mirror designs");
+    assert!(
+        descriptor.styles().iter().any(|s| *s == selected.style()),
+        "selected style {:?} not advertised by the registry",
+        selected.style()
+    );
+    assert!(selected.area_um2() > 0.0);
+}
