@@ -40,6 +40,51 @@ fn main() {
         });
     }
 
+    // Batch throughput: the bundled 3×3 sweep (specs A/B/C × all three
+    // process kits) through the batch driver, verification off — the
+    // sweep-throughput row the report schema requires
+    // (summary::REQUIRED_ROWS), so driver overhead on top of the raw
+    // synthesis rows above stays visible run over run.
+    {
+        use oasys::batch::{Batch, BatchOptions, Job, SynthRunner};
+        let specs = [
+            ("spec-a", include_str!("../../../data/spec-a.txt")),
+            ("spec-b", include_str!("../../../data/spec-b.txt")),
+            ("spec-c", include_str!("../../../data/spec-c.txt")),
+        ];
+        let techs: Vec<(String, String)> = builtin::all()
+            .iter()
+            .map(|p| (p.name().to_owned(), oasys_process::techfile::write(p)))
+            .collect();
+        b.bench("batch/sweep_3x3", || {
+            let jobs: Vec<Job> = specs
+                .iter()
+                .flat_map(|(spec_label, spec_text)| {
+                    techs.iter().map(move |(tech_label, tech_text)| {
+                        (spec_label, spec_text, tech_label, tech_text)
+                    })
+                })
+                .enumerate()
+                .map(|(id, (spec_label, spec_text, tech_label, tech_text))| {
+                    Job::from_texts(
+                        id,
+                        *spec_label,
+                        *spec_text,
+                        tech_label.as_str(),
+                        tech_text.as_str(),
+                    )
+                })
+                .collect();
+            // A fresh runner per iteration so every batch pays the full
+            // cold-cache cost, like a new `oasys batch` process would.
+            let runner = std::sync::Arc::new(SynthRunner::new().with_verify(false));
+            let tel = Telemetry::disabled();
+            Batch::new(black_box(jobs), BatchOptions::default().with_verify(false))
+                .run(&runner, &tel, |_| {})
+                .unwrap()
+        });
+    }
+
     // Telemetry overhead check: the same case with a live recorder (the
     // disabled path is the `synthesize/case_a` row above, since plain
     // `synthesize` runs with telemetry off).

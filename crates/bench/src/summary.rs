@@ -15,10 +15,13 @@ pub const SCHEMA_VERSION: u32 = 1;
 
 /// Benchmark rows the report must always carry: the sequential (one
 /// worker) vs. parallel (one worker per style) style-search comparison
-/// on the same case, so the concurrency win stays visible run over run.
-pub const REQUIRED_ROWS: [&str; 2] = [
+/// on the same case, so the concurrency win stays visible run over run,
+/// plus the 3×3 batch sweep so batch-driver overhead on top of raw
+/// synthesis stays visible too.
+pub const REQUIRED_ROWS: [&str; 3] = [
     "style_search/case_a_threads_1",
     "style_search/case_a_threads_max",
+    "batch/sweep_3x3",
 ];
 
 /// Counters the report's instrumented run must expose. `engine.cache_hits`
@@ -249,7 +252,7 @@ mod tests {
     fn validate_accepts_a_compliant_report() {
         let text = compliant_report();
         let summary = validate(&text).expect("compliant report validates");
-        assert!(summary.contains("2 bench rows"), "{summary}");
+        assert!(summary.contains("3 bench rows"), "{summary}");
     }
 
     #[test]

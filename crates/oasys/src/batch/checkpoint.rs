@@ -1,0 +1,407 @@
+//! Resumable batch checkpoints.
+//!
+//! The checkpoint file is an append-only text log: a header line, then
+//! one tab-separated record per finished job. The batch runner appends
+//! (and flushes) a record the moment a job finishes, so a killed run
+//! loses at most the jobs that were still in flight. On resume, jobs
+//! whose fingerprints appear with a *completed* outcome (`ok` or
+//! `infeasible`) are skipped; `failed` entries are kept for diagnosis
+//! but re-run, since a panic or timeout may have been environmental.
+//!
+//! ```text
+//! oasys-batch-checkpoint v1
+//! 8f3a…16-hex…\tok\ttwo-stage\t<area f64 bits, hex>\tspec-b.txt\tgeneric-5um.tech
+//! 77c1…16-hex…\tinfeasible\t-\t-\tspec-c.txt\tgeneric-1.2um.tech
+//! ```
+//!
+//! The completed record carries the *outcome* (style and bit-exact
+//! area), not just the fingerprint — that is what lets a resumed run
+//! reconstruct the same aggregate report as an uninterrupted one
+//! without redoing the work.
+//!
+//! A checkpoint that fails any structural check (bad header, malformed
+//! record, truncated final line) is reported as
+//! [`CheckpointError::Corrupt`]; the runner's policy
+//! ([`super::Batch::with_checkpoint`]) is to discard it and restart the
+//! batch cleanly rather than trust a half-written line.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// First line of every checkpoint file; the version suffix gates format
+/// evolution.
+pub const CHECKPOINT_HEADER: &str = "oasys-batch-checkpoint v1";
+
+/// How a checkpointed job ended.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CheckpointOutcome {
+    /// A style was selected; the record stores which and its area.
+    Ok {
+        /// Winning style name.
+        style: String,
+        /// Estimated area, µm², preserved bit-exactly.
+        area_um2: f64,
+    },
+    /// Every style was rejected — a definitive answer, so the job is
+    /// complete and is skipped on resume.
+    Infeasible,
+    /// The job failed (panic, timeout, or a hard error). Recorded for
+    /// diagnosis; *not* treated as complete, so resume re-runs it.
+    Failed,
+}
+
+impl CheckpointOutcome {
+    /// `true` when the job produced a definitive synthesis answer and
+    /// must not be re-run on resume.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        !matches!(self, CheckpointOutcome::Failed)
+    }
+}
+
+/// One parsed checkpoint record.
+#[derive(Clone, Debug)]
+pub struct CheckpointEntry {
+    /// The job's content fingerprint.
+    pub fingerprint: u64,
+    /// How the job ended.
+    pub outcome: CheckpointOutcome,
+    /// The job's spec label at the time it ran (display only).
+    pub spec_label: String,
+    /// The job's tech label at the time it ran (display only).
+    pub tech_label: String,
+}
+
+/// Why a checkpoint file was rejected.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// The file exists but fails a structural check — wrong header, a
+    /// malformed record, or a truncated (unterminated) final line.
+    Corrupt {
+        /// The offending path.
+        path: PathBuf,
+        /// Which check failed.
+        detail: String,
+    },
+    /// The file could not be read or written.
+    Io {
+        /// The offending path.
+        path: PathBuf,
+        /// The underlying error.
+        error: std::io::Error,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Corrupt { path, detail } => {
+                write!(f, "corrupt checkpoint {}: {detail}", path.display())
+            }
+            CheckpointError::Io { path, error } => write!(f, "{}: {error}", path.display()),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// The completed-job set loaded from (and appended to) a checkpoint
+/// file.
+#[derive(Debug)]
+pub struct Checkpoint {
+    path: PathBuf,
+    completed: HashMap<u64, CheckpointEntry>,
+    writer: Option<File>,
+}
+
+impl Checkpoint {
+    /// Opens (or creates) the checkpoint at `path` and loads its
+    /// completed-job set.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Corrupt`] when an existing file fails a
+    /// structural check (the caller decides whether to
+    /// [`Checkpoint::start_fresh`]); [`CheckpointError::Io`] on
+    /// filesystem errors.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, CheckpointError> {
+        let path = path.as_ref().to_path_buf();
+        let completed = match std::fs::read_to_string(&path) {
+            Ok(text) => parse(&path, &text)?,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => HashMap::new(),
+            Err(error) => return Err(CheckpointError::Io { path, error }),
+        };
+        Ok(Self {
+            path,
+            completed,
+            writer: None,
+        })
+    }
+
+    /// Discards any existing file at `path` and starts an empty
+    /// checkpoint — the recovery path for a corrupt file.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] when the stale file cannot be removed.
+    pub fn start_fresh(path: impl AsRef<Path>) -> Result<Self, CheckpointError> {
+        let path = path.as_ref().to_path_buf();
+        match std::fs::remove_file(&path) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(error) => return Err(CheckpointError::Io { path, error }),
+        }
+        Ok(Self {
+            path,
+            completed: HashMap::new(),
+            writer: None,
+        })
+    }
+
+    /// The checkpoint file's path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The completed (skippable) entry for `fingerprint`, if any.
+    #[must_use]
+    pub fn completed(&self, fingerprint: u64) -> Option<&CheckpointEntry> {
+        self.completed.get(&fingerprint)
+    }
+
+    /// Number of completed jobs on record.
+    #[must_use]
+    pub fn completed_count(&self) -> usize {
+        self.completed.len()
+    }
+
+    /// Appends one finished job and flushes, creating the file (with its
+    /// header) on first write. Completed outcomes also join the in-memory
+    /// skip set, so duplicate fingerprints later in the same run are
+    /// served from the checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] when the record cannot be written durably.
+    pub fn record(
+        &mut self,
+        fingerprint: u64,
+        outcome: &CheckpointOutcome,
+        spec_label: &str,
+        tech_label: &str,
+    ) -> Result<(), CheckpointError> {
+        let io_err = |error: std::io::Error, path: &Path| CheckpointError::Io {
+            path: path.to_path_buf(),
+            error,
+        };
+        if self.writer.is_none() {
+            let exists = self.path.exists();
+            let mut file = OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&self.path)
+                .map_err(|e| io_err(e, &self.path))?;
+            if !exists {
+                writeln!(file, "{CHECKPOINT_HEADER}").map_err(|e| io_err(e, &self.path))?;
+            }
+            self.writer = Some(file);
+        }
+        let (style, area) = match outcome {
+            CheckpointOutcome::Ok { style, area_um2 } => {
+                (style.clone(), format!("{:016x}", area_um2.to_bits()))
+            }
+            _ => ("-".to_owned(), "-".to_owned()),
+        };
+        let word = match outcome {
+            CheckpointOutcome::Ok { .. } => "ok",
+            CheckpointOutcome::Infeasible => "infeasible",
+            CheckpointOutcome::Failed => "failed",
+        };
+        let file = self.writer.as_mut().expect("writer opened above");
+        writeln!(
+            file,
+            "{fingerprint:016x}\t{word}\t{style}\t{area}\t{spec_label}\t{tech_label}"
+        )
+        .map_err(|e| io_err(e, &self.path))?;
+        file.flush().map_err(|e| io_err(e, &self.path))?;
+        if outcome.is_complete() {
+            self.completed.insert(
+                fingerprint,
+                CheckpointEntry {
+                    fingerprint,
+                    outcome: outcome.clone(),
+                    spec_label: spec_label.to_owned(),
+                    tech_label: tech_label.to_owned(),
+                },
+            );
+        }
+        Ok(())
+    }
+}
+
+/// Parses a checkpoint file body into its completed-job set, applying
+/// every structural check the format promises.
+fn parse(path: &Path, text: &str) -> Result<HashMap<u64, CheckpointEntry>, CheckpointError> {
+    let corrupt = |detail: String| CheckpointError::Corrupt {
+        path: path.to_path_buf(),
+        detail,
+    };
+    let mut lines = text.lines();
+    match lines.next() {
+        Some(CHECKPOINT_HEADER) => {}
+        Some(other) => {
+            return Err(corrupt(format!(
+                "bad header `{other}` (expected `{CHECKPOINT_HEADER}`)"
+            )))
+        }
+        None => return Err(corrupt("empty file".to_owned())),
+    }
+    // A kill can truncate the final record mid-line; every durable line
+    // (including the last) ends in a newline, so a missing one means the
+    // last record cannot be trusted.
+    if !text.ends_with('\n') {
+        return Err(corrupt("truncated final line (missing newline)".to_owned()));
+    }
+    let mut completed = HashMap::new();
+    for (idx, line) in lines.enumerate() {
+        let lineno = idx + 2;
+        let fields: Vec<&str> = line.split('\t').collect();
+        let [fp, word, style, area, spec_label, tech_label] = fields.as_slice() else {
+            return Err(corrupt(format!(
+                "line {lineno}: expected 6 tab-separated fields, got {}",
+                fields.len()
+            )));
+        };
+        let parse_hex = |s: &str, what: &str| {
+            if s.len() == 16 {
+                u64::from_str_radix(s, 16).ok()
+            } else {
+                None
+            }
+            .ok_or_else(|| corrupt(format!("line {lineno}: bad {what} `{s}`")))
+        };
+        let fingerprint = parse_hex(fp, "fingerprint")?;
+        let outcome = match *word {
+            "ok" => CheckpointOutcome::Ok {
+                style: (*style).to_owned(),
+                area_um2: f64::from_bits(parse_hex(area, "area")?),
+            },
+            "infeasible" => CheckpointOutcome::Infeasible,
+            "failed" => CheckpointOutcome::Failed,
+            other => return Err(corrupt(format!("line {lineno}: unknown outcome `{other}`"))),
+        };
+        if outcome.is_complete() {
+            completed.insert(
+                fingerprint,
+                CheckpointEntry {
+                    fingerprint,
+                    outcome,
+                    spec_label: (*spec_label).to_owned(),
+                    tech_label: (*tech_label).to_owned(),
+                },
+            );
+        }
+    }
+    Ok(completed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("oasys-batch-checkpoint-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn records_round_trip_bit_exactly() {
+        let path = tmp("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut cp = Checkpoint::open(&path).unwrap();
+            cp.record(
+                0xdead_beef,
+                &CheckpointOutcome::Ok {
+                    style: "two-stage".into(),
+                    area_um2: 1234.5678,
+                },
+                "b.txt",
+                "p.tech",
+            )
+            .unwrap();
+            cp.record(7, &CheckpointOutcome::Infeasible, "c.txt", "q.tech")
+                .unwrap();
+            cp.record(9, &CheckpointOutcome::Failed, "d.txt", "q.tech")
+                .unwrap();
+        }
+        let cp = Checkpoint::open(&path).unwrap();
+        assert_eq!(cp.completed_count(), 2, "failed entries are not complete");
+        let entry = cp.completed(0xdead_beef).unwrap();
+        match &entry.outcome {
+            CheckpointOutcome::Ok { style, area_um2 } => {
+                assert_eq!(style, "two-stage");
+                assert_eq!(area_um2.to_bits(), 1234.5678_f64.to_bits());
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        assert!(cp.completed(9).is_none(), "failed jobs re-run on resume");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_a_fresh_checkpoint() {
+        let path = tmp("missing");
+        let _ = std::fs::remove_file(&path);
+        let cp = Checkpoint::open(&path).unwrap();
+        assert_eq!(cp.completed_count(), 0);
+    }
+
+    #[test]
+    fn truncated_final_line_is_corrupt() {
+        let path = tmp("truncated");
+        std::fs::write(
+            &path,
+            format!("{CHECKPOINT_HEADER}\n0000000000000007\tinfeasible\t-\t-\ta\tb"),
+        )
+        .unwrap();
+        let err = Checkpoint::open(&path).unwrap_err();
+        assert!(err.to_string().contains("truncated"), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bad_header_and_malformed_records_are_corrupt() {
+        let path = tmp("corrupt");
+        std::fs::write(&path, "not a checkpoint\n").unwrap();
+        assert!(matches!(
+            Checkpoint::open(&path),
+            Err(CheckpointError::Corrupt { .. })
+        ));
+        std::fs::write(&path, format!("{CHECKPOINT_HEADER}\nnot\ttabs\n")).unwrap();
+        let err = Checkpoint::open(&path).unwrap_err();
+        assert!(err.to_string().contains("6 tab-separated"), "{err}");
+        std::fs::write(
+            &path,
+            format!("{CHECKPOINT_HEADER}\nzz\tok\ts\t0000000000000000\ta\tb\n"),
+        )
+        .unwrap();
+        let err = Checkpoint::open(&path).unwrap_err();
+        assert!(err.to_string().contains("bad fingerprint"), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn start_fresh_discards_a_corrupt_file() {
+        let path = tmp("fresh");
+        std::fs::write(&path, "garbage").unwrap();
+        let cp = Checkpoint::start_fresh(&path).unwrap();
+        assert_eq!(cp.completed_count(), 0);
+        assert!(!path.exists(), "stale file removed");
+    }
+}

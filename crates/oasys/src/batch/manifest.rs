@@ -1,0 +1,388 @@
+//! Batch manifests: the text file that names which specifications to
+//! synthesize on which processes, plus optional execution settings.
+//!
+//! A manifest is the same `key = value` dialect as the specification and
+//! technology files. `spec` and `tech` may repeat; the job list is their
+//! cross product, in manifest order (specs outer, techs inner):
+//!
+//! ```text
+//! # the paper's Table 2 sweep
+//! spec = spec-a.txt
+//! spec = spec-b.txt
+//! spec = spec-c.txt
+//! tech = generic-5um.tech
+//! tech = generic-3um.tech
+//! tech = generic-1.2um.tech
+//! workers    = 3        # optional, defaults to the host parallelism
+//! timeout_ms = 30000    # optional per-job wall-clock budget
+//! retries    = 2        # optional retry cap for transient failures
+//! verify     = false    # optional, default true
+//! ```
+//!
+//! Relative `spec`/`tech` paths resolve against the manifest file's own
+//! directory, so a manifest can ship next to its inputs.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// One unit of batch work: a specification/technology pairing with the
+/// file contents already read, identified by a content fingerprint.
+///
+/// Holding the *texts* (not just paths) makes jobs self-contained: the
+/// worker pool can ship a clone into an isolation thread, the
+/// fingerprint cannot drift if a file changes mid-run, and library
+/// callers can synthesize specs that never touch a filesystem
+/// ([`Job::from_texts`]).
+#[derive(Clone, Debug)]
+pub struct Job {
+    id: usize,
+    spec_label: String,
+    tech_label: String,
+    spec_text: String,
+    tech_text: String,
+    fingerprint: u64,
+}
+
+impl Job {
+    /// A job over in-memory spec/tech texts. The labels are what result
+    /// records and checkpoints display (for file-based jobs, the paths).
+    #[must_use]
+    pub fn from_texts(
+        id: usize,
+        spec_label: impl Into<String>,
+        spec_text: impl Into<String>,
+        tech_label: impl Into<String>,
+        tech_text: impl Into<String>,
+    ) -> Self {
+        let spec_text = spec_text.into();
+        let tech_text = tech_text.into();
+        let fingerprint = fingerprint(&spec_text, &tech_text);
+        Self {
+            id,
+            spec_label: spec_label.into(),
+            tech_label: tech_label.into(),
+            spec_text,
+            tech_text,
+            fingerprint,
+        }
+    }
+
+    /// Position of this job in the batch (stable across resumes, since
+    /// the job list is a deterministic expansion of the manifest).
+    #[must_use]
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Display name of the specification input.
+    #[must_use]
+    pub fn spec_label(&self) -> &str {
+        &self.spec_label
+    }
+
+    /// Display name of the technology input.
+    #[must_use]
+    pub fn tech_label(&self) -> &str {
+        &self.tech_label
+    }
+
+    /// The specification file contents.
+    #[must_use]
+    pub fn spec_text(&self) -> &str {
+        &self.spec_text
+    }
+
+    /// The technology file contents.
+    #[must_use]
+    pub fn tech_text(&self) -> &str {
+        &self.tech_text
+    }
+
+    /// Content fingerprint of the (spec, tech) pairing — the identity
+    /// checkpoints record. Two jobs whose input *contents* are identical
+    /// share a fingerprint even if the files were renamed.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+}
+
+/// FNV-1a over both inputs with a separator, so (`"ab"`, `"c"`) and
+/// (`"a"`, `"bc"`) cannot collide trivially.
+#[must_use]
+pub fn fingerprint(spec_text: &str, tech_text: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in spec_text
+        .as_bytes()
+        .iter()
+        .chain(&[0x1f])
+        .chain(tech_text.as_bytes())
+    {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Execution settings a manifest may carry (all optional — the CLI and
+/// [`super::BatchOptions`] defaults fill the gaps).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ManifestSettings {
+    /// Worker-pool width.
+    pub workers: Option<usize>,
+    /// Per-job wall-clock budget.
+    pub timeout: Option<Duration>,
+    /// Retry cap for transient job failures.
+    pub retries: Option<u32>,
+    /// Whether each feasible design is re-measured on the simulator.
+    pub verify: Option<bool>,
+}
+
+/// A parsed batch manifest: the spec and tech inputs plus settings.
+#[derive(Clone, Debug, Default)]
+pub struct Manifest {
+    specs: Vec<PathBuf>,
+    techs: Vec<PathBuf>,
+    settings: ManifestSettings,
+}
+
+/// Error raised while reading or expanding a manifest.
+#[derive(Debug)]
+pub enum ManifestError {
+    /// A malformed manifest line (1-based line number and detail).
+    Line {
+        /// Line number.
+        line: usize,
+        /// What was wrong.
+        detail: String,
+    },
+    /// The manifest names no specs or no techs, so the job list is empty.
+    Empty,
+    /// An input file could not be read.
+    Io {
+        /// The offending path.
+        path: PathBuf,
+        /// The underlying error.
+        error: std::io::Error,
+    },
+}
+
+impl fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ManifestError::Line { line, detail } => {
+                write!(f, "invalid manifest at line {line}: {detail}")
+            }
+            ManifestError::Empty => {
+                write!(f, "manifest needs at least one `spec` and one `tech` entry")
+            }
+            ManifestError::Io { path, error } => write!(f, "{}: {error}", path.display()),
+        }
+    }
+}
+
+impl std::error::Error for ManifestError {}
+
+impl Manifest {
+    /// Parses manifest text. Paths are kept as written; [`Manifest::load`]
+    /// additionally resolves them against the manifest's directory.
+    ///
+    /// # Errors
+    ///
+    /// [`ManifestError::Line`] for unknown keys or unparsable values.
+    pub fn parse(text: &str) -> Result<Self, ManifestError> {
+        let mut manifest = Manifest::default();
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line.split_once('=').ok_or_else(|| ManifestError::Line {
+                line: lineno,
+                detail: format!("expected `key = value`, got `{line}`"),
+            })?;
+            let key = key.trim().to_lowercase();
+            let value = value.trim();
+            let bad = |detail: String| ManifestError::Line {
+                line: lineno,
+                detail,
+            };
+            match key.as_str() {
+                "spec" => manifest.specs.push(PathBuf::from(value)),
+                "tech" => manifest.techs.push(PathBuf::from(value)),
+                "workers" => {
+                    let n: usize = value.parse().ok().filter(|&n| n > 0).ok_or_else(|| {
+                        bad(format!(
+                            "`workers` must be a positive integer, got `{value}`"
+                        ))
+                    })?;
+                    manifest.settings.workers = Some(n);
+                }
+                "timeout_ms" => {
+                    let ms: u64 = value.parse().map_err(|_| {
+                        bad(format!("`timeout_ms` must be an integer, got `{value}`"))
+                    })?;
+                    manifest.settings.timeout = Some(Duration::from_millis(ms));
+                }
+                "retries" => {
+                    let n: u32 = value
+                        .parse()
+                        .map_err(|_| bad(format!("`retries` must be an integer, got `{value}`")))?;
+                    manifest.settings.retries = Some(n);
+                }
+                "verify" => {
+                    manifest.settings.verify = Some(match value {
+                        "true" => true,
+                        "false" => false,
+                        other => {
+                            return Err(bad(format!(
+                                "`verify` must be `true` or `false`, got `{other}`"
+                            )))
+                        }
+                    });
+                }
+                other => {
+                    return Err(bad(format!("unknown key `{other}`")));
+                }
+            }
+        }
+        Ok(manifest)
+    }
+
+    /// Reads and parses a manifest file, resolving relative `spec`/`tech`
+    /// paths against the manifest's own directory.
+    ///
+    /// # Errors
+    ///
+    /// [`ManifestError::Io`] when the file cannot be read, otherwise the
+    /// same failures as [`Manifest::parse`].
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, ManifestError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path).map_err(|error| ManifestError::Io {
+            path: path.to_path_buf(),
+            error,
+        })?;
+        let mut manifest = Self::parse(&text)?;
+        if let Some(dir) = path.parent() {
+            let resolve = |p: &PathBuf| {
+                if p.is_relative() {
+                    dir.join(p)
+                } else {
+                    p.clone()
+                }
+            };
+            manifest.specs = manifest.specs.iter().map(resolve).collect();
+            manifest.techs = manifest.techs.iter().map(resolve).collect();
+        }
+        Ok(manifest)
+    }
+
+    /// The spec paths, in manifest order.
+    #[must_use]
+    pub fn specs(&self) -> &[PathBuf] {
+        &self.specs
+    }
+
+    /// The tech paths, in manifest order.
+    #[must_use]
+    pub fn techs(&self) -> &[PathBuf] {
+        &self.techs
+    }
+
+    /// The optional execution settings.
+    #[must_use]
+    pub fn settings(&self) -> ManifestSettings {
+        self.settings
+    }
+
+    /// Expands the manifest into its job list: the specs × techs cross
+    /// product in manifest order (specs outer, techs inner), each file
+    /// read exactly once.
+    ///
+    /// Unreadable input files fail the expansion — a manifest typo should
+    /// surface before any work starts, unlike a *diverging* job, which
+    /// fails alone at run time.
+    ///
+    /// # Errors
+    ///
+    /// [`ManifestError::Empty`] when the cross product is empty,
+    /// [`ManifestError::Io`] when an input file cannot be read.
+    pub fn expand(&self) -> Result<Vec<Job>, ManifestError> {
+        if self.specs.is_empty() || self.techs.is_empty() {
+            return Err(ManifestError::Empty);
+        }
+        let read = |path: &PathBuf| {
+            std::fs::read_to_string(path).map_err(|error| ManifestError::Io {
+                path: path.clone(),
+                error,
+            })
+        };
+        let spec_texts: Vec<String> = self.specs.iter().map(read).collect::<Result<_, _>>()?;
+        let tech_texts: Vec<String> = self.techs.iter().map(read).collect::<Result<_, _>>()?;
+        let mut jobs = Vec::with_capacity(self.specs.len() * self.techs.len());
+        for (spec_path, spec_text) in self.specs.iter().zip(&spec_texts) {
+            for (tech_path, tech_text) in self.techs.iter().zip(&tech_texts) {
+                jobs.push(Job::from_texts(
+                    jobs.len(),
+                    spec_path.display().to_string(),
+                    spec_text.clone(),
+                    tech_path.display().to_string(),
+                    tech_text.clone(),
+                ));
+            }
+        }
+        Ok(jobs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_inputs_and_settings() {
+        let m = Manifest::parse(
+            "# sweep\nspec = a.txt\nspec = b.txt\ntech = p.tech\nworkers = 3\n\
+             timeout_ms = 250\nretries = 2\nverify = false\n",
+        )
+        .unwrap();
+        assert_eq!(m.specs().len(), 2);
+        assert_eq!(m.techs().len(), 1);
+        assert_eq!(m.settings().workers, Some(3));
+        assert_eq!(m.settings().timeout, Some(Duration::from_millis(250)));
+        assert_eq!(m.settings().retries, Some(2));
+        assert_eq!(m.settings().verify, Some(false));
+    }
+
+    #[test]
+    fn rejects_unknown_keys_and_bad_values() {
+        let err = Manifest::parse("bogus = 1\n").unwrap_err();
+        assert!(err.to_string().contains("unknown key `bogus`"), "{err}");
+        let err = Manifest::parse("spec = a\nworkers = 0\n").unwrap_err();
+        assert!(err.to_string().contains("workers"), "{err}");
+        let err = Manifest::parse("verify = maybe\n").unwrap_err();
+        assert!(err.to_string().contains("verify"), "{err}");
+        let err = Manifest::parse("just a line\n").unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn empty_cross_product_is_an_error() {
+        let m = Manifest::parse("spec = a.txt\n").unwrap();
+        assert!(matches!(m.expand(), Err(ManifestError::Empty)));
+    }
+
+    #[test]
+    fn fingerprints_depend_on_content_not_labels() {
+        let a = Job::from_texts(0, "x.txt", "gain = 1", "p.tech", "vdd = 5");
+        let b = Job::from_texts(7, "renamed.txt", "gain = 1", "moved.tech", "vdd = 5");
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let c = Job::from_texts(0, "x.txt", "gain = 2", "p.tech", "vdd = 5");
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        // The separator keeps boundary shifts from colliding.
+        let d = Job::from_texts(0, "x", "gain = 1v", "p", "dd = 5");
+        assert_ne!(a.fingerprint(), d.fingerprint());
+    }
+}

@@ -1,0 +1,859 @@
+//! The batch worker pool: bounded concurrency, per-job fault isolation,
+//! capped-backoff retries, checkpointing, and result streaming.
+//!
+//! Execution model:
+//!
+//! * The coordinator (the calling thread) owns the [`Telemetry`] handle,
+//!   the checkpoint, and the result stream. Workers are
+//!   `std::thread::scope` threads popping jobs from a shared queue.
+//! * Every *attempt* of a job runs on its own detached thread so that a
+//!   panicking plan or a diverging simulation fails **that job only**:
+//!   panics are caught and reported, and an attempt that exceeds the
+//!   wall-clock budget is abandoned (its thread is left to finish in the
+//!   background) and recorded as a timeout.
+//! * Failures a [`JobRunner`] marks transient are retried up to the
+//!   retry cap, sleeping an exponential backoff (doubling from the base,
+//!   capped) between attempts.
+//! * Telemetry follows the engine's fork/absorb protocol: seeds are
+//!   forked up front on the coordinator, each attempt records into its
+//!   own handle, and the surviving reports are absorbed back in job
+//!   order — so a manually-clocked batch trace is byte-identical
+//!   regardless of worker count or scheduling.
+
+use super::checkpoint::{Checkpoint, CheckpointError, CheckpointOutcome};
+use super::manifest::Job;
+use crate::batch::BatchOptions;
+use oasys_telemetry::{json, RunReport, Telemetry, TelemetrySeed};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Executes one job. Implementations must be shareable across the
+/// worker pool and the per-attempt isolation threads.
+///
+/// The pool supplies panic isolation and the wall-clock budget around
+/// [`JobRunner::run`]; the runner itself only distinguishes *definitive*
+/// answers ([`JobSuccess`], which includes "no style fits") from
+/// failures, and marks which failures are worth retrying.
+pub trait JobRunner: Send + Sync + 'static {
+    /// Runs one job, recording into `tel` (a per-attempt handle forked
+    /// from the batch telemetry).
+    ///
+    /// # Errors
+    ///
+    /// [`JobFailure`] when the job cannot produce a definitive answer;
+    /// set [`JobFailure::transient`] when a retry might succeed.
+    fn run(&self, job: &Job, tel: &Telemetry) -> Result<JobSuccess, JobFailure>;
+}
+
+/// One style's result inside a job record (mirrors the single-run
+/// rejection table: every attempted style appears, feasible or not).
+#[derive(Clone, Debug, PartialEq)]
+pub struct StyleEntry {
+    /// The style's display name.
+    pub style: String,
+    /// Estimated area when feasible, µm².
+    pub area_um2: Option<f64>,
+    /// Device count when feasible.
+    pub devices: Option<usize>,
+    /// Patch-rule notes when feasible (empty for a clean template).
+    pub notes: Vec<String>,
+    /// The rejection reason when infeasible.
+    pub reason: Option<String>,
+}
+
+impl StyleEntry {
+    /// `true` when this style met the specification.
+    #[must_use]
+    pub fn feasible(&self) -> bool {
+        self.reason.is_none()
+    }
+}
+
+/// A definitive job answer: either a selected design or a full set of
+/// rejections.
+#[derive(Clone, Debug)]
+pub struct JobSuccess {
+    selected: Option<(String, f64)>,
+    styles: Vec<StyleEntry>,
+    meets_spec: Option<bool>,
+}
+
+impl JobSuccess {
+    /// A feasible answer: `style` won at `area_um2`.
+    #[must_use]
+    pub fn feasible(style: impl Into<String>, area_um2: f64) -> Self {
+        Self {
+            selected: Some((style.into(), area_um2)),
+            styles: Vec::new(),
+            meets_spec: None,
+        }
+    }
+
+    /// An infeasible answer: every style was rejected.
+    #[must_use]
+    pub fn infeasible() -> Self {
+        Self {
+            selected: None,
+            styles: Vec::new(),
+            meets_spec: None,
+        }
+    }
+
+    /// Attaches the per-style breakdown.
+    #[must_use]
+    pub fn with_styles(mut self, styles: Vec<StyleEntry>) -> Self {
+        self.styles = styles;
+        self
+    }
+
+    /// Attaches the verification verdict (did the measured design meet
+    /// every specified quantity).
+    #[must_use]
+    pub fn with_meets_spec(mut self, meets_spec: bool) -> Self {
+        self.meets_spec = Some(meets_spec);
+        self
+    }
+
+    /// The winning (style, area) pair, `None` when infeasible.
+    #[must_use]
+    pub fn selected(&self) -> Option<(&str, f64)> {
+        self.selected.as_ref().map(|(s, a)| (s.as_str(), *a))
+    }
+}
+
+/// A job attempt's failure, as reported by the [`JobRunner`].
+#[derive(Clone, Debug)]
+pub struct JobFailure {
+    /// Human-readable description.
+    pub message: String,
+    /// `true` when a retry might succeed (I/O hiccup, resource
+    /// exhaustion); synthesis infeasibility is *not* a failure, and
+    /// deterministic errors should leave this `false`.
+    pub transient: bool,
+}
+
+impl JobFailure {
+    /// A permanent (non-retryable) failure.
+    #[must_use]
+    pub fn permanent(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+            transient: false,
+        }
+    }
+
+    /// A transient (retryable) failure.
+    #[must_use]
+    pub fn transient(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+            transient: true,
+        }
+    }
+}
+
+/// Why a job's record reports `failed`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The job panicked; the batch caught it and moved on.
+    Panic,
+    /// The job exceeded its wall-clock budget and was abandoned.
+    Timeout,
+    /// The runner reported a hard error (after exhausting any retries).
+    Error,
+}
+
+impl FailureKind {
+    fn word(self) -> &'static str {
+        match self {
+            FailureKind::Panic => "panic",
+            FailureKind::Timeout => "timeout",
+            FailureKind::Error => "error",
+        }
+    }
+}
+
+/// How one job in the batch ended.
+#[derive(Clone, Debug)]
+pub enum JobStatus {
+    /// A style was selected.
+    Ok {
+        /// Winning style name.
+        style: String,
+        /// Estimated area, µm².
+        area_um2: f64,
+    },
+    /// Every style was rejected — a definitive, checkpointable answer.
+    Infeasible,
+    /// The job failed; the rest of the batch was unaffected.
+    Failed {
+        /// What kind of failure.
+        kind: FailureKind,
+        /// Human-readable description.
+        message: String,
+    },
+    /// A prior run already completed this job (same fingerprint in the
+    /// checkpoint); its recorded outcome rides along.
+    Skipped {
+        /// The outcome the checkpoint recorded for this fingerprint.
+        prior: CheckpointOutcome,
+    },
+}
+
+impl JobStatus {
+    /// The checkpoint outcome this status persists as (`None` for
+    /// skipped jobs, which are already on record).
+    fn to_checkpoint(&self) -> Option<CheckpointOutcome> {
+        match self {
+            JobStatus::Ok { style, area_um2 } => Some(CheckpointOutcome::Ok {
+                style: style.clone(),
+                area_um2: *area_um2,
+            }),
+            JobStatus::Infeasible => Some(CheckpointOutcome::Infeasible),
+            JobStatus::Failed { .. } => Some(CheckpointOutcome::Failed),
+            JobStatus::Skipped { .. } => None,
+        }
+    }
+
+    /// The aggregate-report outcome: skipped jobs resolve to the outcome
+    /// their checkpoint entry recorded, so a resumed batch aggregates
+    /// identically to an uninterrupted one.
+    fn effective(&self) -> (&'static str, Option<(&str, f64)>) {
+        match self {
+            JobStatus::Ok { style, area_um2 } => ("ok", Some((style.as_str(), *area_um2))),
+            JobStatus::Infeasible => ("infeasible", None),
+            JobStatus::Failed { .. } => ("failed", None),
+            JobStatus::Skipped { prior } => match prior {
+                CheckpointOutcome::Ok { style, area_um2 } => {
+                    ("ok", Some((style.as_str(), *area_um2)))
+                }
+                CheckpointOutcome::Infeasible => ("infeasible", None),
+                CheckpointOutcome::Failed => ("failed", None),
+            },
+        }
+    }
+}
+
+/// One job's result record — the unit the batch streams as JSON lines.
+#[derive(Clone, Debug)]
+pub struct JobRecord {
+    /// The job's position in the batch.
+    pub job: usize,
+    /// The specification input's label.
+    pub spec: String,
+    /// The technology input's label.
+    pub tech: String,
+    /// The job's content fingerprint.
+    pub fingerprint: u64,
+    /// How the job ended.
+    pub status: JobStatus,
+    /// Attempts made this run (0 for skipped jobs).
+    pub attempts: u32,
+    /// Wall-clock duration of this run's attempts, ns (0 for skipped).
+    pub duration_ns: u64,
+    /// Per-style breakdown (empty for skipped and failed jobs).
+    pub styles: Vec<StyleEntry>,
+    /// Verification verdict, when the runner measured the design.
+    pub meets_spec: Option<bool>,
+}
+
+impl JobRecord {
+    /// Renders the record as one JSON line (no trailing newline).
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!(
+            "\"schema\":\"oasys-batch-record\",\"v\":1,\"job\":{},\"spec\":{},\"tech\":{},\"fingerprint\":\"{:016x}\"",
+            self.job,
+            json::string(&self.spec),
+            json::string(&self.tech),
+            self.fingerprint
+        ));
+        match &self.status {
+            JobStatus::Ok { style, area_um2 } => {
+                out.push_str(&format!(
+                    ",\"outcome\":\"ok\",\"style\":{},\"area_um2\":{}",
+                    json::string(style),
+                    json::number(*area_um2)
+                ));
+            }
+            JobStatus::Infeasible => out.push_str(",\"outcome\":\"infeasible\""),
+            JobStatus::Failed { kind, message } => {
+                out.push_str(&format!(
+                    ",\"outcome\":\"failed\",\"failure\":\"{}\",\"error\":{}",
+                    kind.word(),
+                    json::string(message)
+                ));
+            }
+            JobStatus::Skipped { prior } => {
+                out.push_str(",\"outcome\":\"skipped\"");
+                match prior {
+                    CheckpointOutcome::Ok { style, area_um2 } => out.push_str(&format!(
+                        ",\"prior_outcome\":\"ok\",\"style\":{},\"area_um2\":{}",
+                        json::string(style),
+                        json::number(*area_um2)
+                    )),
+                    CheckpointOutcome::Infeasible => {
+                        out.push_str(",\"prior_outcome\":\"infeasible\"");
+                    }
+                    CheckpointOutcome::Failed => out.push_str(",\"prior_outcome\":\"failed\""),
+                }
+            }
+        }
+        out.push_str(&format!(
+            ",\"attempts\":{},\"duration_ns\":{}",
+            self.attempts, self.duration_ns
+        ));
+        if let Some(meets) = self.meets_spec {
+            out.push_str(&format!(",\"meets_spec\":{meets}"));
+        }
+        if !self.styles.is_empty() {
+            out.push_str(",\"styles\":[");
+            for (i, entry) in self.styles.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"style\":{},\"feasible\":{}",
+                    json::string(&entry.style),
+                    entry.feasible()
+                ));
+                if let Some(area) = entry.area_um2 {
+                    out.push_str(&format!(",\"area_um2\":{}", json::number(area)));
+                }
+                if let Some(devices) = entry.devices {
+                    out.push_str(&format!(",\"devices\":{devices}"));
+                }
+                if !entry.notes.is_empty() {
+                    out.push_str(&format!(
+                        ",\"notes\":{}",
+                        json::string(&entry.notes.join("; "))
+                    ));
+                }
+                if let Some(reason) = &entry.reason {
+                    out.push_str(&format!(",\"reason\":{}", json::string(reason)));
+                }
+                out.push('}');
+            }
+            out.push(']');
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Outcome counts over a finished batch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchCounts {
+    /// Jobs that selected a design this run.
+    pub ok: usize,
+    /// Jobs whose every style was rejected this run.
+    pub infeasible: usize,
+    /// Jobs that failed (panic, timeout, hard error).
+    pub failed: usize,
+    /// Jobs served from the checkpoint without re-running.
+    pub skipped: usize,
+}
+
+/// A finished batch: every job's record, in job order.
+#[derive(Clone, Debug)]
+pub struct BatchReport {
+    records: Vec<JobRecord>,
+}
+
+impl BatchReport {
+    /// Every job's record, sorted by job id.
+    #[must_use]
+    pub fn records(&self) -> &[JobRecord] {
+        &self.records
+    }
+
+    /// Outcome counts for this run.
+    #[must_use]
+    pub fn counts(&self) -> BatchCounts {
+        let mut counts = BatchCounts::default();
+        for record in &self.records {
+            match record.status {
+                JobStatus::Ok { .. } => counts.ok += 1,
+                JobStatus::Infeasible => counts.infeasible += 1,
+                JobStatus::Failed { .. } => counts.failed += 1,
+                JobStatus::Skipped { .. } => counts.skipped += 1,
+            }
+        }
+        counts
+    }
+
+    /// `true` when every job has a definitive answer (no failures —
+    /// including none on record for skipped jobs).
+    #[must_use]
+    pub fn all_definitive(&self) -> bool {
+        self.records
+            .iter()
+            .all(|r| r.status.effective().0 != "failed")
+    }
+
+    /// Renders the deterministic aggregate document: one entry per job
+    /// in job order with its *effective* outcome (checkpointed outcomes
+    /// stand in for skipped jobs), plus a summary. Contains no
+    /// timestamps, durations, or scheduling artifacts, so an
+    /// uninterrupted run and a resumed run over the same inputs render
+    /// byte-identical aggregates.
+    #[must_use]
+    pub fn render_aggregate(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": \"oasys-batch\",\n  \"version\": 1,\n");
+        out.push_str("  \"jobs\": [\n");
+        let mut ok = 0usize;
+        let mut infeasible = 0usize;
+        let mut failed = 0usize;
+        let mut total_area = 0.0f64;
+        for (i, record) in self.records.iter().enumerate() {
+            let (outcome, selected) = record.status.effective();
+            match outcome {
+                "ok" => ok += 1,
+                "infeasible" => infeasible += 1,
+                _ => failed += 1,
+            }
+            let mut line = format!(
+                "    {{\"job\": {}, \"spec\": {}, \"tech\": {}, \"fingerprint\": \"{:016x}\", \"outcome\": \"{outcome}\"",
+                record.job,
+                json::string(&record.spec),
+                json::string(&record.tech),
+                record.fingerprint
+            );
+            if let Some((style, area)) = selected {
+                total_area += area;
+                line.push_str(&format!(
+                    ", \"style\": {}, \"area_um2\": {}",
+                    json::string(style),
+                    json::number(area)
+                ));
+            }
+            line.push('}');
+            if i + 1 != self.records.len() {
+                line.push(',');
+            }
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"summary\": {{\"jobs\": {}, \"ok\": {ok}, \"infeasible\": {infeasible}, \"failed\": {failed}, \"total_area_um2\": {}}}\n",
+            self.records.len(),
+            json::number(total_area)
+        ));
+        out.push_str("}\n");
+        out
+    }
+
+    /// A one-line human summary.
+    #[must_use]
+    pub fn render_summary(&self) -> String {
+        let counts = self.counts();
+        format!(
+            "batch: {} jobs — {} ok, {} infeasible, {} failed, {} skipped (resumed)",
+            self.records.len(),
+            counts.ok,
+            counts.infeasible,
+            counts.failed,
+            counts.skipped
+        )
+    }
+}
+
+/// What one job execution produced (worker → coordinator message).
+struct JobExecution {
+    status: JobStatus,
+    attempts: u32,
+    duration_ns: u64,
+    styles: Vec<StyleEntry>,
+    meets_spec: Option<bool>,
+    retried: bool,
+    report: Option<RunReport>,
+}
+
+/// A configured batch, ready to run.
+pub struct Batch {
+    jobs: Vec<Job>,
+    options: BatchOptions,
+    checkpoint: Option<Checkpoint>,
+    recovered_checkpoint: bool,
+}
+
+impl Batch {
+    /// A batch over `jobs` with the given options, no checkpoint.
+    #[must_use]
+    pub fn new(jobs: Vec<Job>, options: BatchOptions) -> Self {
+        Self {
+            jobs,
+            options,
+            checkpoint: None,
+            recovered_checkpoint: false,
+        }
+    }
+
+    /// Attaches a checkpoint file. An existing valid checkpoint arms the
+    /// resume path; a corrupt one (truncated line, bad header…) is
+    /// **discarded** and the batch restarts cleanly — a half-written
+    /// record must never masquerade as completed work. Check
+    /// [`Batch::recovered_checkpoint`] to report the recovery.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] when the file cannot be read or the stale
+    /// corrupt file cannot be removed.
+    pub fn with_checkpoint(
+        mut self,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<Self, CheckpointError> {
+        match Checkpoint::open(path.as_ref()) {
+            Ok(checkpoint) => {
+                self.checkpoint = Some(checkpoint);
+                self.recovered_checkpoint = false;
+            }
+            Err(CheckpointError::Corrupt { .. }) => {
+                self.checkpoint = Some(Checkpoint::start_fresh(path.as_ref())?);
+                self.recovered_checkpoint = true;
+            }
+            Err(e) => return Err(e),
+        }
+        Ok(self)
+    }
+
+    /// `true` when [`Batch::with_checkpoint`] found a corrupt file and
+    /// restarted cleanly.
+    #[must_use]
+    pub fn recovered_checkpoint(&self) -> bool {
+        self.recovered_checkpoint
+    }
+
+    /// Jobs already completed by the attached checkpoint.
+    #[must_use]
+    pub fn resumable_count(&self) -> usize {
+        let Some(checkpoint) = &self.checkpoint else {
+            return 0;
+        };
+        self.jobs
+            .iter()
+            .filter(|j| checkpoint.completed(j.fingerprint()).is_some())
+            .count()
+    }
+
+    /// Runs the batch to completion and returns the report.
+    ///
+    /// `sink` is invoked once per job, in **completion order** (the
+    /// streaming view); the returned report is sorted by job id (the
+    /// deterministic view). Opens a root `batch` span on `tel`, one
+    /// `job:<id>` child per executed job (absorbed in job order), and
+    /// maintains the `batch.jobs_{ok,failed,retried,skipped}` counters.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError`] when a checkpoint record cannot be written
+    /// durably; jobs already in flight still drain, and their outcomes
+    /// are lost to the checkpoint but not to the sink.
+    pub fn run<R: JobRunner>(
+        self,
+        runner: &Arc<R>,
+        tel: &Telemetry,
+        mut sink: impl FnMut(&JobRecord),
+    ) -> Result<BatchReport, CheckpointError> {
+        let Batch {
+            jobs,
+            options,
+            mut checkpoint,
+            ..
+        } = self;
+        let root = tel.span(|| "batch".to_owned());
+        root.annotate("jobs", || jobs.len().to_string());
+
+        // Partition: checkpointed jobs short-circuit to skipped records;
+        // the rest join the work queue with pre-forked telemetry seeds
+        // (one per potential attempt — forking must stay on this thread).
+        let mut records: Vec<Option<JobRecord>> = Vec::new();
+        records.resize_with(jobs.len(), || None);
+        let mut pending: Vec<(Job, Vec<Option<TelemetrySeed>>)> = Vec::new();
+        for job in jobs {
+            if let Some(entry) = checkpoint
+                .as_ref()
+                .and_then(|cp| cp.completed(job.fingerprint()))
+            {
+                let record = JobRecord {
+                    job: job.id(),
+                    spec: job.spec_label().to_owned(),
+                    tech: job.tech_label().to_owned(),
+                    fingerprint: job.fingerprint(),
+                    status: JobStatus::Skipped {
+                        prior: entry.outcome.clone(),
+                    },
+                    attempts: 0,
+                    duration_ns: 0,
+                    styles: Vec::new(),
+                    meets_spec: None,
+                };
+                tel.incr("batch.jobs_skipped");
+                sink(&record);
+                let slot = record.job;
+                records[slot] = Some(record);
+            } else {
+                let seeds = (0..=options.retries())
+                    .map(|_| tel.fork_seed())
+                    .collect::<Vec<_>>();
+                pending.push((job, seeds));
+            }
+        }
+
+        let mut checkpoint_error = None;
+        if !pending.is_empty() {
+            let workers = options.workers().min(pending.len()).max(1);
+            root.annotate("workers", || workers.to_string());
+            let slots = pending.len();
+            let queue = Mutex::new(std::collections::VecDeque::from(pending));
+            let (tx, rx) = mpsc::channel::<(Job, JobExecution)>();
+            // Absorb job telemetry in job order after the pool drains,
+            // so the batch trace is scheduling-independent.
+            let mut job_reports: Vec<(usize, RunReport)> = Vec::new();
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    let tx = tx.clone();
+                    let queue = &queue;
+                    let options = &options;
+                    scope.spawn(move || loop {
+                        let Some((job, seeds)) = queue.lock().expect("queue lock").pop_front()
+                        else {
+                            break;
+                        };
+                        let execution = execute_job(&job, seeds, runner, options);
+                        if tx.send((job, execution)).is_err() {
+                            break;
+                        }
+                    });
+                }
+                drop(tx);
+                for _ in 0..slots {
+                    let Ok((job, mut execution)) = rx.recv() else {
+                        break;
+                    };
+                    if let Some(report) = execution.report.take() {
+                        job_reports.push((job.id(), report));
+                    }
+                    let record = JobRecord {
+                        job: job.id(),
+                        spec: job.spec_label().to_owned(),
+                        tech: job.tech_label().to_owned(),
+                        fingerprint: job.fingerprint(),
+                        status: execution.status,
+                        attempts: execution.attempts,
+                        duration_ns: execution.duration_ns,
+                        styles: execution.styles,
+                        meets_spec: execution.meets_spec,
+                    };
+                    match &record.status {
+                        JobStatus::Failed { .. } => tel.incr("batch.jobs_failed"),
+                        _ => tel.incr("batch.jobs_ok"),
+                    }
+                    if execution.retried {
+                        tel.incr("batch.jobs_retried");
+                    }
+                    if checkpoint_error.is_none() {
+                        if let (Some(cp), Some(outcome)) =
+                            (checkpoint.as_mut(), record.status.to_checkpoint())
+                        {
+                            if let Err(e) =
+                                cp.record(record.fingerprint, &outcome, &record.spec, &record.tech)
+                            {
+                                checkpoint_error = Some(e);
+                            }
+                        }
+                    }
+                    sink(&record);
+                    let slot = record.job;
+                    records[slot] = Some(record);
+                }
+            });
+            job_reports.sort_by_key(|(id, _)| *id);
+            for (_, report) in &job_reports {
+                tel.absorb_report(report);
+            }
+        }
+
+        let records: Vec<JobRecord> = records
+            .into_iter()
+            .map(|r| r.expect("every job produced a record"))
+            .collect();
+        let report = BatchReport { records };
+        let counts = report.counts();
+        root.annotate("ok", || (counts.ok + counts.infeasible).to_string());
+        root.annotate("failed", || counts.failed.to_string());
+        root.annotate("skipped", || counts.skipped.to_string());
+        match checkpoint_error {
+            Some(e) => Err(e),
+            None => Ok(report),
+        }
+    }
+}
+
+/// Runs one job through its retry loop on a worker thread.
+fn execute_job<R: JobRunner>(
+    job: &Job,
+    seeds: Vec<Option<TelemetrySeed>>,
+    runner: &Arc<R>,
+    options: &BatchOptions,
+) -> JobExecution {
+    let start = Instant::now();
+    let mut attempts = 0u32;
+    let mut retried = false;
+    let mut seeds = seeds.into_iter();
+    loop {
+        attempts += 1;
+        let seed = seeds.next().flatten();
+        let attempt = run_attempt(job.clone(), seed, Arc::clone(runner), options.timeout());
+        let duration_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        match attempt {
+            AttemptOutcome::Done(Ok(success), report) => {
+                let status = match success.selected {
+                    Some((style, area_um2)) => JobStatus::Ok { style, area_um2 },
+                    None => JobStatus::Infeasible,
+                };
+                return JobExecution {
+                    status,
+                    attempts,
+                    duration_ns,
+                    styles: success.styles,
+                    meets_spec: success.meets_spec,
+                    retried,
+                    report,
+                };
+            }
+            AttemptOutcome::Done(Err(failure), report) => {
+                if failure.transient && attempts <= options.retries() {
+                    retried = true;
+                    std::thread::sleep(options.backoff(attempts));
+                    continue;
+                }
+                return JobExecution {
+                    status: JobStatus::Failed {
+                        kind: FailureKind::Error,
+                        message: failure.message,
+                    },
+                    attempts,
+                    duration_ns,
+                    styles: Vec::new(),
+                    meets_spec: None,
+                    retried,
+                    report,
+                };
+            }
+            AttemptOutcome::Panicked(message) => {
+                return JobExecution {
+                    status: JobStatus::Failed {
+                        kind: FailureKind::Panic,
+                        message,
+                    },
+                    attempts,
+                    duration_ns,
+                    styles: Vec::new(),
+                    meets_spec: None,
+                    retried,
+                    report: None,
+                };
+            }
+            AttemptOutcome::TimedOut => {
+                return JobExecution {
+                    status: JobStatus::Failed {
+                        kind: FailureKind::Timeout,
+                        message: format!(
+                            "job exceeded its {} ms budget and was abandoned",
+                            options.timeout().map_or(0, |t| t.as_millis())
+                        ),
+                    },
+                    attempts,
+                    duration_ns,
+                    styles: Vec::new(),
+                    meets_spec: None,
+                    retried,
+                    report: None,
+                };
+            }
+        }
+    }
+}
+
+enum AttemptOutcome {
+    /// The runner returned; its telemetry recording rides along (absent
+    /// only when the isolation thread could not report).
+    Done(Result<JobSuccess, JobFailure>, Option<RunReport>),
+    /// The runner panicked; the payload message survives.
+    Panicked(String),
+    /// The attempt exceeded its budget and was abandoned.
+    TimedOut,
+}
+
+/// Runs one attempt on a detached isolation thread, so a panic or a
+/// divergence cannot take the worker (or the batch) down with it.
+fn run_attempt<R: JobRunner>(
+    job: Job,
+    seed: Option<TelemetrySeed>,
+    runner: Arc<R>,
+    timeout: Option<Duration>,
+) -> AttemptOutcome {
+    let (tx, rx) = mpsc::channel();
+    let spawned = std::thread::Builder::new()
+        .name(format!("oasys-job-{}", job.id()))
+        .spawn(move || {
+            let payload = catch_unwind(AssertUnwindSafe(move || {
+                let tel = TelemetrySeed::build_optional(seed);
+                let result = {
+                    let span = tel.span(|| format!("job:{}", job.id()));
+                    span.annotate("spec", || job.spec_label().to_owned());
+                    span.annotate("tech", || job.tech_label().to_owned());
+                    let result = runner.run(&job, &tel);
+                    span.annotate("outcome", || {
+                        match &result {
+                            Ok(s) if s.selected.is_some() => "ok",
+                            Ok(_) => "infeasible",
+                            Err(_) => "failed",
+                        }
+                        .to_owned()
+                    });
+                    result
+                };
+                (result, tel.report())
+            }));
+            let _ = tx.send(payload.map_err(panic_message));
+        });
+    if let Err(e) = spawned {
+        return AttemptOutcome::Done(
+            Err(JobFailure::transient(format!(
+                "could not spawn job thread: {e}"
+            ))),
+            None,
+        );
+    }
+    let received = match timeout {
+        Some(budget) => rx.recv_timeout(budget),
+        None => rx.recv().map_err(|_| mpsc::RecvTimeoutError::Disconnected),
+    };
+    match received {
+        Ok(Ok((result, report))) => AttemptOutcome::Done(result, Some(report)),
+        Ok(Err(message)) => AttemptOutcome::Panicked(message),
+        Err(mpsc::RecvTimeoutError::Timeout) => AttemptOutcome::TimedOut,
+        // catch_unwind forwards every panic, so a dead channel means the
+        // thread was killed out from under us — report it as a panic.
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            AttemptOutcome::Panicked("job thread terminated without reporting".to_owned())
+        }
+    }
+}
+
+/// Extracts a printable message from a panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with a non-string payload".to_owned()
+    }
+}

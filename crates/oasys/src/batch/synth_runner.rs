@@ -1,0 +1,134 @@
+//! The production [`JobRunner`]: full OASYS synthesis per job, with a
+//! shared per-technology [`MemoCache`].
+
+use super::manifest::{fingerprint, Job};
+use super::runner::{JobFailure, JobRunner, JobSuccess, StyleEntry};
+use crate::datasheet::Datasheet;
+use crate::synth::synthesize_with_cache;
+use crate::verify::verify_with;
+use crate::SearchOptions;
+use oasys_plan::MemoCache;
+use oasys_telemetry::Telemetry;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Runs each job through spec/tech parsing, breadth-first style search,
+/// and (optionally) simulator verification of the winner.
+///
+/// Sub-block designs are memoized in one [`MemoCache`] **per distinct
+/// technology text** — cache keys assume a fixed process, so jobs on the
+/// same process share hits across the whole sweep while different
+/// processes stay isolated.
+///
+/// All failure modes here are deterministic (parse errors, simulator
+/// non-convergence), so this runner never reports a transient failure;
+/// "no style fits" is a definitive [`JobSuccess::infeasible`] answer,
+/// not a failure at all.
+pub struct SynthRunner {
+    search: SearchOptions,
+    verify: bool,
+    caches: Mutex<HashMap<u64, Arc<MemoCache>>>,
+}
+
+impl Default for SynthRunner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SynthRunner {
+    /// A runner with default search options and verification enabled.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            search: SearchOptions::default(),
+            verify: true,
+            caches: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Sets the style-search options every job runs with.
+    #[must_use]
+    pub fn with_search(mut self, search: SearchOptions) -> Self {
+        self.search = search;
+        self
+    }
+
+    /// Enables or disables post-synthesis verification.
+    #[must_use]
+    pub fn with_verify(mut self, verify: bool) -> Self {
+        self.verify = verify;
+        self
+    }
+
+    fn cache_for(&self, tech_text: &str) -> Arc<MemoCache> {
+        let key = fingerprint("", tech_text);
+        Arc::clone(
+            self.caches
+                .lock()
+                .expect("cache map lock")
+                .entry(key)
+                .or_insert_with(|| Arc::new(MemoCache::new())),
+        )
+    }
+}
+
+impl JobRunner for SynthRunner {
+    fn run(&self, job: &Job, tel: &Telemetry) -> Result<JobSuccess, JobFailure> {
+        let spec = crate::specfile::parse(job.spec_text())
+            .map_err(|e| JobFailure::permanent(format!("spec {}: {e}", job.spec_label())))?;
+        let process = oasys_process::techfile::parse(job.tech_text())
+            .map_err(|e| JobFailure::permanent(format!("tech {}: {e}", job.tech_label())))?;
+        let cache = self.cache_for(job.tech_text());
+        match synthesize_with_cache(&spec, &process, &self.search, tel, &cache) {
+            Ok(synthesis) => {
+                let styles = synthesis
+                    .outcomes()
+                    .iter()
+                    .map(|outcome| StyleEntry {
+                        style: outcome.style().to_string(),
+                        area_um2: outcome.design().map(|d| d.area().total_um2()),
+                        devices: outcome
+                            .design()
+                            .map(crate::styles::OpAmpDesign::device_count),
+                        notes: outcome
+                            .design()
+                            .map(|d| d.notes().to_vec())
+                            .unwrap_or_default(),
+                        reason: outcome.rejection(),
+                    })
+                    .collect();
+                let design = synthesis.selected();
+                let mut success =
+                    JobSuccess::feasible(design.style().to_string(), design.area().total_um2())
+                        .with_styles(styles);
+                if self.verify {
+                    let verification = verify_with(design, &process, spec.load().farads(), tel)
+                        .map_err(|e| JobFailure::permanent(format!("verification failed: {e}")))?;
+                    let sheet = Datasheet::new(
+                        format!("{} × {}", job.spec_label(), job.tech_label()),
+                        &spec,
+                        design.predicted(),
+                        Some(&verification.measured),
+                    );
+                    success = success.with_meets_spec(sheet.all_measured_pass());
+                }
+                Ok(success)
+            }
+            Err(e) => {
+                let styles = e
+                    .rejections()
+                    .iter()
+                    .map(|(style, reason)| StyleEntry {
+                        style: style.to_string(),
+                        area_um2: None,
+                        devices: None,
+                        notes: Vec::new(),
+                        reason: Some(reason.clone()),
+                    })
+                    .collect();
+                Ok(JobSuccess::infeasible().with_styles(styles))
+            }
+        }
+    }
+}

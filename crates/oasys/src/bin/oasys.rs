@@ -6,6 +6,9 @@
 //!       [--styles <list>] [--explain] [--trace-out <file.json>]
 //!       [--trace-format json|chrome]
 //! oasys lint [<spec-file> <tech-file>] [--deny-warnings] [--format human|json]
+//! oasys batch <manifest> [--records <file.jsonl>] [--aggregate <file.json>]
+//!       [--checkpoint <file>] [--workers <n>] [--timeout-ms <n>]
+//!       [--retries <n>] [--no-verify] [--styles <list>] [--explain]
 //! ```
 //!
 //! The first form prints the style-selection outcome, the sized device
@@ -26,10 +29,24 @@
 //! synthesized design. Diagnostics go to stdout (human-readable or as a
 //! JSON array); the exit code is nonzero when any error fires, or, under
 //! `--deny-warnings`, when any diagnostic fires at all.
+//!
+//! The `batch` form expands a manifest of `spec × tech` inputs into a
+//! job list and runs it on a bounded worker pool, streaming one JSON
+//! line per job (to stdout, or `--records`) and ending with the
+//! deterministic aggregate report (to stdout, or `--aggregate`).
+//! `--checkpoint` makes the run resumable: completed jobs are recorded
+//! by content fingerprint and skipped when the batch is re-run; a
+//! corrupt or truncated checkpoint is discarded and the batch restarts
+//! cleanly. A panicking or timed-out job is reported as failed in its
+//! own record while the remaining jobs complete; the exit code is
+//! nonzero only when some job failed (infeasible specs are definitive
+//! answers, not failures). Command-line flags override the manifest's
+//! `workers =` / `timeout_ms =` / `retries =` / `verify =` settings;
+//! `--timeout-ms 0` disables the per-job timeout.
 
 use oasys::{
-    specfile, styles, synthesize_with, synthesize_with_options, verify_with, Datasheet, OpAmpStyle,
-    SearchOptions, Synthesis,
+    batch, specfile, styles, synthesize_with, synthesize_with_options, verify_with, Datasheet,
+    OpAmpStyle, SearchOptions, Synthesis,
 };
 use oasys_netlist::{lint, report, spice};
 use oasys_process::techfile;
@@ -39,15 +56,21 @@ use std::process::ExitCode;
 const SYNTH_USAGE: &str = "usage: oasys <spec-file> <tech-file> [--out <deck.sp>] [--no-verify] [--styles <list>] [--explain] [--trace-out <file.json>] [--trace-format json|chrome]\n       oasys lint [<spec-file> <tech-file>] [--deny-warnings] [--format human|json]";
 const LINT_USAGE: &str =
     "usage: oasys lint [<spec-file> <tech-file>] [--deny-warnings] [--format human|json]";
+const BATCH_USAGE: &str = "usage: oasys batch <manifest> [--records <file.jsonl>] [--aggregate <file.json>] [--checkpoint <file>] [--workers <n>] [--timeout-ms <n>] [--retries <n>] [--no-verify] [--styles <list>] [--explain]";
 
 fn main() -> ExitCode {
     let result = {
         let mut args = std::env::args().skip(1).peekable();
-        if args.peek().map(String::as_str) == Some("lint") {
-            args.next();
-            run_lint(args)
-        } else {
-            run_synth(args).map(|()| ExitCode::SUCCESS)
+        match args.peek().map(String::as_str) {
+            Some("lint") => {
+                args.next();
+                run_lint(args)
+            }
+            Some("batch") => {
+                args.next();
+                run_batch(args)
+            }
+            _ => run_synth(args).map(|()| ExitCode::SUCCESS),
         }
     };
     match result {
@@ -355,6 +378,203 @@ fn run_lint(args: impl Iterator<Item = String>) -> Result<ExitCode, String> {
     })
 }
 
+/// Parsed arguments of the batch mode.
+#[derive(Debug, PartialEq, Eq)]
+struct BatchCliOptions {
+    manifest_path: String,
+    records_path: Option<String>,
+    aggregate_path: Option<String>,
+    checkpoint_path: Option<String>,
+    workers: Option<usize>,
+    timeout_ms: Option<u64>,
+    retries: Option<u32>,
+    no_verify: bool,
+    styles: Option<Vec<String>>,
+    explain: bool,
+}
+
+impl BatchCliOptions {
+    fn parse(mut args: impl Iterator<Item = String>) -> Result<Self, String> {
+        let manifest_path = args.next().ok_or(BATCH_USAGE)?;
+        if manifest_path.starts_with("--") {
+            return Err(format!(
+                "the manifest path must come before any flags\n{BATCH_USAGE}"
+            ));
+        }
+        let mut opts = BatchCliOptions {
+            manifest_path,
+            records_path: None,
+            aggregate_path: None,
+            checkpoint_path: None,
+            workers: None,
+            timeout_ms: None,
+            retries: None,
+            no_verify: false,
+            styles: None,
+            explain: false,
+        };
+        while let Some(flag) = args.next() {
+            match flag.as_str() {
+                "--records" => {
+                    opts.records_path = Some(args.next().ok_or("--records needs a path")?);
+                }
+                "--aggregate" => {
+                    opts.aggregate_path = Some(args.next().ok_or("--aggregate needs a path")?);
+                }
+                "--checkpoint" => {
+                    opts.checkpoint_path = Some(args.next().ok_or("--checkpoint needs a path")?);
+                }
+                "--workers" => {
+                    let value = args.next().ok_or("--workers needs a count")?;
+                    opts.workers = Some(
+                        value
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&n| n > 0)
+                            .ok_or_else(|| {
+                                format!("--workers needs a positive integer, got `{value}`")
+                            })?,
+                    );
+                }
+                "--timeout-ms" => {
+                    let value = args
+                        .next()
+                        .ok_or("--timeout-ms needs a value (0 disables)")?;
+                    opts.timeout_ms =
+                        Some(value.parse::<u64>().map_err(|_| {
+                            format!("--timeout-ms needs an integer, got `{value}`")
+                        })?);
+                }
+                "--retries" => {
+                    let value = args.next().ok_or("--retries needs a count")?;
+                    opts.retries = Some(
+                        value
+                            .parse::<u32>()
+                            .map_err(|_| format!("--retries needs an integer, got `{value}`"))?,
+                    );
+                }
+                "--no-verify" => opts.no_verify = true,
+                "--styles" => {
+                    let list = args.next().ok_or("--styles needs a comma-separated list")?;
+                    opts.styles = Some(parse_styles_list(&list)?);
+                }
+                "--explain" => opts.explain = true,
+                other => return Err(format!("unknown flag `{other}`\n{BATCH_USAGE}")),
+            }
+        }
+        Ok(opts)
+    }
+
+    /// Resolves final batch options: defaults, overlaid with the
+    /// manifest's settings, overridden by command-line flags.
+    fn batch_options(&self, settings: &batch::ManifestSettings) -> batch::BatchOptions {
+        let mut options = batch::BatchOptions::default();
+        options.apply_manifest(settings);
+        if let Some(workers) = self.workers {
+            options = options.with_workers(workers);
+        }
+        if let Some(ms) = self.timeout_ms {
+            options = options.with_timeout(if ms == 0 {
+                None
+            } else {
+                Some(std::time::Duration::from_millis(ms))
+            });
+        }
+        if let Some(retries) = self.retries {
+            options = options.with_retries(retries);
+        }
+        if self.no_verify {
+            options = options.with_verify(false);
+        }
+        if let Some(styles) = &self.styles {
+            options = options.with_search(SearchOptions::new().with_styles(styles.clone()));
+        }
+        options
+    }
+}
+
+/// `oasys batch`: a manifest-driven sweep on the worker pool.
+fn run_batch(args: impl Iterator<Item = String>) -> Result<ExitCode, String> {
+    use std::io::Write as _;
+
+    let opts = BatchCliOptions::parse(args)?;
+    let manifest = batch::Manifest::load(&opts.manifest_path).map_err(|e| e.to_string())?;
+    let options = opts.batch_options(&manifest.settings());
+    let jobs = manifest.expand().map_err(|e| e.to_string())?;
+    eprintln!(
+        "batch: {} jobs ({} specs × {} techs), {} workers",
+        jobs.len(),
+        manifest.specs().len(),
+        manifest.techs().len(),
+        options.workers()
+    );
+
+    let verify = options.verify();
+    let search = options.search().clone();
+    let mut batch_run = batch::Batch::new(jobs, options);
+    if let Some(path) = &opts.checkpoint_path {
+        batch_run = batch_run.with_checkpoint(path).map_err(|e| e.to_string())?;
+        if batch_run.recovered_checkpoint() {
+            eprintln!("batch: checkpoint {path} was corrupt — discarded, starting fresh");
+        } else if batch_run.resumable_count() > 0 {
+            eprintln!(
+                "batch: resuming — {} completed jobs on record",
+                batch_run.resumable_count()
+            );
+        }
+    }
+
+    let mut records_file = match &opts.records_path {
+        Some(path) => Some(std::io::BufWriter::new(
+            std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?,
+        )),
+        None => None,
+    };
+
+    let tel = if opts.explain {
+        Telemetry::new()
+    } else {
+        Telemetry::disabled()
+    };
+    let runner = std::sync::Arc::new(
+        batch::SynthRunner::new()
+            .with_search(search)
+            .with_verify(verify),
+    );
+    let report = batch_run
+        .run(&runner, &tel, |record| {
+            let line = record.render_json();
+            match &mut records_file {
+                Some(file) => {
+                    let _ = writeln!(file, "{line}");
+                    let _ = file.flush();
+                }
+                None => println!("{line}"),
+            }
+        })
+        .map_err(|e| e.to_string())?;
+    drop(records_file);
+
+    match &opts.aggregate_path {
+        Some(path) => {
+            std::fs::write(path, report.render_aggregate()).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("batch: aggregate written to {path}");
+        }
+        None => print!("{}", report.render_aggregate()),
+    }
+    eprintln!("{}", report.render_summary());
+    if opts.explain {
+        println!("run trace:");
+        print!("{}", tel.report().render_explain());
+    }
+
+    Ok(if report.all_definitive() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
 /// Parses the specification and technology files shared by both modes.
 fn load_inputs(
     spec_path: &str,
@@ -532,5 +752,93 @@ mod tests {
     fn lint_unknown_flag_rejected() {
         let err = LintOptions::parse(argv(&["--nope"])).unwrap_err();
         assert!(err.contains("unknown flag `--nope`"), "{err}");
+    }
+
+    #[test]
+    fn batch_defaults() {
+        let opts = BatchCliOptions::parse(argv(&["sweep.manifest"])).unwrap();
+        assert_eq!(opts.manifest_path, "sweep.manifest");
+        assert_eq!(opts.records_path, None);
+        assert_eq!(opts.checkpoint_path, None);
+        assert_eq!(opts.workers, None);
+        assert_eq!(opts.timeout_ms, None);
+        assert_eq!(opts.retries, None);
+        assert!(!opts.no_verify);
+        assert!(!opts.explain);
+    }
+
+    #[test]
+    fn batch_requires_manifest_path() {
+        let err = BatchCliOptions::parse(argv(&[])).unwrap_err();
+        assert!(err.contains("usage:"), "{err}");
+        let err = BatchCliOptions::parse(argv(&["--workers", "2"])).unwrap_err();
+        assert!(err.contains("manifest path must come before"), "{err}");
+    }
+
+    #[test]
+    fn batch_all_flags_parse() {
+        let opts = BatchCliOptions::parse(argv(&[
+            "sweep.manifest",
+            "--records",
+            "out.jsonl",
+            "--aggregate",
+            "agg.json",
+            "--checkpoint",
+            "run.checkpoint",
+            "--workers",
+            "3",
+            "--timeout-ms",
+            "5000",
+            "--retries",
+            "1",
+            "--no-verify",
+            "--styles",
+            "two-stage",
+            "--explain",
+        ]))
+        .unwrap();
+        assert_eq!(opts.records_path.as_deref(), Some("out.jsonl"));
+        assert_eq!(opts.aggregate_path.as_deref(), Some("agg.json"));
+        assert_eq!(opts.checkpoint_path.as_deref(), Some("run.checkpoint"));
+        assert_eq!(opts.workers, Some(3));
+        assert_eq!(opts.timeout_ms, Some(5000));
+        assert_eq!(opts.retries, Some(1));
+        assert!(opts.no_verify);
+        assert_eq!(opts.styles, Some(vec!["two-stage".to_string()]));
+        assert!(opts.explain);
+    }
+
+    #[test]
+    fn batch_rejects_bad_numbers() {
+        let err = BatchCliOptions::parse(argv(&["m", "--workers", "0"])).unwrap_err();
+        assert!(err.contains("--workers needs a positive integer"), "{err}");
+        let err = BatchCliOptions::parse(argv(&["m", "--timeout-ms", "soon"])).unwrap_err();
+        assert!(err.contains("--timeout-ms needs an integer"), "{err}");
+        let err = BatchCliOptions::parse(argv(&["m", "--retries", "-1"])).unwrap_err();
+        assert!(err.contains("--retries needs an integer"), "{err}");
+    }
+
+    #[test]
+    fn batch_cli_overrides_manifest_settings() {
+        let opts = BatchCliOptions::parse(argv(&[
+            "m",
+            "--workers",
+            "2",
+            "--timeout-ms",
+            "0",
+            "--no-verify",
+        ]))
+        .unwrap();
+        let settings = batch::ManifestSettings {
+            workers: Some(7),
+            timeout: Some(std::time::Duration::from_secs(9)),
+            retries: Some(5),
+            verify: Some(true),
+        };
+        let options = opts.batch_options(&settings);
+        assert_eq!(options.workers(), 2);
+        assert_eq!(options.timeout(), None);
+        assert_eq!(options.retries(), 5);
+        assert!(!options.verify());
     }
 }

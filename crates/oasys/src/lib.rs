@@ -49,6 +49,7 @@
 //! # }
 //! ```
 
+pub mod batch;
 pub mod comparator;
 pub mod datasheet;
 pub mod fully_differential;
@@ -64,7 +65,7 @@ pub use oasys_plan::SearchOptions;
 pub use spec::{OpAmpSpec, OpAmpSpecBuilder, SpecError};
 pub use styles::{analyze_all_plans, analyze_plan, OpAmpDesign, OpAmpStyle, StyleError};
 pub use synth::{
-    synthesize, synthesize_with, synthesize_with_options, OpAmpDesigner, StyleOutcome, Synthesis,
-    SynthesisError, STYLE_THREADS_ENV,
+    synthesize, synthesize_with, synthesize_with_cache, synthesize_with_options, OpAmpDesigner,
+    StyleOutcome, Synthesis, SynthesisError, STYLE_THREADS_ENV,
 };
 pub use verify::{verify, verify_with, Measured, VerifyError};

@@ -159,7 +159,7 @@ pub fn design_style_with(
 /// Runs the static plan analyzer over a style's stored synthesis plan.
 ///
 /// The built-in plans declare their dataflow (reads/writes/emitted failure
-/// codes), so [`oasys_plan::analyze`] can check them for use-before-def,
+/// codes), so [`oasys_plan::analyze()`] can check them for use-before-def,
 /// unreachable steps, dangling restart targets, shadowed rules and
 /// never-firing rules. The built-ins are expected to analyze clean; a
 /// non-empty report indicates a knowledge-base bug.

@@ -290,6 +290,27 @@ pub fn synthesize_with_options(
     options: &SearchOptions,
     tel: &Telemetry,
 ) -> Result<Synthesis, SynthesisError> {
+    synthesize_with_cache(spec, process, options, tel, &MemoCache::new())
+}
+
+/// [`synthesize_with_options`] with a caller-supplied [`MemoCache`].
+///
+/// The cache memoizes sub-block designs and **assumes a fixed process**:
+/// share one cache across runs only when every run uses the same
+/// `process` (the batch layer keeps one cache per technology for exactly
+/// this reason). Runs over different specs may share freely — cache keys
+/// cover the sub-block specification bit-exactly.
+///
+/// # Errors
+///
+/// Same failure modes as [`synthesize_with_options`].
+pub fn synthesize_with_cache(
+    spec: &OpAmpSpec,
+    process: &Process,
+    options: &SearchOptions,
+    tel: &Telemetry,
+    cache: &MemoCache,
+) -> Result<Synthesis, SynthesisError> {
     let root = tel.span(|| "synthesize".to_owned());
     let mut opts = options.clone();
     if opts.threads().is_none() {
@@ -298,8 +319,7 @@ pub fn synthesize_with_options(
         }
     }
     let designer = OpAmpDesigner::new(process);
-    let cache = MemoCache::new();
-    let outcomes: Vec<StyleOutcome> = design_candidates(&designer, spec, &opts, tel, &cache)
+    let outcomes: Vec<StyleOutcome> = design_candidates(&designer, spec, &opts, tel, cache)
         .into_iter()
         .map(|(name, result)| {
             let style = OpAmpStyle::from_name(&name).expect("engine preserves style names");

@@ -1,0 +1,375 @@
+//! Integration tests for the batch execution layer: the 3×3 paper
+//! sweep, checkpoint/resume determinism, corrupt-checkpoint recovery,
+//! and per-job fault isolation (panics, timeouts, transient retries).
+
+use oasys::batch::{
+    Batch, BatchOptions, CheckpointOutcome, FailureKind, Job, JobFailure, JobRecord, JobRunner,
+    JobStatus, JobSuccess, Manifest, SynthRunner, CHECKPOINT_HEADER,
+};
+use oasys_telemetry::{ManualClock, Telemetry};
+use std::path::PathBuf;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("oasys-batch-int-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("{}-{name}", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+fn manifest_path() -> String {
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../../data/sweep.manifest").to_owned()
+}
+
+/// Nine synthetic jobs (labels a0…a2 × t0…t2) for the mock-runner tests.
+fn mock_jobs() -> Vec<Job> {
+    let mut jobs = Vec::new();
+    for s in 0..3 {
+        for t in 0..3 {
+            jobs.push(Job::from_texts(
+                jobs.len(),
+                format!("spec-{s}"),
+                format!("spec text {s}"),
+                format!("tech-{t}"),
+                format!("tech text {t}"),
+            ));
+        }
+    }
+    jobs
+}
+
+fn fast_options() -> BatchOptions {
+    BatchOptions::default()
+        .with_workers(3)
+        .with_timeout(Some(Duration::from_secs(30)))
+        .with_backoff(Duration::from_millis(1), Duration::from_millis(4))
+}
+
+/// A deterministic in-memory runner: area is a function of the labels,
+/// spec index 2 is infeasible.
+struct MockRunner;
+
+impl JobRunner for MockRunner {
+    fn run(&self, job: &Job, _tel: &Telemetry) -> Result<JobSuccess, JobFailure> {
+        if job.spec_label() == "spec-2" {
+            return Ok(JobSuccess::infeasible());
+        }
+        let area = 1000.0 + (job.id() as f64) * 17.25;
+        Ok(JobSuccess::feasible("two-stage", area))
+    }
+}
+
+/// Collects streamed records for assertions.
+fn collect(records: &Mutex<Vec<JobRecord>>) -> impl FnMut(&JobRecord) + '_ {
+    move |record| records.lock().unwrap().push(record.clone())
+}
+
+#[test]
+fn real_sweep_streams_one_record_per_job() {
+    let manifest = Manifest::load(manifest_path()).unwrap();
+    let jobs = manifest.expand().unwrap();
+    assert_eq!(jobs.len(), 9, "3 specs × 3 techs");
+
+    let tel = Telemetry::new();
+    let streamed = Mutex::new(Vec::new());
+    let runner = Arc::new(SynthRunner::new().with_verify(false));
+    let report = Batch::new(jobs, fast_options())
+        .run(&runner, &tel, collect(&streamed))
+        .unwrap();
+
+    let streamed = streamed.into_inner().unwrap();
+    assert_eq!(streamed.len(), 9, "one streamed record per job");
+    assert_eq!(report.records().len(), 9);
+    // The report is sorted by job id whatever the completion order.
+    for (idx, record) in report.records().iter().enumerate() {
+        assert_eq!(record.job, idx);
+        assert!(record.attempts >= 1);
+        assert!(
+            !record.styles.is_empty(),
+            "every executed job keeps its style table"
+        );
+    }
+    let counts = report.counts();
+    assert_eq!(counts.ok + counts.infeasible, 9, "every job is definitive");
+    assert!(counts.ok >= 5, "most paper jobs are feasible: {counts:?}");
+    assert!(report.all_definitive());
+    assert_eq!(tel.counter("batch.jobs_ok"), 9);
+    assert_eq!(tel.counter("batch.jobs_failed"), 0);
+    // Same-process jobs share a memo cache across the sweep.
+    assert!(tel.counter("engine.cache_hits") > 0);
+    // Every record renders as one parsable JSON line.
+    for record in report.records() {
+        let line = record.render_json();
+        assert!(!line.contains('\n'));
+        let parsed = oasys_telemetry::json::parse(&line).unwrap();
+        assert_eq!(
+            parsed.get("schema").and_then(|j| j.as_str()),
+            Some("oasys-batch-record")
+        );
+    }
+}
+
+#[test]
+fn resumed_run_skips_completed_and_aggregate_is_byte_identical() {
+    let path = tmp("resume");
+    let jobs = mock_jobs();
+    let runner = Arc::new(MockRunner);
+
+    // Uninterrupted baseline, no checkpoint.
+    let tel = Telemetry::with_clock(Rc::new(ManualClock::new()));
+    let baseline = Batch::new(jobs.clone(), fast_options())
+        .run(&runner, &tel, |_| {})
+        .unwrap();
+
+    // "Killed mid-run": only the first five jobs reach the checkpoint.
+    let tel = Telemetry::with_clock(Rc::new(ManualClock::new()));
+    let partial: Vec<Job> = jobs.iter().take(5).cloned().collect();
+    Batch::new(partial, fast_options().with_workers(1))
+        .with_checkpoint(&path)
+        .unwrap()
+        .run(&runner, &tel, |_| {})
+        .unwrap();
+
+    // Resume over the full job list.
+    let tel = Telemetry::with_clock(Rc::new(ManualClock::new()));
+    let resumed = Batch::new(jobs, fast_options())
+        .with_checkpoint(&path)
+        .unwrap()
+        .run(&runner, &tel, |_| {})
+        .unwrap();
+
+    let counts = resumed.counts();
+    assert_eq!(counts.skipped, 5, "completed jobs are not redone");
+    assert_eq!(tel.counter("batch.jobs_skipped"), 5);
+    assert_eq!(counts.ok + counts.infeasible, 4);
+    assert_eq!(
+        resumed.render_aggregate(),
+        baseline.render_aggregate(),
+        "resumed aggregate must be byte-identical to an uninterrupted run"
+    );
+    for record in resumed.records().iter().take(5) {
+        assert!(matches!(record.status, JobStatus::Skipped { .. }));
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn corrupt_checkpoint_is_discarded_and_batch_restarts_cleanly() {
+    // A record missing its trailing newline — the classic kill-mid-write.
+    let truncated = tmp("corrupt-truncated");
+    std::fs::write(
+        &truncated,
+        format!("{CHECKPOINT_HEADER}\n00000000000000ff\tok\ttwo-stage\t40c0000000000000\ta\tb"),
+    )
+    .unwrap();
+    // Garbage that never was a checkpoint.
+    let garbage = tmp("corrupt-garbage");
+    std::fs::write(&garbage, "not a checkpoint at all\n").unwrap();
+
+    for path in [truncated, garbage] {
+        let batch = Batch::new(mock_jobs(), fast_options())
+            .with_checkpoint(&path)
+            .unwrap();
+        assert!(batch.recovered_checkpoint(), "corruption must be detected");
+        assert_eq!(batch.resumable_count(), 0, "no stale entries survive");
+        let report = batch
+            .run(&Arc::new(MockRunner), &Telemetry::disabled(), |_| {})
+            .unwrap();
+        assert_eq!(report.counts().skipped, 0, "everything re-runs");
+        assert_eq!(report.records().len(), 9);
+        // The rewritten checkpoint is valid: a follow-up run resumes fully.
+        let batch = Batch::new(mock_jobs(), fast_options())
+            .with_checkpoint(&path)
+            .unwrap();
+        assert!(!batch.recovered_checkpoint());
+        assert_eq!(batch.resumable_count(), 9);
+        std::fs::remove_file(&path).unwrap();
+    }
+}
+
+/// Panics on one specific job, succeeds on the rest.
+struct PanickyRunner;
+
+impl JobRunner for PanickyRunner {
+    fn run(&self, job: &Job, _tel: &Telemetry) -> Result<JobSuccess, JobFailure> {
+        assert!(job.id() != 4, "plan diverged (simulated)");
+        Ok(JobSuccess::feasible("one-stage OTA", 500.0))
+    }
+}
+
+#[test]
+fn panicking_job_fails_alone_while_others_complete() {
+    let tel = Telemetry::new();
+    let report = Batch::new(mock_jobs(), fast_options())
+        .run(&Arc::new(PanickyRunner), &tel, |_| {})
+        .unwrap();
+    let counts = report.counts();
+    assert_eq!(counts.failed, 1);
+    assert_eq!(counts.ok, 8);
+    match &report.records()[4].status {
+        JobStatus::Failed { kind, message } => {
+            assert_eq!(*kind, FailureKind::Panic);
+            assert!(message.contains("plan diverged"), "{message}");
+        }
+        other => panic!("job 4 should have panicked, got {other:?}"),
+    }
+    assert!(!report.all_definitive());
+    assert_eq!(tel.counter("batch.jobs_failed"), 1);
+    assert_eq!(tel.counter("batch.jobs_ok"), 8);
+    let line = report.records()[4].render_json();
+    assert!(line.contains("\"failure\":\"panic\""), "{line}");
+}
+
+/// Hangs forever on one job.
+struct SleepyRunner;
+
+impl JobRunner for SleepyRunner {
+    fn run(&self, job: &Job, _tel: &Telemetry) -> Result<JobSuccess, JobFailure> {
+        if job.id() == 2 {
+            std::thread::sleep(Duration::from_secs(3600));
+        }
+        Ok(JobSuccess::feasible("one-stage OTA", 500.0))
+    }
+}
+
+#[test]
+fn timed_out_job_fails_alone_while_others_complete() {
+    let report = Batch::new(
+        mock_jobs(),
+        fast_options().with_timeout(Some(Duration::from_millis(50))),
+    )
+    .run(&Arc::new(SleepyRunner), &Telemetry::disabled(), |_| {})
+    .unwrap();
+    assert_eq!(report.counts().failed, 1);
+    assert_eq!(report.counts().ok, 8);
+    match &report.records()[2].status {
+        JobStatus::Failed { kind, message } => {
+            assert_eq!(*kind, FailureKind::Timeout);
+            assert!(message.contains("budget"), "{message}");
+        }
+        other => panic!("job 2 should have timed out, got {other:?}"),
+    }
+}
+
+/// Fails transiently twice per job before succeeding.
+struct FlakyRunner {
+    attempts: AtomicU32,
+}
+
+impl JobRunner for FlakyRunner {
+    fn run(&self, job: &Job, _tel: &Telemetry) -> Result<JobSuccess, JobFailure> {
+        let n = self.attempts.fetch_add(1, Ordering::SeqCst);
+        if n < 2 {
+            return Err(JobFailure::transient(format!(
+                "simulated I/O hiccup on {}",
+                job.spec_label()
+            )));
+        }
+        Ok(JobSuccess::feasible("two-stage", 700.0))
+    }
+}
+
+#[test]
+fn transient_failures_retry_with_backoff_then_succeed() {
+    let jobs = vec![mock_jobs().remove(0)];
+    let tel = Telemetry::new();
+    let report = Batch::new(jobs.clone(), fast_options().with_retries(2))
+        .run(
+            &Arc::new(FlakyRunner {
+                attempts: AtomicU32::new(0),
+            }),
+            &tel,
+            |_| {},
+        )
+        .unwrap();
+    let record = &report.records()[0];
+    assert!(
+        matches!(record.status, JobStatus::Ok { .. }),
+        "{:?}",
+        record.status
+    );
+    assert_eq!(record.attempts, 3, "two transient failures, then success");
+    assert_eq!(tel.counter("batch.jobs_retried"), 1);
+    assert_eq!(tel.counter("batch.jobs_ok"), 1);
+
+    // With the retry budget exhausted the failure sticks — and is
+    // reported as a hard error, not a panic or timeout.
+    let report = Batch::new(jobs, fast_options().with_retries(1))
+        .run(
+            &Arc::new(FlakyRunner {
+                attempts: AtomicU32::new(0),
+            }),
+            &Telemetry::disabled(),
+            |_| {},
+        )
+        .unwrap();
+    match &report.records()[0].status {
+        JobStatus::Failed { kind, message } => {
+            assert_eq!(*kind, FailureKind::Error);
+            assert!(message.contains("I/O hiccup"), "{message}");
+        }
+        other => panic!("expected exhausted retries, got {other:?}"),
+    }
+    assert_eq!(report.records()[0].attempts, 2);
+}
+
+#[test]
+fn failed_jobs_rerun_on_resume() {
+    let path = tmp("failed-rerun");
+    // First pass: job 4 panics and is checkpointed as failed.
+    Batch::new(mock_jobs(), fast_options())
+        .with_checkpoint(&path)
+        .unwrap()
+        .run(&Arc::new(PanickyRunner), &Telemetry::disabled(), |_| {})
+        .unwrap();
+    // Second pass with a healthy runner: only job 4 re-runs.
+    let report = Batch::new(mock_jobs(), fast_options())
+        .with_checkpoint(&path)
+        .unwrap()
+        .run(&Arc::new(MockRunner), &Telemetry::disabled(), |_| {})
+        .unwrap();
+    let counts = report.counts();
+    assert_eq!(counts.skipped, 8);
+    assert_eq!(counts.ok, 1);
+    assert!(matches!(report.records()[4].status, JobStatus::Ok { .. }));
+    assert!(report.all_definitive());
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn skipped_records_resolve_prior_outcomes_in_the_aggregate() {
+    let path = tmp("prior-outcomes");
+    Batch::new(mock_jobs(), fast_options())
+        .with_checkpoint(&path)
+        .unwrap()
+        .run(&Arc::new(MockRunner), &Telemetry::disabled(), |_| {})
+        .unwrap();
+    let report = Batch::new(mock_jobs(), fast_options())
+        .with_checkpoint(&path)
+        .unwrap()
+        .run(&Arc::new(MockRunner), &Telemetry::disabled(), |_| {})
+        .unwrap();
+    assert_eq!(report.counts().skipped, 9);
+    // Infeasible priors (spec-2) surface as infeasible, feasible ones as ok.
+    for record in report.records() {
+        match &record.status {
+            JobStatus::Skipped {
+                prior: CheckpointOutcome::Infeasible,
+            } => {
+                assert_eq!(record.spec, "spec-2");
+            }
+            JobStatus::Skipped {
+                prior: CheckpointOutcome::Ok { area_um2, .. },
+            } => {
+                let expected = 1000.0 + (record.job as f64) * 17.25;
+                assert_eq!(area_um2.to_bits(), expected.to_bits(), "bit-exact areas");
+            }
+            other => panic!("everything should be skipped, got {other:?}"),
+        }
+    }
+    std::fs::remove_file(&path).unwrap();
+}

@@ -23,6 +23,63 @@
 //! and cache keys are scoped per candidate style — so the winner, the
 //! rejection table, and a manually-clocked telemetry report are all
 //! byte-identical regardless of thread count.
+//!
+//! # Examples
+//!
+//! A two-style toy level driven through the full engine — breadth-first
+//! sweep, smallest-area selection, and a per-style rejection table:
+//!
+//! ```
+//! use oasys_plan::{design_candidates, BlockDesigner, DesignContext, MemoCache, SearchOptions};
+//! use oasys_telemetry::Telemetry;
+//!
+//! /// Designs a "resistor" either as one wide device or two in series.
+//! struct ResistorDesigner;
+//!
+//! impl BlockDesigner for ResistorDesigner {
+//!     type Spec = f64;        // target ohms
+//!     type Output = f64;      // area, µm²
+//!     type Error = String;
+//!
+//!     fn level(&self) -> &'static str { "resistor" }
+//!     fn styles(&self) -> Vec<String> {
+//!         vec!["single".into(), "series".into()]
+//!     }
+//!     fn design_style(
+//!         &self,
+//!         spec: &f64,
+//!         style: &str,
+//!         _ctx: &DesignContext<'_>,
+//!     ) -> Result<f64, String> {
+//!         match style {
+//!             "single" if *spec <= 1_000.0 => Ok(spec * 2.0),
+//!             "single" => Err("too resistive for one device".into()),
+//!             _ => Ok(spec * 3.0),
+//!         }
+//!     }
+//!     fn area_um2(&self, output: &f64) -> f64 { *output }
+//! }
+//!
+//! // Breadth-first selection through the provided `design` method:
+//! let tel = Telemetry::new();
+//! let ctx = DesignContext::new(&tel);
+//! let selected = ResistorDesigner.design(&500.0, &ctx).unwrap();
+//! assert_eq!(selected.style(), "single"); // 1000 µm² beats 1500 µm²
+//!
+//! // Or the raw candidate sweep (what the op-amp level uses), with a
+//! // shared memo cache and concurrent workers:
+//! let cache = MemoCache::new();
+//! let results = design_candidates(
+//!     &ResistorDesigner,
+//!     &2_000.0,
+//!     &SearchOptions::new().with_threads(2),
+//!     &tel,
+//!     &cache,
+//! );
+//! assert_eq!(results.len(), 2);
+//! assert!(results[0].1.is_err(), "single device cannot reach 2 kΩ");
+//! assert_eq!(results[1].1.as_ref().unwrap(), &6_000.0);
+//! ```
 
 use oasys_telemetry::{RunReport, Telemetry, TelemetrySeed};
 use std::any::Any;
@@ -36,7 +93,7 @@ use std::sync::{Arc, Mutex};
 /// A block level that can design itself in one or more styles.
 ///
 /// Implementations provide per-style design (`design_style`) and an area
-/// estimate; the engine provides breadth-first selection ([`design`])
+/// estimate; the engine provides breadth-first selection ([`BlockDesigner::design`])
 /// and the parallel candidate sweep ([`design_candidates`]).
 pub trait BlockDesigner {
     /// The incoming specification this level translates.

@@ -72,7 +72,7 @@ impl PlanExecutor {
 
     /// [`PlanExecutor::run`] with telemetry: every step execution is
     /// wrapped in a `step:<name>` span, every trace event is mirrored as
-    /// a structured telemetry event (the single [`record`] choke point
+    /// a structured telemetry event (the single `record` choke point
     /// feeds both sinks, so the counters in the metrics registry —
     /// `plan.step_executions`, `plan.rule_firings`, `plan.restarts` —
     /// exactly match the [`Trace`] counts by construction).

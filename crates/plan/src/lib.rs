@@ -51,6 +51,8 @@
 //! assert_eq!(trace.rule_firings(), 2); // 30 → 15 → 7.5 ≤ 10
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod analyze;
 pub mod engine;
 mod error;

@@ -29,6 +29,8 @@
 //! assert!(nmos.lambda(10.0) < nmos.lambda(5.0));
 //! ```
 
+#![warn(missing_docs)]
+
 mod builder;
 pub mod builtin;
 mod params;

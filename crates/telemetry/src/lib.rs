@@ -42,6 +42,8 @@
 //! oasys_telemetry::schema::validate_jsonl(&report.render_jsonl()).unwrap();
 //! ```
 
+#![warn(missing_docs)]
+
 mod clock;
 pub mod json;
 mod metrics;

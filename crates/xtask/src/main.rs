@@ -13,6 +13,7 @@ fn main() -> ExitCode {
         Some("check") => check(),
         Some("lint-examples") => lint_examples(),
         Some("smoke") => smoke(),
+        Some("docs") => docs(),
         Some("bench-schema") => bench_schema(),
         _ => {
             eprintln!(
@@ -20,11 +21,14 @@ fn main() -> ExitCode {
                  commands:\n  \
                  check          fmt --check, clippy -D warnings, tier-1 build+test,\n                 \
                  `oasys lint --deny-warnings` over the example specs,\n                 \
-                 the end-to-end trace smoke run, and the bench-report\n                 \
-                 schema gate\n  \
+                 the end-to-end trace + batch smoke runs, the docs gate,\n                 \
+                 and the bench-report schema gate\n  \
                  lint-examples  only the example-spec lint gate\n  \
-                 smoke          only the end-to-end run: synthesize the example spec\n                 \
-                 with --trace-out and validate the emitted trace files\n  \
+                 smoke          only the end-to-end runs: synthesize the example spec\n                 \
+                 with --trace-out and validate the emitted trace files,\n                 \
+                 then run the bundled batch manifest and validate the\n                 \
+                 records, resume behaviour, and aggregate determinism\n  \
+                 docs           only the docs gate: rustdoc with -D warnings + doc-tests\n  \
                  bench-schema   only the committed BENCH_synthesis.json schema gate"
             );
             ExitCode::from(2)
@@ -55,6 +59,9 @@ fn check() -> ExitCode {
     }
     if smoke() != ExitCode::SUCCESS {
         failed.push("smoke".to_string());
+    }
+    if docs() != ExitCode::SUCCESS {
+        failed.push("docs".to_string());
     }
     if bench_schema() != ExitCode::SUCCESS {
         failed.push("bench-schema".to_string());
@@ -162,8 +169,119 @@ fn smoke() -> ExitCode {
             )
         })
     });
-    if ok {
-        println!("xtask smoke: trace files validate");
+    if !ok {
+        return ExitCode::FAILURE;
+    }
+    println!("xtask smoke: trace files validate");
+    smoke_batch()
+}
+
+/// Batch smoke gate: run the bundled 3×3 manifest twice against one
+/// checkpoint. The first run must stream one JSON record per job with
+/// zero failures; the second must skip every job and produce a
+/// byte-identical aggregate — the resume contract, exercised through
+/// the real CLI.
+fn smoke_batch() -> ExitCode {
+    let manifest = "data/sweep.manifest";
+    if !std::path::Path::new(manifest).is_file() {
+        eprintln!("xtask: {manifest} not found (run from the workspace root)");
+        return ExitCode::FAILURE;
+    }
+    let records = "target/smoke/batch.jsonl";
+    let aggregate_fresh = "target/smoke/batch.fresh.json";
+    let aggregate_resume = "target/smoke/batch.resume.json";
+    let checkpoint = "target/smoke/batch.checkpoint";
+    let _ = std::fs::remove_file(checkpoint);
+
+    for aggregate in [aggregate_fresh, aggregate_resume] {
+        let args = [
+            "run",
+            "--release",
+            "-q",
+            "-p",
+            "oasys",
+            "--bin",
+            "oasys",
+            "--",
+            "batch",
+            manifest,
+            "--records",
+            records,
+            "--aggregate",
+            aggregate,
+            "--checkpoint",
+            checkpoint,
+        ];
+        if !run("cargo", &args) {
+            eprintln!("xtask smoke: batch run for {aggregate} failed");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let text = match std::fs::read_to_string(records) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("xtask smoke: {records}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let lines: Vec<&str> = text.lines().collect();
+    let expected = 9;
+    if lines.len() != expected {
+        eprintln!(
+            "xtask smoke: {records}: expected {expected} records, found {}",
+            lines.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    for (idx, line) in lines.iter().enumerate() {
+        let parsed = match oasys_telemetry::json::parse(line) {
+            Ok(parsed) => parsed,
+            Err(e) => {
+                eprintln!("xtask smoke: {records} line {}: {e}", idx + 1);
+                return ExitCode::FAILURE;
+            }
+        };
+        // The second (resume) run rewrote the file: everything skipped.
+        let outcome = parsed.get("outcome").and_then(|j| j.as_str());
+        if outcome != Some("skipped") {
+            eprintln!(
+                "xtask smoke: {records} line {}: expected a skipped record on resume, got {outcome:?}",
+                idx + 1
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    let fresh = std::fs::read_to_string(aggregate_fresh).unwrap_or_default();
+    let resume = std::fs::read_to_string(aggregate_resume).unwrap_or_default();
+    if fresh.is_empty() || fresh != resume {
+        eprintln!(
+            "xtask smoke: resumed aggregate differs from the fresh run ({aggregate_fresh} vs {aggregate_resume})"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("xtask smoke: batch records, resume skip-set, and aggregate determinism ok");
+    ExitCode::SUCCESS
+}
+
+/// Docs gate: `cargo doc --no-deps` must be warning-free and every
+/// doc-test must pass.
+fn docs() -> ExitCode {
+    println!("$ RUSTDOCFLAGS=\"-D warnings\" cargo doc --workspace --no-deps");
+    let rustdoc_ok = match Command::new("cargo")
+        .args(["doc", "--workspace", "--no-deps", "-q"])
+        .env("RUSTDOCFLAGS", "-D warnings")
+        .status()
+    {
+        Ok(status) => status.success(),
+        Err(e) => {
+            eprintln!("xtask docs: failed to spawn cargo: {e}");
+            false
+        }
+    };
+    let doctests_ok = run("cargo", &["test", "--doc", "--workspace", "-q"]);
+    if rustdoc_ok && doctests_ok {
+        println!("xtask docs: rustdoc warning-free, doc-tests pass");
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
