@@ -56,7 +56,7 @@ fn main() {
             .iter()
             .map(|p| (p.name().to_owned(), oasys_process::techfile::write(p)))
             .collect();
-        b.bench("batch/sweep_3x3", || {
+        let run_sweep = || {
             let jobs: Vec<Job> = specs
                 .iter()
                 .flat_map(|(spec_label, spec_text)| {
@@ -82,7 +82,19 @@ fn main() {
             Batch::new(black_box(jobs), BatchOptions::default().with_verify(false))
                 .run(&runner, &tel, |_| {})
                 .unwrap()
-        });
+        };
+        b.bench("batch/sweep_3x3", run_sweep);
+
+        // The same sweep with the fault plane armed on an inert site:
+        // every `fail_point!` in the hot paths now pays the armed-path
+        // registry lookup instead of the relaxed-load fast path. The
+        // delta against `batch/sweep_3x3` is the true cost of carrying
+        // `oasys-faults` through newton, plan execution, and the style
+        // engine — the schema keeps both rows so it stays ~0.
+        oasys_faults::set("bench.inert", oasys_faults::FaultSpec::Delay(0));
+        assert!(oasys_faults::armed());
+        b.bench("batch/sweep_3x3_chaos", run_sweep);
+        oasys_faults::clear();
     }
 
     // Telemetry overhead check: the same case with a live recorder (the

@@ -17,11 +17,14 @@ pub const SCHEMA_VERSION: u32 = 1;
 /// worker) vs. parallel (one worker per style) style-search comparison
 /// on the same case, so the concurrency win stays visible run over run,
 /// plus the 3×3 batch sweep so batch-driver overhead on top of raw
-/// synthesis stays visible too.
-pub const REQUIRED_ROWS: [&str; 3] = [
+/// synthesis stays visible too, and the same sweep with the fault
+/// plane armed on an inert site so the near-zero cost of carrying
+/// `oasys-faults` in the hot paths stays visible.
+pub const REQUIRED_ROWS: [&str; 4] = [
     "style_search/case_a_threads_1",
     "style_search/case_a_threads_max",
     "batch/sweep_3x3",
+    "batch/sweep_3x3_chaos",
 ];
 
 /// Counters the report's instrumented run must expose. `engine.cache_hits`
@@ -252,7 +255,7 @@ mod tests {
     fn validate_accepts_a_compliant_report() {
         let text = compliant_report();
         let summary = validate(&text).expect("compliant report validates");
-        assert!(summary.contains("3 bench rows"), "{summary}");
+        assert!(summary.contains("4 bench rows"), "{summary}");
     }
 
     #[test]

@@ -408,6 +408,12 @@ impl GainStage {
                         detail: "cascode gain stage requires a bias node".to_owned(),
                     });
                 };
+                let Some(cascode) = self.cascode else {
+                    return Err(ValidateError::BadValue {
+                        element: format!("{prefix}MCAS"),
+                        detail: "cascode gain stage has no cascode geometry".to_owned(),
+                    });
+                };
                 let mid = circuit.node(format!("{prefix}_mid"));
                 circuit.add_mosfet(
                     format!("{prefix}MDRV"),
@@ -421,7 +427,7 @@ impl GainStage {
                 circuit.add_mosfet(
                     format!("{prefix}MCAS"),
                     self.spec.polarity,
-                    self.cascode.expect("cascode style stores a geometry"),
+                    cascode,
                     output,
                     bias,
                     mid,

@@ -529,9 +529,12 @@ impl CurrentMirror {
                 )?;
             }
             MirrorStyle::Cascode => {
-                let casc = self
-                    .cascode
-                    .expect("cascode style stores a cascode geometry");
+                let Some(casc) = self.cascode else {
+                    return Err(ValidateError::BadValue {
+                        element: format!("{prefix}MCIN"),
+                        detail: "cascode mirror has no cascode geometry".to_owned(),
+                    });
+                };
                 let n_in = circuit.node(format!("{prefix}_nin"));
                 let n_out = circuit.node(format!("{prefix}_nout"));
                 // Input branch: stacked diodes. Bottom MIN (gate at its
@@ -574,9 +577,12 @@ impl CurrentMirror {
                         detail: "wide-swing mirror requires a cascode bias node".to_owned(),
                     });
                 };
-                let casc = self
-                    .cascode
-                    .expect("wide-swing style stores a cascode geometry");
+                let Some(casc) = self.cascode else {
+                    return Err(ValidateError::BadValue {
+                        element: format!("{prefix}MCIN"),
+                        detail: "wide-swing mirror has no cascode geometry".to_owned(),
+                    });
+                };
                 let n_in = circuit.node(format!("{prefix}_nin"));
                 let n_out = circuit.node(format!("{prefix}_nout"));
                 circuit.add_mosfet(

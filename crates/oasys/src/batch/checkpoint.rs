@@ -19,11 +19,16 @@
 //! reconstruct the same aggregate report as an uninterrupted one
 //! without redoing the work.
 //!
-//! A checkpoint that fails any structural check (bad header, malformed
-//! record, truncated final line) is reported as
+//! Crash consistency: records are written append-then-flush, so the only
+//! damage a kill can inflict on a well-formed file is a torn *final*
+//! line. [`Checkpoint::open`] tolerates exactly that — the unterminated
+//! tail is dropped (the job re-runs on resume), the file is truncated
+//! back to its durable prefix, and [`Checkpoint::recovered`] reports the
+//! repair. Anything else — bad header, malformed *terminated* record —
+//! cannot be explained by a kill and is reported as
 //! [`CheckpointError::Corrupt`]; the runner's policy
-//! ([`super::Batch::with_checkpoint`]) is to discard it and restart the
-//! batch cleanly rather than trust a half-written line.
+//! ([`super::Batch::with_checkpoint`]) is to discard such a file and
+//! restart the batch cleanly rather than trust it.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -78,8 +83,9 @@ pub struct CheckpointEntry {
 /// Why a checkpoint file was rejected.
 #[derive(Debug)]
 pub enum CheckpointError {
-    /// The file exists but fails a structural check — wrong header, a
-    /// malformed record, or a truncated (unterminated) final line.
+    /// The file exists but fails a structural check — wrong header or a
+    /// malformed (fully terminated) record — that an append-and-flush
+    /// crash cannot explain.
     Corrupt {
         /// The offending path.
         path: PathBuf,
@@ -115,22 +121,56 @@ pub struct Checkpoint {
     path: PathBuf,
     completed: HashMap<u64, CheckpointEntry>,
     writer: Option<File>,
+    recovered: bool,
 }
 
 impl Checkpoint {
     /// Opens (or creates) the checkpoint at `path` and loads its
     /// completed-job set.
     ///
+    /// A torn (unterminated) final line — the signature of a kill
+    /// mid-append — is treated as absent: the durable prefix is kept,
+    /// the file is truncated back to it so later appends stay
+    /// well-formed, and [`Checkpoint::recovered`] reports the repair.
+    ///
     /// # Errors
     ///
     /// [`CheckpointError::Corrupt`] when an existing file fails a
-    /// structural check (the caller decides whether to
-    /// [`Checkpoint::start_fresh`]); [`CheckpointError::Io`] on
-    /// filesystem errors.
+    /// structural check a crash cannot explain (the caller decides
+    /// whether to [`Checkpoint::start_fresh`]); [`CheckpointError::Io`]
+    /// on filesystem errors.
     pub fn open(path: impl AsRef<Path>) -> Result<Self, CheckpointError> {
         let path = path.as_ref().to_path_buf();
+        let mut recovered = false;
         let completed = match std::fs::read_to_string(&path) {
-            Ok(text) => parse(&path, &text)?,
+            Ok(text) => {
+                // Every durable line ends in a newline, so a missing one
+                // means the final line was torn mid-write. Drop it and
+                // parse only the durable prefix.
+                let durable = match text.rfind('\n') {
+                    Some(last) if last + 1 < text.len() => {
+                        recovered = true;
+                        &text[..=last]
+                    }
+                    None if !text.is_empty() => {
+                        recovered = true;
+                        ""
+                    }
+                    _ => text.as_str(),
+                };
+                // A file with no durable content (empty, or its only
+                // line torn away) parses as fresh, not corrupt —
+                // nothing durable was ever written, so nothing is lost.
+                let completed = if durable.is_empty() {
+                    HashMap::new()
+                } else {
+                    parse(&path, durable)?
+                };
+                if recovered {
+                    truncate_to(&path, durable.len() as u64)?;
+                }
+                completed
+            }
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => HashMap::new(),
             Err(error) => return Err(CheckpointError::Io { path, error }),
         };
@@ -138,6 +178,7 @@ impl Checkpoint {
             path,
             completed,
             writer: None,
+            recovered,
         })
     }
 
@@ -158,6 +199,7 @@ impl Checkpoint {
             path,
             completed: HashMap::new(),
             writer: None,
+            recovered: false,
         })
     }
 
@@ -165,6 +207,13 @@ impl Checkpoint {
     #[must_use]
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// `true` when [`Checkpoint::open`] found and repaired a torn final
+    /// line (the dropped record's job simply re-runs on resume).
+    #[must_use]
+    pub fn recovered(&self) -> bool {
+        self.recovered
     }
 
     /// The completed (skippable) entry for `fingerprint`, if any.
@@ -198,18 +247,21 @@ impl Checkpoint {
             path: path.to_path_buf(),
             error,
         };
-        if self.writer.is_none() {
-            let exists = self.path.exists();
-            let mut file = OpenOptions::new()
-                .create(true)
-                .append(true)
-                .open(&self.path)
-                .map_err(|e| io_err(e, &self.path))?;
-            if !exists {
-                writeln!(file, "{CHECKPOINT_HEADER}").map_err(|e| io_err(e, &self.path))?;
+        let file = match &mut self.writer {
+            Some(file) => file,
+            None => {
+                let mut file = OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&self.path)
+                    .map_err(|e| io_err(e, &self.path))?;
+                let len = file.metadata().map_err(|e| io_err(e, &self.path))?.len();
+                if len == 0 {
+                    writeln!(file, "{CHECKPOINT_HEADER}").map_err(|e| io_err(e, &self.path))?;
+                }
+                self.writer.insert(file)
             }
-            self.writer = Some(file);
-        }
+        };
         let (style, area) = match outcome {
             CheckpointOutcome::Ok { style, area_um2 } => {
                 (style.clone(), format!("{:016x}", area_um2.to_bits()))
@@ -221,13 +273,24 @@ impl Checkpoint {
             CheckpointOutcome::Infeasible => "infeasible",
             CheckpointOutcome::Failed => "failed",
         };
-        let file = self.writer.as_mut().expect("writer opened above");
-        writeln!(
-            file,
-            "{fingerprint:016x}\t{word}\t{style}\t{area}\t{spec_label}\t{tech_label}"
-        )
-        .map_err(|e| io_err(e, &self.path))?;
-        file.flush().map_err(|e| io_err(e, &self.path))?;
+        let line =
+            format!("{fingerprint:016x}\t{word}\t{style}\t{area}\t{spec_label}\t{tech_label}\n");
+        // Fault site: simulate the process dying partway through this
+        // very write — half the record's bytes land, no newline, and the
+        // "crashed" writer reports the failure upstream.
+        if oasys_faults::armed() && oasys_faults::fired("batch.checkpoint.record") {
+            let torn = &line[..line.len() / 2];
+            file.write_all(torn.as_bytes())
+                .and_then(|()| file.flush())
+                .map_err(|e| io_err(e, &self.path))?;
+            return Err(io_err(
+                std::io::Error::other("fault injected: torn checkpoint write"),
+                &self.path,
+            ));
+        }
+        file.write_all(line.as_bytes())
+            .and_then(|()| file.flush())
+            .map_err(|e| io_err(e, &self.path))?;
         if outcome.is_complete() {
             self.completed.insert(
                 fingerprint,
@@ -241,6 +304,19 @@ impl Checkpoint {
         }
         Ok(())
     }
+}
+
+/// Truncates the file at `path` back to `len` bytes — the repair for a
+/// torn final line, so later appends land on a well-formed prefix.
+fn truncate_to(path: &Path, len: u64) -> Result<(), CheckpointError> {
+    let io_err = |error: std::io::Error| CheckpointError::Io {
+        path: path.to_path_buf(),
+        error,
+    };
+    let file = OpenOptions::new().write(true).open(path).map_err(io_err)?;
+    file.set_len(len).map_err(io_err)?;
+    file.sync_all().map_err(io_err)?;
+    Ok(())
 }
 
 /// Parses a checkpoint file body into its completed-job set, applying
@@ -363,15 +439,67 @@ mod tests {
     }
 
     #[test]
-    fn truncated_final_line_is_corrupt() {
+    fn torn_final_line_is_dropped_and_repaired() {
         let path = tmp("truncated");
-        std::fs::write(
-            &path,
-            format!("{CHECKPOINT_HEADER}\n0000000000000007\tinfeasible\t-\t-\ta\tb"),
-        )
-        .unwrap();
-        let err = Checkpoint::open(&path).unwrap_err();
-        assert!(err.to_string().contains("truncated"), "{err}");
+        let durable = format!("{CHECKPOINT_HEADER}\n0000000000000007\tinfeasible\t-\t-\ta\tb\n");
+        std::fs::write(&path, format!("{durable}00000000000000ff\tok\ttwo-")).unwrap();
+        let mut cp = Checkpoint::open(&path).unwrap();
+        assert!(cp.recovered(), "torn tail must be reported");
+        assert_eq!(cp.completed_count(), 1, "durable prefix survives");
+        assert!(cp.completed(0xff).is_none(), "the torn record is absent");
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap(),
+            durable,
+            "file truncated back to its durable prefix"
+        );
+        // Appends after the repair keep the file well-formed.
+        cp.record(0xff, &CheckpointOutcome::Infeasible, "a", "b")
+            .unwrap();
+        drop(cp);
+        let cp = Checkpoint::open(&path).unwrap();
+        assert!(!cp.recovered());
+        assert_eq!(cp.completed_count(), 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_header_and_empty_file_open_fresh() {
+        let path = tmp("torn-header");
+        std::fs::write(&path, "oasys-batch-ch").unwrap();
+        let cp = Checkpoint::open(&path).unwrap();
+        assert!(cp.recovered(), "a torn header is a torn final line");
+        assert_eq!(cp.completed_count(), 0);
+        let cp = Checkpoint::open(&path).unwrap();
+        assert!(!cp.recovered(), "repair left an (empty) well-formed file");
+        assert_eq!(cp.completed_count(), 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_write_fault_leaves_a_recoverable_file() {
+        let path = tmp("torn-fault");
+        let _ = std::fs::remove_file(&path);
+        let mut cp = Checkpoint::open(&path).unwrap();
+        cp.record(1, &CheckpointOutcome::Infeasible, "a", "b")
+            .unwrap();
+        oasys_faults::set("batch.checkpoint.record", oasys_faults::FaultSpec::FailOnce);
+        let err = cp
+            .record(2, &CheckpointOutcome::Infeasible, "c", "d")
+            .unwrap_err();
+        assert!(err.to_string().contains("torn"), "{err}");
+        oasys_faults::remove("batch.checkpoint.record");
+        drop(cp);
+        assert!(
+            !std::fs::read_to_string(&path).unwrap().ends_with('\n'),
+            "the fault really tore the final line"
+        );
+        let cp = Checkpoint::open(&path).unwrap();
+        assert!(cp.recovered());
+        assert_eq!(
+            cp.completed_count(),
+            1,
+            "record 1 survives, record 2 re-runs"
+        );
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -23,8 +23,10 @@
 use super::checkpoint::{Checkpoint, CheckpointError, CheckpointOutcome};
 use super::manifest::Job;
 use crate::batch::BatchOptions;
+use oasys_faults::Deadline;
 use oasys_telemetry::{json, RunReport, Telemetry, TelemetrySeed};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -38,13 +40,24 @@ use std::time::{Duration, Instant};
 /// failures, and marks which failures are worth retrying.
 pub trait JobRunner: Send + Sync + 'static {
     /// Runs one job, recording into `tel` (a per-attempt handle forked
-    /// from the batch telemetry).
+    /// from the batch telemetry). `deadline` is the job's cooperative
+    /// wall-clock budget: runners should thread it into their plan
+    /// executors and simulator loops so an over-budget job aborts cleanly
+    /// at an internal checkpoint, and report the abort as a
+    /// [`JobFailure::timed_out`] failure. The pool keeps a hard
+    /// `recv_timeout` backstop (at twice the budget) for runners that
+    /// ignore the deadline.
     ///
     /// # Errors
     ///
     /// [`JobFailure`] when the job cannot produce a definitive answer;
     /// set [`JobFailure::transient`] when a retry might succeed.
-    fn run(&self, job: &Job, tel: &Telemetry) -> Result<JobSuccess, JobFailure>;
+    fn run(
+        &self,
+        job: &Job,
+        tel: &Telemetry,
+        deadline: &Deadline,
+    ) -> Result<JobSuccess, JobFailure>;
 }
 
 /// One style's result inside a job record (mirrors the single-run
@@ -132,6 +145,9 @@ pub struct JobFailure {
     /// exhaustion); synthesis infeasibility is *not* a failure, and
     /// deterministic errors should leave this `false`.
     pub transient: bool,
+    /// `true` when the job stopped because its cooperative deadline
+    /// expired — recorded as a timeout, not a hard error.
+    pub timed_out: bool,
 }
 
 impl JobFailure {
@@ -141,6 +157,7 @@ impl JobFailure {
         Self {
             message: message.into(),
             transient: false,
+            timed_out: false,
         }
     }
 
@@ -150,6 +167,18 @@ impl JobFailure {
         Self {
             message: message.into(),
             transient: true,
+            timed_out: false,
+        }
+    }
+
+    /// A cooperative-deadline failure: the job saw its budget expire and
+    /// aborted cleanly.
+    #[must_use]
+    pub fn timed_out(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+            transient: false,
+            timed_out: true,
         }
     }
 }
@@ -494,10 +523,13 @@ impl Batch {
     }
 
     /// Attaches a checkpoint file. An existing valid checkpoint arms the
-    /// resume path; a corrupt one (truncated line, bad header…) is
-    /// **discarded** and the batch restarts cleanly — a half-written
-    /// record must never masquerade as completed work. Check
-    /// [`Batch::recovered_checkpoint`] to report the recovery.
+    /// resume path. A torn final line — the one kind of damage an
+    /// append-and-flush crash can inflict — is repaired in place: the
+    /// durable prefix resumes, only the torn record's job re-runs. Any
+    /// other corruption (bad header, malformed record) **discards** the
+    /// file and the batch restarts cleanly — a half-written record must
+    /// never masquerade as completed work. Check
+    /// [`Batch::recovered_checkpoint`] to report either recovery.
     ///
     /// # Errors
     ///
@@ -509,8 +541,8 @@ impl Batch {
     ) -> Result<Self, CheckpointError> {
         match Checkpoint::open(path.as_ref()) {
             Ok(checkpoint) => {
+                self.recovered_checkpoint = checkpoint.recovered();
                 self.checkpoint = Some(checkpoint);
-                self.recovered_checkpoint = false;
             }
             Err(CheckpointError::Corrupt { .. }) => {
                 self.checkpoint = Some(Checkpoint::start_fresh(path.as_ref())?);
@@ -620,7 +652,10 @@ impl Batch {
                     let queue = &queue;
                     let options = &options;
                     scope.spawn(move || loop {
-                        let Some((job, seeds)) = queue.lock().expect("queue lock").pop_front()
+                        let Some((job, seeds)) = queue
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .pop_front()
                         else {
                             break;
                         };
@@ -732,9 +767,14 @@ fn execute_job<R: JobRunner>(
                     std::thread::sleep(options.backoff(attempts));
                     continue;
                 }
+                let kind = if failure.timed_out {
+                    FailureKind::Timeout
+                } else {
+                    FailureKind::Error
+                };
                 return JobExecution {
                     status: JobStatus::Failed {
-                        kind: FailureKind::Error,
+                        kind,
                         message: failure.message,
                     },
                     attempts,
@@ -792,12 +832,26 @@ enum AttemptOutcome {
 
 /// Runs one attempt on a detached isolation thread, so a panic or a
 /// divergence cannot take the worker (or the batch) down with it.
+///
+/// Cancellation is two-tier: the preferred path is the cooperative
+/// [`Deadline`] handed to the runner, which aborts inside the
+/// computation at the next checkpoint (plan step boundary, Newton
+/// iteration). The `recv_timeout` backstop — at **twice** the budget —
+/// only fires for runners that never reach a deadline checkpoint; it
+/// abandons the thread after flagging its cancel token, so even an
+/// abandoned attempt stops at its next checkpoint instead of running
+/// forever.
 fn run_attempt<R: JobRunner>(
     job: Job,
     seed: Option<TelemetrySeed>,
     runner: Arc<R>,
     timeout: Option<Duration>,
 ) -> AttemptOutcome {
+    let cancel = Arc::new(AtomicBool::new(false));
+    let deadline = match timeout {
+        Some(budget) => Deadline::within(budget).with_cancel(Arc::clone(&cancel)),
+        None => Deadline::none().with_cancel(Arc::clone(&cancel)),
+    };
     let (tx, rx) = mpsc::channel();
     let spawned = std::thread::Builder::new()
         .name(format!("oasys-job-{}", job.id()))
@@ -808,7 +862,18 @@ fn run_attempt<R: JobRunner>(
                     let span = tel.span(|| format!("job:{}", job.id()));
                     span.annotate("spec", || job.spec_label().to_owned());
                     span.annotate("tech", || job.tech_label().to_owned());
-                    let result = runner.run(&job, &tel);
+                    // Fault plane: an armed `batch.attempt` site fails
+                    // this attempt before the runner starts, exercising
+                    // the retry/backoff path.
+                    let injected = if oasys_faults::armed() {
+                        oasys_faults::eval_err("batch.attempt")
+                    } else {
+                        None
+                    };
+                    let result = match injected {
+                        Some(msg) => Err(JobFailure::transient(format!("fault injected: {msg}"))),
+                        None => runner.run(&job, &tel, &deadline),
+                    };
                     span.annotate("outcome", || {
                         match &result {
                             Ok(s) if s.selected.is_some() => "ok",
@@ -832,13 +897,19 @@ fn run_attempt<R: JobRunner>(
         );
     }
     let received = match timeout {
-        Some(budget) => rx.recv_timeout(budget),
+        Some(budget) => rx.recv_timeout(budget.saturating_mul(2)),
         None => rx.recv().map_err(|_| mpsc::RecvTimeoutError::Disconnected),
     };
     match received {
         Ok(Ok((result, report))) => AttemptOutcome::Done(result, Some(report)),
         Ok(Err(message)) => AttemptOutcome::Panicked(message),
-        Err(mpsc::RecvTimeoutError::Timeout) => AttemptOutcome::TimedOut,
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            // The runner blew through twice its budget without reaching a
+            // deadline checkpoint. Flag the cancel token (so the orphaned
+            // thread dies at its next checkpoint) and abandon it.
+            cancel.store(true, Ordering::Relaxed);
+            AttemptOutcome::TimedOut
+        }
         // catch_unwind forwards every panic, so a dead channel means the
         // thread was killed out from under us — report it as a panic.
         Err(mpsc::RecvTimeoutError::Disconnected) => {

@@ -7,6 +7,7 @@ use crate::datasheet::Datasheet;
 use crate::synth::synthesize_with_cache;
 use crate::verify::verify_with;
 use crate::SearchOptions;
+use oasys_faults::Deadline;
 use oasys_plan::MemoCache;
 use oasys_telemetry::Telemetry;
 use std::collections::HashMap;
@@ -66,7 +67,7 @@ impl SynthRunner {
         Arc::clone(
             self.caches
                 .lock()
-                .expect("cache map lock")
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .entry(key)
                 .or_insert_with(|| Arc::new(MemoCache::new())),
         )
@@ -74,13 +75,19 @@ impl SynthRunner {
 }
 
 impl JobRunner for SynthRunner {
-    fn run(&self, job: &Job, tel: &Telemetry) -> Result<JobSuccess, JobFailure> {
+    fn run(
+        &self,
+        job: &Job,
+        tel: &Telemetry,
+        deadline: &Deadline,
+    ) -> Result<JobSuccess, JobFailure> {
         let spec = crate::specfile::parse(job.spec_text())
             .map_err(|e| JobFailure::permanent(format!("spec {}: {e}", job.spec_label())))?;
         let process = oasys_process::techfile::parse(job.tech_text())
             .map_err(|e| JobFailure::permanent(format!("tech {}: {e}", job.tech_label())))?;
         let cache = self.cache_for(job.tech_text());
-        match synthesize_with_cache(&spec, &process, &self.search, tel, &cache) {
+        let search = self.search.clone().with_deadline(deadline.clone());
+        match synthesize_with_cache(&spec, &process, &search, tel, &cache) {
             Ok(synthesis) => {
                 let styles = synthesis
                     .outcomes()
@@ -116,6 +123,16 @@ impl JobRunner for SynthRunner {
                 Ok(success)
             }
             Err(e) => {
+                // When the deadline tripped mid-search, the rejections
+                // are an artifact of the abort, not a verdict on the
+                // spec — report a timeout instead of "infeasible".
+                if let Err(exceeded) = deadline.check() {
+                    return Err(JobFailure::timed_out(format!(
+                        "synthesis of {} × {} aborted: {exceeded}",
+                        job.spec_label(),
+                        job.tech_label()
+                    )));
+                }
                 let styles = e
                     .rejections()
                     .iter()

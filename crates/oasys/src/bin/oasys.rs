@@ -53,12 +53,16 @@ use oasys_process::techfile;
 use oasys_telemetry::Telemetry;
 use std::process::ExitCode;
 
-const SYNTH_USAGE: &str = "usage: oasys <spec-file> <tech-file> [--out <deck.sp>] [--no-verify] [--styles <list>] [--explain] [--trace-out <file.json>] [--trace-format json|chrome]\n       oasys lint [<spec-file> <tech-file>] [--deny-warnings] [--format human|json]";
+const SYNTH_USAGE: &str = "usage: oasys <spec-file> <tech-file> [--out <deck.sp>] [--no-verify] [--styles <list>] [--explain] [--trace-out <file.json>] [--trace-format json|chrome] [--faults <list>]\n       oasys lint [<spec-file> <tech-file>] [--deny-warnings] [--format human|json]";
 const LINT_USAGE: &str =
     "usage: oasys lint [<spec-file> <tech-file>] [--deny-warnings] [--format human|json]";
-const BATCH_USAGE: &str = "usage: oasys batch <manifest> [--records <file.jsonl>] [--aggregate <file.json>] [--checkpoint <file>] [--workers <n>] [--timeout-ms <n>] [--retries <n>] [--no-verify] [--styles <list>] [--explain]";
+const BATCH_USAGE: &str = "usage: oasys batch <manifest> [--records <file.jsonl>] [--aggregate <file.json>] [--checkpoint <file>] [--workers <n>] [--timeout-ms <n>] [--retries <n>] [--no-verify] [--styles <list>] [--explain] [--faults <list>]";
 
 fn main() -> ExitCode {
+    if let Err(e) = oasys_faults::init_from_env() {
+        eprintln!("oasys: {}: {e}", oasys_faults::FAULTS_ENV);
+        return ExitCode::FAILURE;
+    }
     let result = {
         let mut args = std::env::args().skip(1).peekable();
         match args.peek().map(String::as_str) {
@@ -140,6 +144,17 @@ struct SynthOptions {
     explain: bool,
     trace_out: Option<String>,
     trace_format: TraceFormat,
+    faults: Option<String>,
+}
+
+/// Applies a `--faults site=spec,…` list to the process-global fault
+/// plane (the same syntax the `OASYS_FAULTS` environment variable takes;
+/// the flag is applied second, so it wins on overlapping sites).
+fn apply_faults(list: Option<&str>) -> Result<(), String> {
+    if let Some(list) = list {
+        oasys_faults::configure(list).map_err(|e| format!("--faults: {e}"))?;
+    }
+    Ok(())
 }
 
 impl SynthOptions {
@@ -155,11 +170,15 @@ impl SynthOptions {
             explain: false,
             trace_out: None,
             trace_format: TraceFormat::Json,
+            faults: None,
         };
         while let Some(flag) = args.next() {
             match flag.as_str() {
                 "--out" => {
                     opts.out_path = Some(args.next().ok_or("--out needs a path")?);
+                }
+                "--faults" => {
+                    opts.faults = Some(args.next().ok_or("--faults needs a site=spec list")?);
                 }
                 "--no-verify" => opts.run_verify = false,
                 "--styles" => {
@@ -239,6 +258,7 @@ impl LintOptions {
 
 fn run_synth(args: impl Iterator<Item = String>) -> Result<(), String> {
     let opts = SynthOptions::parse(args)?;
+    apply_faults(opts.faults.as_deref())?;
     let (spec, process) = load_inputs(&opts.spec_path, &opts.tech_path)?;
 
     println!("specification: {spec}");
@@ -391,6 +411,7 @@ struct BatchCliOptions {
     no_verify: bool,
     styles: Option<Vec<String>>,
     explain: bool,
+    faults: Option<String>,
 }
 
 impl BatchCliOptions {
@@ -412,6 +433,7 @@ impl BatchCliOptions {
             no_verify: false,
             styles: None,
             explain: false,
+            faults: None,
         };
         while let Some(flag) = args.next() {
             match flag.as_str() {
@@ -459,6 +481,9 @@ impl BatchCliOptions {
                     opts.styles = Some(parse_styles_list(&list)?);
                 }
                 "--explain" => opts.explain = true,
+                "--faults" => {
+                    opts.faults = Some(args.next().ok_or("--faults needs a site=spec list")?);
+                }
                 other => return Err(format!("unknown flag `{other}`\n{BATCH_USAGE}")),
             }
         }
@@ -498,6 +523,10 @@ fn run_batch(args: impl Iterator<Item = String>) -> Result<ExitCode, String> {
     use std::io::Write as _;
 
     let opts = BatchCliOptions::parse(args)?;
+    apply_faults(opts.faults.as_deref())?;
+    if let Some(msg) = injected_io_fault("io.manifest.read") {
+        return Err(format!("{}: {msg}", opts.manifest_path));
+    }
     let manifest = batch::Manifest::load(&opts.manifest_path).map_err(|e| e.to_string())?;
     let options = opts.batch_options(&manifest.settings());
     let jobs = manifest.expand().map_err(|e| e.to_string())?;
@@ -515,7 +544,10 @@ fn run_batch(args: impl Iterator<Item = String>) -> Result<ExitCode, String> {
     if let Some(path) = &opts.checkpoint_path {
         batch_run = batch_run.with_checkpoint(path).map_err(|e| e.to_string())?;
         if batch_run.recovered_checkpoint() {
-            eprintln!("batch: checkpoint {path} was corrupt — discarded, starting fresh");
+            eprintln!(
+                "batch: checkpoint {path} was damaged — recovered, {} completed jobs salvaged",
+                batch_run.resumable_count()
+            );
         } else if batch_run.resumable_count() > 0 {
             eprintln!(
                 "batch: resuming — {} completed jobs on record",
@@ -557,7 +589,7 @@ fn run_batch(args: impl Iterator<Item = String>) -> Result<ExitCode, String> {
 
     match &opts.aggregate_path {
         Some(path) => {
-            std::fs::write(path, report.render_aggregate()).map_err(|e| format!("{path}: {e}"))?;
+            write_atomic(path, &report.render_aggregate())?;
             eprintln!("batch: aggregate written to {path}");
         }
         None => print!("{}", report.render_aggregate()),
@@ -575,16 +607,46 @@ fn run_batch(args: impl Iterator<Item = String>) -> Result<ExitCode, String> {
     })
 }
 
+/// An injected error at a file-IO fault site, when one is configured —
+/// these sites simulate unreadable inputs without touching the disk.
+fn injected_io_fault(site: &str) -> Option<String> {
+    if oasys_faults::armed() {
+        oasys_faults::eval_err(site)
+    } else {
+        None
+    }
+}
+
 /// Parses the specification and technology files shared by both modes.
 fn load_inputs(
     spec_path: &str,
     tech_path: &str,
 ) -> Result<(oasys::OpAmpSpec, oasys_process::Process), String> {
+    if let Some(msg) = injected_io_fault("io.spec.read") {
+        return Err(format!("{spec_path}: {msg}"));
+    }
     let spec_text = std::fs::read_to_string(spec_path).map_err(|e| format!("{spec_path}: {e}"))?;
     let spec = specfile::parse(&spec_text).map_err(|e| e.to_string())?;
+    if let Some(msg) = injected_io_fault("io.tech.read") {
+        return Err(format!("{tech_path}: {msg}"));
+    }
     let tech_text = std::fs::read_to_string(tech_path).map_err(|e| format!("{tech_path}: {e}"))?;
     let process = techfile::parse(&tech_text).map_err(|e| e.to_string())?;
     Ok((spec, process))
+}
+
+/// Writes `text` to `path` atomically: the bytes land in a sibling
+/// temporary file, are fsynced, and the file is renamed over the target,
+/// so a crash mid-write can never leave a torn aggregate behind.
+fn write_atomic(path: &str, text: &str) -> Result<(), String> {
+    use std::io::Write as _;
+    let err = |e: std::io::Error| format!("{path}: {e}");
+    let tmp = format!("{path}.tmp.{}", std::process::id());
+    let mut file = std::fs::File::create(&tmp).map_err(err)?;
+    file.write_all(text.as_bytes()).map_err(err)?;
+    file.sync_all().map_err(err)?;
+    drop(file);
+    std::fs::rename(&tmp, path).map_err(err)
 }
 
 #[cfg(test)]
@@ -806,6 +868,24 @@ mod tests {
         assert!(opts.no_verify);
         assert_eq!(opts.styles, Some(vec!["two-stage".to_string()]));
         assert!(opts.explain);
+    }
+
+    #[test]
+    fn faults_flag_parses_and_requires_value() {
+        let opts = SynthOptions::parse(argv(&["s", "t", "--faults", "sim.dc.solve=err"])).unwrap();
+        assert_eq!(opts.faults.as_deref(), Some("sim.dc.solve=err"));
+        let err = SynthOptions::parse(argv(&["s", "t", "--faults"])).unwrap_err();
+        assert!(err.contains("--faults needs"), "{err}");
+        let opts =
+            BatchCliOptions::parse(argv(&["m", "--faults", "batch.attempt=fail_once"])).unwrap();
+        assert_eq!(opts.faults.as_deref(), Some("batch.attempt=fail_once"));
+    }
+
+    #[test]
+    fn bad_faults_list_is_rejected_with_context() {
+        let err = apply_faults(Some("nonsense")).unwrap_err();
+        assert!(err.contains("--faults"), "{err}");
+        assert!(apply_faults(None).is_ok());
     }
 
     #[test]

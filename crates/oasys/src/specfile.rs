@@ -82,6 +82,14 @@ pub fn parse(text: &str) -> Result<OpAmpSpec, ParseSpecError> {
             line: lineno,
             detail: format!("value for `{key}` is not a number"),
         })?;
+        // `f64::from_str` accepts "inf"/"NaN" and overflows to ±inf;
+        // none of those are meaningful specification values.
+        if !value.is_finite() {
+            return Err(ParseSpecError::Line {
+                line: lineno,
+                detail: format!("value for `{key}` is not finite"),
+            });
+        }
         builder = match key.as_str() {
             "dc_gain_db" => builder.dc_gain_db(value),
             "unity_gain_mhz" => builder.unity_gain_mhz(value),

@@ -99,8 +99,9 @@ pub(crate) fn run_style<D: StyleDef>(
 ) -> Result<OpAmpDesign, StyleError> {
     let tel = ctx.telemetry();
     let plan = D::build_plan();
+    let deadline = ctx.deadline().clone();
     let mut state = D::init(spec, process, ctx.clone());
-    let trace = PlanExecutor::new().run_with(&plan, &mut state, tel)?;
+    let trace = PlanExecutor::new().run_with_deadline(&plan, &mut state, tel, &deadline)?;
     let assembly = tel.span(|| "assemble-netlist".to_owned());
     let circuit = state
         .emit()

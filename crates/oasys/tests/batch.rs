@@ -6,6 +6,7 @@ use oasys::batch::{
     Batch, BatchOptions, CheckpointOutcome, FailureKind, Job, JobFailure, JobRecord, JobRunner,
     JobStatus, JobSuccess, Manifest, SynthRunner, CHECKPOINT_HEADER,
 };
+use oasys_faults::Deadline;
 use oasys_telemetry::{ManualClock, Telemetry};
 use std::path::PathBuf;
 use std::rc::Rc;
@@ -54,7 +55,12 @@ fn fast_options() -> BatchOptions {
 struct MockRunner;
 
 impl JobRunner for MockRunner {
-    fn run(&self, job: &Job, _tel: &Telemetry) -> Result<JobSuccess, JobFailure> {
+    fn run(
+        &self,
+        job: &Job,
+        _tel: &Telemetry,
+        _deadline: &Deadline,
+    ) -> Result<JobSuccess, JobFailure> {
         if job.spec_label() == "spec-2" {
             return Ok(JobSuccess::infeasible());
         }
@@ -159,43 +165,79 @@ fn resumed_run_skips_completed_and_aggregate_is_byte_identical() {
 
 #[test]
 fn corrupt_checkpoint_is_discarded_and_batch_restarts_cleanly() {
-    // A record missing its trailing newline — the classic kill-mid-write.
-    let truncated = tmp("corrupt-truncated");
-    std::fs::write(
-        &truncated,
-        format!("{CHECKPOINT_HEADER}\n00000000000000ff\tok\ttwo-stage\t40c0000000000000\ta\tb"),
-    )
-    .unwrap();
-    // Garbage that never was a checkpoint.
-    let garbage = tmp("corrupt-garbage");
-    std::fs::write(&garbage, "not a checkpoint at all\n").unwrap();
+    // Garbage that never was a checkpoint: nothing in it can be trusted.
+    let path = tmp("corrupt-garbage");
+    std::fs::write(&path, "not a checkpoint at all\n").unwrap();
 
-    for path in [truncated, garbage] {
-        let batch = Batch::new(mock_jobs(), fast_options())
-            .with_checkpoint(&path)
-            .unwrap();
-        assert!(batch.recovered_checkpoint(), "corruption must be detected");
-        assert_eq!(batch.resumable_count(), 0, "no stale entries survive");
-        let report = batch
-            .run(&Arc::new(MockRunner), &Telemetry::disabled(), |_| {})
-            .unwrap();
-        assert_eq!(report.counts().skipped, 0, "everything re-runs");
-        assert_eq!(report.records().len(), 9);
-        // The rewritten checkpoint is valid: a follow-up run resumes fully.
-        let batch = Batch::new(mock_jobs(), fast_options())
-            .with_checkpoint(&path)
-            .unwrap();
-        assert!(!batch.recovered_checkpoint());
-        assert_eq!(batch.resumable_count(), 9);
-        std::fs::remove_file(&path).unwrap();
-    }
+    let batch = Batch::new(mock_jobs(), fast_options())
+        .with_checkpoint(&path)
+        .unwrap();
+    assert!(batch.recovered_checkpoint(), "corruption must be detected");
+    assert_eq!(batch.resumable_count(), 0, "no stale entries survive");
+    let report = batch
+        .run(&Arc::new(MockRunner), &Telemetry::disabled(), |_| {})
+        .unwrap();
+    assert_eq!(report.counts().skipped, 0, "everything re-runs");
+    assert_eq!(report.records().len(), 9);
+    // The rewritten checkpoint is valid: a follow-up run resumes fully.
+    let batch = Batch::new(mock_jobs(), fast_options())
+        .with_checkpoint(&path)
+        .unwrap();
+    assert!(!batch.recovered_checkpoint());
+    assert_eq!(batch.resumable_count(), 9);
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn torn_checkpoint_line_resumes_from_the_durable_prefix() {
+    // A kill mid-append tears the final record; every earlier record is
+    // durable. The torn record's job re-runs, the rest resume.
+    let path = tmp("corrupt-truncated");
+    let jobs = mock_jobs();
+    let durable = &jobs[0];
+    let mut text = format!("{CHECKPOINT_HEADER}\n");
+    text.push_str(&format!(
+        "{:016x}\tok\ttwo-stage\t{:016x}\t{}\t{}\n",
+        durable.fingerprint(),
+        1000.0_f64.to_bits(),
+        durable.spec_label(),
+        durable.tech_label()
+    ));
+    text.push_str("00000000000000ff\tok\ttwo-"); // torn mid-write
+    std::fs::write(&path, text).unwrap();
+
+    let batch = Batch::new(mock_jobs(), fast_options())
+        .with_checkpoint(&path)
+        .unwrap();
+    assert!(batch.recovered_checkpoint(), "torn line must be reported");
+    assert_eq!(batch.resumable_count(), 1, "the durable record survives");
+    let report = batch
+        .run(&Arc::new(MockRunner), &Telemetry::disabled(), |_| {})
+        .unwrap();
+    assert_eq!(report.counts().skipped, 1, "only the durable job skips");
+    assert!(matches!(
+        report.records()[0].status,
+        JobStatus::Skipped { .. }
+    ));
+    // The repaired checkpoint is fully valid afterwards.
+    let batch = Batch::new(mock_jobs(), fast_options())
+        .with_checkpoint(&path)
+        .unwrap();
+    assert!(!batch.recovered_checkpoint());
+    assert_eq!(batch.resumable_count(), 9);
+    std::fs::remove_file(&path).unwrap();
 }
 
 /// Panics on one specific job, succeeds on the rest.
 struct PanickyRunner;
 
 impl JobRunner for PanickyRunner {
-    fn run(&self, job: &Job, _tel: &Telemetry) -> Result<JobSuccess, JobFailure> {
+    fn run(
+        &self,
+        job: &Job,
+        _tel: &Telemetry,
+        _deadline: &Deadline,
+    ) -> Result<JobSuccess, JobFailure> {
         assert!(job.id() != 4, "plan diverged (simulated)");
         Ok(JobSuccess::feasible("one-stage OTA", 500.0))
     }
@@ -228,7 +270,12 @@ fn panicking_job_fails_alone_while_others_complete() {
 struct SleepyRunner;
 
 impl JobRunner for SleepyRunner {
-    fn run(&self, job: &Job, _tel: &Telemetry) -> Result<JobSuccess, JobFailure> {
+    fn run(
+        &self,
+        job: &Job,
+        _tel: &Telemetry,
+        _deadline: &Deadline,
+    ) -> Result<JobSuccess, JobFailure> {
         if job.id() == 2 {
             std::thread::sleep(Duration::from_secs(3600));
         }
@@ -261,7 +308,12 @@ struct FlakyRunner {
 }
 
 impl JobRunner for FlakyRunner {
-    fn run(&self, job: &Job, _tel: &Telemetry) -> Result<JobSuccess, JobFailure> {
+    fn run(
+        &self,
+        job: &Job,
+        _tel: &Telemetry,
+        _deadline: &Deadline,
+    ) -> Result<JobSuccess, JobFailure> {
         let n = self.attempts.fetch_add(1, Ordering::SeqCst);
         if n < 2 {
             return Err(JobFailure::transient(format!(

@@ -84,3 +84,55 @@ proptest! {
         }
     }
 }
+
+/// One hostile input line: arbitrary printable ASCII, or a key = value
+/// shape with a numeric near-miss or textual non-finite as the value.
+fn hostile_line() -> impl Strategy<Value = String> {
+    prop_oneof![
+        "[ -~]{0,30}".boxed(),
+        ("[a-z_]{1,16}", "[0-9.eE+-]{0,12}")
+            .prop_map(|(k, v)| format!("{k} = {v}"))
+            .boxed(),
+        (
+            "[a-z_]{1,16}",
+            prop_oneof!["inf".boxed(), "nan".boxed(), "9e999".boxed(),]
+        )
+            .prop_map(|(k, v)| format!("{k} = {v}"))
+            .boxed(),
+    ]
+}
+
+proptest! {
+    /// The specification parser is total over hostile text: `Ok` with
+    /// finite values or a displayable error, never a panic.
+    #[test]
+    fn specfile_parser_survives_hostile_input(lines in prop::collection::vec(hostile_line(), 0..12)) {
+        let text = lines.join("\n");
+        match oasys::specfile::parse(&text) {
+            Ok(spec) => {
+                prop_assert!(spec.dc_gain().db().is_finite());
+                prop_assert!(spec.load().farads().is_finite());
+            }
+            Err(e) => prop_assert!(!e.to_string().is_empty()),
+        }
+    }
+
+    /// Textual non-finites never reach a parsed specification.
+    #[test]
+    fn specfile_rejects_nonfinite_values(v in prop_oneof![
+        "inf".boxed(), "nan".boxed(), "9e999".boxed(), "-inf".boxed()
+    ]) {
+        let text = format!("dc_gain_db = {v}\nunity_gain_mhz = 1\nphase_margin_deg = 55\nload_pf = 5\n");
+        let err = oasys::specfile::parse(&text).unwrap_err();
+        prop_assert!(err.to_string().contains("not finite"), "{}", err);
+    }
+
+    /// The manifest parser is total over hostile text.
+    #[test]
+    fn manifest_parser_survives_hostile_input(lines in prop::collection::vec(hostile_line(), 0..12)) {
+        let text = lines.join("\n");
+        if let Err(e) = oasys::batch::Manifest::parse(&text) {
+            prop_assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -81,6 +81,7 @@
 //! assert_eq!(results[1].1.as_ref().unwrap(), &6_000.0);
 //! ```
 
+use oasys_faults::{fail_point, Deadline};
 use oasys_telemetry::{RunReport, Telemetry, TelemetrySeed};
 use std::any::Any;
 use std::collections::HashMap;
@@ -302,6 +303,7 @@ pub struct DesignContext<'a> {
     tel: &'a Telemetry,
     cache: Option<&'a MemoCache>,
     scope: String,
+    deadline: Deadline,
 }
 
 impl fmt::Debug for DesignContext<'_> {
@@ -321,6 +323,7 @@ impl<'a> DesignContext<'a> {
             tel,
             cache: None,
             scope: String::new(),
+            deadline: Deadline::none(),
         }
     }
 
@@ -341,10 +344,25 @@ impl<'a> DesignContext<'a> {
         self
     }
 
+    /// Attaches a cooperative deadline. Designers pass it into their plan
+    /// executors and simulator calls so a diverging job aborts at the
+    /// next checkpoint instead of running to completion.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Deadline) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
     /// The telemetry handle (for plan executors and ad-hoc spans).
     #[must_use]
     pub fn telemetry(&self) -> &'a Telemetry {
         self.tel
+    }
+
+    /// The cooperative deadline (unlimited unless the caller set one).
+    #[must_use]
+    pub fn deadline(&self) -> &Deadline {
+        &self.deadline
     }
 
     /// The cache-key scope.
@@ -367,6 +385,7 @@ impl<'a> DesignContext<'a> {
         T: Clone + Send + Sync + 'static,
         F: FnOnce() -> Result<T, E>,
     {
+        fail_point!("engine.cache");
         let span = self.tel.span(|| format!("block:{level}"));
         let full_key = key.map(|k| {
             if self.scope.is_empty() {
@@ -429,7 +448,10 @@ impl MemoCache {
     /// Looks up a cached design, cloning it out on a hit.
     #[must_use]
     pub fn get<T: Clone + Send + Sync + 'static>(&self, key: &str) -> Option<T> {
-        let entries = self.entries.lock().expect("cache lock poisoned");
+        let entries = self
+            .entries
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         match entries.get(key).and_then(|e| e.downcast_ref::<T>()) {
             Some(value) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -446,7 +468,7 @@ impl MemoCache {
     pub fn put<T: Send + Sync + 'static>(&self, key: String, value: T) {
         self.entries
             .lock()
-            .expect("cache lock poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .insert(key, Arc::new(value));
     }
 
@@ -465,7 +487,10 @@ impl MemoCache {
     /// Number of cached designs.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("cache lock poisoned").len()
+        self.entries
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
     }
 
     /// `true` when nothing is cached.
@@ -518,6 +543,7 @@ impl CacheKey {
 pub struct SearchOptions {
     styles: Option<Vec<String>>,
     threads: Option<usize>,
+    deadline: Deadline,
 }
 
 impl SearchOptions {
@@ -548,6 +574,14 @@ impl SearchOptions {
         self
     }
 
+    /// Attaches a cooperative deadline, propagated into every candidate's
+    /// [`DesignContext`].
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Deadline) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
     /// The style filter, if any.
     #[must_use]
     pub fn styles(&self) -> Option<&[String]> {
@@ -558,6 +592,12 @@ impl SearchOptions {
     #[must_use]
     pub fn threads(&self) -> Option<usize> {
         self.threads
+    }
+
+    /// The cooperative deadline (unlimited by default).
+    #[must_use]
+    pub fn deadline(&self) -> &Deadline {
+        &self.deadline
     }
 }
 
@@ -578,9 +618,14 @@ fn attempt<D: BlockDesigner>(
     style: &str,
     tel: &Telemetry,
     cache: &MemoCache,
+    deadline: &Deadline,
 ) -> Result<D::Output, D::Error> {
+    fail_point!("engine.style");
     let span = tel.span(|| format!("style:{style}"));
-    let ctx = DesignContext::new(tel).with_cache(cache).with_scope(style);
+    let ctx = DesignContext::new(tel)
+        .with_cache(cache)
+        .with_scope(style)
+        .with_deadline(deadline.clone());
     let result = designer.design_style(spec, style, &ctx);
     match &result {
         Ok(output) => {
@@ -649,7 +694,7 @@ where
         return styles
             .into_iter()
             .map(|style| {
-                let result = attempt(designer, spec, &style, tel, cache);
+                let result = attempt(designer, spec, &style, tel, cache, opts.deadline());
                 (style, result)
             })
             .collect();
@@ -658,9 +703,9 @@ where
     // One queued candidate: declaration index, style name, and the
     // forked telemetry seed its worker will record into.
     type Queued = (usize, String, Option<TelemetrySeed>);
-    // One finished candidate: the style result plus the worker's
-    // telemetry recording, awaiting in-order absorption.
-    type Finished<O, E> = (Result<O, E>, RunReport);
+    // One finished candidate: declaration index, style result, and the
+    // worker's telemetry recording, awaiting in-order absorption.
+    type Finished<O, E> = (usize, Result<O, E>, RunReport);
 
     // Round-robin the candidates over the workers; each worker records
     // into its own forked Telemetry so the parent handle (which is not
@@ -677,36 +722,37 @@ where
             .into_iter()
             .map(|(idx, style, seed)| {
                 let wtel = TelemetrySeed::build_optional(seed);
-                let result = attempt(designer, spec, &style, &wtel, cache);
+                let result = attempt(designer, spec, &style, &wtel, cache, opts.deadline());
                 (idx, result, wtel.report())
             })
             .collect::<Vec<_>>()
     };
 
-    let mut slots: Vec<Option<Finished<D::Output, D::Error>>> = Vec::new();
-    slots.resize_with(styles.len(), || None);
+    let mut finished: Vec<Finished<D::Output, D::Error>> = Vec::with_capacity(styles.len());
     std::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .into_iter()
             .map(|chunk| scope.spawn(|| run_chunk(chunk)))
             .collect();
-        for (idx, result, report) in run_chunk(local_chunk) {
-            slots[idx] = Some((result, report));
-        }
+        finished.extend(run_chunk(local_chunk));
         for handle in handles {
-            for (idx, result, report) in handle.join().expect("style worker panicked") {
-                slots[idx] = Some((result, report));
+            match handle.join() {
+                Ok(batch) => finished.extend(batch),
+                // A worker panic (e.g. an injected `engine.style` fault)
+                // propagates with its original payload so the caller's
+                // catch_unwind sees what the worker saw.
+                Err(payload) => std::panic::resume_unwind(payload),
             }
         }
     });
 
     // Absorb worker recordings in declaration order: span/event layout
     // (and therefore every export) matches the sequential sweep.
+    finished.sort_by_key(|(idx, _, _)| *idx);
     styles
         .into_iter()
-        .zip(slots)
-        .map(|(style, slot)| {
-            let (result, report) = slot.expect("every candidate ran");
+        .zip(finished)
+        .map(|(style, (_, result, report))| {
             tel.absorb_report(&report);
             (style, result)
         })

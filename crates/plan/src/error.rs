@@ -2,6 +2,7 @@
 
 use crate::plan::StepFailure;
 use crate::trace::Trace;
+use oasys_faults::DeadlineExceeded;
 use std::error::Error;
 use std::fmt;
 
@@ -9,11 +10,15 @@ use std::fmt;
 ///
 /// Every variant carries the [`Trace`] up to the failure, because a failed
 /// synthesis plan is a *result* in OASYS (it proves a design style cannot
-/// meet a spec) and the trace says why.
+/// meet a spec) and the trace says why. Variants also carry the plan name
+/// and the step/rule involved, so batch failure records can name the
+/// failing site without re-parsing display strings.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PlanError {
     /// A step failed and no rule matched the failure.
     Unpatched {
+        /// The plan being executed.
+        plan: String,
         /// The step that failed.
         step: String,
         /// The unmatched failure.
@@ -23,6 +28,10 @@ pub enum PlanError {
     },
     /// A rule requested an abort (the style cannot meet the spec).
     Aborted {
+        /// The plan being executed.
+        plan: String,
+        /// The rule that requested the abort.
+        rule: String,
         /// The abort reason.
         reason: String,
         /// Execution history up to the abort.
@@ -30,6 +39,10 @@ pub enum PlanError {
     },
     /// The patch budget was exhausted — the knowledge base is thrashing.
     PatchBudgetExhausted {
+        /// The plan being executed.
+        plan: String,
+        /// The step whose failure exhausted the budget.
+        step: String,
         /// The configured budget.
         budget: usize,
         /// Execution history.
@@ -37,9 +50,25 @@ pub enum PlanError {
     },
     /// A rule named a restart target that does not exist.
     UnknownRestartTarget {
+        /// The plan being executed.
+        plan: String,
+        /// The rule that named the missing target.
+        rule: String,
         /// The missing step name.
         step: String,
         /// Execution history.
+        trace: Trace,
+    },
+    /// The cooperative deadline expired (or the job was cancelled) at a
+    /// step boundary.
+    DeadlineExceeded {
+        /// The plan being executed.
+        plan: String,
+        /// The step about to run when the deadline tripped.
+        step: String,
+        /// Whether the clock ran out or the job was cancelled.
+        exceeded: DeadlineExceeded,
+        /// Execution history up to the abort point.
         trace: Trace,
     },
 }
@@ -52,7 +81,34 @@ impl PlanError {
             PlanError::Unpatched { trace, .. }
             | PlanError::Aborted { trace, .. }
             | PlanError::PatchBudgetExhausted { trace, .. }
-            | PlanError::UnknownRestartTarget { trace, .. } => trace,
+            | PlanError::UnknownRestartTarget { trace, .. }
+            | PlanError::DeadlineExceeded { trace, .. } => trace,
+        }
+    }
+
+    /// The name of the plan that failed.
+    #[must_use]
+    pub fn plan(&self) -> &str {
+        match self {
+            PlanError::Unpatched { plan, .. }
+            | PlanError::Aborted { plan, .. }
+            | PlanError::PatchBudgetExhausted { plan, .. }
+            | PlanError::UnknownRestartTarget { plan, .. }
+            | PlanError::DeadlineExceeded { plan, .. } => plan,
+        }
+    }
+
+    /// The step or rule where execution stopped, as `step:<name>` /
+    /// `rule:<name>` — the "failing site" surfaced in batch records.
+    #[must_use]
+    pub fn site(&self) -> String {
+        match self {
+            PlanError::Unpatched { step, .. }
+            | PlanError::PatchBudgetExhausted { step, .. }
+            | PlanError::DeadlineExceeded { step, .. } => format!("step:{step}"),
+            PlanError::Aborted { rule, .. } | PlanError::UnknownRestartTarget { rule, .. } => {
+                format!("rule:{rule}")
+            }
         }
     }
 
@@ -64,6 +120,7 @@ impl PlanError {
             PlanError::Aborted { .. } => "aborted",
             PlanError::PatchBudgetExhausted { .. } => "patch-budget",
             PlanError::UnknownRestartTarget { .. } => "unknown-restart",
+            PlanError::DeadlineExceeded { .. } => "deadline",
         }
     }
 }
@@ -71,15 +128,44 @@ impl PlanError {
 impl fmt::Display for PlanError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PlanError::Unpatched { step, failure, .. } => {
-                write!(f, "step `{step}` failed with no matching rule: {failure}")
+            PlanError::Unpatched {
+                plan,
+                step,
+                failure,
+                ..
+            } => {
+                write!(
+                    f,
+                    "plan `{plan}` step `{step}` failed with no matching rule: {failure}"
+                )
             }
-            PlanError::Aborted { reason, .. } => write!(f, "plan aborted: {reason}"),
-            PlanError::PatchBudgetExhausted { budget, .. } => {
-                write!(f, "plan exceeded its patch budget of {budget} rule firings")
+            PlanError::Aborted {
+                plan, rule, reason, ..
+            } => write!(f, "plan `{plan}` aborted by rule `{rule}`: {reason}"),
+            PlanError::PatchBudgetExhausted {
+                plan, step, budget, ..
+            } => {
+                write!(
+                    f,
+                    "plan `{plan}` exceeded its patch budget of {budget} rule firings \
+                     (last failing step `{step}`)"
+                )
             }
-            PlanError::UnknownRestartTarget { step, .. } => {
-                write!(f, "rule requested restart from unknown step `{step}`")
+            PlanError::UnknownRestartTarget {
+                plan, rule, step, ..
+            } => {
+                write!(
+                    f,
+                    "plan `{plan}` rule `{rule}` requested restart from unknown step `{step}`"
+                )
+            }
+            PlanError::DeadlineExceeded {
+                plan,
+                step,
+                exceeded,
+                ..
+            } => {
+                write!(f, "plan `{plan}` stopped before step `{step}`: {exceeded}")
             }
         }
     }
@@ -96,31 +182,75 @@ mod tests {
         let t = Trace::default();
         let errors = [
             PlanError::Unpatched {
+                plan: "p".into(),
                 step: "s".into(),
                 failure: StepFailure::new("c", "m"),
                 trace: t.clone(),
             },
             PlanError::Aborted {
+                plan: "p".into(),
+                rule: "giveup".into(),
                 reason: "r".into(),
                 trace: t.clone(),
             },
             PlanError::PatchBudgetExhausted {
+                plan: "p".into(),
+                step: "s".into(),
                 budget: 8,
                 trace: t.clone(),
             },
             PlanError::UnknownRestartTarget {
+                plan: "p".into(),
+                rule: "bad".into(),
                 step: "x".into(),
+                trace: t.clone(),
+            },
+            PlanError::DeadlineExceeded {
+                plan: "p".into(),
+                step: "s".into(),
+                exceeded: DeadlineExceeded::TimedOut,
                 trace: t,
             },
         ];
         let kinds: Vec<&str> = errors.iter().map(PlanError::kind).collect();
         assert_eq!(
             kinds,
-            vec!["unpatched", "aborted", "patch-budget", "unknown-restart"]
+            vec![
+                "unpatched",
+                "aborted",
+                "patch-budget",
+                "unknown-restart",
+                "deadline"
+            ]
         );
         for e in &errors {
             assert!(!e.to_string().is_empty());
+            assert_eq!(e.plan(), "p");
+            assert!(!e.site().is_empty());
             let _ = e.trace();
         }
+    }
+
+    #[test]
+    fn display_names_the_failing_site() {
+        let e = PlanError::Unpatched {
+            plan: "two-stage".into(),
+            step: "size-input-pair".into(),
+            failure: StepFailure::new("gm-too-low", "gm 1e-5 < 2e-5"),
+            trace: Trace::default(),
+        };
+        let text = e.to_string();
+        assert!(text.contains("two-stage"));
+        assert!(text.contains("size-input-pair"));
+        assert_eq!(e.site(), "step:size-input-pair");
+
+        let a = PlanError::Aborted {
+            plan: "two-stage".into(),
+            rule: "infeasible-spec".into(),
+            reason: "gain unreachable".into(),
+            trace: Trace::default(),
+        };
+        assert!(a.to_string().contains("infeasible-spec"));
+        assert_eq!(a.site(), "rule:infeasible-spec");
     }
 }

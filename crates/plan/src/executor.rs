@@ -1,8 +1,9 @@
 //! Bounded plan execution.
 
 use crate::error::PlanError;
-use crate::plan::{PatchAction, Plan, StepOutcome};
+use crate::plan::{PatchAction, Plan, StepFailure, StepOutcome};
 use crate::trace::{Trace, TraceEvent};
+use oasys_faults::{fail_point, Deadline};
 use oasys_telemetry::Telemetry;
 
 /// Tuning knobs for the executor.
@@ -70,12 +71,7 @@ impl PlanExecutor {
         self.run_with(plan, state, &Telemetry::disabled())
     }
 
-    /// [`PlanExecutor::run`] with telemetry: every step execution is
-    /// wrapped in a `step:<name>` span, every trace event is mirrored as
-    /// a structured telemetry event (the single `record` choke point
-    /// feeds both sinks, so the counters in the metrics registry —
-    /// `plan.step_executions`, `plan.rule_firings`, `plan.restarts` —
-    /// exactly match the [`Trace`] counts by construction).
+    /// [`PlanExecutor::run_with`] without a deadline.
     ///
     /// # Errors
     ///
@@ -86,6 +82,29 @@ impl PlanExecutor {
         state: &mut S,
         tel: &Telemetry,
     ) -> Result<Trace, PlanError> {
+        self.run_with_deadline(plan, state, tel, &Deadline::none())
+    }
+
+    /// [`PlanExecutor::run`] with telemetry: every step execution is
+    /// wrapped in a `step:<name>` span, every trace event is mirrored as
+    /// a structured telemetry event (the single `record` choke point
+    /// feeds both sinks, so the counters in the metrics registry —
+    /// `plan.step_executions`, `plan.rule_firings`, `plan.restarts` —
+    /// exactly match the [`Trace`] counts by construction).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`PlanExecutor::run`], plus
+    /// [`PlanError::DeadlineExceeded`] when the cooperative `deadline`
+    /// expires (checked before every step, so a long plan aborts at the
+    /// next step boundary instead of running to completion).
+    pub fn run_with_deadline<S>(
+        &self,
+        plan: &Plan<S>,
+        state: &mut S,
+        tel: &Telemetry,
+        deadline: &Deadline,
+    ) -> Result<Trace, PlanError> {
         let plan_span = tel.span(|| format!("plan:{}", plan.name()));
         let mut trace = Trace::new();
         let mut rule_firings = vec![0usize; plan.rules.len()];
@@ -94,6 +113,15 @@ impl PlanExecutor {
 
         while pc < plan.steps.len() {
             let step = &plan.steps[pc];
+            if let Err(exceeded) = deadline.check() {
+                plan_span.annotate("result", || "deadline".to_owned());
+                return Err(PlanError::DeadlineExceeded {
+                    plan: plan.name().to_owned(),
+                    step: step.name.clone(),
+                    exceeded,
+                    trace,
+                });
+            }
             let step_span = tel.span(|| format!("step:{}", step.name));
             record(
                 &mut trace,
@@ -104,7 +132,19 @@ impl PlanExecutor {
                 },
             );
 
-            match (step.run)(state) {
+            // Fault plane: an armed `plan.step` site turns this step's
+            // outcome into a failure with code `fault-injected`, so the
+            // rule/patch machinery sees it exactly like a real failure.
+            let outcome = if oasys_faults::armed() {
+                match oasys_faults::eval_err("plan.step") {
+                    Some(msg) => StepOutcome::Failed(StepFailure::new("fault-injected", msg)),
+                    None => (step.run)(state),
+                }
+            } else {
+                (step.run)(state)
+            };
+
+            match outcome {
                 StepOutcome::Done => {
                     step_span.annotate("outcome", || "done".to_owned());
                     record(
@@ -136,6 +176,7 @@ impl PlanExecutor {
                     let Some((k, rule)) = matched else {
                         plan_span.annotate("result", || "unpatched".to_owned());
                         return Err(PlanError::Unpatched {
+                            plan: plan.name().to_owned(),
                             step: step.name.clone(),
                             failure,
                             trace,
@@ -145,6 +186,8 @@ impl PlanExecutor {
                     if total_firings >= self.config.patch_budget {
                         plan_span.annotate("result", || "patch-budget".to_owned());
                         return Err(PlanError::PatchBudgetExhausted {
+                            plan: plan.name().to_owned(),
+                            step: step.name.clone(),
                             budget: self.config.patch_budget,
                             trace,
                         });
@@ -152,6 +195,7 @@ impl PlanExecutor {
                     rule_firings[k] += 1;
                     total_firings += 1;
 
+                    fail_point!("plan.rule");
                     let action = (rule.patch)(state);
                     record(
                         &mut trace,
@@ -169,6 +213,8 @@ impl PlanExecutor {
                             None => {
                                 plan_span.annotate("result", || "unknown-restart".to_owned());
                                 return Err(PlanError::UnknownRestartTarget {
+                                    plan: plan.name().to_owned(),
+                                    rule: rule.name.clone(),
                                     step: target,
                                     trace,
                                 });
@@ -183,7 +229,12 @@ impl PlanExecutor {
                                 },
                             );
                             plan_span.annotate("result", || "aborted".to_owned());
-                            return Err(PlanError::Aborted { reason, trace });
+                            return Err(PlanError::Aborted {
+                                plan: plan.name().to_owned(),
+                                rule: rule.name.clone(),
+                                reason,
+                                trace,
+                            });
                         }
                     }
                 }
@@ -532,6 +583,83 @@ mod tests {
             .run_with(&build(), &mut b, &Telemetry::disabled())
             .unwrap();
         assert_eq!(trace_plain, trace_tel);
+    }
+
+    #[test]
+    fn expired_deadline_stops_before_the_next_step() {
+        let plan = Plan::<Counter>::builder("slow")
+            .step("first", |s: &mut Counter| {
+                s.total += 1;
+                StepOutcome::Done
+            })
+            .step("second", |s: &mut Counter| {
+                s.total += 10;
+                StepOutcome::Done
+            })
+            .build();
+        let mut state = Counter::default();
+        let deadline = Deadline::within(std::time::Duration::ZERO);
+        let err = PlanExecutor::new()
+            .run_with_deadline(&plan, &mut state, &Telemetry::disabled(), &deadline)
+            .unwrap_err();
+        assert_eq!(err.kind(), "deadline");
+        assert_eq!(state.total, 0, "no step ran after expiry");
+        match err {
+            PlanError::DeadlineExceeded { plan, step, .. } => {
+                assert_eq!(plan, "slow");
+                assert_eq!(step, "first");
+            }
+            other => panic!("expected deadline error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancelled_deadline_reports_cancellation() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let flag = Arc::new(AtomicBool::new(true));
+        let plan = Plan::<Counter>::builder("p")
+            .step("a", |_| StepOutcome::Done)
+            .build();
+        let mut state = Counter::default();
+        let deadline = Deadline::none().with_cancel(Arc::clone(&flag));
+        let err = PlanExecutor::new()
+            .run_with_deadline(&plan, &mut state, &Telemetry::disabled(), &deadline)
+            .unwrap_err();
+        assert!(err.to_string().contains("cancelled"), "{err}");
+        flag.store(false, Ordering::Relaxed);
+        PlanExecutor::new()
+            .run_with_deadline(&plan, &mut state, &Telemetry::disabled(), &deadline)
+            .unwrap();
+    }
+
+    #[test]
+    fn injected_step_fault_flows_through_the_patch_plane() {
+        use oasys_faults::FaultSpec;
+        let site = "plan.step";
+        // fail_once: the first step execution fails with code
+        // `fault-injected`; the rule retries and the rerun succeeds.
+        oasys_faults::set(site, FaultSpec::FailOnce);
+        let plan = Plan::<Counter>::builder("p")
+            .step("work", |s: &mut Counter| {
+                s.attempts += 1;
+                StepOutcome::Done
+            })
+            .rule(
+                "absorb-fault",
+                |_, f| f.code() == "fault-injected",
+                |_| PatchAction::Retry,
+            )
+            .build();
+        let mut state = Counter::default();
+        let trace = PlanExecutor::new().run(&plan, &mut state);
+        oasys_faults::remove(site);
+        let trace = trace.unwrap();
+        assert_eq!(trace.rule_firings(), 1);
+        assert_eq!(
+            state.attempts, 1,
+            "the faulted execution never ran the step body"
+        );
     }
 
     #[test]

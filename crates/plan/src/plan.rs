@@ -311,16 +311,14 @@ impl<S> PlanBuilder<S> {
         T: Into<String>,
     {
         let vars: Vec<String> = vars.into_iter().map(Into::into).collect();
-        match self.last {
-            LastAdded::Step => {
-                let meta = &mut self.steps.last_mut().expect("last is a step").meta;
-                meta.reads.get_or_insert_with(Vec::new).extend(vars);
+        match (self.last, self.steps.last_mut(), self.rules.last_mut()) {
+            (LastAdded::Step, Some(step), _) => {
+                step.meta.reads.get_or_insert_with(Vec::new).extend(vars);
             }
-            LastAdded::Rule => {
-                let meta = &mut self.rules.last_mut().expect("last is a rule").meta;
-                meta.reads.get_or_insert_with(Vec::new).extend(vars);
+            (LastAdded::Rule, _, Some(rule)) => {
+                rule.meta.reads.get_or_insert_with(Vec::new).extend(vars);
             }
-            LastAdded::None => panic!("plan `{}`: .reads() before any step or rule", self.name),
+            _ => panic!("plan `{}`: .reads() before any step or rule", self.name),
         }
         self
     }
@@ -337,16 +335,14 @@ impl<S> PlanBuilder<S> {
         T: Into<String>,
     {
         let vars: Vec<String> = vars.into_iter().map(Into::into).collect();
-        match self.last {
-            LastAdded::Step => {
-                let meta = &mut self.steps.last_mut().expect("last is a step").meta;
-                meta.writes.get_or_insert_with(Vec::new).extend(vars);
+        match (self.last, self.steps.last_mut(), self.rules.last_mut()) {
+            (LastAdded::Step, Some(step), _) => {
+                step.meta.writes.get_or_insert_with(Vec::new).extend(vars);
             }
-            LastAdded::Rule => {
-                let meta = &mut self.rules.last_mut().expect("last is a rule").meta;
-                meta.writes.get_or_insert_with(Vec::new).extend(vars);
+            (LastAdded::Rule, _, Some(rule)) => {
+                rule.meta.writes.get_or_insert_with(Vec::new).extend(vars);
             }
-            LastAdded::None => panic!("plan `{}`: .writes() before any step or rule", self.name),
+            _ => panic!("plan `{}`: .writes() before any step or rule", self.name),
         }
         self
     }
@@ -363,13 +359,15 @@ impl<S> PlanBuilder<S> {
         I: IntoIterator<Item = T>,
         T: Into<String>,
     {
-        assert!(
-            self.last == LastAdded::Step,
-            "plan `{}`: .emits() must follow a step",
-            self.name
-        );
-        let meta = &mut self.steps.last_mut().expect("last is a step").meta;
-        meta.emits
+        let Some(step) = self
+            .steps
+            .last_mut()
+            .filter(|_| self.last == LastAdded::Step)
+        else {
+            panic!("plan `{}`: .emits() must follow a step", self.name);
+        };
+        step.meta
+            .emits
             .get_or_insert_with(Vec::new)
             .extend(codes.into_iter().map(Into::into));
         self
@@ -383,12 +381,14 @@ impl<S> PlanBuilder<S> {
     /// Panics when the last-added item is not a step.
     #[must_use]
     pub fn diverges(mut self) -> Self {
-        assert!(
-            self.last == LastAdded::Step,
-            "plan `{}`: .diverges() must follow a step",
-            self.name
-        );
-        self.steps.last_mut().expect("last is a step").meta.diverges = true;
+        let Some(step) = self
+            .steps
+            .last_mut()
+            .filter(|_| self.last == LastAdded::Step)
+        else {
+            panic!("plan `{}`: .diverges() must follow a step", self.name);
+        };
+        step.meta.diverges = true;
         self
     }
 
@@ -467,12 +467,14 @@ impl<S> PlanBuilder<S> {
     }
 
     fn last_rule_meta(&mut self, modifier: &str) -> &mut RuleMeta {
-        assert!(
-            self.last == LastAdded::Rule,
-            "plan `{}`: .{modifier}() must follow a rule",
-            self.name
-        );
-        &mut self.rules.last_mut().expect("last is a rule").meta
+        let Some(rule) = self
+            .rules
+            .last_mut()
+            .filter(|_| self.last == LastAdded::Rule)
+        else {
+            panic!("plan `{}`: .{modifier}() must follow a rule", self.name);
+        };
+        &mut rule.meta
     }
 
     /// Appends a patch rule: `applies` decides whether the rule matches a

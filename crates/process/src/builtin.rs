@@ -7,7 +7,17 @@
 //! DESIGN.md §2). [`cmos_3um`] and [`cmos_1p2um`] provide scaled sets for
 //! process-migration experiments.
 
-use crate::{Polarity, Process, ProcessBuilder};
+use crate::{BuildProcessError, Polarity, Process, ProcessBuilder};
+
+/// Finalizes a built-in parameter table. The literals in this module are
+/// fixed at compile time, so a failed build is a bug in the table itself,
+/// not an input error — it panics with the builder's own diagnostic.
+fn finish(which: &str, built: Result<Process, BuildProcessError>) -> Process {
+    match built {
+        Ok(p) => p,
+        Err(e) => panic!("built-in {which} process parameter table is inconsistent: {e}"),
+    }
+}
 
 /// A representative 5 µm dual-well CMOS process with ±5 V supplies,
 /// standing in for the paper's proprietary industrial process.
@@ -24,7 +34,7 @@ use crate::{Polarity, Process, ProcessBuilder};
 /// ```
 #[must_use]
 pub fn cmos_5um() -> Process {
-    ProcessBuilder::new("generic-5um")
+    let built = ProcessBuilder::new("generic-5um")
         .vth(Polarity::Nmos, 1.0)
         .vth(Polarity::Pmos, 1.0)
         .kprime(Polarity::Nmos, 25.0)
@@ -43,8 +53,8 @@ pub fn cmos_5um() -> Process {
         .built_in_v(0.70)
         .supply_v(5.0, -5.0)
         .tox_angstrom(850.0)
-        .build()
-        .expect("built-in 5um process parameters are self-consistent")
+        .build();
+    finish("5um", built)
 }
 
 /// A representative 3 µm CMOS process with ±5 V supplies.
@@ -57,7 +67,7 @@ pub fn cmos_5um() -> Process {
 /// ```
 #[must_use]
 pub fn cmos_3um() -> Process {
-    ProcessBuilder::new("generic-3um")
+    let built = ProcessBuilder::new("generic-3um")
         .vth(Polarity::Nmos, 0.85)
         .vth(Polarity::Pmos, 0.85)
         .kprime(Polarity::Nmos, 40.0)
@@ -76,8 +86,8 @@ pub fn cmos_3um() -> Process {
         .built_in_v(0.70)
         .supply_v(5.0, -5.0)
         .tox_angstrom(500.0)
-        .build()
-        .expect("built-in 3um process parameters are self-consistent")
+        .build();
+    finish("3um", built)
 }
 
 /// A representative 1.2 µm CMOS process with ±2.5 V supplies.
@@ -90,7 +100,7 @@ pub fn cmos_3um() -> Process {
 /// ```
 #[must_use]
 pub fn cmos_1p2um() -> Process {
-    ProcessBuilder::new("generic-1.2um")
+    let built = ProcessBuilder::new("generic-1.2um")
         .vth(Polarity::Nmos, 0.75)
         .vth(Polarity::Pmos, 0.75)
         .kprime(Polarity::Nmos, 90.0)
@@ -109,8 +119,8 @@ pub fn cmos_1p2um() -> Process {
         .built_in_v(0.80)
         .supply_v(2.5, -2.5)
         .tox_angstrom(220.0)
-        .build()
-        .expect("built-in 1.2um process parameters are self-consistent")
+        .build();
+    finish("1.2um", built)
 }
 
 /// All built-in processes, largest feature size first.

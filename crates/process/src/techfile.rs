@@ -170,6 +170,14 @@ pub fn parse(text: &str) -> Result<Process, ParseTechfileError> {
         let numeric: f64 = value.parse().map_err(|_| {
             ParseTechfileError::new(lineno, format!("value for `{key}` is not a number"))
         })?;
+        // "inf"/"NaN"/overflowed exponents parse as f64 but are never
+        // valid process parameters; reject them before the builder.
+        if !numeric.is_finite() {
+            return Err(ParseTechfileError::new(
+                lineno,
+                format!("value for `{key}` is not finite"),
+            ));
+        }
 
         match builder.take() {
             Some(b) => builder = Some(apply(b, section, &key, numeric, lineno)?),
@@ -177,10 +185,9 @@ pub fn parse(text: &str) -> Result<Process, ParseTechfileError> {
         }
     }
 
-    let Some(_) = name else {
+    let (Some(_), Some(builder)) = (name, builder) else {
         return Err(ParseTechfileError::new(0, "missing `name = ...` entry"));
     };
-    let builder = builder.expect("builder exists whenever name was parsed");
     builder
         .build()
         .map_err(|e| ParseTechfileError::new(0, e.to_string()))

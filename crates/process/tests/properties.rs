@@ -136,3 +136,51 @@ proptest! {
         prop_assert!(result.is_err());
     }
 }
+
+/// One hostile techfile line: arbitrary printable ASCII, or a
+/// key = value shape whose value is a numeric near-miss.
+fn hostile_line() -> impl Strategy<Value = String> {
+    prop_oneof![
+        "[ -~]{0,30}".boxed(),
+        ("[a-z_]{1,12}", "[0-9.eE+-]{0,12}")
+            .prop_map(|(k, v)| format!("{k} = {v}"))
+            .boxed(),
+        (
+            "[a-z_]{1,12}",
+            prop_oneof![
+                "inf".boxed(),
+                "nan".boxed(),
+                "9e999".boxed(),
+                "-inf".boxed(),
+            ]
+        )
+            .prop_map(|(k, v)| format!("{k} = {v}"))
+            .boxed(),
+    ]
+}
+
+proptest! {
+    /// The techfile parser is total over hostile text: `Ok` or a
+    /// displayable error, never a panic — and non-finite parameter
+    /// values never reach the process builder.
+    #[test]
+    fn techfile_parser_survives_hostile_input(lines in prop::collection::vec(hostile_line(), 0..12)) {
+        let text = lines.join("\n");
+        if let Err(e) = techfile::parse(&text) {
+            prop_assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn techfile_rejects_nonfinite_values(key in "[a-z_]{1,10}", v in prop_oneof![
+        "inf".boxed(), "nan".boxed(), "9e999".boxed()
+    ]) {
+        let text = format!("name = hostile\n{key} = {v}\n");
+        let err = techfile::parse(&text).unwrap_err();
+        let msg = err.to_string();
+        prop_assert!(
+            msg.contains("not finite") || msg.contains("unknown key"),
+            "unexpected error for `{} = {}`: {}", key, v, msg
+        );
+    }
+}

@@ -8,6 +8,7 @@
 
 use crate::linalg::Matrix;
 use crate::mna::{bound_mosfets, mos_stamp, MnaIndex};
+use oasys_faults::{fail_point, Deadline, DeadlineExceeded};
 use oasys_mos::OperatingPoint;
 use oasys_netlist::{Circuit, Element, NodeId};
 use oasys_process::Process;
@@ -16,31 +17,50 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
-/// Error returned when DC analysis fails.
+/// Error returned when DC analysis fails. Every variant that comes out
+/// of a solve names the circuit it failed on, so the message survives
+/// verbatim through batch records and `--explain`.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SolveDcError {
     /// The circuit failed structural validation first.
     Invalid(String),
     /// No continuation strategy converged.
     NotConverged {
+        /// Title of the circuit that failed to converge.
+        circuit: String,
         /// Residual norm of the best attempt.
         residual: f64,
     },
     /// The Jacobian was singular even with `gmin` regularization.
-    Singular,
+    Singular {
+        /// Title of the circuit with the singular Jacobian.
+        circuit: String,
+    },
+    /// The cooperative deadline fired inside the solve.
+    DeadlineExceeded {
+        /// Title of the circuit being solved when the deadline fired.
+        circuit: String,
+        /// Whether the budget ran out or the job was cancelled.
+        exceeded: DeadlineExceeded,
+    },
 }
 
 impl fmt::Display for SolveDcError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SolveDcError::Invalid(detail) => write!(f, "invalid circuit: {detail}"),
-            SolveDcError::NotConverged { residual } => {
+            SolveDcError::NotConverged { circuit, residual } => {
                 write!(
                     f,
-                    "dc analysis did not converge (residual {residual:.3e} A)"
+                    "dc analysis of `{circuit}` did not converge (residual {residual:.3e} A)"
                 )
             }
-            SolveDcError::Singular => write!(f, "dc jacobian is singular"),
+            SolveDcError::Singular { circuit } => {
+                write!(f, "dc jacobian of `{circuit}` is singular")
+            }
+            SolveDcError::DeadlineExceeded { circuit, exceeded } => {
+                write!(f, "dc analysis of `{circuit}` stopped: {exceeded}")
+            }
         }
     }
 }
@@ -145,7 +165,7 @@ const ITOL: f64 = 1e-10;
 /// [`SolveDcError::NotConverged`]/[`SolveDcError::Singular`] if every
 /// continuation strategy fails.
 pub fn solve(circuit: &Circuit, process: &Process) -> Result<DcSolution, SolveDcError> {
-    solve_inner(circuit, process)
+    solve_inner(circuit, process, &Deadline::none())
 }
 
 /// [`solve`] with run telemetry recorded into `tel`: a `sim:dc` span plus
@@ -160,9 +180,27 @@ pub fn solve_with(
     process: &Process,
     tel: &Telemetry,
 ) -> Result<DcSolution, SolveDcError> {
+    solve_with_deadline(circuit, process, tel, &Deadline::none())
+}
+
+/// [`solve_with`] under a cooperative [`Deadline`], checked at every
+/// Newton iteration and continuation stage — a diverging operating
+/// point aborts with [`SolveDcError::DeadlineExceeded`] instead of
+/// burning the whole iteration budget.
+///
+/// # Errors
+///
+/// Same failure modes as [`solve`], plus
+/// [`SolveDcError::DeadlineExceeded`].
+pub fn solve_with_deadline(
+    circuit: &Circuit,
+    process: &Process,
+    tel: &Telemetry,
+    deadline: &Deadline,
+) -> Result<DcSolution, SolveDcError> {
     let span = tel.span(|| "sim:dc".to_owned());
     tel.incr("sim.dc.solves");
-    let result = solve_inner(circuit, process);
+    let result = solve_inner(circuit, process, deadline);
     match &result {
         Ok(solution) => {
             tel.add("sim.dc.newton_iterations", solution.iterations() as u64);
@@ -176,20 +214,38 @@ pub fn solve_with(
     result
 }
 
-fn solve_inner(circuit: &Circuit, process: &Process) -> Result<DcSolution, SolveDcError> {
+fn solve_inner(
+    circuit: &Circuit,
+    process: &Process,
+    deadline: &Deadline,
+) -> Result<DcSolution, SolveDcError> {
+    fail_point!("sim.dc.solve", |msg: String| SolveDcError::Invalid(msg));
     circuit
         .validate()
         .map_err(|e| SolveDcError::Invalid(e.to_string()))?;
 
+    let deadline_err = |exceeded: DeadlineExceeded| SolveDcError::DeadlineExceeded {
+        circuit: circuit.title().to_owned(),
+        exceeded,
+    };
     let index = MnaIndex::new(circuit);
     let dim = index.dim();
     let mut best_residual = f64::INFINITY;
 
     // Strategy 1: plain Newton from zero.
     let x0 = vec![0.0; dim];
-    match newton(circuit, process, &index, GMIN_FLOOR, 1.0, x0.clone()) {
+    match newton(
+        circuit,
+        process,
+        &index,
+        GMIN_FLOOR,
+        1.0,
+        x0.clone(),
+        deadline,
+    ) {
         Ok((x, iters)) => return Ok(package(circuit, process, &index, x, iters)),
-        Err(StageFailure { residual, .. }) => best_residual = best_residual.min(residual),
+        Err(StageFailure::Deadline(exceeded)) => return Err(deadline_err(exceeded)),
+        Err(StageFailure::Stuck { residual, .. }) => best_residual = best_residual.min(residual),
     }
 
     // Strategy 2: gmin stepping.
@@ -198,12 +254,13 @@ fn solve_inner(circuit: &Circuit, process: &Process) -> Result<DcSolution, Solve
     let mut ok = true;
     let mut total_iters = 0;
     while gmin >= GMIN_FLOOR {
-        match newton(circuit, process, &index, gmin, 1.0, x.clone()) {
+        match newton(circuit, process, &index, gmin, 1.0, x.clone(), deadline) {
             Ok((next, iters)) => {
                 x = next;
                 total_iters += iters;
             }
-            Err(StageFailure { residual, .. }) => {
+            Err(StageFailure::Deadline(exceeded)) => return Err(deadline_err(exceeded)),
+            Err(StageFailure::Stuck { residual, .. }) => {
                 best_residual = best_residual.min(residual);
                 ok = false;
                 break;
@@ -224,15 +281,26 @@ fn solve_inner(circuit: &Circuit, process: &Process) -> Result<DcSolution, Solve
     let mut ok = true;
     for step in 1..=10 {
         let scale = f64::from(step) / 10.0;
-        match newton(circuit, process, &index, GMIN_FLOOR, scale, x.clone()) {
+        match newton(
+            circuit,
+            process,
+            &index,
+            GMIN_FLOOR,
+            scale,
+            x.clone(),
+            deadline,
+        ) {
             Ok((next, iters)) => {
                 x = next;
                 total_iters += iters;
             }
-            Err(StageFailure { residual, singular }) => {
+            Err(StageFailure::Deadline(exceeded)) => return Err(deadline_err(exceeded)),
+            Err(StageFailure::Stuck { residual, singular }) => {
                 best_residual = best_residual.min(residual);
                 if singular {
-                    return Err(SolveDcError::Singular);
+                    return Err(SolveDcError::Singular {
+                        circuit: circuit.title().to_owned(),
+                    });
                 }
                 ok = false;
                 break;
@@ -244,17 +312,22 @@ fn solve_inner(circuit: &Circuit, process: &Process) -> Result<DcSolution, Solve
     }
 
     Err(SolveDcError::NotConverged {
+        circuit: circuit.title().to_owned(),
         residual: best_residual,
     })
 }
 
-struct StageFailure {
-    residual: f64,
-    singular: bool,
+enum StageFailure {
+    /// The stage stalled: best residual reached, and whether the
+    /// Jacobian went singular.
+    Stuck { residual: f64, singular: bool },
+    /// The cooperative deadline fired mid-stage.
+    Deadline(DeadlineExceeded),
 }
 
 /// One Newton continuation stage. Returns the solution and iteration
 /// count, or the best residual reached.
+#[allow(clippy::too_many_arguments)]
 fn newton(
     circuit: &Circuit,
     process: &Process,
@@ -262,6 +335,7 @@ fn newton(
     gmin: f64,
     source_scale: f64,
     mut x: Vec<f64>,
+    deadline: &Deadline,
 ) -> Result<(Vec<f64>, usize), StageFailure> {
     let dim = index.dim();
     let mut jac: Matrix<f64> = Matrix::zeros(dim);
@@ -269,6 +343,10 @@ fn newton(
     let mut best_residual = f64::INFINITY;
 
     for iter in 0..MAX_ITERS {
+        fail_point!("sim.dc.newton");
+        if let Err(exceeded) = deadline.check() {
+            return Err(StageFailure::Deadline(exceeded));
+        }
         jac.clear();
         residual.fill(0.0);
         assemble(
@@ -290,7 +368,7 @@ fn newton(
         let delta = match jac.solve(&neg_f) {
             Ok(d) => d,
             Err(_) => {
-                return Err(StageFailure {
+                return Err(StageFailure::Stuck {
                     residual: best_residual,
                     singular: true,
                 })
@@ -308,7 +386,7 @@ fn newton(
             *xi += damp * di;
         }
         if !x.iter().all(|v| v.is_finite()) {
-            return Err(StageFailure {
+            return Err(StageFailure::Stuck {
                 residual: best_residual,
                 singular: false,
             });
@@ -319,7 +397,7 @@ fn newton(
         }
     }
 
-    Err(StageFailure {
+    Err(StageFailure::Stuck {
         residual: best_residual,
         singular: false,
     })

@@ -209,11 +209,15 @@ fn crossing(freqs: &[f64], values: &[f64], target: f64) -> Option<f64> {
 /// Linear interpolation of `values` on the log-frequency axis, clamped at
 /// the ends.
 fn interp_log(freqs: &[f64], values: &[f64], hz: f64) -> f64 {
-    if hz <= freqs[0] {
-        return values[0];
+    if freqs.is_empty() || freqs.len() != values.len() {
+        return f64::NAN;
     }
-    if hz >= *freqs.last().expect("non-empty") {
-        return *values.last().expect("non-empty");
+    let (first, last) = (values[0], values[values.len() - 1]);
+    if hz <= freqs[0] {
+        return first;
+    }
+    if hz >= freqs[freqs.len() - 1] {
+        return last;
     }
     let lx = hz.log10();
     for k in 1..freqs.len() {
@@ -224,7 +228,7 @@ fn interp_log(freqs: &[f64], values: &[f64], hz: f64) -> f64 {
             return values[k - 1] + t * (values[k] - values[k - 1]);
         }
     }
-    *values.last().expect("non-empty")
+    last
 }
 
 /// Output swing measured from a DC transfer sweep: the output range over

@@ -119,11 +119,7 @@ pub fn analyze(
         }
     }
 
-    contributions.sort_by(|a, b| {
-        b.output_psd
-            .partial_cmp(&a.output_psd)
-            .expect("noise PSDs are finite")
-    });
+    contributions.sort_by(|a, b| b.output_psd.total_cmp(&a.output_psd));
     let output_psd: f64 = contributions.iter().map(|c| c.output_psd).sum();
 
     Ok(NoiseReport {

@@ -78,7 +78,10 @@ pub fn dc_transfer(
         }
     }
     if points.is_empty() {
-        return Err(last_err.unwrap_or(SolveDcError::NotConverged { residual: f64::NAN }));
+        return Err(last_err.unwrap_or(SolveDcError::NotConverged {
+            circuit: circuit.title().to_owned(),
+            residual: f64::NAN,
+        }));
     }
     Ok(points)
 }

@@ -255,7 +255,11 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, ParseError> {
                 // Consume one UTF-8 scalar.
                 let rest = std::str::from_utf8(&bytes[*pos..])
                     .map_err(|_| err(*pos, "bad utf-8 in string"))?;
-                let c = rest.chars().next().expect("non-empty");
+                // `Some(_)` guarantees at least one byte, so a valid
+                // UTF-8 slice here has at least one scalar.
+                let Some(c) = rest.chars().next() else {
+                    return Err(err(*pos, "bad utf-8 in string"));
+                };
                 out.push(c);
                 *pos += c.len_utf8();
             }

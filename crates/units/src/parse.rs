@@ -74,7 +74,14 @@ pub(crate) fn parse_si(input: &str, unit: &str) -> Result<f64, ParseQuantityErro
     let suffix = rest.trim();
     let multiplier = match_suffix(suffix, unit)
         .ok_or_else(|| ParseQuantityError::new(input, "unrecognized suffix"))?;
-    Ok(value * multiplier)
+    let scaled = value * multiplier;
+    // `f64::from_str` happily yields ±inf for overflowing exponents
+    // ("9e999"); a hostile or typo'd input must not smuggle a non-finite
+    // magnitude into the sizing equations.
+    if !scaled.is_finite() {
+        return Err(ParseQuantityError::new(input, "non-finite magnitude"));
+    }
+    Ok(scaled)
 }
 
 /// Maps an SI suffix (with optional trailing unit symbol) to a multiplier.
@@ -160,6 +167,14 @@ mod tests {
         assert!(parse_si("abc", "V").is_err());
         assert!(parse_si("5x", "V").is_err());
         assert!(parse_si("--5", "V").is_err());
+    }
+
+    #[test]
+    fn rejects_non_finite_magnitudes() {
+        assert!(parse_si("9e999", "V").is_err(), "overflowing exponent");
+        assert!(parse_si("-9e999", "V").is_err());
+        assert!(parse_si("inf", "V").is_err());
+        assert!(parse_si("NaN", "V").is_err());
     }
 
     #[test]

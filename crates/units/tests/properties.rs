@@ -101,3 +101,41 @@ proptest! {
         prop_assert_eq!(x.min(y).volts() + x.max(y).volts(), a + b);
     }
 }
+
+/// Arbitrary printable-ASCII tokens plus number-shaped near-misses — the
+/// hostile-input surface of the SI-suffix parser.
+fn hostile_token() -> impl Strategy<Value = String> {
+    prop_oneof![
+        "[ -~]{0,24}".boxed(),
+        "[0-9.eE+-]{1,16}".boxed(),
+        "[0-9]{1,4}[fpnumkgtFPNUMKGT]{0,4}".boxed(),
+    ]
+}
+
+proptest! {
+    /// The parser is total: any input yields `Ok` with a finite value
+    /// or a displayable error — never a panic, never NaN/inf.
+    #[test]
+    fn hostile_input_never_panics_or_yields_nonfinite(tok in hostile_token()) {
+        match tok.parse::<Voltage>() {
+            Ok(v) => prop_assert!(v.volts().is_finite(), "`{}` -> {}", tok, v.volts()),
+            Err(e) => prop_assert!(!e.to_string().is_empty()),
+        }
+        match tok.parse::<Capacitance>() {
+            Ok(c) => prop_assert!(c.farads().is_finite()),
+            Err(e) => prop_assert!(!e.to_string().is_empty()),
+        }
+        match tok.parse::<Frequency>() {
+            Ok(f) => prop_assert!(f.hertz().is_finite()),
+            Err(e) => prop_assert!(!e.to_string().is_empty()),
+        }
+    }
+
+    /// Overflowing exponents and textual non-finites are rejected with
+    /// whatever suffix noise surrounds them.
+    #[test]
+    fn nonfinite_magnitudes_rejected(exp in 309..999u32, suffix in "[fpnumkgt]{0,1}") {
+        let tok = format!("9e{exp}{suffix}");
+        prop_assert!(tok.parse::<Voltage>().is_err(), "`{}` must not parse", tok);
+    }
+}

@@ -5,6 +5,7 @@
 
 use oasys_telemetry::schema;
 use std::env;
+use std::path::Path;
 use std::process::{Command, ExitCode};
 
 fn main() -> ExitCode {
@@ -15,11 +16,13 @@ fn main() -> ExitCode {
         Some("smoke") => smoke(),
         Some("docs") => docs(),
         Some("bench-schema") => bench_schema(),
+        Some("panics") => panics(),
         _ => {
             eprintln!(
                 "usage: cargo xtask <command>\n\n\
                  commands:\n  \
                  check          fmt --check, clippy -D warnings, tier-1 build+test,\n                 \
+                 the panic-freedom gate over the core crates,\n                 \
                  `oasys lint --deny-warnings` over the example specs,\n                 \
                  the end-to-end trace + batch smoke runs, the docs gate,\n                 \
                  and the bench-report schema gate\n  \
@@ -29,7 +32,9 @@ fn main() -> ExitCode {
                  then run the bundled batch manifest and validate the\n                 \
                  records, resume behaviour, and aggregate determinism\n  \
                  docs           only the docs gate: rustdoc with -D warnings + doc-tests\n  \
-                 bench-schema   only the committed BENCH_synthesis.json schema gate"
+                 bench-schema   only the committed BENCH_synthesis.json schema gate\n  \
+                 panics         only the panic-freedom gate: no unwrap/expect in\n                 \
+                 core-crate non-test code (textual scan + clippy lints)"
             );
             ExitCode::from(2)
         }
@@ -54,6 +59,9 @@ fn check() -> ExitCode {
             failed.push((*name).to_string());
         }
     }
+    if panics() != ExitCode::SUCCESS {
+        failed.push("panics".to_string());
+    }
     if lint_examples() != ExitCode::SUCCESS {
         failed.push("lint-examples".to_string());
     }
@@ -73,6 +81,98 @@ fn check() -> ExitCode {
         eprintln!("xtask check: FAILED gates: {}", failed.join(", "));
         ExitCode::FAILURE
     }
+}
+
+/// Crates whose non-test code must stay free of `unwrap`/`expect`: a
+/// knowledge-base bug or hostile input must surface as a typed error,
+/// never a panic. The CLI and batch layers sit above these and turn
+/// their errors into exit codes and JSONL records.
+const PANIC_FREE_CRATES: [&str; 7] = [
+    "sim", "plan", "netlist", "process", "units", "blocks", "mos",
+];
+
+/// Panic-freedom gate, enforced twice over [`PANIC_FREE_CRATES`]: a
+/// textual scan (each file cut at its first `#[cfg(test)]`, `//`
+/// comments stripped) flagging `.unwrap()` / `.expect(` call sites, and
+/// clippy's `unwrap_used`/`expect_used` lints over the library targets.
+fn panics() -> ExitCode {
+    let mut violations: Vec<String> = Vec::new();
+    for name in PANIC_FREE_CRATES {
+        let root = format!("crates/{name}/src");
+        if !Path::new(&root).is_dir() {
+            eprintln!("xtask panics: {root} not found (run from the workspace root)");
+            return ExitCode::FAILURE;
+        }
+        if let Err(e) = scan_panics(Path::new(&root), &mut violations) {
+            eprintln!("xtask panics: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    for violation in &violations {
+        eprintln!("xtask panics: {violation}");
+    }
+
+    let packages: Vec<String> = PANIC_FREE_CRATES
+        .iter()
+        .map(|name| format!("oasys-{name}"))
+        .collect();
+    let mut clippy_args: Vec<&str> = vec!["clippy"];
+    for package in &packages {
+        clippy_args.push("-p");
+        clippy_args.push(package);
+    }
+    clippy_args.extend_from_slice(&[
+        "--lib",
+        "--",
+        "-D",
+        "clippy::unwrap_used",
+        "-D",
+        "clippy::expect_used",
+    ]);
+    let clippy_ok = run("cargo", &clippy_args);
+
+    if violations.is_empty() && clippy_ok {
+        println!("xtask panics: core crates are free of unwrap/expect outside tests");
+        ExitCode::SUCCESS
+    } else {
+        if !violations.is_empty() {
+            eprintln!(
+                "xtask panics: {} unwrap/expect call site(s) in non-test code",
+                violations.len()
+            );
+        }
+        ExitCode::FAILURE
+    }
+}
+
+/// Walks every `.rs` file under `dir`, recording unwrap/expect call
+/// sites in non-test code into `violations`.
+fn scan_panics(dir: &Path, violations: &mut Vec<String>) -> Result<(), String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+        let path = entry.path();
+        if path.is_dir() {
+            scan_panics(&path, violations)?;
+            continue;
+        }
+        if path.extension().is_none_or(|ext| ext != "rs") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        // Everything from the first `#[cfg(test)]` down is test code;
+        // the convention in this workspace is one trailing test module.
+        let body = text.split("#[cfg(test)]").next().unwrap_or("");
+        for (idx, line) in body.lines().enumerate() {
+            let code = line.split("//").next().unwrap_or("");
+            if code.contains(".unwrap()") || code.contains(".expect(") {
+                violations.push(format!("{}:{}: {}", path.display(), idx + 1, line.trim()));
+            }
+        }
+    }
+    Ok(())
 }
 
 /// The `oasys lint --deny-warnings` gate: first the plan analyzers
