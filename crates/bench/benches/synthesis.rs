@@ -38,6 +38,23 @@ fn main() {
         b.bench("style_search/case_a_threads_max", || {
             synthesize_with_options(black_box(&spec), black_box(&process), &parallel, &tel).unwrap()
         });
+
+        // Static feasibility pruning: 139.5 dB exceeds every style's
+        // gain ceiling on the 1.2 µm kit, so the sweep answers
+        // "infeasible" without executing a single plan step. The delta
+        // against the rows above is the cost of a statically pruned
+        // answer (summary::REQUIRED_ROWS keeps the row visible).
+        let pruned_spec = test_cases::spec_a().with_dc_gain_db(139.5);
+        let small_process = builtin::cmos_1p2um();
+        b.bench("style_search/case_a_pruned", || {
+            synthesize_with_options(
+                black_box(&pruned_spec),
+                black_box(&small_process),
+                &sequential,
+                &tel,
+            )
+            .unwrap_err()
+        });
     }
 
     // Batch throughput: the bundled 3×3 sweep (specs A/B/C × all three
@@ -146,6 +163,15 @@ fn main() {
     ] {
         synthesize_with(&case_spec, &process, &tel).unwrap();
     }
+    // One statically pruned sweep rides along so the `engine.pruned`
+    // counter the schema requires is live in the report.
+    synthesize_with_options(
+        &test_cases::spec_a().with_dc_gain_db(139.5),
+        &builtin::cmos_1p2um(),
+        &SearchOptions::new(),
+        &tel,
+    )
+    .unwrap_err();
     let report_json = summary::render(&b.rows(), &tel.report());
     summary::validate(&report_json).expect("emitted report satisfies the bench schema");
     let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_synthesis.json");

@@ -17,24 +17,29 @@ pub const SCHEMA_VERSION: u32 = 1;
 /// worker) vs. parallel (one worker per style) style-search comparison
 /// on the same case, so the concurrency win stays visible run over run,
 /// plus the 3×3 batch sweep so batch-driver overhead on top of raw
-/// synthesis stays visible too, and the same sweep with the fault
-/// plane armed on an inert site so the near-zero cost of carrying
-/// `oasys-faults` in the hot paths stays visible.
-pub const REQUIRED_ROWS: [&str; 4] = [
+/// synthesis stays visible too, the same sweep with the fault plane
+/// armed on an inert site so the near-zero cost of carrying
+/// `oasys-faults` in the hot paths stays visible, and a sweep whose
+/// spec is pruned before any plan executes so the cost of answering
+/// "infeasible" statically stays visible.
+pub const REQUIRED_ROWS: [&str; 5] = [
     "style_search/case_a_threads_1",
     "style_search/case_a_threads_max",
+    "style_search/case_a_pruned",
     "batch/sweep_3x3",
     "batch/sweep_3x3_chaos",
 ];
 
 /// Counters the report's instrumented run must expose. `engine.cache_hits`
-/// proves the sub-block memo cache is live; the rest tie the report to
-/// the synthesis pipeline it claims to measure.
-pub const REQUIRED_COUNTERS: [&str; 4] = [
+/// proves the sub-block memo cache is live, `engine.pruned` that the
+/// static feasibility pruner is live; the rest tie the report to the
+/// synthesis pipeline it claims to measure.
+pub const REQUIRED_COUNTERS: [&str; 5] = [
     "synth.styles_attempted",
     "synth.styles_feasible",
     "plan.step_executions",
     "engine.cache_hits",
+    "engine.pruned",
 ];
 
 /// Validates a benchmark report against the `oasys-bench` schema:
@@ -255,7 +260,7 @@ mod tests {
     fn validate_accepts_a_compliant_report() {
         let text = compliant_report();
         let summary = validate(&text).expect("compliant report validates");
-        assert!(summary.contains("4 bench rows"), "{summary}");
+        assert!(summary.contains("5 bench rows"), "{summary}");
     }
 
     #[test]

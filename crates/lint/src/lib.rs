@@ -42,6 +42,22 @@ pub enum Code {
     MirrorLengthMismatch,
     /// OL105: a component value outside any physically plausible range.
     ImplausibleValue,
+    /// OL201: a divisor's derived interval contains zero, so the plan
+    /// may divide by zero at runtime.
+    PossibleDivideByZero,
+    /// OL202: an arithmetic result derived from bounded operands is
+    /// unbounded (overflow to ±∞) on some input in the declared domain.
+    PossiblyNonFinite,
+    /// OL203: a geometric quantity (length/area) whose derived interval
+    /// is entirely negative — statically impossible silicon.
+    NegativeGeometry,
+    /// OL204: an addition or subtraction mixes operands of different
+    /// physical dimensions (e.g. volts + amps).
+    UnitMismatch,
+    /// OL205: a step requirement's interval provably cannot intersect
+    /// the variable's derived interval — the plan is infeasible for the
+    /// whole declared input domain.
+    InfeasibleInterval,
 }
 
 impl Code {
@@ -61,6 +77,11 @@ impl Code {
             Code::SubMinimumGeometry => "OL103",
             Code::MirrorLengthMismatch => "OL104",
             Code::ImplausibleValue => "OL105",
+            Code::PossibleDivideByZero => "OL201",
+            Code::PossiblyNonFinite => "OL202",
+            Code::NegativeGeometry => "OL203",
+            Code::UnitMismatch => "OL204",
+            Code::InfeasibleInterval => "OL205",
         }
     }
 
@@ -80,6 +101,11 @@ impl Code {
             Code::SubMinimumGeometry => "below process minimum geometry",
             Code::MirrorLengthMismatch => "mirror length mismatch",
             Code::ImplausibleValue => "implausible component value",
+            Code::PossibleDivideByZero => "possible division by zero",
+            Code::PossiblyNonFinite => "possibly non-finite result",
+            Code::NegativeGeometry => "provably negative geometry",
+            Code::UnitMismatch => "unit dimension mismatch",
+            Code::InfeasibleInterval => "requirement provably infeasible",
         }
     }
 
@@ -89,7 +115,11 @@ impl Code {
     #[must_use]
     pub fn default_severity(self) -> Severity {
         match self {
-            Code::UseBeforeDef | Code::DanglingRestartTarget => Severity::Error,
+            Code::UseBeforeDef
+            | Code::DanglingRestartTarget
+            | Code::NegativeGeometry
+            | Code::UnitMismatch
+            | Code::InfeasibleInterval => Severity::Error,
             _ => Severity::Warning,
         }
     }
@@ -283,6 +313,31 @@ impl Report {
         out
     }
 
+    /// Sorts diagnostics into the stable report order — by code, then
+    /// scope, then subject, then message — and removes exact
+    /// duplicates. Analyzers that merge findings from several passes
+    /// (or several plans) call this so the rendered report is
+    /// byte-identical regardless of pass order.
+    pub fn normalize(&mut self) {
+        self.diagnostics.sort_by(|a, b| {
+            (
+                a.code.as_str(),
+                &a.scope,
+                &a.subject,
+                &a.message,
+                a.severity,
+            )
+                .cmp(&(
+                    b.code.as_str(),
+                    &b.scope,
+                    &b.subject,
+                    &b.message,
+                    b.severity,
+                ))
+        });
+        self.diagnostics.dedup();
+    }
+
     /// A JSON array of diagnostic objects, one per finding.
     #[must_use]
     pub fn render_json(&self) -> String {
@@ -303,6 +358,69 @@ impl Report {
         }
         out.push_str("]\n");
         out
+    }
+
+    /// The report as a SARIF 2.1.0 log with a single `oasys-lint` run.
+    ///
+    /// Each diagnostic becomes a `result` whose `ruleId` is the stable
+    /// `OLnnn` code and whose location is the logical `scope: subject`
+    /// pair (plans have no files, so physical locations are omitted).
+    /// The driver's `rules` array describes exactly the codes that
+    /// appear in the report, in first-appearance order.
+    #[must_use]
+    pub fn render_sarif(&self) -> String {
+        use oasys_telemetry::json::string;
+
+        let mut rule_ids: Vec<Code> = Vec::new();
+        for d in &self.diagnostics {
+            if !rule_ids.contains(&d.code) {
+                rule_ids.push(d.code);
+            }
+        }
+        let rules = rule_ids
+            .iter()
+            .map(|code| {
+                format!(
+                    "{{\"id\":{},\"name\":{},\"shortDescription\":{{\"text\":{}}},\
+                     \"defaultConfiguration\":{{\"level\":{}}}}}",
+                    string(code.as_str()),
+                    string(code.title()),
+                    string(code.title()),
+                    string(sarif_level(code.default_severity())),
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        let results = self
+            .diagnostics
+            .iter()
+            .map(|d| {
+                format!(
+                    "{{\"ruleId\":{},\"level\":{},\"message\":{{\"text\":{}}},\
+                     \"locations\":[{{\"logicalLocations\":[{{\"fullyQualifiedName\":{}}}]}}]}}",
+                    string(d.code.as_str()),
+                    string(sarif_level(d.severity)),
+                    string(&d.message),
+                    string(&d.location()),
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"$schema\":{},\"version\":\"2.1.0\",\"runs\":[{{\"tool\":{{\"driver\":\
+             {{\"name\":\"oasys-lint\",\"informationUri\":{},\"rules\":[{rules}]}}}},\
+             \"results\":[{results}]}}]}}\n",
+            string("https://json.schemastore.org/sarif-2.1.0.json"),
+            string("https://github.com/oasys/oasys"),
+        )
+    }
+}
+
+/// SARIF `level` for a severity.
+fn sarif_level(severity: Severity) -> &'static str {
+    match severity {
+        Severity::Warning => "warning",
+        Severity::Error => "error",
     }
 }
 
@@ -343,6 +461,115 @@ mod tests {
         assert_eq!(Code::UnhandledFailureCode.as_str(), "OL007");
         assert_eq!(Code::FloatingGate.as_str(), "OL101");
         assert_eq!(Code::ImplausibleValue.as_str(), "OL105");
+        assert_eq!(Code::PossibleDivideByZero.as_str(), "OL201");
+        assert_eq!(Code::PossiblyNonFinite.as_str(), "OL202");
+        assert_eq!(Code::NegativeGeometry.as_str(), "OL203");
+        assert_eq!(Code::UnitMismatch.as_str(), "OL204");
+        assert_eq!(Code::InfeasibleInterval.as_str(), "OL205");
+    }
+
+    #[test]
+    fn interval_codes_carry_expected_severities() {
+        assert_eq!(
+            Code::PossibleDivideByZero.default_severity(),
+            Severity::Warning
+        );
+        assert_eq!(
+            Code::PossiblyNonFinite.default_severity(),
+            Severity::Warning
+        );
+        assert_eq!(Code::NegativeGeometry.default_severity(), Severity::Error);
+        assert_eq!(Code::UnitMismatch.default_severity(), Severity::Error);
+        assert_eq!(Code::InfeasibleInterval.default_severity(), Severity::Error);
+    }
+
+    #[test]
+    fn normalize_orders_by_code_then_site_and_dedups() {
+        let mut r = Report::new();
+        r.push(Diagnostic::new(
+            Code::UnitMismatch,
+            "plan b",
+            "step s2",
+            "m",
+        ));
+        r.push(Diagnostic::new(
+            Code::PossibleDivideByZero,
+            "plan b",
+            "step s9",
+            "m",
+        ));
+        r.push(Diagnostic::new(
+            Code::UnitMismatch,
+            "plan a",
+            "step s1",
+            "m",
+        ));
+        r.push(Diagnostic::new(
+            Code::UnitMismatch,
+            "plan b",
+            "step s2",
+            "m",
+        ));
+        r.normalize();
+        assert_eq!(r.len(), 3, "exact duplicate removed");
+        let codes: Vec<&str> = r.diagnostics().iter().map(|d| d.code.as_str()).collect();
+        assert_eq!(codes, ["OL201", "OL204", "OL204"]);
+        assert_eq!(r.diagnostics()[1].scope, "plan a");
+        assert_eq!(r.diagnostics()[2].scope, "plan b");
+    }
+
+    #[test]
+    fn sarif_rendering_is_valid_json_with_required_shape() {
+        let mut r = Report::new();
+        r.push(Diagnostic::new(
+            Code::InfeasibleInterval,
+            "plan one-stage",
+            "step gain-budget",
+            "gain ∈ [80, 80] dB but ceiling is [0, 76.5]",
+        ));
+        r.push(Diagnostic::new(
+            Code::PossibleDivideByZero,
+            "plan one-stage",
+            "step design-load",
+            "divisor vov1 spans zero: [0, 0.5]",
+        ));
+        let sarif = r.render_sarif();
+        let doc = oasys_telemetry::json::parse(&sarif).expect("sarif parses");
+        assert_eq!(doc.get("version").and_then(|v| v.as_str()), Some("2.1.0"));
+        let runs = doc.get("runs").and_then(|r| r.as_arr()).expect("runs");
+        assert_eq!(runs.len(), 1);
+        let results = runs[0]
+            .get("results")
+            .and_then(|r| r.as_arr())
+            .expect("results");
+        assert_eq!(results.len(), 2);
+        assert_eq!(
+            results[0].get("ruleId").and_then(|v| v.as_str()),
+            Some("OL205")
+        );
+        assert_eq!(
+            results[0].get("level").and_then(|v| v.as_str()),
+            Some("error")
+        );
+        let rules = runs[0]
+            .get("tool")
+            .and_then(|t| t.get("driver"))
+            .and_then(|d| d.get("rules"))
+            .and_then(|r| r.as_arr())
+            .expect("rules");
+        assert_eq!(rules.len(), 2, "one rule per distinct code");
+    }
+
+    #[test]
+    fn empty_sarif_report_has_empty_results() {
+        let sarif = Report::new().render_sarif();
+        let doc = oasys_telemetry::json::parse(&sarif).expect("sarif parses");
+        let runs = doc.get("runs").and_then(|r| r.as_arr()).expect("runs");
+        let results = runs[0]
+            .get("results")
+            .and_then(|r| r.as_arr())
+            .expect("results");
+        assert!(results.is_empty());
     }
 
     #[test]

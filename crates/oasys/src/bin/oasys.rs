@@ -5,7 +5,7 @@
 //! oasys <spec-file> <tech-file> [--out <deck.sp>] [--no-verify]
 //!       [--styles <list>] [--explain] [--trace-out <file.json>]
 //!       [--trace-format json|chrome]
-//! oasys lint [<spec-file> <tech-file>] [--deny-warnings] [--format human|json]
+//! oasys lint [<spec-file> <tech-file>] [--deny-warnings] [--format human|json|sarif]
 //! oasys batch <manifest> [--records <file.jsonl>] [--aggregate <file.json>]
 //!       [--checkpoint <file>] [--workers <n>] [--timeout-ms <n>]
 //!       [--retries <n>] [--no-verify] [--styles <list>] [--explain]
@@ -53,9 +53,9 @@ use oasys_process::techfile;
 use oasys_telemetry::Telemetry;
 use std::process::ExitCode;
 
-const SYNTH_USAGE: &str = "usage: oasys <spec-file> <tech-file> [--out <deck.sp>] [--no-verify] [--styles <list>] [--explain] [--trace-out <file.json>] [--trace-format json|chrome] [--faults <list>]\n       oasys lint [<spec-file> <tech-file>] [--deny-warnings] [--format human|json]";
+const SYNTH_USAGE: &str = "usage: oasys <spec-file> <tech-file> [--out <deck.sp>] [--no-verify] [--styles <list>] [--explain] [--trace-out <file.json>] [--trace-format json|chrome] [--faults <list>]\n       oasys lint [<spec-file> <tech-file>] [--deny-warnings] [--format human|json|sarif]";
 const LINT_USAGE: &str =
-    "usage: oasys lint [<spec-file> <tech-file>] [--deny-warnings] [--format human|json]";
+    "usage: oasys lint [<spec-file> <tech-file>] [--deny-warnings] [--format human|json|sarif]";
 const BATCH_USAGE: &str = "usage: oasys batch <manifest> [--records <file.jsonl>] [--aggregate <file.json>] [--checkpoint <file>] [--workers <n>] [--timeout-ms <n>] [--retries <n>] [--no-verify] [--styles <list>] [--explain] [--faults <list>]";
 
 fn main() -> ExitCode {
@@ -222,12 +222,20 @@ impl SynthOptions {
     }
 }
 
+/// Output shape of the lint report.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum LintFormat {
+    Human,
+    Json,
+    Sarif,
+}
+
 /// Parsed arguments of the lint mode.
 #[derive(Debug, PartialEq, Eq)]
 struct LintOptions {
     paths: Vec<String>,
     deny_warnings: bool,
-    json: bool,
+    format: LintFormat,
 }
 
 impl LintOptions {
@@ -235,16 +243,21 @@ impl LintOptions {
         let mut opts = LintOptions {
             paths: Vec::new(),
             deny_warnings: false,
-            json: false,
+            format: LintFormat::Human,
         };
         while let Some(arg) = args.next() {
             match arg.as_str() {
                 "--deny-warnings" => opts.deny_warnings = true,
                 "--format" => match args.next().as_deref() {
-                    Some("human") => opts.json = false,
-                    Some("json") => opts.json = true,
+                    Some("human") => opts.format = LintFormat::Human,
+                    Some("json") => opts.format = LintFormat::Json,
+                    Some("sarif") => opts.format = LintFormat::Sarif,
                     Some(other) => return Err(format!("unknown format `{other}`\n{LINT_USAGE}")),
-                    None => return Err(format!("--format needs `human` or `json`\n{LINT_USAGE}")),
+                    None => {
+                        return Err(format!(
+                            "--format needs `human`, `json`, or `sarif`\n{LINT_USAGE}"
+                        ));
+                    }
                 },
                 flag if flag.starts_with("--") => {
                     return Err(format!("unknown flag `{flag}`\n{LINT_USAGE}"));
@@ -340,9 +353,11 @@ fn emit_telemetry(
             Synthesis::restarts,
         );
         println!(
-            "summary: {} styles attempted, {} feasible, {} plan restarts, {} step executions",
+            "summary: {} styles attempted, {} feasible, {} statically pruned, \
+             {} plan restarts, {} step executions",
             tel.counter("synth.styles_attempted"),
             tel.counter("synth.styles_feasible"),
+            tel.counter("engine.pruned"),
             restarts,
             tel.counter("plan.step_executions"),
         );
@@ -386,10 +401,13 @@ fn run_lint(args: impl Iterator<Item = String>) -> Result<ExitCode, String> {
         }
     }
 
-    if opts.json {
-        print!("{}", merged.render_json());
-    } else {
-        print!("{}", merged.render_human());
+    // Findings from both prongs were merged: normalize once more so the
+    // combined report keeps the stable (code, site) order and no dupes.
+    merged.normalize();
+    match opts.format {
+        LintFormat::Human => print!("{}", merged.render_human()),
+        LintFormat::Json => print!("{}", merged.render_json()),
+        LintFormat::Sarif => print!("{}", merged.render_sarif()),
     }
     Ok(if merged.passes(opts.deny_warnings) {
         ExitCode::SUCCESS
@@ -792,14 +810,18 @@ mod tests {
         let opts = LintOptions::parse(argv(&["spec.txt", "tech.txt"])).unwrap();
         assert_eq!(opts.paths, vec!["spec.txt", "tech.txt"]);
         assert!(!opts.deny_warnings);
-        assert!(!opts.json);
+        assert_eq!(opts.format, LintFormat::Human);
     }
 
     #[test]
     fn lint_flags_parse() {
         let opts = LintOptions::parse(argv(&["--deny-warnings", "--format", "json"])).unwrap();
         assert!(opts.deny_warnings);
-        assert!(opts.json);
+        assert_eq!(opts.format, LintFormat::Json);
+        let opts = LintOptions::parse(argv(&["--format", "sarif"])).unwrap();
+        assert_eq!(opts.format, LintFormat::Sarif);
+        let opts = LintOptions::parse(argv(&["--format", "sarif", "--format", "human"])).unwrap();
+        assert_eq!(opts.format, LintFormat::Human, "last --format wins");
     }
 
     #[test]

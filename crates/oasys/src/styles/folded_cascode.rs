@@ -23,9 +23,10 @@ use oasys_blocks::diffpair::{DiffPair, DiffPairSpec};
 use oasys_blocks::mirror::{CurrentMirror, MirrorSpec, MirrorStyle};
 use oasys_mos::{sizing, Geometry, Mosfet};
 use oasys_netlist::Circuit;
-use oasys_plan::{DesignContext, PatchAction, Plan, StepOutcome};
+use oasys_plan::{DesignContext, Expr, Interval, PatchAction, PerfRelation, Plan, StepOutcome};
 use oasys_process::{Polarity, Process};
 use oasys_telemetry::Telemetry;
+use oasys_units::Dimension;
 
 /// Initial pair overdrive target, V.
 const VOV1_INIT: f64 = 0.20;
@@ -117,9 +118,43 @@ pub(super) fn analyze_plan() -> oasys_lint::Report {
     oasys_plan::analyze(&build_plan())
 }
 
+/// The folded-cascode style's declared performance relations (see
+/// [`super::perf_relations`]).
+///
+/// The cascoded output stacks two intrinsic gains (`gm1 · rout` with
+/// `rout ≈ gm·ro²`), so the ceiling is the squared single-stage bound —
+/// computed from the smaller channel-length-modulation coefficient and
+/// the shared 4× channel-length cap, both at their favorable extremes.
+/// The swing relation mirrors `check-spec` exactly: two stacked
+/// overdrives on each side of the output plus tail headroom.
+pub(super) fn perf_relations(spec: &OpAmpSpec, process: &Process) -> Vec<PerfRelation> {
+    let lambda = process.nmos().lambda_l().min(process.pmos().lambda_l());
+    let stage = super::stage_gain_ceiling(lambda, process.min_length().micrometers(), 4.0);
+    let ceiling = stage * stage;
+    let mut relations = vec![PerfRelation::new(
+        "dc-gain",
+        "dB",
+        Interval::point(spec.dc_gain().db()),
+        Interval::new(0.0, 20.0 * ceiling.log10()),
+    )];
+    if spec.has_swing() {
+        let span = process.supply_span().volts();
+        relations.push(PerfRelation::new(
+            "output-swing",
+            "V",
+            Interval::point(spec.output_swing().volts()),
+            Interval::at_most((span - 4.0 * VOV_C - 0.4) / 2.0),
+        ));
+    }
+    relations
+}
+
 fn build_plan<'a>() -> Plan<State<'a>> {
     Plan::<State>::builder("folded cascode")
         .inputs(["spec", "process", "ctx", "vov1", "notes"])
+        // Knob domain for the interval analyzer: the lower-overdrive
+        // rule divides by 1.5 while above 0.06 V, so 0.04 V bounds it.
+        .input_domain("vov1", Interval::new(0.04, 0.5), Dimension::VOLTAGE)
         .step("check-spec", |s: &mut State| {
             // Two stacked overdrives on each side of the output.
             let span = s.process.supply_span().volts();
@@ -147,6 +182,15 @@ fn build_plan<'a>() -> Plan<State<'a>> {
         })
         .reads(["spec", "vov1"])
         .writes(["gm1", "i_tail"])
+        // Spec-derived floors are opaque, so `i_tail` degrades to
+        // unknown; the divisor `vov1` has a declared zero-free domain.
+        .transfer(
+            "i_tail",
+            Expr::var("i_slew")
+                .max(Expr::var("gm_min").mul(Expr::var("vov1")))
+                .max(Expr::qty(1e-6, Dimension::CURRENT)),
+        )
+        .transfer("gm1", Expr::var("i_tail").div(Expr::var("vov1")))
         .emits(NONE)
         .step("design-pair", |s: &mut State| {
             // The pair's r_o barely matters (the fold node is low

@@ -18,7 +18,7 @@ use crate::datasheet::Predicted;
 use crate::spec::OpAmpSpec;
 use oasys_blocks::AreaEstimate;
 use oasys_netlist::Circuit;
-use oasys_plan::{DesignContext, PlanError, PlanExecutor, Trace};
+use oasys_plan::{first_infeasible, DesignContext, PerfRelation, PlanError, PlanExecutor, Trace};
 use oasys_process::Process;
 use oasys_telemetry::Telemetry;
 use std::error::Error;
@@ -174,13 +174,77 @@ pub fn analyze_plan(style: OpAmpStyle) -> oasys_lint::Report {
 }
 
 /// Runs [`analyze_plan`] over every built-in style and merges the reports.
+/// The merged report is re-normalized so diagnostics across plans come out
+/// in stable (code, site) order with duplicates removed.
 #[must_use]
 pub fn analyze_all_plans() -> oasys_lint::Report {
     let mut report = oasys_lint::Report::default();
     for style in OpAmpStyle::ALL {
         report.merge(analyze_plan(style));
     }
+    report.normalize();
     report
+}
+
+/// The overdrive floor the static gain ceilings assume, V.
+///
+/// Strictly at the minimum any plan's patch rules can reach (the
+/// lower-overdrive rules stop lowering at 0.06 V and divide by at most
+/// 1.5, so no plan ever operates a pair below 0.04 V). Using the floor —
+/// rather than each plan's larger initial overdrive — keeps the ceilings
+/// sound over-approximations of what the runtime search can achieve.
+pub(crate) const STATIC_VOV_FLOOR: f64 = 0.04;
+
+/// A sound ceiling on one gain stage's DC gain (linear) on a process
+/// with channel-length modulation `lambda_l` (V⁻¹·µm) and minimum
+/// length `l_min_um`: intrinsic gain `gm/gout = (2/vov)·(L/λ_L)`, with
+/// the overdrive at [`STATIC_VOV_FLOOR`] and the channel length at the
+/// plans' shared `max_l_factor`× minimum-length cap. Every quantity is
+/// taken at its most favorable extreme, so no plan execution can exceed
+/// the ceiling.
+pub(crate) fn stage_gain_ceiling(lambda_l: f64, l_min_um: f64, max_l_factor: f64) -> f64 {
+    (2.0 / STATIC_VOV_FLOOR) * (max_l_factor * l_min_um / lambda_l)
+}
+
+/// The style's statically declared performance relations against `spec`
+/// on `process`: for each constrained performance, the interval the spec
+/// requires and a sound over-approximation of what the style can
+/// achieve.
+pub(crate) fn perf_relations(
+    style: OpAmpStyle,
+    spec: &OpAmpSpec,
+    process: &Process,
+) -> Vec<PerfRelation> {
+    match style {
+        OpAmpStyle::OneStageOta => one_stage::perf_relations(spec, process),
+        OpAmpStyle::TwoStage => two_stage::perf_relations(spec, process),
+        OpAmpStyle::FoldedCascode => folded_cascode::perf_relations(spec, process),
+    }
+}
+
+/// Static feasibility of a style for `spec` on `process`, decided from
+/// the style's declared performance relations without running its plan.
+///
+/// Returns the first provably infeasible relation's explanation, or
+/// `Ok(())` when every required interval intersects its achievable one.
+/// Sound: the achievable intervals over-approximate the runtime search,
+/// so a rejected style could never have produced a design — pruning it
+/// changes which work runs, never which specs succeed.
+///
+/// # Errors
+///
+/// The infeasible relation's explanation
+/// (see [`oasys_plan::PerfRelation::explain`]).
+pub fn static_feasibility(
+    style: OpAmpStyle,
+    spec: &OpAmpSpec,
+    process: &Process,
+) -> Result<(), String> {
+    let relations = perf_relations(style, spec, process);
+    match first_infeasible(&relations) {
+        Some(relation) => Err(relation.explain()),
+        None => Ok(()),
+    }
 }
 
 impl fmt::Display for OpAmpStyle {
@@ -275,6 +339,10 @@ pub enum StyleError {
     /// The assembled netlist failed validation — a template bug, not a
     /// spec problem.
     Netlist(String),
+    /// The style was pruned before its plan ran: a declared performance
+    /// relation's required interval provably cannot intersect what the
+    /// style can achieve (carries the relation's explanation).
+    Infeasible(String),
 }
 
 impl StyleError {
@@ -284,6 +352,7 @@ impl StyleError {
         match self {
             StyleError::Plan(e) => e.to_string(),
             StyleError::Netlist(e) => format!("netlist assembly failed: {e}"),
+            StyleError::Infeasible(e) => format!("statically-infeasible: {e}"),
         }
     }
 
@@ -292,7 +361,7 @@ impl StyleError {
     pub fn trace(&self) -> Option<&Trace> {
         match self {
             StyleError::Plan(e) => Some(e.trace()),
-            StyleError::Netlist(_) => None,
+            StyleError::Netlist(_) | StyleError::Infeasible(_) => None,
         }
     }
 }

@@ -22,9 +22,10 @@ use oasys_blocks::diffpair::{DiffPair, DiffPairSpec};
 use oasys_blocks::mirror::{CurrentMirror, MirrorSpec, MirrorStyle};
 use oasys_mos::Mosfet;
 use oasys_netlist::Circuit;
-use oasys_plan::{DesignContext, PatchAction, Plan, StepOutcome};
+use oasys_plan::{DesignContext, Expr, Interval, PatchAction, PerfRelation, Plan, StepOutcome};
 use oasys_process::{Polarity, Process};
 use oasys_telemetry::Telemetry;
+use oasys_units::Dimension;
 
 /// Longest pair channel, in multiples of the process minimum.
 const MAX_L_FACTOR: f64 = 4.0;
@@ -131,6 +132,39 @@ pub(super) fn analyze_plan() -> oasys_lint::Report {
     oasys_plan::analyze(&build_plan())
 }
 
+/// The one-stage style's declared performance relations (see
+/// [`super::perf_relations`]).
+///
+/// The gain ceiling is the single intrinsic gain `gm/gout` this
+/// topology offers, taken at every favorable extreme: the whole output
+/// conductance budget on the pair, the pair channel at the
+/// `MAX_L_FACTOR` cap `gain-budget` enforces, and the overdrive at
+/// [`super::STATIC_VOV_FLOOR`]. The swing relation mirrors `check-spec`
+/// exactly: the output must clear the load's headroom on the positive
+/// rail.
+pub(super) fn perf_relations(spec: &OpAmpSpec, process: &Process) -> Vec<PerfRelation> {
+    let ceiling = super::stage_gain_ceiling(
+        process.nmos().lambda_l(),
+        process.min_length().micrometers(),
+        MAX_L_FACTOR,
+    );
+    let mut relations = vec![PerfRelation::new(
+        "dc-gain",
+        "dB",
+        Interval::point(spec.dc_gain().db()),
+        Interval::new(0.0, 20.0 * ceiling.log10()),
+    )];
+    if spec.has_swing() {
+        relations.push(PerfRelation::new(
+            "output-swing",
+            "V",
+            Interval::point(spec.output_swing().volts()),
+            Interval::at_most(process.vdd().volts() - 0.4),
+        ));
+    }
+    relations
+}
+
 /// Builds the one-stage translation plan (steps and patch rules).
 fn build_plan<'a>() -> Plan<State<'a>> {
     Plan::<State>::builder("one-stage OTA")
@@ -144,6 +178,15 @@ fn build_plan<'a>() -> Plan<State<'a>> {
             "slew_boost",
             "notes",
         ])
+        // Knob domains for the interval analyzer: the initial values,
+        // widened to the whole range the patch rules can steer through.
+        .input_domain("vov1", Interval::new(0.05, 0.5), Dimension::VOLTAGE)
+        .input_domain(
+            "alpha",
+            Interval::new(ALPHA_INIT, ALPHA_CASCODE),
+            Dimension::NONE,
+        )
+        .input_domain("slew_boost", Interval::new(1.0, 8.0), Dimension::NONE)
         .step("check-spec", |s: &mut State| {
             let vdd = s.process.vdd().volts();
             if s.spec.has_swing() && s.spec.output_swing().volts() > vdd - 0.4 {
@@ -176,6 +219,18 @@ fn build_plan<'a>() -> Plan<State<'a>> {
         })
         .reads(["spec", "vov1", "slew_boost"])
         .writes(["gm1", "i_tail"])
+        // Interval transfers mirroring the step's arithmetic. The
+        // spec-derived floors are opaque to the analyzer (`i_slew`,
+        // `gm_min` are not state variables), so `i_tail` degrades to
+        // unknown — what matters is that `gm1 = i_tail / vov1` shows the
+        // divisor, whose declared domain excludes zero.
+        .transfer(
+            "i_tail",
+            Expr::var("i_slew")
+                .max(Expr::var("gm_min").mul(Expr::var("vov1")))
+                .max(Expr::qty(1e-6, Dimension::CURRENT)),
+        )
+        .transfer("gm1", Expr::var("i_tail").div(Expr::var("vov1")))
         .emits(NONE)
         .step("gain-budget", |s: &mut State| {
             // Split the allowed output conductance between pair and load,

@@ -26,9 +26,12 @@ use oasys_blocks::gainstage::{GainStage, GainStageSpec, GainStageStyle};
 use oasys_blocks::levelshift::{LevelShiftSpec, LevelShifter};
 use oasys_blocks::mirror::{CurrentMirror, MirrorSpec, MirrorStyle};
 use oasys_netlist::Circuit;
-use oasys_plan::{CacheKey, DesignContext, PatchAction, Plan, StepOutcome};
+use oasys_plan::{
+    CacheKey, DesignContext, Expr, Interval, PatchAction, PerfRelation, Plan, StepOutcome,
+};
 use oasys_process::{Polarity, Process};
 use oasys_telemetry::Telemetry;
+use oasys_units::Dimension;
 
 /// Longest channel, in multiples of the process minimum.
 const MAX_L_FACTOR: f64 = 4.0;
@@ -205,6 +208,35 @@ pub(super) fn analyze_plan() -> oasys_lint::Report {
     oasys_plan::analyze(&build_plan())
 }
 
+/// The two-stage style's declared performance relations (see
+/// [`super::perf_relations`]).
+///
+/// Two cascaded intrinsic gains, each capped as in the one-stage ceiling
+/// (the smaller of the two channel-length-modulation coefficients keeps
+/// the bound valid for both the NMOS first and PMOS second stage), spent
+/// against the `GAIN_MARGIN` the plan designs in. The swing relation
+/// mirrors `check-spec` exactly.
+pub(super) fn perf_relations(spec: &OpAmpSpec, process: &Process) -> Vec<PerfRelation> {
+    let lambda = process.nmos().lambda_l().min(process.pmos().lambda_l());
+    let stage = super::stage_gain_ceiling(lambda, process.min_length().micrometers(), MAX_L_FACTOR);
+    let ceiling = stage * stage / GAIN_MARGIN;
+    let mut relations = vec![PerfRelation::new(
+        "dc-gain",
+        "dB",
+        Interval::point(spec.dc_gain().db()),
+        Interval::new(0.0, 20.0 * ceiling.log10()),
+    )];
+    if spec.has_swing() {
+        relations.push(PerfRelation::new(
+            "output-swing",
+            "V",
+            Interval::point(spec.output_swing().volts()),
+            Interval::at_most(process.vdd().volts() - 0.3),
+        ));
+    }
+    relations
+}
+
 fn build_plan<'a>() -> Plan<State<'a>> {
     Plan::<State>::builder("two-stage")
         .inputs([
@@ -223,6 +255,12 @@ fn build_plan<'a>() -> Plan<State<'a>> {
             "i_ls",
             "notes",
         ])
+        // Knob domains for the interval analyzer, spanning what the
+        // patch rules can steer through.
+        .input_domain("vov1", Interval::new(0.05, 0.5), Dimension::VOLTAGE)
+        .input_domain("skew", Interval::new(1.0, CASCODE_SKEW), Dimension::NONE)
+        .input_domain("i2_boost", Interval::new(1.0, 16.0), Dimension::NONE)
+        .input_domain("slew_boost", Interval::new(1.0, 8.0), Dimension::NONE)
         .step("check-spec", |s: &mut State| {
             let vdd = s.process.vdd().volts();
             if s.spec.has_swing() && s.spec.output_swing().volts() > vdd - 0.3 {
@@ -266,6 +304,15 @@ fn build_plan<'a>() -> Plan<State<'a>> {
         })
         .reads(["spec", "cc", "vov1", "slew_boost"])
         .writes(["gm1", "i_tail"])
+        // Spec-derived floors are opaque, so `i_tail` degrades to
+        // unknown; the divisor `vov1` has a declared zero-free domain.
+        .transfer(
+            "i_tail",
+            Expr::var("i_slew")
+                .max(Expr::var("gm_floor").mul(Expr::var("vov1")))
+                .max(Expr::qty(1e-6, Dimension::CURRENT)),
+        )
+        .transfer("gm1", Expr::var("i_tail").div(Expr::var("vov1")))
         .emits(NONE)
         .step("stage1-budget", |s: &mut State| {
             let pair_budget = s.alpha1 * s.gm1 / s.a1_target;

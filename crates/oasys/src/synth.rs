@@ -63,6 +63,11 @@ impl BlockDesigner for OpAmpDesigner<'_> {
         OpAmpStyle::ALL.iter().map(ToString::to_string).collect()
     }
 
+    fn static_check(&self, spec: &OpAmpSpec, style: &str) -> Result<(), StyleError> {
+        let style = OpAmpStyle::from_name(style).expect("style names come from styles()");
+        crate::styles::static_feasibility(style, spec, self.process).map_err(StyleError::Infeasible)
+    }
+
     fn design_style(
         &self,
         spec: &OpAmpSpec,

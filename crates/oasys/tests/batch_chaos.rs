@@ -82,6 +82,14 @@ fn fast_options() -> BatchOptions {
         .with_backoff(Duration::from_millis(1), Duration::from_millis(4))
 }
 
+/// Search options for fault-injection runs: static feasibility pruning
+/// is disabled so every style's plan actually executes — a statically
+/// pruned style never reaches the injected fault sites, and some sweep
+/// jobs (e.g. a 75 dB spec on the 1.2 µm tech) prune every style.
+fn execute_everything() -> SearchOptions {
+    SearchOptions::new().with_static_pruning(false)
+}
+
 /// Deterministic stand-in runner: area is a function of the job id.
 struct MockRunner;
 
@@ -109,7 +117,11 @@ fn injected_panic_fails_each_job_alone_and_the_sweep_survives() {
     oasys_faults::set("plan.step", FaultSpec::Panic);
 
     let tel = Telemetry::new();
-    let runner = Arc::new(SynthRunner::new().with_verify(false));
+    let runner = Arc::new(
+        SynthRunner::new()
+            .with_verify(false)
+            .with_search(execute_everything()),
+    );
     let report = Batch::new(paper_jobs(), fast_options())
         .run(&runner, &tel, |_| {})
         .unwrap();
@@ -143,7 +155,7 @@ fn delay_fault_trips_the_cooperative_deadline_not_the_backstop() {
             .with_verify(false)
             // One style per job so the stall cost is thread-count
             // independent (OASYS_STYLE_THREADS=1 must behave the same).
-            .with_search(SearchOptions::new().with_styles(vec!["two-stage".to_owned()])),
+            .with_search(execute_everything().with_styles(vec!["two-stage".to_owned()])),
     );
     let report = Batch::new(
         paper_jobs(),
@@ -215,7 +227,11 @@ fn plan_step_faults_surface_the_failing_site_in_style_reasons() {
     // record verbatim through the rejection reasons.
     oasys_faults::set("plan.step", FaultSpec::Err(None));
 
-    let runner = Arc::new(SynthRunner::new().with_verify(false));
+    let runner = Arc::new(
+        SynthRunner::new()
+            .with_verify(false)
+            .with_search(execute_everything()),
+    );
     let report = Batch::new(paper_jobs(), fast_options())
         .run(&runner, &Telemetry::disabled(), |_| {})
         .unwrap();

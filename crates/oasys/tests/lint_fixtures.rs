@@ -6,11 +6,12 @@
 //! every built-in style plan and every synthesized netlist comes back
 //! clean, is asserted at the bottom.
 
-use oasys_lint::Code;
+use oasys_lint::{Code, Report};
 use oasys_mos::Geometry;
 use oasys_netlist::{lint, Circuit, SourceValue};
-use oasys_plan::{analyze, PatchAction, Plan, StepOutcome};
+use oasys_plan::{analyze, Expr, Interval, PatchAction, Plan, StepOutcome};
 use oasys_process::{builtin, Polarity};
+use oasys_units::Dimension;
 
 #[derive(Default)]
 struct State {
@@ -106,6 +107,165 @@ fn seeded_shadowed_rule_yields_ol004() {
     assert!(hits[0].message.contains("too-big"), "{}", hits[0].message);
     assert!(report.passes(false), "OL004 is warning-tier");
     assert!(!report.passes(true));
+}
+
+// ------------------------------------- interval/unit dataflow (OL2xx)
+
+fn done(_s: &mut State) -> StepOutcome {
+    StepOutcome::Done
+}
+
+/// The OL2xx subset of a report, as `(code, subject)` pairs.
+fn interval_findings(report: &Report) -> Vec<(String, String)> {
+    report
+        .diagnostics()
+        .iter()
+        .filter(|d| d.code.as_str().starts_with("OL2"))
+        .map(|d| (d.code.as_str().to_owned(), d.subject.clone()))
+        .collect()
+}
+
+#[test]
+fn seeded_zero_spanning_divisor_yields_ol201() {
+    let plan = Plan::<State>::builder("seeded-div-by-zero")
+        .inputs(["x"])
+        .input_domain("x", Interval::new(0.0, 1.0), Dimension::NONE)
+        .step("divide", done)
+        .transfer("y", Expr::num(1.0).div(Expr::var("x")))
+        .build();
+    let report = analyze(&plan);
+    assert_eq!(
+        interval_findings(&report),
+        vec![("OL201".to_owned(), "step divide".to_owned())],
+        "{}",
+        report.render_human()
+    );
+    assert!(report.contains(Code::PossibleDivideByZero));
+    assert!(report.passes(false), "OL201 is warning-tier");
+    assert!(!report.passes(true));
+}
+
+#[test]
+fn seeded_overflowing_product_yields_ol202() {
+    let plan = Plan::<State>::builder("seeded-overflow")
+        .inputs(["big"])
+        .input_domain("big", Interval::new(1e308, 1e308), Dimension::NONE)
+        .step("square", done)
+        .transfer("huge", Expr::var("big").mul(Expr::var("big")))
+        .build();
+    let report = analyze(&plan);
+    assert_eq!(
+        interval_findings(&report),
+        vec![("OL202".to_owned(), "step square".to_owned())],
+        "{}",
+        report.render_human()
+    );
+    assert!(report.contains(Code::PossiblyNonFinite));
+}
+
+#[test]
+fn seeded_negative_width_yields_ol203() {
+    // Available width [0, 1] µm minus used width [2, 3] µm: the margin
+    // is provably negative for every input in the domain.
+    let plan = Plan::<State>::builder("seeded-negative-geometry")
+        .inputs(["w_avail", "w_used"])
+        .input_domain("w_avail", Interval::new(0.0, 1.0), Dimension::LENGTH)
+        .input_domain("w_used", Interval::new(2.0, 3.0), Dimension::LENGTH)
+        .step("margin", done)
+        .transfer("w_left", Expr::var("w_avail").sub(Expr::var("w_used")))
+        .build();
+    let report = analyze(&plan);
+    assert_eq!(
+        interval_findings(&report),
+        vec![("OL203".to_owned(), "step margin".to_owned())],
+        "{}",
+        report.render_human()
+    );
+    assert!(report.contains(Code::NegativeGeometry));
+    assert!(!report.passes(false), "OL203 is an error");
+}
+
+#[test]
+fn seeded_volts_plus_amps_yields_ol204() {
+    let plan = Plan::<State>::builder("seeded-unit-mismatch")
+        .inputs(["v", "i"])
+        .input_domain("v", Interval::new(1.0, 2.0), Dimension::VOLTAGE)
+        .input_domain("i", Interval::new(1e-6, 1e-3), Dimension::CURRENT)
+        .step("mix", done)
+        .transfer("nonsense", Expr::var("v").add(Expr::var("i")))
+        .build();
+    let report = analyze(&plan);
+    assert_eq!(
+        interval_findings(&report),
+        vec![("OL204".to_owned(), "step mix".to_owned())],
+        "{}",
+        report.render_human()
+    );
+    assert!(report.contains(Code::UnitMismatch));
+    assert!(!report.passes(false), "OL204 is an error");
+}
+
+#[test]
+fn seeded_unreachable_requirement_yields_ol205() {
+    let plan = Plan::<State>::builder("seeded-infeasible")
+        .inputs(["x"])
+        .input_domain("x", Interval::new(0.0, 1.0), Dimension::NONE)
+        .step("check", done)
+        .transfer("x", Expr::var("x"))
+        .requires("x", Interval::new(2.0, 3.0))
+        .build();
+    let report = analyze(&plan);
+    assert_eq!(
+        interval_findings(&report),
+        vec![("OL205".to_owned(), "step check".to_owned())],
+        "{}",
+        report.render_human()
+    );
+    assert!(report.contains(Code::InfeasibleInterval));
+    assert!(!report.passes(false), "OL205 is an error");
+}
+
+/// One plan seeding several defects across steps declared in an order
+/// that disagrees with the diagnostic sort: the report must come back
+/// ordered by (code, site) with duplicates collapsed, and a second
+/// analysis must render byte-identically.
+#[test]
+fn seeded_defects_report_in_stable_order_without_duplicates() {
+    let build = || {
+        Plan::<State>::builder("seeded-ordering")
+            .inputs(["x", "v", "i"])
+            .input_domain("x", Interval::new(0.0, 1.0), Dimension::NONE)
+            .input_domain("v", Interval::new(1.0, 2.0), Dimension::VOLTAGE)
+            .input_domain("i", Interval::new(1e-6, 1e-3), Dimension::CURRENT)
+            // Declared first, but its code (OL204) sorts after OL201.
+            // Writes are declared so the inputs survive to the next
+            // step instead of being havocked away.
+            .step("zz-mix", done)
+            .writes(["nonsense"])
+            .transfer("nonsense", Expr::var("v").add(Expr::var("i")))
+            .step("aa-divide", done)
+            .transfer("y", Expr::num(1.0).div(Expr::var("x")))
+            // The same division again: dedup must collapse the repeat
+            // into one diagnostic per site.
+            .transfer("y", Expr::num(1.0).div(Expr::var("x")))
+            .build()
+    };
+    let report = analyze(&build());
+    let findings = interval_findings(&report);
+    assert_eq!(
+        findings,
+        vec![
+            ("OL201".to_owned(), "step aa-divide".to_owned()),
+            ("OL204".to_owned(), "step zz-mix".to_owned()),
+        ],
+        "{}",
+        report.render_human()
+    );
+    assert_eq!(
+        report.render_json(),
+        analyze(&build()).render_json(),
+        "analysis is deterministic"
+    );
 }
 
 // -------------------------------------------------------------- netlists

@@ -2,8 +2,9 @@
 //! succeeds, the predicted performance satisfies the specification it was
 //! given, across a randomized slice of the spec space.
 
-use oasys::{synthesize, OpAmpSpec};
+use oasys::{synthesize, synthesize_with_options, OpAmpSpec, SearchOptions};
 use oasys_process::builtin;
+use oasys_telemetry::Telemetry;
 use oasys_testutil::prelude::*;
 
 /// Specs drawn from the region the 5 µm process can plausibly serve.
@@ -66,6 +67,77 @@ proptest! {
             }
             (Err(_), Err(_)) => {}
             _ => prop_assert!(false, "feasibility must be deterministic"),
+        }
+    }
+
+    /// Soundness of the static feasibility pruner: whenever the pruner
+    /// rejects a style (`statically-infeasible`), really executing that
+    /// style's plan (pruning disabled) must reject it too — concrete
+    /// execution never contradicts the abstract verdict — and the
+    /// sweep's winner is unchanged. Checked on two processes (the
+    /// 1.2 µm one prunes aggressively in this gain range) and at 1 and
+    /// 3 worker threads.
+    #[test]
+    fn static_pruning_is_sound(spec in spec_strategy()) {
+        /// Per-style rejection table: `None` means the style succeeded.
+        fn table(
+            result: &Result<oasys::Synthesis, oasys::SynthesisError>,
+        ) -> Vec<(String, Option<String>)> {
+            match result {
+                Ok(s) => s
+                    .outcomes()
+                    .iter()
+                    .map(|o| (o.style().to_string(), o.rejection()))
+                    .collect(),
+                Err(e) => e
+                    .rejections()
+                    .iter()
+                    .map(|(style, reason)| (style.to_string(), Some(reason.clone())))
+                    .collect(),
+            }
+        }
+
+        for process in [builtin::cmos_5um(), builtin::cmos_1p2um()] {
+            for threads in [1usize, 3] {
+                let opts = SearchOptions::new().with_threads(threads);
+                let tel = Telemetry::disabled();
+                let pruned = synthesize_with_options(&spec, &process, &opts, &tel);
+                let executed = synthesize_with_options(
+                    &spec,
+                    &process,
+                    &opts.clone().with_static_pruning(false),
+                    &tel,
+                );
+                let pruned_table = table(&pruned);
+                let executed_table = table(&executed);
+                prop_assert_eq!(
+                    pruned_table.iter().map(|(s, _)| s).collect::<Vec<_>>(),
+                    executed_table.iter().map(|(s, _)| s).collect::<Vec<_>>(),
+                    "both sweeps attempt the same styles in the same order"
+                );
+                for ((style, verdict), (_, outcome)) in
+                    pruned_table.iter().zip(&executed_table)
+                {
+                    if verdict.as_deref().is_some_and(|v| v.starts_with("statically-infeasible")) {
+                        prop_assert!(
+                            outcome.is_some(),
+                            "{style} on {process} was pruned as infeasible but executing \
+                             its plan succeeded — the static verdict is unsound"
+                        );
+                    }
+                }
+                match (&pruned, &executed) {
+                    (Ok(a), Ok(b)) => {
+                        prop_assert_eq!(a.selected().style(), b.selected().style());
+                        prop_assert_eq!(a.selected().circuit(), b.selected().circuit());
+                    }
+                    (Err(_), Err(_)) => {}
+                    _ => prop_assert!(
+                        false,
+                        "pruning flipped overall feasibility on {}", process
+                    ),
+                }
+            }
         }
     }
 

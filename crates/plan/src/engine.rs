@@ -117,6 +117,28 @@ pub trait BlockDesigner {
         true
     }
 
+    /// Static feasibility check, run *before* [`design_style`]. A style
+    /// whose declared performance relations provably cannot intersect
+    /// the spec returns `Err` with the rejection reason and is pruned
+    /// from the sweep: its plan never executes, the engine records the
+    /// error as the style's result (so rejection tables are complete),
+    /// bumps the `engine.pruned` counter, and opens a `style:<name>`
+    /// span annotated `outcome=pruned`.
+    ///
+    /// Must be *sound*: only reject when the relations — which
+    /// over-approximate what the style can achieve — have provably empty
+    /// intersection with the spec, so pruning never removes a style that
+    /// would have succeeded. Defaults to never pruning.
+    ///
+    /// # Errors
+    ///
+    /// The rejection reason when the style is statically infeasible.
+    ///
+    /// [`design_style`]: BlockDesigner::design_style
+    fn static_check(&self, _spec: &Self::Spec, _style: &str) -> Result<(), Self::Error> {
+        Ok(())
+    }
+
     /// Designs one style. Only called with names from [`styles`]
     /// (filtered through [`allowed`]).
     ///
@@ -155,6 +177,11 @@ pub trait BlockDesigner {
         let mut rejections = Vec::new();
         for style in self.styles() {
             if !self.allowed(spec, &style) {
+                continue;
+            }
+            if let Err(error) = self.static_check(spec, &style) {
+                prune(ctx.telemetry(), &style, &error);
+                rejections.push(StyleRejection { style, error });
                 continue;
             }
             match self.design_style(spec, &style, ctx) {
@@ -544,6 +571,7 @@ pub struct SearchOptions {
     styles: Option<Vec<String>>,
     threads: Option<usize>,
     deadline: Deadline,
+    skip_static_check: bool,
 }
 
 impl SearchOptions {
@@ -582,6 +610,23 @@ impl SearchOptions {
         self
     }
 
+    /// Enables or disables static feasibility pruning (on by default).
+    /// Disabling forces every allowed style's plan to execute even when
+    /// [`BlockDesigner::static_check`] would prove it infeasible —
+    /// useful for auditing the pruner's verdicts against real execution
+    /// and for fault-injection suites that need the execution path.
+    #[must_use]
+    pub fn with_static_pruning(mut self, enabled: bool) -> Self {
+        self.skip_static_check = !enabled;
+        self
+    }
+
+    /// Whether static feasibility pruning is enabled (default `true`).
+    #[must_use]
+    pub fn static_pruning(&self) -> bool {
+        !self.skip_static_check
+    }
+
     /// The style filter, if any.
     #[must_use]
     pub fn styles(&self) -> Option<&[String]> {
@@ -608,6 +653,17 @@ fn host_parallelism() -> usize {
     static HOST: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
     *HOST
         .get_or_init(|| std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get))
+}
+
+/// Records a statically pruned style: a `style:<name>` span annotated
+/// `outcome=pruned` with the reason, plus the `engine.pruned` counter.
+/// Always called from the thread owning `tel`, in declaration order, so
+/// reports stay byte-identical at any worker count.
+fn prune<E: fmt::Display>(tel: &Telemetry, style: &str, error: &E) {
+    let span = tel.span(|| format!("style:{style}"));
+    span.annotate("outcome", || "pruned".to_owned());
+    span.annotate("reason", || error.to_string());
+    tel.incr("engine.pruned");
 }
 
 /// Designs one candidate style under its own `style:<name>` span,
@@ -643,6 +699,10 @@ fn attempt<D: BlockDesigner>(
 /// Every attempted style's result, in declaration order — the return
 /// shape of [`design_candidates`].
 pub type CandidateResults<O, E> = Vec<(String, Result<O, E>)>;
+
+/// One candidate's result keyed by its declaration index, used while
+/// merging pruned and executed outcomes back into declaration order.
+type IndexedResult<O, E> = (usize, String, Result<O, E>);
 
 /// Runs the breadth-first candidate sweep for one block level,
 /// returning every attempted style's result in declaration order.
@@ -682,21 +742,51 @@ where
     if styles.is_empty() {
         return Vec::new();
     }
+
+    // Static feasibility pruning, decided in the caller thread in
+    // declaration order *before* any worker is spawned: pruned styles
+    // get their span/counter here and never enter the sweep, so the
+    // telemetry report stays byte-identical at any thread count.
+    let mut outcomes: Vec<IndexedResult<D::Output, D::Error>> = Vec::new();
+    let mut runnable: Vec<(usize, String)> = Vec::new();
+    for (idx, style) in styles.into_iter().enumerate() {
+        let verdict = if opts.static_pruning() {
+            designer.static_check(spec, &style)
+        } else {
+            Ok(())
+        };
+        match verdict {
+            Ok(()) => runnable.push((idx, style)),
+            Err(error) => {
+                prune(tel, &style, &error);
+                outcomes.push((idx, style, Err(error)));
+            }
+        }
+    }
+    if runnable.is_empty() {
+        return outcomes
+            .into_iter()
+            .map(|(_, style, result)| (style, result))
+            .collect();
+    }
+
     // Default worker count: one per candidate, but never more than the
     // host offers — on a single-core machine the sweep degenerates to
     // the sequential path instead of paying spawn overhead for nothing.
     let threads = opts
         .threads
         .unwrap_or_else(host_parallelism)
-        .clamp(1, styles.len());
+        .clamp(1, runnable.len());
 
     if threads == 1 {
-        return styles
+        for (idx, style) in runnable {
+            let result = attempt(designer, spec, &style, tel, cache, opts.deadline());
+            outcomes.push((idx, style, result));
+        }
+        outcomes.sort_by_key(|(idx, _, _)| *idx);
+        return outcomes
             .into_iter()
-            .map(|style| {
-                let result = attempt(designer, spec, &style, tel, cache, opts.deadline());
-                (style, result)
-            })
+            .map(|(_, style, result)| (style, result))
             .collect();
     }
 
@@ -713,8 +803,8 @@ where
     // the first chunk itself, so a sweep with N workers pays for only
     // N-1 thread spawns.
     let mut chunks: Vec<Vec<Queued>> = (0..threads).map(|_| Vec::new()).collect();
-    for (idx, style) in styles.iter().enumerate() {
-        chunks[idx % threads].push((idx, style.clone(), tel.fork_seed()));
+    for (pos, (idx, style)) in runnable.iter().enumerate() {
+        chunks[pos % threads].push((*idx, style.clone(), tel.fork_seed()));
     }
     let local_chunk = chunks.remove(0);
     let run_chunk = |chunk: Vec<Queued>| {
@@ -728,7 +818,7 @@ where
             .collect::<Vec<_>>()
     };
 
-    let mut finished: Vec<Finished<D::Output, D::Error>> = Vec::with_capacity(styles.len());
+    let mut finished: Vec<Finished<D::Output, D::Error>> = Vec::with_capacity(runnable.len());
     std::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .into_iter()
@@ -749,13 +839,16 @@ where
     // Absorb worker recordings in declaration order: span/event layout
     // (and therefore every export) matches the sequential sweep.
     finished.sort_by_key(|(idx, _, _)| *idx);
-    styles
-        .into_iter()
-        .zip(finished)
-        .map(|(style, (_, result, report))| {
+    outcomes.extend(runnable.into_iter().zip(finished).map(
+        |((idx, style), (_, result, report))| {
             tel.absorb_report(&report);
-            (style, result)
-        })
+            (idx, style, result)
+        },
+    ));
+    outcomes.sort_by_key(|(idx, _, _)| *idx);
+    outcomes
+        .into_iter()
+        .map(|(_, style, result)| (style, result))
         .collect()
 }
 
@@ -1103,6 +1196,168 @@ mod tests {
         assert!(sequential.1[0].is_ok());
         assert!(sequential.1[1].is_err());
         assert_eq!(sequential.2, vec!["style:big", "style:small"]);
+    }
+
+    /// Three styles; "mid" is statically infeasible and must be pruned
+    /// without its `design_style` ever running.
+    struct PrunableToy {
+        runs: AtomicUsize,
+    }
+
+    impl BlockDesigner for PrunableToy {
+        type Spec = ();
+        type Output = f64;
+        type Error = String;
+
+        fn level(&self) -> &'static str {
+            "prunable"
+        }
+
+        fn styles(&self) -> Vec<String> {
+            vec!["cheap".into(), "mid".into(), "fancy".into()]
+        }
+
+        fn static_check(&self, _spec: &(), style: &str) -> Result<(), String> {
+            if style == "mid" {
+                Err("statically-infeasible: required gain exceeds style ceiling".to_owned())
+            } else {
+                Ok(())
+            }
+        }
+
+        fn design_style(
+            &self,
+            _spec: &(),
+            style: &str,
+            _ctx: &DesignContext<'_>,
+        ) -> Result<f64, String> {
+            self.runs.fetch_add(1, Ordering::SeqCst);
+            assert_ne!(style, "mid", "pruned style must never run its plan");
+            Ok(if style == "cheap" { 10.0 } else { 50.0 })
+        }
+
+        fn area_um2(&self, output: &f64) -> f64 {
+            *output
+        }
+    }
+
+    #[test]
+    fn statically_infeasible_styles_are_pruned_not_run() {
+        let run = |threads: usize| {
+            let tel = Telemetry::new();
+            let cache = MemoCache::new();
+            let toy = PrunableToy {
+                runs: AtomicUsize::new(0),
+            };
+            let opts = SearchOptions::new().with_threads(threads);
+            let results = design_candidates(&toy, &(), &opts, &tel, &cache);
+            assert_eq!(toy.runs.load(Ordering::SeqCst), 2);
+            assert_eq!(tel.counter("engine.pruned"), 1);
+            let names: Vec<String> = results.iter().map(|(s, _)| s.clone()).collect();
+            assert_eq!(
+                names,
+                vec!["cheap", "mid", "fancy"],
+                "declaration order kept"
+            );
+            assert!(results[0].1.is_ok());
+            assert!(
+                results[1]
+                    .1
+                    .as_ref()
+                    .is_err_and(|e| e.contains("statically-infeasible")),
+                "pruned style's result is its static rejection"
+            );
+            assert!(results[2].1.is_ok());
+            let spans: Vec<String> = tel
+                .report()
+                .spans()
+                .iter()
+                .map(|s| s.name.clone())
+                .collect();
+            spans
+        };
+        let sequential = run(1);
+        let parallel = run(3);
+        assert_eq!(sequential, parallel, "span layout thread-count invariant");
+        assert_eq!(
+            sequential,
+            vec!["style:mid", "style:cheap", "style:fancy"],
+            "pruned spans open before the sweep"
+        );
+    }
+
+    #[test]
+    fn static_pruning_opt_out_runs_every_style() {
+        /// Like [`PrunableToy`] but tolerates "mid" executing, so the
+        /// opt-out path can prove the plan really ran.
+        struct Audit(AtomicUsize);
+
+        impl BlockDesigner for Audit {
+            type Spec = ();
+            type Output = f64;
+            type Error = String;
+
+            fn level(&self) -> &'static str {
+                "audit"
+            }
+
+            fn styles(&self) -> Vec<String> {
+                vec!["cheap".into(), "mid".into(), "fancy".into()]
+            }
+
+            fn static_check(&self, _spec: &(), style: &str) -> Result<(), String> {
+                if style == "mid" {
+                    Err("statically-infeasible: ceiling".to_owned())
+                } else {
+                    Ok(())
+                }
+            }
+
+            fn design_style(
+                &self,
+                _spec: &(),
+                style: &str,
+                _ctx: &DesignContext<'_>,
+            ) -> Result<f64, String> {
+                self.0.fetch_add(1, Ordering::SeqCst);
+                if style == "mid" {
+                    Err("ran anyway and was rejected at runtime".to_owned())
+                } else {
+                    Ok(10.0)
+                }
+            }
+
+            fn area_um2(&self, output: &f64) -> f64 {
+                *output
+            }
+        }
+
+        let tel = Telemetry::new();
+        let cache = MemoCache::new();
+        let toy = Audit(AtomicUsize::new(0));
+        let opts = SearchOptions::new()
+            .with_static_pruning(false)
+            .with_threads(1);
+        assert!(!opts.static_pruning());
+        let results = design_candidates(&toy, &(), &opts, &tel, &cache);
+        assert_eq!(toy.0.load(Ordering::SeqCst), 3, "every style executed");
+        assert_eq!(tel.counter("engine.pruned"), 0);
+        assert!(
+            results[1].1.as_ref().is_err_and(|e| e.contains("runtime")),
+            "mid's result comes from execution, not the static check"
+        );
+    }
+
+    #[test]
+    fn design_method_prunes_and_records_rejection() {
+        let tel = Telemetry::new();
+        let toy = PrunableToy {
+            runs: AtomicUsize::new(0),
+        };
+        let selected = toy.design(&(), &ctx(&tel)).expect("two styles remain");
+        assert_eq!(selected.style(), "cheap");
+        assert_eq!(toy.runs.load(Ordering::SeqCst), 2);
+        assert_eq!(tel.counter("engine.pruned"), 1);
     }
 
     #[test]

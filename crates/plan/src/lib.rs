@@ -57,6 +57,7 @@ pub mod analyze;
 pub mod engine;
 mod error;
 mod executor;
+pub mod interval;
 mod plan;
 mod trace;
 
@@ -68,7 +69,12 @@ pub use engine::{
 };
 pub use error::PlanError;
 pub use executor::{ExecutorConfig, PlanExecutor};
+pub use interval::{
+    eval, first_infeasible, AbstractValue, EvalIssue, EvalIssueKind, EvalOutcome, Expr, Interval,
+    PerfRelation,
+};
 pub use plan::{
-    DeclaredAction, PatchAction, Plan, PlanBuilder, RuleMeta, StepFailure, StepMeta, StepOutcome,
+    DeclaredAction, InputDomain, PatchAction, Plan, PlanBuilder, Requirement, RuleMeta,
+    StepFailure, StepMeta, StepOutcome, Transfer,
 };
 pub use trace::{Trace, TraceEvent};

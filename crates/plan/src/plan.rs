@@ -1,5 +1,7 @@
 //! Plan, step and rule definitions.
 
+use crate::interval::{Expr, Interval};
+use oasys_units::Dimension;
 use std::fmt;
 
 /// The outcome a plan step reports.
@@ -75,12 +77,53 @@ type RulePredicate<S> = Box<dyn Fn(&S, &StepFailure) -> bool + Send + Sync>;
 /// Boxed rule patch action.
 type RulePatch<S> = Box<dyn Fn(&mut S) -> PatchAction + Send + Sync>;
 
+/// A declared transfer function: the abstract effect of a step on one
+/// state variable, set with [`PlanBuilder::transfer`].
+///
+/// The concrete step body must compute a value *inside* the expression's
+/// abstract result (the expression may over-approximate, never
+/// under-approximate) for the interval analysis to stay sound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transfer {
+    /// The state variable the step assigns.
+    pub target: String,
+    /// The declared arithmetic producing it.
+    pub expr: Expr,
+}
+
+/// A declared precondition: the step can only complete when the named
+/// variable lies inside the interval, set with [`PlanBuilder::requires`].
+/// The analyzer flags a requirement whose intersection with the
+/// variable's derived interval is provably empty (OL205).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Requirement {
+    /// The state variable the step constrains.
+    pub var: String,
+    /// The interval the variable must lie in for the step to succeed.
+    pub interval: Interval,
+}
+
+/// A declared plan-input domain: the initial interval and physical
+/// dimension of one input variable, set with
+/// [`PlanBuilder::input_domain`]. Inputs without a declared domain start
+/// the interval analysis fully unknown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InputDomain {
+    /// The input variable.
+    pub var: String,
+    /// Its initial interval.
+    pub interval: Interval,
+    /// Its physical dimension.
+    pub dim: Dimension,
+}
+
 /// Declared dataflow facts about a step, set with the
 /// [`PlanBuilder::reads`]/[`PlanBuilder::writes`]/[`PlanBuilder::emits`]/
-/// [`PlanBuilder::diverges`] chained modifiers. `None` means
+/// [`PlanBuilder::diverges`]/[`PlanBuilder::transfer`]/
+/// [`PlanBuilder::requires`] chained modifiers. `None` means
 /// "undeclared": the static analyzer skips the checks that need the
 /// missing fact instead of guessing.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct StepMeta {
     /// State variables the step body reads.
     pub reads: Option<Vec<String>>,
@@ -91,6 +134,12 @@ pub struct StepMeta {
     /// True when the step never completes normally (it always fails or
     /// aborts), so sequential flow never continues past it.
     pub diverges: bool,
+    /// Declared transfer functions, in assignment order. `None` means
+    /// the step's arithmetic is undeclared: the interval analyzer
+    /// havocs the step's declared writes instead of tracking them.
+    pub transfers: Option<Vec<Transfer>>,
+    /// Declared preconditions on state variables.
+    pub requires: Option<Vec<Requirement>>,
 }
 
 /// What a rule's patch closure may tell the executor to do, declared
@@ -147,6 +196,7 @@ pub struct Plan<S> {
     pub(crate) steps: Vec<Step<S>>,
     pub(crate) rules: Vec<Rule<S>>,
     pub(crate) inputs: Vec<String>,
+    pub(crate) input_domains: Vec<InputDomain>,
 }
 
 impl<S> Plan<S> {
@@ -158,6 +208,7 @@ impl<S> Plan<S> {
             steps: Vec::new(),
             rules: Vec::new(),
             inputs: Vec::new(),
+            input_domains: Vec::new(),
             last: LastAdded::None,
         }
     }
@@ -198,6 +249,13 @@ impl<S> Plan<S> {
     #[must_use]
     pub fn inputs(&self) -> &[String] {
         &self.inputs
+    }
+
+    /// Declared input domains (interval + dimension) for the interval
+    /// analyzer, in declaration order.
+    #[must_use]
+    pub fn input_domains(&self) -> &[InputDomain] {
+        &self.input_domains
     }
 
     /// Declared metadata of the step at `index`.
@@ -255,6 +313,7 @@ pub struct PlanBuilder<S> {
     steps: Vec<Step<S>>,
     rules: Vec<Rule<S>>,
     inputs: Vec<String>,
+    input_domains: Vec<InputDomain>,
     last: LastAdded,
 }
 
@@ -296,6 +355,78 @@ impl<S> PlanBuilder<S> {
         T: Into<String>,
     {
         self.inputs.extend(vars.into_iter().map(Into::into));
+        self
+    }
+
+    /// Declares the value domain (interval + physical dimension) of a
+    /// plan input for the static interval analyzer. Inputs without a
+    /// declared domain are treated as unknown and never produce
+    /// interval diagnostics.
+    #[must_use]
+    pub fn input_domain(
+        mut self,
+        var: impl Into<String>,
+        interval: Interval,
+        dim: Dimension,
+    ) -> Self {
+        self.input_domains.push(InputDomain {
+            var: var.into(),
+            interval,
+            dim,
+        });
+        self
+    }
+
+    /// Declares that the last-added step computes `target` as the given
+    /// interval expression over previously known variables. Transfers
+    /// evaluate in declaration order during static analysis.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the last-added item is not a step.
+    #[must_use]
+    pub fn transfer(mut self, target: impl Into<String>, expr: Expr) -> Self {
+        let Some(step) = self
+            .steps
+            .last_mut()
+            .filter(|_| self.last == LastAdded::Step)
+        else {
+            panic!("plan `{}`: .transfer() must follow a step", self.name);
+        };
+        step.meta
+            .transfers
+            .get_or_insert_with(Vec::new)
+            .push(Transfer {
+                target: target.into(),
+                expr,
+            });
+        self
+    }
+
+    /// Declares that after the last-added step completes, `var` must lie
+    /// within `interval` for the plan to be feasible. The static
+    /// analyzer reports OL205 when the variable's derived interval
+    /// provably cannot intersect the requirement.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the last-added item is not a step.
+    #[must_use]
+    pub fn requires(mut self, var: impl Into<String>, interval: Interval) -> Self {
+        let Some(step) = self
+            .steps
+            .last_mut()
+            .filter(|_| self.last == LastAdded::Step)
+        else {
+            panic!("plan `{}`: .requires() must follow a step", self.name);
+        };
+        step.meta
+            .requires
+            .get_or_insert_with(Vec::new)
+            .push(Requirement {
+                var: var.into(),
+                interval,
+            });
         self
     }
 
@@ -510,6 +641,7 @@ impl<S> PlanBuilder<S> {
             steps: self.steps,
             rules: self.rules,
             inputs: self.inputs,
+            input_domains: self.input_domains,
         }
     }
 }
@@ -517,6 +649,36 @@ impl<S> PlanBuilder<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn builder_records_domains_transfers_and_requirements() {
+        let plan = Plan::<i32>::builder("annotated")
+            .inputs(["x"])
+            .input_domain("x", Interval::new(0.5, 2.0), Dimension::VOLTAGE)
+            .step("compute", |_| StepOutcome::Done)
+            .transfer("y", Expr::div(Expr::num(1.0), Expr::var("x")))
+            .requires("y", Interval::new(0.0, 10.0))
+            .build();
+        assert_eq!(plan.input_domains().len(), 1);
+        assert_eq!(plan.input_domains()[0].var, "x");
+        assert_eq!(plan.input_domains()[0].dim, Dimension::VOLTAGE);
+        let meta = &plan.steps[0].meta;
+        assert_eq!(meta.transfers.as_ref().map(Vec::len), Some(1));
+        assert_eq!(meta.requires.as_ref().map(Vec::len), Some(1));
+        assert_eq!(
+            meta.requires
+                .as_ref()
+                .and_then(|r| r.first())
+                .map(|r| r.var.as_str()),
+            Some("y")
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must follow a step")]
+    fn transfer_before_any_step_panics() {
+        let _ = Plan::<i32>::builder("bad").transfer("y", Expr::num(1.0));
+    }
 
     #[test]
     fn builder_collects_steps_and_rules() {

@@ -1,0 +1,212 @@
+//! Physical dimensions as exponent vectors, for static unit checking.
+//!
+//! The quantity newtypes in this crate give *runtime* values their units;
+//! [`Dimension`] gives the **static analyzers** a way to talk about units
+//! without a value attached. A dimension is a vector of integer exponents
+//! over a four-element basis chosen for analog design — volts, amperes,
+//! seconds, micrometers — which spans every quantity this workspace uses:
+//! resistance is `V·A⁻¹`, capacitance is `A·s·V⁻¹`, slew rate is `V·s⁻¹`,
+//! area is `µm²`, and so on.
+//!
+//! Dimensions multiply and divide by adding and subtracting exponents, so
+//! an abstract interpreter can propagate them through plan arithmetic and
+//! flag an addition whose operands disagree — the static analogue of the
+//! runtime `V / Ω = A` impls on the quantity types.
+//!
+//! # Examples
+//!
+//! ```
+//! use oasys_units::Dimension;
+//!
+//! // Ohm's law, statically: V / A = Ω.
+//! let ohms = Dimension::VOLTAGE.div(Dimension::CURRENT);
+//! assert_eq!(ohms, Dimension::RESISTANCE);
+//!
+//! // gm · Vov = I.
+//! let i = Dimension::CONDUCTANCE.mul(Dimension::VOLTAGE);
+//! assert_eq!(i, Dimension::CURRENT);
+//!
+//! assert_eq!(Dimension::RESISTANCE.to_string(), "V·A^-1");
+//! assert!(Dimension::NONE.is_none());
+//! ```
+
+use std::fmt;
+
+/// A physical dimension: exponents over the (V, A, s, µm) basis.
+///
+/// `Dimension::NONE` (all exponents zero) is the dimensionless unit —
+/// ratios, counts, gains. Construct compound dimensions with
+/// [`Dimension::mul`], [`Dimension::div`], [`Dimension::recip`] and
+/// [`Dimension::pow`], or start from the named constants.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Dimension {
+    /// Exponent of volts.
+    volt: i16,
+    /// Exponent of amperes.
+    amp: i16,
+    /// Exponent of seconds.
+    second: i16,
+    /// Exponent of micrometers.
+    meter: i16,
+}
+
+impl Dimension {
+    /// Dimensionless: ratios, gains, counts.
+    pub const NONE: Self = Self::new(0, 0, 0, 0);
+    /// Volts.
+    pub const VOLTAGE: Self = Self::new(1, 0, 0, 0);
+    /// Amperes.
+    pub const CURRENT: Self = Self::new(0, 1, 0, 0);
+    /// Seconds.
+    pub const TIME: Self = Self::new(0, 0, 1, 0);
+    /// Micrometers.
+    pub const LENGTH: Self = Self::new(0, 0, 0, 1);
+    /// Square micrometers.
+    pub const AREA: Self = Self::new(0, 0, 0, 2);
+    /// Hertz (s⁻¹).
+    pub const FREQUENCY: Self = Self::new(0, 0, -1, 0);
+    /// Ohms (V·A⁻¹).
+    pub const RESISTANCE: Self = Self::new(1, -1, 0, 0);
+    /// Siemens (A·V⁻¹).
+    pub const CONDUCTANCE: Self = Self::new(-1, 1, 0, 0);
+    /// Farads (A·s·V⁻¹).
+    pub const CAPACITANCE: Self = Self::new(-1, 1, 1, 0);
+    /// Watts (V·A).
+    pub const POWER: Self = Self::new(1, 1, 0, 0);
+    /// Volts per second.
+    pub const SLEW_RATE: Self = Self::new(1, 0, -1, 0);
+
+    /// A dimension from raw basis exponents (volts, amperes, seconds,
+    /// micrometers).
+    #[must_use]
+    pub const fn new(volt: i16, amp: i16, second: i16, meter: i16) -> Self {
+        Self {
+            volt,
+            amp,
+            second,
+            meter,
+        }
+    }
+
+    /// True for the dimensionless unit.
+    #[must_use]
+    pub const fn is_none(self) -> bool {
+        self.volt == 0 && self.amp == 0 && self.second == 0 && self.meter == 0
+    }
+
+    /// The dimension of a product: exponents add (saturating, so
+    /// pathological chains stay panic-free).
+    #[must_use]
+    pub const fn mul(self, rhs: Self) -> Self {
+        Self {
+            volt: self.volt.saturating_add(rhs.volt),
+            amp: self.amp.saturating_add(rhs.amp),
+            second: self.second.saturating_add(rhs.second),
+            meter: self.meter.saturating_add(rhs.meter),
+        }
+    }
+
+    /// The dimension of a quotient: exponents subtract.
+    #[must_use]
+    pub const fn div(self, rhs: Self) -> Self {
+        self.mul(rhs.recip())
+    }
+
+    /// The dimension of a reciprocal: exponents negate.
+    #[must_use]
+    pub const fn recip(self) -> Self {
+        Self {
+            volt: self.volt.saturating_neg(),
+            amp: self.amp.saturating_neg(),
+            second: self.second.saturating_neg(),
+            meter: self.meter.saturating_neg(),
+        }
+    }
+
+    /// The dimension raised to an integer power.
+    #[must_use]
+    pub const fn pow(self, n: i16) -> Self {
+        Self {
+            volt: self.volt.saturating_mul(n),
+            amp: self.amp.saturating_mul(n),
+            second: self.second.saturating_mul(n),
+            meter: self.meter.saturating_mul(n),
+        }
+    }
+}
+
+impl fmt::Display for Dimension {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_none() {
+            return f.write_str("dimensionless");
+        }
+        let mut first = true;
+        for (symbol, exp) in [
+            ("V", self.volt),
+            ("A", self.amp),
+            ("s", self.second),
+            ("um", self.meter),
+        ] {
+            if exp == 0 {
+                continue;
+            }
+            if !first {
+                f.write_str("\u{b7}")?;
+            }
+            first = false;
+            if exp == 1 {
+                f.write_str(symbol)?;
+            } else {
+                write!(f, "{symbol}^{exp}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_constants_compose() {
+        assert_eq!(
+            Dimension::VOLTAGE.div(Dimension::CURRENT),
+            Dimension::RESISTANCE
+        );
+        assert_eq!(Dimension::RESISTANCE.recip(), Dimension::CONDUCTANCE);
+        assert_eq!(
+            Dimension::CONDUCTANCE.mul(Dimension::VOLTAGE),
+            Dimension::CURRENT
+        );
+        assert_eq!(Dimension::LENGTH.pow(2), Dimension::AREA);
+        assert_eq!(Dimension::TIME.recip(), Dimension::FREQUENCY);
+        assert_eq!(Dimension::VOLTAGE.mul(Dimension::CURRENT), Dimension::POWER);
+        assert_eq!(
+            Dimension::VOLTAGE.div(Dimension::TIME),
+            Dimension::SLEW_RATE
+        );
+        // 2π·f·C has the dimension of a conductance.
+        assert_eq!(
+            Dimension::FREQUENCY.mul(Dimension::CAPACITANCE),
+            Dimension::CONDUCTANCE
+        );
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(Dimension::NONE.to_string(), "dimensionless");
+        assert_eq!(Dimension::VOLTAGE.to_string(), "V");
+        assert_eq!(Dimension::RESISTANCE.to_string(), "V\u{b7}A^-1");
+        assert_eq!(Dimension::AREA.to_string(), "um^2");
+    }
+
+    #[test]
+    fn saturating_arithmetic_never_wraps() {
+        let big = Dimension::new(i16::MAX, i16::MIN, 0, 0);
+        let doubled = big.mul(big);
+        assert_eq!(doubled, Dimension::new(i16::MAX, i16::MIN, 0, 0));
+        let neg = big.recip();
+        assert_eq!(neg.pow(3), Dimension::new(i16::MIN, i16::MAX, 0, 0));
+    }
+}

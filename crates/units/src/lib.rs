@@ -35,8 +35,10 @@
 //! # }
 //! ```
 
+mod dimension;
 mod parse;
 
+pub use dimension::Dimension;
 pub use parse::ParseQuantityError;
 
 use std::fmt;

@@ -13,6 +13,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("check") => check(),
         Some("lint-examples") => lint_examples(),
+        Some("analyze") => analyze(),
         Some("smoke") => smoke(),
         Some("docs") => docs(),
         Some("bench-schema") => bench_schema(),
@@ -24,8 +25,11 @@ fn main() -> ExitCode {
                  check          fmt --check, clippy -D warnings, tier-1 build+test,\n                 \
                  the panic-freedom gate over the core crates,\n                 \
                  `oasys lint --deny-warnings` over the example specs,\n                 \
+                 the static-analysis gate over the builtin plans,\n                 \
                  the end-to-end trace + batch smoke runs, the docs gate,\n                 \
                  and the bench-report schema gate\n  \
+                 analyze        only the static-analysis gate: the builtin style plans\n                 \
+                 must be diagnostic-free in JSON and SARIF output\n  \
                  lint-examples  only the example-spec lint gate\n  \
                  smoke          only the end-to-end runs: synthesize the example spec\n                 \
                  with --trace-out and validate the emitted trace files,\n                 \
@@ -64,6 +68,9 @@ fn check() -> ExitCode {
     }
     if lint_examples() != ExitCode::SUCCESS {
         failed.push("lint-examples".to_string());
+    }
+    if analyze() != ExitCode::SUCCESS {
+        failed.push("analyze".to_string());
     }
     if smoke() != ExitCode::SUCCESS {
         failed.push("smoke".to_string());
@@ -195,6 +202,74 @@ fn lint_examples() -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// Static-analysis gate: the builtin style plans must come through the
+/// full analyzer — the dataflow checks plus the interval/unit OL2xx
+/// pass — with zero diagnostics, verified through the real CLI in both
+/// machine formats. A clean JSON report is exactly the empty array; the
+/// SARIF log must still carry the complete 2.1.0 envelope.
+fn analyze() -> ExitCode {
+    let json = match capture_oasys_lint(&["--format", "json", "--deny-warnings"]) {
+        Ok(json) => json,
+        Err(e) => {
+            eprintln!("xtask analyze: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if json != "[]\n" {
+        eprintln!("xtask analyze: builtin plans are not diagnostic-free:\n{json}");
+        return ExitCode::FAILURE;
+    }
+    let sarif = match capture_oasys_lint(&["--format", "sarif", "--deny-warnings"]) {
+        Ok(sarif) => sarif,
+        Err(e) => {
+            eprintln!("xtask analyze: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for marker in [
+        "\"version\":\"2.1.0\"",
+        "\"name\":\"oasys-lint\"",
+        "\"results\":[]",
+    ] {
+        if !sarif.contains(marker) {
+            eprintln!("xtask analyze: SARIF output is missing {marker}:\n{sarif}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("xtask analyze: builtin plans are clean (JSON empty, SARIF envelope intact)");
+    ExitCode::SUCCESS
+}
+
+/// Runs `oasys lint` with the given arguments, returning captured
+/// stdout on success and a description (with stderr) on failure.
+fn capture_oasys_lint(lint_args: &[&str]) -> Result<String, String> {
+    let mut args = vec![
+        "run",
+        "--release",
+        "-q",
+        "-p",
+        "oasys",
+        "--bin",
+        "oasys",
+        "--",
+        "lint",
+    ];
+    args.extend_from_slice(lint_args);
+    println!("$ cargo {}", args.join(" "));
+    let output = Command::new("cargo")
+        .args(&args)
+        .output()
+        .map_err(|e| format!("failed to spawn cargo: {e}"))?;
+    if !output.status.success() {
+        return Err(format!(
+            "`oasys lint {}` failed:\n{}",
+            lint_args.join(" "),
+            String::from_utf8_lossy(&output.stderr)
+        ));
+    }
+    Ok(String::from_utf8_lossy(&output.stdout).into_owned())
 }
 
 /// End-to-end smoke gate: run `oasys` on the bundled example spec/tech
