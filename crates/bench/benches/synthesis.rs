@@ -13,8 +13,22 @@ use std::hint::black_box;
 fn main() {
     let process = builtin::cmos_5um();
     let mut b = Bencher::new();
+    // case_a runs paired with its instrumented twin: the schema gates on
+    // the ratio of the two medians (summary::MAX_TELEMETRY_OVERHEAD_RATIO),
+    // and interleaved batches keep machine drift out of that ratio.
+    {
+        let spec = test_cases::spec_a();
+        b.bench_pair(
+            "synthesize/case_a",
+            || synthesize(black_box(&spec), black_box(&process)).unwrap(),
+            "synthesize/case_a_telemetry",
+            || {
+                let tel = Telemetry::new();
+                synthesize_with(black_box(&spec), black_box(&process), &tel).unwrap()
+            },
+        );
+    }
     for (label, spec) in [
-        ("synthesize/case_a", test_cases::spec_a()),
         ("synthesize/case_b", test_cases::spec_b()),
         ("synthesize/case_c", test_cases::spec_c()),
     ] {
@@ -112,17 +126,6 @@ fn main() {
         assert!(oasys_faults::armed());
         b.bench("batch/sweep_3x3_chaos", run_sweep);
         oasys_faults::clear();
-    }
-
-    // Telemetry overhead check: the same case with a live recorder (the
-    // disabled path is the `synthesize/case_a` row above, since plain
-    // `synthesize` runs with telemetry off).
-    {
-        let spec = test_cases::spec_a();
-        b.bench("synthesize/case_a_telemetry", || {
-            let tel = Telemetry::new();
-            synthesize_with(black_box(&spec), black_box(&process), &tel).unwrap()
-        });
     }
 
     let spec = test_cases::spec_a().with_dc_gain_db(80.0);

@@ -93,6 +93,74 @@ impl Bencher {
         ));
     }
 
+    /// Times two workloads interleaved batch-by-batch inside one
+    /// measurement window, registering a row for each.
+    ///
+    /// Back-to-back [`Bencher::bench`] calls measure their rows in
+    /// disjoint wall-clock windows, so slow machine drift (frequency
+    /// scaling, a noisy co-tenant) lands on one row and not the other —
+    /// poison for a gated *ratio* of two rows, where a few percent of
+    /// drift reads as regression. Here every batch of `f_a` is followed
+    /// immediately by a batch of `f_b`, so both samples see the same
+    /// machine state and the ratio of medians isolates the workloads'
+    /// true difference.
+    pub fn bench_pair<R, S>(
+        &mut self,
+        name_a: &str,
+        mut f_a: impl FnMut() -> R,
+        name_b: &str,
+        mut f_b: impl FnMut() -> S,
+    ) {
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP_BUDGET {
+            black_box(f_a());
+            black_box(f_b());
+            warm_iters += 1;
+        }
+        // Batch sized off the combined pair cost, so each A+B pair of
+        // samples still lands in a ~4 ms window.
+        let per_pair = WARMUP_BUDGET
+            .checked_div(u32::try_from(warm_iters.max(1)).unwrap_or(u32::MAX))
+            .unwrap_or(Duration::from_nanos(1));
+        let batch = (Duration::from_millis(4).as_nanos() / per_pair.as_nanos().max(1)).max(1);
+        let batch = u64::try_from(batch).unwrap_or(u64::MAX);
+
+        let mut samples_a: Vec<Duration> = Vec::new();
+        let mut samples_b: Vec<Duration> = Vec::new();
+        let mut total_iters: u64 = 0;
+        let run_start = Instant::now();
+        while run_start.elapsed() < MEASURE_BUDGET * 2 {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f_a());
+            }
+            samples_a.push(t.elapsed() / u32::try_from(batch).unwrap_or(u32::MAX));
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f_b());
+            }
+            samples_b.push(t.elapsed() / u32::try_from(batch).unwrap_or(u32::MAX));
+            total_iters += batch;
+        }
+        for (name, samples) in [(name_a, &mut samples_a), (name_b, &mut samples_b)] {
+            samples.sort_unstable();
+            let min = *samples.first().expect("at least one sample");
+            let median = samples[samples.len() / 2];
+            let sum: Duration = samples.iter().sum();
+            let mean = sum / u32::try_from(samples.len()).unwrap_or(1);
+            self.rows.push((
+                name.to_string(),
+                Stats {
+                    iterations: total_iters,
+                    min,
+                    mean,
+                    median,
+                },
+            ));
+        }
+    }
+
     /// The collected results so far, in registration order.
     #[must_use]
     pub fn rows(&self) -> Vec<BenchRow> {

@@ -11,7 +11,17 @@ use oasys_telemetry::{json, RunReport};
 /// Schema identifier of the emitted document.
 pub const SCHEMA_NAME: &str = "oasys-bench";
 /// Schema version of the emitted document.
-pub const SCHEMA_VERSION: u32 = 1;
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// The untraced baseline row of the telemetry-overhead comparison.
+pub const BASELINE_ROW: &str = "synthesize/case_a";
+/// The live-recorder row of the telemetry-overhead comparison.
+pub const TELEMETRY_ROW: &str = "synthesize/case_a_telemetry";
+
+/// Ceiling on `telemetry_overhead_ratio`: an instrumented synthesis
+/// must stay within 10% of the untraced baseline (median over median),
+/// or `validate` — and with it `cargo xtask bench-schema` — fails.
+pub const MAX_TELEMETRY_OVERHEAD_RATIO: f64 = 1.10;
 
 /// Benchmark rows the report must always carry: the sequential (one
 /// worker) vs. parallel (one worker per style) style-search comparison
@@ -19,15 +29,18 @@ pub const SCHEMA_VERSION: u32 = 1;
 /// plus the 3×3 batch sweep so batch-driver overhead on top of raw
 /// synthesis stays visible too, the same sweep with the fault plane
 /// armed on an inert site so the near-zero cost of carrying
-/// `oasys-faults` in the hot paths stays visible, and a sweep whose
+/// `oasys-faults` in the hot paths stays visible, a sweep whose
 /// spec is pruned before any plan executes so the cost of answering
-/// "infeasible" statically stays visible.
-pub const REQUIRED_ROWS: [&str; 5] = [
+/// "infeasible" statically stays visible, and the untraced-vs-traced
+/// pair behind the `telemetry_overhead_ratio` gate.
+pub const REQUIRED_ROWS: [&str; 7] = [
     "style_search/case_a_threads_1",
     "style_search/case_a_threads_max",
     "style_search/case_a_pruned",
     "batch/sweep_3x3",
     "batch/sweep_3x3_chaos",
+    BASELINE_ROW,
+    TELEMETRY_ROW,
 ];
 
 /// Counters the report's instrumented run must expose. `engine.cache_hits`
@@ -83,6 +96,7 @@ pub fn validate(text: &str) -> Result<String, String> {
         return Err("`benches` is empty".to_string());
     }
     let mut names = Vec::new();
+    let mut medians = Vec::new();
     for row in benches {
         let name = row
             .get("name")
@@ -94,11 +108,48 @@ pub fn validate(text: &str) -> Result<String, String> {
             }
         }
         names.push(name.to_string());
+        medians.push(
+            row.get("median_ns")
+                .and_then(json::Json::as_num)
+                .unwrap_or(0.0),
+        );
     }
     for required in REQUIRED_ROWS {
         if !names.iter().any(|n| n == required) {
             return Err(format!("missing required bench row {required:?}"));
         }
+    }
+
+    // The telemetry overhead gate: the ratio must be present, must agree
+    // with the rows it claims to summarize, and must stay under the cap.
+    let ratio = doc
+        .get("telemetry_overhead_ratio")
+        .and_then(json::Json::as_num)
+        .ok_or("missing `telemetry_overhead_ratio` number")?;
+    let median_of = |row: &str| -> Result<f64, String> {
+        names
+            .iter()
+            .position(|n| n == row)
+            .map(|i| medians[i])
+            .ok_or_else(|| format!("missing required bench row {row:?}"))
+    };
+    let base = median_of(BASELINE_ROW)?;
+    let traced = median_of(TELEMETRY_ROW)?;
+    if base <= 0.0 {
+        return Err(format!("{BASELINE_ROW:?} median_ns must be positive"));
+    }
+    let recomputed = traced / base;
+    if (recomputed - ratio).abs() > 1e-6 {
+        return Err(format!(
+            "telemetry_overhead_ratio is {ratio}, but {TELEMETRY_ROW:?} / {BASELINE_ROW:?} \
+             medians give {recomputed}"
+        ));
+    }
+    if recomputed > MAX_TELEMETRY_OVERHEAD_RATIO {
+        return Err(format!(
+            "telemetry overhead ratio {recomputed:.3} exceeds the {MAX_TELEMETRY_OVERHEAD_RATIO} \
+             ceiling ({TELEMETRY_ROW} median {traced} ns vs {BASELINE_ROW} median {base} ns)"
+        ));
     }
 
     let rollup = doc
@@ -128,10 +179,38 @@ pub fn validate(text: &str) -> Result<String, String> {
         }
     }
 
+    let histograms = doc
+        .get("histograms")
+        .and_then(json::Json::as_obj)
+        .ok_or("missing `histograms` object")?;
+    for (name, hist) in histograms {
+        for field in ["count", "sum", "min", "max"] {
+            if hist.get(field).and_then(json::Json::as_num).is_none() {
+                return Err(format!("histogram {name:?} missing numeric `{field}`"));
+            }
+        }
+        let buckets = hist
+            .get("buckets")
+            .and_then(json::Json::as_arr)
+            .ok_or_else(|| format!("histogram {name:?} missing `buckets` array"))?;
+        for pair in buckets {
+            let ok = pair
+                .as_arr()
+                .is_some_and(|p| p.len() == 2 && p.iter().all(|v| v.as_num().is_some()));
+            if !ok {
+                return Err(format!(
+                    "histogram {name:?} bucket entries must be [bucket, count] number pairs"
+                ));
+            }
+        }
+    }
+
     Ok(format!(
-        "{} bench rows, {} rollup spans, counters ok",
+        "{} bench rows, {} rollup spans, counters ok, {} histograms, \
+         telemetry overhead {recomputed:.3}",
         benches.len(),
-        rollup.len()
+        rollup.len(),
+        histograms.len()
     ))
 }
 
@@ -165,6 +244,24 @@ pub fn render(rows: &[BenchRow], telemetry: &RunReport) -> String {
     }
     out.push_str("  ],\n");
 
+    // The telemetry-overhead headline: traced over untraced median, the
+    // number the schema gate holds under MAX_TELEMETRY_OVERHEAD_RATIO.
+    // Omitted when either comparison row is absent (partial reports);
+    // `validate` then rejects the document.
+    let median_of = |name: &str| {
+        rows.iter()
+            .find(|r| r.name == name)
+            .map(|r| r.median_ns as f64)
+    };
+    if let (Some(base), Some(traced)) = (median_of(BASELINE_ROW), median_of(TELEMETRY_ROW)) {
+        if base > 0.0 {
+            out.push_str(&format!(
+                "  \"telemetry_overhead_ratio\": {},\n",
+                json::number(traced / base)
+            ));
+        }
+    }
+
     let rollup = telemetry.span_rollup();
     out.push_str("  \"span_rollup\": [\n");
     for (i, (name, count, total_ns)) in rollup.iter().enumerate() {
@@ -183,6 +280,30 @@ pub fn render(rows: &[BenchRow], telemetry: &RunReport) -> String {
         .map(|(name, value)| format!("{}: {value}", json::string(name)))
         .collect();
     out.push_str(&counters.join(", "));
+    out.push_str("},\n");
+
+    out.push_str("  \"histograms\": {");
+    let histograms: Vec<String> = telemetry
+        .metrics()
+        .histograms()
+        .map(|(name, h)| {
+            let buckets: Vec<String> = h
+                .buckets()
+                .iter()
+                .map(|(b, c)| format!("[{b}, {c}]"))
+                .collect();
+            format!(
+                "{}: {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"buckets\": [{}]}}",
+                json::string(name),
+                h.count(),
+                h.sum(),
+                h.min(),
+                h.max(),
+                buckets.join(", ")
+            )
+        })
+        .collect();
+    out.push_str(&histograms.join(", "));
     out.push_str("}\n}\n");
     out
 }
@@ -235,13 +356,14 @@ mod tests {
         assert!(json::parse(&text).is_ok());
     }
 
-    fn compliant_report() -> String {
+    fn report_with_telemetry_median(telemetry_median_ns: u128) -> String {
         let tel = Telemetry::new();
         {
             let _span = tel.span(|| "synthesize".to_owned());
             for counter in REQUIRED_COUNTERS {
                 tel.incr(counter);
             }
+            tel.observe("sim.dc.newton_iterations", 7);
         }
         let rows: Vec<BenchRow> = REQUIRED_ROWS
             .iter()
@@ -250,17 +372,48 @@ mod tests {
                 iterations: 100,
                 min_ns: 10,
                 mean_ns: 12,
-                median_ns: 11,
+                median_ns: if *name == TELEMETRY_ROW {
+                    telemetry_median_ns
+                } else {
+                    11
+                },
             })
             .collect();
         render(&rows, &tel.report())
+    }
+
+    fn compliant_report() -> String {
+        report_with_telemetry_median(11)
     }
 
     #[test]
     fn validate_accepts_a_compliant_report() {
         let text = compliant_report();
         let summary = validate(&text).expect("compliant report validates");
-        assert!(summary.contains("5 bench rows"), "{summary}");
+        assert!(summary.contains("7 bench rows"), "{summary}");
+        assert!(summary.contains("telemetry overhead 1.000"), "{summary}");
+    }
+
+    #[test]
+    fn validate_gates_on_telemetry_overhead() {
+        // 11 → 12 ns is within the 10% budget; 13 ns is 18% over.
+        validate(&report_with_telemetry_median(12)).expect("1.09x passes the gate");
+        let err = validate(&report_with_telemetry_median(13)).unwrap_err();
+        assert!(err.contains("exceeds"), "{err}");
+        // A ratio that disagrees with the rows is rejected outright.
+        let text = compliant_report().replace(
+            "\"telemetry_overhead_ratio\": 1",
+            "\"telemetry_overhead_ratio\": 0.5",
+        );
+        let err = validate(&text).unwrap_err();
+        assert!(err.contains("medians give"), "{err}");
+    }
+
+    #[test]
+    fn validate_requires_histograms() {
+        let text = compliant_report().replace("\"histograms\"", "\"hists\"");
+        let err = validate(&text).unwrap_err();
+        assert!(err.contains("histograms"), "{err}");
     }
 
     #[test]
@@ -279,7 +432,7 @@ mod tests {
 
     #[test]
     fn validate_rejects_schema_drift() {
-        let text = compliant_report().replace("\"version\": 1", "\"version\": 2");
+        let text = compliant_report().replace("\"version\": 2", "\"version\": 3");
         let err = validate(&text).unwrap_err();
         assert!(err.contains("version"), "{err}");
         assert!(validate("{}").is_err());

@@ -12,6 +12,8 @@ use oasys_mos::{sizing, Geometry};
 use oasys_netlist::{Circuit, NodeId, ValidateError};
 use oasys_plan::{BlockDesigner, CacheKey, DesignContext};
 use oasys_process::{Polarity, Process};
+use oasys_telemetry::{sym2, Sym};
+use std::sync::OnceLock;
 
 /// Overdrive bounds for a useful follower.
 const MIN_VOV: f64 = 0.08;
@@ -171,7 +173,11 @@ impl LevelShifter {
             .num("shift", spec.shift)
             .num("ibias", spec.bias_current)
             .num("vsb", spec.vsb_estimate);
-        ctx.design_child("level shifter", Some(key), || Self::design(spec, process))
+        static LEVEL: OnceLock<Sym> = OnceLock::new();
+        let level = *LEVEL.get_or_init(|| sym2("block:", "level shifter"));
+        ctx.design_child_sym(level, "level shifter", Some(key), || {
+            Self::design(spec, process)
+        })
     }
 
     /// The specification.

@@ -17,8 +17,9 @@ use oasys_mos::{sizing, Geometry};
 use oasys_netlist::{Circuit, NodeId, ValidateError};
 use oasys_plan::{BlockDesigner, CacheKey, DesignContext, Selected};
 use oasys_process::{Polarity, Process};
-use oasys_telemetry::Telemetry;
+use oasys_telemetry::{sym2, Sym, Telemetry};
 use std::fmt;
+use std::sync::OnceLock;
 
 /// Minimum usable gate overdrive; below this, matching and modeling
 /// accuracy collapse.
@@ -233,7 +234,9 @@ impl CurrentMirror {
         process: &Process,
         ctx: &DesignContext<'_>,
     ) -> Result<Self, DesignError> {
-        ctx.design_child("mirror", Some(Self::cache_key(spec)), || {
+        static LEVEL: OnceLock<Sym> = OnceLock::new();
+        let level = *LEVEL.get_or_init(|| sym2("block:", "mirror"));
+        ctx.design_child_sym(level, "mirror", Some(Self::cache_key(spec)), || {
             Self::select(spec, process, ctx)
         })
     }

@@ -16,15 +16,18 @@
 //!   capped) between attempts.
 //! * Telemetry follows the engine's fork/absorb protocol: seeds are
 //!   forked up front on the coordinator, each attempt records into its
-//!   own handle, and the surviving reports are absorbed back in job
+//!   own ring, and the surviving recordings are absorbed back in job
 //!   order — so a manually-clocked batch trace is byte-identical
-//!   regardless of worker count or scheduling.
+//!   regardless of worker count or scheduling. Untraced batches still
+//!   record each attempt into a small always-on flight ring, and a
+//!   failed job dumps its trace tail into the structured record
+//!   ([`JobRecord::flight`]).
 
 use super::checkpoint::{Checkpoint, CheckpointError, CheckpointOutcome};
 use super::manifest::Job;
 use crate::batch::BatchOptions;
 use oasys_faults::Deadline;
-use oasys_telemetry::{json, RunReport, Telemetry, TelemetrySeed};
+use oasys_telemetry::{json, Recording, Telemetry, TelemetrySeed};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
@@ -286,6 +289,10 @@ pub struct JobRecord {
     pub styles: Vec<StyleEntry>,
     /// Verification verdict, when the runner measured the design.
     pub meets_spec: Option<bool>,
+    /// Flight-recorder tail: the last telemetry records of the failing
+    /// attempt, rendered as short lines. Empty for jobs that succeeded
+    /// (or were skipped / abandoned before recording anything).
+    pub flight: Vec<String>,
 }
 
 impl JobRecord {
@@ -315,6 +322,16 @@ impl JobRecord {
                     kind.word(),
                     json::string(message)
                 ));
+                if !self.flight.is_empty() {
+                    out.push_str(",\"flight\":[");
+                    for (i, line) in self.flight.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        out.push_str(&json::string(line));
+                    }
+                    out.push(']');
+                }
             }
             JobStatus::Skipped { prior } => {
                 out.push_str(",\"outcome\":\"skipped\"");
@@ -499,7 +516,12 @@ struct JobExecution {
     styles: Vec<StyleEntry>,
     meets_spec: Option<bool>,
     retried: bool,
-    report: Option<RunReport>,
+    /// The final attempt's raw telemetry, absorbed into the batch trace
+    /// when the attempt ran to completion (panicked attempts only feed
+    /// the flight tail — their rings may hold unbalanced spans).
+    recording: Option<Recording>,
+    /// Flight-recorder tail for failed jobs (see [`JobRecord::flight`]).
+    flight: Vec<String>,
 }
 
 /// A configured batch, ready to run.
@@ -623,6 +645,7 @@ impl Batch {
                     duration_ns: 0,
                     styles: Vec::new(),
                     meets_spec: None,
+                    flight: Vec::new(),
                 };
                 tel.incr("batch.jobs_skipped");
                 sink(&record);
@@ -645,7 +668,7 @@ impl Batch {
             let (tx, rx) = mpsc::channel::<(Job, JobExecution)>();
             // Absorb job telemetry in job order after the pool drains,
             // so the batch trace is scheduling-independent.
-            let mut job_reports: Vec<(usize, RunReport)> = Vec::new();
+            let mut job_recordings: Vec<(usize, Recording)> = Vec::new();
             std::thread::scope(|scope| {
                 for _ in 0..workers {
                     let tx = tx.clone();
@@ -670,8 +693,8 @@ impl Batch {
                     let Ok((job, mut execution)) = rx.recv() else {
                         break;
                     };
-                    if let Some(report) = execution.report.take() {
-                        job_reports.push((job.id(), report));
+                    if let Some(recording) = execution.recording.take() {
+                        job_recordings.push((job.id(), recording));
                     }
                     let record = JobRecord {
                         job: job.id(),
@@ -683,6 +706,7 @@ impl Batch {
                         duration_ns: execution.duration_ns,
                         styles: execution.styles,
                         meets_spec: execution.meets_spec,
+                        flight: execution.flight,
                     };
                     match &record.status {
                         JobStatus::Failed { .. } => tel.incr("batch.jobs_failed"),
@@ -707,9 +731,9 @@ impl Batch {
                     records[slot] = Some(record);
                 }
             });
-            job_reports.sort_by_key(|(id, _)| *id);
-            for (_, report) in &job_reports {
-                tel.absorb_report(report);
+            job_recordings.sort_by_key(|(id, _)| *id);
+            for (_, recording) in &job_recordings {
+                tel.absorb(recording);
             }
         }
 
@@ -729,6 +753,14 @@ impl Batch {
     }
 }
 
+/// How many trailing telemetry records a failed job dumps into its
+/// structured record.
+const FLIGHT_TAIL_LINES: usize = 16;
+
+fn flight_tail(recording: Option<&Recording>) -> Vec<String> {
+    recording.map_or_else(Vec::new, |r| r.tail_lines(FLIGHT_TAIL_LINES))
+}
+
 /// Runs one job through its retry loop on a worker thread.
 fn execute_job<R: JobRunner>(
     job: &Job,
@@ -746,7 +778,7 @@ fn execute_job<R: JobRunner>(
         let attempt = run_attempt(job.clone(), seed, Arc::clone(runner), options.timeout());
         let duration_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
         match attempt {
-            AttemptOutcome::Done(Ok(success), report) => {
+            AttemptOutcome::Done(Ok(success), recording) => {
                 let status = match success.selected {
                     Some((style, area_um2)) => JobStatus::Ok { style, area_um2 },
                     None => JobStatus::Infeasible,
@@ -758,10 +790,11 @@ fn execute_job<R: JobRunner>(
                     styles: success.styles,
                     meets_spec: success.meets_spec,
                     retried,
-                    report,
+                    recording,
+                    flight: Vec::new(),
                 };
             }
-            AttemptOutcome::Done(Err(failure), report) => {
+            AttemptOutcome::Done(Err(failure), recording) => {
                 if failure.transient && attempts <= options.retries() {
                     retried = true;
                     std::thread::sleep(options.backoff(attempts));
@@ -782,10 +815,11 @@ fn execute_job<R: JobRunner>(
                     styles: Vec::new(),
                     meets_spec: None,
                     retried,
-                    report,
+                    flight: flight_tail(recording.as_ref()),
+                    recording,
                 };
             }
-            AttemptOutcome::Panicked(message) => {
+            AttemptOutcome::Panicked(message, recording) => {
                 return JobExecution {
                     status: JobStatus::Failed {
                         kind: FailureKind::Panic,
@@ -796,7 +830,11 @@ fn execute_job<R: JobRunner>(
                     styles: Vec::new(),
                     meets_spec: None,
                     retried,
-                    report: None,
+                    // A panicked ring may hold unbalanced spans; mine it
+                    // for the flight tail but keep it out of the batch
+                    // trace.
+                    recording: None,
+                    flight: flight_tail(recording.as_ref()),
                 };
             }
             AttemptOutcome::TimedOut => {
@@ -813,7 +851,8 @@ fn execute_job<R: JobRunner>(
                     styles: Vec::new(),
                     meets_spec: None,
                     retried,
-                    report: None,
+                    recording: None,
+                    flight: Vec::new(),
                 };
             }
         }
@@ -823,9 +862,11 @@ fn execute_job<R: JobRunner>(
 enum AttemptOutcome {
     /// The runner returned; its telemetry recording rides along (absent
     /// only when the isolation thread could not report).
-    Done(Result<JobSuccess, JobFailure>, Option<RunReport>),
-    /// The runner panicked; the payload message survives.
-    Panicked(String),
+    Done(Result<JobSuccess, JobFailure>, Option<Recording>),
+    /// The runner panicked; the payload message survives, and — because
+    /// the telemetry handle lives outside the unwind boundary — so does
+    /// the recording, whose tail becomes the job's flight dump.
+    Panicked(String, Option<Recording>),
     /// The attempt exceeded its budget and was abandoned.
     TimedOut,
 }
@@ -856,37 +897,48 @@ fn run_attempt<R: JobRunner>(
     let spawned = std::thread::Builder::new()
         .name(format!("oasys-job-{}", job.id()))
         .spawn(move || {
+            // The telemetry handle lives OUTSIDE the unwind boundary:
+            // when the runner panics, the ring survives and its tail
+            // becomes the job's flight dump. A job without a forked seed
+            // (untraced batch) still records into a small always-on
+            // flight ring.
+            let tel = match seed {
+                Some(seed) => seed.build(),
+                None => Telemetry::flight(),
+            };
+            let tel_ref = &tel;
             let payload = catch_unwind(AssertUnwindSafe(move || {
-                let tel = TelemetrySeed::build_optional(seed);
-                let result = {
-                    let span = tel.span(|| format!("job:{}", job.id()));
-                    span.annotate("spec", || job.spec_label().to_owned());
-                    span.annotate("tech", || job.tech_label().to_owned());
-                    // Fault plane: an armed `batch.attempt` site fails
-                    // this attempt before the runner starts, exercising
-                    // the retry/backoff path.
-                    let injected = if oasys_faults::armed() {
-                        oasys_faults::eval_err("batch.attempt")
-                    } else {
-                        None
-                    };
-                    let result = match injected {
-                        Some(msg) => Err(JobFailure::transient(format!("fault injected: {msg}"))),
-                        None => runner.run(&job, &tel, &deadline),
-                    };
-                    span.annotate("outcome", || {
-                        match &result {
-                            Ok(s) if s.selected.is_some() => "ok",
-                            Ok(_) => "infeasible",
-                            Err(_) => "failed",
-                        }
-                        .to_owned()
-                    });
-                    result
+                let span = tel_ref.span_display("job:", &job.id());
+                span.annotate("spec", || job.spec_label().to_owned());
+                span.annotate("tech", || job.tech_label().to_owned());
+                let start_ns = tel_ref.clock_ns();
+                // Fault plane: an armed `batch.attempt` site fails
+                // this attempt before the runner starts, exercising
+                // the retry/backoff path.
+                let injected = if oasys_faults::armed() {
+                    oasys_faults::eval_err("batch.attempt")
+                } else {
+                    None
                 };
-                (result, tel.report())
+                let result = match injected {
+                    Some(msg) => Err(JobFailure::transient(format!("fault injected: {msg}"))),
+                    None => runner.run(&job, tel_ref, &deadline),
+                };
+                tel_ref.observe(
+                    "batch.job_latency_ns",
+                    tel_ref.clock_ns().saturating_sub(start_ns),
+                );
+                span.annotate("outcome", || {
+                    match &result {
+                        Ok(s) if s.selected.is_some() => "ok",
+                        Ok(_) => "infeasible",
+                        Err(_) => "failed",
+                    }
+                    .to_owned()
+                });
+                result
             }));
-            let _ = tx.send(payload.map_err(panic_message));
+            let _ = tx.send((payload.map_err(panic_message), tel.into_recording()));
         });
     if let Err(e) = spawned {
         return AttemptOutcome::Done(
@@ -901,8 +953,8 @@ fn run_attempt<R: JobRunner>(
         None => rx.recv().map_err(|_| mpsc::RecvTimeoutError::Disconnected),
     };
     match received {
-        Ok(Ok((result, report))) => AttemptOutcome::Done(result, Some(report)),
-        Ok(Err(message)) => AttemptOutcome::Panicked(message),
+        Ok((Ok(result), recording)) => AttemptOutcome::Done(result, Some(recording)),
+        Ok((Err(message), recording)) => AttemptOutcome::Panicked(message, Some(recording)),
         Err(mpsc::RecvTimeoutError::Timeout) => {
             // The runner blew through twice its budget without reaching a
             // deadline checkpoint. Flag the cancel token (so the orphaned
@@ -913,7 +965,7 @@ fn run_attempt<R: JobRunner>(
         // catch_unwind forwards every panic, so a dead channel means the
         // thread was killed out from under us — report it as a panic.
         Err(mpsc::RecvTimeoutError::Disconnected) => {
-            AttemptOutcome::Panicked("job thread terminated without reporting".to_owned())
+            AttemptOutcome::Panicked("job thread terminated without reporting".to_owned(), None)
         }
     }
 }

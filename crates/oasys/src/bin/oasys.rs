@@ -53,7 +53,7 @@ use oasys_process::techfile;
 use oasys_telemetry::Telemetry;
 use std::process::ExitCode;
 
-const SYNTH_USAGE: &str = "usage: oasys <spec-file> <tech-file> [--out <deck.sp>] [--no-verify] [--styles <list>] [--explain] [--trace-out <file.json>] [--trace-format json|chrome] [--faults <list>]\n       oasys lint [<spec-file> <tech-file>] [--deny-warnings] [--format human|json|sarif]";
+const SYNTH_USAGE: &str = "usage: oasys <spec-file> <tech-file> [--out <deck.sp>] [--no-verify] [--styles <list>] [--explain] [--trace-out <file.json>] [--trace-format json|chrome] [--metrics-out <file.json>] [--faults <list>]\n       oasys lint [<spec-file> <tech-file>] [--deny-warnings] [--format human|json|sarif]";
 const LINT_USAGE: &str =
     "usage: oasys lint [<spec-file> <tech-file>] [--deny-warnings] [--format human|json|sarif]";
 const BATCH_USAGE: &str = "usage: oasys batch <manifest> [--records <file.jsonl>] [--aggregate <file.json>] [--checkpoint <file>] [--workers <n>] [--timeout-ms <n>] [--retries <n>] [--no-verify] [--styles <list>] [--explain] [--faults <list>]";
@@ -144,6 +144,7 @@ struct SynthOptions {
     explain: bool,
     trace_out: Option<String>,
     trace_format: TraceFormat,
+    metrics_out: Option<String>,
     faults: Option<String>,
 }
 
@@ -170,6 +171,7 @@ impl SynthOptions {
             explain: false,
             trace_out: None,
             trace_format: TraceFormat::Json,
+            metrics_out: None,
             faults: None,
         };
         while let Some(flag) = args.next() {
@@ -188,6 +190,9 @@ impl SynthOptions {
                 "--explain" => opts.explain = true,
                 "--trace-out" => {
                     opts.trace_out = Some(args.next().ok_or("--trace-out needs a path")?);
+                }
+                "--metrics-out" => {
+                    opts.metrics_out = Some(args.next().ok_or("--metrics-out needs a path")?);
                 }
                 "--trace-format" => match args.next().as_deref() {
                     Some("json") => opts.trace_format = TraceFormat::Json,
@@ -210,7 +215,7 @@ impl SynthOptions {
     /// `true` when any flag asks for the run report, so the recorder
     /// should actually collect spans.
     fn telemetry_requested(&self) -> bool {
-        self.explain || self.trace_out.is_some()
+        self.explain || self.trace_out.is_some() || self.metrics_out.is_some()
     }
 
     /// The engine search options this invocation asks for.
@@ -348,6 +353,11 @@ fn emit_telemetry(
     if opts.explain {
         println!("run trace:");
         print!("{}", run_report.render_explain());
+        let histograms = run_report.render_histograms();
+        if !histograms.is_empty() {
+            println!("latency histograms (log2 ns buckets):");
+            print!("{histograms}");
+        }
         let restarts = synthesis.map_or_else(
             || usize::try_from(tel.counter("plan.restarts")).unwrap_or(usize::MAX),
             Synthesis::restarts,
@@ -369,6 +379,11 @@ fn emit_telemetry(
         };
         std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
         println!("run trace written to {path}");
+    }
+    if let Some(path) = &opts.metrics_out {
+        std::fs::write(path, run_report.render_metrics_json())
+            .map_err(|e| format!("{path}: {e}"))?;
+        println!("metrics written to {path}");
     }
     Ok(())
 }
@@ -731,6 +746,15 @@ mod tests {
         assert_eq!(opts.trace_out.as_deref(), Some("run.json"));
         assert!(!opts.run_verify);
         assert!(opts.telemetry_requested());
+    }
+
+    #[test]
+    fn synth_metrics_out_parses_and_enables_telemetry() {
+        let opts = SynthOptions::parse(argv(&["s", "t", "--metrics-out", "m.json"])).unwrap();
+        assert_eq!(opts.metrics_out.as_deref(), Some("m.json"));
+        assert!(opts.telemetry_requested());
+        let err = SynthOptions::parse(argv(&["s", "t", "--metrics-out"])).unwrap_err();
+        assert!(err.contains("--metrics-out needs a path"), "{err}");
     }
 
     #[test]

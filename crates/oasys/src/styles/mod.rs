@@ -102,7 +102,8 @@ pub(crate) fn run_style<D: StyleDef>(
     let deadline = ctx.deadline().clone();
     let mut state = D::init(spec, process, ctx.clone());
     let trace = PlanExecutor::new().run_with_deadline(&plan, &mut state, tel, &deadline)?;
-    let assembly = tel.span(|| "assemble-netlist".to_owned());
+    static ASSEMBLE: std::sync::OnceLock<oasys_telemetry::Sym> = std::sync::OnceLock::new();
+    let assembly = tel.span_sym(*ASSEMBLE.get_or_init(|| oasys_telemetry::sym("assemble-netlist")));
     let circuit = state
         .emit()
         .map_err(|e| StyleError::Netlist(e.to_string()))?;

@@ -23,9 +23,30 @@ use oasys_plan::{
     design_candidates, BlockDesigner, DesignContext, MemoCache, SearchOptions, Trace,
 };
 use oasys_process::Process;
-use oasys_telemetry::Telemetry;
+use oasys_telemetry::{sym, sym_display, Sym, Telemetry};
 use std::error::Error;
 use std::fmt;
+
+/// Pre-interned symbols for the synthesis driver's root span, counters,
+/// and annotation keys.
+struct SynthSyms {
+    root: Sym,
+    attempted: Sym,
+    feasible: Sym,
+    selected: Sym,
+    none: Sym,
+}
+
+fn synth_syms() -> &'static SynthSyms {
+    static SYMS: std::sync::OnceLock<SynthSyms> = std::sync::OnceLock::new();
+    SYMS.get_or_init(|| SynthSyms {
+        root: sym("synthesize"),
+        attempted: sym("synth.styles_attempted"),
+        feasible: sym("synth.styles_feasible"),
+        selected: sym("selected"),
+        none: sym("none"),
+    })
+}
 
 /// Environment variable consulted when [`SearchOptions::threads`] is
 /// unset: overrides the style-search worker count (`1` forces a fully
@@ -316,7 +337,8 @@ pub fn synthesize_with_cache(
     tel: &Telemetry,
     cache: &MemoCache,
 ) -> Result<Synthesis, SynthesisError> {
-    let root = tel.span(|| "synthesize".to_owned());
+    let s = synth_syms();
+    let root = tel.span_sym(s.root);
     let mut opts = options.clone();
     if opts.threads().is_none() {
         if let Some(threads) = env_threads() {
@@ -328,9 +350,9 @@ pub fn synthesize_with_cache(
         .into_iter()
         .map(|(name, result)| {
             let style = OpAmpStyle::from_name(&name).expect("engine preserves style names");
-            tel.incr("synth.styles_attempted");
+            tel.incr_sym(s.attempted);
             if result.is_ok() {
-                tel.incr("synth.styles_feasible");
+                tel.incr_sym(s.feasible);
             }
             StyleOutcome { style, result }
         })
@@ -352,11 +374,13 @@ pub fn synthesize_with_cache(
 
     match selected {
         Some(selected) => {
-            root.annotate("selected", || outcomes[selected].style().to_string());
+            if tel.is_enabled() {
+                root.annotate_sym(s.selected, sym_display("", &outcomes[selected].style()));
+            }
             Ok(Synthesis { outcomes, selected })
         }
         None => {
-            root.annotate("selected", || "none".to_owned());
+            root.annotate_sym(s.selected, s.none);
             Err(SynthesisError {
                 rejections: outcomes
                     .into_iter()

@@ -142,6 +142,50 @@ fn injected_panic_fails_each_job_alone_and_the_sweep_survives() {
 }
 
 #[test]
+fn failed_jobs_dump_a_flight_recorder_tail_into_their_records() {
+    let _guard = FaultGuard::acquire();
+    // A panic deep inside plan execution, with batch telemetry OFF: the
+    // always-on flight ring must still carry the last records across
+    // the unwind boundary into the failed job's JSONL record, naming
+    // the work that was in progress when the job died.
+    oasys_faults::set("plan.step", FaultSpec::Panic);
+
+    let runner = Arc::new(
+        SynthRunner::new()
+            .with_verify(false)
+            // Force a sequential style sweep: a panic on a forked style
+            // worker unwinds before its recording is absorbed, so only
+            // plans run on the job thread land in the job's flight ring
+            // (OASYS_STYLE_THREADS must not change what this asserts).
+            .with_search(execute_everything().with_threads(1)),
+    );
+    let report = Batch::new(paper_jobs(), fast_options())
+        .run(&runner, &Telemetry::disabled(), |_| {})
+        .unwrap();
+
+    assert_eq!(report.counts().failed, 9);
+    for record in report.records() {
+        assert!(!record.flight.is_empty(), "failed job carries a tail");
+        // The panic fires inside the first step of the first plan, so
+        // the tail must show the step span opening and its fused
+        // step_started event — the exact crash site, post-mortem.
+        assert!(
+            record.flight.iter().any(|l| l.starts_with("open step:")),
+            "tail names the in-progress step: {:?}",
+            record.flight
+        );
+        assert!(
+            record.flight.iter().any(|l| l == "event step_started"),
+            "tail carries the fused boundary event: {:?}",
+            record.flight
+        );
+        let line = record.render_json();
+        assert!(line.contains("\"flight\":[\""), "{line}");
+        assert!(line.contains("open step:"), "{line}");
+    }
+}
+
+#[test]
 fn delay_fault_trips_the_cooperative_deadline_not_the_backstop() {
     let _guard = FaultGuard::acquire();
     // Each style attempt stalls for 450 ms against a 300 ms budget. The

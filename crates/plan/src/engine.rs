@@ -82,7 +82,7 @@
 //! ```
 
 use oasys_faults::{fail_point, Deadline};
-use oasys_telemetry::{RunReport, Telemetry, TelemetrySeed};
+use oasys_telemetry::{sym, sym2, sym_display, Recording, Sym, Telemetry, TelemetrySeed};
 use std::any::Any;
 use std::collections::HashMap;
 use std::error::Error;
@@ -412,8 +412,28 @@ impl<'a> DesignContext<'a> {
         T: Clone + Send + Sync + 'static,
         F: FnOnce() -> Result<T, E>,
     {
+        self.design_child_sym(sym2("block:", level), level, key, f)
+    }
+
+    /// [`DesignContext::design_child`] with the `block:<level>` span
+    /// name pre-interned by the caller (a `OnceLock<Sym>` at the call
+    /// site), so repeated child designs skip the interning hash and
+    /// table lock entirely. `level` must be the bare level text behind
+    /// `span_name` — it still keys the memo cache.
+    pub fn design_child_sym<T, E, F>(
+        &self,
+        span_name: Sym,
+        level: &str,
+        key: Option<CacheKey>,
+        f: F,
+    ) -> Result<T, E>
+    where
+        T: Clone + Send + Sync + 'static,
+        F: FnOnce() -> Result<T, E>,
+    {
         fail_point!("engine.cache");
-        let span = self.tel.span(|| format!("block:{level}"));
+        let syms = engine_syms();
+        let span = self.tel.span_sym(span_name);
         let full_key = key.map(|k| {
             if self.scope.is_empty() {
                 format!("{level}:{}", k.finish())
@@ -423,8 +443,8 @@ impl<'a> DesignContext<'a> {
         });
         if let (Some(cache), Some(full)) = (self.cache, full_key.as_deref()) {
             if let Some(hit) = cache.get::<T>(full) {
-                self.tel.incr("engine.cache_hits");
-                span.annotate("cache", || "hit".to_owned());
+                self.tel.incr_sym(syms.cache_hits);
+                span.annotate_sym(syms.cache, syms.hit);
                 return Ok(hit);
             }
         }
@@ -434,9 +454,9 @@ impl<'a> DesignContext<'a> {
                 if let (Some(cache), Some(full)) = (self.cache, full_key) {
                     cache.put(full, value.clone());
                 }
-                span.annotate("outcome", || "designed".to_owned());
+                span.annotate_sym(syms.outcome, syms.designed);
             }
-            Err(_) => span.annotate("outcome", || "failed".to_owned()),
+            Err(_) => span.annotate_sym(syms.outcome, syms.failed),
         }
         result
     }
@@ -646,6 +666,40 @@ impl SearchOptions {
     }
 }
 
+/// Pre-interned symbols for the engine's fixed annotation keys/values
+/// and counters, resolved once per process so the per-candidate hot
+/// path never hashes a name.
+struct EngineSyms {
+    outcome: Sym,
+    cache: Sym,
+    hit: Sym,
+    designed: Sym,
+    failed: Sym,
+    feasible: Sym,
+    rejected: Sym,
+    pruned: Sym,
+    cache_hits: Sym,
+    pruned_counter: Sym,
+    area_um2: Sym,
+}
+
+fn engine_syms() -> &'static EngineSyms {
+    static SYMS: std::sync::OnceLock<EngineSyms> = std::sync::OnceLock::new();
+    SYMS.get_or_init(|| EngineSyms {
+        outcome: sym("outcome"),
+        cache: sym("cache"),
+        hit: sym("hit"),
+        designed: sym("designed"),
+        failed: sym("failed"),
+        feasible: sym("feasible"),
+        rejected: sym("rejected"),
+        pruned: sym("pruned"),
+        cache_hits: sym("engine.cache_hits"),
+        pruned_counter: sym("engine.pruned"),
+        area_um2: sym("area_um2"),
+    })
+}
+
 /// The host's available parallelism, probed once — `available_parallelism`
 /// re-reads cgroup limits on every call, which costs tens of microseconds
 /// in containers, comparable to a whole block design.
@@ -660,10 +714,11 @@ fn host_parallelism() -> usize {
 /// Always called from the thread owning `tel`, in declaration order, so
 /// reports stay byte-identical at any worker count.
 fn prune<E: fmt::Display>(tel: &Telemetry, style: &str, error: &E) {
-    let span = tel.span(|| format!("style:{style}"));
-    span.annotate("outcome", || "pruned".to_owned());
+    let syms = engine_syms();
+    let span = tel.span_display("style:", &style);
+    span.annotate_sym(syms.outcome, syms.pruned);
     span.annotate("reason", || error.to_string());
-    tel.incr("engine.pruned");
+    tel.incr_sym(syms.pruned_counter);
 }
 
 /// Designs one candidate style under its own `style:<name>` span,
@@ -677,7 +732,8 @@ fn attempt<D: BlockDesigner>(
     deadline: &Deadline,
 ) -> Result<D::Output, D::Error> {
     fail_point!("engine.style");
-    let span = tel.span(|| format!("style:{style}"));
+    let syms = engine_syms();
+    let span = tel.span_display("style:", &style);
     let ctx = DesignContext::new(tel)
         .with_cache(cache)
         .with_scope(style)
@@ -685,11 +741,24 @@ fn attempt<D: BlockDesigner>(
     let result = designer.design_style(spec, style, &ctx);
     match &result {
         Ok(output) => {
-            span.annotate("outcome", || "feasible".to_owned());
-            span.annotate("area_um2", || format!("{:.1}", designer.area_um2(output)));
+            span.annotate_sym(syms.outcome, syms.feasible);
+            // One-decimal area as an interned value: the same spec and
+            // process yield the same text run over run, so after the
+            // first run this is a stack-format plus a table lookup —
+            // no `String` allocation on the hot path.
+            struct Area(f64);
+            impl fmt::Display for Area {
+                fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                    write!(f, "{:.1}", self.0)
+                }
+            }
+            span.annotate_sym(
+                syms.area_um2,
+                sym_display("", &Area(designer.area_um2(output))),
+            );
         }
         Err(e) => {
-            span.annotate("outcome", || "rejected".to_owned());
+            span.annotate_sym(syms.outcome, syms.rejected);
             span.annotate("reason", || e.to_string());
         }
     }
@@ -795,7 +864,7 @@ where
     type Queued = (usize, String, Option<TelemetrySeed>);
     // One finished candidate: declaration index, style result, and the
     // worker's telemetry recording, awaiting in-order absorption.
-    type Finished<O, E> = (usize, Result<O, E>, RunReport);
+    type Finished<O, E> = (usize, Result<O, E>, Recording);
 
     // Round-robin the candidates over the workers; each worker records
     // into its own forked Telemetry so the parent handle (which is not
@@ -813,7 +882,7 @@ where
             .map(|(idx, style, seed)| {
                 let wtel = TelemetrySeed::build_optional(seed);
                 let result = attempt(designer, spec, &style, &wtel, cache, opts.deadline());
-                (idx, result, wtel.report())
+                (idx, result, wtel.into_recording())
             })
             .collect::<Vec<_>>()
     };
@@ -840,8 +909,8 @@ where
     // (and therefore every export) matches the sequential sweep.
     finished.sort_by_key(|(idx, _, _)| *idx);
     outcomes.extend(runnable.into_iter().zip(finished).map(
-        |((idx, style), (_, result, report))| {
-            tel.absorb_report(&report);
+        |((idx, style), (_, result, recording))| {
+            tel.absorb(&recording);
             (idx, style, result)
         },
     ));

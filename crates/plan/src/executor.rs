@@ -4,7 +4,147 @@ use crate::error::PlanError;
 use crate::plan::{PatchAction, Plan, StepFailure, StepOutcome};
 use crate::trace::{Trace, TraceEvent};
 use oasys_faults::{fail_point, Deadline};
-use oasys_telemetry::Telemetry;
+use oasys_telemetry::{sym, sym2, sym_display, Sym, Telemetry};
+
+/// Pre-interned symbols for the executor's fixed event kinds, field
+/// keys, annotation values, and counter names — resolved once per
+/// process so the per-step hot path writes ring records from plain
+/// `u32`s.
+struct CommonSyms {
+    step_started: Sym,
+    step_completed: Sym,
+    step_failed: Sym,
+    rule_fired: Sym,
+    plan_completed: Sym,
+    plan_aborted: Sym,
+    step: Sym,
+    code: Sym,
+    message: Sym,
+    rule: Sym,
+    action: Sym,
+    reason: Sym,
+    retry: Sym,
+    result: Sym,
+    outcome: Sym,
+    completed: Sym,
+    unpatched: Sym,
+    patch_budget: Sym,
+    aborted: Sym,
+    unknown_restart: Sym,
+    deadline: Sym,
+    step_executions: Sym,
+    step_failures: Sym,
+    rule_firings: Sym,
+    restarts: Sym,
+    completions: Sym,
+    aborts: Sym,
+}
+
+fn common_syms() -> &'static CommonSyms {
+    static SYMS: std::sync::OnceLock<CommonSyms> = std::sync::OnceLock::new();
+    SYMS.get_or_init(|| CommonSyms {
+        step_started: sym("step_started"),
+        step_completed: sym("step_completed"),
+        step_failed: sym("step_failed"),
+        rule_fired: sym("rule_fired"),
+        plan_completed: sym("plan_completed"),
+        plan_aborted: sym("plan_aborted"),
+        step: sym("step"),
+        code: sym("code"),
+        message: sym("message"),
+        rule: sym("rule"),
+        action: sym("action"),
+        reason: sym("reason"),
+        retry: sym("retry"),
+        result: sym("result"),
+        outcome: sym("outcome"),
+        completed: sym("completed"),
+        unpatched: sym("unpatched"),
+        patch_budget: sym("patch-budget"),
+        aborted: sym("aborted"),
+        unknown_restart: sym("unknown-restart"),
+        deadline: sym("deadline"),
+        step_executions: sym("plan.step_executions"),
+        step_failures: sym("plan.step_failures"),
+        rule_firings: sym("plan.rule_firings"),
+        restarts: sym("plan.restarts"),
+        completions: sym("plan.completions"),
+        aborts: sym("plan.aborts"),
+    })
+}
+
+/// Per-plan symbol cache: the span name and bare name of every step,
+/// plus every rule name. Built at most once per distinct
+/// plan (plans are rebuilt per style run, so the cache is keyed by the
+/// interned plan name globally, not stored on the plan) and only for
+/// enabled telemetry handles, so re-executed steps — and re-executed
+/// plans — cost no interning lookups.
+struct PlanSyms {
+    /// The `plan:<name>` span symbol.
+    span: Sym,
+    /// Per step: (`step:<name>` span symbol, `<name>`).
+    steps: Vec<(Sym, Sym)>,
+    rules: Vec<Sym>,
+}
+
+impl PlanSyms {
+    fn build<S>(plan: &Plan<S>) -> Self {
+        Self {
+            span: sym2("plan:", plan.name()),
+            steps: plan
+                .steps
+                .iter()
+                .map(|s| (sym2("step:", &s.name), sym(&s.name)))
+                .collect(),
+            rules: plan.rules.iter().map(|r| sym(&r.name)).collect(),
+        }
+    }
+
+    /// Whether a cached entry can stand in for `plan`'s symbols. A plan
+    /// name identifies its shape everywhere in this workspace (errors,
+    /// traces, the style registry), so the check is shape-only — full
+    /// name-by-name validation would re-resolve every step on every run,
+    /// which is exactly the cost the cache exists to avoid. A same-named
+    /// plan with a different step or rule count falls back to a fresh
+    /// (uncached) build; a same-named, same-shaped plan with different
+    /// step names would record the cached names, which is a telemetry
+    /// labeling inaccuracy, never a correctness hazard.
+    fn matches<S>(&self, plan: &Plan<S>) -> bool {
+        self.steps.len() == plan.steps.len() && self.rules.len() == plan.rules.len()
+    }
+
+    /// The shared symbol table for `plan`, from the global cache when a
+    /// plan of this name (and shape) has run before.
+    fn shared<S>(plan: &Plan<S>) -> std::sync::Arc<Self> {
+        use std::collections::HashMap;
+        use std::sync::{Arc, OnceLock, PoisonError, RwLock};
+        static CACHE: OnceLock<RwLock<HashMap<u32, Arc<PlanSyms>>>> = OnceLock::new();
+        let cache = CACHE.get_or_init(|| RwLock::new(HashMap::new()));
+        let key = sym(plan.name()).index();
+        if let Some(cached) = cache
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&key)
+        {
+            if cached.matches(plan) {
+                return Arc::clone(cached);
+            }
+        }
+        let built = Arc::new(Self::build(plan));
+        let mut map = cache.write().unwrap_or_else(PoisonError::into_inner);
+        match map.get(&key) {
+            // Raced with another builder, or a same-named plan with a
+            // different shape already owns the slot: use ours without
+            // evicting (the cache stays stable for the common shape).
+            Some(existing) if !existing.matches(plan) => built,
+            Some(existing) => Arc::clone(existing),
+            None => {
+                map.insert(key, Arc::clone(&built));
+                built
+            }
+        }
+    }
+}
 
 /// Tuning knobs for the executor.
 ///
@@ -105,16 +245,25 @@ impl PlanExecutor {
         tel: &Telemetry,
         deadline: &Deadline,
     ) -> Result<Trace, PlanError> {
-        let plan_span = tel.span(|| format!("plan:{}", plan.name()));
+        let c = common_syms();
+        let syms = tel.is_enabled().then(|| PlanSyms::shared(plan));
+        let plan_span = match &syms {
+            Some(s) => tel.span_sym(s.span),
+            None => tel.span(String::new),
+        };
         let mut trace = Trace::new();
         let mut rule_firings = vec![0usize; plan.rules.len()];
         let mut total_firings = 0usize;
         let mut pc = 0usize;
+        // The instant one step's span closes is the instant the next
+        // one opens: the close timestamp is carried across the loop so
+        // each successful step boundary costs one clock read, not two.
+        let mut boundary_ns: Option<u64> = None;
 
         while pc < plan.steps.len() {
             let step = &plan.steps[pc];
             if let Err(exceeded) = deadline.check() {
-                plan_span.annotate("result", || "deadline".to_owned());
+                plan_span.annotate_sym(c.result, c.deadline);
                 return Err(PlanError::DeadlineExceeded {
                     plan: plan.name().to_owned(),
                     step: step.name.clone(),
@@ -122,15 +271,27 @@ impl PlanExecutor {
                     trace,
                 });
             }
-            let step_span = tel.span(|| format!("step:{}", step.name));
-            record(
-                &mut trace,
-                tel,
-                TraceEvent::StepStarted {
-                    index: pc,
-                    name: step.name.clone(),
-                },
-            );
+            // Step start/completion events are fused into the step
+            // span's boundary records — same instant, same clock read,
+            // one recorder borrow (the counter rides separately). The
+            // step name rides on the enclosing `step:<name>` span, so
+            // neither event carries fields.
+            let step_span = match &syms {
+                Some(s) => {
+                    tel.incr_sym(c.step_executions);
+                    tel.span_sym_with_event_at(
+                        s.steps[pc].0,
+                        c.step_started,
+                        &[],
+                        boundary_ns.take(),
+                    )
+                }
+                None => tel.span(String::new),
+            };
+            trace.push(TraceEvent::StepStarted {
+                index: pc,
+                name: step.name.clone(),
+            });
 
             // Fault plane: an armed `plan.step` site turns this step's
             // outcome into a failure with code `fault-injected`, so the
@@ -146,21 +307,21 @@ impl PlanExecutor {
 
             match outcome {
                 StepOutcome::Done => {
-                    step_span.annotate("outcome", || "done".to_owned());
-                    record(
-                        &mut trace,
-                        tel,
-                        TraceEvent::StepCompleted {
-                            name: step.name.clone(),
-                        },
-                    );
+                    boundary_ns = step_span.close_with_event(c.step_completed, &[]);
+                    trace.push(TraceEvent::StepCompleted {
+                        name: step.name.clone(),
+                    });
                     pc += 1;
                 }
                 StepOutcome::Failed(failure) => {
-                    step_span.annotate("outcome", || format!("failed: {failure}"));
+                    if syms.is_some() {
+                        step_span.annotate_sym(c.outcome, sym_display("failed: ", &failure));
+                    }
                     record(
                         &mut trace,
                         tel,
+                        syms.as_deref(),
+                        pc,
                         TraceEvent::StepFailed {
                             name: step.name.clone(),
                             failure: failure.clone(),
@@ -174,7 +335,7 @@ impl PlanExecutor {
                     });
 
                     let Some((k, rule)) = matched else {
-                        plan_span.annotate("result", || "unpatched".to_owned());
+                        plan_span.annotate_sym(c.result, c.unpatched);
                         return Err(PlanError::Unpatched {
                             plan: plan.name().to_owned(),
                             step: step.name.clone(),
@@ -184,7 +345,7 @@ impl PlanExecutor {
                     };
 
                     if total_firings >= self.config.patch_budget {
-                        plan_span.annotate("result", || "patch-budget".to_owned());
+                        plan_span.annotate_sym(c.result, c.patch_budget);
                         return Err(PlanError::PatchBudgetExhausted {
                             plan: plan.name().to_owned(),
                             step: step.name.clone(),
@@ -200,6 +361,8 @@ impl PlanExecutor {
                     record(
                         &mut trace,
                         tel,
+                        syms.as_deref(),
+                        k,
                         TraceEvent::RuleFired {
                             rule: rule.name.clone(),
                             action: action.clone(),
@@ -211,7 +374,7 @@ impl PlanExecutor {
                         PatchAction::RestartFrom(target) => match plan.step_index(&target) {
                             Some(idx) => pc = idx,
                             None => {
-                                plan_span.annotate("result", || "unknown-restart".to_owned());
+                                plan_span.annotate_sym(c.result, c.unknown_restart);
                                 return Err(PlanError::UnknownRestartTarget {
                                     plan: plan.name().to_owned(),
                                     rule: rule.name.clone(),
@@ -224,11 +387,13 @@ impl PlanExecutor {
                             record(
                                 &mut trace,
                                 tel,
+                                syms.as_deref(),
+                                pc,
                                 TraceEvent::PlanAborted {
                                     reason: reason.clone(),
                                 },
                             );
-                            plan_span.annotate("result", || "aborted".to_owned());
+                            plan_span.annotate_sym(c.result, c.aborted);
                             return Err(PlanError::Aborted {
                                 plan: plan.name().to_owned(),
                                 rule: rule.name.clone(),
@@ -241,58 +406,77 @@ impl PlanExecutor {
             }
         }
 
-        record(&mut trace, tel, TraceEvent::PlanCompleted);
-        plan_span.annotate("result", || "completed".to_owned());
+        // The completion event is fused into the plan span's close, the
+        // same boundary fusion the per-step events use.
+        if syms.is_some() {
+            tel.incr_sym(c.completions);
+        }
+        plan_span.annotate_sym(c.result, c.completed);
+        plan_span.close_with_event(c.plan_completed, &[]);
+        trace.push(TraceEvent::PlanCompleted);
         Ok(trace)
     }
 }
 
-/// The single choke point where execution history is recorded: the event
-/// goes to the telemetry sink (structured event + counters) and then
-/// into the [`Trace`], so both views are backed by the same stream.
-fn record(trace: &mut Trace, tel: &Telemetry, event: TraceEvent) {
-    if tel.is_enabled() {
+/// The choke point where execution history is recorded: the event goes
+/// to the telemetry sink (structured event + counters) and then into
+/// the [`Trace`], so both views are backed by the same stream. The two
+/// per-step events are the exception — they are fused into the step
+/// span's boundary records at the execution site, where the trace
+/// entries are pushed directly; this function leaves them eventless in
+/// case a future site routes them through.
+///
+/// `syms` is `Some` exactly when `tel` is enabled; `idx` is the step
+/// index for step events and the rule index for [`TraceEvent::RuleFired`]
+/// (unused otherwise), selecting pre-interned symbols so the hot path
+/// never hashes a name.
+fn record(
+    trace: &mut Trace,
+    tel: &Telemetry,
+    syms: Option<&PlanSyms>,
+    idx: usize,
+    event: TraceEvent,
+) {
+    if let Some(syms) = syms {
+        let c = common_syms();
         match &event {
-            TraceEvent::StepStarted { index, name } => {
-                tel.incr("plan.step_executions");
-                tel.event("step_started", || {
-                    vec![("index", index.to_string()), ("step", name.clone())]
-                });
+            // Step start/completion events are emitted fused into the
+            // step span's boundary records at the execution site (see
+            // `run_with_deadline`), not through this choke point.
+            TraceEvent::StepStarted { .. } | TraceEvent::StepCompleted { .. } => {}
+            TraceEvent::StepFailed { failure, .. } => {
+                tel.incr_sym(c.step_failures);
+                tel.event_with(
+                    c.step_failed,
+                    &[
+                        (c.step, syms.steps[idx].1),
+                        (c.code, sym(failure.code())),
+                        (c.message, sym(failure.message())),
+                    ],
+                );
             }
-            TraceEvent::StepCompleted { name } => {
-                tel.event("step_completed", || vec![("step", name.clone())]);
-            }
-            TraceEvent::StepFailed { name, failure } => {
-                tel.incr("plan.step_failures");
-                tel.event("step_failed", || {
-                    vec![
-                        ("step", name.clone()),
-                        ("code", failure.code().to_owned()),
-                        ("message", failure.message().to_owned()),
-                    ]
-                });
-            }
-            TraceEvent::RuleFired { rule, action } => {
-                tel.incr("plan.rule_firings");
+            TraceEvent::RuleFired { action, .. } => {
+                tel.incr_sym(c.rule_firings);
                 if matches!(action, PatchAction::RestartFrom(_)) {
-                    tel.incr("plan.restarts");
+                    tel.incr_sym(c.restarts);
                 }
-                tel.event("rule_fired", || {
-                    let action_text = match action {
-                        PatchAction::Retry => "retry".to_owned(),
-                        PatchAction::RestartFrom(step) => format!("restart-from:{step}"),
-                        PatchAction::Abort(reason) => format!("abort:{reason}"),
-                    };
-                    vec![("rule", rule.clone()), ("action", action_text)]
-                });
+                let action_sym = match action {
+                    PatchAction::Retry => c.retry,
+                    PatchAction::RestartFrom(step) => sym2("restart-from:", step),
+                    PatchAction::Abort(reason) => sym2("abort:", reason),
+                };
+                tel.event_with(
+                    c.rule_fired,
+                    &[(c.rule, syms.rules[idx]), (c.action, action_sym)],
+                );
             }
             TraceEvent::PlanCompleted => {
-                tel.incr("plan.completions");
-                tel.event("plan_completed", Vec::new);
+                tel.incr_sym(c.completions);
+                tel.event_with(c.plan_completed, &[]);
             }
             TraceEvent::PlanAborted { reason } => {
-                tel.incr("plan.aborts");
-                tel.event("plan_aborted", || vec![("reason", reason.clone())]);
+                tel.incr_sym(c.aborts);
+                tel.event_with(c.plan_aborted, &[(c.reason, sym(reason))]);
             }
         }
     }

@@ -12,10 +12,33 @@ use oasys_faults::{fail_point, Deadline, DeadlineExceeded};
 use oasys_mos::OperatingPoint;
 use oasys_netlist::{Circuit, Element, NodeId};
 use oasys_process::Process;
-use oasys_telemetry::Telemetry;
+use oasys_telemetry::{sym, sym_display, sym_u64, Sym, Telemetry};
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+
+/// Pre-interned symbols for the DC solver's span and counter names, so
+/// the per-solve telemetry path never hashes a string.
+struct DcSyms {
+    span: Sym,
+    solves: Sym,
+    newton: Sym,
+    failures: Sym,
+    iterations: Sym,
+    error: Sym,
+}
+
+fn dc_syms() -> &'static DcSyms {
+    static SYMS: std::sync::OnceLock<DcSyms> = std::sync::OnceLock::new();
+    SYMS.get_or_init(|| DcSyms {
+        span: sym("sim:dc"),
+        solves: sym("sim.dc.solves"),
+        newton: sym("sim.dc.newton_iterations"),
+        failures: sym("sim.dc.failures"),
+        iterations: sym("iterations"),
+        error: sym("error"),
+    })
+}
 
 /// Error returned when DC analysis fails. Every variant that comes out
 /// of a solve names the circuit it failed on, so the message survives
@@ -198,17 +221,22 @@ pub fn solve_with_deadline(
     tel: &Telemetry,
     deadline: &Deadline,
 ) -> Result<DcSolution, SolveDcError> {
-    let span = tel.span(|| "sim:dc".to_owned());
-    tel.incr("sim.dc.solves");
+    let s = dc_syms();
+    let span = tel.span_sym(s.span);
+    tel.incr_sym(s.solves);
     let result = solve_inner(circuit, process, deadline);
-    match &result {
-        Ok(solution) => {
-            tel.add("sim.dc.newton_iterations", solution.iterations() as u64);
-            span.annotate("iterations", || solution.iterations().to_string());
-        }
-        Err(e) => {
-            tel.incr("sim.dc.failures");
-            span.annotate("error", || e.to_string());
+    if tel.is_enabled() {
+        match &result {
+            Ok(solution) => {
+                let iters = solution.iterations() as u64;
+                tel.add_sym(s.newton, iters);
+                tel.observe_sym(s.newton, iters);
+                span.annotate_sym(s.iterations, sym_u64(solution.iterations() as u64));
+            }
+            Err(e) => {
+                tel.incr_sym(s.failures);
+                span.annotate_sym(s.error, sym_display("", e));
+            }
         }
     }
     result

@@ -16,10 +16,33 @@ use crate::linalg::Matrix;
 use crate::mna::{bound_mosfets, mos_stamp, MnaIndex};
 use oasys_netlist::{Circuit, Element, NodeId};
 use oasys_process::Process;
-use oasys_telemetry::Telemetry;
+use oasys_telemetry::{sym, sym_display, sym_u64, Sym, Telemetry};
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+
+/// Pre-interned symbols for the transient solver's span and counter
+/// names.
+struct TranSyms {
+    span: Sym,
+    runs: Sym,
+    steps: Sym,
+    failures: Sym,
+    steps_key: Sym,
+    error: Sym,
+}
+
+fn tran_syms() -> &'static TranSyms {
+    static SYMS: std::sync::OnceLock<TranSyms> = std::sync::OnceLock::new();
+    SYMS.get_or_init(|| TranSyms {
+        span: sym("sim:tran"),
+        runs: sym("sim.tran.runs"),
+        steps: sym("sim.tran.steps"),
+        failures: sym("sim.tran.failures"),
+        steps_key: sym("steps"),
+        error: sym("error"),
+    })
+}
 
 /// Error returned by transient analysis.
 #[derive(Debug, Clone, PartialEq)]
@@ -286,17 +309,20 @@ pub fn solve_with(
     stimuli: &Stimuli,
     tel: &Telemetry,
 ) -> Result<TranSolution, SolveTranError> {
-    let span = tel.span(|| "sim:tran".to_owned());
-    tel.incr("sim.tran.runs");
+    let s = tran_syms();
+    let span = tel.span_sym(s.span);
+    tel.incr_sym(s.runs);
     let result = solve_inner(circuit, process, spec, stimuli);
-    match &result {
-        Ok(solution) => {
-            tel.add("sim.tran.steps", solution.times().len() as u64);
-            span.annotate("steps", || solution.times().len().to_string());
-        }
-        Err(e) => {
-            tel.incr("sim.tran.failures");
-            span.annotate("error", || e.to_string());
+    if tel.is_enabled() {
+        match &result {
+            Ok(solution) => {
+                tel.add_sym(s.steps, solution.times().len() as u64);
+                span.annotate_sym(s.steps_key, sym_u64(solution.times().len() as u64));
+            }
+            Err(e) => {
+                tel.incr_sym(s.failures);
+                span.annotate_sym(s.error, sym_display("", e));
+            }
         }
     }
     result

@@ -89,6 +89,15 @@ impl Json {
         }
     }
 
+    /// The boolean payload, if this is a bool.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The element list, if this is an array.
     #[must_use]
     pub fn as_arr(&self) -> Option<&[Json]> {

@@ -11,8 +11,17 @@
 //!   `synthesize()`, the plan executor, `verify()`, and the simulator.
 //!   A [`Telemetry::disabled`] handle costs one branch per call site and
 //!   never runs a name/field closure, so uninstrumented runs stay fast.
+//! * An *enabled* handle is near-free too: names intern once to `u32`
+//!   [`Sym`]bols ([`intern`]) and every span open/close, event, and
+//!   annotation is one fixed-size binary record appended to a
+//!   preallocated ring — rendering is deferred to export time. The same
+//!   ring doubles as the crash *flight recorder* ([`Telemetry::flight`],
+//!   [`Recording::tail_lines`]): a failing batch job dumps its last
+//!   records into the failure report.
 //! * Spans are monotonic-[`std::time::Instant`]-backed by default; tests
-//!   inject a [`ManualClock`] for deterministic durations.
+//!   inject a [`ManualClock`] for deterministic durations. Span
+//!   durations also feed per-span-name log-bucketed latency histograms
+//!   in the [`MetricsRegistry`].
 //! * [`RunReport`] snapshots a recording and exports it three ways: an
 //!   annotated span tree ([`RunReport::render_explain`], the CLI's
 //!   `--explain`), JSON-lines events + metrics
@@ -45,13 +54,17 @@
 #![warn(missing_docs)]
 
 mod clock;
+pub mod intern;
 pub mod json;
 mod metrics;
 mod recorder;
 mod report;
+mod ring;
 pub mod schema;
 
 pub use clock::{Clock, FrozenClock, ManualClock, MonotonicClock};
-pub use metrics::MetricsRegistry;
+pub use intern::{sym, sym2, sym_display, sym_u64, Sym};
+pub use metrics::{HistogramSnapshot, MetricsRegistry};
 pub use recorder::{SpanGuard, SpanId, Telemetry, TelemetrySeed};
 pub use report::{EventData, RunReport, SpanData, SCHEMA_NAME, SCHEMA_VERSION};
+pub use ring::{Recording, DEFAULT_RING_CAPACITY, FLIGHT_RING_CAPACITY};

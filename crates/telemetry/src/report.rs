@@ -9,7 +9,9 @@ use crate::metrics::MetricsRegistry;
 use std::fmt::Write as _;
 
 /// JSON-lines schema version; bump when a line shape changes.
-pub const SCHEMA_VERSION: u32 = 1;
+/// v2: header carries `wrapped`/`events_dropped`, metrics line carries
+/// `histograms`.
+pub const SCHEMA_VERSION: u32 = 2;
 /// JSON-lines schema name, carried in the header line.
 pub const SCHEMA_NAME: &str = "oasys-telemetry";
 
@@ -56,6 +58,7 @@ pub struct RunReport {
     spans: Vec<SpanData>,
     events: Vec<EventData>,
     metrics: MetricsRegistry,
+    events_dropped: u64,
 }
 
 impl RunReport {
@@ -63,11 +66,13 @@ impl RunReport {
         spans: Vec<SpanData>,
         events: Vec<EventData>,
         metrics: MetricsRegistry,
+        events_dropped: u64,
     ) -> Self {
         Self {
             spans,
             events,
             metrics,
+            events_dropped,
         }
     }
 
@@ -91,6 +96,20 @@ impl RunReport {
     #[must_use]
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.metrics
+    }
+
+    /// Records lost to ring-buffer wrap-around before this snapshot.
+    /// The oldest spans/events are missing when this is non-zero; the
+    /// exporters say so explicitly instead of silently truncating.
+    #[must_use]
+    pub fn events_dropped(&self) -> u64 {
+        self.events_dropped
+    }
+
+    /// `true` when the recording ring wrapped (some records were lost).
+    #[must_use]
+    pub fn wrapped(&self) -> bool {
+        self.events_dropped > 0
     }
 
     /// Aggregates spans by name: `(name, count, total_ns)` sorted by
@@ -231,9 +250,12 @@ impl RunReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{{\"kind\":\"header\",\"schema\":{},\"version\":{}}}",
+            "{{\"kind\":\"header\",\"schema\":{},\"version\":{},\
+             \"wrapped\":{},\"events_dropped\":{}}}",
             json::string(SCHEMA_NAME),
-            SCHEMA_VERSION
+            SCHEMA_VERSION,
+            self.wrapped(),
+            self.events_dropped,
         );
         for (idx, span) in self.spans.iter().enumerate() {
             let parent = span.parent.map_or("null".to_owned(), |p| p.to_string());
@@ -269,10 +291,58 @@ impl RunReport {
             .collect();
         let _ = writeln!(
             out,
-            "{{\"kind\":\"metrics\",\"counters\":{{{}}},\"gauges\":{{{}}}}}",
+            "{{\"kind\":\"metrics\",\"counters\":{{{}}},\"gauges\":{{{}}},\"histograms\":{}}}",
             counters.join(","),
             gauges.join(","),
+            histograms_object(&self.metrics),
         );
+        out
+    }
+
+    /// The metrics snapshot as one standalone JSON object — counters,
+    /// gauges, and histograms. This is what `--metrics-out` writes.
+    #[must_use]
+    pub fn render_metrics_json(&self) -> String {
+        let counters: Vec<String> = self
+            .metrics
+            .counters()
+            .map(|(k, v)| format!("{}:{v}", json::string(k)))
+            .collect();
+        let gauges: Vec<String> = self
+            .metrics
+            .gauges()
+            .map(|(k, v)| format!("{}:{}", json::string(k), json::number(v)))
+            .collect();
+        format!(
+            "{{\"counters\":{{{}}},\"gauges\":{{{}}},\"histograms\":{}}}\n",
+            counters.join(","),
+            gauges.join(","),
+            histograms_object(&self.metrics),
+        )
+    }
+
+    /// The latency-histogram section of the human-readable explain
+    /// view: one line per histogram with exact count/min/max/sum and
+    /// the non-empty power-of-two buckets.
+    #[must_use]
+    pub fn render_histograms(&self) -> String {
+        let mut out = String::new();
+        for (name, hist) in self.metrics.histograms() {
+            let buckets: Vec<String> = hist
+                .buckets()
+                .iter()
+                .map(|(b, c)| format!("{b}:{c}"))
+                .collect();
+            let _ = writeln!(
+                out,
+                "{name}  count={} min={} max={} sum={}  buckets=[{}]",
+                hist.count(),
+                hist.min(),
+                hist.max(),
+                hist.sum(),
+                buckets.join(", "),
+            );
+        }
         out
     }
 
@@ -321,6 +391,31 @@ impl RunReport {
         }
         format!("[\n{}\n]\n", entries.join(",\n"))
     }
+}
+
+/// All histograms of a registry as a JSON object: name → exact
+/// count/sum/min/max plus sparse `[bucket, count]` pairs.
+fn histograms_object(metrics: &MetricsRegistry) -> String {
+    let entries: Vec<String> = metrics
+        .histograms()
+        .map(|(name, hist)| {
+            let buckets: Vec<String> = hist
+                .buckets()
+                .iter()
+                .map(|(b, c)| format!("[{b},{c}]"))
+                .collect();
+            format!(
+                "{}:{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[{}]}}",
+                json::string(name),
+                hist.count(),
+                hist.sum(),
+                hist.min(),
+                hist.max(),
+                buckets.join(","),
+            )
+        })
+        .collect();
+    format!("{{{}}}", entries.join(","))
 }
 
 /// Key/value pairs as a JSON object (insertion order preserved).
@@ -415,6 +510,48 @@ mod tests {
                 .as_num(),
             Some(1.0)
         );
+    }
+
+    #[test]
+    fn jsonl_header_and_metrics_carry_drop_state_and_histograms() {
+        let text = sample_report().render_jsonl();
+        let lines: Vec<&str> = text.lines().collect();
+        let header = crate::json::parse(lines[0]).unwrap();
+        assert_eq!(header.get("wrapped").unwrap().as_bool(), Some(false));
+        assert_eq!(header.get("events_dropped").unwrap().as_num(), Some(0.0));
+        let metrics = crate::json::parse(lines.last().unwrap()).unwrap();
+        let hists = metrics.get("histograms").expect("histograms object");
+        // Span durations feed per-span-name histograms automatically.
+        let style = hists.get("span:style:two-stage").expect("style hist");
+        assert_eq!(style.get("count").unwrap().as_num(), Some(1.0));
+        assert_eq!(style.get("sum").unwrap().as_num(), Some(3000.0));
+        assert_eq!(style.get("min").unwrap().as_num(), Some(3000.0));
+        assert_eq!(style.get("max").unwrap().as_num(), Some(3000.0));
+        // 3000 ns lands in [2048, 4096) = bucket 12.
+        let buckets = style.get("buckets").unwrap().as_arr().unwrap();
+        assert_eq!(buckets.len(), 1);
+        assert_eq!(buckets[0].as_arr().unwrap()[0].as_num(), Some(12.0));
+        assert_eq!(buckets[0].as_arr().unwrap()[1].as_num(), Some(1.0));
+    }
+
+    #[test]
+    fn metrics_json_and_histogram_text_render_standalone() {
+        let report = sample_report();
+        let metrics = crate::json::parse(&report.render_metrics_json()).unwrap();
+        assert_eq!(
+            metrics
+                .get("counters")
+                .unwrap()
+                .get("plan.rule_firings")
+                .unwrap()
+                .as_num(),
+            Some(1.0)
+        );
+        assert!(metrics.get("histograms").unwrap().as_obj().is_some());
+        let text = report.render_histograms();
+        assert!(text.contains("span:synthesize"), "{text}");
+        assert!(text.contains("count=1"), "{text}");
+        assert!(text.contains("buckets=[12:1]"), "{text}");
     }
 
     #[test]

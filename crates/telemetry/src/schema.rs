@@ -18,6 +18,8 @@ pub struct JsonlSummary {
     pub counters: usize,
     /// Gauges in the metrics line.
     pub gauges: usize,
+    /// Histograms in the metrics line.
+    pub histograms: usize,
 }
 
 /// What a valid Chrome trace contained.
@@ -117,6 +119,19 @@ pub fn validate_jsonl(text: &str) -> Result<JsonlSummary, SchemaError> {
                     format!("unsupported schema version {version} (expected {SCHEMA_VERSION})"),
                 ));
             }
+            // v2: the header must state whether the ring wrapped, and
+            // how many records were lost — truncation is never silent.
+            let wrapped = obj
+                .get("wrapped")
+                .and_then(Json::as_bool)
+                .ok_or_else(|| fail(lineno, "header needs a boolean `wrapped`"))?;
+            let dropped = require_num(&obj, "events_dropped", lineno)?;
+            if wrapped != (dropped > 0.0) {
+                return Err(fail(
+                    lineno,
+                    "header `wrapped` must agree with `events_dropped`",
+                ));
+            }
             saw_header = true;
             continue;
         }
@@ -164,8 +179,40 @@ pub fn validate_jsonl(text: &str) -> Result<JsonlSummary, SchemaError> {
                     .get("gauges")
                     .and_then(Json::as_obj)
                     .ok_or_else(|| fail(lineno, "metrics line needs a `gauges` object"))?;
+                let histograms = obj
+                    .get("histograms")
+                    .and_then(Json::as_obj)
+                    .ok_or_else(|| fail(lineno, "metrics line needs a `histograms` object"))?;
+                for (name, hist) in histograms {
+                    for field in ["count", "sum", "min", "max"] {
+                        if hist.get(field).and_then(Json::as_num).is_none() {
+                            return Err(fail(
+                                lineno,
+                                format!("histogram {name:?} missing numeric `{field}`"),
+                            ));
+                        }
+                    }
+                    let buckets = hist.get("buckets").and_then(Json::as_arr).ok_or_else(|| {
+                        fail(
+                            lineno,
+                            format!("histogram {name:?} missing `buckets` array"),
+                        )
+                    })?;
+                    for pair in buckets {
+                        let ok = pair.as_arr().is_some_and(|p| {
+                            p.len() == 2 && p.iter().all(|v| v.as_num().is_some())
+                        });
+                        if !ok {
+                            return Err(fail(
+                                lineno,
+                                format!("histogram {name:?} bucket must be a [index, count] pair"),
+                            ));
+                        }
+                    }
+                }
                 summary.counters = counters.len();
                 summary.gauges = gauges.len();
+                summary.histograms = histograms.len();
                 saw_metrics = true;
             }
             other => return Err(fail(lineno, format!("unknown line kind `{other}`"))),
@@ -248,6 +295,10 @@ mod tests {
         tel.report()
     }
 
+    const HEADER: &str = "{\"kind\":\"header\",\"schema\":\"oasys-telemetry\",\"version\":2,\
+                          \"wrapped\":false,\"events_dropped\":0}";
+    const METRICS: &str = "{\"kind\":\"metrics\",\"counters\":{},\"gauges\":{},\"histograms\":{}}";
+
     #[test]
     fn valid_jsonl_passes_with_counts() {
         let summary = validate_jsonl(&recorded().render_jsonl()).unwrap();
@@ -257,7 +308,9 @@ mod tests {
                 spans: 2,
                 events: 1,
                 counters: 1,
-                gauges: 1
+                gauges: 1,
+                // Span durations feed per-span-name histograms.
+                histograms: 2,
             }
         );
     }
@@ -266,23 +319,59 @@ mod tests {
     fn jsonl_rejects_missing_header_bad_version_and_garbage() {
         assert!(validate_jsonl("").is_err());
         assert!(validate_jsonl("{\"kind\":\"span\"}").is_err());
-        let bad_version = "{\"kind\":\"header\",\"schema\":\"oasys-telemetry\",\"version\":99}\n\
-             {\"kind\":\"metrics\",\"counters\":{},\"gauges\":{}}";
-        let err = validate_jsonl(bad_version).unwrap_err();
+        let bad_version = format!(
+            "{}\n{METRICS}",
+            HEADER.replace("\"version\":2", "\"version\":99")
+        );
+        let err = validate_jsonl(&bad_version).unwrap_err();
         assert!(err.to_string().contains("version"), "{err}");
-        let garbage =
-            "{\"kind\":\"header\",\"schema\":\"oasys-telemetry\",\"version\":1}\nnot json";
-        assert!(validate_jsonl(garbage).is_err());
+        let garbage = format!("{HEADER}\nnot json");
+        assert!(validate_jsonl(&garbage).is_err());
+    }
+
+    #[test]
+    fn jsonl_rejects_headers_that_hide_truncation() {
+        // v1-shaped headers (no wrap state) are rejected outright...
+        let v1 = "{\"kind\":\"header\",\"schema\":\"oasys-telemetry\",\"version\":2}";
+        let err = validate_jsonl(&format!("{v1}\n{METRICS}")).unwrap_err();
+        assert!(err.to_string().contains("wrapped"), "{err}");
+        // ...and so is a header whose flags contradict each other.
+        let lying = HEADER.replace("\"events_dropped\":0", "\"events_dropped\":7");
+        let err = validate_jsonl(&format!("{lying}\n{METRICS}")).unwrap_err();
+        assert!(err.to_string().contains("agree"), "{err}");
+        let wrapped_ok = HEADER
+            .replace("\"wrapped\":false", "\"wrapped\":true")
+            .replace("\"events_dropped\":0", "\"events_dropped\":7");
+        assert!(validate_jsonl(&format!("{wrapped_ok}\n{METRICS}")).is_ok());
+    }
+
+    #[test]
+    fn jsonl_rejects_malformed_histograms() {
+        let no_hists = "{\"kind\":\"metrics\",\"counters\":{},\"gauges\":{}}";
+        let err = validate_jsonl(&format!("{HEADER}\n{no_hists}")).unwrap_err();
+        assert!(err.to_string().contains("histograms"), "{err}");
+        let bad_hist = "{\"kind\":\"metrics\",\"counters\":{},\"gauges\":{},\
+                        \"histograms\":{\"h\":{\"count\":1}}}";
+        assert!(validate_jsonl(&format!("{HEADER}\n{bad_hist}")).is_err());
+        let bad_bucket = "{\"kind\":\"metrics\",\"counters\":{},\"gauges\":{},\
+                          \"histograms\":{\"h\":{\"count\":1,\"sum\":2,\"min\":2,\"max\":2,\
+                          \"buckets\":[[2]]}}}";
+        assert!(validate_jsonl(&format!("{HEADER}\n{bad_bucket}")).is_err());
+        let good = "{\"kind\":\"metrics\",\"counters\":{},\"gauges\":{},\
+                    \"histograms\":{\"h\":{\"count\":1,\"sum\":2,\"min\":2,\"max\":2,\
+                    \"buckets\":[[2,1]]}}}";
+        let summary = validate_jsonl(&format!("{HEADER}\n{good}")).unwrap();
+        assert_eq!(summary.histograms, 1);
     }
 
     #[test]
     fn jsonl_rejects_missing_metrics_and_trailing_content() {
-        let no_metrics = "{\"kind\":\"header\",\"schema\":\"oasys-telemetry\",\"version\":1}";
-        assert_eq!(validate_jsonl(no_metrics).unwrap_err().line, 0);
-        let trailing = "{\"kind\":\"header\",\"schema\":\"oasys-telemetry\",\"version\":1}\n\
-                        {\"kind\":\"metrics\",\"counters\":{},\"gauges\":{}}\n\
-                        {\"kind\":\"event\",\"t_ns\":0,\"span\":null,\"event\":\"x\",\"fields\":{}}";
-        assert!(validate_jsonl(trailing)
+        assert_eq!(validate_jsonl(HEADER).unwrap_err().line, 0);
+        let trailing = format!(
+            "{HEADER}\n{METRICS}\n\
+             {{\"kind\":\"event\",\"t_ns\":0,\"span\":null,\"event\":\"x\",\"fields\":{{}}}}"
+        );
+        assert!(validate_jsonl(&trailing)
             .unwrap_err()
             .to_string()
             .contains("after the metrics line"));
@@ -290,15 +379,18 @@ mod tests {
 
     #[test]
     fn jsonl_rejects_dangling_references() {
-        let dangling_parent =
-            "{\"kind\":\"header\",\"schema\":\"oasys-telemetry\",\"version\":1}\n\
-             {\"kind\":\"span\",\"id\":0,\"parent\":5,\"name\":\"x\",\"start_ns\":0,\"end_ns\":1,\"attrs\":{}}\n\
-             {\"kind\":\"metrics\",\"counters\":{},\"gauges\":{}}";
-        assert!(validate_jsonl(dangling_parent).is_err());
-        let dangling_event = "{\"kind\":\"header\",\"schema\":\"oasys-telemetry\",\"version\":1}\n\
-             {\"kind\":\"event\",\"t_ns\":0,\"span\":3,\"event\":\"x\",\"fields\":{}}\n\
-             {\"kind\":\"metrics\",\"counters\":{},\"gauges\":{}}";
-        assert!(validate_jsonl(dangling_event).is_err());
+        let dangling_parent = format!(
+            "{HEADER}\n\
+             {{\"kind\":\"span\",\"id\":0,\"parent\":5,\"name\":\"x\",\"start_ns\":0,\"end_ns\":1,\"attrs\":{{}}}}\n\
+             {METRICS}"
+        );
+        assert!(validate_jsonl(&dangling_parent).is_err());
+        let dangling_event = format!(
+            "{HEADER}\n\
+             {{\"kind\":\"event\",\"t_ns\":0,\"span\":3,\"event\":\"x\",\"fields\":{{}}}}\n\
+             {METRICS}"
+        );
+        assert!(validate_jsonl(&dangling_event).is_err());
     }
 
     #[test]

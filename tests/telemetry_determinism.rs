@@ -1,0 +1,67 @@
+//! Thread-count determinism of telemetry exports: the fork/absorb
+//! protocol re-bases worker recordings in declaration order, so a
+//! parallel style sweep under an injected [`ManualClock`] must render
+//! **byte-identical** reports at any worker count — spans, events,
+//! counters, and latency histograms alike. This is the property that
+//! makes `OASYS_STYLE_THREADS` invisible in `--trace-out` artifacts.
+
+use oasys::spec::test_cases;
+use oasys::{synthesize_with_options, SearchOptions};
+use oasys_process::builtin;
+use oasys_telemetry::{schema, ManualClock, Telemetry};
+use std::rc::Rc;
+
+/// One full traced synthesis at the given worker count, exported as
+/// JSON-lines. The manual clock freezes every timestamp at zero, so any
+/// difference between runs is structural, not temporal.
+fn traced_jsonl(threads: usize) -> String {
+    let process = builtin::cmos_5um();
+    let spec = test_cases::spec_a();
+    let tel = Telemetry::with_clock(Rc::new(ManualClock::new()));
+    let options = SearchOptions::new().with_threads(threads);
+    synthesize_with_options(&spec, &process, &options, &tel).expect("spec A synthesizes");
+    let report = tel.report();
+    let jsonl = report.render_jsonl();
+    schema::validate_jsonl(&jsonl).expect("export validates");
+    jsonl
+}
+
+#[test]
+fn parallel_sweep_reports_are_byte_identical_to_sequential() {
+    let sequential = traced_jsonl(1);
+    for threads in [2, 3] {
+        let parallel = traced_jsonl(threads);
+        assert_eq!(
+            sequential, parallel,
+            "threads={threads} must render the exact bytes of threads=1"
+        );
+    }
+}
+
+#[test]
+fn latency_histograms_are_thread_count_independent() {
+    let process = builtin::cmos_5um();
+    let spec = test_cases::spec_a();
+
+    let collect = |threads: usize| {
+        let tel = Telemetry::with_clock(Rc::new(ManualClock::new()));
+        let options = SearchOptions::new().with_threads(threads);
+        synthesize_with_options(&spec, &process, &options, &tel).expect("spec A synthesizes");
+        let report = tel.report();
+        report
+            .metrics()
+            .histograms()
+            .map(|(name, h)| (name.to_owned(), h.count(), h.sum(), h.buckets().to_vec()))
+            .collect::<Vec<_>>()
+    };
+
+    let sequential = collect(1);
+    // Per-step spans exist, so the histogram set is non-trivial.
+    assert!(
+        sequential
+            .iter()
+            .any(|(name, ..)| name.starts_with("span:step:")),
+        "per-step latency histograms are recorded"
+    );
+    assert_eq!(sequential, collect(3));
+}
