@@ -45,13 +45,22 @@ fn main() {
         let tel = Telemetry::disabled();
         let sequential = SearchOptions::new().with_threads(1);
         let parallel = SearchOptions::new().with_threads(OpAmpStyle::ALL.len());
-        b.bench("style_search/case_a_threads_1", || {
-            synthesize_with_options(black_box(&spec), black_box(&process), &sequential, &tel)
-                .unwrap()
-        });
-        b.bench("style_search/case_a_threads_max", || {
-            synthesize_with_options(black_box(&spec), black_box(&process), &parallel, &tel).unwrap()
-        });
+        // Interleaved like the telemetry pair: the schema gates on the
+        // ratio of these medians (summary::MIN_POOL_SPEEDUP_RATIO, with
+        // a single-core tolerance), so machine drift between the two
+        // sides would show up directly as a spurious gate failure.
+        b.bench_pair(
+            "style_search/case_a_threads_1",
+            || {
+                synthesize_with_options(black_box(&spec), black_box(&process), &sequential, &tel)
+                    .unwrap()
+            },
+            "style_search/case_a_threads_max",
+            || {
+                synthesize_with_options(black_box(&spec), black_box(&process), &parallel, &tel)
+                    .unwrap()
+            },
+        );
 
         // Static feasibility pruning: 139.5 dB exceeds every style's
         // gain ceiling on the 1.2 µm kit, so the sweep answers

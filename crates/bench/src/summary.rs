@@ -11,7 +11,7 @@ use oasys_telemetry::{json, RunReport};
 /// Schema identifier of the emitted document.
 pub const SCHEMA_NAME: &str = "oasys-bench";
 /// Schema version of the emitted document.
-pub const SCHEMA_VERSION: u32 = 2;
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// The untraced baseline row of the telemetry-overhead comparison.
 pub const BASELINE_ROW: &str = "synthesize/case_a";
@@ -22,6 +22,22 @@ pub const TELEMETRY_ROW: &str = "synthesize/case_a_telemetry";
 /// must stay within 10% of the untraced baseline (median over median),
 /// or `validate` — and with it `cargo xtask bench-schema` — fails.
 pub const MAX_TELEMETRY_OVERHEAD_RATIO: f64 = 1.10;
+
+/// The sequential row of the pool-speedup comparison.
+pub const THREADS_1_ROW: &str = "style_search/case_a_threads_1";
+/// The worker-per-style row of the pool-speedup comparison.
+pub const THREADS_MAX_ROW: &str = "style_search/case_a_threads_max";
+
+/// Floor on `pool_speedup_ratio` (sequential median over parallel
+/// median) on a multi-core host: fanning the style search out on the
+/// worker pool must not be slower than running it sequentially.
+pub const MIN_POOL_SPEEDUP_RATIO: f64 = 1.0;
+
+/// Floor on `pool_speedup_ratio` when `host_parallelism` is 1: a true
+/// speedup is impossible, so the gate only requires the pool's
+/// zero-worker inline path to stay within 5% of sequential — a
+/// measurement-noise tolerance, not a performance budget.
+pub const MIN_POOL_SPEEDUP_RATIO_SINGLE_CORE: f64 = 0.95;
 
 /// Benchmark rows the report must always carry: the sequential (one
 /// worker) vs. parallel (one worker per style) style-search comparison
@@ -80,13 +96,10 @@ pub fn validate(text: &str) -> Result<String, String> {
         return Err(format!("version is {version}, expected {SCHEMA_VERSION}"));
     }
 
-    if doc
+    let host_parallelism = doc
         .get("host_parallelism")
         .and_then(json::Json::as_num)
-        .is_none()
-    {
-        return Err("missing `host_parallelism` number".to_string());
-    }
+        .ok_or("missing `host_parallelism` number")?;
 
     let benches = doc
         .get("benches")
@@ -152,6 +165,38 @@ pub fn validate(text: &str) -> Result<String, String> {
         ));
     }
 
+    // The pool-speedup gate: sequential over parallel style-search
+    // medians. The floor depends on the host — on one core the pool
+    // cannot win, only stay out of the way.
+    let speedup = doc
+        .get("pool_speedup_ratio")
+        .and_then(json::Json::as_num)
+        .ok_or("missing `pool_speedup_ratio` number")?;
+    let sequential = median_of(THREADS_1_ROW)?;
+    let pooled = median_of(THREADS_MAX_ROW)?;
+    if pooled <= 0.0 {
+        return Err(format!("{THREADS_MAX_ROW:?} median_ns must be positive"));
+    }
+    let recomputed_speedup = sequential / pooled;
+    if (recomputed_speedup - speedup).abs() > 1e-6 {
+        return Err(format!(
+            "pool_speedup_ratio is {speedup}, but {THREADS_1_ROW:?} / {THREADS_MAX_ROW:?} \
+             medians give {recomputed_speedup}"
+        ));
+    }
+    let speedup_floor = if host_parallelism > 1.0 {
+        MIN_POOL_SPEEDUP_RATIO
+    } else {
+        MIN_POOL_SPEEDUP_RATIO_SINGLE_CORE
+    };
+    if recomputed_speedup < speedup_floor {
+        return Err(format!(
+            "pool speedup ratio {recomputed_speedup:.3} is under the {speedup_floor} floor \
+             ({THREADS_MAX_ROW} median {pooled} ns vs {THREADS_1_ROW} median {sequential} ns \
+             at host_parallelism {host_parallelism})"
+        ));
+    }
+
     let rollup = doc
         .get("span_rollup")
         .and_then(json::Json::as_arr)
@@ -207,7 +252,7 @@ pub fn validate(text: &str) -> Result<String, String> {
 
     Ok(format!(
         "{} bench rows, {} rollup spans, counters ok, {} histograms, \
-         telemetry overhead {recomputed:.3}",
+         telemetry overhead {recomputed:.3}, pool speedup {recomputed_speedup:.3}",
         benches.len(),
         rollup.len(),
         histograms.len()
@@ -258,6 +303,19 @@ pub fn render(rows: &[BenchRow], telemetry: &RunReport) -> String {
             out.push_str(&format!(
                 "  \"telemetry_overhead_ratio\": {},\n",
                 json::number(traced / base)
+            ));
+        }
+    }
+
+    // The pool-speedup headline: sequential over pooled style-search
+    // median, the number the schema gate holds above the host-dependent
+    // floor (MIN_POOL_SPEEDUP_RATIO / MIN_POOL_SPEEDUP_RATIO_SINGLE_CORE).
+    if let (Some(sequential), Some(pooled)) = (median_of(THREADS_1_ROW), median_of(THREADS_MAX_ROW))
+    {
+        if pooled > 0.0 {
+            out.push_str(&format!(
+                "  \"pool_speedup_ratio\": {},\n",
+                json::number(sequential / pooled)
             ));
         }
     }
@@ -356,7 +414,7 @@ mod tests {
         assert!(json::parse(&text).is_ok());
     }
 
-    fn report_with_telemetry_median(telemetry_median_ns: u128) -> String {
+    fn report_with_medians(overrides: &[(&str, u128)]) -> String {
         let tel = Telemetry::new();
         {
             let _span = tel.span(|| "synthesize".to_owned());
@@ -372,14 +430,17 @@ mod tests {
                 iterations: 100,
                 min_ns: 10,
                 mean_ns: 12,
-                median_ns: if *name == TELEMETRY_ROW {
-                    telemetry_median_ns
-                } else {
-                    11
-                },
+                median_ns: overrides
+                    .iter()
+                    .find(|(row, _)| row == name)
+                    .map_or(11, |(_, median)| *median),
             })
             .collect();
         render(&rows, &tel.report())
+    }
+
+    fn report_with_telemetry_median(telemetry_median_ns: u128) -> String {
+        report_with_medians(&[(TELEMETRY_ROW, telemetry_median_ns)])
     }
 
     fn compliant_report() -> String {
@@ -410,6 +471,45 @@ mod tests {
     }
 
     #[test]
+    fn validate_gates_on_pool_speedup() {
+        // All rows at 11 ns → speedup 1.000, over every floor.
+        validate(&compliant_report()).expect("speedup 1.0 passes the gate");
+        // The pooled sweep at twice the sequential median is under any
+        // floor (0.95 single-core, 1.0 multi-core).
+        let err = validate(&report_with_medians(&[(THREADS_MAX_ROW, 22)])).unwrap_err();
+        assert!(err.contains("under the"), "{err}");
+        assert!(err.contains("floor"), "{err}");
+        // A ratio that disagrees with the rows is rejected outright.
+        let text =
+            compliant_report().replace("\"pool_speedup_ratio\": 1", "\"pool_speedup_ratio\": 4.2");
+        let err = validate(&text).unwrap_err();
+        assert!(err.contains("medians give"), "{err}");
+        // A report that omits the field is rejected.
+        let text = compliant_report().replace("pool_speedup_ratio", "pool_ratio");
+        let err = validate(&text).unwrap_err();
+        assert!(err.contains("pool_speedup_ratio"), "{err}");
+    }
+
+    #[test]
+    fn single_core_tolerance_only_softens_the_floor_on_one_core() {
+        // Pin host_parallelism so the test is machine-independent.
+        let host = |text: &str, cores: usize| {
+            let actual =
+                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+            text.replace(
+                &format!("\"host_parallelism\": {actual}"),
+                &format!("\"host_parallelism\": {cores}"),
+            )
+        };
+        // Sequential 23 ns, pooled 24 ns → ratio ≈ 0.958: inside the
+        // single-core tolerance, under the multi-core floor.
+        let text = report_with_medians(&[(THREADS_1_ROW, 23), (THREADS_MAX_ROW, 24)]);
+        validate(&host(&text, 1)).expect("0.958 passes the single-core tolerance");
+        let err = validate(&host(&text, 8)).unwrap_err();
+        assert!(err.contains("floor"), "{err}");
+    }
+
+    #[test]
     fn validate_requires_histograms() {
         let text = compliant_report().replace("\"histograms\"", "\"hists\"");
         let err = validate(&text).unwrap_err();
@@ -432,7 +532,7 @@ mod tests {
 
     #[test]
     fn validate_rejects_schema_drift() {
-        let text = compliant_report().replace("\"version\": 2", "\"version\": 3");
+        let text = compliant_report().replace("\"version\": 3", "\"version\": 4");
         let err = validate(&text).unwrap_err();
         assert!(err.contains("version"), "{err}");
         assert!(validate("{}").is_err());

@@ -51,7 +51,7 @@ pub use runner::{
     Batch, BatchCounts, BatchReport, FailureKind, JobFailure, JobRecord, JobRunner, JobStatus,
     JobSuccess, StyleEntry,
 };
-pub use synth_runner::SynthRunner;
+pub use synth_runner::{SynthRunner, DEFAULT_CACHE_ENTRIES};
 
 use std::time::Duration;
 

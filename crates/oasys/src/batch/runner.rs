@@ -4,8 +4,11 @@
 //! Execution model:
 //!
 //! * The coordinator (the calling thread) owns the [`Telemetry`] handle,
-//!   the checkpoint, and the result stream. Workers are
-//!   `std::thread::scope` threads popping jobs from a shared queue.
+//!   the checkpoint, and the result stream. Worker loops run as scoped
+//!   jobs on the persistent process-wide [`oasys_pool::Pool`], popping
+//!   jobs from a shared queue; the coordinator helps the pool while it
+//!   waits, so batches complete even on a zero-worker (single-core)
+//!   pool without spawning a single thread.
 //! * Every *attempt* of a job runs on its own detached thread so that a
 //!   panicking plan or a diverging simulation fails **that job only**:
 //!   panics are caught and reported, and an attempt that exceeds the
@@ -669,7 +672,8 @@ impl Batch {
             // Absorb job telemetry in job order after the pool drains,
             // so the batch trace is scheduling-independent.
             let mut job_recordings: Vec<(usize, Recording)> = Vec::new();
-            std::thread::scope(|scope| {
+            let pool = oasys_pool::Pool::global();
+            pool.scope(|scope| {
                 for _ in 0..workers {
                     let tx = tx.clone();
                     let queue = &queue;
@@ -690,7 +694,28 @@ impl Batch {
                 }
                 drop(tx);
                 for _ in 0..slots {
-                    let Ok((job, mut execution)) = rx.recv() else {
+                    // The coordinator helps the pool while it waits:
+                    // with zero persistent workers (single-core hosts)
+                    // the worker loops above run inline right here, and
+                    // on busy pools the coordinator adds a hand instead
+                    // of sleeping. The short recv timeout only bounds
+                    // the re-check interval; results wake it instantly.
+                    let received = loop {
+                        match rx.try_recv() {
+                            Ok(message) => break Some(message),
+                            Err(mpsc::TryRecvError::Disconnected) => break None,
+                            Err(mpsc::TryRecvError::Empty) => {}
+                        }
+                        if pool.try_help() {
+                            continue;
+                        }
+                        match rx.recv_timeout(std::time::Duration::from_millis(5)) {
+                            Ok(message) => break Some(message),
+                            Err(mpsc::RecvTimeoutError::Timeout) => {}
+                            Err(mpsc::RecvTimeoutError::Disconnected) => break None,
+                        }
+                    };
+                    let Some((job, mut execution)) = received else {
                         break;
                     };
                     if let Some(recording) = execution.recording.take() {

@@ -1,5 +1,5 @@
-//! The production [`JobRunner`]: full OASYS synthesis per job, with a
-//! shared per-technology [`MemoCache`].
+//! The production [`JobRunner`]: full OASYS synthesis per job, with one
+//! shared, bounded, fingerprint-namespaced [`MemoCache`].
 
 use super::manifest::{fingerprint, Job};
 use super::runner::{JobFailure, JobRunner, JobSuccess, StyleEntry};
@@ -10,16 +10,25 @@ use crate::SearchOptions;
 use oasys_faults::Deadline;
 use oasys_plan::MemoCache;
 use oasys_telemetry::Telemetry;
-use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+/// Default capacity of the shared sub-block design cache: generous for
+/// any realistic sweep (the bundled 3×3 sweep caches a few dozen
+/// designs) while bounding the memory of a long-lived server.
+pub const DEFAULT_CACHE_ENTRIES: usize = 4096;
 
 /// Runs each job through spec/tech parsing, breadth-first style search,
 /// and (optionally) simulator verification of the winner.
 ///
-/// Sub-block designs are memoized in one [`MemoCache`] **per distinct
-/// technology text** — cache keys assume a fixed process, so jobs on the
-/// same process share hits across the whole sweep while different
-/// processes stay isolated.
+/// Sub-block designs are memoized in **one shared, bounded LRU**
+/// [`MemoCache`]: cache keys are namespaced by the technology text's
+/// fingerprint (see [`SearchOptions::with_cache_namespace`]), so jobs on
+/// the same process share hits across the whole sweep — and across
+/// requests, when a resident server keeps one runner alive — while
+/// different processes can never serve each other's entries. The
+/// capacity bound ([`SynthRunner::with_cache_entries`]) keeps a
+/// process-lifetime cache from growing without limit; the least
+/// recently used design is evicted on overflow.
 ///
 /// All failure modes here are deterministic (parse errors, simulator
 /// non-convergence), so this runner never reports a transient failure;
@@ -28,7 +37,7 @@ use std::sync::{Arc, Mutex};
 pub struct SynthRunner {
     search: SearchOptions,
     verify: bool,
-    caches: Mutex<HashMap<u64, Arc<MemoCache>>>,
+    cache: Arc<MemoCache>,
 }
 
 impl Default for SynthRunner {
@@ -38,13 +47,14 @@ impl Default for SynthRunner {
 }
 
 impl SynthRunner {
-    /// A runner with default search options and verification enabled.
+    /// A runner with default search options, verification enabled, and
+    /// a [`DEFAULT_CACHE_ENTRIES`]-entry shared cache.
     #[must_use]
     pub fn new() -> Self {
         Self {
             search: SearchOptions::default(),
             verify: true,
-            caches: Mutex::new(HashMap::new()),
+            cache: Arc::new(MemoCache::bounded(DEFAULT_CACHE_ENTRIES)),
         }
     }
 
@@ -62,15 +72,19 @@ impl SynthRunner {
         self
     }
 
-    fn cache_for(&self, tech_text: &str) -> Arc<MemoCache> {
-        let key = fingerprint("", tech_text);
-        Arc::clone(
-            self.caches
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .entry(key)
-                .or_insert_with(|| Arc::new(MemoCache::new())),
-        )
+    /// Replaces the shared cache with a bounded one holding at most
+    /// `entries` designs (at least one).
+    #[must_use]
+    pub fn with_cache_entries(mut self, entries: usize) -> Self {
+        self.cache = Arc::new(MemoCache::bounded(entries));
+        self
+    }
+
+    /// The shared sub-block design cache (hit/miss/eviction counters
+    /// included — a server's metrics endpoint reads them from here).
+    #[must_use]
+    pub fn cache(&self) -> &MemoCache {
+        &self.cache
     }
 }
 
@@ -85,9 +99,12 @@ impl JobRunner for SynthRunner {
             .map_err(|e| JobFailure::permanent(format!("spec {}: {e}", job.spec_label())))?;
         let process = oasys_process::techfile::parse(job.tech_text())
             .map_err(|e| JobFailure::permanent(format!("tech {}: {e}", job.tech_label())))?;
-        let cache = self.cache_for(job.tech_text());
-        let search = self.search.clone().with_deadline(deadline.clone());
-        match synthesize_with_cache(&spec, &process, &search, tel, &cache) {
+        let search = self
+            .search
+            .clone()
+            .with_deadline(deadline.clone())
+            .with_cache_namespace(format!("{:016x}", fingerprint("", job.tech_text())));
+        match synthesize_with_cache(&spec, &process, &search, tel, &self.cache) {
             Ok(synthesis) => {
                 let styles = synthesis
                     .outcomes()

@@ -9,6 +9,10 @@
 //! oasys batch <manifest> [--records <file.jsonl>] [--aggregate <file.json>]
 //!       [--checkpoint <file>] [--workers <n>] [--timeout-ms <n>]
 //!       [--retries <n>] [--no-verify] [--styles <list>] [--explain]
+//! oasys serve --socket <path> [--workers <n>] [--max-inflight <n>]
+//!       [--cache-entries <n>] [--timeout-ms <n>]
+//! oasys client --socket <path> <spec-file> <tech-file> [--timeout-ms <n>]
+//! oasys client --socket <path> --ping|--shutdown
 //! ```
 //!
 //! The first form prints the style-selection outcome, the sized device
@@ -43,6 +47,15 @@
 //! answers, not failures). Command-line flags override the manifest's
 //! `workers =` / `timeout_ms =` / `retries =` / `verify =` settings;
 //! `--timeout-ms 0` disables the per-job timeout.
+//!
+//! The `serve` form starts a resident synthesis server on a Unix domain
+//! socket (see [`oasys::serve`] for the wire protocol): requests reuse
+//! one warm, bounded design cache across their lifetime, admission is
+//! bounded by `--max-inflight`, and SIGTERM (or a `shutdown` request)
+//! drains in-flight work before exiting. The `client` form sends one
+//! request — a spec × tech synthesis, `--ping`, or `--shutdown` — and
+//! prints the server's JSON response; the exit code is nonzero unless
+//! the server answered `ok`.
 
 use oasys::{
     batch, specfile, styles, synthesize_with, synthesize_with_options, verify_with, Datasheet,
@@ -57,6 +70,8 @@ const SYNTH_USAGE: &str = "usage: oasys <spec-file> <tech-file> [--out <deck.sp>
 const LINT_USAGE: &str =
     "usage: oasys lint [<spec-file> <tech-file>] [--deny-warnings] [--format human|json|sarif]";
 const BATCH_USAGE: &str = "usage: oasys batch <manifest> [--records <file.jsonl>] [--aggregate <file.json>] [--checkpoint <file>] [--workers <n>] [--timeout-ms <n>] [--retries <n>] [--no-verify] [--styles <list>] [--explain] [--faults <list>]";
+const SERVE_USAGE: &str = "usage: oasys serve --socket <path> [--workers <n>] [--max-inflight <n>] [--cache-entries <n>] [--timeout-ms <n>] [--faults <list>]";
+const CLIENT_USAGE: &str = "usage: oasys client --socket <path> <spec-file> <tech-file> [--timeout-ms <n>]\n       oasys client --socket <path> --ping|--shutdown";
 
 fn main() -> ExitCode {
     if let Err(e) = oasys_faults::init_from_env() {
@@ -73,6 +88,14 @@ fn main() -> ExitCode {
             Some("batch") => {
                 args.next();
                 run_batch(args)
+            }
+            Some("serve") => {
+                args.next();
+                run_serve(args).map(|()| ExitCode::SUCCESS)
+            }
+            Some("client") => {
+                args.next();
+                run_client(args)
             }
             _ => run_synth(args).map(|()| ExitCode::SUCCESS),
         }
@@ -640,6 +663,241 @@ fn run_batch(args: impl Iterator<Item = String>) -> Result<ExitCode, String> {
     })
 }
 
+/// Parsed arguments of the `serve` mode.
+#[derive(Debug, PartialEq, Eq)]
+struct ServeCliOptions {
+    socket: String,
+    workers: Option<usize>,
+    max_inflight: Option<usize>,
+    cache_entries: Option<usize>,
+    timeout_ms: Option<u64>,
+    faults: Option<String>,
+}
+
+impl ServeCliOptions {
+    fn parse(mut args: impl Iterator<Item = String>) -> Result<Self, String> {
+        let mut socket = None;
+        let mut opts = ServeCliOptions {
+            socket: String::new(),
+            workers: None,
+            max_inflight: None,
+            cache_entries: None,
+            timeout_ms: None,
+            faults: None,
+        };
+        while let Some(flag) = args.next() {
+            match flag.as_str() {
+                "--socket" => {
+                    socket = Some(args.next().ok_or("--socket needs a path")?);
+                }
+                "--workers" => {
+                    let value = args.next().ok_or("--workers needs a count")?;
+                    opts.workers = Some(
+                        value
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&n| n > 0)
+                            .ok_or_else(|| {
+                                format!("--workers needs a positive integer, got `{value}`")
+                            })?,
+                    );
+                }
+                "--max-inflight" => {
+                    let value = args.next().ok_or("--max-inflight needs a count")?;
+                    opts.max_inflight = Some(
+                        value
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&n| n > 0)
+                            .ok_or_else(|| {
+                                format!("--max-inflight needs a positive integer, got `{value}`")
+                            })?,
+                    );
+                }
+                "--cache-entries" => {
+                    let value = args.next().ok_or("--cache-entries needs a count")?;
+                    opts.cache_entries = Some(
+                        value
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&n| n > 0)
+                            .ok_or_else(|| {
+                                format!("--cache-entries needs a positive integer, got `{value}`")
+                            })?,
+                    );
+                }
+                "--timeout-ms" => {
+                    let value = args
+                        .next()
+                        .ok_or("--timeout-ms needs a value (0 disables)")?;
+                    opts.timeout_ms =
+                        Some(value.parse::<u64>().map_err(|_| {
+                            format!("--timeout-ms needs an integer, got `{value}`")
+                        })?);
+                }
+                "--faults" => {
+                    opts.faults = Some(args.next().ok_or("--faults needs a site=spec list")?);
+                }
+                other => return Err(format!("unknown flag `{other}`\n{SERVE_USAGE}")),
+            }
+        }
+        opts.socket = socket.ok_or_else(|| format!("--socket is required\n{SERVE_USAGE}"))?;
+        Ok(opts)
+    }
+
+    /// Resolves the library-level server options.
+    fn serve_options(&self) -> oasys::serve::ServeOptions {
+        let mut options = oasys::serve::ServeOptions::new(&self.socket);
+        if let Some(workers) = self.workers {
+            options = options.with_workers(workers);
+        }
+        if let Some(max_inflight) = self.max_inflight {
+            options = options.with_max_inflight(max_inflight);
+        }
+        if let Some(entries) = self.cache_entries {
+            options = options.with_cache_entries(entries);
+        }
+        if let Some(ms) = self.timeout_ms {
+            options = options.with_timeout(if ms == 0 {
+                None
+            } else {
+                Some(std::time::Duration::from_millis(ms))
+            });
+        }
+        options
+    }
+}
+
+/// `oasys serve`: a resident synthesis server on a Unix socket.
+fn run_serve(args: impl Iterator<Item = String>) -> Result<(), String> {
+    let opts = ServeCliOptions::parse(args)?;
+    apply_faults(opts.faults.as_deref())?;
+    oasys::serve::install_sigterm_drain();
+    let server = oasys::serve::Server::bind(opts.serve_options())
+        .map_err(|e| format!("{}: {e}", opts.socket))?;
+    eprintln!(
+        "serve: listening on {} ({} workers, {} in-flight max)",
+        opts.socket,
+        server.options().workers(),
+        server.options().max_inflight()
+    );
+    let report = server.run().map_err(|e| format!("{}: {e}", opts.socket))?;
+    eprintln!(
+        "serve: drained — {} served, {} busy-rejected, cache {} hits / {} misses / {} evictions",
+        report.served,
+        report.rejected_busy,
+        report.cache_hits,
+        report.cache_misses,
+        report.cache_evictions
+    );
+    Ok(())
+}
+
+/// Parsed arguments of the `client` mode.
+#[derive(Debug, PartialEq, Eq)]
+struct ClientCliOptions {
+    socket: String,
+    spec_path: Option<String>,
+    tech_path: Option<String>,
+    timeout_ms: Option<u64>,
+    ping: bool,
+    shutdown: bool,
+}
+
+impl ClientCliOptions {
+    fn parse(mut args: impl Iterator<Item = String>) -> Result<Self, String> {
+        let mut socket = None;
+        let mut positional = Vec::new();
+        let mut opts = ClientCliOptions {
+            socket: String::new(),
+            spec_path: None,
+            tech_path: None,
+            timeout_ms: None,
+            ping: false,
+            shutdown: false,
+        };
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--socket" => {
+                    socket = Some(args.next().ok_or("--socket needs a path")?);
+                }
+                "--timeout-ms" => {
+                    let value = args.next().ok_or("--timeout-ms needs a value")?;
+                    opts.timeout_ms =
+                        Some(value.parse::<u64>().map_err(|_| {
+                            format!("--timeout-ms needs an integer, got `{value}`")
+                        })?);
+                }
+                "--ping" => opts.ping = true,
+                "--shutdown" => opts.shutdown = true,
+                other if other.starts_with("--") => {
+                    return Err(format!("unknown flag `{other}`\n{CLIENT_USAGE}"));
+                }
+                _ => positional.push(arg),
+            }
+        }
+        opts.socket = socket.ok_or_else(|| format!("--socket is required\n{CLIENT_USAGE}"))?;
+        if opts.ping || opts.shutdown {
+            if opts.ping && opts.shutdown {
+                return Err(format!(
+                    "--ping and --shutdown are exclusive\n{CLIENT_USAGE}"
+                ));
+            }
+            if !positional.is_empty() {
+                return Err(format!(
+                    "--ping/--shutdown take no spec or tech files\n{CLIENT_USAGE}"
+                ));
+            }
+            return Ok(opts);
+        }
+        let mut positional = positional.into_iter();
+        opts.spec_path = Some(positional.next().ok_or(CLIENT_USAGE)?);
+        opts.tech_path = Some(positional.next().ok_or(CLIENT_USAGE)?);
+        if let Some(extra) = positional.next() {
+            return Err(format!("unexpected argument `{extra}`\n{CLIENT_USAGE}"));
+        }
+        Ok(opts)
+    }
+}
+
+/// `oasys client`: send one request to a running server and print the
+/// JSON response. Exits nonzero unless the server answered `ok`.
+fn run_client(args: impl Iterator<Item = String>) -> Result<ExitCode, String> {
+    let opts = ClientCliOptions::parse(args)?;
+    let body = if opts.ping {
+        oasys::serve::op_request("ping")
+    } else if opts.shutdown {
+        oasys::serve::op_request("shutdown")
+    } else {
+        let (spec_path, tech_path) = match (&opts.spec_path, &opts.tech_path) {
+            (Some(spec), Some(tech)) => (spec, tech),
+            _ => return Err(CLIENT_USAGE.to_string()),
+        };
+        let spec_text =
+            std::fs::read_to_string(spec_path).map_err(|e| format!("{spec_path}: {e}"))?;
+        let tech_text =
+            std::fs::read_to_string(tech_path).map_err(|e| format!("{tech_path}: {e}"))?;
+        oasys::serve::synth_request(&spec_text, &tech_text, opts.timeout_ms)
+    };
+    let socket = std::path::Path::new(&opts.socket);
+    let response =
+        oasys::serve::request(socket, &body).map_err(|e| format!("{}: {e}", opts.socket))?;
+    println!("{response}");
+    let ok = oasys_telemetry::json::parse(&response)
+        .ok()
+        .and_then(|json| {
+            json.get("status")
+                .and_then(oasys_telemetry::json::Json::as_str)
+                .map(|status| status == "ok")
+        })
+        .unwrap_or(false);
+    Ok(if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
 /// An injected error at a file-IO fault site, when one is configured —
 /// these sites simulate unreadable inputs without touching the disk.
 fn injected_io_fault(site: &str) -> Option<String> {
@@ -966,5 +1224,131 @@ mod tests {
         assert_eq!(options.timeout(), None);
         assert_eq!(options.retries(), 5);
         assert!(!options.verify());
+    }
+
+    #[test]
+    fn serve_defaults_require_only_the_socket() {
+        let opts = ServeCliOptions::parse(argv(&["--socket", "/tmp/oasys.sock"])).unwrap();
+        assert_eq!(opts.socket, "/tmp/oasys.sock");
+        assert_eq!(opts.workers, None);
+        assert_eq!(opts.max_inflight, None);
+        assert_eq!(opts.cache_entries, None);
+        assert_eq!(opts.timeout_ms, None);
+        let options = opts.serve_options();
+        assert_eq!(options.workers(), oasys::serve::DEFAULT_WORKERS);
+        assert_eq!(options.max_inflight(), oasys::serve::DEFAULT_MAX_INFLIGHT);
+        assert_eq!(options.cache_entries(), batch::DEFAULT_CACHE_ENTRIES);
+        assert_eq!(options.timeout(), None);
+    }
+
+    #[test]
+    fn serve_missing_socket_shows_usage() {
+        let err = ServeCliOptions::parse(argv(&["--workers", "2"])).unwrap_err();
+        assert!(err.contains("--socket is required"), "{err}");
+        assert!(err.contains("usage:"), "{err}");
+        let err = ServeCliOptions::parse(argv(&["--socket"])).unwrap_err();
+        assert!(err.contains("--socket needs a path"), "{err}");
+    }
+
+    #[test]
+    fn serve_all_flags_parse_and_resolve() {
+        let opts = ServeCliOptions::parse(argv(&[
+            "--socket",
+            "srv.sock",
+            "--workers",
+            "3",
+            "--max-inflight",
+            "5",
+            "--cache-entries",
+            "128",
+            "--timeout-ms",
+            "2500",
+        ]))
+        .unwrap();
+        assert_eq!(opts.workers, Some(3));
+        assert_eq!(opts.max_inflight, Some(5));
+        assert_eq!(opts.cache_entries, Some(128));
+        assert_eq!(opts.timeout_ms, Some(2500));
+        let options = opts.serve_options();
+        assert_eq!(options.workers(), 3);
+        assert_eq!(options.max_inflight(), 5);
+        assert_eq!(options.cache_entries(), 128);
+        assert_eq!(
+            options.timeout(),
+            Some(std::time::Duration::from_millis(2500))
+        );
+    }
+
+    #[test]
+    fn serve_timeout_zero_disables_the_default_deadline() {
+        let opts =
+            ServeCliOptions::parse(argv(&["--socket", "s.sock", "--timeout-ms", "0"])).unwrap();
+        assert_eq!(opts.timeout_ms, Some(0));
+        assert_eq!(opts.serve_options().timeout(), None);
+    }
+
+    #[test]
+    fn serve_rejects_bad_numbers_and_unknown_flags() {
+        let err = ServeCliOptions::parse(argv(&["--socket", "s", "--workers", "0"])).unwrap_err();
+        assert!(err.contains("--workers needs a positive integer"), "{err}");
+        let err =
+            ServeCliOptions::parse(argv(&["--socket", "s", "--max-inflight", "lots"])).unwrap_err();
+        assert!(
+            err.contains("--max-inflight needs a positive integer"),
+            "{err}"
+        );
+        let err =
+            ServeCliOptions::parse(argv(&["--socket", "s", "--cache-entries", "0"])).unwrap_err();
+        assert!(
+            err.contains("--cache-entries needs a positive integer"),
+            "{err}"
+        );
+        let err =
+            ServeCliOptions::parse(argv(&["--socket", "s", "--timeout-ms", "soon"])).unwrap_err();
+        assert!(err.contains("--timeout-ms needs an integer"), "{err}");
+        let err = ServeCliOptions::parse(argv(&["--socket", "s", "--bogus"])).unwrap_err();
+        assert!(err.contains("unknown flag `--bogus`"), "{err}");
+        assert!(err.contains("usage:"), "{err}");
+    }
+
+    #[test]
+    fn client_synth_form_parses() {
+        let opts = ClientCliOptions::parse(argv(&[
+            "--socket",
+            "s.sock",
+            "spec.txt",
+            "tech.txt",
+            "--timeout-ms",
+            "900",
+        ]))
+        .unwrap();
+        assert_eq!(opts.spec_path.as_deref(), Some("spec.txt"));
+        assert_eq!(opts.tech_path.as_deref(), Some("tech.txt"));
+        assert_eq!(opts.timeout_ms, Some(900));
+        assert!(!opts.ping && !opts.shutdown);
+    }
+
+    #[test]
+    fn client_ping_and_shutdown_forms() {
+        let opts = ClientCliOptions::parse(argv(&["--socket", "s", "--ping"])).unwrap();
+        assert!(opts.ping);
+        let opts = ClientCliOptions::parse(argv(&["--socket", "s", "--shutdown"])).unwrap();
+        assert!(opts.shutdown);
+        let err =
+            ClientCliOptions::parse(argv(&["--socket", "s", "--ping", "--shutdown"])).unwrap_err();
+        assert!(err.contains("exclusive"), "{err}");
+        let err =
+            ClientCliOptions::parse(argv(&["--socket", "s", "--ping", "spec.txt"])).unwrap_err();
+        assert!(err.contains("take no spec"), "{err}");
+    }
+
+    #[test]
+    fn client_missing_files_shows_usage() {
+        let err = ClientCliOptions::parse(argv(&["--socket", "s", "spec.txt"])).unwrap_err();
+        assert!(err.contains("usage:"), "{err}");
+        let err = ClientCliOptions::parse(argv(&["spec.txt", "tech.txt"])).unwrap_err();
+        assert!(err.contains("--socket is required"), "{err}");
+        let err = ClientCliOptions::parse(argv(&["--socket", "s", "a", "b", "c"])).unwrap_err();
+        assert!(err.contains("unexpected argument `c`"), "{err}");
     }
 }

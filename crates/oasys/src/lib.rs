@@ -54,6 +54,7 @@ pub mod comparator;
 pub mod datasheet;
 pub mod fully_differential;
 pub mod hierarchy;
+pub mod serve;
 pub mod spec;
 pub mod specfile;
 pub mod styles;

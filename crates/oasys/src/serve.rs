@@ -1,0 +1,677 @@
+//! `oasys serve`: synthesis-as-a-service over a Unix domain socket.
+//!
+//! A resident server turns the one-shot CLI into a long-lived synthesis
+//! daemon: the process keeps its warm, bounded, fingerprint-namespaced
+//! [`MemoCache`] across requests, so a client asking for a spec the
+//! server has (partly) designed before gets sub-block hits immediately.
+//!
+//! # Wire protocol
+//!
+//! Transport framing is deliberately minimal: every message — request
+//! or response — is one **frame**, a big-endian `u32` byte length
+//! followed by that many bytes of UTF-8 JSON. Frames above
+//! [`MAX_FRAME_BYTES`] are rejected at the transport layer. Each
+//! connection carries exactly one request and one response; the server
+//! closes the stream after answering.
+//!
+//! Requests are versioned JSON objects (schema `oasys-serve/1`):
+//!
+//! ```json
+//! {"proto": "oasys-serve/1", "op": "synth",
+//!  "spec": "<spec file text>", "tech": "<tech file text>",
+//!  "timeout_ms": 2000}
+//! ```
+//!
+//! Ops: `synth` (design the spec on the tech), `ping` (liveness probe),
+//! `shutdown` (request a graceful drain). Unknown protos and ops are
+//! rejected with a structured error so the schema can grow.
+//!
+//! Responses are JSON objects keyed by `status`:
+//!
+//! * `{"status":"ok", "style":…, "area_um2":…, "netlist":…}` — a
+//!   synthesized design with its SPICE deck;
+//! * `{"status":"busy", "max_inflight":N}` — admission control turned
+//!   the connection away before reading the request; retry later;
+//! * `{"status":"error", "kind":…, "message":…}` — the request failed
+//!   **alone**; kinds: `protocol`, `spec`, `tech`, `infeasible`,
+//!   `deadline`, `panic`, `fault`.
+//!
+//! # Concurrency and drain
+//!
+//! The server owns a **dedicated** [`oasys_pool::Pool`] (never the
+//! process-global one, whose worker count may be zero — handler jobs
+//! must not be able to starve the accept loop). Each admitted
+//! connection becomes one pool job; admission is a bounded in-flight
+//! counter checked before the request is read, so overload produces an
+//! immediate `busy` frame instead of an unbounded queue. The accept
+//! loop is non-blocking and polls a shutdown flag (set by the
+//! `shutdown` op, [`Server::shutdown_flag`], or SIGTERM via
+//! [`install_sigterm_drain`]); on shutdown it stops accepting and the
+//! surrounding pool scope joins every in-flight handler before
+//! [`Server::run`] returns — that join **is** the graceful drain.
+//!
+//! Every handler runs under `catch_unwind`: a panicking request (or an
+//! injected `serve.request.read` fault) is converted into a structured
+//! error response on its own connection while the server keeps serving.
+
+use crate::synth::synthesize_with_cache;
+use crate::SearchOptions;
+use oasys_faults::{fail_point, Deadline};
+use oasys_plan::MemoCache;
+use oasys_telemetry::json::{self, Json};
+use oasys_telemetry::Telemetry;
+use std::io::{self, Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Protocol identifier every request must carry.
+pub const PROTOCOL: &str = "oasys-serve/1";
+/// Hard ceiling on a single frame's payload, requests and responses
+/// alike. Spec and tech files are a few KiB; this is pure headroom.
+pub const MAX_FRAME_BYTES: u32 = 16 * 1024 * 1024;
+/// Default handler-pool size.
+pub const DEFAULT_WORKERS: usize = 2;
+/// Default admission bound: connections admitted concurrently before
+/// the server answers `busy`.
+pub const DEFAULT_MAX_INFLIGHT: usize = 8;
+/// How often the accept loop re-checks the shutdown flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// Configuration for [`Server::bind`].
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    socket: PathBuf,
+    workers: usize,
+    max_inflight: usize,
+    cache_entries: usize,
+    timeout: Option<Duration>,
+}
+
+impl ServeOptions {
+    /// Options serving on `socket` with default pool size, admission
+    /// bound, cache capacity, and no default per-request deadline.
+    pub fn new(socket: impl Into<PathBuf>) -> Self {
+        Self {
+            socket: socket.into(),
+            workers: DEFAULT_WORKERS,
+            max_inflight: DEFAULT_MAX_INFLIGHT,
+            cache_entries: crate::batch::DEFAULT_CACHE_ENTRIES,
+            timeout: None,
+        }
+    }
+
+    /// Sets the handler-pool size (clamped to at least 1).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the admission bound (clamped to at least 1).
+    #[must_use]
+    pub fn with_max_inflight(mut self, max_inflight: usize) -> Self {
+        self.max_inflight = max_inflight.max(1);
+        self
+    }
+
+    /// Sets the shared design-cache capacity (clamped to at least 1).
+    #[must_use]
+    pub fn with_cache_entries(mut self, entries: usize) -> Self {
+        self.cache_entries = entries.max(1);
+        self
+    }
+
+    /// Sets the default per-request deadline; `None` means requests
+    /// without a `timeout_ms` field run unbounded.
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// The socket path served on.
+    #[must_use]
+    pub fn socket(&self) -> &Path {
+        &self.socket
+    }
+
+    /// Handler-pool size.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Admission bound.
+    #[must_use]
+    pub fn max_inflight(&self) -> usize {
+        self.max_inflight
+    }
+
+    /// Shared design-cache capacity.
+    #[must_use]
+    pub fn cache_entries(&self) -> usize {
+        self.cache_entries
+    }
+
+    /// Default per-request deadline.
+    #[must_use]
+    pub fn timeout(&self) -> Option<Duration> {
+        self.timeout
+    }
+}
+
+/// End-of-run accounting returned by [`Server::run`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServeReport {
+    /// Requests admitted and answered (ok or structured error).
+    pub served: u64,
+    /// Connections turned away by admission control.
+    pub rejected_busy: u64,
+    /// Design-cache hits accumulated over the server's lifetime.
+    pub cache_hits: u64,
+    /// Design-cache misses accumulated over the server's lifetime.
+    pub cache_misses: u64,
+    /// Design-cache evictions accumulated over the server's lifetime.
+    pub cache_evictions: u64,
+}
+
+/// A bound, not-yet-running synthesis server.
+pub struct Server {
+    listener: UnixListener,
+    options: ServeOptions,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds the Unix socket (replacing a stale socket file from a
+    /// previous run, if any) without accepting yet.
+    pub fn bind(options: ServeOptions) -> io::Result<Self> {
+        if options.socket.exists() {
+            std::fs::remove_file(&options.socket)?;
+        }
+        let listener = UnixListener::bind(&options.socket)?;
+        listener.set_nonblocking(true)?;
+        Ok(Self {
+            listener,
+            options,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// A flag that, once set, makes [`Server::run`] stop accepting and
+    /// drain. Clone it before calling `run` to stop the server from
+    /// another thread (tests, embedding).
+    #[must_use]
+    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// The options the server was bound with.
+    #[must_use]
+    pub fn options(&self) -> &ServeOptions {
+        &self.options
+    }
+
+    /// Accepts and serves requests until the shutdown flag (or a
+    /// SIGTERM routed through [`install_sigterm_drain`]) is raised,
+    /// then drains in-flight handlers and removes the socket file.
+    pub fn run(self) -> io::Result<ServeReport> {
+        let cache = Arc::new(MemoCache::bounded(self.options.cache_entries));
+        let inflight = Arc::new(AtomicUsize::new(0));
+        let served = Arc::new(AtomicU64::new(0));
+        let rejected = Arc::new(AtomicU64::new(0));
+        let pool = oasys_pool::Pool::new(self.options.workers);
+        let shutdown = &self.shutdown;
+
+        pool.scope(|scope| {
+            while !shutdown.load(Ordering::SeqCst) && !sigterm_pending() {
+                let stream = match self.listener.accept() {
+                    Ok((stream, _addr)) => stream,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(ACCEPT_POLL);
+                        continue;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    // Accept errors are connection-scoped (e.g. the
+                    // peer hung up mid-handshake); keep serving.
+                    Err(_) => continue,
+                };
+                if inflight.load(Ordering::SeqCst) >= self.options.max_inflight {
+                    rejected.fetch_add(1, Ordering::Relaxed);
+                    let mut stream = stream;
+                    let _ = write_frame(&mut stream, busy_response(self.options.max_inflight));
+                    continue;
+                }
+                inflight.fetch_add(1, Ordering::SeqCst);
+                let ctx = RequestContext {
+                    cache: Arc::clone(&cache),
+                    default_timeout: self.options.timeout,
+                    shutdown: Arc::clone(shutdown),
+                    inflight: Arc::clone(&inflight),
+                    served: Arc::clone(&served),
+                };
+                // The handle is dropped, not joined: the scope's exit
+                // barrier joins every handler, which is exactly the
+                // graceful drain. Handlers catch their own panics, so
+                // no payload can surface at scope exit.
+                drop(scope.spawn(move || handle_connection(stream, &ctx)));
+            }
+            // Falling out of the loop stops accepting; the scope now
+            // waits for in-flight handlers before `run` returns.
+        });
+
+        let _ = std::fs::remove_file(&self.options.socket);
+        Ok(ServeReport {
+            served: served.load(Ordering::SeqCst),
+            rejected_busy: rejected.load(Ordering::SeqCst),
+            cache_hits: cache.hits(),
+            cache_misses: cache.misses(),
+            cache_evictions: cache.evictions(),
+        })
+    }
+}
+
+/// Everything a handler job needs, owned so the job is `'static`-free
+/// of the accept loop's locals except through `Arc`s.
+struct RequestContext {
+    cache: Arc<MemoCache>,
+    default_timeout: Option<Duration>,
+    shutdown: Arc<AtomicBool>,
+    inflight: Arc<AtomicUsize>,
+    served: Arc<AtomicU64>,
+}
+
+/// Decrements the in-flight gauge when the handler exits, normally or
+/// by panic.
+struct InflightGuard<'a>(&'a AtomicUsize);
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn handle_connection(mut stream: UnixStream, ctx: &RequestContext) {
+    let _guard = InflightGuard(&ctx.inflight);
+    let outcome = catch_unwind(AssertUnwindSafe(|| process_request(&mut stream, ctx)));
+    let response = match outcome {
+        Ok(response) => response,
+        Err(payload) => error_response("panic", &panic_message(payload.as_ref())),
+    };
+    ctx.served.fetch_add(1, Ordering::Relaxed);
+    let _ = write_frame(&mut stream, response);
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+/// A request that could not be served, mapped to a structured error
+/// response. `kind` is part of the wire contract (see module docs).
+struct Rejection {
+    kind: &'static str,
+    message: String,
+}
+
+impl Rejection {
+    fn new(kind: &'static str, message: impl Into<String>) -> Self {
+        Self {
+            kind,
+            message: message.into(),
+        }
+    }
+}
+
+fn process_request(stream: &mut UnixStream, ctx: &RequestContext) -> String {
+    match serve_one(stream, ctx) {
+        Ok(response) => response,
+        Err(rejection) => error_response(rejection.kind, &rejection.message),
+    }
+}
+
+fn serve_one(stream: &mut UnixStream, ctx: &RequestContext) -> Result<String, Rejection> {
+    let payload = read_request(stream)?;
+    let text = std::str::from_utf8(&payload)
+        .map_err(|_| Rejection::new("protocol", "request frame is not UTF-8"))?;
+    let request =
+        json::parse(text).map_err(|e| Rejection::new("protocol", format!("bad JSON: {e}")))?;
+    match field(&request, "proto")? {
+        PROTOCOL => {}
+        other => {
+            return Err(Rejection::new(
+                "protocol",
+                format!("unsupported proto {other:?} (expected {PROTOCOL:?})"),
+            ))
+        }
+    }
+    match field(&request, "op")? {
+        "ping" => Ok(ok_ping_response()),
+        "shutdown" => {
+            ctx.shutdown.store(true, Ordering::SeqCst);
+            Ok(ok_draining_response())
+        }
+        "synth" => synth(&request, ctx),
+        other => Err(Rejection::new("protocol", format!("unknown op {other:?}"))),
+    }
+}
+
+/// Reads the request frame. The `serve.request.read` fail point sits
+/// here so the chaos suite can panic, stall, or fail exactly one
+/// request's ingress without touching the accept loop.
+fn read_request(stream: &mut UnixStream) -> Result<Vec<u8>, Rejection> {
+    fail_point!("serve.request.read", |msg: String| Rejection::new(
+        "fault", msg
+    ));
+    read_frame(stream).map_err(|e| Rejection::new("protocol", format!("reading request: {e}")))
+}
+
+fn field<'a>(request: &'a Json, key: &str) -> Result<&'a str, Rejection> {
+    request
+        .get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| Rejection::new("protocol", format!("missing string field {key:?}")))
+}
+
+fn synth(request: &Json, ctx: &RequestContext) -> Result<String, Rejection> {
+    let spec_text = field(request, "spec")?;
+    let tech_text = field(request, "tech")?;
+    let spec =
+        crate::specfile::parse(spec_text).map_err(|e| Rejection::new("spec", e.to_string()))?;
+    let process = oasys_process::techfile::parse(tech_text)
+        .map_err(|e| Rejection::new("tech", e.to_string()))?;
+
+    let timeout = match request.get("timeout_ms").and_then(Json::as_num) {
+        Some(ms) if ms >= 0.0 => Some(Duration::from_millis(ms as u64)),
+        Some(_) => return Err(Rejection::new("protocol", "timeout_ms must be >= 0")),
+        None => ctx.default_timeout,
+    };
+    let deadline = match timeout {
+        Some(budget) => Deadline::within(budget),
+        None => Deadline::none(),
+    };
+    let search = SearchOptions::default()
+        .with_deadline(deadline.clone())
+        .with_cache_namespace(format!("{:016x}", crate::batch::fingerprint("", tech_text)));
+
+    // The server answers from synthesis alone; clients wanting the
+    // simulator's cross-check run `oasys` or the batch sweep, which
+    // verify by default.
+    match synthesize_with_cache(&spec, &process, &search, &Telemetry::disabled(), &ctx.cache) {
+        Ok(synthesis) => {
+            let design = synthesis.selected();
+            let netlist = oasys_netlist::spice::to_spice(design.circuit(), &process);
+            Ok(ok_synth_response(
+                &design.style().to_string(),
+                design.area().total_um2(),
+                &netlist,
+            ))
+        }
+        Err(e) => {
+            if deadline.check().is_err() {
+                return Err(Rejection::new(
+                    "deadline",
+                    format!("synthesis aborted by deadline: {e}"),
+                ));
+            }
+            Err(Rejection::new("infeasible", e.to_string()))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+fn ok_synth_response(style: &str, area_um2: f64, netlist: &str) -> String {
+    format!(
+        "{{\"status\":\"ok\",\"style\":{},\"area_um2\":{},\"netlist\":{}}}",
+        json::string(style),
+        json::number(area_um2),
+        json::string(netlist)
+    )
+}
+
+fn ok_ping_response() -> String {
+    format!("{{\"status\":\"ok\",\"proto\":{}}}", json::string(PROTOCOL))
+}
+
+fn ok_draining_response() -> String {
+    "{\"status\":\"ok\",\"draining\":true}".to_owned()
+}
+
+fn busy_response(max_inflight: usize) -> String {
+    // usize -> f64 is exact for any realistic admission bound.
+    format!(
+        "{{\"status\":\"busy\",\"max_inflight\":{}}}",
+        json::number(max_inflight as f64)
+    )
+}
+
+fn error_response(kind: &str, message: &str) -> String {
+    format!(
+        "{{\"status\":\"error\",\"kind\":{},\"message\":{}}}",
+        json::string(kind),
+        json::string(message)
+    )
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("request handler panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("request handler panicked: {s}")
+    } else {
+        "request handler panicked".to_owned()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+/// Writes one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: impl AsRef<[u8]>) -> io::Result<()> {
+    let payload = payload.as_ref();
+    let len = u32::try_from(payload.len())
+        .ok()
+        .filter(|len| *len <= MAX_FRAME_BYTES)
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "frame of {} bytes exceeds the {MAX_FRAME_BYTES}-byte cap",
+                    payload.len()
+                ),
+            )
+        })?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
+    let mut header = [0u8; 4];
+    r.read_exact(&mut header)?;
+    let len = u32::from_be_bytes(header);
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+// ---------------------------------------------------------------------------
+// Client helpers (used by `oasys client`, the smoke test, and tests)
+// ---------------------------------------------------------------------------
+
+/// Builds a versioned `synth` request body.
+#[must_use]
+pub fn synth_request(spec_text: &str, tech_text: &str, timeout_ms: Option<u64>) -> String {
+    let timeout = match timeout_ms {
+        // u64 -> f64 is fine here: millisecond budgets are small.
+        Some(ms) => format!(",\"timeout_ms\":{}", json::number(ms as f64)),
+        None => String::new(),
+    };
+    format!(
+        "{{\"proto\":{},\"op\":\"synth\",\"spec\":{},\"tech\":{}{timeout}}}",
+        json::string(PROTOCOL),
+        json::string(spec_text),
+        json::string(tech_text)
+    )
+}
+
+/// Builds a versioned single-op request body (`ping`, `shutdown`).
+#[must_use]
+pub fn op_request(op: &str) -> String {
+    format!(
+        "{{\"proto\":{},\"op\":{}}}",
+        json::string(PROTOCOL),
+        json::string(op)
+    )
+}
+
+/// Connects to `socket`, sends one request frame, and returns the
+/// response payload as text.
+pub fn request(socket: &Path, body: &str) -> io::Result<String> {
+    let mut stream = UnixStream::connect(socket)?;
+    write_frame(&mut stream, body)?;
+    let response = read_frame(&mut stream)?;
+    String::from_utf8(response)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "response frame is not UTF-8"))
+}
+
+// ---------------------------------------------------------------------------
+// SIGTERM → graceful drain
+// ---------------------------------------------------------------------------
+
+static SIGTERM_PENDING: AtomicBool = AtomicBool::new(false);
+
+fn sigterm_pending() -> bool {
+    SIGTERM_PENDING.load(Ordering::SeqCst)
+}
+
+#[cfg(unix)]
+extern "C" fn on_sigterm(_signum: i32) {
+    // Only an atomic store: async-signal-safe.
+    SIGTERM_PENDING.store(true, Ordering::SeqCst);
+}
+
+/// Routes SIGTERM to a graceful drain of every [`Server::run`] loop in
+/// this process. Called by the `oasys serve` CLI; embedders who manage
+/// their own signals can skip it and use [`Server::shutdown_flag`].
+#[cfg(unix)]
+pub fn install_sigterm_drain() {
+    // Hand-declared to stay dependency-free; `signal(2)` with a
+    // function pointer is portable across the Unix targets we build.
+    const SIGTERM: i32 = 15;
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    unsafe {
+        signal(SIGTERM, on_sigterm as *const () as usize);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buffer = Vec::new();
+        write_frame(&mut buffer, "hello frames").unwrap();
+        assert_eq!(&buffer[..4], &12u32.to_be_bytes());
+        let mut cursor = io::Cursor::new(buffer);
+        assert_eq!(read_frame(&mut cursor).unwrap(), b"hello frames");
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_on_read() {
+        let mut buffer = Vec::from((MAX_FRAME_BYTES + 1).to_be_bytes());
+        buffer.extend_from_slice(b"ignored");
+        let mut cursor = io::Cursor::new(buffer);
+        let err = read_frame(&mut cursor).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn request_builders_emit_valid_versioned_json() {
+        let body = synth_request("spec \"text\"", "tech\nlines", Some(250));
+        let parsed = json::parse(&body).unwrap();
+        assert_eq!(parsed.get("proto").and_then(Json::as_str), Some(PROTOCOL));
+        assert_eq!(parsed.get("op").and_then(Json::as_str), Some("synth"));
+        assert_eq!(
+            parsed.get("spec").and_then(Json::as_str),
+            Some("spec \"text\"")
+        );
+        assert_eq!(parsed.get("timeout_ms").and_then(Json::as_num), Some(250.0));
+
+        let ping = json::parse(&op_request("ping")).unwrap();
+        assert_eq!(ping.get("op").and_then(Json::as_str), Some("ping"));
+    }
+
+    #[test]
+    fn responses_are_parseable_json() {
+        let ok = json::parse(&ok_synth_response("two_stage", 1234.5, "* deck\n.END\n")).unwrap();
+        assert_eq!(ok.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(ok.get("area_um2").and_then(Json::as_num), Some(1234.5));
+
+        let busy = json::parse(&busy_response(8)).unwrap();
+        assert_eq!(busy.get("status").and_then(Json::as_str), Some("busy"));
+
+        let error = json::parse(&error_response("deadline", "ran \"out\"\nof time")).unwrap();
+        assert_eq!(error.get("kind").and_then(Json::as_str), Some("deadline"));
+        assert_eq!(
+            error.get("message").and_then(Json::as_str),
+            Some("ran \"out\"\nof time")
+        );
+    }
+
+    #[test]
+    fn server_answers_ping_synth_and_shutdown_and_drains() {
+        let dir = std::env::temp_dir().join(format!("oasys-serve-unit-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let socket = dir.join("unit.sock");
+        let server = Server::bind(
+            ServeOptions::new(&socket)
+                .with_workers(1)
+                .with_max_inflight(2)
+                .with_cache_entries(64),
+        )
+        .unwrap();
+        let runner = std::thread::spawn(move || server.run().unwrap());
+
+        let pong = request(&socket, &op_request("ping")).unwrap();
+        let pong = json::parse(&pong).unwrap();
+        assert_eq!(pong.get("status").and_then(Json::as_str), Some("ok"));
+
+        let spec_text = "dc_gain_db = 60\nunity_gain_mhz = 0.5\nphase_margin_deg = 45\n\
+                         load_pf = 5\nslew_rate_v_per_us = 2\n";
+        let tech_text = oasys_process::techfile::write(&oasys_process::builtin::cmos_5um());
+        let answer = request(&socket, &synth_request(spec_text, &tech_text, None)).unwrap();
+        let answer = json::parse(&answer).unwrap();
+        assert_eq!(answer.get("status").and_then(Json::as_str), Some("ok"));
+        let netlist = answer.get("netlist").and_then(Json::as_str).unwrap();
+        assert!(netlist.contains(".END"), "netlist should be a SPICE deck");
+
+        let bad = request(&socket, "{\"proto\":\"oasys-serve/1\",\"op\":\"launch\"}").unwrap();
+        let bad = json::parse(&bad).unwrap();
+        assert_eq!(bad.get("status").and_then(Json::as_str), Some("error"));
+        assert_eq!(bad.get("kind").and_then(Json::as_str), Some("protocol"));
+
+        let drain = request(&socket, &op_request("shutdown")).unwrap();
+        let drain = json::parse(&drain).unwrap();
+        assert_eq!(drain.get("draining").and_then(Json::as_bool), Some(true));
+
+        let report = runner.join().unwrap();
+        assert!(report.served >= 4);
+        assert!(!socket.exists(), "drain must remove the socket file");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -322,10 +322,12 @@ pub fn synthesize_with_options(
 /// [`synthesize_with_options`] with a caller-supplied [`MemoCache`].
 ///
 /// The cache memoizes sub-block designs and **assumes a fixed process**:
-/// share one cache across runs only when every run uses the same
-/// `process` (the batch layer keeps one cache per technology for exactly
-/// this reason). Runs over different specs may share freely — cache keys
-/// cover the sub-block specification bit-exactly.
+/// share one cache across runs either when every run uses the same
+/// `process`, or by namespacing each process's keys with
+/// [`SearchOptions::with_cache_namespace`] (the batch layer and `oasys
+/// serve` share one bounded LRU across technologies exactly that way).
+/// Runs over different specs may share freely — cache keys cover the
+/// sub-block specification bit-exactly.
 ///
 /// # Errors
 ///

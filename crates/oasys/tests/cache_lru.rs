@@ -1,0 +1,116 @@
+//! The shared bounded-LRU design cache must be a pure accelerator:
+//! cross-request hits on identical sub-specs, strict isolation between
+//! technology namespaces, and — above all — zero influence on results.
+
+use oasys::spec::test_cases;
+use oasys::{synthesize_with_cache, synthesize_with_options, OpAmpSpec, SearchOptions};
+use oasys_netlist::spice;
+use oasys_plan::MemoCache;
+use oasys_process::{builtin, techfile, Process};
+use oasys_telemetry::Telemetry;
+
+/// The namespace the batch layer and `oasys serve` use: the technology
+/// text's fingerprint.
+fn tech_namespace(process: &Process) -> String {
+    format!(
+        "{:016x}",
+        oasys::batch::fingerprint("", &techfile::write(process))
+    )
+}
+
+fn deck(spec: &OpAmpSpec, process: &Process, cache: &MemoCache) -> String {
+    let search = SearchOptions::new().with_cache_namespace(tech_namespace(process));
+    let synthesis =
+        synthesize_with_cache(spec, process, &search, &Telemetry::disabled(), cache).unwrap();
+    spice::to_spice(synthesis.selected().circuit(), process)
+}
+
+#[test]
+fn identical_requests_hit_the_shared_cache() {
+    let process = builtin::cmos_5um();
+    let cache = MemoCache::bounded(512);
+    let spec = test_cases::spec_a();
+
+    let first = deck(&spec, &process, &cache);
+    let warm_hits = cache.hits();
+    let second = deck(&spec, &process, &cache);
+
+    assert_eq!(first, second, "a cache hit must reproduce the cold result");
+    assert!(
+        cache.hits() > warm_hits,
+        "the second identical request must be served partly from cache \
+         (hits {} -> {})",
+        warm_hits,
+        cache.hits()
+    );
+}
+
+#[test]
+fn different_technologies_never_share_entries() {
+    let cache = MemoCache::bounded(512);
+    let spec = test_cases::spec_a();
+    let five = builtin::cmos_5um();
+    let three = builtin::cmos_3um();
+
+    let deck_5um_cold = deck(&spec, &five, &cache);
+    // Same spec on another process: every key lives under a different
+    // namespace, so nothing from the 5 µm run may be served.
+    let deck_3um = deck(&spec, &three, &cache);
+    assert_ne!(deck_5um_cold, deck_3um, "distinct kits size differently");
+
+    // And the 5 µm entries are still there, untouched by the 3 µm run.
+    let deck_5um_warm = deck(&spec, &five, &cache);
+    assert_eq!(deck_5um_cold, deck_5um_warm);
+}
+
+#[test]
+fn results_identical_with_cache_on_off_and_under_eviction_pressure() {
+    let process = builtin::cmos_5um();
+    for spec in [
+        test_cases::spec_a(),
+        test_cases::spec_b(),
+        test_cases::spec_c(),
+    ] {
+        // Cache off: a fresh per-run cache, the plain API's behavior.
+        let baseline = {
+            let synthesis = synthesize_with_options(
+                &spec,
+                &process,
+                &SearchOptions::new(),
+                &Telemetry::disabled(),
+            )
+            .unwrap();
+            spice::to_spice(synthesis.selected().circuit(), &process)
+        };
+
+        // Cache on, shared and warm across repeated requests.
+        let shared = MemoCache::bounded(512);
+        let warm1 = deck(&spec, &process, &shared);
+        let warm2 = deck(&spec, &process, &shared);
+
+        // A pathologically small cache: constant eviction churn. The
+        // answer must not move even when most lookups miss.
+        let tiny = MemoCache::bounded(2);
+        let churned = deck(&spec, &process, &tiny);
+
+        assert_eq!(baseline, warm1, "{spec}: cache on/off must agree");
+        assert_eq!(baseline, warm2, "{spec}: warm hits must agree");
+        assert_eq!(
+            baseline, churned,
+            "{spec}: evictions must not change results"
+        );
+    }
+}
+
+#[test]
+fn tiny_cache_reports_evictions() {
+    let process = builtin::cmos_5um();
+    let tiny = MemoCache::bounded(2);
+    let _ = deck(&test_cases::spec_a(), &process, &tiny);
+    assert!(tiny.len() <= 2, "capacity bound must hold");
+    // Case A restarts plans enough to cache more than two designs.
+    assert!(
+        tiny.evictions() > 0,
+        "a 2-entry cache under a full synthesis must evict"
+    );
+}

@@ -1,0 +1,147 @@
+//! Chaos suite for `oasys serve`: injected faults at the
+//! `serve.request.read` site and deadline-tripping delays inside
+//! synthesis must fail **one request alone** — a structured error
+//! response on that connection — while the server keeps serving.
+//!
+//! The fault registry is process-global, so every test holds
+//! `FAULT_LOCK` and clears the registry on exit via [`FaultGuard`].
+
+use oasys::serve::{op_request, request, synth_request, ServeOptions, Server};
+use oasys_faults::FaultSpec;
+use oasys_telemetry::json::{self, Json};
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+/// Serializes fault-plane tests and guarantees a clean registry on exit.
+struct FaultGuard(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+impl FaultGuard {
+    fn acquire() -> Self {
+        let guard = FAULT_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        oasys_faults::clear();
+        Self(guard)
+    }
+}
+
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        oasys_faults::clear();
+    }
+}
+
+fn socket_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("oasys-serve-chaos-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{}-{name}.sock", std::process::id()))
+}
+
+/// Starts a one-worker server; the returned thread joins on `shutdown`.
+fn start_server(socket: &PathBuf) -> JoinHandle<oasys::serve::ServeReport> {
+    let server = Server::bind(
+        ServeOptions::new(socket)
+            .with_workers(1)
+            .with_max_inflight(2)
+            .with_cache_entries(64),
+    )
+    .unwrap();
+    std::thread::spawn(move || server.run().unwrap())
+}
+
+fn ask(socket: &PathBuf, body: &str) -> Json {
+    let response = request(socket, body).unwrap();
+    json::parse(&response).unwrap()
+}
+
+fn status(response: &Json) -> (&str, Option<&str>) {
+    (
+        response.get("status").and_then(Json::as_str).unwrap(),
+        response.get("kind").and_then(Json::as_str),
+    )
+}
+
+fn spec_text() -> String {
+    std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../data/spec-a.txt"
+    ))
+    .unwrap()
+}
+
+fn tech_text() -> String {
+    oasys_process::techfile::write(&oasys_process::builtin::cmos_5um())
+}
+
+#[test]
+fn panicking_request_fails_alone_and_the_server_keeps_serving() {
+    let _faults = FaultGuard::acquire();
+    let socket = socket_path("panic");
+    let server = start_server(&socket);
+
+    // First request panics inside the handler's read path…
+    oasys_faults::set("serve.request.read", FaultSpec::Panic);
+    let hit = ask(&socket, &op_request("ping"));
+    assert_eq!(status(&hit), ("error", Some("panic")));
+
+    // …and the accept loop never noticed: the next requests — a ping
+    // and a full synthesis — are served normally.
+    oasys_faults::remove("serve.request.read");
+    let pong = ask(&socket, &op_request("ping"));
+    assert_eq!(status(&pong).0, "ok");
+    let answer = ask(&socket, &synth_request(&spec_text(), &tech_text(), None));
+    assert_eq!(
+        status(&answer).0,
+        "ok",
+        "synthesis after a panic: {answer:?}"
+    );
+
+    let drain = ask(&socket, &op_request("shutdown"));
+    assert_eq!(status(&drain).0, "ok");
+    let report = server.join().unwrap();
+    assert!(report.served >= 4);
+}
+
+#[test]
+fn injected_read_fault_yields_a_structured_fault_response_once() {
+    let _faults = FaultGuard::acquire();
+    let socket = socket_path("failonce");
+    let server = start_server(&socket);
+
+    // FailOnce: exactly one request's ingress errors; later hits pass.
+    oasys_faults::set("serve.request.read", FaultSpec::FailOnce);
+    let hit = ask(&socket, &op_request("ping"));
+    assert_eq!(status(&hit), ("error", Some("fault")));
+    let pong = ask(&socket, &op_request("ping"));
+    assert_eq!(status(&pong).0, "ok");
+
+    let drain = ask(&socket, &op_request("shutdown"));
+    assert_eq!(status(&drain).0, "ok");
+    server.join().unwrap();
+}
+
+#[test]
+fn deadline_exceeded_request_gets_a_structured_deadline_error() {
+    let _faults = FaultGuard::acquire();
+    let socket = socket_path("deadline");
+    let server = start_server(&socket);
+
+    // Every style attempt stalls long past the request's 1 ms budget,
+    // so the cooperative deadline aborts the search mid-request.
+    oasys_faults::set("engine.style", FaultSpec::Delay(150));
+    let slow = ask(&socket, &synth_request(&spec_text(), &tech_text(), Some(1)));
+    assert_eq!(status(&slow), ("error", Some("deadline")), "{slow:?}");
+
+    // The worker survives the abort: with the stall removed the same
+    // request synthesizes fine.
+    oasys_faults::remove("engine.style");
+    let answer = ask(&socket, &synth_request(&spec_text(), &tech_text(), None));
+    assert_eq!(status(&answer).0, "ok", "{answer:?}");
+
+    let drain = ask(&socket, &op_request("shutdown"));
+    assert_eq!(status(&drain).0, "ok");
+    server.join().unwrap();
+}

@@ -17,7 +17,8 @@
 //! that re-derive an unchanged sub-block reuse the earlier design.
 //!
 //! [`design_candidates`] is the breadth-first search itself, optionally
-//! fanned out across `std::thread::scope` workers. Determinism contract:
+//! fanned out across the persistent [`oasys_pool::Pool`] workers (no
+//! per-sweep thread spawns). Determinism contract:
 //! results are produced (and worker telemetry absorbed) in style
 //! declaration order, ties in the area comparison break by style name,
 //! and cache keys are scoped per candidate style — so the winner, the
@@ -447,12 +448,16 @@ impl<'a> DesignContext<'a> {
                 span.annotate_sym(syms.cache, syms.hit);
                 return Ok(hit);
             }
+            self.tel.incr_sym(syms.cache_misses);
         }
         let result = f();
         match &result {
             Ok(value) => {
                 if let (Some(cache), Some(full)) = (self.cache, full_key) {
-                    cache.put(full, value.clone());
+                    let evicted = cache.put(full, value.clone());
+                    for _ in 0..evicted {
+                        self.tel.incr_sym(syms.cache_evictions);
+                    }
                 }
                 span.annotate_sym(syms.outcome, syms.designed);
             }
@@ -462,47 +467,115 @@ impl<'a> DesignContext<'a> {
     }
 }
 
-/// A memoization cache for sub-block designs, shared across the style
-/// workers of one synthesis run (the process is fixed per run, so keys
-/// only need to cover the sub-spec).
+/// A memoization cache for sub-block designs — shared across the style
+/// workers of one synthesis run, or (bounded) across many runs in a
+/// batch sweep or a resident server.
 ///
 /// Entries are type-erased; [`MemoCache::get`] returns a clone only when
 /// both the key and the concrete type match.
-#[derive(Default)]
+///
+/// [`MemoCache::new`] is unbounded, for single-run caches whose size is
+/// naturally limited by one synthesis. [`MemoCache::bounded`] caps the
+/// entry count and evicts the least-recently-used entry on overflow, so
+/// a long-lived process-wide cache (the batch runner, `oasys serve`)
+/// cannot grow without limit. Hit/miss/eviction totals are kept as
+/// cheap relaxed counters; the engine mirrors them into the telemetry
+/// metrics snapshot (`engine.cache_hits` / `engine.cache_misses` /
+/// `engine.cache_evictions`).
+///
+/// Cache keys assume a fixed fabrication process. To share one cache
+/// across technologies, namespace the keys per process fingerprint —
+/// see [`SearchOptions::with_cache_namespace`].
 pub struct MemoCache {
-    entries: Mutex<HashMap<String, Arc<dyn Any + Send + Sync>>>,
+    entries: Mutex<LruEntries>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+    capacity: usize,
+}
+
+/// The LRU bookkeeping behind the lock: entries stamped with a logical
+/// clock bumped on every touch. Eviction scans for the smallest stamp —
+/// O(n), which is fine at the capacities in play (hundreds to a few
+/// thousand entries) and keeps the hit path allocation-free.
+#[derive(Default)]
+struct LruEntries {
+    map: HashMap<String, LruEntry>,
+    tick: u64,
+}
+
+struct LruEntry {
+    value: Arc<dyn Any + Send + Sync>,
+    last_used: u64,
+}
+
+impl Default for MemoCache {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl fmt::Debug for MemoCache {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("MemoCache")
             .field("entries", &self.len())
+            .field("capacity", &self.capacity)
             .field("hits", &self.hits())
             .field("misses", &self.misses())
+            .field("evictions", &self.evictions())
             .finish()
     }
 }
 
 impl MemoCache {
-    /// An empty cache.
+    /// An empty, unbounded cache (the right shape for one run).
     #[must_use]
     pub fn new() -> Self {
-        Self::default()
+        Self::bounded(usize::MAX)
     }
 
-    /// Looks up a cached design, cloning it out on a hit.
+    /// An empty cache holding at most `capacity` entries (at least one);
+    /// inserting past the cap evicts the least-recently-used entry.
+    #[must_use]
+    pub fn bounded(capacity: usize) -> Self {
+        Self {
+            entries: Mutex::new(LruEntries::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The maximum entry count ([`usize::MAX`] when unbounded).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Looks up a cached design, cloning it out (and marking the entry
+    /// most-recently-used) on a hit.
     #[must_use]
     pub fn get<T: Clone + Send + Sync + 'static>(&self, key: &str) -> Option<T> {
-        let entries = self
+        let mut entries = self
             .entries
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        match entries.get(key).and_then(|e| e.downcast_ref::<T>()) {
-            Some(value) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(value.clone())
+        entries.tick += 1;
+        let tick = entries.tick;
+        match entries.map.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = tick;
+                match entry.value.downcast_ref::<T>() {
+                    Some(value) => {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        Some(value.clone())
+                    }
+                    None => {
+                        self.misses.fetch_add(1, Ordering::Relaxed);
+                        None
+                    }
+                }
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -511,12 +584,42 @@ impl MemoCache {
         }
     }
 
-    /// Stores a design under `key`, replacing any earlier entry.
-    pub fn put<T: Send + Sync + 'static>(&self, key: String, value: T) {
-        self.entries
+    /// Stores a design under `key`, replacing any earlier entry, and
+    /// returns how many entries were evicted to stay under capacity
+    /// (0 or 1; replacement is not an eviction).
+    pub fn put<T: Send + Sync + 'static>(&self, key: String, value: T) -> usize {
+        let mut entries = self
+            .entries
             .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .insert(key, Arc::new(value));
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        entries.tick += 1;
+        let tick = entries.tick;
+        entries.map.insert(
+            key,
+            LruEntry {
+                value: Arc::new(value),
+                last_used: tick,
+            },
+        );
+        let mut evicted = 0;
+        while entries.map.len() > self.capacity {
+            let oldest = entries
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone());
+            match oldest {
+                Some(k) => {
+                    entries.map.remove(&k);
+                    evicted += 1;
+                }
+                None => break,
+            }
+        }
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted as u64, Ordering::Relaxed);
+        }
+        evicted
     }
 
     /// Lookups that found a matching entry.
@@ -531,12 +634,19 @@ impl MemoCache {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Entries evicted to stay under the capacity bound.
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
     /// Number of cached designs.
     #[must_use]
     pub fn len(&self) -> usize {
         self.entries
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .map
             .len()
     }
 
@@ -592,6 +702,7 @@ pub struct SearchOptions {
     threads: Option<usize>,
     deadline: Deadline,
     skip_static_check: bool,
+    cache_namespace: Option<String>,
 }
 
 impl SearchOptions {
@@ -664,6 +775,24 @@ impl SearchOptions {
     pub fn deadline(&self) -> &Deadline {
         &self.deadline
     }
+
+    /// Prefixes every cache key of this sweep with `namespace`. Cache
+    /// keys cover the sub-block specification but assume a fixed
+    /// fabrication process; a sweep sharing one [`MemoCache`] across
+    /// processes (the batch runner, a resident server) must namespace
+    /// each process's keys — conventionally with the technology text's
+    /// fingerprint — so entries can never leak between technologies.
+    #[must_use]
+    pub fn with_cache_namespace(mut self, namespace: impl Into<String>) -> Self {
+        self.cache_namespace = Some(namespace.into());
+        self
+    }
+
+    /// The cache-key namespace, if any.
+    #[must_use]
+    pub fn cache_namespace(&self) -> Option<&str> {
+        self.cache_namespace.as_deref()
+    }
 }
 
 /// Pre-interned symbols for the engine's fixed annotation keys/values
@@ -679,6 +808,8 @@ struct EngineSyms {
     rejected: Sym,
     pruned: Sym,
     cache_hits: Sym,
+    cache_misses: Sym,
+    cache_evictions: Sym,
     pruned_counter: Sym,
     area_um2: Sym,
 }
@@ -695,6 +826,8 @@ fn engine_syms() -> &'static EngineSyms {
         rejected: sym("rejected"),
         pruned: sym("pruned"),
         cache_hits: sym("engine.cache_hits"),
+        cache_misses: sym("engine.cache_misses"),
+        cache_evictions: sym("engine.cache_evictions"),
         pruned_counter: sym("engine.pruned"),
         area_um2: sym("area_um2"),
     })
@@ -729,15 +862,22 @@ fn attempt<D: BlockDesigner>(
     style: &str,
     tel: &Telemetry,
     cache: &MemoCache,
-    deadline: &Deadline,
+    opts: &SearchOptions,
 ) -> Result<D::Output, D::Error> {
     fail_point!("engine.style");
     let syms = engine_syms();
     let span = tel.span_display("style:", &style);
+    // The cache scope is the style name, optionally under the sweep's
+    // namespace (a technology fingerprint when one bounded cache is
+    // shared across processes).
+    let scope = match opts.cache_namespace() {
+        Some(ns) => format!("{ns}/{style}"),
+        None => style.to_owned(),
+    };
     let ctx = DesignContext::new(tel)
         .with_cache(cache)
-        .with_scope(style)
-        .with_deadline(deadline.clone());
+        .with_scope(scope)
+        .with_deadline(opts.deadline().clone());
     let result = designer.design_style(spec, style, &ctx);
     match &result {
         Ok(output) => {
@@ -776,8 +916,10 @@ type IndexedResult<O, E> = (usize, String, Result<O, E>);
 /// Runs the breadth-first candidate sweep for one block level,
 /// returning every attempted style's result in declaration order.
 ///
-/// With more than one worker thread the candidates run concurrently
-/// under [`std::thread::scope`]; each worker records into a
+/// With more than one worker thread the candidates run concurrently on
+/// the process-wide persistent [`oasys_pool::Pool`] (a scoped, helping
+/// join keeps stack borrows sound and single-core hosts spawn-free);
+/// each worker records into a
 /// [`Telemetry`] forked from `tel` (same epoch, or frozen under a
 /// manual clock), and the recordings are absorbed back in declaration
 /// order — so the report is identical to a sequential sweep's up to
@@ -849,7 +991,7 @@ where
 
     if threads == 1 {
         for (idx, style) in runnable {
-            let result = attempt(designer, spec, &style, tel, cache, opts.deadline());
+            let result = attempt(designer, spec, &style, tel, cache, opts);
             outcomes.push((idx, style, result));
         }
         outcomes.sort_by_key(|(idx, _, _)| *idx);
@@ -869,8 +1011,8 @@ where
     // Round-robin the candidates over the workers; each worker records
     // into its own forked Telemetry so the parent handle (which is not
     // Sync) never crosses a thread boundary. The calling thread runs
-    // the first chunk itself, so a sweep with N workers pays for only
-    // N-1 thread spawns.
+    // the first chunk itself, so a sweep with N workers queues only
+    // N-1 pool jobs — and spawns no threads at all.
     let mut chunks: Vec<Vec<Queued>> = (0..threads).map(|_| Vec::new()).collect();
     for (pos, (idx, style)) in runnable.iter().enumerate() {
         chunks[pos % threads].push((*idx, style.clone(), tel.fork_seed()));
@@ -881,29 +1023,40 @@ where
             .into_iter()
             .map(|(idx, style, seed)| {
                 let wtel = TelemetrySeed::build_optional(seed);
-                let result = attempt(designer, spec, &style, &wtel, cache, opts.deadline());
+                let result = attempt(designer, spec, &style, &wtel, cache, opts);
                 (idx, result, wtel.into_recording())
             })
             .collect::<Vec<_>>()
     };
 
     let mut finished: Vec<Finished<D::Output, D::Error>> = Vec::with_capacity(runnable.len());
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|chunk| scope.spawn(|| run_chunk(chunk)))
-            .collect();
+    let pool = oasys_pool::Pool::global();
+    if pool.workers() == 0 {
+        // Zero-worker pool (single-core host): every job would run
+        // inline through the helping join anyway, so skip the queue
+        // and run the chunks right here. The fork/absorb telemetry
+        // structure is identical, only the job boxing is gone.
         finished.extend(run_chunk(local_chunk));
-        for handle in handles {
-            match handle.join() {
-                Ok(batch) => finished.extend(batch),
-                // A worker panic (e.g. an injected `engine.style` fault)
-                // propagates with its original payload so the caller's
-                // catch_unwind sees what the worker saw.
-                Err(payload) => std::panic::resume_unwind(payload),
-            }
+        for chunk in chunks {
+            finished.extend(run_chunk(chunk));
         }
-    });
+    } else {
+        pool.scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| scope.spawn(|| run_chunk(chunk)))
+                .collect();
+            finished.extend(run_chunk(local_chunk));
+            // A helping join: chunks still queued run inline right here,
+            // so the sweep completes even when every persistent worker
+            // is busy elsewhere. A worker panic (e.g. an injected
+            // `engine.style` fault) re-raises with its original payload
+            // so the caller's catch_unwind sees what the worker saw.
+            for handle in handles {
+                finished.extend(handle.join());
+            }
+        });
+    }
 
     // Absorb worker recordings in declaration order: span/event layout
     // (and therefore every export) matches the sequential sweep.
@@ -1468,5 +1621,78 @@ mod tests {
         let mut reg = DesignerRegistry::new();
         reg.register(DesignerDescriptor::new("mirror", ["simple"]));
         reg.register(DesignerDescriptor::new("mirror", ["cascode"]));
+    }
+
+    #[test]
+    fn bounded_cache_evicts_least_recently_used() {
+        let cache = MemoCache::bounded(2);
+        assert_eq!(cache.capacity(), 2);
+        assert_eq!(cache.put("a".to_owned(), 1u32), 0);
+        assert_eq!(cache.put("b".to_owned(), 2u32), 0);
+        // Touch `a`, making `b` the least recently used entry.
+        assert_eq!(cache.get::<u32>("a"), Some(1));
+        assert_eq!(cache.put("c".to_owned(), 3u32), 1);
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get::<u32>("b"), None, "b was the LRU entry");
+        assert_eq!(cache.get::<u32>("a"), Some(1));
+        assert_eq!(cache.get::<u32>("c"), Some(3));
+    }
+
+    #[test]
+    fn bounded_cache_eviction_order_follows_recency_chain() {
+        let cache = MemoCache::bounded(3);
+        for (k, v) in [("a", 1u32), ("b", 2), ("c", 3)] {
+            cache.put(k.to_owned(), v);
+        }
+        // Recency now c > b > a; touch a and b so c becomes LRU.
+        assert_eq!(cache.get::<u32>("a"), Some(1));
+        assert_eq!(cache.get::<u32>("b"), Some(2));
+        cache.put("d".to_owned(), 4u32);
+        assert_eq!(cache.get::<u32>("c"), None, "c was the LRU entry");
+        cache.put("e".to_owned(), 5u32);
+        assert_eq!(cache.get::<u32>("a"), None, "then a");
+        assert_eq!(cache.evictions(), 2);
+    }
+
+    #[test]
+    fn replacing_an_entry_is_not_an_eviction() {
+        let cache = MemoCache::bounded(1);
+        cache.put("k".to_owned(), 1u32);
+        assert_eq!(cache.put("k".to_owned(), 2u32), 0);
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.get::<u32>("k"), Some(2));
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let cache = MemoCache::new();
+        for i in 0..1000 {
+            cache.put(format!("k{i}"), i);
+        }
+        assert_eq!(cache.len(), 1000);
+        assert_eq!(cache.evictions(), 0);
+    }
+
+    #[test]
+    fn cache_namespace_isolates_identical_specs() {
+        let tel = Telemetry::disabled();
+        let cache = MemoCache::new();
+        let mut calls = 0;
+        for ns in ["tech-a", "tech-b"] {
+            let ctx = DesignContext::new(&tel)
+                .with_cache(&cache)
+                .with_scope(format!("{ns}/style"));
+            let key = CacheKey::new().num("r", 1.0);
+            let _: Result<u32, ()> = ctx.design_child("leaf", Some(key), || {
+                calls += 1;
+                Ok(7)
+            });
+        }
+        assert_eq!(
+            calls, 2,
+            "the same sub-spec under different namespaces must not share an entry"
+        );
+        assert_eq!(cache.len(), 2);
     }
 }

@@ -15,6 +15,7 @@ fn main() -> ExitCode {
         Some("lint-examples") => lint_examples(),
         Some("analyze") => analyze(),
         Some("smoke") => smoke(),
+        Some("smoke-serve") => smoke_serve(),
         Some("docs") => docs(),
         Some("bench-schema") => bench_schema(),
         Some("panics") => panics(),
@@ -34,7 +35,12 @@ fn main() -> ExitCode {
                  smoke          only the end-to-end runs: synthesize the example spec\n                 \
                  with --trace-out and validate the emitted trace files,\n                 \
                  then run the bundled batch manifest and validate the\n                 \
-                 records, resume behaviour, and aggregate determinism\n  \
+                 records, resume behaviour, and aggregate determinism,\n                 \
+                 then the serve leg (see smoke-serve)\n  \
+                 smoke-serve    only the serve leg: start `oasys serve` on a temp\n                 \
+                 socket, submit spec-a over the wire, validate the JSON\n                 \
+                 response, then prove graceful drain with a request\n                 \
+                 still in flight\n  \
                  docs           only the docs gate: rustdoc with -D warnings + doc-tests\n  \
                  bench-schema   only the committed BENCH_synthesis.json schema gate\n  \
                  panics         only the panic-freedom gate: no unwrap/expect in\n                 \
@@ -436,7 +442,209 @@ fn smoke_batch() -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!("xtask smoke: batch records, resume skip-set, and aggregate determinism ok");
+    smoke_serve()
+}
+
+/// Serve smoke gate, exercised through the real CLI binary twice over:
+///
+/// 1. **Request/response leg** — start `oasys serve` on a temp Unix
+///    socket, `--ping` it, submit the bundled spec-a × 5 µm pair, and
+///    validate the JSON response (status `ok`, a style, a positive
+///    area, a SPICE deck), then shut down cleanly.
+/// 2. **Drain leg** — start a server whose request ingress stalls via
+///    an injected `serve.request.read` delay, put a synthesis request
+///    in flight, and send `shutdown` while it is still stalled. The
+///    server must answer the in-flight request completely before
+///    exiting zero and removing its socket — graceful drain, observed
+///    from outside the process.
+fn smoke_serve() -> ExitCode {
+    let spec = "data/spec-a.txt";
+    let tech = "data/generic-5um.tech";
+    if !std::path::Path::new(spec).is_file() {
+        eprintln!("xtask: {spec} not found (run from the workspace root)");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::create_dir_all("target/smoke") {
+        eprintln!("xtask: cannot create target/smoke: {e}");
+        return ExitCode::FAILURE;
+    }
+    // One explicit build so the client invocations below can use the
+    // binary directly — `cargo run` per request would race rebuilds.
+    if !run(
+        "cargo",
+        &["build", "--release", "-q", "-p", "oasys", "--bin", "oasys"],
+    ) {
+        return ExitCode::FAILURE;
+    }
+    let bin = "target/release/oasys";
+
+    // Leg 1: request/response against a clean server.
+    let socket = "target/smoke/serve.sock";
+    let mut server = match spawn_server(bin, socket, &[]) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("xtask smoke-serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let leg = (|| -> Result<(), String> {
+        let ping = client_json(bin, &["client", "--socket", socket, "--ping"])?;
+        if ping.get("status").and_then(|j| j.as_str()) != Some("ok") {
+            return Err(format!("ping did not answer ok: {ping:?}"));
+        }
+        let answer = client_json(bin, &["client", "--socket", socket, spec, tech])?;
+        if answer.get("status").and_then(|j| j.as_str()) != Some("ok") {
+            return Err(format!("synth request did not answer ok: {answer:?}"));
+        }
+        if answer
+            .get("style")
+            .and_then(|j| j.as_str())
+            .is_none_or(str::is_empty)
+        {
+            return Err("synth response is missing a style".to_string());
+        }
+        if answer
+            .get("area_um2")
+            .and_then(|j| j.as_num())
+            .is_none_or(|area| area <= 0.0)
+        {
+            return Err("synth response is missing a positive area_um2".to_string());
+        }
+        let netlist = answer
+            .get("netlist")
+            .and_then(|j| j.as_str())
+            .unwrap_or_default();
+        if !netlist.contains(".END") {
+            return Err("synth response netlist is not a SPICE deck".to_string());
+        }
+        let drain = client_json(bin, &["client", "--socket", socket, "--shutdown"])?;
+        if drain.get("draining").and_then(|j| j.as_bool()) != Some(true) {
+            return Err(format!("shutdown did not acknowledge draining: {drain:?}"));
+        }
+        wait_for_exit(&mut server, socket)
+    })();
+    if let Err(e) = leg {
+        eprintln!("xtask smoke-serve: {e}");
+        let _ = server.kill();
+        return ExitCode::FAILURE;
+    }
+    println!("xtask smoke-serve: ping + synth + shutdown round trip ok");
+
+    // Leg 2: graceful drain with a request still in flight. Every
+    // request's ingress stalls 400 ms, so the shutdown lands while the
+    // synthesis request is mid-read.
+    let socket = "target/smoke/serve-drain.sock";
+    let mut server = match spawn_server(bin, socket, &["--faults", "serve.request.read=delay(400)"])
+    {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("xtask smoke-serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let inflight = {
+        let bin = bin.to_string();
+        let socket = socket.to_string();
+        let spec = spec.to_string();
+        let tech = tech.to_string();
+        std::thread::spawn(move || {
+            client_json(&bin, &["client", "--socket", &socket, &spec, &tech])
+        })
+    };
+    std::thread::sleep(std::time::Duration::from_millis(120));
+    let leg = (|| -> Result<(), String> {
+        let drain = client_json(bin, &["client", "--socket", socket, "--shutdown"])?;
+        if drain.get("draining").and_then(|j| j.as_bool()) != Some(true) {
+            return Err(format!("shutdown did not acknowledge draining: {drain:?}"));
+        }
+        wait_for_exit(&mut server, socket)?;
+        let answer = inflight
+            .join()
+            .map_err(|_| "in-flight client thread panicked".to_string())??;
+        if answer.get("status").and_then(|j| j.as_str()) != Some("ok") {
+            return Err(format!(
+                "in-flight request was not drained to completion: {answer:?}"
+            ));
+        }
+        Ok(())
+    })();
+    if let Err(e) = leg {
+        eprintln!("xtask smoke-serve: {e}");
+        let _ = server.kill();
+        return ExitCode::FAILURE;
+    }
+    println!("xtask smoke-serve: graceful drain completed the in-flight request");
     ExitCode::SUCCESS
+}
+
+/// Starts `oasys serve` on `socket` and waits for the socket file.
+fn spawn_server(bin: &str, socket: &str, extra: &[&str]) -> Result<std::process::Child, String> {
+    let _ = std::fs::remove_file(socket);
+    let mut args = vec![
+        "serve",
+        "--socket",
+        socket,
+        "--workers",
+        "2",
+        "--max-inflight",
+        "4",
+    ];
+    args.extend_from_slice(extra);
+    println!("$ {bin} {}", args.join(" "));
+    let mut server = Command::new(bin)
+        .args(&args)
+        .spawn()
+        .map_err(|e| format!("failed to spawn {bin}: {e}"))?;
+    for _ in 0..200 {
+        if std::path::Path::new(socket).exists() {
+            return Ok(server);
+        }
+        if let Ok(Some(status)) = server.try_wait() {
+            return Err(format!("server exited early with {status}"));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    let _ = server.kill();
+    Err(format!("server never bound {socket}"))
+}
+
+/// Runs one `oasys client` invocation and parses its stdout as JSON.
+fn client_json(bin: &str, args: &[&str]) -> Result<oasys_telemetry::json::Json, String> {
+    println!("$ {bin} {}", args.join(" "));
+    let output = Command::new(bin)
+        .args(args)
+        .output()
+        .map_err(|e| format!("failed to spawn {bin}: {e}"))?;
+    if !output.status.success() {
+        return Err(format!(
+            "`{bin} {}` failed:\n{}{}",
+            args.join(" "),
+            String::from_utf8_lossy(&output.stdout),
+            String::from_utf8_lossy(&output.stderr)
+        ));
+    }
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    oasys_telemetry::json::parse(stdout.trim())
+        .map_err(|e| format!("client response is not JSON: {e}\n{stdout}"))
+}
+
+/// Waits for a draining server to exit zero and remove its socket.
+fn wait_for_exit(server: &mut std::process::Child, socket: &str) -> Result<(), String> {
+    for _ in 0..600 {
+        match server.try_wait() {
+            Ok(Some(status)) if status.success() => {
+                if std::path::Path::new(socket).exists() {
+                    return Err(format!("server exited but left {socket} behind"));
+                }
+                return Ok(());
+            }
+            Ok(Some(status)) => return Err(format!("server exited with {status}")),
+            Ok(None) => std::thread::sleep(std::time::Duration::from_millis(50)),
+            Err(e) => return Err(format!("waiting for server: {e}")),
+        }
+    }
+    let _ = server.kill();
+    Err("server did not drain within 30 s".to_string())
 }
 
 /// Docs gate: `cargo doc --no-deps` must be warning-free and every
