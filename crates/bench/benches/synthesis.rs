@@ -137,6 +137,43 @@ fn main() {
         oasys_faults::clear();
     }
 
+    // Dataset shard throughput: a 12-point sampled sweep (6 spec draws
+    // × slow/typ corners) generated end-to-end — plan expansion, batch
+    // execution, record rendering, and the per-record flushed JSONL
+    // sink — into a fresh directory per iteration. The required row
+    // (summary::REQUIRED_ROWS) keeps records/s visible run over run;
+    // divide 12 by the median to reproduce the EXPERIMENTS.md figure.
+    {
+        use oasys::batch::{BatchOptions, Manifest};
+        use oasys::dataset::{self, DatasetOptions};
+        let data = concat!(env!("CARGO_MANIFEST_DIR"), "/../../data");
+        let manifest = Manifest::parse(&format!(
+            "spec = {data}/spec-a.txt\ntech = {data}/generic-5um.tech\n\
+             sample.count = 6\nsample.dc_gain_db = 55..68\ncorners = slow,typ\n"
+        ))
+        .expect("bench manifest parses");
+        let options = DatasetOptions {
+            shards: 1,
+            shard_index: 0,
+            batch: BatchOptions::default().with_verify(false),
+        };
+        let tel = Telemetry::disabled();
+        let base = std::env::temp_dir().join(format!("oasys-bench-dataset-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let mut iteration = 0u64;
+        b.bench("dataset/shard_throughput", || {
+            // A fresh directory per iteration: a published shard would
+            // short-circuit, and the bench must pay the full cost.
+            iteration += 1;
+            let dir = base.join(iteration.to_string());
+            let report = dataset::generate(black_box(&manifest), &dir, &options, &tel)
+                .expect("bench shard generates");
+            let _ = std::fs::remove_dir_all(&dir);
+            report.records
+        });
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
     let spec = test_cases::spec_a().with_dc_gain_db(80.0);
     b.bench("figure7/two_stage_80db", || {
         oasys::styles::design_two_stage(black_box(&spec), black_box(&process)).unwrap()

@@ -11,7 +11,7 @@ use oasys_telemetry::{json, RunReport};
 /// Schema identifier of the emitted document.
 pub const SCHEMA_NAME: &str = "oasys-bench";
 /// Schema version of the emitted document.
-pub const SCHEMA_VERSION: u32 = 3;
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// The untraced baseline row of the telemetry-overhead comparison.
 pub const BASELINE_ROW: &str = "synthesize/case_a";
@@ -47,14 +47,17 @@ pub const MIN_POOL_SPEEDUP_RATIO_SINGLE_CORE: f64 = 0.95;
 /// armed on an inert site so the near-zero cost of carrying
 /// `oasys-faults` in the hot paths stays visible, a sweep whose
 /// spec is pruned before any plan executes so the cost of answering
-/// "infeasible" statically stays visible, and the untraced-vs-traced
-/// pair behind the `telemetry_overhead_ratio` gate.
-pub const REQUIRED_ROWS: [&str; 7] = [
+/// "infeasible" statically stays visible, the untraced-vs-traced
+/// pair behind the `telemetry_overhead_ratio` gate, and a 12-point
+/// sampled dataset shard generated end-to-end (plan expansion, batch
+/// execution, flushed JSONL sink) so dataset throughput stays visible.
+pub const REQUIRED_ROWS: [&str; 8] = [
     "style_search/case_a_threads_1",
     "style_search/case_a_threads_max",
     "style_search/case_a_pruned",
     "batch/sweep_3x3",
     "batch/sweep_3x3_chaos",
+    "dataset/shard_throughput",
     BASELINE_ROW,
     TELEMETRY_ROW,
 ];
@@ -451,7 +454,7 @@ mod tests {
     fn validate_accepts_a_compliant_report() {
         let text = compliant_report();
         let summary = validate(&text).expect("compliant report validates");
-        assert!(summary.contains("7 bench rows"), "{summary}");
+        assert!(summary.contains("8 bench rows"), "{summary}");
         assert!(summary.contains("telemetry overhead 1.000"), "{summary}");
     }
 
@@ -532,7 +535,7 @@ mod tests {
 
     #[test]
     fn validate_rejects_schema_drift() {
-        let text = compliant_report().replace("\"version\": 3", "\"version\": 4");
+        let text = compliant_report().replace("\"version\": 4", "\"version\": 5");
         let err = validate(&text).unwrap_err();
         assert!(err.contains("version"), "{err}");
         assert!(validate("{}").is_err());

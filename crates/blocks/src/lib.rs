@@ -41,6 +41,8 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod area;
 pub mod bias;
 pub mod compensation;

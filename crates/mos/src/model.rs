@@ -200,6 +200,19 @@ impl Mosfet {
         }
     }
 
+    /// Returns a copy with per-device Monte-Carlo mismatch applied:
+    /// `delta_vth_v` shifts the zero-bias threshold *magnitude* (clamped
+    /// at zero — a mismatch draw cannot turn the device on at zero
+    /// bias), and `kprime_factor` scales the transconductance parameter
+    /// (clamped to stay positive). The nominal device is recovered with
+    /// `(0.0, 1.0)`.
+    #[must_use]
+    pub fn with_mismatch(mut self, delta_vth_v: f64, kprime_factor: f64) -> Self {
+        self.vth0 = (self.vth0 + delta_vth_v).max(0.0);
+        self.kprime *= kprime_factor.max(f64::MIN_POSITIVE);
+        self
+    }
+
     /// Channel polarity.
     #[must_use]
     pub fn polarity(&self) -> Polarity {

@@ -21,7 +21,27 @@
 //!
 //! Relative `spec`/`tech` paths resolve against the manifest file's own
 //! directory, so a manifest can ship next to its inputs.
+//!
+//! # Dataset directives
+//!
+//! `oasys dataset` reads the same manifests plus *sampling directives*
+//! (ignored by plain `oasys batch` expansion; see
+//! [`crate::dataset`] for how they expand):
+//!
+//! ```text
+//! sample.count      = 200        # random spec draws (seeded, reproducible)
+//! sample.seed       = 42         # RNG seed, default 1
+//! sample.dc_gain_db = 55..80     # uniform range for a spec field
+//! sample.load_pf    = 2..20
+//! corners           = slow,typ,fast
+//! corner.temps_c    = -40,27,85
+//! corner.supplies   = 0.9,1.0,1.1
+//! mc.samples        = 3          # Monte-Carlo instances per design point
+//! mc.avt_mv_um      = 15         # Pelgrom A_vt, mV·µm
+//! mc.akp_pct_um     = 2          # Pelgrom A_kp, %·µm
+//! ```
 
+use oasys_process::CornerSpeed;
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::time::Duration;
@@ -106,6 +126,28 @@ impl Job {
     pub fn fingerprint(&self) -> u64 {
         self.fingerprint
     }
+
+    /// Returns the job with `salt` folded into its fingerprint (via a
+    /// SplitMix64 finalizer, so nearby salts land far apart). Dataset
+    /// generation uses this to keep Monte-Carlo siblings — identical
+    /// spec/tech texts run under different mismatch seeds — from
+    /// colliding in checkpoints. A salt of zero leaves the fingerprint
+    /// untouched.
+    #[must_use]
+    pub fn with_salt(mut self, salt: u64) -> Self {
+        if salt != 0 {
+            self.fingerprint ^= mix64(salt);
+        }
+        self
+    }
+}
+
+/// SplitMix64 finalizer: mixes a word so consecutive salts decorrelate.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
 }
 
 /// FNV-1a over both inputs with a separator, so (`"ab"`, `"c"`) and
@@ -139,12 +181,81 @@ pub struct ManifestSettings {
     pub verify: Option<bool>,
 }
 
+/// The spec-file keys a `sample.<field>` range may target (the same
+/// vocabulary [`crate::specfile::parse`] accepts).
+pub const SAMPLABLE_SPEC_FIELDS: [&str; 10] = [
+    "dc_gain_db",
+    "unity_gain_mhz",
+    "phase_margin_deg",
+    "load_pf",
+    "slew_rate_v_per_us",
+    "output_swing_v",
+    "max_offset_mv",
+    "max_power_mw",
+    "min_cmrr_db",
+    "max_noise_nv_rthz",
+];
+
+/// Dataset-generation directives a manifest may carry (`sample.*`,
+/// `corners`/`corner.*`, `mc.*`). Plain batch expansion ignores them;
+/// [`crate::dataset`] expands them into the sampled job space.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sampling {
+    /// Number of random spec draws (`sample.count`); `None` means the
+    /// manifest's literal `spec` entries are used as-is.
+    pub count: Option<usize>,
+    /// RNG seed for the draws (`sample.seed`).
+    pub seed: u64,
+    /// Per-field uniform ranges, in manifest order: `(field, lo, hi)`.
+    pub ranges: Vec<(String, f64, f64)>,
+    /// Wafer speed corners to sweep (`corners`).
+    pub corners: Vec<CornerSpeed>,
+    /// Junction temperatures to sweep, °C (`corner.temps_c`).
+    pub temps_c: Vec<f64>,
+    /// Supply scale factors to sweep (`corner.supplies`).
+    pub supplies: Vec<f64>,
+    /// Monte-Carlo instances per design point (`mc.samples`).
+    pub mc_samples: usize,
+    /// Pelgrom threshold coefficient `A_vt`, mV·µm (`mc.avt_mv_um`).
+    pub mc_avt_mv_um: f64,
+    /// Pelgrom transconductance coefficient `A_kp`, %·µm
+    /// (`mc.akp_pct_um`).
+    pub mc_akp_pct_um: f64,
+}
+
+impl Default for Sampling {
+    fn default() -> Self {
+        Self {
+            count: None,
+            seed: 1,
+            ranges: Vec::new(),
+            corners: vec![CornerSpeed::Typ],
+            temps_c: vec![oasys_process::corners::NOMINAL_TEMP_C],
+            supplies: vec![1.0],
+            mc_samples: 1,
+            mc_avt_mv_um: 0.0,
+            mc_akp_pct_um: 0.0,
+        }
+    }
+}
+
+impl Sampling {
+    /// Dataset jobs per accepted specification: corners × Monte-Carlo
+    /// instances (the tech multiplier comes from the manifest's `tech`
+    /// entries).
+    #[must_use]
+    pub fn points_per_spec(&self) -> usize {
+        self.corners.len() * self.temps_c.len() * self.supplies.len() * self.mc_samples
+    }
+}
+
 /// A parsed batch manifest: the spec and tech inputs plus settings.
 #[derive(Clone, Debug, Default)]
 pub struct Manifest {
     specs: Vec<PathBuf>,
     techs: Vec<PathBuf>,
     settings: ManifestSettings,
+    sampling: Sampling,
 }
 
 /// Error raised while reading or expanding a manifest.
@@ -243,10 +354,83 @@ impl Manifest {
                         }
                     });
                 }
+                "sample.count" => {
+                    let n: usize = value.parse().ok().filter(|&n| n > 0).ok_or_else(|| {
+                        bad(format!(
+                            "`sample.count` must be a positive integer, got `{value}`"
+                        ))
+                    })?;
+                    manifest.sampling.count = Some(n);
+                }
+                "sample.seed" => {
+                    let seed: u64 = value.parse().map_err(|_| {
+                        bad(format!("`sample.seed` must be an integer, got `{value}`"))
+                    })?;
+                    manifest.sampling.seed = seed;
+                }
+                "corners" => {
+                    let mut corners = Vec::new();
+                    for token in value.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+                        let speed = CornerSpeed::from_name(token).ok_or_else(|| {
+                            bad(format!(
+                                "`corners` entries must be slow/typ/fast, got `{token}`"
+                            ))
+                        })?;
+                        if !corners.contains(&speed) {
+                            corners.push(speed);
+                        }
+                    }
+                    if corners.is_empty() {
+                        return Err(bad("`corners` needs at least one entry".to_owned()));
+                    }
+                    manifest.sampling.corners = corners;
+                }
+                "corner.temps_c" => {
+                    manifest.sampling.temps_c =
+                        parse_number_list(value, "corner.temps_c", f64::is_finite).map_err(bad)?;
+                }
+                "corner.supplies" => {
+                    manifest.sampling.supplies =
+                        parse_number_list(value, "corner.supplies", |v| v.is_finite() && v > 0.0)
+                            .map_err(bad)?;
+                }
+                "mc.samples" => {
+                    let n: usize = value.parse().ok().filter(|&n| n > 0).ok_or_else(|| {
+                        bad(format!(
+                            "`mc.samples` must be a positive integer, got `{value}`"
+                        ))
+                    })?;
+                    manifest.sampling.mc_samples = n;
+                }
+                "mc.avt_mv_um" => {
+                    manifest.sampling.mc_avt_mv_um =
+                        parse_non_negative(value, "mc.avt_mv_um").map_err(bad)?;
+                }
+                "mc.akp_pct_um" => {
+                    manifest.sampling.mc_akp_pct_um =
+                        parse_non_negative(value, "mc.akp_pct_um").map_err(bad)?;
+                }
                 other => {
+                    if let Some(field) = other.strip_prefix("sample.") {
+                        if !SAMPLABLE_SPEC_FIELDS.contains(&field) {
+                            return Err(bad(format!(
+                                "`sample.{field}` is not a spec field (expected one of {})",
+                                SAMPLABLE_SPEC_FIELDS.join(", ")
+                            )));
+                        }
+                        let (lo, hi) = parse_range(value, other).map_err(bad)?;
+                        manifest.sampling.ranges.push((field.to_owned(), lo, hi));
+                        continue;
+                    }
                     return Err(bad(format!("unknown key `{other}`")));
                 }
             }
+        }
+        if !manifest.sampling.ranges.is_empty() && manifest.sampling.count.is_none() {
+            return Err(ManifestError::Line {
+                line: text.lines().count(),
+                detail: "`sample.<field>` ranges require `sample.count`".to_owned(),
+            });
         }
         Ok(manifest)
     }
@@ -297,6 +481,13 @@ impl Manifest {
         self.settings
     }
 
+    /// The dataset-generation directives (defaults when the manifest
+    /// carries none).
+    #[must_use]
+    pub fn sampling(&self) -> &Sampling {
+        &self.sampling
+    }
+
     /// Expands the manifest into its job list: the specs × techs cross
     /// product in manifest order (specs outer, techs inner), each file
     /// read exactly once.
@@ -337,6 +528,47 @@ impl Manifest {
     }
 }
 
+/// Parses a `lo..hi` inclusive range of finite numbers with `lo <= hi`.
+fn parse_range(value: &str, key: &str) -> Result<(f64, f64), String> {
+    let parsed = value.split_once("..").and_then(|(lo, hi)| {
+        let lo: f64 = lo.trim().parse().ok()?;
+        let hi: f64 = hi.trim().parse().ok()?;
+        (lo.is_finite() && hi.is_finite() && lo <= hi).then_some((lo, hi))
+    });
+    parsed.ok_or_else(|| format!("`{key}` must be a `lo..hi` range with lo <= hi, got `{value}`"))
+}
+
+/// Parses a non-empty comma-separated list of numbers, each accepted by
+/// `valid`.
+fn parse_number_list(
+    value: &str,
+    key: &str,
+    valid: impl Fn(f64) -> bool,
+) -> Result<Vec<f64>, String> {
+    let mut out = Vec::new();
+    for token in value.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+        let v: f64 = token
+            .parse()
+            .ok()
+            .filter(|&v| valid(v))
+            .ok_or_else(|| format!("`{key}` has an invalid entry `{token}`"))?;
+        out.push(v);
+    }
+    if out.is_empty() {
+        return Err(format!("`{key}` needs at least one entry"));
+    }
+    Ok(out)
+}
+
+/// Parses a finite, non-negative number.
+fn parse_non_negative(value: &str, key: &str) -> Result<f64, String> {
+    value
+        .parse()
+        .ok()
+        .filter(|&v: &f64| v.is_finite() && v >= 0.0)
+        .ok_or_else(|| format!("`{key}` must be a non-negative number, got `{value}`"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -372,6 +604,74 @@ mod tests {
     fn empty_cross_product_is_an_error() {
         let m = Manifest::parse("spec = a.txt\n").unwrap();
         assert!(matches!(m.expand(), Err(ManifestError::Empty)));
+    }
+
+    #[test]
+    fn parses_sampling_directives() {
+        let m = Manifest::parse(
+            "spec = a.txt\ntech = p.tech\nsample.count = 100\nsample.seed = 7\n\
+             sample.dc_gain_db = 55..80\nsample.load_pf = 2..20\n\
+             corners = slow, typ, fast\ncorner.temps_c = -40, 27, 85\n\
+             corner.supplies = 0.9,1.0,1.1\nmc.samples = 3\nmc.avt_mv_um = 15\n\
+             mc.akp_pct_um = 2\n",
+        )
+        .unwrap();
+        let s = m.sampling();
+        assert_eq!(s.count, Some(100));
+        assert_eq!(s.seed, 7);
+        assert_eq!(
+            s.ranges,
+            vec![
+                ("dc_gain_db".to_owned(), 55.0, 80.0),
+                ("load_pf".to_owned(), 2.0, 20.0)
+            ]
+        );
+        assert_eq!(
+            s.corners,
+            vec![CornerSpeed::Slow, CornerSpeed::Typ, CornerSpeed::Fast]
+        );
+        assert_eq!(s.temps_c, vec![-40.0, 27.0, 85.0]);
+        assert_eq!(s.supplies, vec![0.9, 1.0, 1.1]);
+        assert_eq!(s.mc_samples, 3);
+        assert_eq!(s.points_per_spec(), 3 * 3 * 3 * 3);
+    }
+
+    #[test]
+    fn sampling_defaults_cover_the_nominal_point() {
+        let m = Manifest::parse("spec = a.txt\ntech = p.tech\n").unwrap();
+        let s = m.sampling();
+        assert_eq!(s.count, None);
+        assert_eq!(s.corners, vec![CornerSpeed::Typ]);
+        assert_eq!(s.points_per_spec(), 1);
+    }
+
+    #[test]
+    fn rejects_bad_sampling_directives() {
+        let err = Manifest::parse("sample.count = 0\n").unwrap_err();
+        assert!(err.to_string().contains("sample.count"), "{err}");
+        let err = Manifest::parse("sample.bogus_field = 1..2\n").unwrap_err();
+        assert!(err.to_string().contains("not a spec field"), "{err}");
+        let err = Manifest::parse("sample.load_pf = 20..2\n").unwrap_err();
+        assert!(err.to_string().contains("lo <= hi"), "{err}");
+        let err = Manifest::parse("corners = medium\n").unwrap_err();
+        assert!(err.to_string().contains("slow/typ/fast"), "{err}");
+        let err = Manifest::parse("corner.supplies = -1\n").unwrap_err();
+        assert!(err.to_string().contains("corner.supplies"), "{err}");
+        // A range without a count can never be drawn from.
+        let err = Manifest::parse("sample.load_pf = 2..20\n").unwrap_err();
+        assert!(err.to_string().contains("require `sample.count`"), "{err}");
+    }
+
+    #[test]
+    fn salt_perturbs_fingerprints_deterministically() {
+        let base = Job::from_texts(0, "x", "gain = 1", "p", "vdd = 5");
+        let a = base.clone().with_salt(1);
+        let b = base.clone().with_salt(1);
+        let c = base.clone().with_salt(2);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), base.fingerprint());
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        assert_eq!(base.clone().with_salt(0).fingerprint(), base.fingerprint());
     }
 
     #[test]

@@ -46,7 +46,9 @@ mod synth_runner;
 pub use checkpoint::{
     Checkpoint, CheckpointEntry, CheckpointError, CheckpointOutcome, CHECKPOINT_HEADER,
 };
-pub use manifest::{fingerprint, Job, Manifest, ManifestError, ManifestSettings};
+pub use manifest::{
+    fingerprint, Job, Manifest, ManifestError, ManifestSettings, Sampling, SAMPLABLE_SPEC_FIELDS,
+};
 pub use runner::{
     Batch, BatchCounts, BatchReport, FailureKind, JobFailure, JobRecord, JobRunner, JobStatus,
     JobSuccess, StyleEntry,

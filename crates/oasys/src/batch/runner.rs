@@ -97,6 +97,7 @@ pub struct JobSuccess {
     selected: Option<(String, f64)>,
     styles: Vec<StyleEntry>,
     meets_spec: Option<bool>,
+    detail: Option<String>,
 }
 
 impl JobSuccess {
@@ -107,6 +108,7 @@ impl JobSuccess {
             selected: Some((style.into(), area_um2)),
             styles: Vec::new(),
             meets_spec: None,
+            detail: None,
         }
     }
 
@@ -117,6 +119,7 @@ impl JobSuccess {
             selected: None,
             styles: Vec::new(),
             meets_spec: None,
+            detail: None,
         }
     }
 
@@ -132,6 +135,16 @@ impl JobSuccess {
     #[must_use]
     pub fn with_meets_spec(mut self, meets_spec: bool) -> Self {
         self.meets_spec = Some(meets_spec);
+        self
+    }
+
+    /// Attaches an opaque runner payload (a rendered JSON object) that
+    /// rides the record to the caller's sink. The batch JSONL schema
+    /// ignores it; dataset generation uses it to carry the netlist and
+    /// datasheet of the winning design into dataset records.
+    #[must_use]
+    pub fn with_detail(mut self, detail: impl Into<String>) -> Self {
+        self.detail = Some(detail.into());
         self
     }
 
@@ -292,6 +305,9 @@ pub struct JobRecord {
     pub styles: Vec<StyleEntry>,
     /// Verification verdict, when the runner measured the design.
     pub meets_spec: Option<bool>,
+    /// Opaque runner payload ([`JobSuccess::with_detail`]); not part of
+    /// the batch JSONL schema.
+    pub detail: Option<String>,
     /// Flight-recorder tail: the last telemetry records of the failing
     /// attempt, rendered as short lines. Empty for jobs that succeeded
     /// (or were skipped / abandoned before recording anything).
@@ -518,6 +534,7 @@ struct JobExecution {
     duration_ns: u64,
     styles: Vec<StyleEntry>,
     meets_spec: Option<bool>,
+    detail: Option<String>,
     retried: bool,
     /// The final attempt's raw telemetry, absorbed into the batch trace
     /// when the attempt ran to completion (panicked attempts only feed
@@ -648,6 +665,7 @@ impl Batch {
                     duration_ns: 0,
                     styles: Vec::new(),
                     meets_spec: None,
+                    detail: None,
                     flight: Vec::new(),
                 };
                 tel.incr("batch.jobs_skipped");
@@ -731,6 +749,7 @@ impl Batch {
                         duration_ns: execution.duration_ns,
                         styles: execution.styles,
                         meets_spec: execution.meets_spec,
+                        detail: execution.detail,
                         flight: execution.flight,
                     };
                     match &record.status {
@@ -814,6 +833,7 @@ fn execute_job<R: JobRunner>(
                     duration_ns,
                     styles: success.styles,
                     meets_spec: success.meets_spec,
+                    detail: success.detail,
                     retried,
                     recording,
                     flight: Vec::new(),
@@ -839,6 +859,7 @@ fn execute_job<R: JobRunner>(
                     duration_ns,
                     styles: Vec::new(),
                     meets_spec: None,
+                    detail: None,
                     retried,
                     flight: flight_tail(recording.as_ref()),
                     recording,
@@ -854,6 +875,7 @@ fn execute_job<R: JobRunner>(
                     duration_ns,
                     styles: Vec::new(),
                     meets_spec: None,
+                    detail: None,
                     retried,
                     // A panicked ring may hold unbalanced spans; mine it
                     // for the flight tail but keep it out of the batch
@@ -875,6 +897,7 @@ fn execute_job<R: JobRunner>(
                     duration_ns,
                     styles: Vec::new(),
                     meets_spec: None,
+                    detail: None,
                     retried,
                     recording: None,
                     flight: Vec::new(),

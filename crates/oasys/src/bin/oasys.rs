@@ -9,6 +9,9 @@
 //! oasys batch <manifest> [--records <file.jsonl>] [--aggregate <file.json>]
 //!       [--checkpoint <file>] [--workers <n>] [--timeout-ms <n>]
 //!       [--retries <n>] [--no-verify] [--styles <list>] [--explain]
+//! oasys dataset <manifest> --out <dir> [--shards <n>] [--shard-index <i>]
+//!       [--workers <n>] [--timeout-ms <n>] [--retries <n>] [--no-verify]
+//! oasys dataset merge <dir>
 //! oasys serve --socket <path> [--workers <n>] [--max-inflight <n>]
 //!       [--cache-entries <n>] [--timeout-ms <n>]
 //! oasys client --socket <path> <spec-file> <tech-file> [--timeout-ms <n>]
@@ -48,6 +51,14 @@
 //! `workers =` / `timeout_ms =` / `retries =` / `verify =` settings;
 //! `--timeout-ms 0` disables the per-job timeout.
 //!
+//! The `dataset` form runs a *sampled sweep*: the manifest's `sample.*`,
+//! `corners`, and `mc.*` directives expand into a deterministic point
+//! list (see `DATASET.md`), partitioned `id % shards` across
+//! independent shard runs that each stream `oasys-dataset/1` JSONL
+//! records into `--out`. An interrupted shard resumes from its partial
+//! file; `oasys dataset merge` stitches the published shards into one
+//! `dataset.jsonl` whose bytes are identical for every shard count.
+//!
 //! The `serve` form starts a resident synthesis server on a Unix domain
 //! socket (see [`oasys::serve`] for the wire protocol): requests reuse
 //! one warm, bounded design cache across their lifetime, admission is
@@ -70,6 +81,7 @@ const SYNTH_USAGE: &str = "usage: oasys <spec-file> <tech-file> [--out <deck.sp>
 const LINT_USAGE: &str =
     "usage: oasys lint [<spec-file> <tech-file>] [--deny-warnings] [--format human|json|sarif]";
 const BATCH_USAGE: &str = "usage: oasys batch <manifest> [--records <file.jsonl>] [--aggregate <file.json>] [--checkpoint <file>] [--workers <n>] [--timeout-ms <n>] [--retries <n>] [--no-verify] [--styles <list>] [--explain] [--faults <list>]";
+const DATASET_USAGE: &str = "usage: oasys dataset <manifest> --out <dir> [--shards <n>] [--shard-index <i>] [--workers <n>] [--timeout-ms <n>] [--retries <n>] [--no-verify] [--faults <list>]\n       oasys dataset merge <dir>";
 const SERVE_USAGE: &str = "usage: oasys serve --socket <path> [--workers <n>] [--max-inflight <n>] [--cache-entries <n>] [--timeout-ms <n>] [--faults <list>]";
 const CLIENT_USAGE: &str = "usage: oasys client --socket <path> <spec-file> <tech-file> [--timeout-ms <n>]\n       oasys client --socket <path> --ping|--shutdown";
 
@@ -88,6 +100,10 @@ fn main() -> ExitCode {
             Some("batch") => {
                 args.next();
                 run_batch(args)
+            }
+            Some("dataset") => {
+                args.next();
+                run_dataset(args)
             }
             Some("serve") => {
                 args.next();
@@ -663,6 +679,191 @@ fn run_batch(args: impl Iterator<Item = String>) -> Result<ExitCode, String> {
     })
 }
 
+/// Parsed arguments of the dataset mode.
+#[derive(Debug, PartialEq, Eq)]
+struct DatasetCliOptions {
+    manifest_path: String,
+    out_dir: String,
+    shards: usize,
+    shard_index: usize,
+    workers: Option<usize>,
+    timeout_ms: Option<u64>,
+    retries: Option<u32>,
+    no_verify: bool,
+    faults: Option<String>,
+}
+
+impl DatasetCliOptions {
+    fn parse(mut args: impl Iterator<Item = String>) -> Result<Self, String> {
+        let manifest_path = args.next().ok_or(DATASET_USAGE)?;
+        if manifest_path.starts_with("--") {
+            return Err(format!(
+                "the manifest path must come before any flags\n{DATASET_USAGE}"
+            ));
+        }
+        let mut out_dir = None;
+        let mut opts = DatasetCliOptions {
+            manifest_path,
+            out_dir: String::new(),
+            shards: 1,
+            shard_index: 0,
+            workers: None,
+            timeout_ms: None,
+            retries: None,
+            no_verify: false,
+            faults: None,
+        };
+        while let Some(flag) = args.next() {
+            match flag.as_str() {
+                "--out" => {
+                    out_dir = Some(args.next().ok_or("--out needs a directory")?);
+                }
+                "--shards" => {
+                    let value = args.next().ok_or("--shards needs a count")?;
+                    opts.shards =
+                        value
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&n| n > 0)
+                            .ok_or_else(|| {
+                                format!("--shards needs a positive integer, got `{value}`")
+                            })?;
+                }
+                "--shard-index" => {
+                    let value = args.next().ok_or("--shard-index needs an index")?;
+                    opts.shard_index = value
+                        .parse::<usize>()
+                        .map_err(|_| format!("--shard-index needs an integer, got `{value}`"))?;
+                }
+                "--workers" => {
+                    let value = args.next().ok_or("--workers needs a count")?;
+                    opts.workers = Some(
+                        value
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&n| n > 0)
+                            .ok_or_else(|| {
+                                format!("--workers needs a positive integer, got `{value}`")
+                            })?,
+                    );
+                }
+                "--timeout-ms" => {
+                    let value = args
+                        .next()
+                        .ok_or("--timeout-ms needs a value (0 disables)")?;
+                    opts.timeout_ms =
+                        Some(value.parse::<u64>().map_err(|_| {
+                            format!("--timeout-ms needs an integer, got `{value}`")
+                        })?);
+                }
+                "--retries" => {
+                    let value = args.next().ok_or("--retries needs a count")?;
+                    opts.retries = Some(
+                        value
+                            .parse::<u32>()
+                            .map_err(|_| format!("--retries needs an integer, got `{value}`"))?,
+                    );
+                }
+                "--no-verify" => opts.no_verify = true,
+                "--faults" => {
+                    opts.faults = Some(args.next().ok_or("--faults needs a site=spec list")?);
+                }
+                other => return Err(format!("unknown flag `{other}`\n{DATASET_USAGE}")),
+            }
+        }
+        opts.out_dir = out_dir.ok_or_else(|| format!("--out is required\n{DATASET_USAGE}"))?;
+        if opts.shard_index >= opts.shards {
+            return Err(format!(
+                "--shard-index {} is out of range for --shards {}",
+                opts.shard_index, opts.shards
+            ));
+        }
+        Ok(opts)
+    }
+}
+
+/// `oasys dataset`: a sampled sweep sharded into streaming JSONL
+/// records, and `oasys dataset merge` to stitch the shards together.
+fn run_dataset(
+    mut args: std::iter::Peekable<impl Iterator<Item = String>>,
+) -> Result<ExitCode, String> {
+    if args.peek().map(String::as_str) == Some("merge") {
+        args.next();
+        let dir = args.next().ok_or(DATASET_USAGE)?;
+        if let Some(extra) = args.next() {
+            return Err(format!("unexpected argument `{extra}`\n{DATASET_USAGE}"));
+        }
+        let report =
+            oasys::dataset::merge(std::path::Path::new(&dir)).map_err(|e| e.to_string())?;
+        eprintln!(
+            "dataset: merged {} shards, {} records ({} passed) into {}",
+            report.shards,
+            report.records,
+            report.passed,
+            report.records_path.display()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let opts = DatasetCliOptions::parse(args)?;
+    apply_faults(opts.faults.as_deref())?;
+    if let Some(msg) = injected_io_fault("io.manifest.read") {
+        return Err(format!("{}: {msg}", opts.manifest_path));
+    }
+    let manifest = batch::Manifest::load(&opts.manifest_path).map_err(|e| e.to_string())?;
+    let mut batch_options = batch::BatchOptions::default();
+    batch_options.apply_manifest(&manifest.settings());
+    if let Some(workers) = opts.workers {
+        batch_options = batch_options.with_workers(workers);
+    }
+    if let Some(ms) = opts.timeout_ms {
+        batch_options = batch_options.with_timeout(if ms == 0 {
+            None
+        } else {
+            Some(std::time::Duration::from_millis(ms))
+        });
+    }
+    if let Some(retries) = opts.retries {
+        batch_options = batch_options.with_retries(retries);
+    }
+    if opts.no_verify {
+        batch_options = batch_options.with_verify(false);
+    }
+    let workers = batch_options.workers();
+    let options = oasys::dataset::DatasetOptions {
+        shards: opts.shards,
+        shard_index: opts.shard_index,
+        batch: batch_options,
+    };
+    let tel = Telemetry::new();
+    let report = oasys::dataset::generate(
+        &manifest,
+        std::path::Path::new(&opts.out_dir),
+        &options,
+        &tel,
+    )
+    .map_err(|e| e.to_string())?;
+    let lookups = report.cache_hits + report.cache_misses;
+    eprintln!(
+        "dataset: shard {}/{} published — {} records ({} resumed, {} executed, {} passed, {} draws rejected), {} workers, cache {:.0}% hit, plan {:016x}",
+        opts.shard_index,
+        opts.shards,
+        report.records,
+        report.resumed,
+        report.executed,
+        report.passed,
+        report.samples_rejected,
+        workers,
+        if lookups == 0 {
+            0.0
+        } else {
+            100.0 * report.cache_hits as f64 / lookups as f64
+        },
+        report.plan_fingerprint,
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
 /// Parsed arguments of the `serve` mode.
 #[derive(Debug, PartialEq, Eq)]
 struct ServeCliOptions {
@@ -1172,6 +1373,72 @@ mod tests {
         assert!(opts.no_verify);
         assert_eq!(opts.styles, Some(vec!["two-stage".to_string()]));
         assert!(opts.explain);
+    }
+
+    #[test]
+    fn dataset_defaults_and_flags_parse() {
+        let opts = DatasetCliOptions::parse(argv(&["ds.manifest", "--out", "out"])).unwrap();
+        assert_eq!(opts.manifest_path, "ds.manifest");
+        assert_eq!(opts.out_dir, "out");
+        assert_eq!(opts.shards, 1);
+        assert_eq!(opts.shard_index, 0);
+        assert!(!opts.no_verify);
+
+        let opts = DatasetCliOptions::parse(argv(&[
+            "ds.manifest",
+            "--out",
+            "out",
+            "--shards",
+            "4",
+            "--shard-index",
+            "2",
+            "--workers",
+            "3",
+            "--timeout-ms",
+            "5000",
+            "--retries",
+            "1",
+            "--no-verify",
+            "--faults",
+            "dataset.sink.record=fail_once",
+        ]))
+        .unwrap();
+        assert_eq!(opts.shards, 4);
+        assert_eq!(opts.shard_index, 2);
+        assert_eq!(opts.workers, Some(3));
+        assert_eq!(opts.timeout_ms, Some(5000));
+        assert_eq!(opts.retries, Some(1));
+        assert!(opts.no_verify);
+        assert_eq!(
+            opts.faults.as_deref(),
+            Some("dataset.sink.record=fail_once")
+        );
+    }
+
+    #[test]
+    fn dataset_rejects_bad_arguments() {
+        let err = DatasetCliOptions::parse(argv(&[])).unwrap_err();
+        assert!(err.contains("usage:"), "{err}");
+        let err = DatasetCliOptions::parse(argv(&["--out", "x"])).unwrap_err();
+        assert!(err.contains("manifest path must come before"), "{err}");
+        let err = DatasetCliOptions::parse(argv(&["m"])).unwrap_err();
+        assert!(err.contains("--out is required"), "{err}");
+        let err =
+            DatasetCliOptions::parse(argv(&["m", "--out", "x", "--shards", "0"])).unwrap_err();
+        assert!(err.contains("--shards needs a positive integer"), "{err}");
+        let err = DatasetCliOptions::parse(argv(&[
+            "m",
+            "--out",
+            "x",
+            "--shards",
+            "2",
+            "--shard-index",
+            "2",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+        let err = DatasetCliOptions::parse(argv(&["m", "--out", "x", "--bogus"])).unwrap_err();
+        assert!(err.contains("unknown flag"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,349 @@
+//! Osiris-scale dataset generation.
+//!
+//! `oasys dataset` turns one batch manifest into a *sampled sweep*: a
+//! seeded distribution over specifications (`sample.*` directives),
+//! crossed with process corners (`corners`, `corner.temps_c`,
+//! `corner.supplies`) and per-device Monte-Carlo mismatch instances
+//! (`mc.*`), synthesized point by point on the shared worker pool and
+//! streamed to versioned JSONL records (schema `oasys-dataset/1`, see
+//! `DATASET.md` at the repo root).
+//!
+//! The pipeline is built from the pieces in this module:
+//!
+//! 1. [`plan::DatasetPlan::expand`] — manifest → the deterministic
+//!    global point list ([`sample`] draws the specs,
+//!    `oasys_process::corners` derives the corner technologies).
+//! 2. [`plan::DatasetPlan::shard_points`] — `id % shards` partitioning;
+//!    every shard count partitions the *same* plan.
+//! 3. [`generate`] — runs one shard through the batch engine
+//!    ([`runner::DatasetRunner`]) and streams records through the
+//!    crash-safe [`sink::ShardSink`].
+//! 4. [`merge()`] — k-way merges published shards into `dataset.jsonl` +
+//!    `dataset-summary.json`, byte-identical for every shard count.
+//!
+//! [`schema::validate_record`] is the normative-schema gate used by the
+//! tests and `cargo xtask smoke-dataset`.
+
+pub mod merge;
+pub mod plan;
+pub mod record;
+pub mod runner;
+pub mod sample;
+pub mod schema;
+pub mod sink;
+
+pub use merge::merge;
+pub use plan::{DatasetPlan, PointMeta};
+pub use sink::ShardSink;
+
+use crate::batch::{Batch, BatchOptions, JobRecord, Manifest};
+use oasys_telemetry::{json, Telemetry};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// An error raised while expanding or generating a dataset.
+#[derive(Debug)]
+pub enum DatasetError {
+    /// The manifest lists no specs, no techs, or expands to no points.
+    Empty,
+    /// An input file could not be read.
+    Io {
+        /// The file that failed.
+        path: PathBuf,
+        /// The underlying I/O error.
+        error: std::io::Error,
+    },
+    /// A specification (base file or sampled draw) is malformed.
+    Spec {
+        /// Spec label (path or `sample-NNNNNN`).
+        label: String,
+        /// What was wrong.
+        detail: String,
+    },
+    /// A technology file is malformed or a corner derivation failed.
+    Tech {
+        /// Tech label (path).
+        label: String,
+        /// What was wrong.
+        detail: String,
+    },
+    /// The shard sink or output directory failed.
+    Sink {
+        /// The path involved.
+        path: PathBuf,
+        /// The underlying I/O error.
+        error: std::io::Error,
+    },
+    /// A merge-time consistency violation (mixed plans, missing or
+    /// overlapping shards).
+    Merge {
+        /// What was inconsistent.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Empty => write!(f, "dataset plan is empty (no specs, techs, or points)"),
+            Self::Io { path, error } => {
+                write!(f, "cannot read {}: {error}", path.display())
+            }
+            Self::Spec { label, detail } => write!(f, "spec {label}: {detail}"),
+            Self::Tech { label, detail } => write!(f, "tech {label}: {detail}"),
+            Self::Sink { path, error } => {
+                write!(f, "dataset sink {}: {error}", path.display())
+            }
+            Self::Merge { detail } => write!(f, "dataset merge: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io { error, .. } | Self::Sink { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
+
+/// Options for one `oasys dataset` shard run.
+#[derive(Clone, Debug)]
+pub struct DatasetOptions {
+    /// Total shard count (≥ 1).
+    pub shards: usize,
+    /// This run's shard (`0..shards`).
+    pub shard_index: usize,
+    /// Batch execution knobs (workers, deadline, retries, verify).
+    pub batch: BatchOptions,
+}
+
+impl Default for DatasetOptions {
+    fn default() -> Self {
+        Self {
+            shards: 1,
+            shard_index: 0,
+            batch: BatchOptions::default(),
+        }
+    }
+}
+
+/// The outcome of one shard run.
+#[derive(Clone, Debug)]
+pub struct ShardReport {
+    /// Records on durable record when the shard finished (the whole
+    /// shard, counting salvaged records).
+    pub records: usize,
+    /// Records salvaged from a previous interrupted run.
+    pub resumed: usize,
+    /// Jobs actually executed this run.
+    pub executed: usize,
+    /// Records whose design met every verified spec.
+    pub passed: usize,
+    /// Spec draws rejected during sampling (plan-wide, not per shard).
+    pub samples_rejected: usize,
+    /// The plan fingerprint stamped into the shard summary.
+    pub plan_fingerprint: u64,
+    /// Sub-block design-cache hits this run.
+    pub cache_hits: u64,
+    /// Sub-block design-cache misses this run.
+    pub cache_misses: u64,
+}
+
+/// Expands `manifest` and generates the configured shard into `dir`,
+/// streaming each record as it completes. Resumable: an interrupted
+/// run's partial file is salvaged and only missing points execute; a
+/// published shard returns immediately.
+///
+/// # Errors
+///
+/// [`DatasetError`] on malformed inputs or sink I/O failures. Job-level
+/// synthesis failures are *not* errors — they become `"failed"` records.
+pub fn generate(
+    manifest: &Manifest,
+    dir: &Path,
+    options: &DatasetOptions,
+    tel: &Telemetry,
+) -> Result<ShardReport, DatasetError> {
+    let shards = options.shards.max(1);
+    let shard_index = options.shard_index;
+    if shard_index >= shards {
+        return Err(DatasetError::Merge {
+            detail: format!("shard index {shard_index} out of range for {shards} shards"),
+        });
+    }
+    let plan = DatasetPlan::expand(manifest)?;
+    tel.add("dataset.samples_rejected", plan.samples_rejected as u64);
+    let sink_err = |error: std::io::Error| DatasetError::Sink {
+        path: dir.to_path_buf(),
+        error,
+    };
+
+    if ShardSink::is_complete(dir, shard_index, shards) {
+        // Published shards are immutable; trust the summary.
+        let summary_path = sink::shard_summary_path(dir, shard_index, shards);
+        let text = std::fs::read_to_string(&summary_path).map_err(|error| DatasetError::Sink {
+            path: summary_path,
+            error,
+        })?;
+        let summary = json::parse(&text).map_err(|e| DatasetError::Merge {
+            detail: e.to_string(),
+        })?;
+        let num = |key: &str| summary.get(key).and_then(json::Json::as_num).unwrap_or(0.0) as usize;
+        return Ok(ShardReport {
+            records: num("records"),
+            resumed: num("records"),
+            executed: 0,
+            passed: num("passed"),
+            samples_rejected: plan.samples_rejected,
+            plan_fingerprint: plan.fingerprint,
+            cache_hits: 0,
+            cache_misses: 0,
+        });
+    }
+
+    let points = plan.shard_points(shard_index, shards);
+    let mut sink = ShardSink::open(dir, shard_index, shards).map_err(sink_err)?;
+    let resumed = sink.recorded_count();
+    let recorded: std::collections::HashSet<usize> = sink.recorded_ids().into_iter().collect();
+    let pending: Vec<&PointMeta> = points
+        .iter()
+        .copied()
+        .filter(|p| !recorded.contains(&p.id))
+        .collect();
+
+    let mut executed = 0usize;
+    let mut cache_hits = 0u64;
+    let mut cache_misses = 0u64;
+    if !pending.is_empty() {
+        let jobs: Vec<_> = pending
+            .iter()
+            .enumerate()
+            .map(|(local_id, p)| p.job(local_id))
+            .collect();
+        let runner = Arc::new(runner::DatasetRunner::new(&plan, &pending, &options.batch));
+        let batch = Batch::new(jobs, options.batch.clone());
+        // Records stream straight into the shard sink as jobs finish;
+        // the full record set is never resident in memory. A sink
+        // failure is latched and re-raised after the batch drains.
+        let mut sink_error: Option<std::io::Error> = None;
+        let report = batch
+            .run(&runner, tel, |record: &JobRecord| {
+                if sink_error.is_some() {
+                    return;
+                }
+                let point = pending[record.job];
+                let line = record::render_record(point, record, &plan);
+                match sink.record(point.id, &line) {
+                    Ok(()) => tel.incr("dataset.records"),
+                    Err(error) => sink_error = Some(error),
+                }
+            })
+            .map_err(|e| DatasetError::Merge {
+                detail: e.to_string(),
+            })?;
+        if let Some(error) = sink_error {
+            return Err(sink_err(error));
+        }
+        executed = report.records().len();
+        cache_hits = runner.cache().hits();
+        cache_misses = runner.cache().misses();
+    }
+
+    // Every point must be on record before the shard publishes.
+    if sink.recorded_count() != points.len() {
+        return Err(DatasetError::Merge {
+            detail: format!(
+                "shard {shard_index}/{shards} has {} of {} records; rerun to resume",
+                sink.recorded_count(),
+                points.len()
+            ),
+        });
+    }
+
+    let passed = count_passed(dir, shard_index, shards).map_err(sink_err)?;
+    let records = sink.recorded_count();
+    let summary = render_shard_summary(&plan, shard_index, shards, records, passed);
+    sink.finalize(&summary).map_err(sink_err)?;
+    Ok(ShardReport {
+        records,
+        resumed,
+        executed,
+        passed,
+        samples_rejected: plan.samples_rejected,
+        plan_fingerprint: plan.fingerprint,
+        cache_hits,
+        cache_misses,
+    })
+}
+
+/// Counts `"meets_spec": true` records by streaming the partial file
+/// line by line (one record resident at a time). A record id written
+/// twice resolves to its latest line, matching the sink's index.
+fn count_passed(dir: &Path, shard_index: usize, shards: usize) -> std::io::Result<usize> {
+    use std::io::BufRead;
+    let partial = dir.join(format!(
+        "{}.jsonl.partial",
+        sink::shard_stem(shard_index, shards)
+    ));
+    let reader = std::io::BufReader::new(std::fs::File::open(partial)?);
+    let mut latest: std::collections::BTreeMap<usize, bool> = std::collections::BTreeMap::new();
+    for line in reader.lines() {
+        let line = line?;
+        if let Ok(value) = json::parse(&line) {
+            if let Some(id) = value.get("id").and_then(json::Json::as_num) {
+                let pass = value
+                    .get("ok")
+                    .and_then(|ok| ok.get("meets_spec"))
+                    .and_then(json::Json::as_bool)
+                    .unwrap_or(false);
+                latest.insert(id as usize, pass);
+            }
+        }
+    }
+    Ok(latest.values().filter(|&&p| p).count())
+}
+
+/// Renders a shard summary. Per-shard fields (`shard`, `shards`) are
+/// segregated under `"shard"` so the merge can sum the rest without
+/// leaking shard-count-dependent values into the merged summary.
+fn render_shard_summary(
+    plan: &DatasetPlan,
+    shard_index: usize,
+    shards: usize,
+    records: usize,
+    passed: usize,
+) -> String {
+    format!(
+        concat!(
+            "{{\"schema\":\"oasys-dataset-summary\",\"v\":1,",
+            "\"plan_fingerprint\":\"{:016x}\",\"total_points\":{},",
+            "\"samples_rejected\":{},\"samples_drawn\":{},",
+            "\"records\":{},\"passed\":{},",
+            "\"shard\":{{\"index\":{},\"of\":{}}}}}"
+        ),
+        plan.fingerprint,
+        plan.points.len(),
+        plan.samples_rejected,
+        plan.samples_drawn,
+        records,
+        passed,
+        shard_index,
+        shards,
+    )
+}
+
+#[cfg(test)]
+pub(crate) fn test_dir(name: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "oasys-dataset-{name}-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create test dir");
+    dir
+}

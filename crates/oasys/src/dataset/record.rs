@@ -1,0 +1,139 @@
+//! Dataset record rendering: one JSONL line per point, schema
+//! `oasys-dataset/1` (normatively specified in `DATASET.md` at the repo
+//! root).
+//!
+//! A record's bytes are a pure function of the point and the runner's
+//! answer — no timestamps, durations, attempt counts, or shard
+//! coordinates. That exclusion is what makes a two-shard run merge
+//! byte-identically with a one-shard run: everything a record says would
+//! be said identically by any shard that executed it.
+
+use super::plan::{DatasetPlan, PointMeta};
+use crate::batch::CheckpointOutcome;
+use crate::batch::{JobRecord, JobStatus};
+use oasys_telemetry::json;
+
+/// Renders one dataset record (no trailing newline).
+#[must_use]
+pub fn render_record(point: &PointMeta, record: &JobRecord, plan: &DatasetPlan) -> String {
+    let mut out = format!(
+        "{{\"schema\":\"oasys-dataset\",\"v\":1,\"id\":{},",
+        point.id
+    );
+    out.push_str(&format!(
+        "\"spec\":{{\"label\":{},\"fields\":{{",
+        json::string(&point.spec_label)
+    ));
+    for (i, (key, value)) in point.spec_fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{key}\":{}", json::number(*value)));
+    }
+    out.push_str("}},");
+    out.push_str(&format!(
+        concat!(
+            "\"tech\":{{\"base\":{},\"label\":{},",
+            "\"corner\":{{\"speed\":\"{}\",\"temp_c\":{},\"supply_scale\":{}}}}},"
+        ),
+        json::string(&point.tech_base),
+        json::string(&point.tech_label),
+        point.corner.speed.name(),
+        json::number(point.corner.temp_c),
+        json::number(point.corner.supply_scale),
+    ));
+    out.push_str(&format!(
+        "\"mc\":{{\"index\":{},\"seed\":\"{:016x}\",\"avt_mv_um\":{},\"akp_pct_um\":{}}},",
+        point.mc_index,
+        point.mc_seed,
+        json::number(plan.avt_mv_um),
+        json::number(plan.akp_pct_um),
+    ));
+    out.push_str(&format!("\"fingerprint\":\"{:016x}\",", point.fingerprint));
+    match effective_status(&record.status) {
+        Effective::Ok { style, area_um2 } => {
+            out.push_str("\"outcome\":\"ok\",\"ok\":{");
+            out.push_str(&format!(
+                "\"style\":{},\"area_um2\":{}",
+                json::string(style),
+                json::number(area_um2)
+            ));
+            if let Some(meets) = record.meets_spec {
+                out.push_str(&format!(",\"meets_spec\":{meets}"));
+            }
+            if let Some(detail) = &record.detail {
+                // The runner payload is already a rendered JSON object
+                // carrying the netlist and datasheet.
+                out.push_str(&format!(",\"design\":{detail}"));
+            }
+            out.push('}');
+        }
+        Effective::Infeasible => out.push_str("\"outcome\":\"infeasible\""),
+        Effective::Failed { kind, message } => out.push_str(&format!(
+            "\"outcome\":\"failed\",\"failure\":{{\"kind\":{},\"message\":{}}}",
+            json::string(kind),
+            json::string(message)
+        )),
+    }
+    if !record.styles.is_empty() {
+        out.push_str(",\"trace\":[");
+        for (i, entry) in record.styles.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{{\"style\":{}", json::string(&entry.style)));
+            if let Some(area) = entry.area_um2 {
+                out.push_str(&format!(",\"area_um2\":{}", json::number(area)));
+            }
+            if let Some(reason) = &entry.reason {
+                out.push_str(&format!(",\"rejected\":{}", json::string(reason)));
+            }
+            out.push('}');
+        }
+        out.push(']');
+    }
+    out.push('}');
+    out
+}
+
+/// A record's effective outcome (skipped jobs resolve to their prior
+/// checkpoint outcome — dataset shards never attach a batch checkpoint,
+/// but the mapping stays total).
+enum Effective<'a> {
+    Ok { style: &'a str, area_um2: f64 },
+    Infeasible,
+    Failed { kind: &'a str, message: &'a str },
+}
+
+fn effective_status(status: &JobStatus) -> Effective<'_> {
+    match status {
+        JobStatus::Ok { style, area_um2 } => Effective::Ok {
+            style,
+            area_um2: *area_um2,
+        },
+        JobStatus::Infeasible => Effective::Infeasible,
+        JobStatus::Failed { kind, message } => Effective::Failed {
+            kind: kind_word(*kind),
+            message,
+        },
+        JobStatus::Skipped { prior } => match prior {
+            CheckpointOutcome::Ok { style, area_um2 } => Effective::Ok {
+                style,
+                area_um2: *area_um2,
+            },
+            CheckpointOutcome::Infeasible => Effective::Infeasible,
+            CheckpointOutcome::Failed => Effective::Failed {
+                kind: "error",
+                message: "failed in a prior run",
+            },
+        },
+    }
+}
+
+fn kind_word(kind: crate::batch::FailureKind) -> &'static str {
+    match kind {
+        crate::batch::FailureKind::Panic => "panic",
+        crate::batch::FailureKind::Timeout => "timeout",
+        crate::batch::FailureKind::Error => "error",
+    }
+}

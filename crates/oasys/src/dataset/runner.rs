@@ -1,0 +1,199 @@
+//! The dataset [`JobRunner`]: full synthesis per point, Monte-Carlo
+//! mismatch scoped around verification, and a detail payload (netlist +
+//! datasheet) riding each feasible record.
+//!
+//! Synthesis itself always runs on the *nominal* device models — the
+//! paper's design equations size a circuit for the process, not for one
+//! mismatch draw. The draw perturbs what the fabricated instance would
+//! measure, so it binds only around [`verify_with`]: the simulator sees
+//! the perturbed devices, the plan does not. The shared, bounded,
+//! tech-fingerprint-namespaced [`MemoCache`] therefore stays valid
+//! across Monte-Carlo siblings — they share every sub-block design and
+//! differ only in measurement.
+
+use super::plan::{DatasetPlan, PointMeta};
+use crate::batch::BatchOptions;
+use crate::batch::{fingerprint, Job, JobFailure, JobRunner, JobSuccess, StyleEntry};
+use crate::datasheet::Datasheet;
+use crate::synth::synthesize_with_cache;
+use crate::verify::{verify_with, Measured};
+use crate::SearchOptions;
+use oasys_faults::Deadline;
+use oasys_plan::MemoCache;
+use oasys_sim::mismatch::Mismatch;
+use oasys_telemetry::{json, Telemetry};
+use std::sync::Arc;
+
+/// Runs dataset points: spec/tech parsing, cached style search, and
+/// verification under the point's Monte-Carlo mismatch draw.
+pub struct DatasetRunner {
+    search: SearchOptions,
+    verify: bool,
+    cache: Arc<MemoCache>,
+    /// Per local-job mismatch draw (`None` = nominal instance), indexed
+    /// by the shard-local job id.
+    mismatches: Vec<Option<Mismatch>>,
+}
+
+impl DatasetRunner {
+    /// A runner for one shard's pending points. `pending[i]` must be
+    /// the point behind local job id `i`.
+    #[must_use]
+    pub fn new(plan: &DatasetPlan, pending: &[&PointMeta], options: &BatchOptions) -> Self {
+        Self {
+            search: options.search().clone(),
+            verify: options.verify(),
+            cache: Arc::new(MemoCache::bounded(crate::batch::DEFAULT_CACHE_ENTRIES)),
+            mismatches: pending.iter().map(|p| plan.mismatch_for(p)).collect(),
+        }
+    }
+
+    /// The shared sub-block design cache (for hit-rate reporting).
+    #[must_use]
+    pub fn cache(&self) -> &MemoCache {
+        &self.cache
+    }
+}
+
+impl JobRunner for DatasetRunner {
+    fn run(
+        &self,
+        job: &Job,
+        tel: &Telemetry,
+        deadline: &Deadline,
+    ) -> Result<JobSuccess, JobFailure> {
+        let spec = crate::specfile::parse(job.spec_text())
+            .map_err(|e| JobFailure::permanent(format!("spec {}: {e}", job.spec_label())))?;
+        let process = oasys_process::techfile::parse(job.tech_text())
+            .map_err(|e| JobFailure::permanent(format!("tech {}: {e}", job.tech_label())))?;
+        let search = self
+            .search
+            .clone()
+            .with_deadline(deadline.clone())
+            .with_cache_namespace(format!("{:016x}", fingerprint("", job.tech_text())));
+        match synthesize_with_cache(&spec, &process, &search, tel, &self.cache) {
+            Ok(synthesis) => {
+                let styles = synthesis
+                    .outcomes()
+                    .iter()
+                    .map(|outcome| StyleEntry {
+                        style: outcome.style().to_string(),
+                        area_um2: outcome.design().map(|d| d.area().total_um2()),
+                        devices: outcome
+                            .design()
+                            .map(crate::styles::OpAmpDesign::device_count),
+                        notes: outcome
+                            .design()
+                            .map(|d| d.notes().to_vec())
+                            .unwrap_or_default(),
+                        reason: outcome.rejection(),
+                    })
+                    .collect();
+                let design = synthesis.selected();
+                let mut success =
+                    JobSuccess::feasible(design.style().to_string(), design.area().total_um2())
+                        .with_styles(styles);
+                let netlist = oasys_netlist::spice::to_spice(design.circuit(), &process);
+                let mut measured = None;
+                if self.verify {
+                    // The Monte-Carlo draw binds here — and only here.
+                    let mismatch = self
+                        .mismatches
+                        .get(job.id())
+                        .copied()
+                        .flatten()
+                        .unwrap_or_else(Mismatch::disabled);
+                    let verification = oasys_sim::mismatch::scoped(mismatch, || {
+                        verify_with(design, &process, spec.load().farads(), tel)
+                    })
+                    .map_err(|e| JobFailure::permanent(format!("verification failed: {e}")))?;
+                    let sheet = Datasheet::new(
+                        format!("{} × {}", job.spec_label(), job.tech_label()),
+                        &spec,
+                        design.predicted(),
+                        Some(&verification.measured),
+                    );
+                    success = success.with_meets_spec(sheet.all_measured_pass());
+                    measured = Some(verification.measured);
+                }
+                let detail = render_detail(&netlist, design.predicted(), measured.as_ref());
+                Ok(success.with_detail(detail))
+            }
+            Err(e) => {
+                if let Err(exceeded) = deadline.check() {
+                    return Err(JobFailure::timed_out(format!(
+                        "synthesis of {} × {} aborted: {exceeded}",
+                        job.spec_label(),
+                        job.tech_label()
+                    )));
+                }
+                let styles = e
+                    .rejections()
+                    .iter()
+                    .map(|(style, reason)| StyleEntry {
+                        style: style.to_string(),
+                        area_um2: None,
+                        devices: None,
+                        notes: Vec::new(),
+                        reason: Some(reason.clone()),
+                    })
+                    .collect();
+                Ok(JobSuccess::infeasible().with_styles(styles))
+            }
+        }
+    }
+}
+
+/// Renders the per-record detail payload: the winning design's SPICE
+/// deck and its datasheet (predicted always; measured when verified).
+fn render_detail(
+    netlist: &str,
+    predicted: &crate::datasheet::Predicted,
+    measured: Option<&Measured>,
+) -> String {
+    let mut out = format!("{{\"netlist\":{}", json::string(netlist));
+    out.push_str(&format!(
+        concat!(
+            ",\"predicted\":{{\"dc_gain_db\":{},\"unity_gain_hz\":{},",
+            "\"phase_margin_deg\":{},\"slew_v_per_s\":{},\"swing_neg_v\":{},",
+            "\"swing_pos_v\":{},\"offset_v\":{},\"power_w\":{},",
+            "\"cmrr_db\":{},\"noise_v_rthz\":{}}}"
+        ),
+        json::number(predicted.dc_gain_db),
+        json::number(predicted.unity_gain_hz),
+        json::number(predicted.phase_margin_deg),
+        json::number(predicted.slew_v_per_s),
+        json::number(predicted.swing_neg_v),
+        json::number(predicted.swing_pos_v),
+        json::number(predicted.offset_v),
+        json::number(predicted.power_w),
+        json::number(predicted.cmrr_db),
+        json::number(predicted.noise_v_rthz),
+    ));
+    if let Some(m) = measured {
+        out.push_str(",\"measured\":{");
+        let mut first = true;
+        let mut field = |key: &str, value: Option<f64>| {
+            if let Some(v) = value {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str(&format!("\"{key}\":{}", json::number(v)));
+            }
+        };
+        field("dc_gain_db", Some(m.dc_gain_db));
+        field("unity_gain_hz", m.unity_gain_hz);
+        field("phase_margin_deg", m.phase_margin_deg);
+        field("slew_v_per_s", m.slew_v_per_s);
+        field("swing_symmetric_v", m.swing_symmetric_v);
+        field("offset_v", m.offset_v);
+        field("power_w", Some(m.power_w));
+        field("cmrr_db", m.cmrr_db);
+        field("noise_v_rthz", m.noise_v_rthz);
+        field("psrr_db", m.psrr_db);
+        out.push('}');
+    }
+    out.push('}');
+    out
+}

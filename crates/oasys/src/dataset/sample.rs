@@ -1,0 +1,274 @@
+//! Seeded specification sampling.
+//!
+//! A dataset manifest's `sample.*` directives describe a distribution
+//! over op-amp specifications: each draw starts from one of the
+//! manifest's literal `spec` entries (round-robin) and overrides every
+//! ranged field with a uniform draw. Draws are keyed *per (seed, draw
+//! index, field)* through a SplitMix64 finalizer, so any single draw
+//! can be reproduced without replaying the stream, and the sampled spec
+//! space is identical however the job space is later sharded.
+
+use crate::batch::{Sampling, SAMPLABLE_SPEC_FIELDS};
+use crate::dataset::DatasetError;
+
+/// One accepted specification draw: a canonical rendering plus the
+/// parsed field values (for dataset records).
+#[derive(Clone, Debug)]
+pub struct SpecSample {
+    /// Record label: the base label for literal specs, `sample-NNNNNN`
+    /// for draws.
+    pub label: String,
+    /// Canonical spec-file text (fields in [`SAMPLABLE_SPEC_FIELDS`]
+    /// order).
+    pub text: String,
+    /// The field values, in canonical order.
+    pub fields: Vec<(String, f64)>,
+}
+
+/// SplitMix64 finalizer.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// FNV-1a over a string.
+fn fnv1a(text: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in text.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// A uniform draw in `[0, 1)` keyed on `(seed, draw index, field)` —
+/// pure, order-independent.
+fn unit_draw(seed: u64, index: usize, field: &str) -> f64 {
+    let key = mix64(mix64(seed ^ mix64(index as u64)) ^ fnv1a(field));
+    ((key >> 11) as f64) / (1u64 << 53) as f64
+}
+
+/// The per-point seed (Monte-Carlo mismatch + fingerprint salt) of a
+/// dataset point, keyed on the manifest seed and the point's global id.
+#[must_use]
+pub fn point_seed(manifest_seed: u64, point_id: usize) -> u64 {
+    // Never zero: zero is `Job::with_salt`'s "no salt" sentinel.
+    mix64(manifest_seed ^ mix64(point_id as u64)) | 1
+}
+
+/// Parses a spec file's `key = value` lines into `(field, value)` pairs
+/// in canonical field order (the dialect of
+/// [`crate::specfile::parse`], which has already validated semantics by
+/// the time records are rendered — this keeps only the raw numbers).
+pub fn parse_spec_fields(label: &str, text: &str) -> Result<Vec<(String, f64)>, DatasetError> {
+    let mut by_key: Vec<(String, f64)> = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let bad = |detail: String| DatasetError::Spec {
+            label: label.to_owned(),
+            detail: format!("line {}: {detail}", idx + 1),
+        };
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| bad(format!("expected `key = value`, got `{line}`")))?;
+        let key = key.trim().to_lowercase();
+        if !SAMPLABLE_SPEC_FIELDS.contains(&key.as_str()) {
+            return Err(bad(format!("unknown spec field `{key}`")));
+        }
+        let value: f64 = value
+            .trim()
+            .parse()
+            .map_err(|_| bad(format!("`{key}` is not a number")))?;
+        if by_key.iter().any(|(k, _)| *k == key) {
+            return Err(bad(format!("duplicate spec field `{key}`")));
+        }
+        by_key.push((key, value));
+    }
+    let mut fields = Vec::with_capacity(by_key.len());
+    for &canonical in &SAMPLABLE_SPEC_FIELDS {
+        if let Some((k, v)) = by_key.iter().find(|(k, _)| k == canonical) {
+            fields.push((k.clone(), *v));
+        }
+    }
+    Ok(fields)
+}
+
+/// Renders fields back to canonical spec-file text.
+#[must_use]
+pub fn render_spec(label: &str, fields: &[(String, f64)]) -> String {
+    let mut out = format!("# {label}\n");
+    for (key, value) in fields {
+        out.push_str(&format!("{key} = {value}\n"));
+    }
+    out
+}
+
+/// Expands the manifest's spec inputs into the sampled specification
+/// list. Without `sample.count` the literal specs pass through
+/// unchanged (re-rendered canonically); with it, `count` seeded draws
+/// are attempted and draws whose override combination fails spec
+/// validation are rejected (counted, not fatal — the caller reports the
+/// rejected fraction).
+///
+/// # Errors
+///
+/// [`DatasetError::Spec`] when a *base* spec is malformed — a manifest
+/// typo fails fast, before any work starts.
+pub fn sample_specs(
+    bases: &[(String, String)],
+    sampling: &Sampling,
+) -> Result<(Vec<SpecSample>, usize), DatasetError> {
+    let mut parsed_bases = Vec::with_capacity(bases.len());
+    for (label, text) in bases {
+        // Fail fast on base specs that do not even parse semantically.
+        crate::specfile::parse(text).map_err(|e| DatasetError::Spec {
+            label: label.clone(),
+            detail: e.to_string(),
+        })?;
+        parsed_bases.push((label.clone(), parse_spec_fields(label, text)?));
+    }
+    let Some(count) = sampling.count else {
+        let samples = parsed_bases
+            .into_iter()
+            .map(|(label, fields)| {
+                let text = render_spec(&label, &fields);
+                SpecSample {
+                    label,
+                    text,
+                    fields,
+                }
+            })
+            .collect();
+        return Ok((samples, 0));
+    };
+    let mut samples = Vec::with_capacity(count);
+    let mut rejected = 0usize;
+    for draw in 0..count {
+        let (_, base_fields) = &parsed_bases[draw % parsed_bases.len()];
+        let mut fields = base_fields.clone();
+        for (ranged, lo, hi) in &sampling.ranges {
+            let value = lo + (hi - lo) * unit_draw(sampling.seed, draw, ranged);
+            match fields.iter_mut().find(|(k, _)| k == ranged) {
+                Some((_, slot)) => *slot = value,
+                None => fields.push((ranged.clone(), value)),
+            }
+        }
+        // Ranged fields not in the base must still land in canonical
+        // order for a deterministic rendering.
+        fields.sort_by_key(|(k, _)| {
+            SAMPLABLE_SPEC_FIELDS
+                .iter()
+                .position(|c| c == k)
+                .unwrap_or(SAMPLABLE_SPEC_FIELDS.len())
+        });
+        let label = format!("sample-{draw:06}");
+        let text = render_spec(&label, &fields);
+        if crate::specfile::parse(&text).is_err() {
+            rejected += 1;
+            continue;
+        }
+        samples.push(SpecSample {
+            label,
+            text,
+            fields,
+        });
+    }
+    Ok((samples, rejected))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::Manifest;
+
+    const BASE: &str =
+        "dc_gain_db = 60\nunity_gain_mhz = 0.5\nphase_margin_deg = 45\nload_pf = 5\n";
+
+    fn sampling(text: &str) -> Sampling {
+        Manifest::parse(text).unwrap().sampling().clone()
+    }
+
+    #[test]
+    fn literal_specs_pass_through_canonically() {
+        let bases = vec![("a.txt".to_owned(), BASE.to_owned())];
+        let (samples, rejected) = sample_specs(&bases, &Sampling::default()).unwrap();
+        assert_eq!(rejected, 0);
+        assert_eq!(samples.len(), 1);
+        assert_eq!(samples[0].label, "a.txt");
+        assert!(samples[0].text.contains("dc_gain_db = 60"));
+        crate::specfile::parse(&samples[0].text).unwrap();
+    }
+
+    #[test]
+    fn draws_are_seeded_and_reproducible() {
+        let bases = vec![("a".to_owned(), BASE.to_owned())];
+        let s = sampling("sample.count = 20\nsample.seed = 9\nsample.dc_gain_db = 55..80\n");
+        let (first, _) = sample_specs(&bases, &s).unwrap();
+        let (second, _) = sample_specs(&bases, &s).unwrap();
+        assert_eq!(first.len(), 20);
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.text, b.text);
+        }
+        // A different seed draws a different spec space.
+        let other = sampling("sample.count = 20\nsample.seed = 10\nsample.dc_gain_db = 55..80\n");
+        let (third, _) = sample_specs(&bases, &other).unwrap();
+        assert!(first.iter().zip(&third).any(|(a, b)| a.text != b.text));
+    }
+
+    #[test]
+    fn draws_stay_inside_their_ranges() {
+        let bases = vec![("a".to_owned(), BASE.to_owned())];
+        let s = sampling("sample.count = 50\nsample.dc_gain_db = 55..80\nsample.load_pf = 2..20\n");
+        let (samples, rejected) = sample_specs(&bases, &s).unwrap();
+        assert_eq!(rejected, 0);
+        for sample in &samples {
+            let gain = sample
+                .fields
+                .iter()
+                .find(|(k, _)| k == "dc_gain_db")
+                .unwrap()
+                .1;
+            assert!((55.0..80.0).contains(&gain), "{gain}");
+            let load = sample
+                .fields
+                .iter()
+                .find(|(k, _)| k == "load_pf")
+                .unwrap()
+                .1;
+            assert!((2.0..20.0).contains(&load), "{load}");
+        }
+    }
+
+    #[test]
+    fn invalid_draws_are_rejected_not_fatal() {
+        let bases = vec![("a".to_owned(), BASE.to_owned())];
+        // Phase margin must stay below 90°; a range straddling it
+        // rejects some draws.
+        let s = sampling("sample.count = 40\nsample.phase_margin_deg = 80..100\n");
+        let (samples, rejected) = sample_specs(&bases, &s).unwrap();
+        assert!(rejected > 0, "expected some rejected draws");
+        assert_eq!(samples.len() + rejected, 40);
+    }
+
+    #[test]
+    fn malformed_base_specs_fail_fast() {
+        let bases = vec![("bad".to_owned(), "dc_gain_db = 60\n".to_owned())];
+        let err = sample_specs(&bases, &Sampling::default()).unwrap_err();
+        assert!(err.to_string().contains("bad"), "{err}");
+    }
+
+    #[test]
+    fn point_seed_is_stable_and_never_zero() {
+        assert_eq!(point_seed(1, 0), point_seed(1, 0));
+        assert_ne!(point_seed(1, 0), point_seed(1, 1));
+        assert_ne!(point_seed(1, 0), point_seed(2, 0));
+        for id in 0..100 {
+            assert_ne!(point_seed(0, id), 0);
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! The streaming shard record sink.
+//!
+//! A shard streams every finished record to an append-only *partial*
+//! file (`shard-<i>-of-<N>.jsonl.partial`), one JSON line at a time
+//! through a bounded buffer, flushed per record — the same durability
+//! discipline as batch checkpoints, and the shard's *only* checkpoint:
+//! on restart the partial's durable prefix is salvaged (a torn final
+//! line, the one kind of damage an append-and-flush crash can inflict,
+//! is truncated away) and only unrecorded points re-run.
+//!
+//! When every point has a line, [`ShardSink::finalize`] publishes the
+//! shard atomically: records are re-read from the partial *by offset*
+//! in global-id order (the full record set is never resident in
+//! memory), written to a temp file, fsynced, then renamed to
+//! `shard-<i>-of-<N>.jsonl` alongside an equally atomic
+//! `shard-<i>-of-<N>.summary.json`. A crash before the rename leaves
+//! the partial to resume from; after it, the shard is complete and a
+//! re-run is a no-op.
+//!
+//! Fault site: `dataset.sink.record` tears a record write in half
+//! (bytes land, no newline, error reported) — the chaos tests drive
+//! recovery through it.
+
+use oasys_telemetry::json;
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Write-buffer capacity: bounds sink memory however large the records
+/// get (netlists included); every record is flushed through it anyway.
+const BUFFER_BYTES: usize = 64 * 1024;
+
+/// File-name stem for one shard of `shards`.
+#[must_use]
+pub fn shard_stem(shard_index: usize, shards: usize) -> String {
+    format!("shard-{shard_index}-of-{shards}")
+}
+
+/// Path of a shard's published record file.
+#[must_use]
+pub fn shard_records_path(dir: &Path, shard_index: usize, shards: usize) -> PathBuf {
+    dir.join(format!("{}.jsonl", shard_stem(shard_index, shards)))
+}
+
+/// Path of a shard's published summary file.
+#[must_use]
+pub fn shard_summary_path(dir: &Path, shard_index: usize, shards: usize) -> PathBuf {
+    dir.join(format!("{}.summary.json", shard_stem(shard_index, shards)))
+}
+
+/// The streaming record sink for one shard.
+pub struct ShardSink {
+    partial_path: PathBuf,
+    records_path: PathBuf,
+    summary_path: PathBuf,
+    writer: BufWriter<File>,
+    /// Global id → (offset, length) of its line in the partial file.
+    index: BTreeMap<usize, (u64, u64)>,
+    offset: u64,
+}
+
+impl ShardSink {
+    /// `true` when this shard has already been published (records +
+    /// summary exist) — a re-run may skip it entirely.
+    #[must_use]
+    pub fn is_complete(dir: &Path, shard_index: usize, shards: usize) -> bool {
+        shard_records_path(dir, shard_index, shards).is_file()
+            && shard_summary_path(dir, shard_index, shards).is_file()
+    }
+
+    /// Opens (or resumes) the shard's partial file. An existing partial
+    /// is salvaged line by line: each well-formed record line joins the
+    /// resume index; the first malformed or torn line — and everything
+    /// after it — is truncated away and will re-run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures creating, reading, or repairing the
+    /// partial file.
+    pub fn open(dir: &Path, shard_index: usize, shards: usize) -> std::io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        let partial_path = dir.join(format!("{}.jsonl.partial", shard_stem(shard_index, shards)));
+        let mut index = BTreeMap::new();
+        let mut durable = 0u64;
+        if partial_path.is_file() {
+            let text = std::fs::read_to_string(&partial_path)?;
+            let mut cursor = 0usize;
+            for line in text.split_inclusive('\n') {
+                if !line.ends_with('\n') {
+                    break; // torn tail: no newline made it to disk
+                }
+                let Some(id) = parse_record_id(line) else {
+                    break; // corrupt line: drop it and everything after
+                };
+                index.insert(id, (cursor as u64, line.len() as u64));
+                cursor += line.len();
+                durable = cursor as u64;
+            }
+            if durable < text.len() as u64 {
+                let file = OpenOptions::new().write(true).open(&partial_path)?;
+                file.set_len(durable)?;
+                file.sync_all()?;
+            }
+        }
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&partial_path)?;
+        Ok(Self {
+            partial_path,
+            records_path: shard_records_path(dir, shard_index, shards),
+            summary_path: shard_summary_path(dir, shard_index, shards),
+            writer: BufWriter::with_capacity(BUFFER_BYTES, file),
+            index,
+            offset: durable,
+        })
+    }
+
+    /// Global ids already on durable record (salvaged or written this
+    /// run).
+    #[must_use]
+    pub fn recorded_ids(&self) -> Vec<usize> {
+        self.index.keys().copied().collect()
+    }
+
+    /// Number of records on durable record.
+    #[must_use]
+    pub fn recorded_count(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Appends one record line (no trailing newline in `line`) and
+    /// flushes it to the OS — a crash after `record` returns cannot
+    /// lose this record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures; the injected `dataset.sink.record`
+    /// fault lands half the bytes and then fails, exactly like a
+    /// mid-write crash.
+    pub fn record(&mut self, id: usize, line: &str) -> std::io::Result<()> {
+        if oasys_faults::armed() && oasys_faults::fired("dataset.sink.record") {
+            let torn = &line[..line.len() / 2];
+            self.writer.write_all(torn.as_bytes())?;
+            self.writer.flush()?;
+            return Err(std::io::Error::other("fault injected: torn record write"));
+        }
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        self.index.insert(id, (self.offset, line.len() as u64 + 1));
+        self.offset += line.len() as u64 + 1;
+        Ok(())
+    }
+
+    /// Publishes the shard: records stream from the partial file in
+    /// global-id order into `<stem>.jsonl` (temp file → fsync →
+    /// rename), `summary_json` lands as `<stem>.summary.json` the same
+    /// way, and the partial is removed. Only one record is in memory at
+    /// a time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; on error the partial file survives, so
+    /// the shard resumes rather than restarts.
+    pub fn finalize(mut self, summary_json: &str) -> std::io::Result<()> {
+        self.writer.flush()?;
+        let mut partial = File::open(&self.partial_path)?;
+        let tmp = self
+            .records_path
+            .with_extension(format!("jsonl.tmp.{}", std::process::id()));
+        {
+            let mut out = BufWriter::with_capacity(BUFFER_BYTES, File::create(&tmp)?);
+            let mut line = Vec::new();
+            for &(start, len) in self.index.values() {
+                partial.seek(SeekFrom::Start(start))?;
+                line.resize(len as usize, 0);
+                partial.read_exact(&mut line)?;
+                if !line.ends_with(b"\n") {
+                    line.push(b'\n');
+                }
+                out.write_all(&line)?;
+            }
+            out.flush()?;
+            out.get_ref().sync_all()?;
+        }
+        std::fs::rename(&tmp, &self.records_path)?;
+        write_atomic(&self.summary_path, summary_json)?;
+        std::fs::remove_file(&self.partial_path)?;
+        Ok(())
+    }
+}
+
+/// Writes a whole file atomically: temp file, fsync, rename.
+///
+/// # Errors
+///
+/// Propagates I/O failures; a crash mid-write leaves only the temp
+/// file, never a half-written target.
+pub fn write_atomic(path: &Path, text: &str) -> std::io::Result<()> {
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    {
+        let mut file = File::create(&tmp)?;
+        file.write_all(text.as_bytes())?;
+        file.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+/// Extracts the `"id"` of a record line, validating it is parseable
+/// JSON (the salvage gate — a torn or corrupt line fails here).
+#[must_use]
+pub fn parse_record_id(line: &str) -> Option<usize> {
+    let value = json::parse(line.trim_end()).ok()?;
+    let id = value.get("id")?.as_num()?;
+    if id.fract() != 0.0 || id < 0.0 {
+        return None;
+    }
+    Some(id as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(id: usize) -> String {
+        format!("{{\"id\":{id},\"outcome\":\"ok\"}}")
+    }
+
+    #[test]
+    fn records_stream_and_salvage_survives_reopen() {
+        let dir = crate::dataset::test_dir("sink_salvage");
+        {
+            let mut sink = ShardSink::open(&dir, 0, 1).unwrap();
+            sink.record(2, &line(2)).unwrap();
+            sink.record(0, &line(0)).unwrap();
+            // No finalize: simulate a crash between records.
+        }
+        let sink = ShardSink::open(&dir, 0, 1).unwrap();
+        assert_eq!(sink.recorded_ids(), vec![0, 2]);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_rerun() {
+        let dir = crate::dataset::test_dir("sink_torn");
+        {
+            let mut sink = ShardSink::open(&dir, 0, 1).unwrap();
+            sink.record(0, &line(0)).unwrap();
+            oasys_faults::set("dataset.sink.record", oasys_faults::FaultSpec::FailOnce);
+            let err = sink.record(1, &line(1)).unwrap_err();
+            assert!(err.to_string().contains("torn"), "{err}");
+            oasys_faults::remove("dataset.sink.record");
+        }
+        let sink = ShardSink::open(&dir, 0, 1).unwrap();
+        assert_eq!(sink.recorded_ids(), vec![0], "torn record must re-run");
+    }
+
+    #[test]
+    fn finalize_publishes_sorted_records_atomically() {
+        let dir = crate::dataset::test_dir("sink_finalize");
+        let mut sink = ShardSink::open(&dir, 1, 2).unwrap();
+        for id in [5, 1, 3] {
+            sink.record(id, &line(id)).unwrap();
+        }
+        sink.finalize("{\"records\":3}").unwrap();
+        let published = std::fs::read_to_string(shard_records_path(&dir, 1, 2)).unwrap();
+        assert_eq!(
+            published,
+            format!("{}\n{}\n{}\n", line(1), line(3), line(5))
+        );
+        let summary = std::fs::read_to_string(shard_summary_path(&dir, 1, 2)).unwrap();
+        assert_eq!(summary, "{\"records\":3}");
+        assert!(ShardSink::is_complete(&dir, 1, 2));
+        assert!(!dir.join("shard-1-of-2.jsonl.partial").exists());
+    }
+
+    #[test]
+    fn rewritten_record_takes_the_latest_line() {
+        let dir = crate::dataset::test_dir("sink_rewrite");
+        let mut sink = ShardSink::open(&dir, 0, 1).unwrap();
+        sink.record(0, "{\"id\":0,\"outcome\":\"failed\"}").unwrap();
+        sink.record(0, &line(0)).unwrap();
+        sink.finalize("{}").unwrap();
+        let published = std::fs::read_to_string(shard_records_path(&dir, 0, 1)).unwrap();
+        assert_eq!(published, format!("{}\n", line(0)));
+    }
+}

@@ -51,6 +51,7 @@
 
 pub mod batch;
 pub mod comparator;
+pub mod dataset;
 pub mod datasheet;
 pub mod fully_differential;
 pub mod hierarchy;

@@ -1,0 +1,309 @@
+//! Process-corner derivation: slow/typ/fast × temperature × supply.
+//!
+//! Dataset generation sweeps every design over *corners* — systematic
+//! whole-wafer deviations of the fabrication process combined with
+//! operating-point shifts (junction temperature, supply droop). A corner
+//! is derived from a nominal [`Process`] by the classic first-order
+//! device-physics relations:
+//!
+//! * **Speed skew** — a slow wafer has thicker oxide and heavier channel
+//!   doping, so `|Vth|` rises and `K'` (and the mobility behind it)
+//!   falls; a fast wafer is the mirror image. The skew magnitudes
+//!   ([`VTH_SKEW_FRAC`], [`KPRIME_SKEW_FRAC`]) follow typical ±3σ
+//!   foundry corner spreads.
+//! * **Temperature** — mobility degrades as `(T/T₀)^−1.5` (phonon
+//!   scattering), scaling `K'`; `|Vth|` drops ~2 mV/°C as the Fermi
+//!   level moves with temperature.
+//! * **Supply** — both rails scale by a fraction of nominal, modelling
+//!   regulator tolerance and IR droop.
+//!
+//! Derivation is pure: the same base process and corner always produce
+//! the same derived [`Process`], and [`techfile::write`](crate::techfile::write)
+//! of the result is byte-stable — the dataset layer relies on this to
+//! fingerprint corner jobs deterministically.
+
+use crate::builder::BuildProcessError;
+use crate::params::{Polarity, Process};
+use crate::ProcessBuilder;
+use std::fmt;
+
+/// Fractional `|Vth|` shift at the slow/fast speed corners.
+pub const VTH_SKEW_FRAC: f64 = 0.10;
+
+/// Fractional `K'` shift at the slow/fast speed corners.
+pub const KPRIME_SKEW_FRAC: f64 = 0.15;
+
+/// `|Vth|` temperature coefficient, V/°C (magnitude shrinks when hot).
+pub const VTH_TEMP_V_PER_C: f64 = 2.0e-3;
+
+/// Mobility temperature exponent: `K' ∝ (T/T₀)^−1.5`.
+pub const MOBILITY_TEMP_EXP: f64 = -1.5;
+
+/// Nominal junction temperature, °C.
+pub const NOMINAL_TEMP_C: f64 = 27.0;
+
+/// The wafer speed skew of a corner.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CornerSpeed {
+    /// Slow wafer: higher `|Vth|`, lower `K'`.
+    Slow,
+    /// Typical wafer: the nominal parameter set.
+    Typ,
+    /// Fast wafer: lower `|Vth|`, higher `K'`.
+    Fast,
+}
+
+impl CornerSpeed {
+    /// All three skews, slow → fast.
+    pub const ALL: [CornerSpeed; 3] = [CornerSpeed::Slow, CornerSpeed::Typ, CornerSpeed::Fast];
+
+    /// Parses a manifest token (`slow`, `typ`, `fast`).
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "slow" => Some(CornerSpeed::Slow),
+            "typ" => Some(CornerSpeed::Typ),
+            "fast" => Some(CornerSpeed::Fast),
+            _ => None,
+        }
+    }
+
+    /// The manifest token for this skew.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            CornerSpeed::Slow => "slow",
+            CornerSpeed::Typ => "typ",
+            CornerSpeed::Fast => "fast",
+        }
+    }
+
+    /// Signed skew direction: −1 slow, 0 typ, +1 fast.
+    #[must_use]
+    pub fn sign(self) -> f64 {
+        match self {
+            CornerSpeed::Slow => -1.0,
+            CornerSpeed::Typ => 0.0,
+            CornerSpeed::Fast => 1.0,
+        }
+    }
+}
+
+impl fmt::Display for CornerSpeed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One operating/process corner: speed skew × temperature × supply scale.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Corner {
+    /// Wafer speed skew.
+    pub speed: CornerSpeed,
+    /// Junction temperature, °C.
+    pub temp_c: f64,
+    /// Supply scale factor relative to nominal (1.0 = nominal rails).
+    pub supply_scale: f64,
+}
+
+impl Corner {
+    /// The nominal corner: typical wafer, 27 °C, nominal rails.
+    #[must_use]
+    pub fn nominal() -> Self {
+        Self {
+            speed: CornerSpeed::Typ,
+            temp_c: NOMINAL_TEMP_C,
+            supply_scale: 1.0,
+        }
+    }
+
+    /// `true` when this corner leaves the process untouched.
+    #[must_use]
+    pub fn is_nominal(&self) -> bool {
+        self.speed == CornerSpeed::Typ && self.temp_c == NOMINAL_TEMP_C && self.supply_scale == 1.0
+    }
+
+    /// A stable, filesystem- and JSON-safe label, e.g. `slow_m40c_90pct`
+    /// (`m` marks a negative temperature). Round-trips the corner's
+    /// identity for record keys: temperature to the nearest degree,
+    /// supply to the nearest percent.
+    #[must_use]
+    pub fn label(&self) -> String {
+        let t = self.temp_c.round() as i64;
+        let tdigits = t.unsigned_abs();
+        let tsign = if t < 0 { "m" } else { "" };
+        let pct = (self.supply_scale * 100.0).round() as i64;
+        format!("{}_{tsign}{tdigits}c_{pct}pct", self.speed)
+    }
+}
+
+impl fmt::Display for Corner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} / {:.0} °C / {:.0}% supply",
+            self.speed,
+            self.temp_c,
+            self.supply_scale * 100.0
+        )
+    }
+}
+
+/// Derives the process parameter set at `corner` from a nominal `base`.
+///
+/// The derived process is named `<base> @ <label>` so datasheets and
+/// records identify the corner at a glance. Deriving the
+/// [nominal](Corner::is_nominal) corner returns a byte-identical
+/// parameter set under the base name.
+///
+/// # Errors
+///
+/// Returns [`BuildProcessError`] when the skewed parameters leave the
+/// physically valid range the [`ProcessBuilder`] enforces (e.g. an
+/// extreme temperature driving `Vth` through zero).
+pub fn derive(base: &Process, corner: &Corner) -> Result<Process, BuildProcessError> {
+    if corner.is_nominal() {
+        return Ok(base.clone());
+    }
+    let name = format!("{} @ {}", base.name(), corner.label());
+    let dt = corner.temp_c - NOMINAL_TEMP_C;
+    let t_ratio = (corner.temp_c + 273.15) / (NOMINAL_TEMP_C + 273.15);
+    let kprime_scale =
+        (1.0 + corner.speed.sign() * KPRIME_SKEW_FRAC) * t_ratio.powf(MOBILITY_TEMP_EXP);
+    let vth_scale = 1.0 - corner.speed.sign() * VTH_SKEW_FRAC;
+    let supply = corner.supply_scale;
+    rebuild(base, name, move |_, key, value| match key {
+        SkewKey::Vth => (value.abs() * vth_scale - VTH_TEMP_V_PER_C * dt).max(0.0) * value.signum(),
+        SkewKey::Kprime => value * kprime_scale,
+        SkewKey::Supply => value * supply,
+    })
+}
+
+/// Which parameter a skew closure is being asked to adjust.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SkewKey {
+    Vth,
+    Kprime,
+    Supply,
+}
+
+/// Rebuilds `base` through the validating builder, passing the
+/// corner-sensitive parameters through `skew` and copying the rest.
+fn rebuild(
+    base: &Process,
+    name: String,
+    skew: impl Fn(Polarity, SkewKey, f64) -> f64,
+) -> Result<Process, BuildProcessError> {
+    let mut b = ProcessBuilder::new(name)
+        .min_width_um(base.min_width().micrometers())
+        .min_length_um(base.min_length().micrometers())
+        .min_drain_width_um(base.min_drain_width().micrometers())
+        .built_in_v(base.built_in().volts())
+        .vdd_v(skew(Polarity::Nmos, SkewKey::Supply, base.vdd().volts()))
+        .vss_v(skew(Polarity::Nmos, SkewKey::Supply, base.vss().volts()))
+        .tox_angstrom(base.tox().meters() * 1e10)
+        .cap_ff_um2(base.cap_per_area() * 1e3);
+    for polarity in Polarity::ALL {
+        let m = base.mos(polarity);
+        b = b
+            .vth(polarity, skew(polarity, SkewKey::Vth, m.vth().volts()))
+            .kprime(
+                polarity,
+                skew(polarity, SkewKey::Kprime, m.kprime_ua_per_v2()),
+            )
+            .lambda_l(polarity, m.lambda_l())
+            .cj(polarity, m.cj_ff_per_um2())
+            .cjsw(polarity, m.cjsw_ff_per_um())
+            .gamma(polarity, m.gamma())
+            .phi(polarity, m.phi());
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtin;
+    use crate::techfile;
+
+    #[test]
+    fn nominal_corner_is_identity() {
+        let base = builtin::cmos_5um();
+        let derived = derive(&base, &Corner::nominal()).unwrap();
+        assert_eq!(techfile::write(&base), techfile::write(&derived));
+    }
+
+    #[test]
+    fn slow_corner_raises_vth_and_lowers_kprime() {
+        let base = builtin::cmos_5um();
+        let corner = Corner {
+            speed: CornerSpeed::Slow,
+            temp_c: NOMINAL_TEMP_C,
+            supply_scale: 1.0,
+        };
+        let slow = derive(&base, &corner).unwrap();
+        assert!(slow.nmos().vth().volts() > base.nmos().vth().volts());
+        assert!(slow.nmos().kprime_ua_per_v2() < base.nmos().kprime_ua_per_v2());
+        assert!(slow.name().contains("slow_27c_100pct"));
+    }
+
+    #[test]
+    fn hot_corner_lowers_vth_and_mobility() {
+        let base = builtin::cmos_5um();
+        let corner = Corner {
+            speed: CornerSpeed::Typ,
+            temp_c: 85.0,
+            supply_scale: 1.0,
+        };
+        let hot = derive(&base, &corner).unwrap();
+        assert!(hot.nmos().vth().volts() < base.nmos().vth().volts());
+        assert!(hot.nmos().kprime_ua_per_v2() < base.nmos().kprime_ua_per_v2());
+    }
+
+    #[test]
+    fn supply_scale_moves_both_rails() {
+        let base = builtin::cmos_5um();
+        let corner = Corner {
+            speed: CornerSpeed::Typ,
+            temp_c: NOMINAL_TEMP_C,
+            supply_scale: 0.9,
+        };
+        let low = derive(&base, &corner).unwrap();
+        assert!((low.vdd().volts() - base.vdd().volts() * 0.9).abs() < 1e-12);
+        assert!((low.vss().volts() - base.vss().volts() * 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn derivation_is_deterministic_and_round_trips() {
+        let base = builtin::cmos_3um();
+        let corner = Corner {
+            speed: CornerSpeed::Fast,
+            temp_c: -40.0,
+            supply_scale: 1.1,
+        };
+        let a = techfile::write(&derive(&base, &corner).unwrap());
+        let b = techfile::write(&derive(&base, &corner).unwrap());
+        assert_eq!(a, b);
+        let reparsed = techfile::parse(&a).unwrap();
+        assert!(reparsed.name().ends_with("fast_m40c_110pct"));
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        let corner = Corner {
+            speed: CornerSpeed::Slow,
+            temp_c: -40.0,
+            supply_scale: 0.9,
+        };
+        assert_eq!(corner.label(), "slow_m40c_90pct");
+        assert_eq!(Corner::nominal().label(), "typ_27c_100pct");
+    }
+
+    #[test]
+    fn speed_tokens_round_trip() {
+        for speed in CornerSpeed::ALL {
+            assert_eq!(CornerSpeed::from_name(speed.name()), Some(speed));
+        }
+        assert_eq!(CornerSpeed::from_name("nominal"), None);
+    }
+}

@@ -33,9 +33,11 @@
 
 mod builder;
 pub mod builtin;
+pub mod corners;
 mod params;
 pub mod techfile;
 
 pub use builder::{BuildProcessError, ProcessBuilder};
+pub use corners::{Corner, CornerSpeed};
 pub use params::{MosParams, Polarity, Process};
 pub use techfile::ParseTechfileError;

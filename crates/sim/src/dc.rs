@@ -509,7 +509,7 @@ fn assemble(
                 }
             }
             Element::Mos(m) => {
-                let device = oasys_mos::Mosfet::new(m.polarity, m.geometry, process);
+                let device = crate::mismatch::bind(m, process);
                 let stamp = mos_stamp(
                     &device,
                     volt(m.drain),

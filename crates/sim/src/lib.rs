@@ -48,11 +48,14 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod ac;
 pub mod complex;
 pub mod dc;
 pub mod linalg;
 pub mod metrics;
+pub mod mismatch;
 pub mod mna;
 pub mod noise;
 pub mod sweep;

@@ -153,7 +153,7 @@ pub fn bound_mosfets<'c>(
     process: &'c oasys_process::Process,
 ) -> impl Iterator<Item = (&'c oasys_netlist::MosInstance, Mosfet)> + 'c {
     circuit.elements().iter().filter_map(move |e| match e {
-        Element::Mos(m) => Some((m, Mosfet::new(m.polarity, m.geometry, process))),
+        Element::Mos(m) => Some((m, crate::mismatch::bind(m, process))),
         _ => None,
     })
 }

@@ -563,7 +563,7 @@ fn assemble_tran(
                 }
             }
             Element::Mos(m) => {
-                let device = oasys_mos::Mosfet::new(m.polarity, m.geometry, process);
+                let device = crate::mismatch::bind(m, process);
                 let stamp = mos_stamp(
                     &device,
                     volt(x, m.drain),

@@ -16,6 +16,7 @@ fn main() -> ExitCode {
         Some("analyze") => analyze(),
         Some("smoke") => smoke(),
         Some("smoke-serve") => smoke_serve(),
+        Some("smoke-dataset") => smoke_dataset(),
         Some("docs") => docs(),
         Some("bench-schema") => bench_schema(),
         Some("panics") => panics(),
@@ -27,8 +28,8 @@ fn main() -> ExitCode {
                  the panic-freedom gate over the core crates,\n                 \
                  `oasys lint --deny-warnings` over the example specs,\n                 \
                  the static-analysis gate over the builtin plans,\n                 \
-                 the end-to-end trace + batch smoke runs, the docs gate,\n                 \
-                 and the bench-report schema gate\n  \
+                 the end-to-end trace + batch + dataset smoke runs,\n                 \
+                 the docs gate, and the bench-report schema gate\n  \
                  analyze        only the static-analysis gate: the builtin style plans\n                 \
                  must be diagnostic-free in JSON and SARIF output\n  \
                  lint-examples  only the example-spec lint gate\n  \
@@ -41,6 +42,9 @@ fn main() -> ExitCode {
                  socket, submit spec-a over the wire, validate the JSON\n                 \
                  response, then prove graceful drain with a request\n                 \
                  still in flight\n  \
+                 smoke-dataset  only the dataset leg: generate the bundled sampled\n                 \
+                 dataset manifest in two shards through the CLI, merge,\n                 \
+                 and validate every record against `oasys-dataset/1`\n  \
                  docs           only the docs gate: rustdoc with -D warnings + doc-tests\n  \
                  bench-schema   only the committed BENCH_synthesis.json schema gate\n  \
                  panics         only the panic-freedom gate: no unwrap/expect in\n                 \
@@ -80,6 +84,9 @@ fn check() -> ExitCode {
     }
     if smoke() != ExitCode::SUCCESS {
         failed.push("smoke".to_string());
+    }
+    if smoke_dataset() != ExitCode::SUCCESS {
+        failed.push("smoke-dataset".to_string());
     }
     if docs() != ExitCode::SUCCESS {
         failed.push("docs".to_string());
@@ -645,6 +652,123 @@ fn wait_for_exit(server: &mut std::process::Child, socket: &str) -> Result<(), S
     }
     let _ = server.kill();
     Err("server did not drain within 30 s".to_string())
+}
+
+/// Dataset smoke gate: generate the bundled sampled dataset manifest
+/// (`data/dataset.manifest`, 1080 points) in two shards through the
+/// real CLI, merge them, and run every merged record through the
+/// `oasys-dataset/1` validator. Fails on any run error, a record count
+/// that disagrees with the shard summaries, an id that is not dense in
+/// order, or a schema violation — the executable form of `DATASET.md`.
+fn smoke_dataset() -> ExitCode {
+    let manifest = "data/dataset.manifest";
+    if !std::path::Path::new(manifest).is_file() {
+        eprintln!("xtask: {manifest} not found (run from the workspace root)");
+        return ExitCode::FAILURE;
+    }
+    let out_dir = "target/smoke/dataset";
+    let _ = std::fs::remove_dir_all(out_dir);
+
+    for shard_index in ["0", "1"] {
+        let args = [
+            "run",
+            "--release",
+            "-q",
+            "-p",
+            "oasys",
+            "--bin",
+            "oasys",
+            "--",
+            "dataset",
+            manifest,
+            "--out",
+            out_dir,
+            "--shards",
+            "2",
+            "--shard-index",
+            shard_index,
+            "--no-verify",
+        ];
+        if !run("cargo", &args) {
+            eprintln!("xtask smoke-dataset: shard {shard_index} failed");
+            return ExitCode::FAILURE;
+        }
+    }
+    let merge_args = [
+        "run",
+        "--release",
+        "-q",
+        "-p",
+        "oasys",
+        "--bin",
+        "oasys",
+        "--",
+        "dataset",
+        "merge",
+        out_dir,
+    ];
+    if !run("cargo", &merge_args) {
+        eprintln!("xtask smoke-dataset: merge failed");
+        return ExitCode::FAILURE;
+    }
+
+    let records_path = format!("{out_dir}/dataset.jsonl");
+    let text = match std::fs::read_to_string(&records_path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("xtask smoke-dataset: {records_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let summary_path = format!("{out_dir}/dataset-summary.json");
+    let expected = match std::fs::read_to_string(&summary_path)
+        .map_err(|e| e.to_string())
+        .and_then(|s| oasys_telemetry::json::parse(&s).map_err(|e| e.to_string()))
+        .map(|s| s.get("records").and_then(|r| r.as_num()))
+    {
+        Ok(Some(records)) => records as usize,
+        Ok(None) => {
+            eprintln!("xtask smoke-dataset: {summary_path} has no \"records\" count");
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("xtask smoke-dataset: {summary_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let lines: Vec<&str> = text.lines().collect();
+    if lines.len() != expected {
+        eprintln!(
+            "xtask smoke-dataset: {records_path}: summary promises {expected} records, found {}",
+            lines.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    for (idx, line) in lines.iter().enumerate() {
+        let record = match oasys_telemetry::json::parse(line) {
+            Ok(record) => record,
+            Err(e) => {
+                eprintln!("xtask smoke-dataset: {records_path} line {}: {e}", idx + 1);
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = oasys::dataset::schema::validate_record(&record) {
+            eprintln!("xtask smoke-dataset: {records_path} line {}: {e}", idx + 1);
+            return ExitCode::FAILURE;
+        }
+        if record.get("id").and_then(|v| v.as_num()) != Some(idx as f64) {
+            eprintln!(
+                "xtask smoke-dataset: {records_path} line {}: ids must be dense and ordered",
+                idx + 1
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    println!(
+        "xtask smoke-dataset: {} records merged from 2 shards, every record validates",
+        lines.len()
+    );
+    ExitCode::SUCCESS
 }
 
 /// Docs gate: `cargo doc --no-deps` must be warning-free and every
