@@ -96,8 +96,8 @@ fn main() {
             .iter()
             .map(|p| (p.name().to_owned(), oasys_process::techfile::write(p)))
             .collect();
-        let run_sweep = || {
-            let jobs: Vec<Job> = specs
+        let make_jobs = || -> Vec<Job> {
+            specs
                 .iter()
                 .flat_map(|(spec_label, spec_text)| {
                     techs.iter().map(move |(tech_label, tech_text)| {
@@ -114,16 +114,51 @@ fn main() {
                         tech_text.as_str(),
                     )
                 })
-                .collect();
-            // A fresh runner per iteration so every batch pays the full
-            // cold-cache cost, like a new `oasys batch` process would.
+                .collect()
+        };
+        // A fresh runner per iteration so every batch pays the full
+        // cold-cache cost, like a new `oasys batch` process would.
+        let run_sweep = || {
             let runner = std::sync::Arc::new(SynthRunner::new().with_verify(false));
             let tel = Telemetry::disabled();
-            Batch::new(black_box(jobs), BatchOptions::default().with_verify(false))
+            Batch::new(
+                black_box(make_jobs()),
+                BatchOptions::default().with_verify(false),
+            )
+            .run(&runner, &tel, |_| {})
+            .unwrap()
+        };
+        // The checksum-overhead comparison pair: the same sweep writing
+        // an FNV-1a-sealed checkpoint line per job. The schema gates on
+        // the ratio of the two medians (summary::MAX_CHECKSUM_OVERHEAD_RATIO
+        // — integrity must cost ≤5%), and interleaved batches keep
+        // machine drift out of that ratio. A fresh checkpoint path per
+        // iteration: an existing checkpoint would skip every job.
+        let checkpoint_dir =
+            std::env::temp_dir().join(format!("oasys-bench-checkpoint-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&checkpoint_dir);
+        std::fs::create_dir_all(&checkpoint_dir).expect("bench checkpoint dir");
+        let mut checkpoint_iteration = 0u64;
+        b.bench_pair(
+            "batch/sweep_3x3",
+            run_sweep,
+            "batch/sweep_3x3_checksum",
+            || {
+                checkpoint_iteration += 1;
+                let path = checkpoint_dir.join(format!("{checkpoint_iteration}.checkpoint"));
+                let runner = std::sync::Arc::new(SynthRunner::new().with_verify(false));
+                let tel = Telemetry::disabled();
+                Batch::new(
+                    black_box(make_jobs()),
+                    BatchOptions::default().with_verify(false),
+                )
+                .with_checkpoint(&path)
+                .expect("bench checkpoint opens")
                 .run(&runner, &tel, |_| {})
                 .unwrap()
-        };
-        b.bench("batch/sweep_3x3", run_sweep);
+            },
+        );
+        let _ = std::fs::remove_dir_all(&checkpoint_dir);
 
         // The same sweep with the fault plane armed on an inert site:
         // every `fail_point!` in the hot paths now pays the armed-path
@@ -172,6 +207,51 @@ fn main() {
             report.records
         });
         let _ = std::fs::remove_dir_all(&base);
+    }
+
+    // Overload-shed latency: the client-observed round trip of a `busy`
+    // frame from a saturated server — the in-flight slot held by one
+    // stalled connection, the one-deep queue filled by another — so the
+    // cost of being turned away under overload stays visible
+    // (summary::REQUIRED_ROWS keeps the row in the report).
+    {
+        use oasys::serve::{op_request, request, ServeOptions, Server};
+        let socket =
+            std::env::temp_dir().join(format!("oasys-bench-shed-{}.sock", std::process::id()));
+        let server = Server::bind(
+            ServeOptions::new(&socket)
+                .with_workers(1)
+                .with_max_inflight(1)
+                .with_queue_depth(1)
+                .with_cache_entries(16)
+                // Far past the bench window: the saturating connections
+                // must never be evicted or stale-shed mid-measurement.
+                .with_io_timeout(std::time::Duration::from_secs(300)),
+        )
+        .expect("bench server binds");
+        let shutdown = server.shutdown_flag();
+        let runner = std::thread::spawn(move || server.run().expect("bench server drains"));
+        // Saturate in two steps so the first connection is dispatched
+        // (holding the only in-flight slot) before the second arrives
+        // to fill the queue; from then on every connect is shed.
+        let hold_inflight =
+            std::os::unix::net::UnixStream::connect(&socket).expect("saturating connect");
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        let hold_queue =
+            std::os::unix::net::UnixStream::connect(&socket).expect("saturating connect");
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        let first = request(&socket, &op_request("ping")).expect("shed round trip");
+        assert!(
+            first.contains("\"busy\""),
+            "saturated server must shed: {first}"
+        );
+        b.bench("serve/shed_latency", || {
+            request(&socket, &op_request("ping")).expect("shed round trip")
+        });
+        drop(hold_inflight);
+        drop(hold_queue);
+        shutdown.store(true, std::sync::atomic::Ordering::SeqCst);
+        runner.join().expect("bench server thread");
     }
 
     let spec = test_cases::spec_a().with_dc_gain_db(80.0);

@@ -11,7 +11,7 @@ use oasys_telemetry::{json, RunReport};
 /// Schema identifier of the emitted document.
 pub const SCHEMA_NAME: &str = "oasys-bench";
 /// Schema version of the emitted document.
-pub const SCHEMA_VERSION: u32 = 4;
+pub const SCHEMA_VERSION: u32 = 5;
 
 /// The untraced baseline row of the telemetry-overhead comparison.
 pub const BASELINE_ROW: &str = "synthesize/case_a";
@@ -39,6 +39,22 @@ pub const MIN_POOL_SPEEDUP_RATIO: f64 = 1.0;
 /// measurement-noise tolerance, not a performance budget.
 pub const MIN_POOL_SPEEDUP_RATIO_SINGLE_CORE: f64 = 0.95;
 
+/// The plain-sweep baseline row of the checksum-overhead comparison.
+pub const CHECKSUM_BASELINE_ROW: &str = "batch/sweep_3x3";
+/// The sealed-checkpoint sweep of the checksum-overhead comparison:
+/// the same 3×3 batch writing an FNV-1a-sealed checkpoint line per job.
+pub const CHECKSUM_ROW: &str = "batch/sweep_3x3_checksum";
+
+/// Ceiling on `checksum_overhead_ratio`: end-to-end data integrity
+/// (per-line FNV-1a seals on the batch checkpoint) must cost no more
+/// than 5% over the plain sweep, or `validate` — and with it
+/// `cargo xtask bench-schema` — fails.
+pub const MAX_CHECKSUM_OVERHEAD_RATIO: f64 = 1.05;
+
+/// The overload-shedding latency row: the client-observed round trip
+/// of a `busy` frame from a saturated server.
+pub const SHED_LATENCY_ROW: &str = "serve/shed_latency";
+
 /// Benchmark rows the report must always carry: the sequential (one
 /// worker) vs. parallel (one worker per style) style-search comparison
 /// on the same case, so the concurrency win stays visible run over run,
@@ -48,16 +64,20 @@ pub const MIN_POOL_SPEEDUP_RATIO_SINGLE_CORE: f64 = 0.95;
 /// `oasys-faults` in the hot paths stays visible, a sweep whose
 /// spec is pruned before any plan executes so the cost of answering
 /// "infeasible" statically stays visible, the untraced-vs-traced
-/// pair behind the `telemetry_overhead_ratio` gate, and a 12-point
+/// pair behind the `telemetry_overhead_ratio` gate, a 12-point
 /// sampled dataset shard generated end-to-end (plan expansion, batch
-/// execution, flushed JSONL sink) so dataset throughput stays visible.
-pub const REQUIRED_ROWS: [&str; 8] = [
+/// execution, flushed JSONL sink) so dataset throughput stays visible,
+/// the sealed-checkpoint sweep behind the `checksum_overhead_ratio`
+/// gate, and the client-observed shed latency of a saturated server.
+pub const REQUIRED_ROWS: [&str; 10] = [
     "style_search/case_a_threads_1",
     "style_search/case_a_threads_max",
     "style_search/case_a_pruned",
-    "batch/sweep_3x3",
+    CHECKSUM_BASELINE_ROW,
     "batch/sweep_3x3_chaos",
+    CHECKSUM_ROW,
     "dataset/shard_throughput",
+    SHED_LATENCY_ROW,
     BASELINE_ROW,
     TELEMETRY_ROW,
 ];
@@ -200,6 +220,34 @@ pub fn validate(text: &str) -> Result<String, String> {
         ));
     }
 
+    // The checksum-overhead gate: sealed-checkpoint sweep over plain
+    // sweep medians, held under the 5% integrity budget.
+    let checksum_ratio = doc
+        .get("checksum_overhead_ratio")
+        .and_then(json::Json::as_num)
+        .ok_or("missing `checksum_overhead_ratio` number")?;
+    let plain = median_of(CHECKSUM_BASELINE_ROW)?;
+    let sealed = median_of(CHECKSUM_ROW)?;
+    if plain <= 0.0 {
+        return Err(format!(
+            "{CHECKSUM_BASELINE_ROW:?} median_ns must be positive"
+        ));
+    }
+    let recomputed_checksum = sealed / plain;
+    if (recomputed_checksum - checksum_ratio).abs() > 1e-6 {
+        return Err(format!(
+            "checksum_overhead_ratio is {checksum_ratio}, but {CHECKSUM_ROW:?} / \
+             {CHECKSUM_BASELINE_ROW:?} medians give {recomputed_checksum}"
+        ));
+    }
+    if recomputed_checksum > MAX_CHECKSUM_OVERHEAD_RATIO {
+        return Err(format!(
+            "checksum overhead ratio {recomputed_checksum:.3} exceeds the \
+             {MAX_CHECKSUM_OVERHEAD_RATIO} ceiling ({CHECKSUM_ROW} median {sealed} ns vs \
+             {CHECKSUM_BASELINE_ROW} median {plain} ns)"
+        ));
+    }
+
     let rollup = doc
         .get("span_rollup")
         .and_then(json::Json::as_arr)
@@ -255,7 +303,8 @@ pub fn validate(text: &str) -> Result<String, String> {
 
     Ok(format!(
         "{} bench rows, {} rollup spans, counters ok, {} histograms, \
-         telemetry overhead {recomputed:.3}, pool speedup {recomputed_speedup:.3}",
+         telemetry overhead {recomputed:.3}, pool speedup {recomputed_speedup:.3}, \
+         checksum overhead {recomputed_checksum:.3}",
         benches.len(),
         rollup.len(),
         histograms.len()
@@ -319,6 +368,19 @@ pub fn render(rows: &[BenchRow], telemetry: &RunReport) -> String {
             out.push_str(&format!(
                 "  \"pool_speedup_ratio\": {},\n",
                 json::number(sequential / pooled)
+            ));
+        }
+    }
+
+    // The checksum-overhead headline: sealed-checkpoint sweep over the
+    // plain sweep, the number the schema gate holds under
+    // MAX_CHECKSUM_OVERHEAD_RATIO.
+    if let (Some(plain), Some(sealed)) = (median_of(CHECKSUM_BASELINE_ROW), median_of(CHECKSUM_ROW))
+    {
+        if plain > 0.0 {
+            out.push_str(&format!(
+                "  \"checksum_overhead_ratio\": {},\n",
+                json::number(sealed / plain)
             ));
         }
     }
@@ -454,8 +516,28 @@ mod tests {
     fn validate_accepts_a_compliant_report() {
         let text = compliant_report();
         let summary = validate(&text).expect("compliant report validates");
-        assert!(summary.contains("8 bench rows"), "{summary}");
+        assert!(summary.contains("10 bench rows"), "{summary}");
         assert!(summary.contains("telemetry overhead 1.000"), "{summary}");
+        assert!(summary.contains("checksum overhead 1.000"), "{summary}");
+    }
+
+    #[test]
+    fn validate_gates_on_checksum_overhead() {
+        // 11 → 11 ns is ratio 1.0; 12 ns is ~9% over the 5% budget.
+        let err = validate(&report_with_medians(&[(CHECKSUM_ROW, 12)])).unwrap_err();
+        assert!(err.contains("checksum overhead"), "{err}");
+        assert!(err.contains("exceeds"), "{err}");
+        // A ratio that disagrees with the rows is rejected outright.
+        let text = compliant_report().replace(
+            "\"checksum_overhead_ratio\": 1",
+            "\"checksum_overhead_ratio\": 0.5",
+        );
+        let err = validate(&text).unwrap_err();
+        assert!(err.contains("medians give"), "{err}");
+        // A report that omits the field is rejected.
+        let text = compliant_report().replace("checksum_overhead_ratio", "checksum_ratio");
+        let err = validate(&text).unwrap_err();
+        assert!(err.contains("checksum_overhead_ratio"), "{err}");
     }
 
     #[test]
@@ -535,7 +617,7 @@ mod tests {
 
     #[test]
     fn validate_rejects_schema_drift() {
-        let text = compliant_report().replace("\"version\": 4", "\"version\": 5");
+        let text = compliant_report().replace("\"version\": 5", "\"version\": 6");
         let err = validate(&text).unwrap_err();
         assert!(err.contains("version"), "{err}");
         assert!(validate("{}").is_err());

@@ -8,10 +8,13 @@
 //! `infeasible`) are skipped; `failed` entries are kept for diagnosis
 //! but re-run, since a panic or timeout may have been environmental.
 //!
+//! Version 2 seals every record with a per-line FNV-1a checksum
+//! ([`crate::integrity`]), appended as a 7th tab-separated field:
+//!
 //! ```text
-//! oasys-batch-checkpoint v1
-//! 8f3a…16-hex…\tok\ttwo-stage\t<area f64 bits, hex>\tspec-b.txt\tgeneric-5um.tech
-//! 77c1…16-hex…\tinfeasible\t-\t-\tspec-c.txt\tgeneric-1.2um.tech
+//! oasys-batch-checkpoint v2
+//! 8f3a…\tok\ttwo-stage\t<area f64 bits, hex>\tspec-b.txt\tgeneric-5um.tech\t<fnv1a64, hex>
+//! 77c1…\tinfeasible\t-\t-\tspec-c.txt\tgeneric-1.2um.tech\t<fnv1a64, hex>
 //! ```
 //!
 //! The completed record carries the *outcome* (style and bit-exact
@@ -19,26 +22,43 @@
 //! reconstruct the same aggregate report as an uninterrupted one
 //! without redoing the work.
 //!
-//! Crash consistency: records are written append-then-flush, so the only
-//! damage a kill can inflict on a well-formed file is a torn *final*
-//! line. [`Checkpoint::open`] tolerates exactly that — the unterminated
-//! tail is dropped (the job re-runs on resume), the file is truncated
-//! back to its durable prefix, and [`Checkpoint::recovered`] reports the
-//! repair. Anything else — bad header, malformed *terminated* record —
-//! cannot be explained by a kill and is reported as
-//! [`CheckpointError::Corrupt`]; the runner's policy
-//! ([`super::Batch::with_checkpoint`]) is to discard such a file and
-//! restart the batch cleanly rather than trust it.
+//! Crash and corruption tolerance, by damage class:
+//!
+//! - **Torn final line** (kill mid-append): the unterminated tail is
+//!   dropped, the file is truncated back to its durable prefix, and
+//!   [`Checkpoint::recovered`] reports the repair.
+//! - **Corrupt interior line** (bit rot, bad sector — v2 files only):
+//!   any line whose checksum fails to verify is *quarantined* — dropped
+//!   from the completed set so its job re-runs, counted by
+//!   [`Checkpoint::quarantined`], and healed out of the file by an
+//!   atomic rewrite of the surviving lines. Resume never trusts a
+//!   damaged record and never discards the healthy remainder.
+//! - **Structural damage a crash or bit rot cannot explain** (bad
+//!   header; in legacy v1 files, any malformed terminated record; in v2
+//!   files, a record whose checksum *verifies* but whose fields are
+//!   malformed) is reported as [`CheckpointError::Corrupt`]; the
+//!   runner's policy ([`super::Batch::with_checkpoint`]) is to discard
+//!   such a file and restart the batch cleanly rather than trust it.
+//!
+//! Version negotiation: the header names the format. v1 files (written
+//! before checksums existed) are still read — and appended to — in
+//! their own unsealed format, so an interrupted pre-upgrade run resumes
+//! cleanly. New checkpoints always start at v2.
 
+use crate::integrity::{self, LineIntegrity};
 use std::collections::HashMap;
 use std::fmt;
 use std::fs::{File, OpenOptions};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
-/// First line of every checkpoint file; the version suffix gates format
-/// evolution.
-pub const CHECKPOINT_HEADER: &str = "oasys-batch-checkpoint v1";
+/// First line of every new checkpoint file; the version suffix gates
+/// format evolution.
+pub const CHECKPOINT_HEADER: &str = "oasys-batch-checkpoint v2";
+
+/// The legacy (pre-checksum) header: 6 unsealed tab-separated fields
+/// per record. Still read and appended to for backward compatibility.
+pub const CHECKPOINT_HEADER_V1: &str = "oasys-batch-checkpoint v1";
 
 /// How a checkpointed job ended.
 #[derive(Clone, Debug, PartialEq)]
@@ -84,8 +104,9 @@ pub struct CheckpointEntry {
 #[derive(Debug)]
 pub enum CheckpointError {
     /// The file exists but fails a structural check — wrong header or a
-    /// malformed (fully terminated) record — that an append-and-flush
-    /// crash cannot explain.
+    /// malformed (fully terminated, checksum-verified where sealed)
+    /// record — that neither an append-and-flush crash nor bit rot can
+    /// explain.
     Corrupt {
         /// The offending path.
         path: PathBuf,
@@ -122,6 +143,11 @@ pub struct Checkpoint {
     completed: HashMap<u64, CheckpointEntry>,
     writer: Option<File>,
     recovered: bool,
+    /// `true` when appends seal their lines (v2 files and fresh files);
+    /// `false` when appending to a legacy v1 file in its own format.
+    sealed: bool,
+    /// Checksum-failed lines quarantined (and healed away) on open.
+    quarantined: usize,
 }
 
 impl Checkpoint {
@@ -132,16 +158,21 @@ impl Checkpoint {
     /// mid-append — is treated as absent: the durable prefix is kept,
     /// the file is truncated back to it so later appends stay
     /// well-formed, and [`Checkpoint::recovered`] reports the repair.
+    /// In a v2 file, interior lines whose checksum fails are
+    /// quarantined (see [`Checkpoint::quarantined`]) and the file is
+    /// atomically rewritten without them; the damaged jobs re-run.
     ///
     /// # Errors
     ///
     /// [`CheckpointError::Corrupt`] when an existing file fails a
-    /// structural check a crash cannot explain (the caller decides
-    /// whether to [`Checkpoint::start_fresh`]); [`CheckpointError::Io`]
-    /// on filesystem errors.
+    /// structural check neither a crash nor bit rot can explain (the
+    /// caller decides whether to [`Checkpoint::start_fresh`]);
+    /// [`CheckpointError::Io`] on filesystem errors.
     pub fn open(path: impl AsRef<Path>) -> Result<Self, CheckpointError> {
         let path = path.as_ref().to_path_buf();
         let mut recovered = false;
+        let mut sealed = true;
+        let mut quarantined = 0usize;
         let completed = match std::fs::read_to_string(&path) {
             Ok(text) => {
                 // Every durable line ends in a newline, so a missing one
@@ -162,13 +193,31 @@ impl Checkpoint {
                 // line torn away) parses as fresh, not corrupt —
                 // nothing durable was ever written, so nothing is lost.
                 let completed = if durable.is_empty() {
+                    if recovered {
+                        truncate_to(&path, 0)?;
+                    }
                     HashMap::new()
                 } else {
-                    parse(&path, durable)?
+                    let parsed = parse(&path, durable)?;
+                    sealed = parsed.sealed;
+                    quarantined = parsed.quarantined;
+                    if quarantined > 0 {
+                        // Heal: rewrite the file with only the lines
+                        // that verified, atomically. The quarantined
+                        // jobs re-run and re-append fresh records.
+                        let mut healed = String::new();
+                        healed.push_str(parsed.header);
+                        healed.push('\n');
+                        for line in &parsed.good_lines {
+                            healed.push_str(line);
+                            healed.push('\n');
+                        }
+                        rewrite_atomic(&path, &healed)?;
+                    } else if recovered {
+                        truncate_to(&path, durable.len() as u64)?;
+                    }
+                    parsed.completed
                 };
-                if recovered {
-                    truncate_to(&path, durable.len() as u64)?;
-                }
                 completed
             }
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => HashMap::new(),
@@ -179,6 +228,8 @@ impl Checkpoint {
             completed,
             writer: None,
             recovered,
+            sealed,
+            quarantined,
         })
     }
 
@@ -200,6 +251,8 @@ impl Checkpoint {
             completed: HashMap::new(),
             writer: None,
             recovered: false,
+            sealed: true,
+            quarantined: 0,
         })
     }
 
@@ -214,6 +267,14 @@ impl Checkpoint {
     #[must_use]
     pub fn recovered(&self) -> bool {
         self.recovered
+    }
+
+    /// Number of checksum-failed lines quarantined on open. Each was
+    /// dropped from the completed set (its job re-runs) and healed out
+    /// of the file; the healthy lines all survived.
+    #[must_use]
+    pub fn quarantined(&self) -> usize {
+        self.quarantined
     }
 
     /// The completed (skippable) entry for `fingerprint`, if any.
@@ -247,6 +308,7 @@ impl Checkpoint {
             path: path.to_path_buf(),
             error,
         };
+        let sealed = self.sealed;
         let file = match &mut self.writer {
             Some(file) => file,
             None => {
@@ -273,8 +335,15 @@ impl Checkpoint {
             CheckpointOutcome::Infeasible => "infeasible",
             CheckpointOutcome::Failed => "failed",
         };
-        let line =
-            format!("{fingerprint:016x}\t{word}\t{style}\t{area}\t{spec_label}\t{tech_label}\n");
+        let payload =
+            format!("{fingerprint:016x}\t{word}\t{style}\t{area}\t{spec_label}\t{tech_label}");
+        let line = if sealed {
+            format!("{}\n", integrity::seal_line(&payload))
+        } else {
+            // Appending to a legacy v1 file: stay in its format so the
+            // v1 parser keeps accepting the whole file.
+            format!("{payload}\n")
+        };
         // Fault site: simulate the process dying partway through this
         // very write — half the record's bytes land, no newline, and the
         // "crashed" writer reports the failure upstream.
@@ -319,23 +388,53 @@ fn truncate_to(path: &Path, len: u64) -> Result<(), CheckpointError> {
     Ok(())
 }
 
+/// Replaces the file at `path` atomically (temp file, fsync, rename) —
+/// the repair that heals quarantined lines out of a checkpoint.
+fn rewrite_atomic(path: &Path, text: &str) -> Result<(), CheckpointError> {
+    let io_err = |error: std::io::Error| CheckpointError::Io {
+        path: path.to_path_buf(),
+        error,
+    };
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    {
+        let mut file = File::create(&tmp).map_err(io_err)?;
+        file.write_all(text.as_bytes()).map_err(io_err)?;
+        file.sync_all().map_err(io_err)?;
+    }
+    std::fs::rename(&tmp, path).map_err(io_err)
+}
+
+/// The result of parsing a checkpoint body.
+struct Parsed<'a> {
+    completed: HashMap<u64, CheckpointEntry>,
+    /// The header line, verbatim (needed to heal in the same version).
+    header: &'a str,
+    /// Every line that verified, verbatim and in file order.
+    good_lines: Vec<&'a str>,
+    /// Checksum-failed lines dropped from the completed set.
+    quarantined: usize,
+    /// `true` when the file is v2 (appends must seal).
+    sealed: bool,
+}
+
 /// Parses a checkpoint file body into its completed-job set, applying
 /// every structural check the format promises.
-fn parse(path: &Path, text: &str) -> Result<HashMap<u64, CheckpointEntry>, CheckpointError> {
+fn parse<'a>(path: &Path, text: &'a str) -> Result<Parsed<'a>, CheckpointError> {
     let corrupt = |detail: String| CheckpointError::Corrupt {
         path: path.to_path_buf(),
         detail,
     };
     let mut lines = text.lines();
-    match lines.next() {
-        Some(CHECKPOINT_HEADER) => {}
+    let (header, sealed) = match lines.next() {
+        Some(CHECKPOINT_HEADER) => (CHECKPOINT_HEADER, true),
+        Some(CHECKPOINT_HEADER_V1) => (CHECKPOINT_HEADER_V1, false),
         Some(other) => {
             return Err(corrupt(format!(
                 "bad header `{other}` (expected `{CHECKPOINT_HEADER}`)"
             )))
         }
         None => return Err(corrupt("empty file".to_owned())),
-    }
+    };
     // A kill can truncate the final record mid-line; every durable line
     // (including the last) ends in a newline, so a missing one means the
     // last record cannot be trusted.
@@ -343,9 +442,25 @@ fn parse(path: &Path, text: &str) -> Result<HashMap<u64, CheckpointEntry>, Check
         return Err(corrupt("truncated final line (missing newline)".to_owned()));
     }
     let mut completed = HashMap::new();
+    let mut good_lines = Vec::new();
+    let mut quarantined = 0usize;
     for (idx, line) in lines.enumerate() {
         let lineno = idx + 2;
-        let fields: Vec<&str> = line.split('\t').collect();
+        let payload = if sealed {
+            match integrity::open_line(line) {
+                LineIntegrity::Sealed(payload) => payload,
+                // A v2 line that does not verify is bit rot, not a
+                // format violation: quarantine it (the job re-runs)
+                // instead of condemning the whole file.
+                LineIntegrity::Unsealed(_) | LineIntegrity::Corrupt => {
+                    quarantined += 1;
+                    continue;
+                }
+            }
+        } else {
+            line
+        };
+        let fields: Vec<&str> = payload.split('\t').collect();
         let [fp, word, style, area, spec_label, tech_label] = fields.as_slice() else {
             return Err(corrupt(format!(
                 "line {lineno}: expected 6 tab-separated fields, got {}",
@@ -370,6 +485,7 @@ fn parse(path: &Path, text: &str) -> Result<HashMap<u64, CheckpointEntry>, Check
             "failed" => CheckpointOutcome::Failed,
             other => return Err(corrupt(format!("line {lineno}: unknown outcome `{other}`"))),
         };
+        good_lines.push(line);
         if outcome.is_complete() {
             completed.insert(
                 fingerprint,
@@ -382,7 +498,13 @@ fn parse(path: &Path, text: &str) -> Result<HashMap<u64, CheckpointEntry>, Check
             );
         }
     }
-    Ok(completed)
+    Ok(Parsed {
+        completed,
+        header,
+        good_lines,
+        quarantined,
+        sealed,
+    })
 }
 
 #[cfg(test)]
@@ -418,6 +540,7 @@ mod tests {
         }
         let cp = Checkpoint::open(&path).unwrap();
         assert_eq!(cp.completed_count(), 2, "failed entries are not complete");
+        assert_eq!(cp.quarantined(), 0);
         let entry = cp.completed(0xdead_beef).unwrap();
         match &entry.outcome {
             CheckpointOutcome::Ok { style, area_um2 } => {
@@ -427,6 +550,30 @@ mod tests {
             other => panic!("unexpected outcome {other:?}"),
         }
         assert!(cp.completed(9).is_none(), "failed jobs re-run on resume");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn new_checkpoints_write_sealed_v2_lines() {
+        let path = tmp("sealed");
+        let _ = std::fs::remove_file(&path);
+        let mut cp = Checkpoint::open(&path).unwrap();
+        cp.record(1, &CheckpointOutcome::Infeasible, "a", "b")
+            .unwrap();
+        drop(cp);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines = text.lines();
+        assert_eq!(lines.next(), Some(CHECKPOINT_HEADER));
+        let record = lines.next().unwrap();
+        match crate::integrity::open_line(record) {
+            LineIntegrity::Sealed(payload) => {
+                assert!(
+                    payload.starts_with("0000000000000001\tinfeasible"),
+                    "{payload}"
+                );
+            }
+            other => panic!("record line is not sealed: {other:?} ({record})"),
+        }
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -441,7 +588,10 @@ mod tests {
     #[test]
     fn torn_final_line_is_dropped_and_repaired() {
         let path = tmp("truncated");
-        let durable = format!("{CHECKPOINT_HEADER}\n0000000000000007\tinfeasible\t-\t-\ta\tb\n");
+        let durable = format!(
+            "{CHECKPOINT_HEADER}\n{}\n",
+            integrity::seal_line("0000000000000007\tinfeasible\t-\t-\ta\tb")
+        );
         std::fs::write(&path, format!("{durable}00000000000000ff\tok\ttwo-")).unwrap();
         let mut cp = Checkpoint::open(&path).unwrap();
         assert!(cp.recovered(), "torn tail must be reported");
@@ -458,6 +608,67 @@ mod tests {
         drop(cp);
         let cp = Checkpoint::open(&path).unwrap();
         assert!(!cp.recovered());
+        assert_eq!(cp.completed_count(), 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn legacy_v1_files_are_read_and_appended_in_their_own_format() {
+        let path = tmp("legacy-v1");
+        std::fs::write(
+            &path,
+            format!("{CHECKPOINT_HEADER_V1}\n0000000000000007\tinfeasible\t-\t-\ta\tb\n"),
+        )
+        .unwrap();
+        let mut cp = Checkpoint::open(&path).unwrap();
+        assert_eq!(cp.completed_count(), 1, "v1 records still load");
+        cp.record(0xff, &CheckpointOutcome::Infeasible, "a", "b")
+            .unwrap();
+        drop(cp);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            text.lines().skip(1).all(|l| l.split('\t').count() == 6),
+            "appends to a v1 file stay unsealed: {text}"
+        );
+        let cp = Checkpoint::open(&path).unwrap();
+        assert_eq!(cp.completed_count(), 2, "the mixed-age v1 file re-opens");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn flipped_byte_is_quarantined_and_healed_not_fatal() {
+        let path = tmp("bitrot");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut cp = Checkpoint::open(&path).unwrap();
+            for fp in [1u64, 2, 3] {
+                cp.record(fp, &CheckpointOutcome::Infeasible, "a", "b")
+                    .unwrap();
+            }
+        }
+        // Flip one byte in the middle record (line 3 of the file).
+        let mut bytes = std::fs::read(&path).unwrap();
+        let line_starts: Vec<usize> = std::iter::once(0)
+            .chain(
+                bytes
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &b)| b == b'\n')
+                    .map(|(i, _)| i + 1),
+            )
+            .collect();
+        bytes[line_starts[2] + 4] ^= 0x20;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let cp = Checkpoint::open(&path).unwrap();
+        assert_eq!(cp.quarantined(), 1, "exactly the damaged line is dropped");
+        assert_eq!(cp.completed_count(), 2, "healthy records survive");
+        assert!(cp.completed(2).is_none(), "the damaged job re-runs");
+        assert!(cp.completed(1).is_some() && cp.completed(3).is_some());
+        drop(cp);
+        // The heal is durable: a second open sees a clean file.
+        let cp = Checkpoint::open(&path).unwrap();
+        assert_eq!(cp.quarantined(), 0, "quarantined line healed away");
         assert_eq!(cp.completed_count(), 2);
         std::fs::remove_file(&path).unwrap();
     }
@@ -511,16 +722,30 @@ mod tests {
             Checkpoint::open(&path),
             Err(CheckpointError::Corrupt { .. })
         ));
-        std::fs::write(&path, format!("{CHECKPOINT_HEADER}\nnot\ttabs\n")).unwrap();
+        // v1 files have no checksums, so structural strictness is the
+        // only defense: any malformed terminated line condemns the file.
+        std::fs::write(&path, format!("{CHECKPOINT_HEADER_V1}\nnot\ttabs\n")).unwrap();
         let err = Checkpoint::open(&path).unwrap_err();
         assert!(err.to_string().contains("6 tab-separated"), "{err}");
         std::fs::write(
             &path,
-            format!("{CHECKPOINT_HEADER}\nzz\tok\ts\t0000000000000000\ta\tb\n"),
+            format!("{CHECKPOINT_HEADER_V1}\nzz\tok\ts\t0000000000000000\ta\tb\n"),
         )
         .unwrap();
         let err = Checkpoint::open(&path).unwrap_err();
         assert!(err.to_string().contains("bad fingerprint"), "{err}");
+        // A v2 line whose checksum *verifies* but whose payload is
+        // malformed was written wrong, not damaged: still corrupt.
+        std::fs::write(
+            &path,
+            format!(
+                "{CHECKPOINT_HEADER}\n{}\n",
+                integrity::seal_line("not-a-record")
+            ),
+        )
+        .unwrap();
+        let err = Checkpoint::open(&path).unwrap_err();
+        assert!(err.to_string().contains("6 tab-separated"), "{err}");
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -50,9 +50,10 @@ pub trait JobRunner: Send + Sync + 'static {
     /// wall-clock budget: runners should thread it into their plan
     /// executors and simulator loops so an over-budget job aborts cleanly
     /// at an internal checkpoint, and report the abort as a
-    /// [`JobFailure::timed_out`] failure. The pool keeps a hard
-    /// `recv_timeout` backstop (at twice the budget) for runners that
-    /// ignore the deadline.
+    /// [`JobFailure::timed_out`] failure. The pool keeps a stuck-job
+    /// watchdog backstop (a [`Deadline`] at twice the budget) for
+    /// runners that ignore the deadline; jobs it abandons are flagged
+    /// in telemetry as `batch.jobs_stuck`.
     ///
     /// # Errors
     ///
@@ -536,6 +537,11 @@ struct JobExecution {
     meets_spec: Option<bool>,
     detail: Option<String>,
     retried: bool,
+    /// `true` when the stuck-job watchdog abandoned the final attempt:
+    /// the runner blew through twice its budget without reaching a
+    /// cooperative-deadline checkpoint. Surfaced as the
+    /// `batch.jobs_stuck` telemetry counter.
+    stuck: bool,
     /// The final attempt's raw telemetry, absorbed into the batch trace
     /// when the attempt ran to completion (panicked attempts only feed
     /// the flight tail — their rings may hold unbalanced spans).
@@ -602,6 +608,14 @@ impl Batch {
         self.recovered_checkpoint
     }
 
+    /// Checkpoint lines quarantined on open (checksum seal failed):
+    /// their jobs are not trusted and simply re-run this batch. Also
+    /// surfaced as the `batch.records_quarantined` telemetry counter.
+    #[must_use]
+    pub fn quarantined_records(&self) -> usize {
+        self.checkpoint.as_ref().map_or(0, Checkpoint::quarantined)
+    }
+
     /// Jobs already completed by the attached checkpoint.
     #[must_use]
     pub fn resumable_count(&self) -> usize {
@@ -641,6 +655,13 @@ impl Batch {
         } = self;
         let root = tel.span(|| "batch".to_owned());
         root.annotate("jobs", || jobs.len().to_string());
+        // Resume integrity: lines the checkpoint quarantined (failed
+        // seal) surface in telemetry — their jobs simply re-run below.
+        let quarantined = checkpoint.as_ref().map_or(0, Checkpoint::quarantined);
+        if quarantined > 0 {
+            tel.add("batch.records_quarantined", quarantined as u64);
+            root.annotate("records_quarantined", || quarantined.to_string());
+        }
 
         // Partition: checkpointed jobs short-circuit to skipped records;
         // the rest join the work queue with pre-forked telemetry seeds
@@ -759,6 +780,9 @@ impl Batch {
                     if execution.retried {
                         tel.incr("batch.jobs_retried");
                     }
+                    if execution.stuck {
+                        tel.incr("batch.jobs_stuck");
+                    }
                     if checkpoint_error.is_none() {
                         if let (Some(cp), Some(outcome)) =
                             (checkpoint.as_mut(), record.status.to_checkpoint())
@@ -835,6 +859,7 @@ fn execute_job<R: JobRunner>(
                     meets_spec: success.meets_spec,
                     detail: success.detail,
                     retried,
+                    stuck: false,
                     recording,
                     flight: Vec::new(),
                 };
@@ -861,6 +886,7 @@ fn execute_job<R: JobRunner>(
                     meets_spec: None,
                     detail: None,
                     retried,
+                    stuck: false,
                     flight: flight_tail(recording.as_ref()),
                     recording,
                 };
@@ -877,6 +903,7 @@ fn execute_job<R: JobRunner>(
                     meets_spec: None,
                     detail: None,
                     retried,
+                    stuck: false,
                     // A panicked ring may hold unbalanced spans; mine it
                     // for the flight tail but keep it out of the batch
                     // trace.
@@ -889,7 +916,8 @@ fn execute_job<R: JobRunner>(
                     status: JobStatus::Failed {
                         kind: FailureKind::Timeout,
                         message: format!(
-                            "job exceeded its {} ms budget and was abandoned",
+                            "watchdog: job exceeded twice its {} ms budget without \
+                             reaching a deadline checkpoint and was abandoned as stuck",
                             options.timeout().map_or(0, |t| t.as_millis())
                         ),
                     },
@@ -899,6 +927,7 @@ fn execute_job<R: JobRunner>(
                     meets_spec: None,
                     detail: None,
                     retried,
+                    stuck: true,
                     recording: None,
                     flight: Vec::new(),
                 };
@@ -919,17 +948,23 @@ enum AttemptOutcome {
     TimedOut,
 }
 
+/// How often the stuck-job watchdog re-checks its deadline while
+/// waiting for an attempt to report. Short enough that an expired
+/// watchdog surfaces promptly; long enough to stay off the profile.
+const WATCHDOG_SLICE: Duration = Duration::from_millis(25);
+
 /// Runs one attempt on a detached isolation thread, so a panic or a
 /// divergence cannot take the worker (or the batch) down with it.
 ///
 /// Cancellation is two-tier: the preferred path is the cooperative
 /// [`Deadline`] handed to the runner, which aborts inside the
 /// computation at the next checkpoint (plan step boundary, Newton
-/// iteration). The `recv_timeout` backstop — at **twice** the budget —
-/// only fires for runners that never reach a deadline checkpoint; it
-/// abandons the thread after flagging its cancel token, so even an
+/// iteration). The stuck-job watchdog — a second [`Deadline`] at
+/// **twice** the budget, polled in [`WATCHDOG_SLICE`] intervals — only
+/// fires for runners that never reach a deadline checkpoint; it
+/// abandons the thread after flagging its cancel token (so even an
 /// abandoned attempt stops at its next checkpoint instead of running
-/// forever.
+/// forever) and the job is reported as *stuck*.
 fn run_attempt<R: JobRunner>(
     job: Job,
     seed: Option<TelemetrySeed>,
@@ -997,16 +1032,32 @@ fn run_attempt<R: JobRunner>(
         );
     }
     let received = match timeout {
-        Some(budget) => rx.recv_timeout(budget.saturating_mul(2)),
+        Some(budget) => {
+            let watchdog = Deadline::within(budget.saturating_mul(2));
+            loop {
+                if watchdog.check().is_err() {
+                    break Err(mpsc::RecvTimeoutError::Timeout);
+                }
+                let slice = watchdog.remaining().map_or(WATCHDOG_SLICE, |r| {
+                    r.min(WATCHDOG_SLICE).max(Duration::from_millis(1))
+                });
+                match rx.recv_timeout(slice) {
+                    Ok(message) => break Ok(message),
+                    Err(mpsc::RecvTimeoutError::Timeout) => {}
+                    Err(e @ mpsc::RecvTimeoutError::Disconnected) => break Err(e),
+                }
+            }
+        }
         None => rx.recv().map_err(|_| mpsc::RecvTimeoutError::Disconnected),
     };
     match received {
         Ok((Ok(result), recording)) => AttemptOutcome::Done(result, Some(recording)),
         Ok((Err(message), recording)) => AttemptOutcome::Panicked(message, Some(recording)),
         Err(mpsc::RecvTimeoutError::Timeout) => {
-            // The runner blew through twice its budget without reaching a
-            // deadline checkpoint. Flag the cancel token (so the orphaned
-            // thread dies at its next checkpoint) and abandon it.
+            // The watchdog expired: the runner blew through twice its
+            // budget without reaching a deadline checkpoint. Flag the
+            // cancel token (so the orphaned thread dies at its next
+            // checkpoint) and abandon it as stuck.
             cancel.store(true, Ordering::Relaxed);
             AttemptOutcome::TimedOut
         }

@@ -54,7 +54,7 @@
 //! The `dataset` form runs a *sampled sweep*: the manifest's `sample.*`,
 //! `corners`, and `mc.*` directives expand into a deterministic point
 //! list (see `DATASET.md`), partitioned `id % shards` across
-//! independent shard runs that each stream `oasys-dataset/1` JSONL
+//! independent shard runs that each stream `oasys-dataset/2` JSONL
 //! records into `--out`. An interrupted shard resumes from its partial
 //! file; `oasys dataset merge` stitches the published shards into one
 //! `dataset.jsonl` whose bytes are identical for every shard count.
@@ -82,8 +82,8 @@ const LINT_USAGE: &str =
     "usage: oasys lint [<spec-file> <tech-file>] [--deny-warnings] [--format human|json|sarif]";
 const BATCH_USAGE: &str = "usage: oasys batch <manifest> [--records <file.jsonl>] [--aggregate <file.json>] [--checkpoint <file>] [--workers <n>] [--timeout-ms <n>] [--retries <n>] [--no-verify] [--styles <list>] [--explain] [--faults <list>]";
 const DATASET_USAGE: &str = "usage: oasys dataset <manifest> --out <dir> [--shards <n>] [--shard-index <i>] [--workers <n>] [--timeout-ms <n>] [--retries <n>] [--no-verify] [--faults <list>]\n       oasys dataset merge <dir>";
-const SERVE_USAGE: &str = "usage: oasys serve --socket <path> [--workers <n>] [--max-inflight <n>] [--cache-entries <n>] [--timeout-ms <n>] [--faults <list>]";
-const CLIENT_USAGE: &str = "usage: oasys client --socket <path> <spec-file> <tech-file> [--timeout-ms <n>]\n       oasys client --socket <path> --ping|--shutdown";
+const SERVE_USAGE: &str = "usage: oasys serve --socket <path> [--workers <n>] [--max-inflight <n>] [--queue-depth <n>] [--io-timeout-ms <n>] [--cache-entries <n>] [--timeout-ms <n>] [--faults <list>]";
+const CLIENT_USAGE: &str = "usage: oasys client --socket <path> <spec-file> <tech-file> [--timeout-ms <n>] [--retries <n>] [--retry-seed <n>]\n       oasys client --socket <path> --ping|--health|--shutdown [--retries <n>] [--retry-seed <n>]";
 
 fn main() -> ExitCode {
     if let Err(e) = oasys_faults::init_from_env() {
@@ -870,6 +870,8 @@ struct ServeCliOptions {
     socket: String,
     workers: Option<usize>,
     max_inflight: Option<usize>,
+    queue_depth: Option<usize>,
+    io_timeout_ms: Option<u64>,
     cache_entries: Option<usize>,
     timeout_ms: Option<u64>,
     faults: Option<String>,
@@ -882,6 +884,8 @@ impl ServeCliOptions {
             socket: String::new(),
             workers: None,
             max_inflight: None,
+            queue_depth: None,
+            io_timeout_ms: None,
             cache_entries: None,
             timeout_ms: None,
             faults: None,
@@ -912,6 +916,30 @@ impl ServeCliOptions {
                             .filter(|&n| n > 0)
                             .ok_or_else(|| {
                                 format!("--max-inflight needs a positive integer, got `{value}`")
+                            })?,
+                    );
+                }
+                "--queue-depth" => {
+                    let value = args.next().ok_or("--queue-depth needs a count")?;
+                    opts.queue_depth = Some(
+                        value
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&n| n > 0)
+                            .ok_or_else(|| {
+                                format!("--queue-depth needs a positive integer, got `{value}`")
+                            })?,
+                    );
+                }
+                "--io-timeout-ms" => {
+                    let value = args.next().ok_or("--io-timeout-ms needs a value")?;
+                    opts.io_timeout_ms = Some(
+                        value
+                            .parse::<u64>()
+                            .ok()
+                            .filter(|&n| n > 0)
+                            .ok_or_else(|| {
+                                format!("--io-timeout-ms needs a positive integer, got `{value}`")
                             })?,
                     );
                 }
@@ -955,6 +983,12 @@ impl ServeCliOptions {
         if let Some(max_inflight) = self.max_inflight {
             options = options.with_max_inflight(max_inflight);
         }
+        if let Some(depth) = self.queue_depth {
+            options = options.with_queue_depth(depth);
+        }
+        if let Some(ms) = self.io_timeout_ms {
+            options = options.with_io_timeout(std::time::Duration::from_millis(ms));
+        }
         if let Some(entries) = self.cache_entries {
             options = options.with_cache_entries(entries);
         }
@@ -984,9 +1018,14 @@ fn run_serve(args: impl Iterator<Item = String>) -> Result<(), String> {
     );
     let report = server.run().map_err(|e| format!("{}: {e}", opts.socket))?;
     eprintln!(
-        "serve: drained — {} served, {} busy-rejected, cache {} hits / {} misses / {} evictions",
+        "serve: drained — {} served ({} degraded), {} shed, {} evicted, {} brownouts, \
+         {} workers replaced, cache {} hits / {} misses / {} evictions",
         report.served,
-        report.rejected_busy,
+        report.degraded,
+        report.shed,
+        report.evicted,
+        report.brownout_entries,
+        report.workers_replaced,
         report.cache_hits,
         report.cache_misses,
         report.cache_evictions
@@ -1001,7 +1040,10 @@ struct ClientCliOptions {
     spec_path: Option<String>,
     tech_path: Option<String>,
     timeout_ms: Option<u64>,
+    retries: u32,
+    retry_seed: u64,
     ping: bool,
+    health: bool,
     shutdown: bool,
 }
 
@@ -1014,7 +1056,10 @@ impl ClientCliOptions {
             spec_path: None,
             tech_path: None,
             timeout_ms: None,
+            retries: 0,
+            retry_seed: 0,
             ping: false,
+            health: false,
             shutdown: false,
         };
         while let Some(arg) = args.next() {
@@ -1029,7 +1074,20 @@ impl ClientCliOptions {
                             format!("--timeout-ms needs an integer, got `{value}`")
                         })?);
                 }
+                "--retries" => {
+                    let value = args.next().ok_or("--retries needs a count")?;
+                    opts.retries = value
+                        .parse::<u32>()
+                        .map_err(|_| format!("--retries needs an integer, got `{value}`"))?;
+                }
+                "--retry-seed" => {
+                    let value = args.next().ok_or("--retry-seed needs a value")?;
+                    opts.retry_seed = value
+                        .parse::<u64>()
+                        .map_err(|_| format!("--retry-seed needs an integer, got `{value}`"))?;
+                }
                 "--ping" => opts.ping = true,
+                "--health" => opts.health = true,
                 "--shutdown" => opts.shutdown = true,
                 other if other.starts_with("--") => {
                     return Err(format!("unknown flag `{other}`\n{CLIENT_USAGE}"));
@@ -1038,15 +1096,17 @@ impl ClientCliOptions {
             }
         }
         opts.socket = socket.ok_or_else(|| format!("--socket is required\n{CLIENT_USAGE}"))?;
-        if opts.ping || opts.shutdown {
-            if opts.ping && opts.shutdown {
+        let op_flags =
+            usize::from(opts.ping) + usize::from(opts.health) + usize::from(opts.shutdown);
+        if op_flags > 0 {
+            if op_flags > 1 {
                 return Err(format!(
-                    "--ping and --shutdown are exclusive\n{CLIENT_USAGE}"
+                    "--ping, --health, and --shutdown are exclusive\n{CLIENT_USAGE}"
                 ));
             }
             if !positional.is_empty() {
                 return Err(format!(
-                    "--ping/--shutdown take no spec or tech files\n{CLIENT_USAGE}"
+                    "--ping/--health/--shutdown take no spec or tech files\n{CLIENT_USAGE}"
                 ));
             }
             return Ok(opts);
@@ -1061,12 +1121,57 @@ impl ClientCliOptions {
     }
 }
 
+/// Base delay of the client's capped-exponential retry backoff.
+const RETRY_BACKOFF_BASE_MS: u64 = 25;
+/// Ceiling on any single retry delay.
+const RETRY_BACKOFF_CAP_MS: u64 = 400;
+
+/// SplitMix64: a tiny, seedable mixer used to jitter retry backoff so
+/// that a herd of clients retrying after the same `busy` response does
+/// not reconverge on the server in lockstep. Deterministic per
+/// `(seed, attempt)`, so tests can pin `--retry-seed`.
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The jittered backoff before retry `attempt` (1-based): the capped
+/// exponential delay, scaled by a factor in [0.5, 1.0) drawn from the
+/// seeded mixer.
+fn retry_backoff(attempt: u32, seed: u64) -> std::time::Duration {
+    let shift = (attempt - 1).min(10);
+    let base = (RETRY_BACKOFF_BASE_MS << shift).min(RETRY_BACKOFF_CAP_MS);
+    let jitter = splitmix64(seed ^ u64::from(attempt));
+    // Map the high 32 bits onto [0.5, 1.0).
+    let scale = 0.5 + f64::from((jitter >> 32) as u32) / f64::from(u32::MAX) * 0.5;
+    std::time::Duration::from_millis(((base as f64) * scale) as u64)
+}
+
+/// Whether a server response warrants a retry: only `busy` (overload
+/// shedding) is transient; `error` responses are answers.
+fn response_is_busy(response: &str) -> bool {
+    oasys_telemetry::json::parse(response)
+        .ok()
+        .and_then(|json| {
+            json.get("status")
+                .and_then(oasys_telemetry::json::Json::as_str)
+                .map(|status| status == "busy")
+        })
+        .unwrap_or(false)
+}
+
 /// `oasys client`: send one request to a running server and print the
 /// JSON response. Exits nonzero unless the server answered `ok`.
+/// `--retries` retries connect failures, I/O errors, and `busy`
+/// responses with seeded-jitter capped-exponential backoff.
 fn run_client(args: impl Iterator<Item = String>) -> Result<ExitCode, String> {
     let opts = ClientCliOptions::parse(args)?;
     let body = if opts.ping {
         oasys::serve::op_request("ping")
+    } else if opts.health {
+        oasys::serve::op_request("health")
     } else if opts.shutdown {
         oasys::serve::op_request("shutdown")
     } else {
@@ -1081,8 +1186,29 @@ fn run_client(args: impl Iterator<Item = String>) -> Result<ExitCode, String> {
         oasys::serve::synth_request(&spec_text, &tech_text, opts.timeout_ms)
     };
     let socket = std::path::Path::new(&opts.socket);
-    let response =
-        oasys::serve::request(socket, &body).map_err(|e| format!("{}: {e}", opts.socket))?;
+    let mut attempt = 0u32;
+    let response = loop {
+        let outcome = oasys::serve::request(socket, &body);
+        let retryable = match &outcome {
+            Ok(response) => response_is_busy(response),
+            Err(_) => true,
+        };
+        if !retryable || attempt >= opts.retries {
+            break outcome.map_err(|e| format!("{}: {e}", opts.socket))?;
+        }
+        attempt += 1;
+        let delay = retry_backoff(attempt, opts.retry_seed);
+        eprintln!(
+            "client: attempt {attempt}/{} {}, retrying in {} ms",
+            opts.retries,
+            match &outcome {
+                Ok(_) => "was shed (busy)".to_string(),
+                Err(e) => format!("failed ({e})"),
+            },
+            delay.as_millis()
+        );
+        std::thread::sleep(delay);
+    };
     println!("{response}");
     let ok = oasys_telemetry::json::parse(&response)
         .ok()
@@ -1499,11 +1625,15 @@ mod tests {
         assert_eq!(opts.socket, "/tmp/oasys.sock");
         assert_eq!(opts.workers, None);
         assert_eq!(opts.max_inflight, None);
+        assert_eq!(opts.queue_depth, None);
+        assert_eq!(opts.io_timeout_ms, None);
         assert_eq!(opts.cache_entries, None);
         assert_eq!(opts.timeout_ms, None);
         let options = opts.serve_options();
         assert_eq!(options.workers(), oasys::serve::DEFAULT_WORKERS);
         assert_eq!(options.max_inflight(), oasys::serve::DEFAULT_MAX_INFLIGHT);
+        assert_eq!(options.queue_depth(), oasys::serve::DEFAULT_QUEUE_DEPTH);
+        assert_eq!(options.io_timeout(), oasys::serve::DEFAULT_IO_TIMEOUT);
         assert_eq!(options.cache_entries(), batch::DEFAULT_CACHE_ENTRIES);
         assert_eq!(options.timeout(), None);
     }
@@ -1526,6 +1656,10 @@ mod tests {
             "3",
             "--max-inflight",
             "5",
+            "--queue-depth",
+            "9",
+            "--io-timeout-ms",
+            "750",
             "--cache-entries",
             "128",
             "--timeout-ms",
@@ -1534,11 +1668,15 @@ mod tests {
         .unwrap();
         assert_eq!(opts.workers, Some(3));
         assert_eq!(opts.max_inflight, Some(5));
+        assert_eq!(opts.queue_depth, Some(9));
+        assert_eq!(opts.io_timeout_ms, Some(750));
         assert_eq!(opts.cache_entries, Some(128));
         assert_eq!(opts.timeout_ms, Some(2500));
         let options = opts.serve_options();
         assert_eq!(options.workers(), 3);
         assert_eq!(options.max_inflight(), 5);
+        assert_eq!(options.queue_depth(), 9);
+        assert_eq!(options.io_timeout(), std::time::Duration::from_millis(750));
         assert_eq!(options.cache_entries(), 128);
         assert_eq!(
             options.timeout(),
@@ -1573,6 +1711,18 @@ mod tests {
         let err =
             ServeCliOptions::parse(argv(&["--socket", "s", "--timeout-ms", "soon"])).unwrap_err();
         assert!(err.contains("--timeout-ms needs an integer"), "{err}");
+        let err =
+            ServeCliOptions::parse(argv(&["--socket", "s", "--queue-depth", "0"])).unwrap_err();
+        assert!(
+            err.contains("--queue-depth needs a positive integer"),
+            "{err}"
+        );
+        let err =
+            ServeCliOptions::parse(argv(&["--socket", "s", "--io-timeout-ms", "0"])).unwrap_err();
+        assert!(
+            err.contains("--io-timeout-ms needs a positive integer"),
+            "{err}"
+        );
         let err = ServeCliOptions::parse(argv(&["--socket", "s", "--bogus"])).unwrap_err();
         assert!(err.contains("unknown flag `--bogus`"), "{err}");
         assert!(err.contains("usage:"), "{err}");
@@ -1592,21 +1742,74 @@ mod tests {
         assert_eq!(opts.spec_path.as_deref(), Some("spec.txt"));
         assert_eq!(opts.tech_path.as_deref(), Some("tech.txt"));
         assert_eq!(opts.timeout_ms, Some(900));
-        assert!(!opts.ping && !opts.shutdown);
+        assert_eq!(opts.retries, 0);
+        assert!(!opts.ping && !opts.health && !opts.shutdown);
     }
 
     #[test]
-    fn client_ping_and_shutdown_forms() {
+    fn client_ping_health_and_shutdown_forms() {
         let opts = ClientCliOptions::parse(argv(&["--socket", "s", "--ping"])).unwrap();
         assert!(opts.ping);
+        let opts = ClientCliOptions::parse(argv(&["--socket", "s", "--health"])).unwrap();
+        assert!(opts.health);
         let opts = ClientCliOptions::parse(argv(&["--socket", "s", "--shutdown"])).unwrap();
         assert!(opts.shutdown);
         let err =
             ClientCliOptions::parse(argv(&["--socket", "s", "--ping", "--shutdown"])).unwrap_err();
         assert!(err.contains("exclusive"), "{err}");
         let err =
+            ClientCliOptions::parse(argv(&["--socket", "s", "--health", "--ping"])).unwrap_err();
+        assert!(err.contains("exclusive"), "{err}");
+        let err =
             ClientCliOptions::parse(argv(&["--socket", "s", "--ping", "spec.txt"])).unwrap_err();
         assert!(err.contains("take no spec"), "{err}");
+    }
+
+    #[test]
+    fn client_retry_flags_parse() {
+        let opts = ClientCliOptions::parse(argv(&[
+            "--socket",
+            "s",
+            "--ping",
+            "--retries",
+            "4",
+            "--retry-seed",
+            "99",
+        ]))
+        .unwrap();
+        assert_eq!(opts.retries, 4);
+        assert_eq!(opts.retry_seed, 99);
+        let err = ClientCliOptions::parse(argv(&["--socket", "s", "--retries", "-2"])).unwrap_err();
+        assert!(err.contains("--retries needs an integer"), "{err}");
+    }
+
+    #[test]
+    fn retry_backoff_is_capped_exponential_with_seeded_jitter() {
+        // Deterministic per (attempt, seed).
+        assert_eq!(retry_backoff(1, 42), retry_backoff(1, 42));
+        // Jitter keeps every delay within [base/2, base).
+        for attempt in 1..=8 {
+            let base = (RETRY_BACKOFF_BASE_MS << (attempt - 1).min(10)).min(RETRY_BACKOFF_CAP_MS);
+            let delay = retry_backoff(attempt, 7).as_millis() as u64;
+            assert!(
+                delay >= base / 2 && delay < base,
+                "attempt {attempt}: {delay} vs {base}"
+            );
+        }
+        // The cap holds even for huge attempt numbers.
+        assert!(retry_backoff(30, 1).as_millis() as u64 <= RETRY_BACKOFF_CAP_MS);
+    }
+
+    #[test]
+    fn busy_responses_are_retryable_and_errors_are_not() {
+        assert!(response_is_busy(
+            "{\"status\":\"busy\",\"shed\":true,\"reason\":\"admission queue full\"}"
+        ));
+        assert!(!response_is_busy("{\"status\":\"ok\"}"));
+        assert!(!response_is_busy(
+            "{\"status\":\"error\",\"kind\":\"spec\",\"message\":\"bad\"}"
+        ));
+        assert!(!response_is_busy("not json"));
     }
 
     #[test]

@@ -9,6 +9,14 @@
 //! `shard.of`), so its bytes are also independent of how the run was
 //! partitioned. Plan fingerprints must agree across shards: merging
 //! shards of two different plans is a hard error, not a garbage file.
+//!
+//! Integrity: every record line's checksum seal is verified as it
+//! streams through ([`sink::parse_record_id`]). A line that fails is
+//! *quarantined* — counted per shard, never copied into the merged
+//! output — and a merge that quarantined anything aborts before
+//! publishing, reporting `records_quarantined` and which shards to
+//! re-run ([`crate::dataset::generate`] heals a corrupted published
+//! shard by re-running exactly its damaged points).
 
 use super::sink::{self, parse_record_id, write_atomic};
 use super::DatasetError;
@@ -32,6 +40,10 @@ pub struct MergeReport {
     pub passed: usize,
     /// The plan fingerprint shared by every shard.
     pub plan_fingerprint: String,
+    /// Corrupt record lines quarantined while streaming. Always `0` on
+    /// a published merge — a merge that quarantines anything aborts
+    /// with an error instead, naming the shards to re-run.
+    pub records_quarantined: usize,
     /// Path of the merged record file.
     pub records_path: PathBuf,
 }
@@ -39,8 +51,10 @@ pub struct MergeReport {
 /// One shard reader: its next pending line, and the stream behind it.
 struct ShardReader {
     next: Option<(usize, String)>,
-    lines: std::io::Lines<BufReader<std::fs::File>>,
+    reader: BufReader<std::fs::File>,
     path: PathBuf,
+    /// Corrupt or unparseable lines skipped (never merged) so far.
+    quarantined: usize,
 }
 
 impl ShardReader {
@@ -51,27 +65,44 @@ impl ShardReader {
         })?;
         let mut reader = Self {
             next: None,
-            lines: BufReader::new(file).lines(),
+            reader: BufReader::new(file),
             path: path.to_path_buf(),
+            quarantined: 0,
         };
         reader.advance()?;
         Ok(reader)
     }
 
     fn advance(&mut self) -> Result<(), DatasetError> {
-        self.next = match self.lines.next() {
-            None => None,
-            Some(Err(error)) => {
-                return Err(DatasetError::Sink {
-                    path: self.path.clone(),
-                    error,
-                })
+        // Lines are read as bytes: corruption can make a line invalid
+        // UTF-8, which must quarantine that line, not abort the read.
+        let mut buf = Vec::new();
+        self.next = loop {
+            buf.clear();
+            let read =
+                self.reader
+                    .read_until(b'\n', &mut buf)
+                    .map_err(|error| DatasetError::Sink {
+                        path: self.path.clone(),
+                        error,
+                    })?;
+            if read == 0 {
+                break None;
             }
-            Some(Ok(line)) => {
-                let id = parse_record_id(&line).ok_or_else(|| DatasetError::Merge {
-                    detail: format!("{}: unparseable record line", self.path.display()),
-                })?;
-                Some((id, line))
+            if buf.last() == Some(&b'\n') {
+                buf.pop();
+            }
+            // A line whose encoding, seal, or JSON fails to verify is
+            // quarantined: skipped here, surfaced as a hard error
+            // before the merge publishes.
+            match std::str::from_utf8(&buf).ok().and_then(parse_record_id) {
+                Some(id) => {
+                    break Some((
+                        id,
+                        String::from_utf8(std::mem::take(&mut buf)).expect("verified utf-8"),
+                    ))
+                }
+                None => self.quarantined += 1,
             }
         };
         Ok(())
@@ -185,6 +216,25 @@ pub fn merge(dir: &Path) -> Result<MergeReport, DatasetError> {
                 error,
             })?;
     }
+    // Integrity gate: a merge that quarantined anything must not
+    // publish — the dataset would silently be missing records. Name the
+    // damaged shards so a re-run (`oasys dataset`) can heal them.
+    let records_quarantined: usize = readers.iter().map(|r| r.quarantined).sum();
+    if records_quarantined > 0 {
+        let _ = std::fs::remove_file(&tmp);
+        let damaged: Vec<String> = readers
+            .iter()
+            .filter(|r| r.quarantined > 0)
+            .map(|r| format!("{} ({} line(s))", r.path.display(), r.quarantined))
+            .collect();
+        return Err(DatasetError::Merge {
+            detail: format!(
+                "records_quarantined={records_quarantined}: corrupt record lines in {}; \
+                 re-run the affected shards to heal them, then merge again",
+                damaged.join(", ")
+            ),
+        });
+    }
     std::fs::rename(&tmp, &records_path).map_err(|error| DatasetError::Sink {
         path: records_path.clone(),
         error,
@@ -210,6 +260,7 @@ pub fn merge(dir: &Path) -> Result<MergeReport, DatasetError> {
         records,
         passed: passed_sum,
         plan_fingerprint,
+        records_quarantined: 0,
         records_path,
     })
 }
@@ -290,9 +341,33 @@ mod tests {
         publish(&dir, 1, 2, &[1, 3, 5], "ab", 6);
         let report = merge(&dir).unwrap();
         assert_eq!(report.records, 6);
+        assert_eq!(report.records_quarantined, 0);
         let merged = std::fs::read_to_string(dir.join(MERGED_RECORDS)).unwrap();
-        let expect: String = (0..6).map(|id| format!("{}\n", line(id))).collect();
-        assert_eq!(merged, expect);
+        let expect: String = (0..6)
+            .map(|id| format!("{}\n", crate::integrity::seal_line(&line(id))))
+            .collect();
+        assert_eq!(merged, expect, "merged lines keep their seals");
+    }
+
+    #[test]
+    fn corrupt_shard_line_aborts_the_merge_with_quarantine_report() {
+        let dir = crate::dataset::test_dir("merge_bitrot");
+        publish(&dir, 0, 2, &[0, 2], "ab", 4);
+        publish(&dir, 1, 2, &[1, 3], "ab", 4);
+        // Flip one byte in shard 1's first record.
+        let path = sink::shard_records_path(&dir, 1, 2);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[5] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let err = merge(&dir).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("records_quarantined=1"), "{msg}");
+        assert!(msg.contains("shard-1-of-2"), "{msg}");
+        assert!(
+            !dir.join(MERGED_RECORDS).exists(),
+            "a quarantining merge must not publish"
+        );
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! crossed with process corners (`corners`, `corner.temps_c`,
 //! `corner.supplies`) and per-device Monte-Carlo mismatch instances
 //! (`mc.*`), synthesized point by point on the shared worker pool and
-//! streamed to versioned JSONL records (schema `oasys-dataset/1`, see
+//! streamed to versioned JSONL records (schema `oasys-dataset/2`, see
 //! `DATASET.md` at the repo root).
 //!
 //! The pipeline is built from the pieces in this module:
@@ -149,6 +149,10 @@ pub struct ShardReport {
     pub cache_hits: u64,
     /// Sub-block design-cache misses this run.
     pub cache_misses: u64,
+    /// Corrupt record lines quarantined this run — from the partial's
+    /// salvage and/or a damaged published shard demoted by
+    /// [`sink::heal_published`]. Every quarantined point was re-run.
+    pub records_quarantined: usize,
 }
 
 /// Expands `manifest` and generates the configured shard into `dir`,
@@ -180,31 +184,46 @@ pub fn generate(
         error,
     };
 
+    let mut healed_quarantined = 0usize;
     if ShardSink::is_complete(dir, shard_index, shards) {
-        // Published shards are immutable; trust the summary.
-        let summary_path = sink::shard_summary_path(dir, shard_index, shards);
-        let text = std::fs::read_to_string(&summary_path).map_err(|error| DatasetError::Sink {
-            path: summary_path,
-            error,
-        })?;
-        let summary = json::parse(&text).map_err(|e| DatasetError::Merge {
-            detail: e.to_string(),
-        })?;
-        let num = |key: &str| summary.get(key).and_then(json::Json::as_num).unwrap_or(0.0) as usize;
-        return Ok(ShardReport {
-            records: num("records"),
-            resumed: num("records"),
-            executed: 0,
-            passed: num("passed"),
-            samples_rejected: plan.samples_rejected,
-            plan_fingerprint: plan.fingerprint,
-            cache_hits: 0,
-            cache_misses: 0,
-        });
+        // Published shards are immutable — but never trusted blindly:
+        // re-verify every line's checksum first. A damaged shard is
+        // demoted back to a partial of its healthy lines and falls
+        // through to the resume path, re-running exactly the
+        // quarantined points.
+        healed_quarantined = sink::heal_published(dir, shard_index, shards).map_err(sink_err)?;
+        if healed_quarantined == 0 {
+            let summary_path = sink::shard_summary_path(dir, shard_index, shards);
+            let text =
+                std::fs::read_to_string(&summary_path).map_err(|error| DatasetError::Sink {
+                    path: summary_path,
+                    error,
+                })?;
+            let summary = json::parse(&text).map_err(|e| DatasetError::Merge {
+                detail: e.to_string(),
+            })?;
+            let num =
+                |key: &str| summary.get(key).and_then(json::Json::as_num).unwrap_or(0.0) as usize;
+            return Ok(ShardReport {
+                records: num("records"),
+                resumed: num("records"),
+                executed: 0,
+                passed: num("passed"),
+                samples_rejected: plan.samples_rejected,
+                plan_fingerprint: plan.fingerprint,
+                cache_hits: 0,
+                cache_misses: 0,
+                records_quarantined: 0,
+            });
+        }
     }
 
     let points = plan.shard_points(shard_index, shards);
     let mut sink = ShardSink::open(dir, shard_index, shards).map_err(sink_err)?;
+    let records_quarantined = healed_quarantined + sink.quarantined_count();
+    if records_quarantined > 0 {
+        tel.add("dataset.records_quarantined", records_quarantined as u64);
+    }
     let resumed = sink.recorded_count();
     let recorded: std::collections::HashSet<usize> = sink.recorded_ids().into_iter().collect();
     let pending: Vec<&PointMeta> = points
@@ -275,6 +294,7 @@ pub fn generate(
         plan_fingerprint: plan.fingerprint,
         cache_hits,
         cache_misses,
+        records_quarantined,
     })
 }
 
@@ -291,7 +311,10 @@ fn count_passed(dir: &Path, shard_index: usize, shards: usize) -> std::io::Resul
     let mut latest: std::collections::BTreeMap<usize, bool> = std::collections::BTreeMap::new();
     for line in reader.lines() {
         let line = line?;
-        if let Ok(value) = json::parse(&line) {
+        let Some(payload) = sink::open_record_line(&line) else {
+            continue; // quarantined line: its point re-ran and has a later line
+        };
+        if let Ok(value) = json::parse(payload) {
             if let Some(id) = value.get("id").and_then(json::Json::as_num) {
                 let pass = value
                     .get("ok")

@@ -1,6 +1,8 @@
 //! Dataset record rendering: one JSONL line per point, schema
-//! `oasys-dataset/1` (normatively specified in `DATASET.md` at the repo
-//! root).
+//! `oasys-dataset/2` (normatively specified in `DATASET.md` at the repo
+//! root). The `v:2` payload is structurally identical to `v:1`; the
+//! version bump marks that the *line* carrying it is sealed with a
+//! per-line FNV-1a checksum by the shard sink ([`crate::integrity`]).
 //!
 //! A record's bytes are a pure function of the point and the runner's
 //! answer — no timestamps, durations, attempt counts, or shard
@@ -17,7 +19,7 @@ use oasys_telemetry::json;
 #[must_use]
 pub fn render_record(point: &PointMeta, record: &JobRecord, plan: &DatasetPlan) -> String {
     let mut out = format!(
-        "{{\"schema\":\"oasys-dataset\",\"v\":1,\"id\":{},",
+        "{{\"schema\":\"oasys-dataset\",\"v\":2,\"id\":{},",
         point.id
     );
     out.push_str(&format!(

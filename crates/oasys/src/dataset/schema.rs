@@ -1,4 +1,4 @@
-//! Hand-rolled validator for the `oasys-dataset/1` record schema.
+//! Hand-rolled validator for the `oasys-dataset/2` record schema.
 //!
 //! This is the executable form of `DATASET.md`: `cargo xtask
 //! smoke-dataset` and the integration tests run every generated record
@@ -7,7 +7,9 @@
 
 use oasys_telemetry::json::Json;
 
-/// Validates one parsed dataset record against `oasys-dataset/1`.
+/// Validates one parsed dataset record against `oasys-dataset/2`.
+/// Version 1 payloads (written before per-line checksums) are
+/// structurally identical and remain valid.
 ///
 /// # Errors
 ///
@@ -16,7 +18,7 @@ pub fn validate_record(record: &Json) -> Result<(), String> {
     let obj = record.as_obj().ok_or("record is not a JSON object")?;
     require_str(record, "schema", Some("oasys-dataset"))?;
     let version = require_num(record, "v")?;
-    if version != 1.0 {
+    if version != 1.0 && version != 2.0 {
         return Err(format!("unsupported record version {version}"));
     }
     let id = require_num(record, "id")?;
@@ -140,7 +142,7 @@ pub fn validate_record(record: &Json) -> Result<(), String> {
     Ok(())
 }
 
-/// Every key `oasys-dataset/1` permits at the record's top level.
+/// Every key `oasys-dataset/2` permits at the record's top level.
 const TOP_LEVEL_FIELDS: [&str; 11] = [
     "schema",
     "v",
@@ -242,7 +244,7 @@ mod tests {
     #[test]
     fn rejects_wrong_schema_version_and_outcome() {
         for (needle, replacement, expect) in [
-            ("\"v\":1", "\"v\":2", "version"),
+            ("\"v\":1", "\"v\":3", "version"),
             ("\"outcome\":\"ok\"", "\"outcome\":\"maybe\"", "outcome"),
             ("\"speed\":\"slow\"", "\"speed\":\"cold\"", "speed"),
             ("\"seed\":\"0000000000000001\"", "\"seed\":\"zz\"", "hex"),

@@ -55,6 +55,7 @@ pub mod dataset;
 pub mod datasheet;
 pub mod fully_differential;
 pub mod hierarchy;
+pub mod integrity;
 pub mod serve;
 pub mod spec;
 pub mod specfile;

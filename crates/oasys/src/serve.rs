@@ -10,7 +10,10 @@
 //! Transport framing is deliberately minimal: every message — request
 //! or response — is one **frame**, a big-endian `u32` byte length
 //! followed by that many bytes of UTF-8 JSON. Frames above
-//! [`MAX_FRAME_BYTES`] are rejected at the transport layer. Each
+//! [`MAX_FRAME_BYTES`] are rejected at the transport layer, and request
+//! frames above [`MAX_REQUEST_BYTES`] are rejected with a structured
+//! error — the length prefix is attacker-controlled, so the reader
+//! never allocates ahead of the bytes actually received. Each
 //! connection carries exactly one request and one response; the server
 //! closes the stream after answering.
 //!
@@ -23,61 +26,93 @@
 //! ```
 //!
 //! Ops: `synth` (design the spec on the tech), `ping` (liveness probe),
-//! `shutdown` (request a graceful drain). Unknown protos and ops are
-//! rejected with a structured error so the schema can grow.
+//! `health` (overload/supervision stats), `shutdown` (request a
+//! graceful drain). Unknown protos and ops are rejected with a
+//! structured error so the schema can grow.
 //!
 //! Responses are JSON objects keyed by `status`:
 //!
-//! * `{"status":"ok", "style":…, "area_um2":…, "netlist":…}` — a
-//!   synthesized design with its SPICE deck;
-//! * `{"status":"busy", "max_inflight":N}` — admission control turned
-//!   the connection away before reading the request; retry later;
+//! * `{"status":"ok", "style":…, "area_um2":…, "netlist":…,
+//!   "meets_spec":…}` — a synthesized design with its SPICE deck;
+//!   under brownout the response carries `"degraded":true` and no
+//!   `meets_spec` (verification was skipped to shed load);
+//! * `{"status":"busy", "shed":true, "reason":…}` — overload control
+//!   turned the connection away (admission queue full, or the
+//!   connection outwaited the I/O deadline in the queue); retry later;
 //! * `{"status":"error", "kind":…, "message":…}` — the request failed
 //!   **alone**; kinds: `protocol`, `spec`, `tech`, `infeasible`,
-//!   `deadline`, `panic`, `fault`.
+//!   `deadline`, `verify`, `panic`, `fault`.
+//!
+//! # Overload degradation
+//!
+//! Admitted connections carry socket read/write deadlines
+//! ([`ServeOptions::with_io_timeout`]): a client that connects and then
+//! stalls is **evicted** when the deadline fires, so a slow peer can
+//! hold an in-flight slot for at most one I/O timeout, never forever.
+//! Behind admission sits a bounded queue ([`ServeOptions::with_queue_depth`]);
+//! connections are shed with a `busy` frame when the queue overflows or
+//! when they have waited longer than the I/O deadline (their own socket
+//! deadline would expire mid-service anyway). Sustained congestion —
+//! the queue at or above half its depth, or any shed — trips
+//! **brownout**: synthesis keeps answering but skips simulator
+//! verification and marks responses `"degraded":true`. Brownout exits
+//! after the queue drains and stays empty for the cooldown.
 //!
 //! # Concurrency and drain
 //!
 //! The server owns a **dedicated** [`oasys_pool::Pool`] (never the
 //! process-global one, whose worker count may be zero — handler jobs
-//! must not be able to starve the accept loop). Each admitted
-//! connection becomes one pool job; admission is a bounded in-flight
-//! counter checked before the request is read, so overload produces an
-//! immediate `busy` frame instead of an unbounded queue. The accept
-//! loop is non-blocking and polls a shutdown flag (set by the
-//! `shutdown` op, [`Server::shutdown_flag`], or SIGTERM via
-//! [`install_sigterm_drain`]); on shutdown it stops accepting and the
-//! surrounding pool scope joins every in-flight handler before
-//! [`Server::run`] returns — that join **is** the graceful drain.
+//! must not be able to starve the accept loop). The pool is supervised:
+//! a panicking worker thread is replaced, and the `health` op reports
+//! `workers_replaced`. Each admitted connection becomes one pool job.
+//! The accept loop is non-blocking and polls a shutdown flag (set by
+//! the `shutdown` op, [`Server::shutdown_flag`], or SIGTERM via
+//! [`install_sigterm_drain`]); on shutdown it stops accepting, sheds
+//! the queue, and the surrounding pool scope joins every in-flight
+//! handler before [`Server::run`] returns — that join **is** the
+//! graceful drain.
 //!
 //! Every handler runs under `catch_unwind`: a panicking request (or an
 //! injected `serve.request.read` fault) is converted into a structured
 //! error response on its own connection while the server keeps serving.
 
+use crate::datasheet::Datasheet;
 use crate::synth::synthesize_with_cache;
+use crate::verify::verify_with;
 use crate::SearchOptions;
 use oasys_faults::{fail_point, Deadline};
 use oasys_plan::MemoCache;
 use oasys_telemetry::json::{self, Json};
 use oasys_telemetry::Telemetry;
+use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Protocol identifier every request must carry.
 pub const PROTOCOL: &str = "oasys-serve/1";
 /// Hard ceiling on a single frame's payload, requests and responses
-/// alike. Spec and tech files are a few KiB; this is pure headroom.
+/// alike (responses carry whole SPICE decks).
 pub const MAX_FRAME_BYTES: u32 = 16 * 1024 * 1024;
+/// Tighter ceiling on *request* frames: spec and tech files are a few
+/// KiB, so 4 MiB is pure headroom — and the cap bounds what a lying
+/// length prefix can make the server read.
+pub const MAX_REQUEST_BYTES: u32 = 4 * 1024 * 1024;
 /// Default handler-pool size.
 pub const DEFAULT_WORKERS: usize = 2;
-/// Default admission bound: connections admitted concurrently before
-/// the server answers `busy`.
+/// Default admission bound: connections served concurrently.
 pub const DEFAULT_MAX_INFLIGHT: usize = 8;
+/// Default bounded admission-queue depth (connections waiting for an
+/// in-flight slot before new arrivals are shed).
+pub const DEFAULT_QUEUE_DEPTH: usize = 16;
+/// Default socket read/write deadline for admitted connections.
+pub const DEFAULT_IO_TIMEOUT: Duration = Duration::from_secs(2);
+/// Default quiet period after congestion before brownout exits.
+pub const DEFAULT_BROWNOUT_COOLDOWN: Duration = Duration::from_millis(500);
 /// How often the accept loop re-checks the shutdown flag.
 const ACCEPT_POLL: Duration = Duration::from_millis(10);
 
@@ -87,20 +122,27 @@ pub struct ServeOptions {
     socket: PathBuf,
     workers: usize,
     max_inflight: usize,
+    queue_depth: usize,
     cache_entries: usize,
     timeout: Option<Duration>,
+    io_timeout: Duration,
+    brownout_cooldown: Duration,
 }
 
 impl ServeOptions {
     /// Options serving on `socket` with default pool size, admission
-    /// bound, cache capacity, and no default per-request deadline.
+    /// bound, queue depth, cache capacity, I/O deadline, and no default
+    /// per-request deadline.
     pub fn new(socket: impl Into<PathBuf>) -> Self {
         Self {
             socket: socket.into(),
             workers: DEFAULT_WORKERS,
             max_inflight: DEFAULT_MAX_INFLIGHT,
+            queue_depth: DEFAULT_QUEUE_DEPTH,
             cache_entries: crate::batch::DEFAULT_CACHE_ENTRIES,
             timeout: None,
+            io_timeout: DEFAULT_IO_TIMEOUT,
+            brownout_cooldown: DEFAULT_BROWNOUT_COOLDOWN,
         }
     }
 
@@ -118,6 +160,13 @@ impl ServeOptions {
         self
     }
 
+    /// Sets the admission-queue depth (clamped to at least 1).
+    #[must_use]
+    pub fn with_queue_depth(mut self, queue_depth: usize) -> Self {
+        self.queue_depth = queue_depth.max(1);
+        self
+    }
+
     /// Sets the shared design-cache capacity (clamped to at least 1).
     #[must_use]
     pub fn with_cache_entries(mut self, entries: usize) -> Self {
@@ -130,6 +179,22 @@ impl ServeOptions {
     #[must_use]
     pub fn with_timeout(mut self, timeout: Option<Duration>) -> Self {
         self.timeout = timeout;
+        self
+    }
+
+    /// Sets the socket read/write deadline for admitted connections
+    /// (clamped to at least 1 ms). A stalled peer is evicted when it
+    /// fires; a queued connection older than it is shed.
+    #[must_use]
+    pub fn with_io_timeout(mut self, io_timeout: Duration) -> Self {
+        self.io_timeout = io_timeout.max(Duration::from_millis(1));
+        self
+    }
+
+    /// Sets the congestion-free period after which brownout exits.
+    #[must_use]
+    pub fn with_brownout_cooldown(mut self, cooldown: Duration) -> Self {
+        self.brownout_cooldown = cooldown;
         self
     }
 
@@ -151,6 +216,12 @@ impl ServeOptions {
         self.max_inflight
     }
 
+    /// Admission-queue depth.
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.queue_depth
+    }
+
     /// Shared design-cache capacity.
     #[must_use]
     pub fn cache_entries(&self) -> usize {
@@ -162,6 +233,18 @@ impl ServeOptions {
     pub fn timeout(&self) -> Option<Duration> {
         self.timeout
     }
+
+    /// Socket read/write deadline for admitted connections.
+    #[must_use]
+    pub fn io_timeout(&self) -> Duration {
+        self.io_timeout
+    }
+
+    /// Congestion-free period after which brownout exits.
+    #[must_use]
+    pub fn brownout_cooldown(&self) -> Duration {
+        self.brownout_cooldown
+    }
 }
 
 /// End-of-run accounting returned by [`Server::run`].
@@ -169,14 +252,40 @@ impl ServeOptions {
 pub struct ServeReport {
     /// Requests admitted and answered (ok or structured error).
     pub served: u64,
-    /// Connections turned away by admission control.
-    pub rejected_busy: u64,
+    /// Connections turned away with a `busy` frame (queue overflow or
+    /// shed after outwaiting the I/O deadline in the queue).
+    pub shed: u64,
+    /// Admitted connections evicted by the socket I/O deadline (the
+    /// peer stalled mid-request).
+    pub evicted: u64,
+    /// Synthesis responses served degraded (brownout skipped
+    /// verification).
+    pub degraded: u64,
+    /// Times the server entered brownout.
+    pub brownout_entries: u64,
+    /// Handler-pool workers the supervisor replaced after a panic.
+    pub workers_replaced: u64,
     /// Design-cache hits accumulated over the server's lifetime.
     pub cache_hits: u64,
     /// Design-cache misses accumulated over the server's lifetime.
     pub cache_misses: u64,
     /// Design-cache evictions accumulated over the server's lifetime.
     pub cache_evictions: u64,
+}
+
+/// Live counters shared between the accept loop and handlers. All
+/// relaxed except the gauges the dispatcher decides admission on.
+#[derive(Default)]
+struct ServeStats {
+    served: AtomicU64,
+    shed: AtomicU64,
+    evicted: AtomicU64,
+    degraded: AtomicU64,
+    brownout_entries: AtomicU64,
+    brownout_exits: AtomicU64,
+    inflight: AtomicUsize,
+    queued: AtomicUsize,
+    brownout: AtomicBool,
 }
 
 /// A bound, not-yet-running synthesis server.
@@ -218,56 +327,123 @@ impl Server {
 
     /// Accepts and serves requests until the shutdown flag (or a
     /// SIGTERM routed through [`install_sigterm_drain`]) is raised,
-    /// then drains in-flight handlers and removes the socket file.
+    /// then sheds the queue, drains in-flight handlers, and removes the
+    /// socket file.
+    #[allow(clippy::too_many_lines)]
     pub fn run(self) -> io::Result<ServeReport> {
-        let cache = Arc::new(MemoCache::bounded(self.options.cache_entries));
-        let inflight = Arc::new(AtomicUsize::new(0));
-        let served = Arc::new(AtomicU64::new(0));
-        let rejected = Arc::new(AtomicU64::new(0));
+        let cache = MemoCache::bounded(self.options.cache_entries);
+        let stats = ServeStats::default();
         let pool = oasys_pool::Pool::new(self.options.workers);
-        let shutdown = &self.shutdown;
+        let options = &self.options;
+        let shutdown: &AtomicBool = &self.shutdown;
+        // Brownout entry threshold: congestion is a queue at or above
+        // half its depth (or any shed, which implies a full queue).
+        let high_water = (options.queue_depth / 2).max(1);
+        let ctx = RequestContext {
+            cache: &cache,
+            options,
+            stats: &stats,
+            shutdown,
+            pool: &pool,
+        };
+        let ctx = &ctx;
 
         pool.scope(|scope| {
-            while !shutdown.load(Ordering::SeqCst) && !sigterm_pending() {
-                let stream = match self.listener.accept() {
-                    Ok((stream, _addr)) => stream,
-                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(ACCEPT_POLL);
-                        continue;
-                    }
-                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-                    // Accept errors are connection-scoped (e.g. the
-                    // peer hung up mid-handshake); keep serving.
-                    Err(_) => continue,
-                };
-                if inflight.load(Ordering::SeqCst) >= self.options.max_inflight {
-                    rejected.fetch_add(1, Ordering::Relaxed);
-                    let mut stream = stream;
-                    let _ = write_frame(&mut stream, busy_response(self.options.max_inflight));
-                    continue;
+            let mut queue: VecDeque<(UnixStream, Instant)> = VecDeque::new();
+            let mut last_congestion: Option<Instant> = None;
+            loop {
+                if shutdown.load(Ordering::SeqCst) || sigterm_pending() {
+                    break;
                 }
-                inflight.fetch_add(1, Ordering::SeqCst);
-                let ctx = RequestContext {
-                    cache: Arc::clone(&cache),
-                    default_timeout: self.options.timeout,
-                    shutdown: Arc::clone(shutdown),
-                    inflight: Arc::clone(&inflight),
-                    served: Arc::clone(&served),
-                };
-                // The handle is dropped, not joined: the scope's exit
-                // barrier joins every handler, which is exactly the
-                // graceful drain. Handlers catch their own panics, so
-                // no payload can surface at scope exit.
-                drop(scope.spawn(move || handle_connection(stream, &ctx)));
+                let mut progressed = false;
+                let mut congested = false;
+                // Drain pending accepts into the bounded queue; overflow
+                // is shed immediately with a retryable busy frame.
+                loop {
+                    match self.listener.accept() {
+                        Ok((stream, _addr)) => {
+                            progressed = true;
+                            let _ = stream.set_read_timeout(Some(options.io_timeout));
+                            let _ = stream.set_write_timeout(Some(options.io_timeout));
+                            if queue.len() >= options.queue_depth {
+                                congested = true;
+                                stats.shed.fetch_add(1, Ordering::Relaxed);
+                                let mut stream = stream;
+                                let _ =
+                                    write_frame(&mut stream, shed_response("admission queue full"));
+                            } else {
+                                queue.push_back((stream, Instant::now()));
+                            }
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                        // WouldBlock: no more pending connections. Other
+                        // accept errors are connection-scoped (e.g. the
+                        // peer hung up mid-handshake); keep serving.
+                        Err(_) => break,
+                    }
+                }
+                // Deadline-aware shedding: a connection that has already
+                // outwaited the I/O deadline in the queue would see its
+                // own socket deadline expire mid-service — turn it away
+                // now instead of wasting an in-flight slot on it.
+                while queue
+                    .front()
+                    .is_some_and(|(_, enqueued)| enqueued.elapsed() >= options.io_timeout)
+                {
+                    let (mut stream, _) = queue.pop_front().expect("front checked above");
+                    congested = true;
+                    stats.shed.fetch_add(1, Ordering::Relaxed);
+                    let _ = write_frame(&mut stream, shed_response("queued past the I/O deadline"));
+                }
+                // Dispatch while in-flight slots are free.
+                while !queue.is_empty()
+                    && stats.inflight.load(Ordering::SeqCst) < options.max_inflight
+                {
+                    let (stream, _) = queue.pop_front().expect("queue is non-empty");
+                    stats.inflight.fetch_add(1, Ordering::SeqCst);
+                    progressed = true;
+                    // The handle is dropped, not joined: the scope's exit
+                    // barrier joins every handler, which is exactly the
+                    // graceful drain. Handlers catch their own panics, so
+                    // no payload can surface at scope exit.
+                    drop(scope.spawn(move || handle_connection(stream, ctx)));
+                }
+                stats.queued.store(queue.len(), Ordering::Relaxed);
+                // Brownout state machine: enter on congestion, exit only
+                // after the queue drains and stays quiet for the cooldown.
+                if congested || queue.len() >= high_water {
+                    last_congestion = Some(Instant::now());
+                    if !stats.brownout.swap(true, Ordering::SeqCst) {
+                        stats.brownout_entries.fetch_add(1, Ordering::Relaxed);
+                    }
+                } else if stats.brownout.load(Ordering::SeqCst)
+                    && queue.is_empty()
+                    && last_congestion.is_none_or(|at| at.elapsed() >= options.brownout_cooldown)
+                {
+                    stats.brownout.store(false, Ordering::SeqCst);
+                    stats.brownout_exits.fetch_add(1, Ordering::Relaxed);
+                }
+                if !progressed {
+                    std::thread::sleep(ACCEPT_POLL);
+                }
             }
-            // Falling out of the loop stops accepting; the scope now
-            // waits for in-flight handlers before `run` returns.
+            // Shutdown: stop accepting and shed whatever is still
+            // queued; the scope then joins every in-flight handler.
+            for (mut stream, _) in queue.drain(..) {
+                stats.shed.fetch_add(1, Ordering::Relaxed);
+                let _ = write_frame(&mut stream, shed_response("server draining"));
+            }
+            stats.queued.store(0, Ordering::Relaxed);
         });
 
         let _ = std::fs::remove_file(&self.options.socket);
         Ok(ServeReport {
-            served: served.load(Ordering::SeqCst),
-            rejected_busy: rejected.load(Ordering::SeqCst),
+            served: stats.served.load(Ordering::SeqCst),
+            shed: stats.shed.load(Ordering::SeqCst),
+            evicted: stats.evicted.load(Ordering::SeqCst),
+            degraded: stats.degraded.load(Ordering::SeqCst),
+            brownout_entries: stats.brownout_entries.load(Ordering::SeqCst),
+            workers_replaced: pool.workers_replaced(),
             cache_hits: cache.hits(),
             cache_misses: cache.misses(),
             cache_evictions: cache.evictions(),
@@ -275,14 +451,14 @@ impl Server {
     }
 }
 
-/// Everything a handler job needs, owned so the job is `'static`-free
-/// of the accept loop's locals except through `Arc`s.
-struct RequestContext {
-    cache: Arc<MemoCache>,
-    default_timeout: Option<Duration>,
-    shutdown: Arc<AtomicBool>,
-    inflight: Arc<AtomicUsize>,
-    served: Arc<AtomicU64>,
+/// Everything a handler job needs, borrowed from [`Server::run`]'s
+/// stack frame (the pool scope's exit barrier keeps the borrows sound).
+struct RequestContext<'a> {
+    cache: &'a MemoCache,
+    options: &'a ServeOptions,
+    stats: &'a ServeStats,
+    shutdown: &'a AtomicBool,
+    pool: &'a oasys_pool::Pool,
 }
 
 /// Decrements the in-flight gauge when the handler exits, normally or
@@ -296,13 +472,18 @@ impl Drop for InflightGuard<'_> {
 }
 
 fn handle_connection(mut stream: UnixStream, ctx: &RequestContext) {
-    let _guard = InflightGuard(&ctx.inflight);
+    let _guard = InflightGuard(&ctx.stats.inflight);
     let outcome = catch_unwind(AssertUnwindSafe(|| process_request(&mut stream, ctx)));
-    let response = match outcome {
-        Ok(response) => response,
-        Err(payload) => error_response("panic", &panic_message(payload.as_ref())),
+    let (response, served) = match outcome {
+        Ok(pair) => pair,
+        Err(payload) => (
+            error_response("panic", &panic_message(payload.as_ref())),
+            true,
+        ),
     };
-    ctx.served.fetch_add(1, Ordering::Relaxed);
+    if served {
+        ctx.stats.served.fetch_add(1, Ordering::Relaxed);
+    }
     let _ = write_frame(&mut stream, response);
     let _ = stream.shutdown(std::net::Shutdown::Both);
 }
@@ -312,6 +493,9 @@ fn handle_connection(mut stream: UnixStream, ctx: &RequestContext) {
 struct Rejection {
     kind: &'static str,
     message: String,
+    /// `true` when the peer stalled past the socket I/O deadline: the
+    /// connection is evicted (counted separately, not served).
+    evicted: bool,
 }
 
 impl Rejection {
@@ -319,19 +503,38 @@ impl Rejection {
         Self {
             kind,
             message: message.into(),
+            evicted: false,
+        }
+    }
+
+    fn evicted(message: impl Into<String>) -> Self {
+        Self {
+            kind: "protocol",
+            message: message.into(),
+            evicted: true,
         }
     }
 }
 
-fn process_request(stream: &mut UnixStream, ctx: &RequestContext) -> String {
+/// Returns the response payload and whether it counts as served
+/// (evictions do not — the peer never delivered a request).
+fn process_request(stream: &mut UnixStream, ctx: &RequestContext) -> (String, bool) {
     match serve_one(stream, ctx) {
-        Ok(response) => response,
-        Err(rejection) => error_response(rejection.kind, &rejection.message),
+        Ok(response) => (response, true),
+        Err(rejection) => {
+            if rejection.evicted {
+                ctx.stats.evicted.fetch_add(1, Ordering::Relaxed);
+            }
+            (
+                error_response(rejection.kind, &rejection.message),
+                !rejection.evicted,
+            )
+        }
     }
 }
 
 fn serve_one(stream: &mut UnixStream, ctx: &RequestContext) -> Result<String, Rejection> {
-    let payload = read_request(stream)?;
+    let payload = read_request(stream, ctx)?;
     let text = std::str::from_utf8(&payload)
         .map_err(|_| Rejection::new("protocol", "request frame is not UTF-8"))?;
     let request =
@@ -347,6 +550,7 @@ fn serve_one(stream: &mut UnixStream, ctx: &RequestContext) -> Result<String, Re
     }
     match field(&request, "op")? {
         "ping" => Ok(ok_ping_response()),
+        "health" => Ok(health_response(ctx)),
         "shutdown" => {
             ctx.shutdown.store(true, Ordering::SeqCst);
             Ok(ok_draining_response())
@@ -356,14 +560,28 @@ fn serve_one(stream: &mut UnixStream, ctx: &RequestContext) -> Result<String, Re
     }
 }
 
-/// Reads the request frame. The `serve.request.read` fail point sits
-/// here so the chaos suite can panic, stall, or fail exactly one
-/// request's ingress without touching the accept loop.
-fn read_request(stream: &mut UnixStream) -> Result<Vec<u8>, Rejection> {
+/// Reads the request frame under the [`MAX_REQUEST_BYTES`] cap. The
+/// `serve.request.read` fail point sits here so the chaos suite can
+/// panic, stall, or fail exactly one request's ingress without touching
+/// the accept loop. A read that trips the socket I/O deadline evicts
+/// the connection (a stalled peer must not hold its slot).
+fn read_request(stream: &mut UnixStream, ctx: &RequestContext) -> Result<Vec<u8>, Rejection> {
     fail_point!("serve.request.read", |msg: String| Rejection::new(
         "fault", msg
     ));
-    read_frame(stream).map_err(|e| Rejection::new("protocol", format!("reading request: {e}")))
+    read_frame_limited(stream, MAX_REQUEST_BYTES).map_err(|e| {
+        if matches!(
+            e.kind(),
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+        ) {
+            Rejection::evicted(format!(
+                "request stalled past the {} ms I/O deadline",
+                ctx.options.io_timeout.as_millis()
+            ))
+        } else {
+            Rejection::new("protocol", format!("reading request: {e}"))
+        }
+    })
 }
 
 fn field<'a>(request: &'a Json, key: &str) -> Result<&'a str, Rejection> {
@@ -384,7 +602,7 @@ fn synth(request: &Json, ctx: &RequestContext) -> Result<String, Rejection> {
     let timeout = match request.get("timeout_ms").and_then(Json::as_num) {
         Some(ms) if ms >= 0.0 => Some(Duration::from_millis(ms as u64)),
         Some(_) => return Err(Rejection::new("protocol", "timeout_ms must be >= 0")),
-        None => ctx.default_timeout,
+        None => ctx.options.timeout(),
     };
     let deadline = match timeout {
         Some(budget) => Deadline::within(budget),
@@ -394,17 +612,39 @@ fn synth(request: &Json, ctx: &RequestContext) -> Result<String, Rejection> {
         .with_deadline(deadline.clone())
         .with_cache_namespace(format!("{:016x}", crate::batch::fingerprint("", tech_text)));
 
-    // The server answers from synthesis alone; clients wanting the
-    // simulator's cross-check run `oasys` or the batch sweep, which
-    // verify by default.
-    match synthesize_with_cache(&spec, &process, &search, &Telemetry::disabled(), &ctx.cache) {
+    match synthesize_with_cache(&spec, &process, &search, &Telemetry::disabled(), ctx.cache) {
         Ok(synthesis) => {
             let design = synthesis.selected();
             let netlist = oasys_netlist::spice::to_spice(design.circuit(), &process);
+            // Brownout: keep answering, but shed the simulator
+            // cross-check and say so. Normal mode verifies the design
+            // and reports the measured verdict.
+            let degraded = ctx.stats.brownout.load(Ordering::SeqCst);
+            let meets_spec = if degraded {
+                ctx.stats.degraded.fetch_add(1, Ordering::Relaxed);
+                None
+            } else {
+                let verification = verify_with(
+                    design,
+                    &process,
+                    spec.load().farads(),
+                    &Telemetry::disabled(),
+                )
+                .map_err(|e| Rejection::new("verify", format!("verification failed: {e}")))?;
+                let sheet = Datasheet::new(
+                    format!("{} op amp", design.style()),
+                    &spec,
+                    design.predicted(),
+                    Some(&verification.measured),
+                );
+                Some(sheet.all_measured_pass())
+            };
             Ok(ok_synth_response(
                 &design.style().to_string(),
                 design.area().total_um2(),
                 &netlist,
+                meets_spec,
+                degraded,
             ))
         }
         Err(e) => {
@@ -423,28 +663,62 @@ fn synth(request: &Json, ctx: &RequestContext) -> Result<String, Rejection> {
 // Responses
 // ---------------------------------------------------------------------------
 
-fn ok_synth_response(style: &str, area_um2: f64, netlist: &str) -> String {
-    format!(
-        "{{\"status\":\"ok\",\"style\":{},\"area_um2\":{},\"netlist\":{}}}",
+fn ok_synth_response(
+    style: &str,
+    area_um2: f64,
+    netlist: &str,
+    meets_spec: Option<bool>,
+    degraded: bool,
+) -> String {
+    let mut out = format!(
+        "{{\"status\":\"ok\",\"style\":{},\"area_um2\":{},\"netlist\":{}",
         json::string(style),
         json::number(area_um2),
         json::string(netlist)
-    )
+    );
+    if let Some(meets) = meets_spec {
+        out.push_str(&format!(",\"meets_spec\":{meets}"));
+    }
+    if degraded {
+        out.push_str(",\"degraded\":true");
+    }
+    out.push('}');
+    out
 }
 
 fn ok_ping_response() -> String {
     format!("{{\"status\":\"ok\",\"proto\":{}}}", json::string(PROTOCOL))
 }
 
+fn health_response(ctx: &RequestContext) -> String {
+    let stats = ctx.stats;
+    format!(
+        "{{\"status\":\"ok\",\"proto\":{},\"brownout\":{},\"inflight\":{},\"queued\":{},\
+         \"served\":{},\"shed\":{},\"evicted\":{},\"degraded_served\":{},\
+         \"brownout_entries\":{},\"brownout_exits\":{},\"workers\":{},\"workers_replaced\":{}}}",
+        json::string(PROTOCOL),
+        stats.brownout.load(Ordering::SeqCst),
+        stats.inflight.load(Ordering::SeqCst),
+        stats.queued.load(Ordering::Relaxed),
+        stats.served.load(Ordering::Relaxed),
+        stats.shed.load(Ordering::Relaxed),
+        stats.evicted.load(Ordering::Relaxed),
+        stats.degraded.load(Ordering::Relaxed),
+        stats.brownout_entries.load(Ordering::Relaxed),
+        stats.brownout_exits.load(Ordering::Relaxed),
+        ctx.pool.workers(),
+        ctx.pool.workers_replaced()
+    )
+}
+
 fn ok_draining_response() -> String {
     "{\"status\":\"ok\",\"draining\":true}".to_owned()
 }
 
-fn busy_response(max_inflight: usize) -> String {
-    // usize -> f64 is exact for any realistic admission bound.
+fn shed_response(reason: &str) -> String {
     format!(
-        "{{\"status\":\"busy\",\"max_inflight\":{}}}",
-        json::number(max_inflight as f64)
+        "{{\"status\":\"busy\",\"shed\":true,\"reason\":{}}}",
+        json::string(reason)
     )
 }
 
@@ -490,19 +764,35 @@ pub fn write_frame(w: &mut impl Write, payload: impl AsRef<[u8]>) -> io::Result<
     w.flush()
 }
 
-/// Reads one length-prefixed frame.
+/// Reads one length-prefixed frame (response-sized cap).
 pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
+    read_frame_limited(r, MAX_FRAME_BYTES)
+}
+
+/// Reads one length-prefixed frame, rejecting payloads above `cap`.
+/// The allocation follows the bytes actually received — a lying length
+/// prefix cannot make the reader balloon memory ahead of the data.
+pub fn read_frame_limited(r: &mut impl Read, cap: u32) -> io::Result<Vec<u8>> {
     let mut header = [0u8; 4];
     r.read_exact(&mut header)?;
     let len = u32::from_be_bytes(header);
-    if len > MAX_FRAME_BYTES {
+    if len > cap {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            format!("frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"),
+            format!("frame of {len} bytes exceeds the {cap}-byte cap"),
         ));
     }
-    let mut payload = vec![0u8; len as usize];
-    r.read_exact(&mut payload)?;
+    let mut payload = Vec::new();
+    r.take(u64::from(len)).read_to_end(&mut payload)?;
+    if payload.len() != len as usize {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            format!(
+                "frame truncated: header promised {len} bytes, got {}",
+                payload.len()
+            ),
+        ));
+    }
     Ok(payload)
 }
 
@@ -526,7 +816,8 @@ pub fn synth_request(spec_text: &str, tech_text: &str, timeout_ms: Option<u64>) 
     )
 }
 
-/// Builds a versioned single-op request body (`ping`, `shutdown`).
+/// Builds a versioned single-op request body (`ping`, `health`,
+/// `shutdown`).
 #[must_use]
 pub fn op_request(op: &str) -> String {
     format!(
@@ -537,9 +828,13 @@ pub fn op_request(op: &str) -> String {
 }
 
 /// Connects to `socket`, sends one request frame, and returns the
-/// response payload as text.
+/// response payload as text. The `serve.client.stall` fail point sits
+/// between connect and write so the chaos suite can turn this client
+/// into a slow-loris peer and prove the server's I/O deadline evicts
+/// it.
 pub fn request(socket: &Path, body: &str) -> io::Result<String> {
     let mut stream = UnixStream::connect(socket)?;
+    fail_point!("serve.client.stall");
     write_frame(&mut stream, body)?;
     let response = read_frame(&mut stream)?;
     String::from_utf8(response)
@@ -601,6 +896,29 @@ mod tests {
     }
 
     #[test]
+    fn request_cap_rejects_without_allocating_the_lie() {
+        // A header promising just over the request cap, with no data
+        // behind it: the limited reader must reject on the prefix alone.
+        let buffer = Vec::from((MAX_REQUEST_BYTES + 1).to_be_bytes());
+        let mut cursor = io::Cursor::new(buffer);
+        let err = read_frame_limited(&mut cursor, MAX_REQUEST_BYTES).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("exceeds"), "{err}");
+    }
+
+    #[test]
+    fn truncated_frames_error_instead_of_hanging_on_the_header() {
+        // Header promises 100 bytes; the stream ends after 3. The
+        // reader must report the truncation, not return a short frame.
+        let mut buffer = Vec::from(100u32.to_be_bytes());
+        buffer.extend_from_slice(b"abc");
+        let mut cursor = io::Cursor::new(buffer);
+        let err = read_frame_limited(&mut cursor, MAX_REQUEST_BYTES).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        assert!(err.to_string().contains("promised 100"), "{err}");
+    }
+
+    #[test]
     fn request_builders_emit_valid_versioned_json() {
         let body = synth_request("spec \"text\"", "tech\nlines", Some(250));
         let parsed = json::parse(&body).unwrap();
@@ -618,12 +936,33 @@ mod tests {
 
     #[test]
     fn responses_are_parseable_json() {
-        let ok = json::parse(&ok_synth_response("two_stage", 1234.5, "* deck\n.END\n")).unwrap();
+        let ok = json::parse(&ok_synth_response(
+            "two_stage",
+            1234.5,
+            "* deck\n.END\n",
+            Some(true),
+            false,
+        ))
+        .unwrap();
         assert_eq!(ok.get("status").and_then(Json::as_str), Some("ok"));
         assert_eq!(ok.get("area_um2").and_then(Json::as_num), Some(1234.5));
+        assert_eq!(ok.get("meets_spec").and_then(Json::as_bool), Some(true));
+        assert_eq!(ok.get("degraded"), None);
 
-        let busy = json::parse(&busy_response(8)).unwrap();
+        let degraded = json::parse(&ok_synth_response(
+            "two_stage",
+            1234.5,
+            "* deck",
+            None,
+            true,
+        ))
+        .unwrap();
+        assert_eq!(degraded.get("degraded").and_then(Json::as_bool), Some(true));
+        assert_eq!(degraded.get("meets_spec"), None);
+
+        let busy = json::parse(&shed_response("admission queue full")).unwrap();
         assert_eq!(busy.get("status").and_then(Json::as_str), Some("busy"));
+        assert_eq!(busy.get("shed").and_then(Json::as_bool), Some(true));
 
         let error = json::parse(&error_response("deadline", "ran \"out\"\nof time")).unwrap();
         assert_eq!(error.get("kind").and_then(Json::as_str), Some("deadline"));
@@ -634,7 +973,7 @@ mod tests {
     }
 
     #[test]
-    fn server_answers_ping_synth_and_shutdown_and_drains() {
+    fn server_answers_ping_synth_health_and_shutdown_and_drains() {
         let dir = std::env::temp_dir().join(format!("oasys-serve-unit-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let socket = dir.join("unit.sock");
@@ -659,6 +998,23 @@ mod tests {
         assert_eq!(answer.get("status").and_then(Json::as_str), Some("ok"));
         let netlist = answer.get("netlist").and_then(Json::as_str).unwrap();
         assert!(netlist.contains(".END"), "netlist should be a SPICE deck");
+        // An unloaded server answers in normal (verified) mode.
+        assert!(
+            answer.get("meets_spec").and_then(Json::as_bool).is_some(),
+            "normal mode verifies: {answer:?}"
+        );
+        assert_eq!(answer.get("degraded"), None);
+
+        let health = request(&socket, &op_request("health")).unwrap();
+        let health = json::parse(&health).unwrap();
+        assert_eq!(health.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(health.get("brownout").and_then(Json::as_bool), Some(false));
+        assert_eq!(health.get("workers").and_then(Json::as_num), Some(1.0));
+        assert_eq!(
+            health.get("workers_replaced").and_then(Json::as_num),
+            Some(0.0)
+        );
+        assert!(health.get("served").and_then(Json::as_num).unwrap() >= 2.0);
 
         let bad = request(&socket, "{\"proto\":\"oasys-serve/1\",\"op\":\"launch\"}").unwrap();
         let bad = json::parse(&bad).unwrap();
@@ -670,7 +1026,9 @@ mod tests {
         assert_eq!(drain.get("draining").and_then(Json::as_bool), Some(true));
 
         let report = runner.join().unwrap();
-        assert!(report.served >= 4);
+        assert!(report.served >= 5);
+        assert_eq!(report.evicted, 0);
+        assert_eq!(report.workers_replaced, 0);
         assert!(!socket.exists(), "drain must remove the socket file");
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -197,11 +197,14 @@ fn torn_checkpoint_line_resumes_from_the_durable_prefix() {
     let durable = &jobs[0];
     let mut text = format!("{CHECKPOINT_HEADER}\n");
     text.push_str(&format!(
-        "{:016x}\tok\ttwo-stage\t{:016x}\t{}\t{}\n",
-        durable.fingerprint(),
-        1000.0_f64.to_bits(),
-        durable.spec_label(),
-        durable.tech_label()
+        "{}\n",
+        oasys::integrity::seal_line(&format!(
+            "{:016x}\tok\ttwo-stage\t{:016x}\t{}\t{}",
+            durable.fingerprint(),
+            1000.0_f64.to_bits(),
+            durable.spec_label(),
+            durable.tech_label()
+        ))
     ));
     text.push_str("00000000000000ff\tok\ttwo-"); // torn mid-write
     std::fs::write(&path, text).unwrap();
@@ -285,21 +288,27 @@ impl JobRunner for SleepyRunner {
 
 #[test]
 fn timed_out_job_fails_alone_while_others_complete() {
+    let tel = Telemetry::new();
     let report = Batch::new(
         mock_jobs(),
         fast_options().with_timeout(Some(Duration::from_millis(50))),
     )
-    .run(&Arc::new(SleepyRunner), &Telemetry::disabled(), |_| {})
+    .run(&Arc::new(SleepyRunner), &tel, |_| {})
     .unwrap();
     assert_eq!(report.counts().failed, 1);
     assert_eq!(report.counts().ok, 8);
     match &report.records()[2].status {
         JobStatus::Failed { kind, message } => {
             assert_eq!(*kind, FailureKind::Timeout);
+            // SleepyRunner never checks its deadline, so this is the
+            // stuck-job watchdog firing at twice the budget — not the
+            // cooperative path.
             assert!(message.contains("budget"), "{message}");
+            assert!(message.contains("stuck"), "{message}");
         }
         other => panic!("job 2 should have timed out, got {other:?}"),
     }
+    assert_eq!(tel.counter("batch.jobs_stuck"), 1);
 }
 
 /// Fails transiently twice per job before succeeding.

@@ -17,7 +17,7 @@ use oasys_faults::{Deadline, FaultSpec};
 use oasys_telemetry::Telemetry;
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex, MutexGuard};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 static FAULT_LOCK: Mutex<()> = Mutex::new(());
 
@@ -342,6 +342,128 @@ fn torn_checkpoint_write_recovers_and_resumes_byte_identical() {
         .unwrap();
     assert_eq!(skipped.counts().skipped, 9);
     assert_eq!(skipped.render_aggregate(), baseline.render_aggregate());
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// Like [`MockRunner`] but each job holds its worker for a beat, so
+/// the coordinator's helping loop cannot drain the whole queue before
+/// a pool worker thread gets to pop anything.
+struct SlowMockRunner;
+
+impl JobRunner for SlowMockRunner {
+    fn run(
+        &self,
+        job: &Job,
+        tel: &Telemetry,
+        deadline: &Deadline,
+    ) -> Result<JobSuccess, JobFailure> {
+        std::thread::sleep(Duration::from_millis(10));
+        MockRunner.run(job, tel, deadline)
+    }
+}
+
+#[test]
+fn injected_worker_panic_is_replaced_and_the_batch_completes() {
+    let _guard = FaultGuard::acquire();
+    let pool = oasys_pool::Pool::global();
+    if pool.workers() == 0 {
+        // Single-core host: every job runs inline via helping joins, so
+        // there is no worker thread to kill (or to supervise).
+        eprintln!("skipping: global pool has no worker threads");
+        return;
+    }
+    let baseline = pool.workers_replaced();
+    // Every worker-loop iteration dies while armed: the supervisor must
+    // keep replacing threads and the batch must still complete, because
+    // the fail point sits between jobs (no queued work is ever held by
+    // a dying worker) and the coordinator helps the pool regardless.
+    oasys_faults::set(
+        "pool.worker.panic",
+        FaultSpec::FailRate { p: 1.0, seed: 11 },
+    );
+
+    let report = Batch::new(mock_jobs(), fast_options())
+        .run(&Arc::new(SlowMockRunner), &Telemetry::disabled(), |_| {})
+        .unwrap();
+    assert_eq!(report.records().len(), 9);
+    assert_eq!(report.counts().failed, 0, "worker deaths lose no jobs");
+
+    // Keep feeding the pool until a worker provably died and was
+    // replaced (a parked worker only reaches the fail point after
+    // popping a job, so wake them with real work).
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while pool.workers_replaced() == baseline {
+        assert!(
+            Instant::now() < deadline,
+            "supervisor never replaced a worker"
+        );
+        pool.scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| s.spawn(|| std::thread::sleep(Duration::from_millis(2))))
+                .collect();
+            for h in handles {
+                h.join();
+            }
+        });
+    }
+    assert!(pool.workers_replaced() > baseline);
+    // FaultGuard clears the registry on drop; the final replacements
+    // then survive their loop-top check and park healthy.
+}
+
+#[test]
+fn flipped_checkpoint_byte_is_quarantined_and_resume_is_byte_identical() {
+    let _guard = FaultGuard::acquire();
+    let path = tmp("flipped-checkpoint");
+
+    // Uninterrupted baseline, then a full checkpointed run.
+    let baseline = Batch::new(mock_jobs(), fast_options())
+        .run(&Arc::new(MockRunner), &Telemetry::disabled(), |_| {})
+        .unwrap();
+    Batch::new(mock_jobs(), fast_options())
+        .with_checkpoint(&path)
+        .unwrap()
+        .run(&Arc::new(MockRunner), &Telemetry::disabled(), |_| {})
+        .unwrap();
+
+    // Silent bit rot in the middle of the fourth record line — no torn
+    // tail, no missing newline, just one flipped bit.
+    let mut bytes = std::fs::read(&path).unwrap();
+    let line_starts: Vec<usize> = std::iter::once(0)
+        .chain(
+            bytes
+                .iter()
+                .enumerate()
+                .filter(|(_, &b)| b == b'\n')
+                .map(|(i, _)| i + 1),
+        )
+        .collect();
+    let (start, end) = (line_starts[4], line_starts[5]);
+    let mid = start + (end - start) / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&path, &bytes).unwrap();
+
+    // The damaged line is quarantined (never trusted, never fatal); its
+    // job re-runs while the other eight resume, and the aggregate is
+    // byte-identical to the uninterrupted run.
+    let batch = Batch::new(mock_jobs(), fast_options())
+        .with_checkpoint(&path)
+        .unwrap();
+    assert_eq!(batch.quarantined_records(), 1);
+    assert_eq!(batch.resumable_count(), 8);
+    let tel = Telemetry::new();
+    let resumed = batch.run(&Arc::new(MockRunner), &tel, |_| {}).unwrap();
+    assert_eq!(resumed.counts().skipped, 8);
+    assert_eq!(tel.counter("batch.records_quarantined"), 1);
+    assert_eq!(resumed.render_aggregate(), baseline.render_aggregate());
+
+    // The heal (and the re-run's fresh record) are durable: a clean
+    // reopen quarantines nothing and resumes all nine jobs.
+    let batch = Batch::new(mock_jobs(), fast_options())
+        .with_checkpoint(&path)
+        .unwrap();
+    assert_eq!(batch.quarantined_records(), 0);
+    assert_eq!(batch.resumable_count(), 9);
     std::fs::remove_file(&path).unwrap();
 }
 

@@ -125,7 +125,9 @@ fn every_record_validates_and_carries_provenance() {
     assert_eq!(lines.len(), 8, "4 spec draws × 2 corners");
     let mut slow = 0;
     for (i, line) in lines.iter().enumerate() {
-        let record = oasys_telemetry::json::parse(line).unwrap();
+        let payload = dataset::sink::open_record_line(line)
+            .unwrap_or_else(|| panic!("record {i} failed its checksum seal: {line}"));
+        let record = oasys_telemetry::json::parse(payload).unwrap();
         dataset::schema::validate_record(&record)
             .unwrap_or_else(|e| panic!("record {i}: {e}\n{line}"));
         assert_eq!(
@@ -162,7 +164,8 @@ fn monte_carlo_siblings_measure_differently() {
     let text = read(dir.join("dataset.jsonl"));
     let mut offsets = Vec::new();
     for line in text.lines() {
-        let record = oasys_telemetry::json::parse(line).unwrap();
+        let payload = dataset::sink::open_record_line(line).expect("sealed record line");
+        let record = oasys_telemetry::json::parse(payload).unwrap();
         dataset::schema::validate_record(&record).unwrap();
         let offset = record
             .get("ok")
@@ -226,6 +229,75 @@ fn torn_sink_write_resumes_to_identical_bytes() {
         read(clean.join("dataset-summary.json")),
         read(torn.join("dataset-summary.json"))
     );
+}
+
+/// SplitMix64 — the repo's seeded-randomness idiom; no wall-clock
+/// entropy in tests.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[test]
+fn flipped_bytes_in_published_shard_quarantine_and_heal_byte_identical() {
+    // Property: flip arbitrary bytes in a published shard; the merge
+    // must refuse to publish (quarantining exactly the damaged lines),
+    // and re-running the shard must heal it back to a byte-identical
+    // final dataset.
+    let manifest = sampled_manifest();
+    let clean = tmp_dir("flip-clean");
+    generate_all(&manifest, &clean, 1, false);
+    let baseline_records = read(clean.join("dataset.jsonl"));
+    let baseline_summary = read(clean.join("dataset-summary.json"));
+
+    let mut seed = 0x0a5e_5000_0000_0001u64;
+    for round in 0..3 {
+        let dir = tmp_dir(&format!("flip-{round}"));
+        generate_all(&manifest, &dir, 1, false);
+        let shard_path = dir.join("shard-0-of-1.jsonl");
+        let mut bytes = std::fs::read(&shard_path).unwrap();
+        let flips = 1 + (splitmix(&mut seed) as usize % 3);
+        for _ in 0..flips {
+            let pos = splitmix(&mut seed) as usize % bytes.len();
+            let mask = (splitmix(&mut seed) % 255) as u8 + 1; // non-zero
+            bytes[pos] ^= mask;
+        }
+        std::fs::write(&shard_path, &bytes).unwrap();
+        // The stale merged output would mask the corruption check.
+        let _ = std::fs::remove_file(dir.join("dataset.jsonl"));
+        let _ = std::fs::remove_file(dir.join("dataset-summary.json"));
+
+        let err = dataset::merge(&dir).unwrap_err();
+        assert!(
+            err.to_string().contains("records_quarantined="),
+            "round {round}: merge must quarantine, got: {err}"
+        );
+
+        // Re-running the shard detects the damage, demotes the shard,
+        // and re-runs exactly the quarantined points.
+        let report = dataset::generate(
+            &manifest,
+            &dir,
+            &fast_options(1, 0, false),
+            &Telemetry::disabled(),
+        )
+        .unwrap();
+        assert!(
+            report.records_quarantined > 0,
+            "round {round}: the heal must report quarantined lines"
+        );
+        assert!(report.executed > 0, "round {round}: damaged points re-run");
+        dataset::merge(&dir).unwrap();
+        assert_eq!(
+            read(dir.join("dataset.jsonl")),
+            baseline_records,
+            "round {round}: healed dataset must be byte-identical"
+        );
+        assert_eq!(read(dir.join("dataset-summary.json")), baseline_summary);
+    }
 }
 
 #[test]

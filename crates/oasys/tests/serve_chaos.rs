@@ -1,17 +1,24 @@
 //! Chaos suite for `oasys serve`: injected faults at the
-//! `serve.request.read` site and deadline-tripping delays inside
-//! synthesis must fail **one request alone** — a structured error
-//! response on that connection — while the server keeps serving.
+//! `serve.request.read`, `serve.client.stall`, and `pool.worker.panic`
+//! sites must fail **one request alone** — a structured error response
+//! on that connection — while the server keeps serving; stalled peers
+//! must be evicted by the socket I/O deadline; sustained overload must
+//! trip brownout (degraded, unverified synthesis) and recover; and a
+//! panicking handler-pool worker must be replaced by the supervisor.
 //!
 //! The fault registry is process-global, so every test holds
 //! `FAULT_LOCK` and clears the registry on exit via [`FaultGuard`].
 
-use oasys::serve::{op_request, request, synth_request, ServeOptions, Server};
+use oasys::serve::{
+    op_request, read_frame, request, synth_request, write_frame, ServeOptions, Server,
+    MAX_REQUEST_BYTES,
+};
 use oasys_faults::FaultSpec;
 use oasys_telemetry::json::{self, Json};
 use std::path::PathBuf;
 use std::sync::{Mutex, MutexGuard};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 static FAULT_LOCK: Mutex<()> = Mutex::new(());
 
@@ -42,13 +49,16 @@ fn socket_path(name: &str) -> PathBuf {
 
 /// Starts a one-worker server; the returned thread joins on `shutdown`.
 fn start_server(socket: &PathBuf) -> JoinHandle<oasys::serve::ServeReport> {
-    let server = Server::bind(
+    start_server_with(
         ServeOptions::new(socket)
             .with_workers(1)
             .with_max_inflight(2)
             .with_cache_entries(64),
     )
-    .unwrap();
+}
+
+fn start_server_with(options: ServeOptions) -> JoinHandle<oasys::serve::ServeReport> {
+    let server = Server::bind(options).unwrap();
     std::thread::spawn(move || server.run().unwrap())
 }
 
@@ -141,6 +151,268 @@ fn deadline_exceeded_request_gets_a_structured_deadline_error() {
     let answer = ask(&socket, &synth_request(&spec_text(), &tech_text(), None));
     assert_eq!(status(&answer).0, "ok", "{answer:?}");
 
+    let drain = ask(&socket, &op_request("shutdown"));
+    assert_eq!(status(&drain).0, "ok");
+    server.join().unwrap();
+}
+
+/// Polls the `health` op until `pass` holds, or panics after 10 s.
+fn poll_health(socket: &PathBuf, what: &str, pass: impl Fn(&Json) -> bool) -> Json {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let health = ask(socket, &op_request("health"));
+        if pass(&health) {
+            break health;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "health never showed {what}: {health:?}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+fn num(response: &Json, key: &str) -> f64 {
+    response.get(key).and_then(Json::as_num).unwrap()
+}
+
+#[test]
+fn stalled_client_is_evicted_by_the_io_deadline_and_the_slot_is_reclaimed() {
+    let _faults = FaultGuard::acquire();
+    let socket = socket_path("stall");
+    let server = start_server_with(
+        ServeOptions::new(&socket)
+            .with_workers(1)
+            .with_max_inflight(1)
+            .with_cache_entries(64)
+            .with_io_timeout(Duration::from_millis(150)),
+    );
+
+    // A slow-loris client: connects, then sleeps far past the server's
+    // I/O deadline before sending its request. The server must evict
+    // it rather than let it hold the only in-flight slot forever. The
+    // stalled call itself may see the eviction error frame or a closed
+    // socket, depending on when the peer write lands — both are fine.
+    oasys_faults::set("serve.client.stall", FaultSpec::Delay(600));
+    let outcome = request(&socket, &op_request("ping"));
+    oasys_faults::remove("serve.client.stall");
+    if let Ok(response) = outcome {
+        let response = json::parse(&response).unwrap();
+        assert_eq!(status(&response).0, "error", "{response:?}");
+    }
+
+    // The slot was reclaimed: a prompt client is served immediately,
+    // and health records the eviction (not counted as served traffic).
+    let pong = ask(&socket, &op_request("ping"));
+    assert_eq!(status(&pong).0, "ok");
+    let health = ask(&socket, &op_request("health"));
+    assert!(num(&health, "evicted") >= 1.0, "{health:?}");
+    assert_eq!(num(&health, "inflight"), 1.0, "only the health request");
+
+    let drain = ask(&socket, &op_request("shutdown"));
+    assert_eq!(status(&drain).0, "ok");
+    let report = server.join().unwrap();
+    assert!(report.evicted >= 1, "{report:?}");
+}
+
+#[test]
+fn panicked_handler_pool_worker_is_replaced_and_health_reports_it() {
+    let _faults = FaultGuard::acquire();
+    // Arm before the server spawns its pool: the first worker dies at
+    // birth (exactly once), and the supervisor must replace it before
+    // any request can be served.
+    oasys_faults::set("pool.worker.panic", FaultSpec::FailOnce);
+    let socket = socket_path("worker-panic");
+    let server = start_server(&socket);
+
+    let health = poll_health(&socket, "a replaced worker", |h| {
+        num(h, "workers_replaced") >= 1.0
+    });
+    assert_eq!(num(&health, "workers"), 1.0);
+
+    // The replacement worker serves real traffic.
+    let pong = ask(&socket, &op_request("ping"));
+    assert_eq!(status(&pong).0, "ok");
+
+    let drain = ask(&socket, &op_request("shutdown"));
+    assert_eq!(status(&drain).0, "ok");
+    let report = server.join().unwrap();
+    assert!(report.workers_replaced >= 1, "{report:?}");
+}
+
+#[test]
+fn sustained_overload_trips_brownout_and_synthesis_degrades() {
+    let _faults = FaultGuard::acquire();
+    let socket = socket_path("brownout");
+    // One in-flight slot, a two-deep queue, and a cooldown far longer
+    // than the test: once brownout is entered it stays observable.
+    let server = start_server_with(
+        ServeOptions::new(&socket)
+            .with_workers(2)
+            .with_max_inflight(1)
+            .with_queue_depth(2)
+            .with_cache_entries(64)
+            .with_brownout_cooldown(Duration::from_secs(60)),
+    );
+    // Let the server come up before applying load.
+    let pong = ask(&socket, &op_request("ping"));
+    assert_eq!(status(&pong).0, "ok");
+
+    // Every request's ingress stalls 400 ms, so concurrent pings pile
+    // up behind the single in-flight slot and congest the queue.
+    oasys_faults::set("serve.request.read", FaultSpec::Delay(400));
+    let clients: Vec<_> = (0..4)
+        .map(|_| {
+            let socket = socket.clone();
+            std::thread::spawn(move || request(&socket, &op_request("ping")))
+        })
+        .collect();
+    for client in clients {
+        // Overloaded answers are `ok` (eventually served), `busy`
+        // (shed), or a closed socket — all are acceptable under load;
+        // what matters is the state the server ends up in.
+        let _ = client.join().unwrap();
+    }
+    oasys_faults::remove("serve.request.read");
+
+    let health = poll_health(&socket, "brownout", |h| {
+        h.get("brownout").and_then(Json::as_bool) == Some(true)
+    });
+    assert!(num(&health, "brownout_entries") >= 1.0, "{health:?}");
+
+    // Under brownout, synthesis still answers but sheds verification
+    // and says so.
+    let answer = ask(&socket, &synth_request(&spec_text(), &tech_text(), None));
+    assert_eq!(status(&answer).0, "ok", "{answer:?}");
+    assert_eq!(
+        answer.get("degraded").and_then(Json::as_bool),
+        Some(true),
+        "{answer:?}"
+    );
+    assert_eq!(answer.get("meets_spec"), None, "{answer:?}");
+
+    let drain = ask(&socket, &op_request("shutdown"));
+    assert_eq!(status(&drain).0, "ok");
+    let report = server.join().unwrap();
+    assert!(report.brownout_entries >= 1, "{report:?}");
+    assert!(report.degraded >= 1, "{report:?}");
+}
+
+#[test]
+fn brownout_exits_after_the_queue_drains_and_the_cooldown_elapses() {
+    let _faults = FaultGuard::acquire();
+    let socket = socket_path("brownout-exit");
+    let server = start_server_with(
+        ServeOptions::new(&socket)
+            .with_workers(2)
+            .with_max_inflight(1)
+            .with_queue_depth(2)
+            .with_cache_entries(64)
+            .with_brownout_cooldown(Duration::from_millis(100)),
+    );
+    let pong = ask(&socket, &op_request("ping"));
+    assert_eq!(status(&pong).0, "ok");
+
+    oasys_faults::set("serve.request.read", FaultSpec::Delay(300));
+    let clients: Vec<_> = (0..3)
+        .map(|_| {
+            let socket = socket.clone();
+            std::thread::spawn(move || request(&socket, &op_request("ping")))
+        })
+        .collect();
+    for client in clients {
+        let _ = client.join().unwrap();
+    }
+    oasys_faults::remove("serve.request.read");
+
+    // With the load gone and the queue drained, the cooldown expires
+    // and the server recovers to normal (verified) service.
+    let health = poll_health(&socket, "brownout exit", |h| {
+        h.get("brownout").and_then(Json::as_bool) == Some(false) && num(h, "brownout_exits") >= 1.0
+    });
+    assert!(num(&health, "brownout_entries") >= 1.0, "{health:?}");
+
+    let answer = ask(&socket, &synth_request(&spec_text(), &tech_text(), None));
+    assert_eq!(status(&answer).0, "ok", "{answer:?}");
+    assert_eq!(answer.get("degraded"), None, "{answer:?}");
+    assert!(
+        answer.get("meets_spec").and_then(Json::as_bool).is_some(),
+        "verification resumes after brownout: {answer:?}"
+    );
+
+    let drain = ask(&socket, &op_request("shutdown"));
+    assert_eq!(status(&drain).0, "ok");
+    server.join().unwrap();
+}
+
+#[test]
+fn oversized_and_malformed_frames_get_structured_errors() {
+    let _faults = FaultGuard::acquire();
+    let socket = socket_path("frames");
+    let server = start_server(&socket);
+
+    // A length prefix promising more than the request cap is rejected
+    // on the prefix alone — the server never waits for (or allocates)
+    // the claimed payload.
+    {
+        let mut stream = std::os::unix::net::UnixStream::connect(&socket).unwrap();
+        use std::io::Write as _;
+        stream
+            .write_all(&(MAX_REQUEST_BYTES + 1).to_be_bytes())
+            .unwrap();
+        stream.flush().unwrap();
+        let response = read_frame(&mut stream).unwrap();
+        let response = json::parse(std::str::from_utf8(&response).unwrap()).unwrap();
+        assert_eq!(
+            status(&response),
+            ("error", Some("protocol")),
+            "{response:?}"
+        );
+        assert!(
+            response
+                .get("message")
+                .and_then(Json::as_str)
+                .unwrap()
+                .contains("exceeds"),
+            "{response:?}"
+        );
+    }
+
+    // A truncated frame (header promises more bytes than ever arrive)
+    // errors out instead of hanging or being served short.
+    {
+        let mut stream = std::os::unix::net::UnixStream::connect(&socket).unwrap();
+        use std::io::Write as _;
+        stream.write_all(&100u32.to_be_bytes()).unwrap();
+        stream.write_all(b"abc").unwrap();
+        stream.flush().unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        let response = read_frame(&mut stream).unwrap();
+        let response = json::parse(std::str::from_utf8(&response).unwrap()).unwrap();
+        assert_eq!(
+            status(&response),
+            ("error", Some("protocol")),
+            "{response:?}"
+        );
+    }
+
+    // A well-framed payload that is not a JSON request is rejected
+    // with a structured protocol error.
+    {
+        let mut stream = std::os::unix::net::UnixStream::connect(&socket).unwrap();
+        write_frame(&mut stream, "definitely not json").unwrap();
+        let response = read_frame(&mut stream).unwrap();
+        let response = json::parse(std::str::from_utf8(&response).unwrap()).unwrap();
+        assert_eq!(
+            status(&response),
+            ("error", Some("protocol")),
+            "{response:?}"
+        );
+    }
+
+    // None of that disturbed the server.
+    let pong = ask(&socket, &op_request("ping"));
+    assert_eq!(status(&pong).0, "ok");
     let drain = ask(&socket, &op_request("shutdown"));
     assert_eq!(status(&drain).0, "ok");
     server.join().unwrap();

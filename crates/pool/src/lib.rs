@@ -42,11 +42,22 @@
 //! (fault-injection suites assert on it). A panic from a job whose
 //! handle was dropped re-raises when the scope exits, matching
 //! [`std::thread::scope`] semantics.
+//!
+//! # Supervision
+//!
+//! Worker threads are supervised: a panic that escapes the job loop —
+//! in practice only the `pool.worker.panic` fault-injection site, since
+//! jobs are individually panic-wrapped — kills the thread, and the
+//! dying worker records the death and spawns its own replacement with
+//! capped exponential backoff. [`Pool::workers_replaced`] exposes the
+//! death count so services can report pool health. The fail point sits
+//! *between* jobs, so an injected death never loses queued work.
 
 use std::any::Any;
 use std::collections::VecDeque;
 use std::mem::ManuallyDrop;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock, PoisonError};
 
 /// A queued unit of work, lifetime-erased (see [`Pool::scope`] for why
@@ -58,6 +69,9 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 struct PoolInner {
     queue: Mutex<VecDeque<Job>>,
     available: Condvar,
+    /// Workers respawned by supervision after a panic escaped
+    /// [`worker_loop`]'s per-job catch (see [`run_worker`]).
+    replaced: AtomicU64,
 }
 
 impl PoolInner {
@@ -117,14 +131,10 @@ impl Pool {
         let inner = Arc::new(PoolInner {
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
+            replaced: AtomicU64::new(0),
         });
         for i in 0..workers {
-            let inner = Arc::clone(&inner);
-            // A failed spawn (resource exhaustion) degrades capacity but
-            // not correctness: helping joins run the jobs inline.
-            let _ = std::thread::Builder::new()
-                .name(format!("oasys-pool-{i}"))
-                .spawn(move || worker_loop(&inner));
+            spawn_worker(Arc::clone(&inner), i, 0);
         }
         Self { inner, workers }
     }
@@ -141,6 +151,15 @@ impl Pool {
     #[must_use]
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// How many workers the supervisor has replaced after a panic
+    /// escaped the per-job catch (see `run_worker`). Zero on a
+    /// healthy pool; chaos suites and the serve `health` op read this
+    /// to prove a `pool.worker.panic` injection was survived.
+    #[must_use]
+    pub fn workers_replaced(&self) -> u64 {
+        self.inner.replaced.load(Ordering::Relaxed)
     }
 
     /// Pops one queued job and runs it on the calling thread. Returns
@@ -200,11 +219,53 @@ impl Pool {
     }
 }
 
+/// First respawn delay after a worker death; doubles per consecutive
+/// death of the same worker slot, capped at [`RESPAWN_BACKOFF_CAP_MS`].
+const RESPAWN_BACKOFF_BASE_MS: u64 = 5;
+/// Ceiling on the respawn backoff, so a crash-looping fault (every
+/// replacement dies at startup) costs at most ~4 respawns per second
+/// per slot instead of a hot spawn loop.
+const RESPAWN_BACKOFF_CAP_MS: u64 = 250;
+
+/// Spawns the supervised worker thread for slot `index`. A failed
+/// spawn (resource exhaustion) degrades capacity but not correctness:
+/// helping joins run the jobs inline.
+fn spawn_worker(inner: Arc<PoolInner>, index: usize, deaths: u32) {
+    let _ = std::thread::Builder::new()
+        .name(format!("oasys-pool-{index}"))
+        .spawn(move || run_worker(&inner, index, deaths));
+}
+
+/// The supervised worker body: back off (if this slot has died
+/// before), run the job loop, and on a panic escaping the loop record
+/// the death and respawn a replacement for the same slot. `deaths` is
+/// the slot's lineage depth, driving the exponential backoff.
+fn run_worker(inner: &Arc<PoolInner>, index: usize, deaths: u32) {
+    if deaths > 0 {
+        let shift = (deaths - 1).min(6);
+        let backoff = (RESPAWN_BACKOFF_BASE_MS << shift).min(RESPAWN_BACKOFF_CAP_MS);
+        std::thread::sleep(std::time::Duration::from_millis(backoff));
+    }
+    if catch_unwind(AssertUnwindSafe(|| worker_loop(inner))).is_err() {
+        inner.replaced.fetch_add(1, Ordering::Relaxed);
+        spawn_worker(Arc::clone(inner), index, deaths + 1);
+    }
+}
+
 /// Runs jobs forever; parks on the condition variable when the queue is
 /// empty. Job closures are panic-wrapped by `spawn`, but a stray unwind
-/// must still not take the worker down, so the loop catches and drops.
+/// must still not take the worker down, so the loop catches and drops —
+/// and if one ever escapes anyway (or the `pool.worker.panic` fault
+/// injects one), [`run_worker`]'s supervisor replaces the thread.
 fn worker_loop(inner: &PoolInner) {
     loop {
+        // Supervision fail point: evaluated between jobs, never while
+        // one is held, so an injected death can lose no queued work.
+        if oasys_faults::armed() {
+            if let Some(msg) = oasys_faults::eval_err("pool.worker.panic") {
+                panic!("injected worker death: {msg}");
+            }
+        }
         let job = {
             let mut queue = inner.queue.lock().unwrap_or_else(PoisonError::into_inner);
             loop {
@@ -580,6 +641,45 @@ mod tests {
         assert_eq!(a, b);
         let sum = Pool::global().scope(|s| s.spawn(|| 1 + 1).join());
         assert_eq!(sum, 2);
+    }
+
+    #[test]
+    fn panicked_workers_are_replaced_and_jobs_still_complete() {
+        // Every loop-top hit dies while armed (p = 1.0), so this test
+        // cannot race other pools in the process for a single one-shot
+        // hit: this pool's own workers deterministically die at
+        // startup and are counted by its own supervisor.
+        oasys_faults::set(
+            "pool.worker.panic",
+            oasys_faults::FaultSpec::FailRate { p: 1.0, seed: 7 },
+        );
+        let pool = Pool::new(2);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while pool.workers_replaced() < 2 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "supervisor never replaced the injected worker deaths"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        oasys_faults::remove("pool.worker.panic");
+        // Replacements outlive the cleared fault; queued work completes
+        // on them (or via helping joins) with nothing lost.
+        let counter = AtomicUsize::new(0);
+        pool.scope(|s| {
+            let handles: Vec<_> = (0..16)
+                .map(|_| {
+                    s.spawn(|| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join();
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 16);
+        assert!(pool.workers_replaced() >= 2);
     }
 
     #[test]

@@ -16,6 +16,7 @@ fn main() -> ExitCode {
         Some("analyze") => analyze(),
         Some("smoke") => smoke(),
         Some("smoke-serve") => smoke_serve(),
+        Some("serve-robustness") => serve_robustness(),
         Some("smoke-dataset") => smoke_dataset(),
         Some("docs") => docs(),
         Some("bench-schema") => bench_schema(),
@@ -29,6 +30,7 @@ fn main() -> ExitCode {
                  `oasys lint --deny-warnings` over the example specs,\n                 \
                  the static-analysis gate over the builtin plans,\n                 \
                  the end-to-end trace + batch + dataset smoke runs,\n                 \
+                 the serve-robustness chaos leg,\n                 \
                  the docs gate, and the bench-report schema gate\n  \
                  analyze        only the static-analysis gate: the builtin style plans\n                 \
                  must be diagnostic-free in JSON and SARIF output\n  \
@@ -42,9 +44,13 @@ fn main() -> ExitCode {
                  socket, submit spec-a over the wire, validate the JSON\n                 \
                  response, then prove graceful drain with a request\n                 \
                  still in flight\n  \
+                 serve-robustness  the serve chaos leg through the real CLI: a\n                 \
+                 stalled client is evicted by the I/O deadline, a\n                 \
+                 panicked pool worker is replaced, and sustained\n                 \
+                 overload enters and exits brownout\n  \
                  smoke-dataset  only the dataset leg: generate the bundled sampled\n                 \
                  dataset manifest in two shards through the CLI, merge,\n                 \
-                 and validate every record against `oasys-dataset/1`\n  \
+                 and validate every record against `oasys-dataset/2`\n  \
                  docs           only the docs gate: rustdoc with -D warnings + doc-tests\n  \
                  bench-schema   only the committed BENCH_synthesis.json schema gate\n  \
                  panics         only the panic-freedom gate: no unwrap/expect in\n                 \
@@ -84,6 +90,9 @@ fn check() -> ExitCode {
     }
     if smoke() != ExitCode::SUCCESS {
         failed.push("smoke".to_string());
+    }
+    if serve_robustness() != ExitCode::SUCCESS {
+        failed.push("serve-robustness".to_string());
     }
     if smoke_dataset() != ExitCode::SUCCESS {
         failed.push("smoke-dataset".to_string());
@@ -584,6 +593,237 @@ fn smoke_serve() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Serve robustness gate, exercised through the real CLI binary: the
+/// chaos behaviours the in-process suite proves are re-proven from
+/// outside the process, fault injection via `--faults`/`OASYS_FAULTS`.
+///
+/// 1. **Stall-eviction leg** — a client that connects and then stalls
+///    (injected `serve.client.stall` delay) past the server's
+///    `--io-timeout-ms` must be evicted; a prompt follow-up client is
+///    served, and `--health` reports the eviction.
+/// 2. **Worker-panic leg** — a server started with
+///    `pool.worker.panic=fail_once` loses a handler-pool worker at
+///    birth; the supervisor replaces it, `--health` reports
+///    `workers_replaced >= 1`, and traffic flows.
+/// 3. **Brownout leg** — with one in-flight slot, a two-deep queue,
+///    and stalled ingress, concurrent clients (retrying with seeded
+///    backoff) congest the queue; `--health` must show a brownout
+///    entry, then a brownout exit once the load is gone.
+fn serve_robustness() -> ExitCode {
+    if let Err(e) = std::fs::create_dir_all("target/smoke") {
+        eprintln!("xtask: cannot create target/smoke: {e}");
+        return ExitCode::FAILURE;
+    }
+    if !run(
+        "cargo",
+        &["build", "--release", "-q", "-p", "oasys", "--bin", "oasys"],
+    ) {
+        return ExitCode::FAILURE;
+    }
+    let bin = "target/release/oasys";
+
+    // Leg 1: stalled client is evicted by the I/O deadline.
+    let socket = "target/smoke/serve-stall.sock";
+    let mut server = match spawn_server(bin, socket, &["--io-timeout-ms", "150"]) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("xtask serve-robustness: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let leg = (|| -> Result<(), String> {
+        // The stalled client's own outcome is whatever the eviction
+        // left on its socket (an error frame or a reset) — ignored;
+        // the server-side effects are what this leg asserts.
+        let _ = client_output(
+            bin,
+            &["client", "--socket", socket, "--ping"],
+            &[("OASYS_FAULTS", "serve.client.stall=delay(600)")],
+        );
+        let ping = client_json(bin, &["client", "--socket", socket, "--ping"])?;
+        if ping.get("status").and_then(|j| j.as_str()) != Some("ok") {
+            return Err(format!("ping after the stalled client: {ping:?}"));
+        }
+        let health = client_json(bin, &["client", "--socket", socket, "--health"])?;
+        if health
+            .get("evicted")
+            .and_then(|j| j.as_num())
+            .unwrap_or(0.0)
+            < 1.0
+        {
+            return Err(format!("health does not report the eviction: {health:?}"));
+        }
+        let drain = client_json(bin, &["client", "--socket", socket, "--shutdown"])?;
+        if drain.get("draining").and_then(|j| j.as_bool()) != Some(true) {
+            return Err(format!("shutdown did not acknowledge draining: {drain:?}"));
+        }
+        wait_for_exit(&mut server, socket)
+    })();
+    if let Err(e) = leg {
+        eprintln!("xtask serve-robustness: {e}");
+        let _ = server.kill();
+        return ExitCode::FAILURE;
+    }
+    println!("xtask serve-robustness: stalled client evicted, slot reclaimed");
+
+    // Leg 2: a panicked pool worker is replaced by the supervisor.
+    let socket = "target/smoke/serve-worker-panic.sock";
+    let mut server = match spawn_server(bin, socket, &["--faults", "pool.worker.panic=fail_once"]) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("xtask serve-robustness: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let leg = (|| -> Result<(), String> {
+        let health = poll_health_cli(bin, socket, "a replaced worker", |h| {
+            h.get("workers_replaced")
+                .and_then(|j| j.as_num())
+                .unwrap_or(0.0)
+                >= 1.0
+        })?;
+        if health.get("brownout").and_then(|j| j.as_bool()) != Some(false) {
+            return Err(format!("unexpected brownout: {health:?}"));
+        }
+        let ping = client_json(bin, &["client", "--socket", socket, "--ping"])?;
+        if ping.get("status").and_then(|j| j.as_str()) != Some("ok") {
+            return Err(format!("ping after the replacement: {ping:?}"));
+        }
+        let drain = client_json(bin, &["client", "--socket", socket, "--shutdown"])?;
+        if drain.get("draining").and_then(|j| j.as_bool()) != Some(true) {
+            return Err(format!("shutdown did not acknowledge draining: {drain:?}"));
+        }
+        wait_for_exit(&mut server, socket)
+    })();
+    if let Err(e) = leg {
+        eprintln!("xtask serve-robustness: {e}");
+        let _ = server.kill();
+        return ExitCode::FAILURE;
+    }
+    println!("xtask serve-robustness: panicked pool worker replaced");
+
+    // Leg 3: sustained overload enters brownout, then exits it.
+    let socket = "target/smoke/serve-brownout.sock";
+    let mut server = match spawn_server(
+        bin,
+        socket,
+        &[
+            "--max-inflight",
+            "1",
+            "--queue-depth",
+            "2",
+            "--faults",
+            "serve.request.read=delay(300)",
+        ],
+    ) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("xtask serve-robustness: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let leg = (|| -> Result<(), String> {
+        // Concurrent clients behind one stalled slot; shed ones retry
+        // with seeded jitter until served, exercising `--retries`.
+        let clients: Vec<_> = (0..4)
+            .map(|i| {
+                let bin = bin.to_string();
+                let socket = socket.to_string();
+                std::thread::spawn(move || {
+                    client_output(
+                        &bin,
+                        &[
+                            "client",
+                            "--socket",
+                            &socket,
+                            "--ping",
+                            "--retries",
+                            "5",
+                            "--retry-seed",
+                            &i.to_string(),
+                        ],
+                        &[],
+                    )
+                })
+            })
+            .collect();
+        for client in clients {
+            let _ = client
+                .join()
+                .map_err(|_| "overload client thread panicked".to_string())?;
+        }
+        let entered = poll_health_cli(bin, socket, "a brownout entry", |h| {
+            h.get("brownout_entries")
+                .and_then(|j| j.as_num())
+                .unwrap_or(0.0)
+                >= 1.0
+        })?;
+        if entered.get("shed").and_then(|j| j.as_num()).unwrap_or(0.0) < 1.0 {
+            return Err(format!("overload never shed a connection: {entered:?}"));
+        }
+        let recovered = poll_health_cli(bin, socket, "the brownout exit", |h| {
+            h.get("brownout").and_then(|j| j.as_bool()) == Some(false)
+                && h.get("brownout_exits")
+                    .and_then(|j| j.as_num())
+                    .unwrap_or(0.0)
+                    >= 1.0
+        })?;
+        drop(recovered);
+        let drain = client_json(bin, &["client", "--socket", socket, "--shutdown"])?;
+        if drain.get("draining").and_then(|j| j.as_bool()) != Some(true) {
+            return Err(format!("shutdown did not acknowledge draining: {drain:?}"));
+        }
+        wait_for_exit(&mut server, socket)
+    })();
+    if let Err(e) = leg {
+        eprintln!("xtask serve-robustness: {e}");
+        let _ = server.kill();
+        return ExitCode::FAILURE;
+    }
+    println!("xtask serve-robustness: brownout entered under overload and exited after it");
+    ExitCode::SUCCESS
+}
+
+/// Runs one `oasys client` invocation with extra environment variables,
+/// returning its output without requiring success (chaos legs expect
+/// some client invocations to fail by design).
+fn client_output(
+    bin: &str,
+    args: &[&str],
+    envs: &[(&str, &str)],
+) -> Result<std::process::Output, String> {
+    println!("$ {bin} {}", args.join(" "));
+    let mut command = Command::new(bin);
+    command.args(args);
+    for (key, value) in envs {
+        command.env(key, value);
+    }
+    command
+        .output()
+        .map_err(|e| format!("failed to spawn {bin}: {e}"))
+}
+
+/// Polls `oasys client --health` until `pass` holds, or errors after
+/// 10 s of trying.
+fn poll_health_cli(
+    bin: &str,
+    socket: &str,
+    what: &str,
+    pass: impl Fn(&oasys_telemetry::json::Json) -> bool,
+) -> Result<oasys_telemetry::json::Json, String> {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        let health = client_json(bin, &["client", "--socket", socket, "--health"])?;
+        if pass(&health) {
+            return Ok(health);
+        }
+        if std::time::Instant::now() >= deadline {
+            return Err(format!("health never showed {what}: {health:?}"));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+}
+
 /// Starts `oasys serve` on `socket` and waits for the socket file.
 fn spawn_server(bin: &str, socket: &str, extra: &[&str]) -> Result<std::process::Child, String> {
     let _ = std::fs::remove_file(socket);
@@ -657,7 +897,7 @@ fn wait_for_exit(server: &mut std::process::Child, socket: &str) -> Result<(), S
 /// Dataset smoke gate: generate the bundled sampled dataset manifest
 /// (`data/dataset.manifest`, 1080 points) in two shards through the
 /// real CLI, merge them, and run every merged record through the
-/// `oasys-dataset/1` validator. Fails on any run error, a record count
+/// `oasys-dataset/2` validator. Fails on any run error, a record count
 /// that disagrees with the shard summaries, an id that is not dense in
 /// order, or a schema violation — the executable form of `DATASET.md`.
 fn smoke_dataset() -> ExitCode {
@@ -745,7 +985,25 @@ fn smoke_dataset() -> ExitCode {
         return ExitCode::FAILURE;
     }
     for (idx, line) in lines.iter().enumerate() {
-        let record = match oasys_telemetry::json::parse(line) {
+        // Merged `oasys-dataset/2` lines are sealed: `<json>\t<fnv1a64>`.
+        let payload = match oasys::integrity::open_line(line) {
+            oasys::integrity::LineIntegrity::Sealed(payload) => payload,
+            oasys::integrity::LineIntegrity::Unsealed(_) => {
+                eprintln!(
+                    "xtask smoke-dataset: {records_path} line {}: freshly merged lines must be sealed",
+                    idx + 1
+                );
+                return ExitCode::FAILURE;
+            }
+            oasys::integrity::LineIntegrity::Corrupt => {
+                eprintln!(
+                    "xtask smoke-dataset: {records_path} line {}: checksum does not verify",
+                    idx + 1
+                );
+                return ExitCode::FAILURE;
+            }
+        };
+        let record = match oasys_telemetry::json::parse(payload) {
             Ok(record) => record,
             Err(e) => {
                 eprintln!("xtask smoke-dataset: {records_path} line {}: {e}", idx + 1);
